@@ -1,0 +1,1 @@
+bench/stress.ml: Array List Option Printf Repro_core Repro_game Repro_graph Repro_util Stdlib Sys Unix

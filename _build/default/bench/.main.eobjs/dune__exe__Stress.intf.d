@@ -1,0 +1,1 @@
+bench/stress.mli:

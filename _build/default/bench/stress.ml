@@ -1,0 +1,132 @@
+(* Heavy randomized cross-validation sweeps — the long-running counterpart
+   of the property tests, for manual runs and CI soak jobs:
+
+     dune exec bench/stress.exe            (~ a few minutes, single core)
+     dune exec bench/stress.exe -- 200     (custom per-sweep budget)
+
+   Every sweep pits two independent implementations against each other;
+   a single disagreement aborts with the seed printed. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module W = Repro_game.Weighted.Float_weighted
+module Sne = Repro_core.Sne_lp.Float
+module Comb = Repro_core.Combinatorial.Float
+module Aon = Repro_core.Aon.Float
+module Enforce = Repro_core.Enforce
+module Instances = Repro_core.Instances
+module Prng = Repro_util.Prng
+module Fx = Repro_util.Floatx
+
+let budget = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1000
+
+let fail_at sweep seed = failwith (Printf.sprintf "%s: disagreement at seed %d" sweep seed)
+
+let sweep name count f =
+  let t0 = Unix.gettimeofday () in
+  for seed = 0 to count - 1 do
+    if not (f seed) then fail_at name seed
+  done;
+  Printf.printf "%-55s %6d seeds  %6.1fs\n%!" name count (Unix.gettimeofday () -. t0)
+
+let instance seed =
+  Instances.random ~dist:(Instances.Integer 9) ~n:(4 + (seed mod 7))
+    ~extra:(2 + (seed mod 5)) ~seed ()
+
+let () =
+  sweep "LP (3) = LP (2) = cutting plane, all enforcing" budget (fun seed ->
+      let inst = instance seed in
+      let spec = Instances.spec inst in
+      let tree = Instances.mst_tree inst in
+      let state = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+      let r3 = Sne.broadcast spec ~root:inst.Instances.root tree in
+      let r2 = Sne.poly spec ~state in
+      let r1, stats = Sne.cutting_plane spec ~state in
+      stats.Sne.converged
+      && Fx.approx_eq ~eps:1e-5 r3.Sne.cost r2.Sne.cost
+      && Fx.approx_eq ~eps:1e-5 r3.Sne.cost r1.Sne.cost
+      && Gm.Broadcast.is_tree_equilibrium ~subsidy:r3.Sne.subsidy spec tree);
+  sweep "Lemma 2 tree check = general Dijkstra check" budget (fun seed ->
+      let inst = instance seed in
+      let spec = Instances.spec inst in
+      let tree = Instances.mst_tree inst in
+      let state = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+      Gm.Broadcast.is_tree_equilibrium spec tree = Gm.is_equilibrium spec state);
+  sweep "Theorem 6 enforces within wgt(T)/e, above the LP" budget (fun seed ->
+      let inst = instance seed in
+      let spec = Instances.spec inst in
+      let graph = inst.Instances.graph in
+      let tree = Instances.mst_tree inst in
+      let r = Enforce.subsidize_mst graph tree in
+      let lp = Sne.broadcast spec ~root:inst.Instances.root tree in
+      Gm.Broadcast.is_tree_equilibrium ~subsidy:r.Enforce.subsidy spec tree
+      && Fx.leq (Enforce.ratio r) (1.0 /. Stdlib.exp 1.0)
+      && Fx.leq lp.Sne.cost (r.Enforce.total +. 1e-6));
+  sweep "waterfill enforces and never beats the LP" budget (fun seed ->
+      let inst = instance seed in
+      let spec = Instances.spec inst in
+      let tree = Instances.mst_tree inst in
+      let wf = Comb.waterfill spec ~root:inst.Instances.root tree in
+      let lp = Sne.broadcast spec ~root:inst.Instances.root tree in
+      Gm.Broadcast.is_tree_equilibrium ~subsidy:wf.Comb.subsidy spec tree
+      && Fx.leq lp.Sne.cost (wf.Comb.cost +. 1e-7));
+  sweep "exact AoN <= greedy AoN, both enforcing" (budget / 5) (fun seed ->
+      let inst =
+        Instances.random ~dist:(Instances.Integer 9) ~n:(4 + (seed mod 4))
+          ~extra:(1 + (seed mod 3)) ~seed ()
+      in
+      let spec = Instances.spec inst in
+      let tree = Instances.mst_tree inst in
+      let exact = Aon.solve_exact spec tree in
+      let greedy = Aon.greedy spec tree in
+      exact.Aon.optimal
+      && Aon.enforces spec tree exact.Aon.chosen
+      && Aon.enforces spec tree greedy.Aon.chosen
+      && Fx.leq exact.Aon.cost greedy.Aon.cost);
+  sweep "weighted cutting plane enforces; relaxation below it" (budget / 2) (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in_range rng ~lo:3 ~hi:7 in
+      let graph =
+        G.Gen.random_connected rng ~n ~extra_edges:(Prng.int rng 5)
+          ~rand_weight:(fun rng -> float_of_int (Prng.int_in_range rng ~lo:1 ~hi:9))
+      in
+      let root = Prng.int rng n in
+      let w =
+        W.broadcast ~graph ~root ~demand_of:(fun _ ->
+            float_of_int (Prng.int_in_range rng ~lo:1 ~hi:4))
+      in
+      let tree = G.Tree.of_edge_ids graph ~root (Option.get (G.mst_kruskal graph)) in
+      let state = W.Broadcast.state_of_tree w ~root tree in
+      let exact, stats = Sne.weighted_cutting_plane w ~state in
+      let relaxed = Sne.weighted_broadcast w ~root tree in
+      stats.Sne.converged
+      && W.is_equilibrium ~subsidy:exact.Sne.subsidy w state
+      && Fx.leq relaxed.Sne.cost (exact.Sne.cost +. 1e-7));
+  sweep "Steiner optimum = exhaustive multicast cheapest state" (budget / 4) (fun seed ->
+      let module St = Repro_graph.Steiner.Float_steiner in
+      let rng = Prng.create seed in
+      let n = Prng.int_in_range rng ~lo:4 ~hi:7 in
+      let graph =
+        G.Gen.random_connected rng ~n ~extra_edges:(Prng.int rng 5)
+          ~rand_weight:(fun rng -> float_of_int (Prng.int_in_range rng ~lo:1 ~hi:9))
+      in
+      let root = Prng.int rng n in
+      let others = List.filter (( <> ) root) (List.init n (fun i -> i)) in
+      let terminals = Array.to_list (Prng.sample rng 2 (Array.of_list others)) in
+      let spec = Gm.multicast ~graph ~root ~terminals in
+      match Gm.Exact.state_landscape ~max_states:200_000 spec with
+      | exception Invalid_argument _ -> true
+      | l ->
+          let w, _ = St.minimum_steiner_tree graph ~terminals:(root :: terminals) in
+          Fx.approx_eq w l.Gm.Exact.optimum);
+  sweep "directed H_n family: cutting plane enforces OPT at cost eps" (budget / 10)
+    (fun seed ->
+      let module Dg = Repro_game.Digame.Float_digame in
+      let n = 2 + (seed mod 10) in
+      let eps = 0.01 +. (0.001 *. float_of_int (seed mod 7)) in
+      let spec, shared, _ = Dg.anshelevich_instance ~n ~eps in
+      let subsidy, cost, converged = Dg.sne_cutting_plane spec ~state:shared in
+      converged
+      && Dg.is_equilibrium ~subsidy spec shared
+      && Fx.approx_eq ~eps:1e-6 cost eps);
+  print_endline "all stress sweeps passed"

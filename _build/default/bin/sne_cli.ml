@@ -1,0 +1,308 @@
+(* Command-line front end for the subsidy toolkit.
+
+   sne_cli solve      — enforce the MST of a random broadcast instance with
+                        a chosen solver and print the subsidy plan
+   sne_cli landscape  — exact equilibrium landscape / price of stability of
+                        a small random instance
+   sne_cli lower-bound — sweep one of the paper's lower-bound families
+   sne_cli reduction  — build and verify one of the hardness reductions
+   sne_cli dynamics   — run best-response dynamics from the MST *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Sne = Repro_core.Sne_lp.Float
+module Enforce = Repro_core.Enforce
+module Aon = Repro_core.Aon.Float
+module Lb = Repro_core.Lower_bounds.Float
+module Instances = Repro_core.Instances
+module Table = Repro_util.Table
+open Cmdliner
+
+(* ---------------------------------------------------------------- *)
+(* Shared arguments                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (reproducible).")
+
+let nodes_arg =
+  Arg.(value & opt int 10 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let extra_arg =
+  Arg.(value & opt int 6 & info [ "extra" ] ~docv:"K" ~doc:"Extra (non-tree) edges.")
+
+let make_instance seed n extra =
+  Instances.random ~dist:(Instances.Integer 10) ~n ~extra ~seed ()
+
+let file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "file" ] ~docv:"FILE"
+           ~doc:"Load the instance from FILE (see lib/core/serial.ml for the \
+                 format) instead of generating one.")
+
+(* Either the instance from --file, or a generated one. Returns
+   (graph, root, target tree). *)
+let resolve_instance file seed n extra =
+  match file with
+  | Some path ->
+      let t = Repro_core.Serial.Float.load path in
+      let tree = Repro_core.Serial.Float.target_tree t in
+      (t.Repro_core.Serial.Float.graph, t.Repro_core.Serial.Float.root, tree)
+  | None ->
+      let inst = make_instance seed n extra in
+      (inst.Instances.graph, inst.Instances.root, Instances.mst_tree inst)
+
+(* ---------------------------------------------------------------- *)
+(* solve                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let solve_cmd =
+  let method_arg =
+    let methods =
+      [ ("lp3", `Lp3); ("lp2", `Lp2); ("cut", `Cut); ("thm6", `Thm6);
+        ("aon-exact", `AonExact); ("aon-greedy", `AonGreedy) ]
+    in
+    Arg.(value & opt (enum methods) `Lp3
+         & info [ "method" ] ~docv:"METHOD"
+             ~doc:"Solver: lp3 (broadcast LP), lp2 (polynomial LP), cut \
+                   (cutting plane), thm6 (Theorem 6 construction), \
+                   aon-exact, aon-greedy.")
+  in
+  let run seed n extra meth file =
+    let graph, root, tree = resolve_instance file seed n extra in
+    let spec = Gm.broadcast ~graph ~root in
+    let w = G.Tree.total_weight tree in
+    Printf.printf "instance: %s, %d nodes, %d edges, root %d, target tree weight %.3f\n"
+      (match file with Some p -> p | None -> Printf.sprintf "seed=%d" seed)
+      (G.n_nodes graph) (G.n_edges graph) root w;
+    let subsidy, cost, label =
+      match meth with
+      | `Lp3 ->
+          let r = Sne.broadcast spec ~root tree in
+          (r.Sne.subsidy, r.Sne.cost, "LP (3)")
+      | `Lp2 ->
+          let state = Gm.Broadcast.state_of_tree spec ~root tree in
+          let r = Sne.poly spec ~state in
+          (r.Sne.subsidy, r.Sne.cost, "LP (2)")
+      | `Cut ->
+          let state = Gm.Broadcast.state_of_tree spec ~root tree in
+          let r, stats = Sne.cutting_plane spec ~state in
+          Printf.printf "cutting plane: %d rounds, %d constraints generated\n"
+            stats.Sne.rounds stats.Sne.generated;
+          (r.Sne.subsidy, r.Sne.cost, "LP (1) via cutting planes")
+      | `Thm6 ->
+          let r = Enforce.subsidize_mst graph tree in
+          (r.Enforce.subsidy, r.Enforce.total, "Theorem 6 construction")
+      | `AonExact ->
+          let r = Aon.solve_exact spec tree in
+          Printf.printf "branch-and-bound: %d nodes explored, optimal=%b\n"
+            r.Aon.nodes_explored r.Aon.optimal;
+          (Aon.subsidy_of_chosen graph r.Aon.chosen, r.Aon.cost, "all-or-nothing (exact)")
+      | `AonGreedy ->
+          let r = Aon.greedy spec tree in
+          (Aon.subsidy_of_chosen graph r.Aon.chosen, r.Aon.cost, "all-or-nothing (greedy)")
+    in
+    Printf.printf "%s: total subsidies %.4f (%.2f%% of the tree)\n" label cost
+      (100.0 *. cost /. w);
+    Array.iteri
+      (fun id b ->
+        if b > 1e-9 then
+          let u, v = G.endpoints graph id in
+          Printf.printf "  edge %d (%d-%d, weight %.3f): subsidize %.4f\n" id u v
+            (G.weight graph id) b)
+      subsidy;
+    Printf.printf "MST is an equilibrium under this plan: %b\n"
+      (Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Enforce the target tree of a broadcast instance.")
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ method_arg $ file_arg)
+
+(* ---------------------------------------------------------------- *)
+(* landscape                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let landscape_cmd =
+  let run seed n extra =
+    if n > 12 then failwith "landscape enumerates all spanning trees; use n <= 12";
+    let inst = make_instance seed n extra in
+    let graph = inst.Instances.graph and root = inst.Instances.root in
+    let l = Gm.Exact.equilibrium_landscape ~graph ~root in
+    Printf.printf "spanning trees: %d, of which equilibria: %d\n" l.Gm.Exact.n_trees
+      l.Gm.Exact.n_equilibria;
+    Printf.printf "MST weight: %.3f\n" l.Gm.Exact.mst_weight;
+    (match l.Gm.Exact.best_equilibrium with
+    | Some (w, ids) ->
+        Printf.printf "best equilibrium: weight %.3f, edges %s\n" w
+          (String.concat "," (List.map string_of_int ids))
+    | None -> print_endline "no tree equilibrium (float tolerance artifact)");
+    (match l.Gm.Exact.worst_equilibrium with
+    | Some (w, _) -> Printf.printf "worst equilibrium: weight %.3f\n" w
+    | None -> ());
+    match Gm.Exact.price_of_stability ~graph ~root with
+    | Some pos -> Printf.printf "price of stability: %.4f (H_n bound: %.4f)\n" pos
+        (Repro_util.Harmonic.h (n - 1))
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "landscape" ~doc:"Exact equilibrium landscape of a small instance.")
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg)
+
+(* ---------------------------------------------------------------- *)
+(* lower-bound                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let lower_bound_cmd =
+  let family_arg =
+    Arg.(value & opt (enum [ ("cycle", `Cycle); ("aon-path", `AonPath) ]) `Cycle
+         & info [ "family" ] ~docv:"FAMILY" ~doc:"cycle (Thm 11) or aon-path (Thm 21).")
+  in
+  let max_n_arg =
+    Arg.(value & opt int 128 & info [ "max-n" ] ~docv:"N" ~doc:"Largest instance size.")
+  in
+  let run family max_n =
+    match family with
+    | `Cycle ->
+        let t = Table.create ~title:"Theorem 11: unit cycle" ~header:[ "n"; "ratio"; "1/e" ] in
+        let n = ref 8 in
+        while !n <= max_n do
+          let inst = Lb.cycle_instance ~n:!n in
+          let r = Sne.broadcast (Lb.spec inst) ~root:inst.Lb.root (Lb.tree inst) in
+          Table.add_row t
+            [ Table.cell_i !n; Table.cell_f (r.Sne.cost /. float_of_int !n);
+              Table.cell_f (1.0 /. Stdlib.exp 1.0) ];
+          n := !n * 2
+        done;
+        Table.print t
+    | `AonPath ->
+        let t = Table.create ~title:"Theorem 21: shortcut path (exact AoN)"
+            ~header:[ "n"; "ratio"; "e/(2e-1)" ] in
+        let bound = Stdlib.exp 1.0 /. ((2.0 *. Stdlib.exp 1.0) -. 1.0) in
+        let n = ref 6 in
+        while !n <= min max_n 21 do
+          let inst = Lb.aon_path_instance ~n:!n ~x:(Repro_core.Lower_bounds.theorem21_x ~n:!n) in
+          let r = Aon.solve_exact (Lb.spec inst) (Lb.tree inst) in
+          Table.add_row t
+            [ Table.cell_i !n;
+              Table.cell_f (r.Aon.cost /. G.Tree.total_weight (Lb.tree inst));
+              Table.cell_f bound ];
+          n := !n + 3
+        done;
+        Table.print t
+  in
+  Cmd.v (Cmd.info "lower-bound" ~doc:"Sweep one of the paper's lower-bound families.")
+    Term.(const run $ family_arg $ max_n_arg)
+
+(* ---------------------------------------------------------------- *)
+(* reduction                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let reduction_cmd =
+  let which_arg =
+    Arg.(value & opt (enum [ ("bypass", `Bypass); ("binpacking", `Bp); ("indepset", `Is); ("sat", `Sat) ]) `Bypass
+         & info [ "which" ] ~docv:"RED" ~doc:"bypass, binpacking, indepset or sat.")
+  in
+  let run which =
+    match which with
+    | `Bypass ->
+        let module B = Repro_reductions.Bypass_gadget.Rat in
+        for beta = 1 to 8 do
+          let g = B.build ~capacity:4 ~beta in
+          Printf.printf "capacity 4, beta %d: connector deviates = %b\n" beta
+            (B.connector_deviates g)
+        done
+    | `Bp ->
+        let module R = Repro_reductions.Binpacking_to_snd.Rat in
+        let module BP = Repro_problems.Binpacking in
+        let inst = BP.create ~sizes:[| 4; 4; 2; 2; 2; 2 |] ~bins:2 ~capacity:8 in
+        let t = R.build inst in
+        Printf.printf "packable=%b, equilibrium MST exists=%b, correspondence=%b\n"
+          (BP.solve inst <> None)
+          (R.find_equilibrium_mst t <> None)
+          (R.correspondence_holds t)
+    | `Is ->
+        let module R = Repro_reductions.Indepset_to_pos.Rat in
+        let module IS = Repro_problems.Indepset in
+        let module Q = Repro_field.Rational in
+        List.iter
+          (fun (name, h) ->
+            let c = R.build h ~delta:(Q.of_ints 1 12) in
+            let w, _, mis = R.best_equilibrium c in
+            Printf.printf "%s: alpha=%d best equilibrium weight=%s\n" name
+              (List.length mis) (Q.to_string w))
+          IS.named
+    | `Sat ->
+        let module R = Repro_reductions.Sat_to_aon.Rat in
+        let module Sat = Repro_problems.Sat in
+        let f = Sat.create ~n_vars:5 [ [ 1; 2; 3 ]; [ -1; 4; 5 ] ] in
+        let t = R.build f in
+        let s = R.stats t in
+        Printf.printf "gadget graph: %d nodes, %d edges; correspondence over all assignments: %b\n"
+          s.R.nodes s.R.edges (R.verify_all_assignments t)
+  in
+  Cmd.v (Cmd.info "reduction" ~doc:"Build and verify one of the hardness reductions.")
+    Term.(const run $ which_arg)
+
+(* ---------------------------------------------------------------- *)
+(* pareto                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let pareto_cmd =
+  let run seed n extra file =
+    let graph, root, _ = resolve_instance file seed n extra in
+    if G.n_nodes graph > 12 then
+      failwith "pareto enumerates all spanning trees; use n <= 12";
+    let module Snd = Repro_core.Snd.Float in
+    let frontier = Snd.pareto_frontier ~graph ~root in
+    let mst_w = G.total_weight graph (Option.get (G.mst_kruskal graph)) in
+    let t =
+      Table.create ~title:"budget menu (Pareto frontier)"
+        ~header:[ "required budget"; "design weight"; "overhead vs MST" ]
+    in
+    List.iter
+      (fun d ->
+        Table.add_row t
+          [
+            Table.cell_f d.Snd.subsidy_cost;
+            Table.cell_f d.Snd.weight;
+            Printf.sprintf "+%.1f%%" (100.0 *. ((d.Snd.weight /. mst_w) -. 1.0));
+          ])
+      frontier;
+    Table.print t;
+    Printf.printf "Theorem 6 budget wgt(MST)/e = %.3f always buys the MST.\n"
+      (mst_w /. Stdlib.exp 1.0)
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"The budget/weight Pareto frontier of a small instance.")
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ file_arg)
+
+(* ---------------------------------------------------------------- *)
+(* dynamics                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let dynamics_cmd =
+  let run seed n extra =
+    let inst = make_instance seed n extra in
+    let spec = Instances.spec inst in
+    let tree = Instances.mst_tree inst in
+    let start = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+    Printf.printf "starting from the MST (weight %.3f, potential %.3f)\n"
+      (G.Tree.total_weight tree) (Gm.potential spec start);
+    let out = Gm.Dynamics.best_response_dynamics spec start in
+    Printf.printf "converged=%b after %d rounds (%d moves)\n" out.Gm.Dynamics.converged
+      out.Gm.Dynamics.rounds out.Gm.Dynamics.moves;
+    Printf.printf "final social cost %.3f, potential %.3f, equilibrium=%b\n"
+      (Gm.social_cost spec out.Gm.Dynamics.state)
+      (Gm.potential spec out.Gm.Dynamics.state)
+      (Gm.is_equilibrium spec out.Gm.Dynamics.state)
+  in
+  Cmd.v (Cmd.info "dynamics" ~doc:"Best-response dynamics from the MST.")
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg)
+
+let () =
+  let info =
+    Cmd.info "sne_cli" ~version:"1.0"
+      ~doc:"Subsidies for network design games (SPAA 2012 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ solve_cmd; landscape_cmd; lower_bound_cmd; reduction_cmd; pareto_cmd; dynamics_cmd ]))

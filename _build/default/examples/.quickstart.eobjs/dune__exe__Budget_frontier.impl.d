@@ -1,0 +1,1 @@
+examples/budget_frontier.ml: List Option Printf Repro_core Repro_game Repro_util Stdlib String

@@ -1,0 +1,1 @@
+examples/directed_anarchy.ml: List Printf Repro_game Repro_util

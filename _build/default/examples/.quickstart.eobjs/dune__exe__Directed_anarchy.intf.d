@@ -1,0 +1,1 @@
+examples/directed_anarchy.mli:

@@ -1,0 +1,1 @@
+examples/metro_network.ml: Printf Repro_core Repro_game Repro_util Stdlib

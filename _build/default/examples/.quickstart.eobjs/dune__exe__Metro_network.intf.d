@@ -1,0 +1,1 @@
+examples/metro_network.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Option Printf Repro_core Repro_game String

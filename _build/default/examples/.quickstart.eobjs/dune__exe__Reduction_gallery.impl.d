@@ -1,0 +1,1 @@
+examples/reduction_gallery.ml: Array List Option Printf Repro_field Repro_game Repro_problems Repro_reductions Repro_util String

@@ -1,0 +1,1 @@
+examples/worst_case_tour.ml: List Printf Repro_core Repro_game Repro_util Stdlib

@@ -1,0 +1,49 @@
+(* Quickstart: build a broadcast network design game, see why its minimum
+   spanning tree is not an equilibrium, and enforce it with minimum
+   subsidies computed by the LP of Theorem 1.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Sne = Repro_core.Sne_lp.Float
+
+let () =
+  (* A tiny city: the root 0 is the exchange; nodes 1-3 are neighbourhoods.
+     Cheap chain 0-1-2-3 plus a direct-but-pricey link from 3 to the
+     exchange. *)
+  let graph =
+    G.create ~n:4 [ (0, 1, 2.0); (1, 2, 2.0); (2, 3, 2.0); (0, 3, 3.5) ]
+  in
+  let root = 0 in
+  let spec = Gm.broadcast ~graph ~root in
+  let mst = Option.get (G.mst_kruskal graph) in
+  let tree = G.Tree.of_edge_ids graph ~root mst in
+  Printf.printf "MST: edges %s, weight %.1f\n"
+    (String.concat "," (List.map string_of_int mst))
+    (G.Tree.total_weight tree);
+
+  (* Player 3 pays 2/3 + 2/2 + 2/1 = 3.67 along the chain but only 3.5 on
+     the direct link: the MST is not stable. *)
+  let state = Gm.Broadcast.state_of_tree spec ~root tree in
+  Array.iteri
+    (fun i (s, _) ->
+      Printf.printf "player at node %d pays %.3f\n" s (Gm.player_cost spec state i))
+    spec.Gm.pairs;
+  (match Gm.Broadcast.tree_violation spec tree with
+  | Some (u, e, v, slack) ->
+      Printf.printf
+        "not an equilibrium: the player at node %d would switch to edge %d (toward %d), gaining %.3f\n"
+        u e v (-.slack)
+  | None -> print_endline "already an equilibrium");
+
+  (* Minimum subsidies that make the MST stable (Theorem 1 / LP (3)). *)
+  let r = Sne.broadcast spec ~root tree in
+  Printf.printf "minimum subsidy cost: %.4f (%.1f%% of the tree weight)\n" r.Sne.cost
+    (100.0 *. r.Sne.cost /. G.Tree.total_weight tree);
+  Array.iteri
+    (fun id b -> if b > 1e-9 then Printf.printf "  subsidize edge %d by %.4f\n" id b)
+    r.Sne.subsidy;
+  let ok = Gm.Broadcast.is_tree_equilibrium ~subsidy:r.Sne.subsidy spec tree in
+  Printf.printf "MST is now an equilibrium: %b\n" ok;
+  assert ok

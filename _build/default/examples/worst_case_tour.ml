@@ -1,0 +1,61 @@
+(* A guided tour of the paper's two lower-bound families:
+
+   - Theorem 11: on unit cycles, enforcing the spanning path needs
+     subsidies approaching wgt(T)/e ~ 36.8% ("37%").
+   - Theorem 21: on the shortcut path, all-or-nothing subsidies need
+     ~ e/(2e-1) ~ 61.3% ("61%").
+
+   Run with: dune exec examples/worst_case_tour.exe *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Sne = Repro_core.Sne_lp.Float
+module Aon = Repro_core.Aon.Float
+module Lb = Repro_core.Lower_bounds.Float
+module Table = Repro_util.Table
+
+let () =
+  let inv_e = 1.0 /. Stdlib.exp 1.0 in
+  Printf.printf "Theorem 11 family: unit cycle, target = spanning path\n";
+  let t = Table.create ~title:"optimal (fractional) subsidy ratio" ~header:[ "n"; "opt subsidies"; "ratio"; "1/e" ] in
+  List.iter
+    (fun n ->
+      let inst = Lb.cycle_instance ~n in
+      let spec = Lb.spec inst in
+      let r = Sne.broadcast spec ~root:inst.Lb.root (Lb.tree inst) in
+      Table.add_row t
+        [ Table.cell_i n; Table.cell_f r.Sne.cost; Table.cell_f (r.Sne.cost /. float_of_int n);
+          Table.cell_f inv_e ])
+    [ 8; 16; 32; 64; 128 ];
+  Table.print t;
+
+  let bound = Stdlib.exp 1.0 /. ((2.0 *. Stdlib.exp 1.0) -. 1.0) in
+  Printf.printf "\nTheorem 21 family: shortcut path, whole-link subsidies only\n";
+  let t = Table.create ~title:"exact all-or-nothing subsidy ratio" ~header:[ "n"; "aon cost"; "wgt(T)"; "ratio"; "e/(2e-1)" ] in
+  List.iter
+    (fun n ->
+      let x = Repro_core.Lower_bounds.theorem21_x ~n in
+      let inst = Lb.aon_path_instance ~n ~x in
+      let spec = Lb.spec inst in
+      let tree = Lb.tree inst in
+      let r = Aon.solve_exact spec tree in
+      assert r.Aon.optimal;
+      let w = G.Tree.total_weight tree in
+      Table.add_row t
+        [ Table.cell_i n; Table.cell_f r.Aon.cost; Table.cell_f w;
+          Table.cell_f (r.Aon.cost /. w); Table.cell_f bound ])
+    [ 6; 9; 12; 15; 18 ];
+  Table.print t;
+
+  (* The fractional relaxation on the same instances is far cheaper:
+     the integrality gap the paper's Section 5 is about. *)
+  Printf.printf "\nfractional vs all-or-nothing on the Theorem 21 instance (n = 15):\n";
+  let n = 15 in
+  let inst = Lb.aon_path_instance ~n ~x:(Repro_core.Lower_bounds.theorem21_x ~n) in
+  let spec = Lb.spec inst in
+  let tree = Lb.tree inst in
+  let frac = Sne.broadcast spec ~root:inst.Lb.root tree in
+  let aon = Aon.solve_exact spec tree in
+  Printf.printf "  fractional optimum: %.4f   all-or-nothing optimum: %.4f   gap: %.2fx\n"
+    frac.Sne.cost aon.Aon.cost
+    (aon.Aon.cost /. frac.Sne.cost)

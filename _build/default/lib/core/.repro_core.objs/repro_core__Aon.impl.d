@@ -1,0 +1,1 @@
+lib/core/aon.ml: Array List Repro_field Repro_game Sne_lp

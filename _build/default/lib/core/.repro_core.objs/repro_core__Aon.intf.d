@@ -1,0 +1,1 @@
+lib/core/aon.mli: Repro_field Repro_game Sne_lp

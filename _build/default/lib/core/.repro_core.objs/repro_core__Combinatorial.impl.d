@@ -1,0 +1,1 @@
+lib/core/combinatorial.ml: Array List Repro_field Repro_game

@@ -1,0 +1,1 @@
+lib/core/combinatorial.mli: Repro_field Repro_game

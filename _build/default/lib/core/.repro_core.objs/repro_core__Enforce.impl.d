@@ -1,0 +1,1 @@
+lib/core/enforce.ml: Array Float List Option Repro_game Repro_util Stdlib

@@ -1,0 +1,1 @@
+lib/core/enforce.mli: Repro_game

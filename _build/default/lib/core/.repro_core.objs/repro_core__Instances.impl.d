@@ -1,0 +1,1 @@
+lib/core/instances.ml: List Repro_game Repro_util

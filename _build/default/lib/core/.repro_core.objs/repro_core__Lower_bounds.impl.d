@@ -1,0 +1,1 @@
+lib/core/lower_bounds.ml: List Repro_field Repro_game Stdlib

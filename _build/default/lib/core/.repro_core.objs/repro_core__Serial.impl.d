@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Buffer Float List Printf Repro_field Repro_game String

@@ -1,0 +1,1 @@
+lib/core/snd.ml: Aon List Option Repro_field Repro_game Sne_lp

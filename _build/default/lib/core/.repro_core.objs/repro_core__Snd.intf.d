@@ -1,0 +1,1 @@
+lib/core/snd.mli: Aon Repro_field Repro_game Sne_lp

@@ -1,0 +1,1 @@
+lib/core/sne_lp.ml: Array Hashtbl List Printf Repro_field Repro_game Repro_lp

@@ -1,0 +1,1 @@
+lib/core/sne_lp.mli: Repro_field Repro_game Repro_lp

@@ -1,0 +1,151 @@
+(** All-or-nothing STABLE NETWORK ENFORCEMENT (Section 5).
+
+    Every subsidy is either the full edge weight or nothing. The
+    optimization version is inapproximable within any factor (Theorem 12),
+    so this module provides what is actually possible:
+
+    - [solve_exact]: branch-and-bound over the subsets of positive-weight
+      tree edges. Note that feasibility is {e not} monotone in the subsidy
+      set — subsidizing an edge can make a {e deviation} cheaper and break a
+      different player's constraint — so the search cannot prune by
+      "more subsidies are always safe" and checks full assignments, cut only
+      by the cost bound.
+    - [greedy]: repeatedly fixes the most violated Lemma 2 constraint by
+      fully subsidizing the least-crowded unsubsidized edge on the violated
+      player's path (mirroring the packing intuition of Theorem 6). Always
+      terminates with a feasible assignment.
+    - [lp_rounding]: rounds the fractional LP (3) optimum up; sound only
+      when the resulting assignment happens to pass the equilibrium check
+      (returned as [None] otherwise), included as a benchmark baseline. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+  module Sne = Sne_lp.Make (F)
+
+  type result = {
+    chosen : bool array; (* per edge id: fully subsidized? *)
+    cost : F.t;
+    nodes_explored : int; (* search nodes for solve_exact; iterations for greedy *)
+    optimal : bool; (* true iff the search ran to completion *)
+  }
+
+  let subsidy_of_chosen graph chosen =
+    Array.init (G.n_edges graph) (fun id -> if chosen.(id) then G.weight graph id else F.zero)
+
+  let cost_of_chosen graph chosen =
+    let acc = ref F.zero in
+    Array.iteri (fun id c -> if c then acc := F.add !acc (G.weight graph id)) chosen;
+    !acc
+
+  (** Is the tree an equilibrium when exactly [chosen] is subsidized? *)
+  let enforces spec (tree : G.Tree.t) chosen =
+    let subsidy = subsidy_of_chosen spec.Gm.graph chosen in
+    Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree
+
+  (** Exact minimum all-or-nothing subsidy enforcing [tree], by
+      branch-and-bound over the positive-weight tree edges (zero-weight
+      edges never need subsidizing). [max_nodes] caps the search; if hit,
+      the best assignment found so far is returned with [optimal = false].
+      Fully subsidizing everything is always feasible, so a result always
+      exists. *)
+  let solve_exact ?(max_nodes = 2_000_000) spec (tree : G.Tree.t) =
+    let graph = spec.Gm.graph in
+    let candidates =
+      G.Tree.edge_ids tree
+      |> List.filter (fun id -> F.sign (G.weight graph id) > 0)
+      (* Heaviest first: the "subsidize" branch gets expensive early, so the
+         cost bound prunes sooner. *)
+      |> List.sort (fun a b -> F.compare (G.weight graph b) (G.weight graph a))
+      |> Array.of_list
+    in
+    let k = Array.length candidates in
+    let chosen = Array.make (G.n_edges graph) false in
+    (* Start from the always-feasible full subsidy. *)
+    let best_chosen = Array.copy chosen in
+    Array.iter (fun id -> best_chosen.(id) <- true) candidates;
+    let best_cost = ref (cost_of_chosen graph best_chosen) in
+    let explored = ref 0 in
+    let truncated = ref false in
+    let rec go i cost =
+      if !explored >= max_nodes then truncated := true
+      else begin
+        incr explored;
+        if F.lt cost !best_cost then begin
+          if i = k then begin
+            if enforces spec tree chosen then begin
+              best_cost := cost;
+              Array.blit chosen 0 best_chosen 0 (Array.length chosen)
+            end
+          end
+          else begin
+            let id = candidates.(i) in
+            (* Cheaper branch first. *)
+            go (i + 1) cost;
+            chosen.(id) <- true;
+            go (i + 1) (F.add cost (G.weight graph id));
+            chosen.(id) <- false
+          end
+        end
+      end
+    in
+    go 0 F.zero;
+    {
+      chosen = best_chosen;
+      cost = !best_cost;
+      nodes_explored = !explored;
+      optimal = not !truncated;
+    }
+
+  (** Greedy repair: while some Lemma 2 constraint is violated, fully
+      subsidize the least-crowded positive-weight unsubsidized edge on the
+      violated player's side of the constraint. Each step subsidizes a new
+      edge, and with the whole path subsidized the constraint holds, so at
+      most n-1 steps are needed. *)
+  let greedy spec (tree : G.Tree.t) =
+    let graph = spec.Gm.graph in
+    let chosen = Array.make (G.n_edges graph) false in
+    let rec fix steps =
+      let subsidy = subsidy_of_chosen graph chosen in
+      match Gm.Broadcast.tree_violation ~subsidy spec tree with
+      | None -> steps
+      | Some (u, _, v, _) ->
+          let l = G.Tree.lca tree u v in
+          let candidates =
+            G.Tree.path_between tree u l
+            |> List.filter (fun id -> (not chosen.(id)) && F.sign (G.weight graph id) > 0)
+          in
+          (match candidates with
+          | [] ->
+              (* Impossible: a fully-subsidized path has zero cost and the
+                 constraint's right-hand side is non-negative. *)
+              failwith "Aon.greedy: violated constraint with fully subsidized path"
+          | first :: rest ->
+              let least_crowded =
+                List.fold_left
+                  (fun best id ->
+                    if G.Tree.usage tree id < G.Tree.usage tree best then id else best)
+                  first rest
+              in
+              chosen.(least_crowded) <- true);
+          fix (steps + 1)
+    in
+    let steps = fix 0 in
+    { chosen; cost = cost_of_chosen graph chosen; nodes_explored = steps; optimal = false }
+
+  (** Round the fractional LP (3) optimum up to full subsidies. Unsound in
+      general (feasibility is not monotone); [None] when the rounded
+      assignment fails the equilibrium check. *)
+  let lp_rounding spec ~root (tree : G.Tree.t) =
+    let graph = spec.Gm.graph in
+    let frac = Sne.broadcast spec ~root tree in
+    let chosen =
+      Array.init (G.n_edges graph) (fun id -> F.sign frac.Sne.subsidy.(id) > 0)
+    in
+    if enforces spec tree chosen then
+      Some { chosen; cost = cost_of_chosen graph chosen; nodes_explored = 0; optimal = false }
+    else None
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)

@@ -1,0 +1,46 @@
+(** All-or-nothing STABLE NETWORK ENFORCEMENT (Section 5): every subsidy is
+    the full edge weight or nothing.
+
+    The optimization version is inapproximable within any factor
+    (Theorem 12), and feasibility is {e not monotone} in the subsidy set
+    (subsidizing an edge can cheapen a deviation and break another player's
+    constraint), which shapes what is implementable: exact search with only
+    cost-based pruning, a greedy repair with a termination guarantee, and
+    an unsound-but-checked LP rounding baseline. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+  module Sne : module type of Sne_lp.Make (F)
+
+  type result = {
+    chosen : bool array; (** per edge id: fully subsidized? *)
+    cost : F.t;
+    nodes_explored : int; (** search nodes / greedy iterations *)
+    optimal : bool; (** the search ran to completion *)
+  }
+
+  val subsidy_of_chosen : G.t -> bool array -> F.t array
+  val cost_of_chosen : G.t -> bool array -> F.t
+
+  (** Is the tree an equilibrium when exactly [chosen] is subsidized? *)
+  val enforces : Gm.spec -> G.Tree.t -> bool array -> bool
+
+  (** Exact minimum by branch-and-bound over the positive-weight tree
+      edges (heaviest first, cheaper branch first). Always returns a
+      feasible assignment (full subsidy is feasible); [optimal = false]
+      iff [max_nodes] was hit. *)
+  val solve_exact : ?max_nodes:int -> Gm.spec -> G.Tree.t -> result
+
+  (** Greedy repair: fully subsidize the least-crowded unsubsidized edge
+      on the most violated constraint's player side; at most n-1 steps,
+      always feasible on return. *)
+  val greedy : Gm.spec -> G.Tree.t -> result
+
+  (** Round the fractional LP (3) optimum up; unsound in general, [None]
+      when the rounded set fails the equilibrium check. *)
+  val lp_rounding : Gm.spec -> root:int -> G.Tree.t -> result option
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,123 @@
+(** Combinatorial algorithms for broadcast SNE — the first open problem of
+    Section 6 ("design a combinatorial algorithm for SNE ... Lemma 2 may be
+    helpful").
+
+    Two algorithms:
+
+    - [single_constraint_opt]: when the instance has exactly one binding
+      Lemma 2 constraint (the Theorem 11 cycle family, and more generally
+      any tree whose only non-tree edges touch one leaf path), the LP
+      collapses to "buy constraint slack at unit price b_a for 1/n_a slack
+      each", whose optimum is the paper's pack-on-the-least-crowded-edges
+      rule in closed form.
+
+    - [waterfill]: a primal heuristic for the general case. Repeatedly take
+      the most violated Lemma 2 constraint and buy the cheapest slack for
+      it: along the violated player's side of the constraint, raising b_a
+      yields slack at rate 1/n_a, so spend on the largest-1/n_a (deepest)
+      edges first — but only up to the point where the constraint closes.
+      Unlike the greedy all-or-nothing repair this spends fractionally, and
+      unlike the LP it never reconsiders, so it upper-bounds the optimum;
+      the EXP-K ablation measures how closely (it is exact on
+      single-constraint instances by construction). *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+
+  type result = { subsidy : F.t array; cost : F.t; rounds : int }
+
+  let total subsidy = Array.fold_left F.add F.zero subsidy
+
+  (* Slack of the constraint (u, e, v) under the current subsidies:
+     deviation cost minus current cost (negative = violated). *)
+  let constraint_slack spec tree ~subsidy ~u ~edge_id ~v =
+    let shares = Gm.Broadcast.path_shares ~subsidy spec tree in
+    Gm.Broadcast.deviation_slack ~subsidy spec tree ~shares ~u ~edge_id ~v
+
+  (** Close one violated constraint at minimum cost by raising subsidies on
+      the player's side (q1) of the constraint, deepest (least crowded)
+      edges first. Raising b_a by x reduces the player's cost by x/n_a and
+      (for edges below the LCA) leaves the deviation cost unchanged, so the
+      cheapest slack per unit cost is the smallest n_a. Returns the amount
+      spent. *)
+  let close_constraint spec (tree : G.Tree.t) ~subsidy ~u ~edge_id ~v =
+    let graph = spec.Gm.graph in
+    let l = G.Tree.lca tree u v in
+    let violation =
+      F.neg (constraint_slack spec tree ~subsidy ~u ~edge_id ~v)
+    in
+    if F.sign violation <= 0 then F.zero
+    else begin
+      (* q1 edges sorted by usage ascending (deepest first). *)
+      let q1 =
+        G.Tree.path_between tree u l
+        |> List.sort (fun a b -> compare (G.Tree.usage tree a) (G.Tree.usage tree b))
+      in
+      let spent = ref F.zero in
+      let remaining = ref violation in
+      List.iter
+        (fun id ->
+          if F.sign !remaining > 0 then begin
+            let headroom = F.sub (G.weight graph id) subsidy.(id) in
+            if F.sign headroom > 0 then begin
+              let na = F.of_int (G.Tree.usage tree id) in
+              (* x/n_a of slack for x of subsidy: need x = remaining * n_a. *)
+              let want = F.mul !remaining na in
+              let x = F.min want headroom in
+              subsidy.(id) <- F.add subsidy.(id) x;
+              spent := F.add !spent x;
+              remaining := F.sub !remaining (F.div x na)
+            end
+          end)
+        q1;
+      (* A fully subsidized q1 closes any constraint (cost 0 <= rhs), so
+         remaining must have reached zero. *)
+      assert (F.sign !remaining <= 0 || F.approx_equal !remaining F.zero);
+      !spent
+    end
+
+  (** Water-filling heuristic for broadcast SNE: repeatedly close the most
+      violated constraint. Spending on one constraint's q1 can shrink
+      another constraint's deviation side (q2 overlap) and re-violate it, so
+      the loop runs to quiescence; total subsidies grow monotonically and
+      are bounded by wgt(T), with [max_rounds] guarding the tail. Callers
+      verify the result (the tests do); on everything tried it enforces. *)
+  let waterfill ?(max_rounds = 10_000) spec ~root:_ (tree : G.Tree.t) =
+    let subsidy = Array.make (G.n_edges spec.Gm.graph) F.zero in
+    let rec run rounds =
+      if rounds >= max_rounds then rounds
+      else
+        match Gm.Broadcast.tree_violation ~subsidy spec tree with
+        | None -> rounds
+        | Some (u, edge_id, v, _) ->
+            ignore (close_constraint spec tree ~subsidy ~u ~edge_id ~v);
+            run (rounds + 1)
+    in
+    let rounds = run 0 in
+    { subsidy; cost = total subsidy; rounds }
+
+  (** Exact optimum for instances with a single Lemma 2 constraint, by the
+      closed-form packing: the constraint needs V units of cost reduction;
+      buy them on q1's edges in increasing n_a at price n_a per unit.
+      Raises [Invalid_argument] if more than one constraint exists. *)
+  let single_constraint_opt spec ~root (tree : G.Tree.t) =
+    let graph = spec.Gm.graph in
+    (* Collect all Lemma 2 constraints: non-tree edges x orientations. *)
+    let constraints = ref [] in
+    G.fold_edges graph ~init:() ~f:(fun () e ->
+        if not (G.Tree.mem_edge tree e.G.id) then
+          List.iter
+            (fun u -> if u <> root then constraints := (u, e.G.id, G.other graph e.G.id u) :: !constraints)
+            [ e.G.u; e.G.v ]);
+    match !constraints with
+    | [] -> { subsidy = Array.make (G.n_edges graph) F.zero; cost = F.zero; rounds = 0 }
+    | [ (u, edge_id, v) ] ->
+        let subsidy = Array.make (G.n_edges graph) F.zero in
+        let spent = close_constraint spec tree ~subsidy ~u ~edge_id ~v in
+        { subsidy; cost = spent; rounds = 1 }
+    | _ -> invalid_arg "Combinatorial.single_constraint_opt: more than one constraint"
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)

@@ -1,0 +1,31 @@
+(** Combinatorial algorithms for broadcast SNE — the first open problem of
+    Section 6 ("design a combinatorial algorithm for SNE ... Lemma 2 may be
+    helpful"). *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+
+  type result = { subsidy : F.t array; cost : F.t; rounds : int }
+
+  (** Close one violated Lemma 2 constraint at minimum cost by raising
+      subsidies on the player's side, deepest (least crowded) edges first.
+      Mutates [subsidy]; returns the amount spent. *)
+  val close_constraint :
+    Gm.spec -> G.Tree.t -> subsidy:F.t array -> u:int -> edge_id:int -> v:int -> F.t
+
+  (** Water-filling heuristic: repeatedly close the most violated
+      constraint until quiescence. Upper-bounds the LP optimum; matches it
+      on every instance in the EXP-K ablation. Callers verify the result
+      (the tests do). *)
+  val waterfill : ?max_rounds:int -> Gm.spec -> root:int -> G.Tree.t -> result
+
+  (** Exact optimum when the instance has at most one Lemma 2 constraint
+      (e.g. the Theorem 11 cycle family): the closed-form
+      pack-on-least-crowded rule. Raises [Invalid_argument] with more than
+      one constraint. *)
+  val single_constraint_opt : Gm.spec -> root:int -> G.Tree.t -> result
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,167 @@
+(** The constructive upper bound of Theorem 6: subsidies of cost at most
+    wgt(T)/e suffice to enforce a minimum spanning tree of a broadcast game
+    as an equilibrium.
+
+    The algorithm follows the proof:
+
+    1. {b Weight-level decomposition.} The edge weights of the tree are
+       split into levels: if the distinct positive tree weights are
+       w(1) < w(2) < ..., level j covers the increment c_j = w(j) - w(j-1)
+       and an edge is {e heavy} at level j iff its weight is >= w(j). Each
+       level is an instance of Lemma 7 (weights in {0, c_j}), and subsidies
+       add up across levels. (The paper decomposes all of G's weights; on
+       the tree the two decompositions give identical subsidies because the
+       per-level assignment is linear in c_j — see DESIGN.md.)
+
+    2. {b Virtual costs.} At level j, edge [a] with [m_a] heavy players
+       below it has virtual cost c_j * ln(m_a / (m_a - 1 + y_a/c_j)) under
+       subsidy [y_a] — an upper bound on the true share (Claim 8) that
+       depends only on how many heavy edges a path has, not where they are
+       (Claim 10).
+
+    3. {b Packing.} Walking each root path top-down, accumulate the
+       zero-subsidy virtual cost; the first heavy edge pushing the
+       accumulator past c_j gets the fractional subsidy that caps the path's
+       virtual cost at exactly c_j, and every heavy edge below it is fully
+       subsidized.
+
+    The virtual-cost formulas are transcendental (ln/exp), so this module is
+    float-only; the resulting assignment is re-certified by the independent
+    equilibrium checker in tests and benches. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+
+type level = {
+  threshold : float; (* heavy iff original weight >= threshold *)
+  increment : float; (* c_j *)
+  n_heavy : int;
+  level_subsidy : float; (* total subsidies assigned at this level *)
+}
+
+type result = {
+  subsidy : float array; (* per edge id *)
+  total : float;
+  levels : level list;
+  tree_weight : float;
+}
+
+(** ratio of subsidies to tree weight; Theorem 6 bounds it by 1/e. *)
+let ratio r = if r.tree_weight = 0.0 then 0.0 else r.total /. r.tree_weight
+
+(* Heavy-player counts: m.(v) = number of heavy edges in the subtree rooted
+   at v, counting v's own parent edge. m_a for a = (v, parent v) is m.(v). *)
+let heavy_counts (tree : G.Tree.t) ~is_heavy =
+  let n = Array.length (G.Tree.order tree) in
+  let m = Array.make n 0 in
+  let order = G.Tree.order tree in
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let own =
+      match G.Tree.parent_edge tree v with
+      | Some id when is_heavy id -> 1
+      | Some _ | None -> 0
+    in
+    m.(v) <- own + List.fold_left (fun acc c -> acc + m.(c)) 0 (G.Tree.children tree v)
+  done;
+  m
+
+(* One Lemma 7 instance: weights in {0, c}; assign packed subsidies. Adds
+   into [subsidy]; returns the total assigned at this level. *)
+let assign_level ~tree ~is_heavy ~c ~subsidy =
+  let m = heavy_counts tree ~is_heavy in
+  let total = ref 0.0 in
+  let give id amount =
+    subsidy.(id) <- subsidy.(id) +. amount;
+    total := !total +. amount
+  in
+  (* acc = zero-subsidy virtual cost of the path from the root down to the
+     current node; saturated once >= c (then everything below is fully
+     subsidized). *)
+  let rec walk v acc =
+    List.iter
+      (fun child ->
+        let id = Option.get (G.Tree.parent_edge tree child) in
+        if not (is_heavy id) then walk child acc
+        else if acc >= c then begin
+          give id c;
+          walk child acc
+        end
+        else begin
+          let ma = float_of_int m.(child) in
+          let vc = if m.(child) = 1 then Float.infinity else c *. Stdlib.log (ma /. (ma -. 1.0)) in
+          if acc +. vc < c then walk child (acc +. vc)
+          else begin
+            (* The S-edge: cap the path's virtual cost at exactly c. *)
+            let b = c *. (1.0 -. (ma *. (1.0 -. Stdlib.exp ((acc /. c) -. 1.0)))) in
+            give id (Repro_util.Floatx.clamp ~lo:0.0 ~hi:c b);
+            walk child Float.infinity
+          end
+        end)
+      (G.Tree.children tree v)
+  in
+  walk (G.Tree.root tree) 0.0;
+  !total
+
+(** Compute the Theorem 6 subsidy assignment for a minimum spanning tree
+    [tree] of the broadcast game on [graph]. The bound (and the proof) need
+    [tree] to be an MST; this is asserted. *)
+let subsidize_mst (graph : G.t) (tree : G.Tree.t) =
+  (match G.mst_kruskal graph with
+  | Some ids ->
+      let mst_w = G.total_weight graph ids in
+      if not (Repro_util.Floatx.approx_eq ~eps:1e-6 mst_w (G.Tree.total_weight tree)) then
+        invalid_arg "Enforce.subsidize_mst: target tree is not a minimum spanning tree"
+  | None -> invalid_arg "Enforce.subsidize_mst: disconnected graph");
+  let tree_edges = G.Tree.edge_ids tree in
+  let weights =
+    List.filter_map
+      (fun id ->
+        let w = G.weight graph id in
+        if w > 0.0 then Some w else None)
+      tree_edges
+    |> List.sort_uniq compare
+  in
+  let subsidy = Array.make (G.n_edges graph) 0.0 in
+  let _, levels =
+    List.fold_left
+      (fun (prev, levels) threshold ->
+        let c = threshold -. prev in
+        let is_heavy id =
+          G.Tree.mem_edge tree id && G.weight graph id >= threshold -. 1e-12
+        in
+        let n_heavy = List.length (List.filter is_heavy tree_edges) in
+        let level_subsidy = assign_level ~tree ~is_heavy ~c ~subsidy in
+        (threshold, { threshold; increment = c; n_heavy; level_subsidy } :: levels))
+      (0.0, []) weights
+  in
+  let total = Array.fold_left ( +. ) 0.0 subsidy in
+  { subsidy; total; levels = List.rev levels; tree_weight = G.Tree.total_weight tree }
+
+(** The virtual cost function of Lemma 7, exposed for the Figure 4
+    reproduction: vc(a, y) for an edge with [m] heavy users, level weight
+    [c] and subsidy [y]. *)
+let virtual_cost ~c ~m ~y =
+  if m < 1 then invalid_arg "Enforce.virtual_cost: m >= 1 required";
+  let ma = float_of_int m in
+  c *. Stdlib.log (ma /. (ma -. 1.0 +. (y /. c)))
+
+(** Real share of the deepest player on such an edge: (c - y)/m. *)
+let real_share ~c ~m ~y = (c -. y) /. float_of_int m
+
+(** Pack an amount [y] of subsidies on the least crowded heavy edges of a
+    path whose heavy edges have m-values [1; 2; ...; k] (the Figure 4
+    setting): returns per-edge subsidies, least crowded first. *)
+let pack_on_path ~c ~k ~y =
+  if y < 0.0 || y > (float_of_int k *. c) +. 1e-9 then
+    invalid_arg "Enforce.pack_on_path: budget out of range";
+  let out = Array.make k 0.0 in
+  let rec go i remaining =
+    if i < k && remaining > 0.0 then begin
+      let amount = Float.min c remaining in
+      out.(i) <- amount;
+      go (i + 1) (remaining -. amount)
+    end
+  in
+  go 0 y;
+  out

@@ -1,0 +1,45 @@
+(** The constructive Theorem 6 upper bound: subsidies of cost at most
+    wgt(T)/e enforcing a minimum spanning tree of a broadcast game, via the
+    weight-level decomposition and virtual-cost packing of Lemma 7.
+
+    Float-only (the virtual-cost formulas are transcendental); the output
+    is re-certified by the independent equilibrium checker in tests. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+
+(** One weight level of the decomposition. *)
+type level = {
+  threshold : float; (** heavy iff original weight >= threshold *)
+  increment : float; (** c_j *)
+  n_heavy : int;
+  level_subsidy : float; (** total assigned at this level *)
+}
+
+type result = {
+  subsidy : float array; (** per edge id *)
+  total : float;
+  levels : level list;
+  tree_weight : float;
+}
+
+(** total / wgt(T); Theorem 6 bounds it by 1/e. *)
+val ratio : result -> float
+
+(** Compute the Theorem 6 subsidy assignment. Requires [tree] to be a
+    minimum spanning tree of [graph] (checked; [Invalid_argument]
+    otherwise — the bound and proof need it). *)
+val subsidize_mst : G.t -> G.Tree.t -> result
+
+(** {1 Virtual-cost toolbox (Figure 4, Claims 8 and 10)} *)
+
+(** vc(a, y) = c ln(m / (m - 1 + y/c)) for an edge with [m] heavy users at
+    level weight [c] under subsidy [y]. Requires [m >= 1]. *)
+val virtual_cost : c:float -> m:int -> y:float -> float
+
+(** The deepest player's true share, (c - y)/m. *)
+val real_share : c:float -> m:int -> y:float -> float
+
+(** Pack a budget [y] on the least crowded heavy edges of a path with
+    m-values 1..k: per-edge subsidies, least crowded first. *)
+val pack_on_path : c:float -> k:int -> y:float -> float array

@@ -1,0 +1,61 @@
+(** Random broadcast-game instance generators for experiments and tests.
+
+    All generators are deterministic in the supplied PRNG. Weight
+    distributions matter for subsidy experiments: uniform weights make most
+    MSTs nearly-equilibria, while heavy-tailed weights create the crowded
+    shared paths on which subsidies bind, so both are provided. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Prng = Repro_util.Prng
+
+type t = { graph : G.t; root : int; seed : int }
+
+let spec i = Gm.broadcast ~graph:i.graph ~root:i.root
+
+let mst_tree i =
+  match G.mst_kruskal i.graph with
+  | Some ids -> G.Tree.of_edge_ids i.graph ~root:i.root ids
+  | None -> assert false (* generators only build connected graphs *)
+
+type weight_distribution =
+  | Uniform of float (* uniform on [0, w) *)
+  | Integer of int (* uniform integer in [1, k] *)
+  | Heavy_tailed of float (* w * u^3: a few expensive links, many cheap *)
+
+let draw dist rng =
+  match dist with
+  | Uniform w -> Prng.float rng w
+  | Integer k -> float_of_int (Prng.int_in_range rng ~lo:1 ~hi:k)
+  | Heavy_tailed w ->
+      let u = Prng.float rng 1.0 in
+      w *. u *. u *. u
+
+(** Random connected broadcast instance: [n] nodes, a random tree plus
+    [extra] shortcut edges, weights from [dist], random root. *)
+let random ?(dist = Integer 10) ~n ~extra ~seed () =
+  let rng = Prng.create seed in
+  let graph = G.Gen.random_connected rng ~n ~extra_edges:extra ~rand_weight:(draw dist) in
+  { graph; root = Prng.int rng n; seed }
+
+(** The "ring city": a cycle of [n] sites with a few random chords —
+    the topology on which the Theorem 11 behaviour shows up organically. *)
+let ring_city ~n ~chords ~seed () =
+  let rng = Prng.create seed in
+  let base = List.init n (fun i -> (i, (i + 1) mod n, 1.0 +. Prng.float rng 0.5)) in
+  let chord _ =
+    let u = Prng.int rng n in
+    let v = (u + 2 + Prng.int rng (n - 3)) mod n in
+    (u, v, 1.5 +. Prng.float rng 2.0)
+  in
+  let graph = G.create ~n (base @ List.init chords chord) in
+  { graph; root = 0; seed }
+
+(** Grid metro: a rows x cols grid with perturbed unit weights and a
+    diagonal express link; models the metro build-out example. *)
+let grid_metro ~rows ~cols ~seed () =
+  let rng = Prng.create seed in
+  let graph =
+    G.Gen.grid ~rows ~cols ~weight:(fun _ _ -> 1.0 +. Prng.float rng 0.2)
+  in
+  { graph; root = 0; seed }

@@ -1,0 +1,31 @@
+(** Random broadcast-game instance generators (float stack), deterministic
+    in the seed. Weight distributions matter: uniform weights make most
+    MSTs nearly-equilibria; heavy-tailed weights create the crowded shared
+    paths on which subsidies bind. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+
+type t = { graph : G.t; root : int; seed : int }
+
+val spec : t -> Gm.spec
+
+(** The instance's MST as a rooted tree (generators always build connected
+    graphs). *)
+val mst_tree : t -> G.Tree.t
+
+type weight_distribution =
+  | Uniform of float (** uniform on [0, w) *)
+  | Integer of int (** uniform integer in [1, k] *)
+  | Heavy_tailed of float (** w * u^3: few expensive links, many cheap *)
+
+(** Random connected instance: random tree + [extra] shortcuts, random
+    root. *)
+val random : ?dist:weight_distribution -> n:int -> extra:int -> seed:int -> unit -> t
+
+(** Cycle of [n] sites with random chords — Theorem 11 behaviour arises
+    organically here. *)
+val ring_city : n:int -> chords:int -> seed:int -> unit -> t
+
+(** Grid with perturbed unit weights; the metro example's topology. *)
+val grid_metro : rows:int -> cols:int -> seed:int -> unit -> t

@@ -1,0 +1,61 @@
+(** The paper's lower-bound instance families.
+
+    - Theorem 11: a unit-weight cycle on n+1 nodes, target tree = the
+      n-edge path. Enforcing it needs subsidies approaching wgt(T)/e.
+    - Theorem 21: a path with a heavy last edge plus two shortcut edges from
+      the root; any all-or-nothing assignment enforcing it costs at least
+      (e/(2e-1) - eps) * wgt(T). *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+
+  type instance = {
+    graph : G.t;
+    root : int;
+    tree_edge_ids : int list; (* the target spanning tree *)
+  }
+
+  let spec i = Gm.broadcast ~graph:i.graph ~root:i.root
+  let tree i = G.Tree.of_edge_ids i.graph ~root:i.root i.tree_edge_ids
+
+  (** Theorem 11 instance: nodes r = 0, v_1 ... v_n on a unit cycle. The
+      target tree drops the edge (r, v_1), so the player at v_1 is tempted
+      by that direct edge and subsidies must flow to the far end of the
+      path. *)
+  let cycle_instance ~n =
+    if n < 2 then invalid_arg "Lower_bounds.cycle_instance: n >= 2";
+    (* Edge ids: 0 = (0,1) [dropped from T]; i = (i, i+1) for 1 <= i <= n-1;
+       n = (n, 0). *)
+    let spec_edges =
+      (0, 1, F.one)
+      :: List.init (n - 1) (fun i -> (i + 1, i + 2, F.one))
+      @ [ (n, 0, F.one) ]
+    in
+    let graph = G.create ~n:(n + 1) spec_edges in
+    { graph; root = 0; tree_edge_ids = List.init n (fun i -> i + 1) }
+
+  (** Theorem 21 instance: path <r, v_1, ..., v_n> with edges of weight [x]
+      except the last, of weight 1; plus shortcut edges (r, v_{n-1}) of
+      weight [x] and (r, v_n) of weight 1. The paper's bound takes
+      x = 1/(n - n/e + 1); the instance is valid for any x in (0, 1]. *)
+  let aon_path_instance ~n ~x =
+    if n < 3 then invalid_arg "Lower_bounds.aon_path_instance: n >= 3";
+    if F.sign x <= 0 then invalid_arg "Lower_bounds.aon_path_instance: x > 0";
+    (* Edge ids: 0..n-2 = path edges (i, i+1) with weight x for i < n-1 and
+       weight 1 for the last one; n-1 = (0, n-1) weight x; n = (0, n)
+       weight 1. *)
+    let path_edges =
+      List.init n (fun i -> (i, i + 1, if i = n - 1 then F.one else x))
+    in
+    let graph = G.create ~n:(n + 1) (path_edges @ [ (0, n - 1, x); (0, n, F.one) ]) in
+    { graph; root = 0; tree_edge_ids = List.init n (fun i -> i) }
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)
+
+(** The x of Theorem 21's proof, x = 1/(n - n/e + 1), as a float. *)
+let theorem21_x ~n =
+  let nf = float_of_int n in
+  1.0 /. (nf -. (nf /. Stdlib.exp 1.0) +. 1.0)

@@ -1,0 +1,33 @@
+(** The paper's lower-bound instance families: the unit cycle of Theorem 11
+    (fractional subsidies approach wgt(T)/e) and the shortcut path of
+    Theorem 21 (all-or-nothing subsidies approach e/(2e-1)·wgt(T)). *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+
+  type instance = {
+    graph : G.t;
+    root : int;
+    tree_edge_ids : int list; (** the target spanning tree *)
+  }
+
+  val spec : instance -> Gm.spec
+  val tree : instance -> G.Tree.t
+
+  (** Theorem 11: unit cycle on n+1 nodes, target = the spanning path
+      (the edge (root, v_1) is the dropped temptation). Needs n >= 2. *)
+  val cycle_instance : n:int -> instance
+
+  (** Theorem 21: path of weight-[x] edges with a final weight-1 edge, plus
+      shortcut edges (root, v_{n-1}) of weight x and (root, v_n) of
+      weight 1. The paper's bound uses x = 1/(n - n/e + 1)
+      ({!theorem21_x}); any x in (0, 1] is a valid instance. *)
+  val aon_path_instance : n:int -> x:F.t -> instance
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)
+
+(** x = 1/(n - n/e + 1), as a float. *)
+val theorem21_x : n:int -> float

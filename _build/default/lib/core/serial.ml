@@ -1,0 +1,133 @@
+(** Plain-text instance serialization, so instances can be saved, shared
+    and fed to the CLI.
+
+    Format (comment lines start with [#]; whitespace separated):
+
+    {v
+    # broadcast network design instance
+    nodes 5
+    root 0
+    edge 0 1 2.5        # u v weight
+    edge 1 2 1/3        # rationals allowed
+    tree 0 1 3 4        # optional: target tree edge ids (by declaration order)
+    subsidy 2 0.75      # optional: edge id, amount
+    v}
+
+    Weights are parsed by the field's own reader, so the same file loads
+    into the float and the exact-rational stacks (floats parse "1/3" too,
+    by division). Writers always emit the field's [to_string]. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+
+  type t = {
+    graph : G.t;
+    root : int;
+    tree_edge_ids : int list option;
+    subsidy : (int * F.t) list;
+  }
+
+  let parse_weight s =
+    match String.index_opt s '/' with
+    | Some i ->
+        let num = String.sub s 0 i and den = String.sub s (i + 1) (String.length s - i - 1) in
+        F.div (F.of_int (int_of_string num)) (F.of_int (int_of_string den))
+    | None -> (
+        (* Integers go through of_int to stay exact in the rational field;
+           decimals are only meaningful for the float field. *)
+        match int_of_string_opt s with
+        | Some i -> F.of_int i
+        | None -> (
+            match float_of_string_opt s with
+            | Some f ->
+                (* Scale through a power of ten to keep rationals exact. *)
+                let scaled = Float.round (f *. 1e6) in
+                F.div (F.of_int (int_of_float scaled)) (F.of_int 1_000_000)
+            | None -> failwith (Printf.sprintf "Serial: cannot parse weight %S" s)))
+
+  let of_string text =
+    let nodes = ref None in
+    let root = ref 0 in
+    let edges = ref [] in
+    let tree = ref None in
+    let subsidy = ref [] in
+    String.split_on_char '\n' text
+    |> List.iteri (fun lineno line ->
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           let fail msg = failwith (Printf.sprintf "Serial line %d: %s" (lineno + 1) msg) in
+           match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+           | [] -> ()
+           | [ "nodes"; n ] -> nodes := Some (int_of_string n)
+           | [ "root"; r ] -> root := int_of_string r
+           | [ "edge"; u; v; w ] ->
+               edges := (int_of_string u, int_of_string v, parse_weight w) :: !edges
+           | "tree" :: ids -> tree := Some (List.map int_of_string ids)
+           | [ "subsidy"; id; amount ] ->
+               subsidy := (int_of_string id, parse_weight amount) :: !subsidy
+           | tok :: _ -> fail (Printf.sprintf "unknown directive %S" tok))
+    |> ignore;
+    let n = match !nodes with Some n -> n | None -> failwith "Serial: missing 'nodes'" in
+    let graph = G.create ~n (List.rev !edges) in
+    if !root < 0 || !root >= n then failwith "Serial: root out of range";
+    { graph; root = !root; tree_edge_ids = !tree; subsidy = List.rev !subsidy }
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "# broadcast network design instance\n";
+    Buffer.add_string buf (Printf.sprintf "nodes %d\n" (G.n_nodes t.graph));
+    Buffer.add_string buf (Printf.sprintf "root %d\n" t.root);
+    G.fold_edges t.graph ~init:() ~f:(fun () e ->
+        Buffer.add_string buf
+          (Printf.sprintf "edge %d %d %s\n" e.G.u e.G.v (F.to_string e.G.weight)));
+    (match t.tree_edge_ids with
+    | Some ids ->
+        Buffer.add_string buf
+          ("tree " ^ String.concat " " (List.map string_of_int ids) ^ "\n")
+    | None -> ());
+    List.iter
+      (fun (id, b) -> Buffer.add_string buf (Printf.sprintf "subsidy %d %s\n" id (F.to_string b)))
+      t.subsidy;
+    Buffer.contents buf
+
+  let load path =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    of_string text
+
+  let save path t =
+    let oc = open_out path in
+    output_string oc (to_string t);
+    close_out oc
+
+  (** The subsidy list as a dense per-edge array. *)
+  let subsidy_array t =
+    let b = Array.make (G.n_edges t.graph) F.zero in
+    List.iter
+      (fun (id, v) ->
+        if id < 0 || id >= Array.length b then failwith "Serial: subsidy edge id out of range";
+        b.(id) <- v)
+      t.subsidy;
+    b
+
+  (** The declared target tree (or the MST when none is declared). *)
+  let target_tree t =
+    let ids =
+      match t.tree_edge_ids with
+      | Some ids -> ids
+      | None -> (
+          match G.mst_kruskal t.graph with
+          | Some ids -> ids
+          | None -> failwith "Serial: disconnected instance")
+    in
+    G.Tree.of_edge_ids t.graph ~root:t.root ids
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)

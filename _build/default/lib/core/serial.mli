@@ -1,0 +1,32 @@
+(** Plain-text instance serialization (the format the CLI's [--file]
+    accepts): [nodes]/[root]/[edge u v w]/[tree ids...]/[subsidy id amount]
+    directives, [#] comments, weights as integers, [n/d] fractions or
+    decimals. The same file loads exactly into both field stacks. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+
+  type t = {
+    graph : G.t;
+    root : int;
+    tree_edge_ids : int list option;
+    subsidy : (int * F.t) list;
+  }
+
+  (** Raises [Failure] with a line number on malformed input. *)
+  val of_string : string -> t
+
+  val to_string : t -> string
+  val load : string -> t
+  val save : string -> t -> unit
+
+  (** The subsidy list as a dense per-edge array. *)
+  val subsidy_array : t -> F.t array
+
+  (** The declared target tree, or the MST when none is declared. *)
+  val target_tree : t -> G.Tree.t
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

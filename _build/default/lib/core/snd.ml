@@ -1,0 +1,186 @@
+(** STABLE NETWORK DESIGN: find the cheapest network enforceable within a
+    subsidy budget.
+
+    SND is NP-hard even for broadcast games with budget zero (Theorem 3), so
+    there is an exact solver for small instances (spanning-tree enumeration,
+    each tree priced by the LP (3) optimum) and two heuristics for larger
+    ones. All operate on broadcast games with spanning-tree designs; by the
+    cycle argument of Section 2 this loses nothing. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+  module Sne = Sne_lp.Make (F)
+  module Aon = Aon.Make (F)
+
+  type design = {
+    tree_edges : int list;
+    weight : F.t; (* social cost of the design *)
+    subsidy : F.t array;
+    subsidy_cost : F.t;
+  }
+
+  let design_of_tree spec ~root graph ids =
+    let tree = G.Tree.of_edge_ids graph ~root ids in
+    let r = Sne.broadcast spec ~root tree in
+    {
+      tree_edges = ids;
+      weight = G.total_weight graph ids;
+      subsidy = r.Sne.subsidy;
+      subsidy_cost = r.Sne.cost;
+    }
+
+  (** Exact SND on small instances: enumerate every spanning tree, keep the
+      lightest whose minimum enforcement cost fits the budget. Such a tree
+      always exists when [budget >= 0] is large enough; with small budgets
+      the best equilibrium tree of the unsubsidized game is still feasible
+      at subsidy 0, so the result is [None] only for disconnected graphs. *)
+  let exact_small ~graph ~root ~budget =
+    let spec = Gm.broadcast ~graph ~root in
+    let best = ref None in
+    G.Enumerate.iter_spanning_trees graph ~f:(fun ids ->
+        let w = G.total_weight graph ids in
+        let promising =
+          match !best with Some d -> F.lt w d.weight | None -> true
+        in
+        if promising then begin
+          let d = design_of_tree spec ~root graph ids in
+          if F.leq d.subsidy_cost budget then best := Some d
+        end);
+    !best
+
+  (** The integral (all-or-nothing) version of SND, as defined in
+      Section 2: subsidies must cover whole edges. Enumerate spanning
+      trees, price each with the exact all-or-nothing solver, keep the
+      lightest within budget. Doubly exponential (trees x subsets):
+      genuinely tiny instances only — which is the point; Theorem 12 says
+      nothing better exists in general. *)
+  let exact_small_aon ?(max_nodes = 500_000) ~graph ~root ~budget () =
+    let spec = Gm.broadcast ~graph ~root in
+    let best = ref None in
+    G.Enumerate.iter_spanning_trees graph ~f:(fun ids ->
+        let w = G.total_weight graph ids in
+        let promising =
+          match !best with Some (bw, _, _) -> F.lt w bw | None -> true
+        in
+        if promising then begin
+          let tree = G.Tree.of_edge_ids graph ~root ids in
+          let r = Aon.solve_exact ~max_nodes spec tree in
+          if r.Aon.optimal && F.leq r.Aon.cost budget then best := Some (w, ids, r)
+        end);
+    Option.map
+      (fun (w, ids, (r : Aon.result)) ->
+        {
+          tree_edges = ids;
+          weight = w;
+          subsidy = Aon.subsidy_of_chosen graph r.Aon.chosen;
+          subsidy_cost = r.Aon.cost;
+        })
+      !best
+
+  (** The designer's budget menu — the paper's motivating question "what is
+      the best design the network designer can guarantee given this
+      budget?" made concrete: all Pareto-optimal (subsidy budget, design
+      weight) pairs over spanning trees, cheapest-weight first. Walking the
+      list left to right, each point is the cheapest enforceable design
+      whose required budget does not exceed the given one. Exponential
+      (tree enumeration x one LP each): small instances. *)
+  let pareto_frontier ~graph ~root =
+    let spec = Gm.broadcast ~graph ~root in
+    let points = ref [] in
+    G.Enumerate.iter_spanning_trees graph ~f:(fun ids ->
+        let d = design_of_tree spec ~root graph ids in
+        points := d :: !points);
+    (* Sort by weight, then cost; keep the strictly-decreasing-cost
+       frontier. *)
+    let sorted =
+      List.sort
+        (fun a b ->
+          let c = F.compare a.weight b.weight in
+          if c <> 0 then c else F.compare a.subsidy_cost b.subsidy_cost)
+        !points
+    in
+    let frontier = ref [] in
+    List.iter
+      (fun d ->
+        match !frontier with
+        | best :: _ when F.leq best.subsidy_cost d.subsidy_cost -> ()
+        | _ -> frontier := d :: !frontier)
+      sorted;
+    List.rev !frontier
+
+  (** The cheapest design enforceable within [budget], read off a
+      precomputed frontier. *)
+  let best_for_budget frontier ~budget =
+    List.fold_left
+      (fun acc d ->
+        if F.leq d.subsidy_cost budget then
+          match acc with
+          | Some best when F.leq best.weight d.weight -> acc
+          | _ -> Some d
+        else acc)
+      None frontier
+
+  (** The Theorem 6-flavoured heuristic: take a minimum spanning tree and
+      price its enforcement with the LP; feasible iff the optimum fits the
+      budget (and by Theorem 6 a budget of wgt(MST)/e always suffices). *)
+  let mst_heuristic ~graph ~root ~budget =
+    match G.mst_kruskal graph with
+    | None -> None
+    | Some ids ->
+        let spec = Gm.broadcast ~graph ~root in
+        let d = design_of_tree spec ~root graph ids in
+        if F.leq d.subsidy_cost budget then Some d else None
+
+  (** Local search: start from the MST; while enforcement exceeds the
+      budget, try single edge swaps (add one non-tree edge, drop one tree
+      edge on the created cycle) and move to the swap that minimizes
+      (infeasibility, weight) lexicographically. Returns the first feasible
+      design found, or [None] after [max_iters] rounds without one. *)
+  let local_search ?(max_iters = 50) ~graph ~root ~budget () =
+    match G.mst_kruskal graph with
+    | None -> None
+    | Some start ->
+        let spec = Gm.broadcast ~graph ~root in
+        let rec improve ids iter =
+          let d = design_of_tree spec ~root graph ids in
+          if F.leq d.subsidy_cost budget then Some d
+          else if iter >= max_iters then None
+          else begin
+            let tree = G.Tree.of_edge_ids graph ~root ids in
+            let best = ref None in
+            let consider ids' =
+              let d' = design_of_tree spec ~root graph ids' in
+              let over = F.max F.zero (F.sub d'.subsidy_cost budget) in
+              let key = (over, d'.weight) in
+              let better =
+                match !best with
+                | None -> true
+                | Some ((o, w), _) ->
+                    let c = F.compare (fst key) o in
+                    c < 0 || (c = 0 && F.compare (snd key) w < 0)
+              in
+              if better then best := Some (key, ids')
+            in
+            G.fold_edges graph ~init:() ~f:(fun () e ->
+                if not (G.Tree.mem_edge tree e.G.id) then
+                  (* Swapping e in: any tree edge on the path between its
+                     endpoints can leave. *)
+                  List.iter
+                    (fun out ->
+                      let ids' =
+                        List.sort compare (e.G.id :: List.filter (( <> ) out) ids)
+                      in
+                      consider ids')
+                    (G.Tree.path_between tree e.G.u e.G.v));
+            match !best with
+            | Some ((over, _), ids') when F.sign over = 0 -> improve ids' iter
+            | Some (_, ids') when ids' <> ids -> improve ids' (iter + 1)
+            | _ -> None
+          end
+        in
+        improve start 0
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)

@@ -1,0 +1,49 @@
+(** STABLE NETWORK DESIGN: the cheapest network enforceable within a
+    subsidy budget. NP-hard even at budget zero (Theorem 3), so: an exact
+    solver for small instances, the budget/weight Pareto frontier (the
+    paper's motivating trade-off, computed exactly), and two heuristics. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+  module Sne : module type of Sne_lp.Make (F)
+
+  type design = {
+    tree_edges : int list;
+    weight : F.t; (** social cost of the design *)
+    subsidy : F.t array;
+    subsidy_cost : F.t; (** its minimum enforcement cost (LP (3)) *)
+  }
+
+  module Aon : module type of Aon.Make (F)
+
+  (** Exact SND: lightest spanning tree whose LP enforcement cost fits the
+      budget. Exponential (tree enumeration); [None] only on disconnected
+      graphs. *)
+  val exact_small : graph:G.t -> root:int -> budget:F.t -> design option
+
+  (** The integral SND of Section 2 (whole-edge subsidies): tree
+      enumeration x exact all-or-nothing pricing. Doubly exponential;
+      tiny instances. *)
+  val exact_small_aon :
+    ?max_nodes:int -> graph:G.t -> root:int -> budget:F.t -> unit -> design option
+
+  (** All Pareto-optimal (required budget, design weight) pairs over
+      spanning trees, cheapest weight first — the designer's menu.
+      Exponential; small instances. *)
+  val pareto_frontier : graph:G.t -> root:int -> design list
+
+  (** Cheapest design on a precomputed frontier affordable at [budget]. *)
+  val best_for_budget : design list -> budget:F.t -> design option
+
+  (** Price the MST's enforcement; feasible iff it fits the budget (by
+      Theorem 6 a budget of wgt(MST)/e always does). *)
+  val mst_heuristic : graph:G.t -> root:int -> budget:F.t -> design option
+
+  (** Edge-swap local search from the MST toward a feasible design. *)
+  val local_search :
+    ?max_iters:int -> graph:G.t -> root:int -> budget:F.t -> unit -> design option
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,52 @@
+(** STABLE NETWORK ENFORCEMENT via linear programming (Theorem 1), plus the
+    weighted-player extension of Section 6.
+
+    All solvers compute a minimum-cost subsidy assignment enforcing a given
+    state; SNE is always feasible (fully subsidizing the target works), so
+    they never report infeasibility (an LP failure raises — it would be a
+    bug). *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module W : module type of Repro_game.Weighted.Make (F)
+  module G : module type of Gm.G
+  module Lp : module type of Repro_lp.Simplex.Make (F)
+
+  type result = {
+    subsidy : F.t array; (** edge-indexed; zero outside the target *)
+    cost : F.t; (** total subsidies *)
+  }
+
+  type cutting_plane_stats = { rounds : int; generated : int; converged : bool }
+
+  (** LP (3): the compact broadcast formulation — one variable per tree
+      edge, one constraint per (player, incident non-tree edge) with the
+      LCA cancellation of Lemma 2's proof. *)
+  val broadcast : Gm.spec -> root:int -> G.Tree.t -> result
+
+  (** The weighted one-non-tree-edge analogue of LP (3). For unit demands
+      this is exact (Lemma 2); for general demands it is only a
+      {e relaxation} — see [weighted_cutting_plane]. *)
+  val weighted_broadcast : W.spec -> root:int -> G.Tree.t -> result
+
+  (** Exact weighted SNE by constraint generation with the weighted
+      best-response oracle. Lemma 2's single-edge deviation family is
+      insufficient for weighted games (the tests pin a witness), so the
+      exact solver generates violated path constraints until none remain. *)
+  val weighted_cutting_plane :
+    ?max_rounds:int -> W.spec -> state:Gm.state -> result * cutting_plane_stats
+
+  (** LP (2): the polynomial-size formulation for general games —
+      shortest-path potentials pi_i(v) simulate the separation oracle
+      inside the LP. *)
+  val poly : Gm.spec -> state:Gm.state -> result
+
+  (** LP (1) solved by cutting planes: the paper's ellipsoid + Dijkstra
+      separation oracle, run as the standard constraint-generation loop
+      (DESIGN.md §2). *)
+  val cutting_plane :
+    ?max_rounds:int -> Gm.spec -> state:Gm.state -> result * cutting_plane_stats
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,1 @@
+lib/field/bigint.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/field/field.ml: Float Format List Printf Rational Repro_util

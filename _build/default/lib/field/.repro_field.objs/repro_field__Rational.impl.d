@@ -1,0 +1,1 @@
+lib/field/rational.ml: Bigint Float Format String

@@ -1,0 +1,1 @@
+lib/field/rational.mli: Bigint Format

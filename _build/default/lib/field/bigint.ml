@@ -1,0 +1,395 @@
+(** Arbitrary-precision signed integers.
+
+    No bignum library is available in the sealed build environment, and the
+    exact-rational simplex backend (used to certify equilibria in the
+    Theorem 12 gadget graphs, whose edge weights differ by quantities floats
+    cannot resolve) needs integers far beyond 63 bits: simplex pivoting grows
+    numerators and denominators multiplicatively. So we implement bignums
+    from scratch.
+
+    Representation: sign (-1/0/+1) plus a little-endian magnitude in base
+    2^30. Base 2^30 keeps every intermediate product of two digits plus a
+    carry within OCaml's 63-bit native ints. Division is Knuth's Algorithm D.
+    The magnitude array never has a leading zero limb, and is empty exactly
+    when the sign is 0 — [check] enforces this invariant in debug builds. *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+(* ------------------------------------------------------------------ *)
+(* Invariants and construction                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_normalized t =
+  (t.sign = 0 && Array.length t.mag = 0)
+  || ((t.sign = 1 || t.sign = -1)
+     && Array.length t.mag > 0
+     && t.mag.(Array.length t.mag - 1) <> 0
+     && Array.for_all (fun d -> 0 <= d && d < base) t.mag)
+
+let zero = { sign = 0; mag = [||] }
+
+(* Strip leading zero limbs; produce a canonical value. *)
+let make sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else
+    let mag = if !n = Array.length mag then mag else Array.sub mag 0 !n in
+    { sign; mag }
+
+let of_int i =
+  if i = 0 then zero
+  else
+    let sign = if i > 0 then 1 else -1 in
+    (* min_int has no positive counterpart; go through two limbs directly. *)
+    let a = if i = min_int then max_int else abs i in
+    let extra = if i = min_int then 1 else 0 in
+    let rec limbs a = if a = 0 then [] else (a land mask) :: limbs (a lsr base_bits) in
+    let l = limbs a in
+    let mag = Array.of_list l in
+    if extra = 0 then make sign mag
+    else
+      (* |min_int| = max_int + 1: add 1 back to the magnitude. *)
+      let m = Array.copy mag in
+      let rec inc i =
+        if i = Array.length m then { sign; mag = Array.append m [| 1 |] }
+        else if m.(i) = mask then (
+          m.(i) <- 0;
+          inc (i + 1))
+        else (
+          m.(i) <- m.(i) + 1;
+          { sign; mag = m })
+      in
+      inc 0
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude arithmetic (unsigned little-endian arrays)                *)
+(* ------------------------------------------------------------------ *)
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then (
+      r.(i) <- s + base;
+      borrow := 1)
+    else (
+      r.(i) <- s;
+      borrow := 0)
+  done;
+  assert (!borrow = 0);
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          (* ai * b.(j) <= (2^30-1)^2 < 2^60; adding r and carry stays < 2^62. *)
+          let p = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p land mask;
+          carry := p lsr base_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    r
+  end
+
+(* Shift a magnitude left by [s] bits, 0 <= s < base_bits. *)
+let shl_small a s =
+  if s = 0 then Array.copy a
+  else
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      r.(i) <- v land mask;
+      carry := v lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+
+(* Shift a magnitude right by [s] bits, 0 <= s < base_bits. *)
+let shr_small a s =
+  if s = 0 then Array.copy a
+  else
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    let carry = ref 0 in
+    for i = la - 1 downto 0 do
+      r.(i) <- (a.(i) lsr s) lor (!carry lsl (base_bits - s));
+      carry := a.(i) land ((1 lsl s) - 1)
+    done;
+    r
+
+(* Divide a magnitude by a single digit 0 < d < base. *)
+let divmod_small_mag a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (q, !rem)
+
+let bit_length_digit d =
+  let rec go d acc = if d = 0 then acc else go (d lsr 1) (acc + 1) in
+  go d 0
+
+(* Knuth TAOCP vol. 2, Algorithm D. Requires |v| >= 2 limbs and |u| >= |v|. *)
+let divmod_knuth u v =
+  let n = Array.length v in
+  let shift = base_bits - bit_length_digit v.(n - 1) in
+  let vn = shl_small v shift in
+  let vn = Array.sub vn 0 n (* top limb of the shift is 0 by construction *) in
+  let un0 = shl_small u shift in
+  (* Ensure un has exactly (length u + 1) limbs after the shift. *)
+  let m_limbs = Array.length u + 1 in
+  let un = Array.make m_limbs 0 in
+  Array.blit un0 0 un 0 (min (Array.length un0) m_limbs);
+  let m = m_limbs - 1 - n in
+  let q = Array.make (m + 1) 0 in
+  let vtop = vn.(n - 1) and vsecond = vn.(n - 2) in
+  for j = m downto 0 do
+    let top2 = (un.(j + n) lsl base_bits) lor un.(j + n - 1) in
+    let qhat = ref (top2 / vtop) and rhat = ref (top2 mod vtop) in
+    let adjust = ref true in
+    while !adjust do
+      if !qhat >= base || !qhat * vsecond > (!rhat lsl base_bits) lor un.(j + n - 2) then begin
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then adjust := false
+      end
+      else adjust := false
+    done;
+    (* Multiply-and-subtract qhat * vn from un[j .. j+n]. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * vn.(i)) + !carry in
+      carry := p lsr base_bits;
+      let s = un.(i + j) - (p land mask) - !borrow in
+      if s < 0 then (
+        un.(i + j) <- s + base;
+        borrow := 1)
+      else (
+        un.(i + j) <- s;
+        borrow := 0)
+    done;
+    let s = un.(j + n) - !carry - !borrow in
+    if s < 0 then begin
+      (* qhat was one too large; add vn back. *)
+      un.(j + n) <- s + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let t = un.(i + j) + vn.(i) + !carry in
+        un.(i + j) <- t land mask;
+        carry := t lsr base_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !carry) land mask
+    end
+    else un.(j + n) <- s;
+    q.(j) <- !qhat
+  done;
+  let rem = shr_small (Array.sub un 0 n) shift in
+  (q, rem)
+
+let divmod_mag u v =
+  if Array.length v = 0 then raise Division_by_zero
+  else if compare_mag u v < 0 then ([||], Array.copy u)
+  else if Array.length v = 1 then
+    let q, r = divmod_small_mag u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  else divmod_knuth u v
+
+(* ------------------------------------------------------------------ *)
+(* Signed operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else
+    let c = compare_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+(** Truncated division (rounds toward zero, like OCaml's [/] and [mod]):
+    [a = q*b + r] with [|r| < |b|] and [sign r = sign a] (or [r = 0]). *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else
+    let qm, rm = divmod_mag a.mag b.mag in
+    (make (a.sign * b.sign) qm, make a.sign rm)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let succ t = add t one
+let pred t = sub t one
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_int_opt t =
+  (* Conservative: accept at most values that reconstruct exactly. *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else
+      let shifted = acc * base in
+      if shifted / base <> acc then None
+      else
+        let v = shifted + t.mag.(i) in
+        if v < shifted then None else go (i - 1) v
+  in
+  match t.sign with
+  | 0 -> Some 0
+  | s -> (
+      match go (Array.length t.mag - 1) 0 with
+      | Some v when v >= 0 -> Some (s * v)
+      | _ -> None)
+
+let to_float t =
+  let m =
+    Array.to_list t.mag |> List.rev
+    |> List.fold_left (fun acc d -> (acc *. float_of_int base) +. float_of_int d) 0.0
+  in
+  float_of_int t.sign *. m
+
+(* 10^9 is the largest power of ten below 2^30. *)
+let decimal_chunk = 1_000_000_000
+let decimal_digits = 9
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks mag acc =
+      if Array.length mag = 0 then acc
+      else
+        let q, r = divmod_small_mag mag decimal_chunk in
+        chunks (make 1 q).mag (r :: acc)
+    in
+    (match chunks t.mag [] with
+    | [] -> Buffer.add_char buf '0'
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    let body = Buffer.contents buf in
+    if t.sign < 0 then "-" ^ body else body
+  end
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Bigint.of_string: empty string";
+  let negative, body =
+    match s.[0] with
+    | '-' -> (true, String.sub s 1 (String.length s - 1))
+    | '+' -> (false, String.sub s 1 (String.length s - 1))
+    | _ -> (false, s)
+  in
+  if body = "" then invalid_arg "Bigint.of_string: sign without digits";
+  String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit") body;
+  let chunk_mul = of_int decimal_chunk in
+  let n = String.length body in
+  let head = n mod decimal_digits in
+  let acc = ref zero in
+  let feed chunk = acc := add (mul !acc chunk_mul) (of_int chunk) in
+  if head > 0 then feed (int_of_string (String.sub body 0 head));
+  let pos = ref head in
+  while !pos < n do
+    feed (int_of_string (String.sub body !pos decimal_digits));
+    pos := !pos + decimal_digits
+  done;
+  if negative then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* Convenience comparisons. *)
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let gt a b = compare a b > 0
+let geq a b = compare a b >= 0
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b

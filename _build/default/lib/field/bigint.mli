@@ -1,0 +1,81 @@
+(** Arbitrary-precision signed integers (sign-magnitude, base 2^30 limbs).
+
+    Written from scratch because the sealed build environment has no bignum
+    library and the exact-rational simplex backend needs integers far beyond
+    63 bits. Division is Knuth's Algorithm D. All values are canonical:
+    no leading zero limbs, zero has sign 0, so structural equality would
+    coincide with numeric equality (still, use {!equal}). *)
+
+type t
+
+(** {1 Constants and constructors} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** Exact conversion from a native integer (including [min_int]). *)
+val of_int : int -> t
+
+(** Parse an optionally signed decimal numeral. Raises [Invalid_argument]
+    on empty input or non-digit characters. *)
+val of_string : string -> t
+
+(** {1 Predicates and comparisons} *)
+
+val is_zero : t -> bool
+
+(** -1, 0 or 1. *)
+val sign : t -> int
+
+(** Total order; compatible with the integer order. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** Internal canonical-form check, exposed for the test suite. *)
+val is_normalized : t -> bool
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Truncated division (rounds toward zero, like OCaml's [/] and [mod]):
+    [a = q*b + r] with [|r| < |b|] and [sign r = sign a] (or r = 0).
+    Raises [Division_by_zero]. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** Non-negative greatest common divisor; [gcd x zero = abs x]. *)
+val gcd : t -> t -> t
+
+val succ : t -> t
+val pred : t -> t
+
+(** [pow b e] for [e >= 0]; raises [Invalid_argument] on negative
+    exponents. *)
+val pow : t -> int -> t
+
+(** {1 Conversions} *)
+
+(** [Some i] iff the value is exactly representable as a native int. *)
+val to_int_opt : t -> int option
+
+(** Best-effort float conversion; huge values overflow to infinity. *)
+val to_float : t -> float
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+(** Ordered-field abstraction over which the whole stack is functorized.
+
+    The graph algorithms, simplex solver, game engine and subsidy algorithms
+    are all functors over [Field.S]. Two instantiations ship:
+
+    - {!Float_field}: IEEE doubles with a tolerance baked into [lt]/[leq]/
+      [approx_equal]; fast, used for large sweeps and benchmarks.
+    - {!Rat}: exact rationals (over our own bignums); used to certify
+      equilibria in reduction gadgets whose weights differ by quantities far
+      below float resolution.
+
+    The tolerant comparison trio ([lt], [leq], [approx_equal]) is the only
+    place inexactness is allowed to leak into algorithmic decisions; the
+    exact instantiation implements them as true comparisons. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+
+  (** [of_q n d] is the field element n/d (exact for rationals). *)
+  val of_q : int -> int -> t
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+
+  (** Exact total order (no tolerance). *)
+  val compare : t -> t -> int
+
+  val equal : t -> t -> bool
+  val sign : t -> int
+  val min : t -> t -> t
+  val max : t -> t -> t
+
+  (** [lt a b]: [a] is smaller than [b] by more than the tolerance. *)
+  val lt : t -> t -> bool
+
+  (** [leq a b]: [a] does not exceed [b] beyond the tolerance. *)
+  val leq : t -> t -> bool
+
+  (** [approx_equal a b]: equal up to the tolerance (exact equality for the
+      rational instantiation). *)
+  val approx_equal : t -> t -> bool
+
+  val to_float : t -> float
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+
+  (** Minimum magnitude a simplex pivot element must exceed. Dividing a
+      tableau row by a rounding-noise-sized element destroys a float
+      tableau, so the float field forbids it; exact fields can pivot on any
+      non-zero element and use 0. *)
+  val pivot_threshold : t
+
+  (** A human-readable name for error messages and bench labels. *)
+  val name : string
+end
+
+module Float_field : S with type t = float = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+  let of_q n d = float_of_int n /. float_of_int d
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let abs = Float.abs
+  let compare = Float.compare
+  let equal = Float.equal
+  let sign x = if x > 0.0 then 1 else if x < 0.0 then -1 else 0
+  let min = Float.min
+  let max = Float.max
+  let lt a b = Repro_util.Floatx.lt a b
+  let leq a b = Repro_util.Floatx.leq a b
+  let approx_equal a b = Repro_util.Floatx.approx_eq a b
+  let to_float x = x
+  let to_string x = Printf.sprintf "%.12g" x
+  let pp fmt x = Format.pp_print_string fmt (to_string x)
+  let pivot_threshold = 1e-9
+  let name = "float"
+end
+
+module Rat : S with type t = Rational.t = struct
+  include Rational
+
+  let of_q = of_ints
+  let approx_equal = equal
+  let pivot_threshold = zero
+  let name = "rational"
+end
+
+(** Sum of a list of field elements. *)
+let sum (type a) (module F : S with type t = a) xs = List.fold_left F.add F.zero xs
+
+(** Exact-in-field harmonic number H_n = sum_{i=1..n} 1/i. *)
+let harmonic (type a) (module F : S with type t = a) n =
+  if n < 0 then invalid_arg "Field.harmonic: negative index";
+  let rec go i acc = if i > n then acc else go (i + 1) (F.add acc (F.of_q 1 i)) in
+  go 1 F.zero
+
+(** H_n - H_k as the partial sum from k+1 to n, requires n >= k. *)
+let harmonic_diff (type a) (module F : S with type t = a) n k =
+  if k > n then invalid_arg "Field.harmonic_diff: k > n";
+  let rec go i acc = if i > n then acc else go (i + 1) (F.add acc (F.of_q 1 i)) in
+  go (k + 1) F.zero

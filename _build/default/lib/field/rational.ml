@@ -1,0 +1,103 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is strictly positive and
+    gcd(|num|, den) = 1, so structural equality coincides with numeric
+    equality. This is the arithmetic used by the certified backend of the
+    whole stack (graphs, LP, games): every comparison an equilibrium check
+    makes is exact. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let check t = Bigint.sign t.den > 0 && Bigint.equal (Bigint.gcd t.num t.den) Bigint.one
+
+(* Normalize an arbitrary fraction. *)
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int i = of_bigint (Bigint.of_int i)
+
+(** [of_ints n d] is the exact fraction n/d. *)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let num t = t.num
+let den t = t.den
+
+let sign t = Bigint.sign t.num
+let is_zero t = sign t = 0
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  (* a.num/a.den + b.num/b.den; gcd-reduce via make. *)
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  make t.den t.num
+
+let div a b = mul a (inv b)
+
+let compare a b =
+  (* Denominators are positive, so cross-multiplication preserves order. *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let gt a b = compare a b > 0
+let geq a b = compare a b >= 0
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+
+let to_float t =
+  (* Scale so the integer quotient carries 53 significant bits, then divide
+     as floats; robust even when num and den individually overflow floats. *)
+  if is_zero t then 0.0
+  else
+    let scale = Bigint.pow Bigint.two 64 in
+    let q = Bigint.div (Bigint.mul t.num scale) t.den in
+    Bigint.to_float q *. Float.ldexp 1.0 (-64)
+
+let to_string t =
+  if Bigint.equal t.den Bigint.one then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+      let n = Bigint.of_string (String.sub s 0 i) in
+      let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make n d
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** Exact harmonic number H_n as a rational. *)
+let harmonic n =
+  if n < 0 then invalid_arg "Rational.harmonic: negative index";
+  let rec go i acc = if i > n then acc else go (i + 1) (add acc (of_ints 1 i)) in
+  go 1 zero
+
+(** H_n - H_k computed as the partial sum from k+1 to n, requires n >= k. *)
+let harmonic_diff n k =
+  if k > n then invalid_arg "Rational.harmonic_diff: k > n";
+  let rec go i acc = if i > n then acc else go (i + 1) (add acc (of_ints 1 i)) in
+  go (k + 1) zero

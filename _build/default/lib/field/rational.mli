@@ -1,0 +1,82 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized (positive denominator, gcd 1), so {!equal}
+    is cheap and exact. This is the arithmetic of the certified backend of
+    the whole stack: graphs, LP, games and reductions instantiated at
+    {!Repro_field.Field.Rat} never make an approximate comparison. *)
+
+type t
+
+(** {1 Construction} *)
+
+val zero : t
+val one : t
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints n d] is the exact fraction n/d; raises [Division_by_zero] when
+    [d = 0]. *)
+val of_ints : int -> int -> t
+
+(** [make n d] normalizes an arbitrary bigint fraction. *)
+val make : Bigint.t -> Bigint.t -> t
+
+(** Parse ["n"] or ["n/d"] decimal forms. *)
+val of_string : string -> t
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+
+(** Always strictly positive. *)
+val den : t -> Bigint.t
+
+val sign : t -> int
+val is_zero : t -> bool
+
+(** Normalization invariant, exposed for the test suite. *)
+val check : t -> bool
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Division_by_zero] on zero input. *)
+val inv : t -> t
+
+val div : t -> t -> t
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Conversions} *)
+
+(** Accurate to a double's precision even when numerator and denominator
+    individually overflow floats. *)
+val to_float : t -> float
+
+(** ["n"] or ["n/d"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Harmonic numbers} *)
+
+(** Exact H_n = 1 + 1/2 + ... + 1/n. *)
+val harmonic : int -> t
+
+(** [harmonic_diff n k] = H_n - H_k as the partial sum from k+1 to n;
+    requires [n >= k]. *)
+val harmonic_diff : int -> int -> t

@@ -1,0 +1,1 @@
+lib/game/coalition.ml: Array Game List Repro_field

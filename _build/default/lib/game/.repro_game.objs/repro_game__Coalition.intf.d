@@ -1,0 +1,1 @@
+lib/game/coalition.mli: Game Repro_field

@@ -1,0 +1,1 @@
+lib/game/digame.ml: Array Hashtbl List Option Printf Repro_field Repro_graph Repro_lp

@@ -1,0 +1,1 @@
+lib/game/digame.mli: Repro_field Repro_graph Repro_lp

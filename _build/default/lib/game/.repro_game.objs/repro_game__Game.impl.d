@@ -1,0 +1,1 @@
+lib/game/game.ml: Array Hashtbl List Option Repro_field Repro_graph

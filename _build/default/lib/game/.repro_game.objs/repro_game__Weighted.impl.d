@@ -1,0 +1,1 @@
+lib/game/weighted.ml: Array Game List Option Repro_field

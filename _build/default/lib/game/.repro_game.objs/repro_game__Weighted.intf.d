@@ -1,0 +1,1 @@
+lib/game/weighted.mli: Game Repro_field

@@ -1,0 +1,122 @@
+(** Coalitional deviations — the Section 6 open problem "variations of SNE
+    and SND that consider deviations of coalitions of players (as opposed to
+    unilateral deviations)".
+
+    A state is {e pair-stable} (2-strong) if no two players can jointly
+    switch paths so that {e both} strictly gain. Joint deviations are harder
+    to search than unilateral ones because the pair's new costs depend on
+    both new paths at once; this module provides
+
+    - [refute_pair_stability]: a fast sufficient refutation — walk one
+      player through her simple paths and best-respond the other; a joint
+      strict improvement disproves pair stability and is returned as a
+      witness. (Sound, not complete.)
+    - [is_pair_stable_exhaustive]: complete search over pairs of simple
+      paths, for small instances (path sets are enumerated up to a bound).
+
+    Every pair-unstable state is Nash-unstable or exhibits the classic gap:
+    Nash equilibria need not be strong, which the tests demonstrate on the
+    shared-highway example. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Game.Make (F)
+  module G = Gm.G
+
+  (* All simple paths between two nodes, as edge-id lists, up to [limit]
+     paths (DFS; intended for small instances). *)
+  let simple_paths graph ~src ~dst ~limit =
+    let out = ref [] in
+    let count = ref 0 in
+    let visited = Array.make (G.n_nodes graph) false in
+    let rec go here path =
+      if !count < limit then begin
+        if here = dst then begin
+          incr count;
+          out := List.rev path :: !out
+        end
+        else begin
+          visited.(here) <- true;
+          List.iter
+            (fun (id, next) -> if not visited.(next) then go next (id :: path))
+            (G.neighbors graph here);
+          visited.(here) <- false
+        end
+      end
+    in
+    go src [];
+    List.rev !out
+
+  (** Do players [i] and [j] both strictly gain when the state is replaced
+      by [state] with their strategies swapped to [pi], [pj]? *)
+  let joint_improvement ?subsidy spec state i j pi pj =
+    let cost_i = Gm.player_cost ?subsidy spec state i in
+    let cost_j = Gm.player_cost ?subsidy spec state j in
+    let state' = Array.copy state in
+    state'.(i) <- pi;
+    state'.(j) <- pj;
+    F.lt (Gm.player_cost ?subsidy spec state' i) cost_i
+    && F.lt (Gm.player_cost ?subsidy spec state' j) cost_j
+
+  (** Sound-but-incomplete refutation: for each ordered pair (i, j), walk
+      player [i] through her simple paths (up to [leader_paths] of them) and
+      let [j] best-respond to each hypothetical move; if some combination
+      makes both strictly better off, the state is not pair-stable. This
+      catches the classic "nobody moves first" coordination failures that
+      simultaneous-best-response probing misses. *)
+  let refute_pair_stability ?subsidy ?(leader_paths = 50) spec state =
+    let n = Gm.n_players spec in
+    let found = ref None in
+    for i = 0 to n - 1 do
+      if !found = None then begin
+        let s, t = spec.Gm.pairs.(i) in
+        let candidates = simple_paths spec.Gm.graph ~src:s ~dst:t ~limit:leader_paths in
+        List.iter
+          (fun pi ->
+            if !found = None then begin
+              let hypothetical = Array.copy state in
+              hypothetical.(i) <- pi;
+              for j = 0 to n - 1 do
+                if j <> i && !found = None then begin
+                  let _, pj = Gm.best_response ?subsidy spec hypothetical j in
+                  if joint_improvement ?subsidy spec state i j pi pj then
+                    found := Some (i, j, pi, pj)
+                end
+              done
+            end)
+          candidates
+      end
+    done;
+    !found
+
+  (** Complete pair-stability check by enumerating both players' simple
+      paths (up to [path_limit] per player; raises if some player exceeds
+      it, so a [true] answer is certain). *)
+  let is_pair_stable_exhaustive ?subsidy ?(path_limit = 500) spec state =
+    let n = Gm.n_players spec in
+    let paths =
+      Array.init n (fun i ->
+          let s, t = spec.Gm.pairs.(i) in
+          let p = simple_paths spec.Gm.graph ~src:s ~dst:t ~limit:(path_limit + 1) in
+          if List.length p > path_limit then
+            invalid_arg "Coalition.is_pair_stable_exhaustive: too many simple paths";
+          p)
+    in
+    let stable = ref true in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if !stable then
+          List.iter
+            (fun pi ->
+              List.iter
+                (fun pj ->
+                  if !stable && joint_improvement ?subsidy spec state i j pi pj then
+                    stable := false)
+                paths.(j))
+            paths.(i)
+      done
+    done;
+    !stable
+end
+
+module Float_coalition = Make (Repro_field.Field.Float_field)
+module Rat_coalition = Make (Repro_field.Field.Rat)

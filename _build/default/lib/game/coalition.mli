@@ -1,0 +1,36 @@
+(** Coalitional (pair) deviations — the Section 6 open problem on
+    coalition-proof enforcement. A state is pair-stable (2-strong) when no
+    two players can jointly switch paths with both strictly gaining; Nash
+    equilibria need not be pair-stable (the tests demonstrate the gap on
+    the shared-highway example). *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Game.Make (F)
+  module G : module type of Gm.G
+
+  (** Bounded DFS enumeration of simple paths (edge-id lists). *)
+  val simple_paths : G.t -> src:int -> dst:int -> limit:int -> int list list
+
+  (** Do [i] and [j] both strictly gain when moving to [pi], [pj]? *)
+  val joint_improvement :
+    ?subsidy:F.t array -> Gm.spec -> Gm.state -> int -> int -> int list -> int list -> bool
+
+  (** Sound-but-incomplete refutation: walk one player through her simple
+      paths (up to [leader_paths]) and best-respond the other; returns a
+      witnessing (i, j, path_i, path_j) on success. *)
+  val refute_pair_stability :
+    ?subsidy:F.t array ->
+    ?leader_paths:int ->
+    Gm.spec ->
+    Gm.state ->
+    (int * int * int list * int list) option
+
+  (** Complete check over both players' simple paths; raises
+      [Invalid_argument] past [path_limit] per player, so [true] is
+      certain. *)
+  val is_pair_stable_exhaustive :
+    ?subsidy:F.t array -> ?path_limit:int -> Gm.spec -> Gm.state -> bool
+end
+
+module Float_coalition : module type of Make (Repro_field.Field.Float_field)
+module Rat_coalition : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,231 @@
+(** Directed network design games — the setting the paper notes its results
+    "can be adapted easily to" (Section 1), and where the H_n price of
+    stability of Anshelevich et al. is tight.
+
+    The engine mirrors {!Game.Make} on {!Repro_graph.Dgraph}: strategies
+    are directed paths, costs are fair shares, best responses are Dijkstra
+    on deviation shares. It also ships the classic H_n lower-bound family
+    ({!anshelevich_instance}) and an SNE solver by constraint generation
+    (the LP (1) approach works verbatim on directed games: the separation
+    oracle is the directed best response). The showcase result, regenerated
+    by EXP-N: the unsubsidized PoS of the family tends to H_n while a
+    subsidy of just epsilon on the shared arc enforces the optimum. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module D = Repro_graph.Dgraph.Make (F)
+  module Lp = Repro_lp.Simplex.Make (F)
+
+  type spec = { graph : D.t; pairs : (int * int) array }
+
+  let n_players spec = Array.length spec.pairs
+
+  let create ~graph ~pairs =
+    Array.iter
+      (fun (s, t) ->
+        if s < 0 || s >= D.n_nodes graph || t < 0 || t >= D.n_nodes graph then
+          invalid_arg "Digame.create: terminal out of range";
+        if s = t then invalid_arg "Digame.create: source equals target")
+      pairs;
+    { graph; pairs }
+
+  type state = int list array (* arc ids in travel order *)
+
+  let usage spec state =
+    let u = Array.make (D.n_arcs spec.graph) 0 in
+    Array.iter (List.iter (fun id -> u.(id) <- u.(id) + 1)) state;
+    u
+
+  let player_arcs spec state i =
+    let m = Array.make (D.n_arcs spec.graph) false in
+    List.iter (fun id -> m.(id) <- true) state.(i);
+    m
+
+  let no_subsidy spec = Array.make (D.n_arcs spec.graph) F.zero
+  let net_weight spec subsidy id = F.sub (D.weight spec.graph id) subsidy.(id)
+
+  let player_cost ?subsidy spec state i =
+    let b = match subsidy with Some b -> b | None -> no_subsidy spec in
+    let u = usage spec state in
+    List.fold_left
+      (fun acc id -> F.add acc (F.div (net_weight spec b id) (F.of_int u.(id))))
+      F.zero state.(i)
+
+  let social_cost spec state =
+    let u = usage spec state in
+    let acc = ref F.zero in
+    Array.iteri (fun id k -> if k > 0 then acc := F.add !acc (D.weight spec.graph id)) u;
+    !acc
+
+  let best_response ?subsidy spec state i =
+    let b = match subsidy with Some b -> b | None -> no_subsidy spec in
+    let u = usage spec state in
+    let mine = player_arcs spec state i in
+    let weight_fn (a : D.arc) =
+      let sharers = u.(a.D.id) + 1 - if mine.(a.D.id) then 1 else 0 in
+      F.div (net_weight spec b a.D.id) (F.of_int sharers)
+    in
+    let s, t = spec.pairs.(i) in
+    match D.shortest_path ~weight_fn spec.graph ~src:s ~dst:t with
+    | None -> invalid_arg "Digame.best_response: player disconnected"
+    | Some (cost, path) -> (cost, path)
+
+  let is_equilibrium ?subsidy spec state =
+    let ok = ref true in
+    for i = 0 to n_players spec - 1 do
+      let current = player_cost ?subsidy spec state i in
+      let cost, _ = best_response ?subsidy spec state i in
+      if F.lt cost current then ok := false
+    done;
+    !ok
+
+  (** Exhaustive landscape over the product of directed simple paths
+      (guarded). *)
+  type landscape = {
+    optimum : F.t;
+    best_eq : (F.t * state) option;
+    worst_eq : (F.t * state) option;
+    n_states : int;
+    n_eq : int;
+  }
+
+  let landscape ?(max_states = 2_000_000) spec =
+    let paths =
+      Array.map
+        (fun (s, t) ->
+          Array.of_list (D.simple_paths spec.graph ~src:s ~dst:t ~limit:max_states))
+        spec.pairs
+    in
+    let total =
+      Array.fold_left
+        (fun acc p ->
+          let n = Array.length p in
+          if n = 0 then invalid_arg "Digame.landscape: disconnected player";
+          if acc > max_states / n then max_states + 1 else acc * n)
+        1 paths
+    in
+    if total > max_states then invalid_arg "Digame.landscape: too many states";
+    let n = n_players spec in
+    let choice = Array.make n 0 in
+    let optimum = ref None and best = ref None and worst = ref None in
+    let n_states = ref 0 and n_eq = ref 0 in
+    let rec go i =
+      if i = n then begin
+        incr n_states;
+        let state = Array.init n (fun k -> paths.(k).(choice.(k))) in
+        let w = social_cost spec state in
+        (match !optimum with Some o when F.leq o w -> () | _ -> optimum := Some w);
+        if is_equilibrium spec state then begin
+          incr n_eq;
+          (match !best with Some (bw, _) when F.leq bw w -> () | _ -> best := Some (w, state));
+          match !worst with Some (ww, _) when F.leq w ww -> () | _ -> worst := Some (w, state)
+        end
+      end
+      else
+        for c = 0 to Array.length paths.(i) - 1 do
+          choice.(i) <- c;
+          go (i + 1)
+        done
+    in
+    go 0;
+    {
+      optimum = Option.get !optimum;
+      best_eq = !best;
+      worst_eq = !worst;
+      n_states = !n_states;
+      n_eq = !n_eq;
+    }
+
+  (** Directed SNE by constraint generation (the LP (1) method verbatim:
+      box constraints + violated-path cuts from the directed best-response
+      oracle). *)
+  let sne_cutting_plane ?(max_rounds = 500) spec ~(state : state) =
+    let graph = spec.graph in
+    let m = D.n_arcs graph in
+    let u = usage spec state in
+    let lower = Array.make m (Some F.zero) in
+    let upper = Array.init m (fun id -> Some (D.weight graph id)) in
+    let constraints = ref [] in
+    let add_cut i path =
+      let mine = player_arcs spec state i in
+      let coeffs = Hashtbl.create 8 in
+      let rhs = ref F.zero in
+      let touch ~side id d =
+        let d = F.of_int d in
+        let cur = try Hashtbl.find coeffs id with Not_found -> F.zero in
+        let c = F.div F.one d in
+        let w_over_d = F.div (D.weight graph id) d in
+        match side with
+        | `Current ->
+            Hashtbl.replace coeffs id (F.sub cur c);
+            rhs := F.sub !rhs w_over_d
+        | `Deviation ->
+            Hashtbl.replace coeffs id (F.add cur c);
+            rhs := F.add !rhs w_over_d
+      in
+      List.iter (fun id -> touch ~side:`Current id u.(id)) state.(i);
+      List.iter
+        (fun id -> touch ~side:`Deviation id (u.(id) + 1 - if mine.(id) then 1 else 0))
+        path;
+      constraints :=
+        {
+          Lp.coeffs = Hashtbl.fold (fun k c acc -> (k, c) :: acc) coeffs [];
+          relation = Lp.Leq;
+          rhs = !rhs;
+          label = Printf.sprintf "dpath(p%d)" i;
+        }
+        :: !constraints
+    in
+    let solve_master () =
+      let p =
+        Lp.make_problem ~n_vars:m
+          ~minimize:(List.init m (fun id -> (id, F.one)))
+          ~constraints:!constraints ~lower ~upper ()
+      in
+      match Lp.solve p with
+      | Lp.Optimal s -> s
+      | _ -> failwith "Digame.sne_cutting_plane: LP failure (SNE is always feasible)"
+    in
+    let rec loop round =
+      let s = solve_master () in
+      let subsidy =
+        Array.init m (fun id -> F.max F.zero (F.min s.Lp.values.(id) (D.weight graph id)))
+      in
+      if round >= max_rounds then (subsidy, s.Lp.objective, false)
+      else begin
+        let violated = ref false in
+        for i = 0 to n_players spec - 1 do
+          let current = player_cost ~subsidy spec state i in
+          let cost, path = best_response ~subsidy spec state i in
+          if F.lt cost current then begin
+            violated := true;
+            add_cut i path
+          end
+        done;
+        if !violated then loop (round + 1) else (subsidy, s.Lp.objective, true)
+      end
+    in
+    loop 0
+
+  (** The classic directed H_n lower-bound instance (Anshelevich et al.):
+      players 1..n share a target t reachable through a common arc of
+      weight 1 + eps, while player i also has a private arc of weight 1/i.
+      The optimum (everyone shared) costs 1 + eps; the unique equilibrium
+      is all-private with cost H_n. Returns the spec, the shared state and
+      the all-private state. Node layout: 0..n-1 = sources, n = relay,
+      n+1 = target; arc i = player i's private arc, arc n+i = her relay
+      arc, last arc = (relay, target). *)
+  let anshelevich_instance ~n ~eps =
+    if n < 1 then invalid_arg "Digame.anshelevich_instance: n >= 1";
+    let target = n + 1 and relay = n in
+    let private_arcs = List.init n (fun i -> (i, target, F.of_q 1 (i + 1))) in
+    let relay_arcs = List.init n (fun i -> (i, relay, F.zero)) in
+    let shared_arc = [ (relay, target, F.add F.one eps) ] in
+    let graph = D.create ~n:(n + 2) (private_arcs @ relay_arcs @ shared_arc) in
+    let spec = create ~graph ~pairs:(Array.init n (fun i -> (i, target))) in
+    let shared_state = Array.init n (fun i -> [ n + i; 2 * n ]) in
+    let private_state = Array.init n (fun i -> [ i ]) in
+    (spec, shared_state, private_state)
+end
+
+module Float_digame = Make (Repro_field.Field.Float_field)
+module Rat_digame = Make (Repro_field.Field.Rat)

@@ -1,0 +1,52 @@
+(** Directed network design games — the setting the paper's results "adapt
+    easily to" (Section 1), where the H_n price of stability is tight.
+    Mirrors {!Game.Make} on directed graphs, with the classic H_n family
+    and a directed SNE solver by constraint generation built in. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module D : module type of Repro_graph.Dgraph.Make (F)
+  module Lp : module type of Repro_lp.Simplex.Make (F)
+
+  type spec = { graph : D.t; pairs : (int * int) array }
+
+  val n_players : spec -> int
+  val create : graph:D.t -> pairs:(int * int) array -> spec
+
+  (** state.(i) = player i's directed path, as arc ids in travel order. *)
+  type state = int list array
+
+  val usage : spec -> state -> int array
+  val player_arcs : spec -> state -> int -> bool array
+  val no_subsidy : spec -> F.t array
+  val net_weight : spec -> F.t array -> int -> F.t
+  val player_cost : ?subsidy:F.t array -> spec -> state -> int -> F.t
+  val social_cost : spec -> state -> F.t
+  val best_response : ?subsidy:F.t array -> spec -> state -> int -> F.t * int list
+  val is_equilibrium : ?subsidy:F.t array -> spec -> state -> bool
+
+  type landscape = {
+    optimum : F.t;
+    best_eq : (F.t * state) option;
+    worst_eq : (F.t * state) option;
+    n_states : int;
+    n_eq : int;
+  }
+
+  (** Exhaustive landscape over the product of directed simple paths;
+      raises [Invalid_argument] past [max_states]. *)
+  val landscape : ?max_states:int -> spec -> landscape
+
+  (** Directed SNE by constraint generation (LP (1) verbatim): returns
+      (subsidy, cost, converged). *)
+  val sne_cutting_plane :
+    ?max_rounds:int -> spec -> state:state -> F.t array * F.t * bool
+
+  (** The classic directed H_n family (Anshelevich et al.): returns
+      (spec, shared state of cost 1 + eps, all-private state of cost H_n).
+      The latter is the unique equilibrium, so PoS -> H_n; a subsidy of
+      exactly eps on the shared arc enforces the former. *)
+  val anshelevich_instance : n:int -> eps:F.t -> spec * state * state
+end
+
+module Float_digame : module type of Make (Repro_field.Field.Float_field)
+module Rat_digame : module type of Make (Repro_field.Field.Rat)

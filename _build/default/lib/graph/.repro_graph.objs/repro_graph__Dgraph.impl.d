@@ -1,0 +1,1 @@
+lib/graph/dgraph.ml: Array List Repro_field Repro_util

@@ -1,0 +1,1 @@
+lib/graph/steiner.ml: Array Hashtbl List Queue Repro_field Repro_util Wgraph

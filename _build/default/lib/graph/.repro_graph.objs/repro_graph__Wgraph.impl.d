@@ -1,0 +1,1 @@
+lib/graph/wgraph.ml: Array Hashtbl List Queue Repro_field Repro_util Union_find

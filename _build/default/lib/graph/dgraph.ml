@@ -1,0 +1,134 @@
+(** Directed weighted multigraphs, functorized over the weight field.
+
+    The paper's games live on undirected graphs, but it notes (Section 1)
+    that the results adapt to directed networks — where the price of
+    stability is a full H_n (Anshelevich et al.) rather than the open
+    sub-logarithmic undirected quantity. {!Digame} builds directed games on
+    top of this module; the structure mirrors {!Wgraph} with arcs instead
+    of edges. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  type arc = { id : int; src : int; dst : int; weight : F.t }
+
+  type t = {
+    n : int;
+    arcs : arc array;
+    out_adj : (int * int) list array; (* out_adj.(u) = (arc id, head) list *)
+  }
+
+  let n_nodes g = g.n
+  let n_arcs g = Array.length g.arcs
+
+  (** [create ~n spec] builds a digraph on nodes [0..n-1] from
+      [(src, dst, weight)] triples; arc ids follow [spec]'s order. *)
+  let create ~n spec =
+    if n <= 0 then invalid_arg "Dgraph.create: need at least one node";
+    let arcs =
+      List.mapi
+        (fun id (src, dst, weight) ->
+          if src < 0 || src >= n || dst < 0 || dst >= n then
+            invalid_arg "Dgraph.create: endpoint out of range";
+          if src = dst then invalid_arg "Dgraph.create: self-loop";
+          if F.sign weight < 0 then invalid_arg "Dgraph.create: negative weight";
+          { id; src; dst; weight })
+        spec
+      |> Array.of_list
+    in
+    let out_adj = Array.make n [] in
+    Array.iter (fun a -> out_adj.(a.src) <- (a.id, a.dst) :: out_adj.(a.src)) arcs;
+    Array.iteri (fun i l -> out_adj.(i) <- List.sort compare l) out_adj;
+    { n; arcs; out_adj }
+
+  let arc g id =
+    if id < 0 || id >= Array.length g.arcs then invalid_arg "Dgraph.arc: bad id";
+    g.arcs.(id)
+
+  let weight g id = (arc g id).weight
+  let successors g u = g.out_adj.(u)
+  let total_weight g ids = List.fold_left (fun acc id -> F.add acc (weight g id)) F.zero ids
+
+  let fold_arcs g ~init ~f = Array.fold_left f init g.arcs
+
+  type sssp = { dist : F.t option array; pred_arc : int option array }
+
+  (** Dijkstra over out-arcs; [weight_fn] must stay non-negative. *)
+  let dijkstra ?weight_fn g ~src =
+    let wf = match weight_fn with Some f -> f | None -> fun a -> a.weight in
+    let dist = Array.make g.n None in
+    let pred_arc = Array.make g.n None in
+    let final = Array.make g.n false in
+    let heap =
+      Repro_util.Heap.create ~cmp:(fun (d1, n1) (d2, n2) ->
+          let c = F.compare d1 d2 in
+          if c <> 0 then c else compare n1 n2)
+    in
+    dist.(src) <- Some F.zero;
+    Repro_util.Heap.push heap (F.zero, src);
+    let rec loop () =
+      match Repro_util.Heap.pop heap with
+      | None -> ()
+      | Some (d, x) ->
+          if not final.(x) then begin
+            final.(x) <- true;
+            List.iter
+              (fun (id, y) ->
+                if not final.(y) then begin
+                  let w = wf g.arcs.(id) in
+                  assert (F.sign w >= 0);
+                  let nd = F.add d w in
+                  let better =
+                    match dist.(y) with None -> true | Some old -> F.compare nd old < 0
+                  in
+                  if better then begin
+                    dist.(y) <- Some nd;
+                    pred_arc.(y) <- Some id;
+                    Repro_util.Heap.push heap (nd, y)
+                  end
+                end)
+              g.out_adj.(x)
+          end;
+          loop ()
+    in
+    loop ();
+    { dist; pred_arc }
+
+  let shortest_path ?weight_fn g ~src ~dst =
+    let s = dijkstra ?weight_fn g ~src in
+    match s.dist.(dst) with
+    | None -> None
+    | Some d ->
+        let rec walk x acc =
+          if x = src then acc
+          else
+            match s.pred_arc.(x) with
+            | None -> acc
+            | Some id -> walk g.arcs.(id).src (id :: acc)
+        in
+        Some (d, walk dst [])
+
+  (** All simple directed paths src -> dst (bounded DFS). *)
+  let simple_paths g ~src ~dst ~limit =
+    let out = ref [] in
+    let count = ref 0 in
+    let visited = Array.make g.n false in
+    let rec go here path =
+      if !count < limit then begin
+        if here = dst then begin
+          incr count;
+          out := List.rev path :: !out
+        end
+        else begin
+          visited.(here) <- true;
+          List.iter
+            (fun (id, next) -> if not visited.(next) then go next (id :: path))
+            g.out_adj.(here);
+          visited.(here) <- false
+        end
+      end
+    in
+    go src [];
+    List.rev !out
+end
+
+module Float_dgraph = Make (Repro_field.Field.Float_field)
+module Rat_dgraph = Make (Repro_field.Field.Rat)

@@ -1,0 +1,39 @@
+(** Directed weighted multigraphs, functorized over the weight field — the
+    substrate of {!Repro_game.Digame}. Arc ids are stable and identify
+    strategies and subsidies, mirroring {!Wgraph}. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  type arc = { id : int; src : int; dst : int; weight : F.t }
+
+  type t = {
+    n : int;
+    arcs : arc array;
+    out_adj : (int * int) list array; (** out_adj.(u) = (arc id, head) list *)
+  }
+
+  val n_nodes : t -> int
+  val n_arcs : t -> int
+
+  (** Rejects out-of-range endpoints, self-loops, negative weights. *)
+  val create : n:int -> (int * int * F.t) list -> t
+
+  val arc : t -> int -> arc
+  val weight : t -> int -> F.t
+  val successors : t -> int -> (int * int) list
+  val total_weight : t -> int list -> F.t
+  val fold_arcs : t -> init:'a -> f:('a -> arc -> 'a) -> 'a
+
+  type sssp = { dist : F.t option array; pred_arc : int option array }
+
+  (** Dijkstra over out-arcs; [weight_fn] must stay non-negative. *)
+  val dijkstra : ?weight_fn:(arc -> F.t) -> t -> src:int -> sssp
+
+  val shortest_path :
+    ?weight_fn:(arc -> F.t) -> t -> src:int -> dst:int -> (F.t * int list) option
+
+  (** Bounded DFS enumeration of simple directed paths. *)
+  val simple_paths : t -> src:int -> dst:int -> limit:int -> int list list
+end
+
+module Float_dgraph : module type of Make (Repro_field.Field.Float_field)
+module Rat_dgraph : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,162 @@
+(** Exact minimum Steiner trees by the Dreyfus-Wagner dynamic program.
+
+    The optimal design of a {e multicast} game is a minimum Steiner tree
+    over root + terminals (the paper's broadcast case degenerates to the
+    MST because every node is a terminal). O(3^k n + 2^k (n log n + m))
+    over k terminals — exact for the small k the landscape experiments use,
+    and cross-validated in the tests against the game engine's exhaustive
+    state-space optimum. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module G = Wgraph.Make (F)
+
+  (* Provenance of dp.(mask).(v), for edge-set reconstruction. *)
+  type how =
+    | Leaf (* singleton terminal at v *)
+    | Merge of int (* dp.(sub).(v) + dp.(mask lxor sub).(v) *)
+    | Step of int (* arrived via edge id from its other endpoint *)
+
+  (** Minimum-weight connected subgraph spanning [terminals] (edge ids,
+      sorted) and its weight. Raises [Invalid_argument] on an empty
+      terminal list, > 20 terminals, or disconnection. *)
+  let minimum_steiner_tree (g : G.t) ~terminals =
+    let terminals = List.sort_uniq compare terminals in
+    let k = List.length terminals in
+    if k = 0 then invalid_arg "Steiner.minimum_steiner_tree: no terminals";
+    if k > 20 then invalid_arg "Steiner.minimum_steiner_tree: too many terminals";
+    List.iter
+      (fun t ->
+        if t < 0 || t >= G.n_nodes g then
+          invalid_arg "Steiner.minimum_steiner_tree: terminal out of range")
+      terminals;
+    let n = G.n_nodes g in
+    let full = (1 lsl k) - 1 in
+    let dp = Array.make_matrix (full + 1) n None in
+    let how = Array.make_matrix (full + 1) n Leaf in
+    List.iteri
+      (fun i t ->
+        dp.(1 lsl i).(t) <- Some F.zero;
+        how.(1 lsl i).(t) <- Leaf)
+      terminals;
+    (* Masks in increasing order of popcount is unnecessary: numeric order
+       works because every proper submask is numerically smaller. *)
+    for mask = 1 to full do
+      (* Merge step: combine two complementary sub-trees at a common node. *)
+      let sub = ref ((mask - 1) land mask) in
+      while !sub > 0 do
+        (* Each unordered pair of complementary submasks once. *)
+        (let other = mask lxor !sub in
+         if !sub <= other then
+           for v = 0 to n - 1 do
+             match (dp.(!sub).(v), dp.(other).(v)) with
+             | Some a, Some b ->
+                 let c = F.add a b in
+                 let better =
+                   match dp.(mask).(v) with None -> true | Some cur -> F.compare c cur < 0
+                 in
+                 if better then begin
+                   dp.(mask).(v) <- Some c;
+                   how.(mask).(v) <- Merge !sub
+                 end
+             | _ -> ()
+           done);
+        sub := (!sub - 1) land mask
+      done;
+      (* Grow step: Dijkstra over the whole graph from the current layer. *)
+      let heap =
+        Repro_util.Heap.create ~cmp:(fun (d1, v1) (d2, v2) ->
+            let c = F.compare d1 d2 in
+            if c <> 0 then c else compare v1 v2)
+      in
+      for v = 0 to n - 1 do
+        match dp.(mask).(v) with
+        | Some d -> Repro_util.Heap.push heap (d, v)
+        | None -> ()
+      done;
+      let final = Array.make n false in
+      let rec relax () =
+        match Repro_util.Heap.pop heap with
+        | None -> ()
+        | Some (d, v) ->
+            if (not final.(v)) && dp.(mask).(v) = Some d then begin
+              final.(v) <- true;
+              List.iter
+                (fun (id, u) ->
+                  let nd = F.add d (G.weight g id) in
+                  let better =
+                    match dp.(mask).(u) with None -> true | Some cur -> F.compare nd cur < 0
+                  in
+                  if better && not final.(u) then begin
+                    dp.(mask).(u) <- Some nd;
+                    how.(mask).(u) <- Step id;
+                    Repro_util.Heap.push heap (nd, u)
+                  end)
+                (G.neighbors g v)
+            end;
+            relax ()
+      in
+      relax ()
+    done;
+    (* Cheapest completion at any node. *)
+    let best = ref None in
+    for v = 0 to n - 1 do
+      match dp.(full).(v) with
+      | Some d -> (
+          match !best with
+          | Some (bd, _) when F.compare bd d <= 0 -> ()
+          | _ -> best := Some (d, v))
+      | None -> ()
+    done;
+    match !best with
+    | None -> invalid_arg "Steiner.minimum_steiner_tree: terminals are disconnected"
+    | Some (weight, v) ->
+        (* Reconstruct the edge set. *)
+        let edges = Hashtbl.create 16 in
+        let rec rebuild mask v =
+          match how.(mask).(v) with
+          | Leaf -> ()
+          | Merge sub ->
+              rebuild sub v;
+              rebuild (mask lxor sub) v
+          | Step id ->
+              Hashtbl.replace edges id ();
+              rebuild mask (G.other g id v)
+        in
+        rebuild full v;
+        let ids = Hashtbl.fold (fun id () acc -> id :: acc) edges [] in
+        (weight, List.sort compare ids)
+
+  (** Routes within a Steiner solution: the edge-id path from each node it
+      spans to [root] (edge ids in travel order). Used to turn a Steiner
+      optimum into a multicast game state. *)
+  let paths_to_root (g : G.t) ~ids ~root =
+    let member = Hashtbl.create 16 in
+    List.iter (fun id -> Hashtbl.replace member id ()) ids;
+    let parent_edge = Array.make (G.n_nodes g) None in
+    let visited = Array.make (G.n_nodes g) false in
+    let queue = Queue.create () in
+    visited.(root) <- true;
+    Queue.add root queue;
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun (id, y) ->
+          if Hashtbl.mem member id && not visited.(y) then begin
+            visited.(y) <- true;
+            parent_edge.(y) <- Some id;
+            Queue.add y queue
+          end)
+        (G.neighbors g x)
+    done;
+    fun v ->
+      if not visited.(v) then invalid_arg "Steiner.paths_to_root: node not spanned";
+      let rec up v acc =
+        match parent_edge.(v) with
+        | None -> List.rev acc
+        | Some id -> up (G.other g id v) (id :: acc)
+      in
+      up v []
+end
+
+module Float_steiner = Make (Repro_field.Field.Float_field)
+module Rat_steiner = Make (Repro_field.Field.Rat)

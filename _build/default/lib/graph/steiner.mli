@@ -1,0 +1,20 @@
+(** Exact minimum Steiner trees (Dreyfus-Wagner) — the optimal design of a
+    multicast game, degenerating to the MST when every node is a terminal.
+    O(3^k n) over k terminals; exact, and cross-validated against the game
+    engine's exhaustive cheapest state in the tests. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module G : module type of Wgraph.Make (F)
+
+  (** Minimum-weight connected subgraph spanning the terminals:
+      (weight, sorted edge ids). Raises [Invalid_argument] on no/too many
+      (> 20) terminals or disconnection. *)
+  val minimum_steiner_tree : G.t -> terminals:int list -> F.t * int list
+
+  (** The edge-id route from each spanned node to [root] inside a Steiner
+      solution; raises on nodes the solution does not span. *)
+  val paths_to_root : G.t -> ids:int list -> root:int -> int -> int list
+end
+
+module Float_steiner : module type of Make (Repro_field.Field.Float_field)
+module Rat_steiner : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,82 @@
+(** Disjoint-set forests.
+
+    Two variants: the classic union-by-rank + path-compression structure used
+    by Kruskal's algorithm and connectivity checks, and a rollback variant
+    (union by rank, no compression, undo stack) used by the spanning-tree
+    enumerator, which needs to retract unions when backtracking. *)
+
+type t = { parent : int array; rank : int array; mutable components : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; components = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let rx, ry = if t.rank.(rx) < t.rank.(ry) then (ry, rx) else (rx, ry) in
+    t.parent.(ry) <- rx;
+    if t.rank.(rx) = t.rank.(ry) then t.rank.(rx) <- t.rank.(rx) + 1;
+    t.components <- t.components - 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+let components t = t.components
+
+(** Rollback variant: [undo] retracts the most recent successful [union]. *)
+module Rollback = struct
+  type record = { child : int; parent_rank_bumped : bool; parent_root : int }
+
+  type t = {
+    parent : int array;
+    rank : int array;
+    mutable components : int;
+    mutable trail : record list;
+  }
+
+  let create n =
+    {
+      parent = Array.init n (fun i -> i);
+      rank = Array.make n 0;
+      components = n;
+      trail = [];
+    }
+
+  (* No path compression: finds must stay reversible. *)
+  let rec find t x = if t.parent.(x) = x then x else find t t.parent.(x)
+
+  let union t x y =
+    let rx = find t x and ry = find t y in
+    if rx = ry then false
+    else begin
+      let rx, ry = if t.rank.(rx) < t.rank.(ry) then (ry, rx) else (rx, ry) in
+      let bump = t.rank.(rx) = t.rank.(ry) in
+      t.parent.(ry) <- rx;
+      if bump then t.rank.(rx) <- t.rank.(rx) + 1;
+      t.components <- t.components - 1;
+      t.trail <- { child = ry; parent_rank_bumped = bump; parent_root = rx } :: t.trail;
+      true
+    end
+
+  let undo t =
+    match t.trail with
+    | [] -> invalid_arg "Union_find.Rollback.undo: empty trail"
+    | { child; parent_rank_bumped; parent_root } :: rest ->
+        t.parent.(child) <- child;
+        if parent_rank_bumped then t.rank.(parent_root) <- t.rank.(parent_root) - 1;
+        t.components <- t.components + 1;
+        t.trail <- rest
+
+  let same t x y = find t x = find t y
+  let components t = t.components
+end

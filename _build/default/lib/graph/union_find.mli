@@ -1,0 +1,31 @@
+(** Disjoint-set forests.
+
+    The plain variant (union by rank + path compression) backs Kruskal and
+    connectivity checks; the {!Rollback} variant (no compression, undo
+    stack) backs the spanning-tree enumerator's backtracking. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+
+(** [true] iff the two roots were distinct (a merge happened). *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+val components : t -> int
+
+module Rollback : sig
+  type t
+
+  val create : int -> t
+  val find : t -> int -> int
+  val union : t -> int -> int -> bool
+
+  (** Retract the most recent successful union; raises [Invalid_argument]
+      when there is nothing to undo. *)
+  val undo : t -> unit
+
+  val same : t -> int -> int -> bool
+  val components : t -> int
+end

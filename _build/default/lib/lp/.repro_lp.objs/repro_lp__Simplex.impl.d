@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Format Hashtbl List Printf Repro_field

@@ -1,0 +1,391 @@
+(** Linear programming from scratch.
+
+    The paper's Theorem 1 reduces STABLE NETWORK ENFORCEMENT to linear
+    programming, and no LP solver exists in the offline package set, so this
+    module implements one: a dense-tableau, two-phase primal simplex with
+    Bland's anti-cycling rule, functorized over the ordered field. The float
+    instantiation handles the benchmark sweeps; the exact-rational
+    instantiation certifies optima on reduction gadgets (simplex over the
+    rationals never misclassifies feasibility, which matters when constraint
+    margins are ~1/n^2 for n in the hundreds of thousands).
+
+    The model layer supports general bounded variables ([lower]/[upper] in
+    [F.t option], [None] = unbounded on that side) and <=, >= and =
+    constraints. Bounds are compiled away by variable shifting/splitting and
+    explicit bound rows — simple and robust at the instance sizes the
+    reproduction needs. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  type relation = Leq | Geq | Eq
+
+  type constr = {
+    coeffs : (int * F.t) list; (* sparse: variable index, coefficient *)
+    relation : relation;
+    rhs : F.t;
+    label : string;
+  }
+
+  type problem = {
+    n_vars : int;
+    minimize : (int * F.t) list; (* sparse objective *)
+    constraints : constr list;
+    lower : F.t option array;
+    upper : F.t option array;
+    var_name : int -> string;
+  }
+
+  type solution = { values : F.t array; objective : F.t }
+  type outcome = Optimal of solution | Infeasible | Unbounded
+
+  let make_problem ~n_vars ?(var_name = fun i -> Printf.sprintf "x%d" i) ~minimize
+      ~constraints ~lower ~upper () =
+    if Array.length lower <> n_vars || Array.length upper <> n_vars then
+      invalid_arg "Simplex.make_problem: bound arrays must have n_vars entries";
+    let check_index (i, _) =
+      if i < 0 || i >= n_vars then invalid_arg "Simplex.make_problem: variable out of range"
+    in
+    List.iter check_index minimize;
+    List.iter (fun c -> List.iter check_index c.coeffs) constraints;
+    { n_vars; minimize; constraints; lower; upper; var_name }
+
+  (** All variables in [0, +inf). *)
+  let nonneg n = (Array.make n (Some F.zero), Array.make n None)
+
+  let pp_relation fmt = function
+    | Leq -> Format.pp_print_string fmt "<="
+    | Geq -> Format.pp_print_string fmt ">="
+    | Eq -> Format.pp_print_string fmt "="
+
+  let pp_problem fmt p =
+    let pp_terms fmt coeffs =
+      if coeffs = [] then Format.pp_print_string fmt "0"
+      else
+        List.iteri
+          (fun k (i, c) ->
+            if k > 0 then Format.pp_print_string fmt " + ";
+            Format.fprintf fmt "%s*%s" (F.to_string c) (p.var_name i))
+          coeffs
+    in
+    Format.fprintf fmt "minimize %a@." pp_terms p.minimize;
+    List.iter
+      (fun c ->
+        Format.fprintf fmt "  [%s] %a %a %s@." c.label pp_terms c.coeffs pp_relation
+          c.relation (F.to_string c.rhs))
+      p.constraints;
+    Array.iteri
+      (fun i (lo, up) ->
+        let s = function None -> "inf" | Some x -> F.to_string x in
+        Format.fprintf fmt "  %s in [%s, %s]@." (p.var_name i) (s lo) (s up))
+      (Array.map2 (fun a b -> (a, b)) p.lower p.upper)
+
+  (* ---------------------------------------------------------------- *)
+  (* Internal canonical form                                           *)
+  (* ---------------------------------------------------------------- *)
+
+  (* How an original variable is recovered from canonical columns. *)
+  type recover =
+    | Shifted of int * F.t (* x = base + y_col *)
+    | Mirrored of int * F.t (* x = base - y_col *)
+    | Split of int * int (* x = y_plus - y_minus *)
+
+  type canonical = {
+    m : int; (* rows *)
+    cols : int; (* structural + slack columns (artificials added later) *)
+    rows : F.t array array; (* m x (cols + 1); last column = rhs >= 0 *)
+    needs_artificial : bool array;
+    cost : F.t array; (* phase-2 objective over the canonical columns *)
+    cost_const : F.t; (* constant offset from variable shifting *)
+    recover : recover array; (* per original variable *)
+  }
+
+  let canonicalize p =
+    (* 1. Assign canonical columns to original variables. *)
+    let next = ref 0 in
+    let fresh () =
+      let c = !next in
+      incr next;
+      c
+    in
+    let extra_rows = ref [] in
+    let recover =
+      Array.init p.n_vars (fun i ->
+          match (p.lower.(i), p.upper.(i)) with
+          | Some lo, Some up ->
+              if F.compare up lo < 0 then
+                invalid_arg "Simplex: empty variable range (upper < lower)";
+              let col = fresh () in
+              (* y <= up - lo as an explicit row. *)
+              extra_rows :=
+                { coeffs = [ (i, F.one) ]; relation = Leq; rhs = up; label = "ub" }
+                :: !extra_rows;
+              Shifted (col, lo)
+          | Some lo, None -> Shifted (fresh (), lo)
+          | None, Some up -> Mirrored (fresh (), up)
+          | None, None ->
+              let cp = fresh () in
+              let cm = fresh () in
+              Split (cp, cm))
+    in
+    let structural = !next in
+    let all_constraints = p.constraints @ List.rev !extra_rows in
+    (* 2. Rewrite each constraint over canonical columns. *)
+    let rewrite c =
+      let acc = Hashtbl.create 8 in
+      let addc col v =
+        let cur = try Hashtbl.find acc col with Not_found -> F.zero in
+        Hashtbl.replace acc col (F.add cur v)
+      in
+      let rhs = ref c.rhs in
+      List.iter
+        (fun (i, a) ->
+          match recover.(i) with
+          | Shifted (col, base) ->
+              addc col a;
+              rhs := F.sub !rhs (F.mul a base)
+          | Mirrored (col, base) ->
+              addc col (F.neg a);
+              rhs := F.sub !rhs (F.mul a base)
+          | Split (cp, cm) ->
+              addc cp a;
+              addc cm (F.neg a))
+        c.coeffs;
+      (acc, c.relation, !rhs)
+    in
+    let rewritten = List.map rewrite all_constraints in
+    let m = List.length rewritten in
+    (* 3. Lay out the tableau: structural columns, then one slack/surplus
+       column per inequality row. *)
+    let n_slack =
+      List.fold_left (fun k (_, rel, _) -> match rel with Eq -> k | _ -> k + 1) 0 rewritten
+    in
+    let cols = structural + n_slack in
+    let rows = Array.init m (fun _ -> Array.make (cols + 1) F.zero) in
+    let needs_artificial = Array.make m false in
+    let slack = ref structural in
+    List.iteri
+      (fun r (acc, rel, rhs) ->
+        let row = rows.(r) in
+        Hashtbl.iter (fun col v -> row.(col) <- F.add row.(col) v) acc;
+        row.(cols) <- rhs;
+        (* Make rhs non-negative. *)
+        let rel =
+          if F.sign row.(cols) < 0 then begin
+            for j = 0 to cols do
+              row.(j) <- F.neg row.(j)
+            done;
+            match rel with Leq -> Geq | Geq -> Leq | Eq -> Eq
+          end
+          else rel
+        in
+        (match rel with
+        | Leq ->
+            row.(!slack) <- F.one;
+            incr slack
+        | Geq ->
+            row.(!slack) <- F.neg F.one;
+            incr slack;
+            needs_artificial.(r) <- true
+        | Eq -> needs_artificial.(r) <- true))
+      rewritten;
+    (* 4. Phase-2 objective over canonical columns. *)
+    let cost = Array.make cols F.zero in
+    let cost_const = ref F.zero in
+    List.iter
+      (fun (i, a) ->
+        match recover.(i) with
+        | Shifted (col, base) ->
+            cost.(col) <- F.add cost.(col) a;
+            cost_const := F.add !cost_const (F.mul a base)
+        | Mirrored (col, base) ->
+            cost.(col) <- F.sub cost.(col) a;
+            cost_const := F.add !cost_const (F.mul a base)
+        | Split (cp, cm) ->
+            cost.(cp) <- F.add cost.(cp) a;
+            cost.(cm) <- F.sub cost.(cm) a)
+      p.minimize;
+    { m; cols; rows; needs_artificial; cost; cost_const = !cost_const; recover }
+
+  (* ---------------------------------------------------------------- *)
+  (* Tableau pivoting                                                  *)
+  (* ---------------------------------------------------------------- *)
+
+  type tableau = {
+    t_rows : F.t array array; (* m x (width + 1) *)
+    width : int;
+    obj : F.t array; (* reduced costs, length width + 1 (last = -z) *)
+    basis : int array;
+  }
+
+  let pivot tab r c =
+    let row = tab.t_rows.(r) in
+    let piv = row.(c) in
+    for j = 0 to tab.width do
+      row.(j) <- F.div row.(j) piv
+    done;
+    let eliminate target =
+      let factor = target.(c) in
+      if F.sign factor <> 0 then
+        for j = 0 to tab.width do
+          target.(j) <- F.sub target.(j) (F.mul factor row.(j))
+        done
+    in
+    for i = 0 to Array.length tab.t_rows - 1 do
+      if i <> r then eliminate tab.t_rows.(i)
+    done;
+    eliminate tab.obj;
+    tab.basis.(r) <- c
+
+  (* Bland's rule: entering column = smallest index with reduced cost that
+     is genuinely negative; leaving row = lexicographic (ratio, basis id). *)
+  let rec iterate ?(allowed = fun _ -> true) tab =
+    let entering = ref (-1) in
+    (try
+       for j = 0 to tab.width - 1 do
+         if allowed j && F.lt tab.obj.(j) F.zero then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let c = !entering in
+      let best = ref None in
+      for r = 0 to Array.length tab.t_rows - 1 do
+        let a = tab.t_rows.(r).(c) in
+        if F.compare a F.pivot_threshold > 0 then begin
+          let ratio = F.div tab.t_rows.(r).(tab.width) a in
+          let better =
+            match !best with
+            | None -> true
+            | Some (br, bratio) ->
+                let cmp = F.compare ratio bratio in
+                cmp < 0 || (cmp = 0 && tab.basis.(r) < tab.basis.(br))
+          in
+          if better then best := Some (r, ratio)
+        end
+      done;
+      match !best with
+      | None -> `Unbounded
+      | Some (r, _) ->
+          pivot tab r c;
+          iterate ~allowed tab
+    end
+  [@@warning "-27"]
+
+  (* Build the objective row for [cost] given the current basis: reduced
+     costs d_j = c_j - c_B . B^-1 A_j, realized by row elimination. *)
+  let set_objective tab cost cost_of_basis =
+    Array.fill tab.obj 0 (tab.width + 1) F.zero;
+    Array.blit cost 0 tab.obj 0 (Array.length cost);
+    Array.iteri
+      (fun r b ->
+        let cb = cost_of_basis b in
+        if F.sign cb <> 0 then
+          let row = tab.t_rows.(r) in
+          for j = 0 to tab.width do
+            tab.obj.(j) <- F.sub tab.obj.(j) (F.mul cb row.(j))
+          done)
+      tab.basis
+
+  let objective_value tab = F.neg tab.obj.(tab.width)
+
+  (* ---------------------------------------------------------------- *)
+  (* Two-phase driver                                                  *)
+  (* ---------------------------------------------------------------- *)
+
+  let solve p =
+    let c = canonicalize p in
+    let n_art = Array.fold_left (fun k b -> if b then k + 1 else k) 0 c.needs_artificial in
+    let width = c.cols + n_art in
+    let t_rows = Array.init c.m (fun r ->
+        let row = Array.make (width + 1) F.zero in
+        Array.blit c.rows.(r) 0 row 0 c.cols;
+        row.(width) <- c.rows.(r).(c.cols);
+        row)
+    in
+    let basis = Array.make c.m (-1) in
+    (* Rows without an artificial start basic at their slack column; find it
+       (the unique +1 slack coefficient we just planted). *)
+    let next_art = ref c.cols in
+    Array.iteri
+      (fun r needs ->
+        if needs then begin
+          t_rows.(r).(!next_art) <- F.one;
+          basis.(r) <- !next_art;
+          incr next_art
+        end
+        else begin
+          (* The slack column of this row: the last structural+slack column
+             with coefficient one that is a unit column. We recorded slacks
+             in canonicalize in row order, so scan for it. *)
+          let found = ref (-1) in
+          for j = c.cols - 1 downto 0 do
+            if !found < 0 && F.equal t_rows.(r).(j) F.one then begin
+              (* Check unit column. *)
+              let unit = ref true in
+              for i = 0 to c.m - 1 do
+                if i <> r && F.sign c.rows.(i).(j) <> 0 then unit := false
+              done;
+              if !unit then found := j
+            end
+          done;
+          assert (!found >= 0);
+          basis.(r) <- !found
+        end)
+      c.needs_artificial;
+    let tab = { t_rows; width; obj = Array.make (width + 1) F.zero; basis } in
+    let is_artificial j = j >= c.cols in
+    (* Phase 1: minimize the sum of artificials. *)
+    if n_art > 0 then begin
+      let phase1_cost = Array.init width (fun j -> if is_artificial j then F.one else F.zero) in
+      set_objective tab phase1_cost (fun b -> if is_artificial b then F.one else F.zero);
+      match iterate tab with
+      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+      | `Optimal ->
+          if F.lt F.zero (objective_value tab) then raise Exit
+    end;
+    (* Drive any residual zero-valued artificials out of the basis. *)
+    Array.iteri
+      (fun r b ->
+        if is_artificial b then begin
+          let found = ref (-1) in
+          for j = 0 to c.cols - 1 do
+            if !found < 0 && F.compare (F.abs tab.t_rows.(r).(j)) F.pivot_threshold > 0 then
+              found := j
+          done;
+          if !found >= 0 then pivot tab r !found
+          (* else: redundant row; it stays with a zero artificial, harmless
+             because artificial columns are barred from re-entering below. *)
+        end)
+      tab.basis;
+    (* Phase 2. *)
+    let phase2_cost = Array.init width (fun j -> if is_artificial j then F.zero else c.cost.(j)) in
+    set_objective tab phase2_cost (fun b -> if is_artificial b then F.zero else c.cost.(b));
+    match iterate ~allowed:(fun j -> not (is_artificial j)) tab with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let col_value = Array.make c.cols F.zero in
+        Array.iteri
+          (fun r b -> if b < c.cols then col_value.(b) <- tab.t_rows.(r).(width))
+          tab.basis;
+        let values =
+          Array.map
+            (function
+              | Shifted (col, base) -> F.add base col_value.(col)
+              | Mirrored (col, base) -> F.sub base col_value.(col)
+              | Split (cp, cm) -> F.sub col_value.(cp) col_value.(cm))
+            c.recover
+        in
+        let objective =
+          List.fold_left
+            (fun acc (i, a) -> F.add acc (F.mul a values.(i)))
+            F.zero p.minimize
+        in
+        Optimal { values; objective }
+
+  let solve p = try solve p with Exit -> Infeasible
+end
+
+module Float_simplex = Make (Repro_field.Field.Float_field)
+module Rat_simplex = Make (Repro_field.Field.Rat)

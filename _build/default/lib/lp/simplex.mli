@@ -1,0 +1,61 @@
+(** Linear programming from scratch: a dense-tableau, two-phase primal
+    simplex with Bland's anti-cycling rule, functorized over the ordered
+    field.
+
+    Theorem 1 reduces STABLE NETWORK ENFORCEMENT to LP and the sealed
+    environment has no solver, so this module provides one. The float
+    instantiation powers the sweeps; the exact-rational one certifies
+    optima on reduction gadgets whose constraint margins are far below
+    float resolution (pivoting respects [F.pivot_threshold], so the exact
+    field pivots on any non-zero element while the float field refuses
+    rounding-noise pivots). *)
+
+module Make (F : Repro_field.Field.S) : sig
+  type relation = Leq | Geq | Eq
+
+  type constr = {
+    coeffs : (int * F.t) list; (** sparse: variable index, coefficient *)
+    relation : relation;
+    rhs : F.t;
+    label : string;
+  }
+
+  type problem = {
+    n_vars : int;
+    minimize : (int * F.t) list; (** sparse objective *)
+    constraints : constr list;
+    lower : F.t option array; (** [None] = unbounded below *)
+    upper : F.t option array;
+    var_name : int -> string;
+  }
+
+  type solution = { values : F.t array; objective : F.t }
+  type outcome = Optimal of solution | Infeasible | Unbounded
+
+  (** Validates array lengths and variable indices; raises
+      [Invalid_argument]. *)
+  val make_problem :
+    n_vars:int ->
+    ?var_name:(int -> string) ->
+    minimize:(int * F.t) list ->
+    constraints:constr list ->
+    lower:F.t option array ->
+    upper:F.t option array ->
+    unit ->
+    problem
+
+  (** Bound arrays putting all variables in [\[0, +inf)]. *)
+  val nonneg : int -> F.t option array * F.t option array
+
+  val pp_relation : Format.formatter -> relation -> unit
+  val pp_problem : Format.formatter -> problem -> unit
+
+  (** Solve by two-phase primal simplex. General bounds are compiled away
+      by shifting/mirroring/splitting variables plus explicit bound rows.
+      Raises [Invalid_argument] on an empty variable range
+      (upper < lower). *)
+  val solve : problem -> outcome
+end
+
+module Float_simplex : module type of Make (Repro_field.Field.Float_field)
+module Rat_simplex : module type of Make (Repro_field.Field.Rat)

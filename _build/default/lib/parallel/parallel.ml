@@ -1,0 +1,46 @@
+(** Minimal OCaml 5 data parallelism for the benchmark sweeps.
+
+    [map f a] evaluates [f] on every element of [a] using up to
+    [Domain.recommended_domain_count] domains, handing out indices through
+    an atomic counter (dynamic scheduling: parameter sweeps here have wildly
+    uneven per-item cost — an LP at n=256 dwarfs one at n=8). Exceptions in
+    workers are captured and re-raised in the caller. On a single-core
+    container this degrades gracefully to sequential execution. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ?domains f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let workers = min n (match domains with Some d -> max 1 d | None -> default_domains ()) in
+    if workers = 1 then Array.map f a
+    else begin
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let next = Atomic.make 0 in
+      let rec work () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get error = None then begin
+          (match f a.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+          work ()
+        end
+      in
+      let handles = List.init (workers - 1) (fun _ -> Domain.spawn work) in
+      work ();
+      List.iter Domain.join handles;
+      (match Atomic.get error with Some e -> raise e | None -> ());
+      Array.map Option.get results
+    end
+  end
+
+(** [map_list f l] is [map] over a list. *)
+let map_list ?domains f l = Array.to_list (map ?domains f (Array.of_list l))
+
+(** Timing helper: wall-clock seconds of [f ()] along with its result. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)

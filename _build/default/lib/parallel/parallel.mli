@@ -1,0 +1,18 @@
+(** Minimal OCaml 5 data parallelism for parameter sweeps.
+
+    Dynamic scheduling over an atomic index counter — sweep items here have
+    wildly uneven cost (an LP at n=256 dwarfs one at n=8). Degrades to
+    sequential execution on single-core machines. *)
+
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+val default_domains : unit -> int
+
+(** [map ?domains f a]: evaluate [f] on every element using up to
+    [domains] domains (default {!default_domains}). Order of results
+    matches [a]. A worker exception is re-raised in the caller. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Wall-clock seconds of a thunk, with its result. *)
+val timed : (unit -> 'a) -> 'a * float

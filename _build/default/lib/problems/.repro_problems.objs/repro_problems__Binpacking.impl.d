@@ -1,0 +1,1 @@
+lib/problems/binpacking.ml: Array Format List Option String

@@ -1,0 +1,1 @@
+lib/problems/binpacking.mli: Format

@@ -1,0 +1,1 @@
+lib/problems/indepset.ml: Array Hashtbl List Repro_util

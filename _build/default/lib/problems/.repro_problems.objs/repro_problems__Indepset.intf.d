@@ -1,0 +1,1 @@
+lib/problems/indepset.mli: Repro_util

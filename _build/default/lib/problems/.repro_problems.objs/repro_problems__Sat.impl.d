@@ -1,0 +1,1 @@
+lib/problems/sat.ml: Array Format List Option Repro_util String

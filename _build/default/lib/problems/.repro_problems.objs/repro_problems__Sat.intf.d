@@ -1,0 +1,1 @@
+lib/problems/sat.mli: Format Repro_util

@@ -1,0 +1,107 @@
+(** BIN PACKING, the source problem of the Theorem 3 reduction.
+
+    The reduction needs the paper's strict form: every item size is a
+    positive even integer, all k bins have the same even capacity C, and the
+    question is whether every bin can be filled {e exactly} to the brim
+    (sum of sizes = k*C). [normalize] turns a conventional instance into a
+    strict one the way the paper describes: pad with unit items up to k*C,
+    then double everything.
+
+    [solve] is an exact backtracking solver with the standard prunings
+    (items descending, symmetry breaking over equally-filled bins), adequate
+    for the instance sizes the reduction verification uses. *)
+
+type t = { sizes : int array; bins : int; capacity : int }
+
+let create ~sizes ~bins ~capacity =
+  if bins <= 0 then invalid_arg "Binpacking.create: need at least one bin";
+  if capacity <= 0 then invalid_arg "Binpacking.create: capacity must be positive";
+  if Array.exists (fun s -> s <= 0) sizes then
+    invalid_arg "Binpacking.create: item sizes must be positive";
+  { sizes; bins; capacity }
+
+let total t = Array.fold_left ( + ) 0 t.sizes
+
+(** Is this the paper's strict form? Even sizes and capacity, sizes at most
+    C, and total volume exactly k*C. *)
+let is_strict t =
+  t.capacity mod 2 = 0
+  && Array.for_all (fun s -> s mod 2 = 0 && s <= t.capacity) t.sizes
+  && total t = t.bins * t.capacity
+
+(** Turn a conventional instance into a strict one with the same yes/no
+    answer (pad with unit items, then double). The number of bins is kept;
+    the padded instance asks for exact fills. *)
+let normalize t =
+  if Array.exists (fun s -> s > t.capacity) t.sizes then
+    invalid_arg "Binpacking.normalize: an item exceeds the capacity";
+  let slack = (t.bins * t.capacity) - total t in
+  if slack < 0 then invalid_arg "Binpacking.normalize: total volume exceeds k*C";
+  let padded = Array.append t.sizes (Array.make slack 1) in
+  { sizes = Array.map (fun s -> 2 * s) padded; bins = t.bins; capacity = 2 * t.capacity }
+
+(** Exact solver: [Some assignment] maps each item index to a bin such that
+    every bin is filled to exactly its capacity (the strict question);
+    [None] if impossible. Requires [total t = bins * capacity]; use
+    [solve_fit] for the conventional "fits under capacity" question. *)
+let solve t =
+  if total t <> t.bins * t.capacity then None
+  else begin
+    let n = Array.length t.sizes in
+    (* Sort items descending; remember original positions. *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare t.sizes.(b) t.sizes.(a)) order;
+    let load = Array.make t.bins 0 in
+    let assignment = Array.make n (-1) in
+    let rec place k =
+      if k = n then true
+      else begin
+        let item = order.(k) in
+        let s = t.sizes.(item) in
+        (* Symmetry breaking: never try two bins with equal loads. *)
+        let rec try_bins j seen_loads =
+          if j >= t.bins then false
+          else if List.mem load.(j) seen_loads then try_bins (j + 1) seen_loads
+          else if load.(j) + s > t.capacity then try_bins (j + 1) (load.(j) :: seen_loads)
+          else begin
+            load.(j) <- load.(j) + s;
+            assignment.(item) <- j;
+            if place (k + 1) then true
+            else begin
+              load.(j) <- load.(j) - s;
+              assignment.(item) <- -1;
+              try_bins (j + 1) (load.(j) :: seen_loads)
+            end
+          end
+        in
+        try_bins 0 []
+      end
+    in
+    if place 0 then Some assignment else None
+  end
+
+(** Conventional feasibility: can the items be packed without exceeding any
+    bin's capacity? *)
+let solve_fit t =
+  let slack = (t.bins * t.capacity) - total t in
+  if slack < 0 then None
+  else begin
+    (* Reduce to exact fill by padding with unit items, then drop them. *)
+    let padded = { t with sizes = Array.append t.sizes (Array.make slack 1) } in
+    Option.map (fun a -> Array.sub a 0 (Array.length t.sizes)) (solve padded)
+  end
+
+(** Check that an assignment is a valid exact-fill packing. *)
+let check t assignment =
+  Array.length assignment = Array.length t.sizes
+  && Array.for_all (fun b -> 0 <= b && b < t.bins) assignment
+  &&
+  let load = Array.make t.bins 0 in
+  Array.iteri (fun i b -> load.(b) <- load.(b) + t.sizes.(i)) assignment;
+  Array.for_all (fun l -> l = t.capacity) load
+
+let pp fmt t =
+  Format.fprintf fmt "bin-packing: %d items %s, %d bins of capacity %d"
+    (Array.length t.sizes)
+    (String.concat "," (Array.to_list (Array.map string_of_int t.sizes)))
+    t.bins t.capacity

@@ -1,0 +1,34 @@
+(** BIN PACKING — source problem of the Theorem 3 reduction.
+
+    The reduction needs the paper's {e strict} form (even sizes and
+    capacity, total volume exactly [bins * capacity], exact fills); see
+    {!is_strict} and {!normalize}. *)
+
+type t = { sizes : int array; bins : int; capacity : int }
+
+(** Validates positivity; raises [Invalid_argument] otherwise. *)
+val create : sizes:int array -> bins:int -> capacity:int -> t
+
+val total : t -> int
+
+(** The paper's strict form: even sizes <= C, even C, total = k*C. *)
+val is_strict : t -> bool
+
+(** Conventional instance -> equivalent strict instance (pad with unit
+    items to k*C, then double everything). Raises when an item exceeds the
+    capacity or the volume exceeds k*C. *)
+val normalize : t -> t
+
+(** Exact solver for the strict question: fill every bin to exactly its
+    capacity. [Some assignment] maps item index -> bin. Requires
+    [total = bins * capacity] (else [None]). Backtracking with
+    largest-first ordering and equal-load symmetry breaking. *)
+val solve : t -> int array option
+
+(** Conventional feasibility: pack without exceeding capacities. *)
+val solve_fit : t -> int array option
+
+(** Is the assignment a valid exact-fill packing? *)
+val check : t -> int array -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+(** Maximum independent set, the source problem of the Theorem 5 reduction
+    (which uses 3-regular graphs and the Berman-Karpinski gap).
+
+    Plain unweighted simple graphs with their own small representation — the
+    reduction maps them into the weighted game graphs, so there is no need
+    for the field-functorized machinery here. The exact solver is a
+    branch-and-bound on the highest-degree vertex with the trivial
+    remaining-vertices bound; fine for the graphs whose gadget constructions
+    are exactly verifiable. *)
+
+type t = { n : int; adj : int list array; edges : (int * int) list }
+
+let create ~n edges =
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Indepset.create: out of range";
+      if u = v then invalid_arg "Indepset.create: self-loop";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Indepset.create: duplicate edge";
+      Hashtbl.add seen key ();
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  { n; adj; edges }
+
+let n_nodes t = t.n
+let n_edges t = List.length t.edges
+let degree t v = List.length t.adj.(v)
+let is_3regular t = t.n > 0 && Array.for_all (fun l -> List.length l = 3) t.adj
+
+let is_independent t nodes =
+  let mem = Array.make t.n false in
+  List.iter (fun v -> mem.(v) <- true) nodes;
+  List.for_all (fun (u, v) -> not (mem.(u) && mem.(v))) t.edges
+
+(** Exact maximum independent set by branch-and-bound. *)
+let max_independent_set t =
+  let best = ref [] in
+  let rec go chosen candidates =
+    if List.length chosen + List.length candidates <= List.length !best then ()
+    else
+      match candidates with
+      | [] -> if List.length chosen > List.length !best then best := chosen
+      | _ ->
+          (* Branch on the candidate of highest remaining degree. *)
+          let v =
+            List.fold_left
+              (fun b u ->
+                let deg x = List.length (List.filter (fun w -> List.mem w candidates) t.adj.(x)) in
+                if deg u > deg b then u else b)
+              (List.hd candidates) candidates
+          in
+          (* Include v. *)
+          go (v :: chosen)
+            (List.filter (fun u -> u <> v && not (List.mem u t.adj.(v))) candidates);
+          (* Exclude v. *)
+          go chosen (List.filter (( <> ) v) candidates)
+  in
+  go [] (List.init t.n (fun i -> i));
+  List.sort compare !best
+
+let independence_number t = List.length (max_independent_set t)
+
+(* ------------------------------------------------------------------ *)
+(* Named 3-regular graphs                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** K4: alpha = 1. *)
+let k4 = create ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+
+(** K3,3: alpha = 3. *)
+let k33 = create ~n:6 [ (0, 3); (0, 4); (0, 5); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5) ]
+
+(** Triangular prism C3 x K2: alpha = 2. *)
+let prism = create ~n:6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (0, 3); (1, 4); (2, 5) ]
+
+(** Petersen graph: alpha = 4. *)
+let petersen =
+  create ~n:10
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4); (4, 0);
+      (5, 7); (7, 9); (9, 6); (6, 8); (8, 5);
+      (0, 5); (1, 6); (2, 7); (3, 8); (4, 9);
+    ]
+
+(** Cube graph Q3: alpha = 4. *)
+let cube =
+  create ~n:8
+    [ (0, 1); (1, 2); (2, 3); (3, 0); (4, 5); (5, 6); (6, 7); (7, 4); (0, 4); (1, 5); (2, 6); (3, 7) ]
+
+(** Moebius-Kantor graph (16 nodes, 3-regular, bipartite): alpha = 8. *)
+let moebius_kantor =
+  let outer = List.init 8 (fun i -> (i, (i + 1) mod 8)) in
+  let spokes = List.init 8 (fun i -> (i, 8 + i)) in
+  let inner = List.init 8 (fun i -> (8 + i, 8 + ((i + 3) mod 8))) in
+  create ~n:16 (outer @ spokes @ inner)
+
+let named = [ ("K4", k4); ("K3,3", k33); ("prism", prism); ("Petersen", petersen); ("cube", cube); ("Moebius-Kantor", moebius_kantor) ]
+
+(** Random connected 3-regular graph on an even number of nodes >= 4, by
+    repeatedly sampling perfect matchings over the remaining degree slots
+    (configuration model with rejection). *)
+let random_3regular rng ~n =
+  if n < 4 || n mod 2 <> 0 then invalid_arg "Indepset.random_3regular: need even n >= 4";
+  let rec attempt tries =
+    if tries > 500 then failwith "Indepset.random_3regular: too many rejections";
+    let stubs = Array.concat [ Array.init n (fun i -> i); Array.init n (fun i -> i); Array.init n (fun i -> i) ] in
+    Repro_util.Prng.shuffle rng stubs;
+    let seen = Hashtbl.create (3 * n) in
+    let ok = ref true in
+    let edges = ref [] in
+    let k = Array.length stubs / 2 in
+    for i = 0 to k - 1 do
+      let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
+      let key = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        edges := (u, v) :: !edges
+      end
+    done;
+    if !ok then begin
+      let g = create ~n !edges in
+      (* Require connectivity for the reduction's graphs. *)
+      let visited = Array.make n false in
+      let rec dfs v =
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          List.iter dfs g.adj.(v)
+        end
+      in
+      dfs 0;
+      if Array.for_all (fun b -> b) visited then g else attempt (tries + 1)
+    end
+    else attempt (tries + 1)
+  in
+  attempt 0

@@ -1,0 +1,37 @@
+(** Maximum independent set in simple graphs — source problem of the
+    Theorem 5 reduction (which uses connected 3-regular graphs). *)
+
+type t = { n : int; adj : int list array; edges : (int * int) list }
+
+(** Simple graph; rejects self-loops, duplicate edges and out-of-range
+    endpoints. *)
+val create : n:int -> (int * int) list -> t
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val degree : t -> int -> int
+val is_3regular : t -> bool
+val is_independent : t -> int list -> bool
+
+(** Exact maximum independent set (branch-and-bound on the highest-degree
+    candidate); sorted node list. Exponential — small graphs only. *)
+val max_independent_set : t -> int list
+
+(** alpha(G). *)
+val independence_number : t -> int
+
+(** {1 Named 3-regular graphs} (with their known independence numbers) *)
+
+val k4 : t
+val k33 : t
+val prism : t
+val petersen : t
+val cube : t
+val moebius_kantor : t
+
+(** [(name, graph)] list of all of the above. *)
+val named : (string * t) list
+
+(** Random connected 3-regular graph (configuration model with rejection);
+    requires even [n >= 4]. *)
+val random_3regular : Repro_util.Prng.t -> n:int -> t

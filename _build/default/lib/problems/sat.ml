@@ -1,0 +1,182 @@
+(** Propositional CNF satisfiability, the source problem of the Theorem 12
+    reduction (which uses 3SAT-4: exactly three literals per clause over
+    distinct variables, every variable in at most four clauses).
+
+    Literals are non-zero integers: [+v] for variable v, [-v] for its
+    negation, with variables numbered from 1 (DIMACS style). The solver is
+    a straightforward DPLL with unit propagation and pure-literal
+    elimination — complete, and fast enough for the formulas whose gadget
+    graphs can be verified exactly. *)
+
+type literal = int
+type clause = literal list
+type t = { n_vars : int; clauses : clause list }
+
+let var l = abs l
+let positive l = l > 0
+
+let create ~n_vars clauses =
+  List.iter
+    (List.iter (fun l ->
+         if l = 0 || var l > n_vars then invalid_arg "Sat.create: literal out of range"))
+    clauses;
+  { n_vars; clauses }
+
+(** The paper's 3SAT-4 restriction. *)
+let is_3sat4 t =
+  let occurrences = Array.make (t.n_vars + 1) 0 in
+  List.iter (List.iter (fun l -> occurrences.(var l) <- occurrences.(var l) + 1)) t.clauses;
+  List.for_all
+    (fun c ->
+      List.length c = 3 && List.length (List.sort_uniq compare (List.map var c)) = 3)
+    t.clauses
+  && Array.for_all (fun k -> k <= 4) occurrences
+
+(** Evaluate under a total assignment ([assignment.(v)] for v >= 1). *)
+let satisfies t assignment =
+  List.for_all
+    (List.exists (fun l -> if positive l then assignment.(var l) else not assignment.(var l)))
+    t.clauses
+
+(* Apply a decision: remove satisfied clauses, shrink falsified literals.
+   Returns None on an empty clause (conflict). *)
+let assign clauses l =
+  let rec go acc = function
+    | [] -> Some acc
+    | c :: rest ->
+        if List.mem l c then go acc rest
+        else
+          let c' = List.filter (fun x -> x <> -l) c in
+          if c' = [] then None else go (c' :: acc) rest
+  in
+  go [] clauses
+
+(** DPLL with unit propagation and pure-literal elimination. Returns a
+    satisfying total assignment, or [None] if unsatisfiable. Unconstrained
+    variables default to false. *)
+let solve t =
+  let assignment = Array.make (t.n_vars + 1) false in
+  let decided = Array.make (t.n_vars + 1) false in
+  let record l =
+    decided.(var l) <- true;
+    assignment.(var l) <- positive l
+  in
+  let rec dpll clauses trail =
+    match clauses with
+    | [] -> Some trail
+    | _ when List.mem [] clauses -> None
+    | _ -> (
+        (* Unit propagation. *)
+        match List.find_opt (fun c -> List.length c = 1) clauses with
+        | Some [ l ] -> (
+            match assign clauses l with None -> None | Some c' -> dpll c' (l :: trail))
+        | Some _ -> assert false
+        | None -> (
+            (* Pure literal elimination. *)
+            let lits = List.concat clauses in
+            let pure =
+              List.find_opt (fun l -> not (List.mem (-l) lits)) (List.sort_uniq compare lits)
+            in
+            match pure with
+            | Some l -> (
+                match assign clauses l with None -> None | Some c' -> dpll c' (l :: trail))
+            | None -> (
+                (* Branch on the first literal of the first clause. *)
+                match clauses with
+                | (l :: _) :: _ -> (
+                    match
+                      Option.bind (assign clauses l) (fun c' -> dpll c' (l :: trail))
+                    with
+                    | Some trail -> Some trail
+                    | None ->
+                        Option.bind (assign clauses (-l)) (fun c' -> dpll c' (-l :: trail)))
+                | _ -> assert false)))
+  in
+  match dpll t.clauses [] with
+  | None -> None
+  | Some trail ->
+      List.iter record trail;
+      ignore decided;
+      assert (satisfies t assignment);
+      Some assignment
+
+let is_satisfiable t = solve t <> None
+
+(** Enumerate all 2^n assignments satisfying [t] (for exhaustive reduction
+    verification on small formulas). *)
+let all_satisfying t =
+  if t.n_vars > 20 then invalid_arg "Sat.all_satisfying: too many variables";
+  let out = ref [] in
+  for mask = 0 to (1 lsl t.n_vars) - 1 do
+    let a = Array.init (t.n_vars + 1) (fun v -> v > 0 && (mask lsr (v - 1)) land 1 = 1) in
+    if satisfies t a then out := a :: !out
+  done;
+  List.rev !out
+
+let pp fmt t =
+  Format.fprintf fmt "cnf(%d vars): %s" t.n_vars
+    (String.concat " & "
+       (List.map
+          (fun c -> "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+          t.clauses))
+
+(** Random 3SAT-4 generator: 3 distinct variables per clause, retrying until
+    no variable exceeds four occurrences. Deterministic in the PRNG. *)
+let random_3sat4 rng ~n_vars ~n_clauses =
+  if n_clauses * 3 > n_vars * 4 then
+    invalid_arg "Sat.random_3sat4: too many clauses for the occurrence budget";
+  let occurrences = Array.make (n_vars + 1) 0 in
+  let clause () =
+    let available =
+      List.filter (fun v -> occurrences.(v) < 4) (List.init n_vars (fun i -> i + 1))
+    in
+    if List.length available < 3 then
+      invalid_arg "Sat.random_3sat4: occurrence budget exhausted on < 3 variables";
+    (* Prefer the least-used variables (random ties) so a tight occurrence
+       budget cannot strand fewer than three usable variables. *)
+    let keyed =
+      List.map (fun v -> ((occurrences.(v), Repro_util.Prng.bits rng), v)) available
+    in
+    let sorted = List.sort compare keyed in
+    let vars = List.filteri (fun i _ -> i < 3) (List.map snd sorted) in
+    List.iter (fun v -> occurrences.(v) <- occurrences.(v) + 1) vars;
+    List.map (fun v -> if Repro_util.Prng.bool rng then v else -v) vars
+  in
+  create ~n_vars (List.init n_clauses (fun _ -> clause ()))
+
+(** Random 3SAT-4 whose variable conflict graph is tripartite with
+    index-contiguous parts: variables are split into three pools of
+    [pool_size] and each clause draws one variable per pool (least-occupied,
+    random ties; random polarity). An in-order greedy coloring then labels
+    pool p with color p, so the Theorem 12 reduction builds these with
+    exactly three labels — the regime where the compact geometric gadget
+    sizes are exhaustively certified. Requires [n_clauses <= 4*pool_size]
+    with a little slack. *)
+let random_3sat4_tripartite rng ~pool_size ~n_clauses =
+  if pool_size < 1 then invalid_arg "Sat.random_3sat4_tripartite: empty pools";
+  if n_clauses > 4 * pool_size then
+    invalid_arg "Sat.random_3sat4_tripartite: occurrence budget exceeded";
+  let n_vars = 3 * pool_size in
+  let occurrences = Array.make (n_vars + 1) 0 in
+  let pick pool =
+    let base = pool * pool_size in
+    let candidates =
+      List.filter (fun v -> occurrences.(v) < 4) (List.init pool_size (fun i -> base + i + 1))
+    in
+    let keyed =
+      List.map (fun v -> ((occurrences.(v), Repro_util.Prng.bits rng), v)) candidates
+    in
+    match List.sort compare keyed with
+    | (_, v) :: _ ->
+        occurrences.(v) <- occurrences.(v) + 1;
+        v
+    | [] -> assert false (* n_clauses <= 4*pool_size keeps every pool usable *)
+  in
+  let clause () =
+    List.map
+      (fun pool ->
+        let v = pick pool in
+        if Repro_util.Prng.bool rng then v else -v)
+      [ 0; 1; 2 ]
+  in
+  create ~n_vars (List.init n_clauses (fun _ -> clause ()))

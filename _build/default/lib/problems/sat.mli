@@ -1,0 +1,45 @@
+(** CNF satisfiability and the 3SAT-4 restriction used by Theorem 12.
+
+    Literals are non-zero integers ([+v] / [-v], variables from 1, DIMACS
+    style). *)
+
+type literal = int
+type clause = literal list
+type t = { n_vars : int; clauses : clause list }
+
+val var : literal -> int
+val positive : literal -> bool
+
+(** Validates literal ranges; raises [Invalid_argument]. *)
+val create : n_vars:int -> clause list -> t
+
+(** Exactly three literals over distinct variables per clause, every
+    variable in at most four clauses (Tovey's 3SAT-4). *)
+val is_3sat4 : t -> bool
+
+(** Evaluate under a total assignment ([assignment.(v)] for v >= 1). *)
+val satisfies : t -> bool array -> bool
+
+(** DPLL with unit propagation and pure-literal elimination. Returns a
+    satisfying total assignment (unconstrained variables default to false),
+    or [None] if unsatisfiable. Complete. *)
+val solve : t -> bool array option
+
+val is_satisfiable : t -> bool
+
+(** All satisfying assignments, by enumeration; guarded to [n_vars <= 20]. *)
+val all_satisfying : t -> bool array list
+
+val pp : Format.formatter -> t -> unit
+
+(** Random 3SAT-4 instance: 3 distinct variables per clause drawn from the
+    least-occupied variables (so a tight occurrence budget cannot strand),
+    random polarities. Raises when fewer than 3 variables have occurrence
+    budget left. *)
+val random_3sat4 : Repro_util.Prng.t -> n_vars:int -> n_clauses:int -> t
+
+(** Random 3SAT-4 with a tripartite conflict graph (one variable per pool
+    per clause): the Theorem 12 reduction colors these with exactly three
+    labels. Requires [n_clauses <= 4 * pool_size]. *)
+val random_3sat4_tripartite :
+  Repro_util.Prng.t -> pool_size:int -> n_clauses:int -> t

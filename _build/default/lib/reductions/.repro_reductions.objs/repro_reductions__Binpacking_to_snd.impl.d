@@ -1,0 +1,1 @@
+lib/reductions/binpacking_to_snd.ml: Array Bypass_gadget List Repro_field Repro_game Repro_problems

@@ -1,0 +1,1 @@
+lib/reductions/binpacking_to_snd.mli: Repro_field Repro_game Repro_problems

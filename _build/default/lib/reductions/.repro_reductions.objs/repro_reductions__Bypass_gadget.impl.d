@@ -1,0 +1,1 @@
+lib/reductions/bypass_gadget.ml: List Repro_field Repro_game

@@ -1,0 +1,1 @@
+lib/reductions/bypass_gadget.mli: Repro_field Repro_game

@@ -1,0 +1,1 @@
+lib/reductions/indepset_to_pos.ml: Array List Repro_field Repro_game Repro_problems

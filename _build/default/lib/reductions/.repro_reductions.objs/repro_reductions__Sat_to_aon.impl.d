@@ -1,0 +1,1 @@
+lib/reductions/sat_to_aon.ml: Array Hashtbl List Printf Repro_field Repro_game Repro_problems

@@ -1,0 +1,1 @@
+lib/reductions/sat_to_aon.mli: Repro_field Repro_game Repro_problems

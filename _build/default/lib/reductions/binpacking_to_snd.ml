@@ -1,0 +1,160 @@
+(** The Theorem 3 reduction: strict BIN PACKING to broadcast STABLE NETWORK
+    DESIGN with budget zero (Figure 2).
+
+    One Bypass gadget of capacity C per bin; one star (center x_i with
+    s_i - 1 zero-weight leaves) per item; a complete bipartite layer of
+    weight 2 * (H_{C+l} - H_C) between star centers and connectors. Minimum
+    spanning trees correspond exactly to assignments of items to bins, and
+    an MST is an equilibrium iff its assignment fills every bin to exactly
+    C — i.e. iff the packing instance is solvable. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+
+  type t = {
+    instance : Repro_problems.Binpacking.t;
+    graph : G.t;
+    root : int;
+    ell : int;
+    connectors : int array; (* per bin: connector node *)
+    item_centers : int array; (* per item: x_i *)
+    bipartite_edge : int array array; (* .(item).(bin) = edge id *)
+    fixed_tree_edges : int list; (* basic paths + star leaves: in every MST *)
+    mst_weight : F.t;
+  }
+
+  let build instance =
+    if not (Repro_problems.Binpacking.is_strict instance) then
+      invalid_arg "Binpacking_to_snd.build: instance must be in the paper's strict form";
+    let capacity = instance.Repro_problems.Binpacking.capacity in
+    let k = instance.Repro_problems.Binpacking.bins in
+    let sizes = instance.Repro_problems.Binpacking.sizes in
+    let n_items = Array.length sizes in
+    let module BG = Bypass_gadget.Make (F) in
+    let ell = BG.basic_path_length ~capacity in
+    let delta = Repro_field.Field.harmonic_diff (module F) (capacity + ell) capacity in
+    (* Node layout: 0 = root; then per bin j: ell path nodes (last =
+       connector); then per item i: center x_i followed by s_i - 1 leaves. *)
+    let next = ref 1 in
+    let fresh () =
+      let v = !next in
+      incr next;
+      v
+    in
+    let edges = ref [] in
+    let edge_count = ref 0 in
+    let add u v w =
+      edges := (u, v, w) :: !edges;
+      let id = !edge_count in
+      incr edge_count;
+      id
+    in
+    let fixed = ref [] in
+    let connectors =
+      Array.init k (fun _ ->
+          let first = fresh () in
+          fixed := add 0 first F.one :: !fixed;
+          let rec extend prev i =
+            if i = ell then prev
+            else begin
+              let nxt = fresh () in
+              fixed := add prev nxt F.one :: !fixed;
+              extend nxt (i + 1)
+            end
+          in
+          let connector = extend first 1 in
+          (* Bypass edge: not in any MST. *)
+          ignore (add connector 0 delta);
+          connector)
+    in
+    let item_centers =
+      Array.init n_items (fun i ->
+          let center = fresh () in
+          for _ = 1 to sizes.(i) - 1 do
+            let leaf = fresh () in
+            fixed := add center leaf F.zero :: !fixed
+          done;
+          center)
+    in
+    let two_delta = F.add delta delta in
+    let bipartite_edge =
+      Array.init n_items (fun i ->
+          Array.init k (fun j -> add item_centers.(i) connectors.(j) two_delta))
+    in
+    let graph = G.create ~n:!next (List.rev !edges) in
+    let mst_weight =
+      F.add (F.of_int (k * ell)) (F.mul (F.of_int n_items) two_delta)
+    in
+    {
+      instance;
+      graph;
+      root = 0;
+      ell;
+      connectors;
+      item_centers;
+      bipartite_edge;
+      fixed_tree_edges = List.sort compare !fixed;
+      mst_weight;
+    }
+
+  let spec t = Gm.broadcast ~graph:t.graph ~root:t.root
+
+  (** The MST induced by an item-to-bin assignment. *)
+  let tree_of_assignment t assignment =
+    if Array.length assignment <> Array.length t.item_centers then
+      invalid_arg "Binpacking_to_snd.tree_of_assignment: wrong arity";
+    let picks =
+      Array.to_list (Array.mapi (fun i j -> t.bipartite_edge.(i).(j)) assignment)
+    in
+    G.Tree.of_edge_ids t.graph ~root:t.root (List.sort compare (picks @ t.fixed_tree_edges))
+
+  (** Is the assignment's MST an equilibrium of the (unsubsidized)
+      broadcast game? By the reduction, true iff every bin is filled to
+      exactly C. *)
+  let assignment_is_equilibrium t assignment =
+    Gm.Broadcast.is_tree_equilibrium (spec t) (tree_of_assignment t assignment)
+
+  (** Search all k^n assignments for one whose MST is an equilibrium
+      (exhaustive verification; tiny instances only). Bins are
+      interchangeable, so the first item is pinned to bin 0. *)
+  let find_equilibrium_mst ?(max_assignments = 2_000_000) t =
+    let n = Array.length t.item_centers in
+    let k = t.instance.Repro_problems.Binpacking.bins in
+    let assignment = Array.make n 0 in
+    let tried = ref 0 in
+    let rec go i =
+      if !tried > max_assignments then None
+      else if i = n then begin
+        incr tried;
+        if assignment_is_equilibrium t assignment then Some (Array.copy assignment) else None
+      end
+      else begin
+        let limit = if i = 0 then 1 else k in
+        let rec try_bin j =
+          if j >= limit then None
+          else begin
+            assignment.(i) <- j;
+            match go (i + 1) with Some a -> Some a | None -> try_bin (j + 1)
+          end
+        in
+        try_bin 0
+      end
+    in
+    go 0
+
+  (** The end-to-end correspondence claim of Theorem 3 for this instance:
+      the packing solver and the equilibrium-MST search must agree. *)
+  let correspondence_holds t =
+    let packed = Repro_problems.Binpacking.solve t.instance in
+    let eq = find_equilibrium_mst t in
+    match (packed, eq) with
+    | Some a, Some _ ->
+        (* The packing's own MST must itself be an equilibrium. *)
+        assignment_is_equilibrium t a
+    | None, None -> true
+    | Some _, None | None, Some _ -> false
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)

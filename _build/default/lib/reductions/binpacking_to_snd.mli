@@ -1,0 +1,43 @@
+(** The Theorem 3 reduction (Figure 2): strict BIN PACKING to broadcast
+    STABLE NETWORK DESIGN with budget zero. Minimum spanning trees of the
+    constructed game correspond exactly to item-to-bin assignments, and an
+    MST is an equilibrium iff its assignment fills every bin to exactly the
+    capacity. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+
+  type t = {
+    instance : Repro_problems.Binpacking.t;
+    graph : G.t;
+    root : int;
+    ell : int;
+    connectors : int array; (** per bin *)
+    item_centers : int array; (** per item: x_i *)
+    bipartite_edge : int array array; (** .(item).(bin) = edge id *)
+    fixed_tree_edges : int list; (** basic paths + star leaves: in every MST *)
+    mst_weight : F.t;
+  }
+
+  (** Requires the paper's strict form ({!Repro_problems.Binpacking.is_strict}). *)
+  val build : Repro_problems.Binpacking.t -> t
+
+  val spec : t -> Gm.spec
+
+  (** The MST induced by an item-to-bin assignment. *)
+  val tree_of_assignment : t -> int array -> G.Tree.t
+
+  (** True iff every bin is filled to exactly C (by the reduction). *)
+  val assignment_is_equilibrium : t -> int array -> bool
+
+  (** Exhaustive search over assignments (first item pinned to bin 0) for
+      an equilibrium MST; tiny instances only. *)
+  val find_equilibrium_mst : ?max_assignments:int -> t -> int array option
+
+  (** End-to-end agreement with the independent exact packing solver. *)
+  val correspondence_holds : t -> bool
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,79 @@
+(** The Bypass gadget of Theorem 3 (Figure 1, Lemma 4).
+
+    A root, a basic path of l unit edges ending at the connector node c, and
+    a bypass edge (c, r) of weight H_{kappa+l} - H_kappa, where l is the
+    least integer making that weight exceed 1. Attaching a subgraph of beta
+    nodes behind the connector makes beta + 1 players share the basic path;
+    Lemma 4 says the connector player deviates to the bypass edge iff
+    beta < kappa. The experiment harness sweeps beta to reproduce exactly
+    that threshold. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+
+  type t = {
+    graph : G.t;
+    root : int;
+    connector : int;
+    capacity : int;
+    ell : int;
+    beta : int;
+    bypass_edge : int; (* edge id *)
+    tree_edge_ids : int list; (* basic path + attached star: the MST *)
+  }
+
+  (** Least l with H_{kappa+l} - H_kappa > 1, decided in the field. *)
+  let basic_path_length ~capacity =
+    let rec go l =
+      let d = Repro_field.Field.harmonic_diff (module F) (capacity + l) capacity in
+      if F.compare d F.one > 0 then l else go (l + 1)
+    in
+    go 1
+
+  (** Build the gadget with [beta] extra nodes attached to the connector by
+      zero-weight edges (the subgraph S of Figure 1, in its simplest
+      shape — only the count of players behind c matters for Lemma 4). *)
+  let build ~capacity ~beta =
+    if capacity < 1 then invalid_arg "Bypass_gadget.build: capacity >= 1";
+    let ell = basic_path_length ~capacity in
+    (* Nodes: 0 = root; 1..ell = basic path (ell = connector);
+       ell+1 .. ell+beta = attached nodes. *)
+    let connector = ell in
+    let path_edges = List.init ell (fun i -> (i, i + 1, F.one)) in
+    let bypass_weight = Repro_field.Field.harmonic_diff (module F) (capacity + ell) capacity in
+    let star_edges = List.init beta (fun i -> (connector, ell + 1 + i, F.zero)) in
+    let graph =
+      G.create ~n:(ell + beta + 1) (path_edges @ ((connector, 0, bypass_weight) :: star_edges))
+    in
+    let bypass_edge = ell in
+    let tree_edge_ids = List.init ell (fun i -> i) @ List.init beta (fun i -> ell + 1 + i) in
+    { graph; root = 0; connector; capacity; ell; beta; bypass_edge; tree_edge_ids }
+
+  let spec t = Gm.broadcast ~graph:t.graph ~root:t.root
+  let tree t = G.Tree.of_edge_ids t.graph ~root:t.root t.tree_edge_ids
+
+  (** Does the connector player strictly prefer the bypass edge over her
+      basic-path route in the target tree? (Lemma 4: yes iff beta <
+      capacity.) *)
+  let connector_deviates t =
+    let sp = spec t in
+    let tr = tree t in
+    let cost_on_path =
+      (* H_{beta+ell} - H_beta: shares 1/(beta+1) ... 1/(beta+ell). *)
+      Repro_field.Field.harmonic_diff (module F) (t.beta + t.ell) t.beta
+    in
+    let player = Gm.broadcast_player ~root:t.root t.connector in
+    let state = Gm.Broadcast.state_of_tree sp ~root:t.root tr in
+    (* Sanity: the model agrees with the closed form. *)
+    assert (F.approx_equal (Gm.player_cost sp state player) cost_on_path);
+    let bypass_weight = G.weight t.graph t.bypass_edge in
+    F.compare bypass_weight cost_on_path < 0
+
+  (** The full Lemma 4 statement for this gadget: the target tree is an
+      equilibrium iff beta >= capacity. *)
+  let tree_is_equilibrium t = Gm.Broadcast.is_tree_equilibrium (spec t) (tree t)
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)

@@ -1,0 +1,39 @@
+(** The Bypass gadget of Theorem 3 (Figure 1, Lemma 4): a basic path of l
+    unit edges from the root to the connector c, a bypass edge (c, root) of
+    weight H_{kappa+l} - H_kappa, and beta nodes attached behind c. Lemma 4:
+    the connector player deviates to the bypass edge iff beta < kappa. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+
+  type t = {
+    graph : G.t;
+    root : int;
+    connector : int;
+    capacity : int;
+    ell : int;
+    beta : int;
+    bypass_edge : int; (** edge id *)
+    tree_edge_ids : int list; (** basic path + attached star: the MST *)
+  }
+
+  (** Least l with H_{kappa+l} - H_kappa > 1, decided in the field. *)
+  val basic_path_length : capacity:int -> int
+
+  (** The gadget with [beta] zero-weight leaves behind the connector. *)
+  val build : capacity:int -> beta:int -> t
+
+  val spec : t -> Gm.spec
+  val tree : t -> G.Tree.t
+
+  (** Lemma 4's threshold: true iff beta < capacity. *)
+  val connector_deviates : t -> bool
+
+  (** The full statement: the target tree is an equilibrium iff
+      beta >= capacity. *)
+  val tree_is_equilibrium : t -> bool
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

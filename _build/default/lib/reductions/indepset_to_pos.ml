@@ -1,0 +1,154 @@
+(** The Theorem 5 reduction: INDEPENDENT SET in 3-regular graphs to price of
+    stability of broadcast games (Figure 3).
+
+    From a 3-regular graph H build a broadcast game G: one node per H-node
+    (set U) and per H-edge (set V), all connected to the root by unit
+    edges; each V-node connected to its two incident U-nodes by edges of
+    weight (2 + delta)/3. Equilibrium spanning trees decompose into
+    branches of types A (a single unit edge) and B (a U-node carrying its
+    three V-neighbours), B-branches correspond to independent-set nodes,
+    and the equilibrium weight is 5n/2 - (1 - delta)m for an independent
+    set of size m. Maximizing m minimizes the best equilibrium, connecting
+    the independence number to the price of stability. *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+
+  type t = {
+    h : Repro_problems.Indepset.t;
+    delta : F.t;
+    graph : G.t;
+    root : int;
+    node_of_u : int array; (* game node of H-node *)
+    node_of_e : int array; (* game node of H-edge *)
+    unit_edge : int array; (* per game node (non-root): its unit edge id *)
+    incidence : (int * int) array array; (* .(h_edge) = [| (h_node, edge id); ... |] *)
+  }
+
+  let build h ~delta =
+    if not (Repro_problems.Indepset.is_3regular h) then
+      invalid_arg "Indepset_to_pos.build: H must be 3-regular";
+    if F.sign delta <= 0 || F.compare delta (F.of_q 1 12) > 0 then
+      invalid_arg "Indepset_to_pos.build: delta must be in (0, 1/12]";
+    let n = Repro_problems.Indepset.n_nodes h in
+    let m = Repro_problems.Indepset.n_edges h in
+    let node_of_u = Array.init n (fun i -> 1 + i) in
+    let node_of_e = Array.init m (fun j -> 1 + n + j) in
+    let edges = ref [] in
+    let count = ref 0 in
+    let add u v w =
+      edges := (u, v, w) :: !edges;
+      let id = !count in
+      incr count;
+      id
+    in
+    (* Unit edges to the root, in game-node order. *)
+    let unit_edge = Array.make (1 + n + m) (-1) in
+    Array.iter (fun gn -> unit_edge.(gn) <- add gn 0 F.one) node_of_u;
+    Array.iter (fun gn -> unit_edge.(gn) <- add gn 0 F.one) node_of_e;
+    (* Incidence edges of weight (2 + delta)/3. *)
+    let w_inc = F.div (F.add (F.of_int 2) delta) (F.of_int 3) in
+    let incidence =
+      Array.of_list
+        (List.mapi
+           (fun j (u, v) ->
+             [|
+               (u, add node_of_e.(j) node_of_u.(u) w_inc);
+               (v, add node_of_e.(j) node_of_u.(v) w_inc);
+             |])
+           h.Repro_problems.Indepset.edges)
+    in
+    let graph = G.create ~n:(1 + n + m) (List.rev !edges) in
+    { h; delta; graph; root = 0; node_of_u; node_of_e; unit_edge; incidence }
+
+  let spec t = Gm.broadcast ~graph:t.graph ~root:t.root
+
+  (** The spanning tree made of type-B branches for the independent set [i]
+      and type-A branches for everything else. Raises if [i] is not
+      independent in H (a V-node would have two parents). *)
+  let tree_of_independent_set t nodes =
+    if not (Repro_problems.Indepset.is_independent t.h nodes) then
+      invalid_arg "Indepset_to_pos.tree_of_independent_set: set is not independent";
+    let in_set = Array.make (Repro_problems.Indepset.n_nodes t.h) false in
+    List.iter (fun u -> in_set.(u) <- true) nodes;
+    let ids = ref [] in
+    (* U-nodes: root edge if not selected; selected ones also appear here
+       (a type-B branch still uses the unit edge to the root). *)
+    Array.iteri (fun u gn -> ignore u; ids := t.unit_edge.(gn) :: !ids) t.node_of_u;
+    (* V-nodes: hang off a selected endpoint when one exists. *)
+    Array.iteri
+      (fun j pair ->
+        let attached =
+          Array.fold_left
+            (fun acc (u, edge_id) -> if acc = None && in_set.(u) then Some edge_id else acc)
+            None pair
+        in
+        match attached with
+        | Some edge_id -> ids := edge_id :: !ids
+        | None -> ids := t.unit_edge.(t.node_of_e.(j)) :: !ids)
+      t.incidence;
+    G.Tree.of_edge_ids t.graph ~root:t.root (List.sort compare !ids)
+
+  (** 5n/2 - (1 - delta) * m, the equilibrium weight formula. *)
+  let equilibrium_weight t ~m =
+    let n = Repro_problems.Indepset.n_nodes t.h in
+    F.sub
+      (F.of_q (5 * n) 2)
+      (F.mul (F.sub F.one t.delta) (F.of_int m))
+
+  (** The best equilibrium the reduction promises: build the tree of a
+      maximum independent set. Returns (weight, tree). *)
+  let best_equilibrium t =
+    let mis = Repro_problems.Indepset.max_independent_set t.h in
+    let tree = tree_of_independent_set t mis in
+    (G.Tree.total_weight tree, tree, mis)
+
+  (** Weight of the all-type-A star (every node via its unit edge) —
+      always an equilibrium, of weight 5n/2. *)
+  let star_tree t =
+    tree_of_independent_set t []
+
+  (** The Figure 3 branch taxonomy. A branch is a root-child subtree; the
+      proof of Theorem 5 shows equilibria consist only of types A and B. *)
+  type branch_type = A | B | C | D | E
+
+  let classify_branches t (tree : G.Tree.t) =
+    let depth_below c =
+      List.fold_left
+        (fun acc v -> max acc (G.Tree.depth tree v))
+        (G.Tree.depth tree c)
+        (G.Tree.subtree_nodes tree c)
+    in
+    let is_u_node =
+      let mark = Array.make (G.n_nodes t.graph) false in
+      Array.iter (fun gn -> mark.(gn) <- true) t.node_of_u;
+      fun v -> mark.(v)
+    in
+    List.map
+      (fun c ->
+        match depth_below c with
+        | 1 -> (c, A)
+        | 2 ->
+            if is_u_node c && List.length (G.Tree.children tree c) = 3 then (c, B)
+            else (c, C)
+        | 3 -> (c, D)
+        | _ -> (c, E))
+      (G.Tree.children tree t.root)
+
+  (** The independent set read off a tree's type-B branches (their centers,
+      as H-nodes). *)
+  let b_branch_set t tree =
+    List.filter_map
+      (fun (c, ty) ->
+        if ty <> B then None
+        else
+          (* Map the game node back to its H-node. *)
+          let h = ref None in
+          Array.iteri (fun u gn -> if gn = c then h := Some u) t.node_of_u;
+          !h)
+      (classify_branches t tree)
+end
+
+module Float = Make (Repro_field.Field.Float_field)
+module Rat = Make (Repro_field.Field.Rat)

@@ -1,0 +1,53 @@
+(** The Theorem 5 reduction (Figure 3): INDEPENDENT SET in 3-regular graphs
+    to the price of stability of broadcast games. Independent sets of size
+    m correspond to equilibrium spanning trees of weight
+    5n/2 - (1 - delta) m (type-B branches for chosen nodes, type-A unit
+    edges for the rest), so the best equilibrium needs alpha(H). *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+
+  type t = {
+    h : Repro_problems.Indepset.t;
+    delta : F.t;
+    graph : G.t;
+    root : int;
+    node_of_u : int array; (** game node per H-node *)
+    node_of_e : int array; (** game node per H-edge *)
+    unit_edge : int array; (** per game node: its unit edge id *)
+    incidence : (int * int) array array; (** .(h_edge) = [| (h_node, edge id); .. |] *)
+  }
+
+  (** Requires H 3-regular and delta in (0, 1/12]. *)
+  val build : Repro_problems.Indepset.t -> delta:F.t -> t
+
+  val spec : t -> Gm.spec
+
+  (** Type-B branches for the given independent set; raises
+      [Invalid_argument] on dependent sets. *)
+  val tree_of_independent_set : t -> int list -> G.Tree.t
+
+  (** 5n/2 - (1 - delta) m. *)
+  val equilibrium_weight : t -> m:int -> F.t
+
+  (** The tree of a maximum independent set: (weight, tree, the set). *)
+  val best_equilibrium : t -> F.t * G.Tree.t * int list
+
+  (** The all-type-A star (weight 5n/2), always an equilibrium. *)
+  val star_tree : t -> G.Tree.t
+
+  (** The Figure 3 branch taxonomy (root-child subtrees by shape). The
+      proof of Theorem 5 shows equilibrium trees contain only A and B. *)
+  type branch_type = A | B | C | D | E
+
+  (** Each root child with its branch type. *)
+  val classify_branches : t -> G.Tree.t -> (int * branch_type) list
+
+  (** The H-nodes whose branches are type B — an independent set whenever
+      the tree is an equilibrium. *)
+  val b_branch_set : t -> G.Tree.t -> int list
+end
+
+module Float : module type of Make (Repro_field.Field.Float_field)
+module Rat : module type of Make (Repro_field.Field.Rat)

@@ -1,0 +1,81 @@
+(** The Theorem 12 reduction (Figures 5-7): 3SAT-4 to all-or-nothing STABLE
+    NETWORK ENFORCEMENT. Consistent balanced light subsidy assignments (one
+    unit edge per literal gadget, consistently across a variable's
+    occurrences) are in bijection with truth assignments, and such an
+    assignment enforces the target tree iff the truth assignment satisfies
+    the formula (Lemma 19 / Corollary 20) — checked exhaustively with the
+    exact-rational engine in the tests. *)
+
+module Sat = Repro_problems.Sat
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+
+  type gadget = {
+    clause : int;
+    position : int; (** 0, 1, 2 in label order *)
+    lit : Sat.literal;
+    label : int;
+    l_node : int;
+    u_bar : int; (** u(c, lbar): middle chain node *)
+    u_node : int; (** u(c, l): outer chain node *)
+    light1 : int; (** edge id (l_node, u_bar); in E(lbar) *)
+    light2 : int; (** edge id (u_bar, u_node); in E(l) *)
+  }
+
+  type t = {
+    formula : Sat.t;
+    label : int array; (** per variable, 1-based *)
+    n_labels : int;
+    nj : int array; (** nj.(j) for 1 <= j <= n_labels *)
+    graph : G.t;
+    root : int;
+    tree_edge_ids : int list;
+    gadgets : gadget array array; (** .(clause).(position) *)
+    clause_nodes : int array;
+    k_const : F.t;
+    n_aux : int;
+  }
+
+  (** Gadget sizing: [`Paper] is the faithful squared recursion
+      (n_L = 7, n_j = 4 n_{j+1}^2 — astronomically large constants,
+      buildable only for one-clause formulas); [`Geometric r] is the
+      compact variant, certified per instance by exhaustive verification
+      and provably insufficient for 4-label formulas (pinned regression).
+      See DESIGN.md §2. *)
+  type growth = [ `Paper | `Geometric of int ]
+
+  (** Requires a 3SAT-4 formula; raises [Invalid_argument] when the gadget
+      graph would exceed [max_nodes] (default 400k). Default growth:
+      [`Geometric 4]. *)
+  val build : ?max_nodes:int -> ?growth:growth -> Sat.t -> t
+
+  val spec : t -> Gm.spec
+  val tree : t -> G.Tree.t
+
+  (** The engineered player counts: n_j on a label-j gadget's first light
+      edge, n_j - 3 on its second. *)
+  val usage_counts_ok : t -> bool
+
+  (** The consistent balanced light assignment of a truth assignment
+      (subsidize E(l) for every true literal l), as a per-edge mask. *)
+  val chosen_of_assignment : t -> bool array -> bool array
+
+  val enforces_chosen : t -> bool array -> bool
+  val assignment_enforces : t -> bool array -> bool
+
+  (** 3 |C|: one unit edge per literal gadget. *)
+  val light_cost : t -> int
+
+  (** Corollary 20, exhaustively: over all 2^n truth assignments,
+      enforcement iff satisfaction. Guarded to n_vars <= 16. *)
+  val verify_all_assignments : t -> bool
+
+  type stats = { nodes : int; edges : int; aux : int; labels : int; players : int }
+
+  val stats : t -> stats
+end
+
+module Rat : module type of Make (Repro_field.Field.Rat)
+module Float : module type of Make (Repro_field.Field.Float_field)

@@ -1,0 +1,1 @@
+lib/util/harmonic.ml: Array Float Lazy

@@ -1,0 +1,39 @@
+(** Tolerant floating-point comparisons.
+
+    Equilibrium checks compare sums of cost shares; in floating point these
+    accumulate rounding error, so every comparison in the float-instantiated
+    stack goes through these helpers with a single, documented tolerance.
+    The exact-rational instantiation bypasses this module entirely. *)
+
+(** Default absolute/relative tolerance used across the float stack. *)
+let default_eps = 1e-9
+
+let approx_eq ?(eps = default_eps) a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+(** [leq a b] holds when [a <= b] up to tolerance ([a] may exceed [b] by a
+    rounding-sized amount). *)
+let leq ?(eps = default_eps) a b = a <= b || approx_eq ~eps a b
+
+(** [lt a b] holds when [a] is smaller than [b] by more than the tolerance. *)
+let lt ?(eps = default_eps) a b = a < b && not (approx_eq ~eps a b)
+
+let geq ?eps a b = leq ?eps b a
+let gt ?eps a b = lt ?eps b a
+
+(** [clamp ~lo ~hi x] restricts [x] to the interval [\[lo, hi\]]. *)
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+(** [sum_kahan a] sums a float array with Kahan compensation, reducing the
+    error of long cost-share sums. *)
+let sum_kahan a =
+  let sum = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !sum +. y in
+      c := t -. !sum -. y;
+      sum := t)
+    a;
+  !sum

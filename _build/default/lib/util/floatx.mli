@@ -1,0 +1,21 @@
+(** Tolerant floating-point comparisons — the single place where
+    inexactness is allowed to influence decisions in the float-instantiated
+    stack. The tolerance is relative to the magnitudes involved. *)
+
+(** The default relative tolerance (1e-9). *)
+val default_eps : float
+
+val approx_eq : ?eps:float -> float -> float -> bool
+
+(** [leq a b]: [a <= b] up to tolerance. *)
+val leq : ?eps:float -> float -> float -> bool
+
+(** [lt a b]: [a < b] by more than the tolerance. *)
+val lt : ?eps:float -> float -> float -> bool
+
+val geq : ?eps:float -> float -> float -> bool
+val gt : ?eps:float -> float -> float -> bool
+val clamp : lo:float -> hi:float -> float -> float
+
+(** Kahan-compensated sum of an array. *)
+val sum_kahan : float array -> float

@@ -1,0 +1,48 @@
+(** Harmonic numbers H_n = 1 + 1/2 + ... + 1/n.
+
+    They appear throughout the paper: the price-of-stability upper bound is
+    H_n (Anshelevich et al.), the Bypass gadget of Theorem 3 is sized so that
+    H_{kappa+l} - H_kappa > 1, and the Theorem 6/11 analysis rests on
+    H_n - H_k ~ ln(n/k).
+
+    Values are memoized; [h n] is exact summation for small [n] and switches
+    to the asymptotic expansion for very large [n] where direct summation
+    would both be slow and accumulate error. *)
+
+let euler_mascheroni = 0.5772156649015328606
+
+let table_limit = 1 lsl 16
+
+let table =
+  lazy
+    (let t = Array.make (table_limit + 1) 0.0 in
+     for i = 1 to table_limit do
+       t.(i) <- t.(i - 1) +. (1.0 /. float_of_int i)
+     done;
+     t)
+
+(** [h n] returns H_n. [h 0 = 0]. Raises [Invalid_argument] on negative
+    input. *)
+let h n =
+  if n < 0 then invalid_arg "Harmonic.h: negative index"
+  else if n <= table_limit then (Lazy.force table).(n)
+  else
+    (* Asymptotic expansion: H_n = ln n + gamma + 1/2n - 1/12n^2 + 1/120n^4. *)
+    let nf = float_of_int n in
+    Float.log nf +. euler_mascheroni
+    +. (1.0 /. (2.0 *. nf))
+    -. (1.0 /. (12.0 *. nf *. nf))
+    +. (1.0 /. (120.0 *. (nf ** 4.0)))
+
+(** [diff n k] returns H_n - H_k = sum_{t=k+1}^{n} 1/t (requires [n >= k]). *)
+let diff n k =
+  if k > n then invalid_arg "Harmonic.diff: k > n";
+  h n -. h k
+
+(** [min_l_exceeding kappa] returns the minimum positive integer l with
+    H_{kappa+l} - H_kappa > 1 — the basic-path length of a Bypass gadget of
+    capacity kappa (Theorem 3). *)
+let min_l_exceeding kappa =
+  if kappa < 0 then invalid_arg "Harmonic.min_l_exceeding: negative capacity";
+  let rec go l = if diff (kappa + l) kappa > 1.0 then l else go (l + 1) in
+  go 1

@@ -1,0 +1,15 @@
+(** Float harmonic numbers H_n, memoized for small n and via the asymptotic
+    expansion for very large n. The paper's bounds (H_n price of stability,
+    Bypass gadget sizing, the 1/e analyses) all live on these. *)
+
+val euler_mascheroni : float
+
+(** H_n; [h 0 = 0]; raises [Invalid_argument] on negative input. *)
+val h : int -> float
+
+(** [diff n k] = H_n - H_k, requires [n >= k]. *)
+val diff : int -> int -> float
+
+(** Least positive l with H_{kappa+l} - H_kappa > 1: the basic-path length
+    of a Bypass gadget of capacity kappa (Theorem 3). *)
+val min_l_exceeding : int -> int

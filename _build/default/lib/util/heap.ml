@@ -1,0 +1,72 @@
+(** Array-backed binary min-heap with a caller-supplied comparison.
+
+    Used as the priority queue of Dijkstra's algorithm and of the
+    branch-and-bound solvers. Grows geometrically; [pop] returns [None] when
+    empty rather than raising, which keeps the Dijkstra loop allocation-free
+    of exception handlers. *)
+
+type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable size : int }
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let ensure_capacity t =
+  if t.size = Array.length t.data then begin
+    let cap = max 16 (2 * Array.length t.data) in
+    (* The placeholder slots are never read before being written. *)
+    let data = Array.make cap t.data.(0) in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(p) < 0 then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if Array.length t.data = 0 then t.data <- Array.make 16 x;
+  ensure_capacity t;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+(** Drain the heap in priority order into a list. *)
+let to_sorted_list t =
+  let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

@@ -1,0 +1,20 @@
+(** Array-backed binary min-heap with a caller-supplied comparison.
+
+    The priority queue behind Dijkstra and the branch-and-bound solvers.
+    Not thread-safe; grows geometrically. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** Smallest element without removing it; [None] when empty. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element; [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** Drain the heap in priority order (empties it). *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,41 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every randomized generator in the repository threads one of these
+    explicitly so that instances are reproducible from a printed seed, and
+    parallel sweeps can {!split} independent streams per worker. *)
+
+type t
+
+(** A generator seeded deterministically. *)
+val create : int -> t
+
+(** Snapshot that replays the same stream. *)
+val copy : t -> t
+
+(** Derive an independent stream (advances the parent). *)
+val split : t -> t
+
+(** 62 uniform non-negative bits. *)
+val bits : t -> int
+
+(** Uniform in [\[0, n)]; raises [Invalid_argument] if [n <= 0]. Uses
+    rejection sampling, so there is no modulo bias. *)
+val int : t -> int -> int
+
+(** Uniform in [\[lo, hi\]]; raises on an empty range. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** Uniform in [\[0, x)]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Uniform element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** [sample t k a]: [k] distinct positions of [a], uniformly, in random
+    order. Raises if [k > Array.length a]. *)
+val sample : t -> int -> 'a array -> 'a array

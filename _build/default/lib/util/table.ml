@@ -1,0 +1,55 @@
+(** Minimal aligned ASCII table rendering for the benchmark harness.
+
+    The benchmark executable prints one table per reproduced experiment; this
+    module keeps that output readable without pulling in a formatting
+    dependency. Cells are strings; columns are sized to their widest cell. *)
+
+type t = { title : string; header : string list; mutable rows : string list list }
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let cell_f ?(digits = 4) x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" digits x
+
+let cell_i = string_of_int
+let cell_b b = if b then "yes" else "no"
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)))
+    all;
+  let buf = Buffer.create 256 in
+  let sep () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line r =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf (Printf.sprintf "| %-*s " widths.(i) c))
+      r;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("\n== " ^ t.title ^ " ==\n");
+  sep ();
+  (match all with
+  | header :: rest ->
+      line header;
+      sep ();
+      List.iter line rest
+  | [] -> ());
+  sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,18 @@
+(** Aligned ASCII tables for the experiment harness. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+val add_row : t -> string list -> unit
+val add_rows : t -> string list list -> unit
+
+(** Format a float cell ([digits] defaults to 4; integers print bare). *)
+val cell_f : ?digits:int -> float -> string
+
+val cell_i : int -> string
+
+(** ["yes"] / ["no"]. *)
+val cell_b : bool -> string
+
+val render : t -> string
+val print : t -> unit

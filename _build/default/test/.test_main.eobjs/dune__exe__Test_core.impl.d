@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Option Printf QCheck2 QCheck_alcotest Repro_core Repro_game Repro_util Stdlib

@@ -1,0 +1,1 @@
+test/test_directed.ml: Alcotest List Printf QCheck2 QCheck_alcotest Repro_field Repro_game Repro_util

@@ -1,0 +1,1 @@
+test/test_exactness.ml: Alcotest Float List Option QCheck2 QCheck_alcotest Repro_core Repro_field Repro_game Repro_util

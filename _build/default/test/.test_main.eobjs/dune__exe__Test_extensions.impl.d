@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename List Printf QCheck2 QCheck_alcotest Repro_core Repro_field Repro_game Repro_util Sys

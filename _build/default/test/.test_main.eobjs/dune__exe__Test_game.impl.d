@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Option QCheck2 QCheck_alcotest Repro_game Repro_util

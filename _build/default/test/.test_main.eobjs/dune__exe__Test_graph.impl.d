@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List Option QCheck2 QCheck_alcotest Repro_field Repro_graph Repro_util

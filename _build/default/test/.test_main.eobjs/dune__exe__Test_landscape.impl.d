@@ -1,0 +1,1 @@
+test/test_landscape.ml: Alcotest List Option QCheck2 QCheck_alcotest Repro_core Repro_game Repro_util

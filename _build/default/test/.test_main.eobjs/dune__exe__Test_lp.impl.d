@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Format List Option QCheck2 QCheck_alcotest Repro_field Repro_lp Repro_util String

@@ -1,0 +1,1 @@
+test/test_problems.ml: Alcotest Array List QCheck2 QCheck_alcotest Repro_problems Repro_util

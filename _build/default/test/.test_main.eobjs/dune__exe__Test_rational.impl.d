@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Float List Printf QCheck2 QCheck_alcotest Repro_field Repro_util

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array List Option Printf QCheck2 QCheck_alcotest Repro_field Repro_game Repro_problems Repro_reductions Repro_util

@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array List Option QCheck2 QCheck_alcotest Repro_game Repro_graph Repro_util

@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Array Option QCheck2 QCheck_alcotest Repro_core Repro_game Repro_util

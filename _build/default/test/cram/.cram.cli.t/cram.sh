@@ -1,0 +1,16 @@
+  $ sne_cli solve --seed 3 -n 9
+  $ sne_cli solve --seed 3 -n 9 --method thm6 | tail -n +2 | head -n 1
+  $ cat > line.inst <<'END'
+  > nodes 3
+  > root 0
+  > edge 0 1 2
+  > edge 1 2 2
+  > edge 0 2 5/2
+  > tree 0 1
+  > END
+  $ sne_cli solve --file line.inst
+  $ sne_cli landscape --seed 4 -n 7
+  $ sne_cli lower-bound --family cycle --max-n 32
+  $ sne_cli reduction --which bypass
+  $ sne_cli solve --file ../../instances/twin_hubs.inst
+  $ sne_cli solve --file ../../instances/cycle16.inst | head -n 2

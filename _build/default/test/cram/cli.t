@@ -1,0 +1,77 @@
+The CLI end-to-end, on deterministic seeds.
+
+Solving SNE with the broadcast LP:
+
+  $ sne_cli solve --seed 3 -n 9
+  instance: seed=3, 9 nodes, 14 edges, root 3, target tree weight 21.000
+  LP (3): total subsidies 0.9167 (4.37% of the tree)
+    edge 8 (8-6, weight 3.000): subsidize 0.9167
+  MST is an equilibrium under this plan: true
+
+The Theorem 6 construction spends its full 1/e guarantee:
+
+  $ sne_cli solve --seed 3 -n 9 --method thm6 | tail -n +2 | head -n 1
+  Theorem 6 construction: total subsidies 7.7255 (36.79% of the tree)
+
+Loading an instance from a file (rational weights allowed):
+
+  $ cat > line.inst <<'END'
+  > nodes 3
+  > root 0
+  > edge 0 1 2
+  > edge 1 2 2
+  > edge 0 2 5/2
+  > tree 0 1
+  > END
+  $ sne_cli solve --file line.inst
+  instance: line.inst, 3 nodes, 3 edges, root 0, target tree weight 4.000
+  LP (3): total subsidies 0.5000 (12.50% of the tree)
+    edge 1 (1-2, weight 2.000): subsidize 0.5000
+  MST is an equilibrium under this plan: true
+
+The exact equilibrium landscape:
+
+  $ sne_cli landscape --seed 4 -n 7
+  spanning trees: 284, of which equilibria: 4
+  MST weight: 30.000
+  best equilibrium: weight 30.000, edges 0,1,5,6,9,11
+  worst equilibrium: weight 37.000
+  price of stability: 1.0000 (H_n bound: 2.4500)
+
+The Theorem 11 family converging to 1/e:
+
+  $ sne_cli lower-bound --family cycle --max-n 32
+  
+  == Theorem 11: unit cycle ==
+  +----+--------+--------+
+  | n  | ratio  | 1/e    |
+  +----+--------+--------+
+  | 8  | 0.3317 | 0.3679 |
+  | 16 | 0.3490 | 0.3679 |
+  | 32 | 0.3582 | 0.3679 |
+  +----+--------+--------+
+
+The bypass reduction:
+
+  $ sne_cli reduction --which bypass
+  capacity 4, beta 1: connector deviates = true
+  capacity 4, beta 2: connector deviates = true
+  capacity 4, beta 3: connector deviates = true
+  capacity 4, beta 4: connector deviates = false
+  capacity 4, beta 5: connector deviates = false
+  capacity 4, beta 6: connector deviates = false
+  capacity 4, beta 7: connector deviates = false
+  capacity 4, beta 8: connector deviates = false
+
+The shipped instance corpus loads and solves:
+
+  $ sne_cli solve --file ../../instances/twin_hubs.inst
+  instance: ../../instances/twin_hubs.inst, 7 nodes, 10 edges, root 0, target tree weight 7.600
+  LP (3): total subsidies 0.6000 (7.89% of the tree)
+    edge 5 (2-5, weight 1.000): subsidize 0.3000
+    edge 8 (4-6, weight 1.000): subsidize 0.3000
+  MST is an equilibrium under this plan: true
+
+  $ sne_cli solve --file ../../instances/cycle16.inst | head -n 2
+  instance: ../../instances/cycle16.inst, 17 nodes, 17 edges, root 0, target tree weight 16.000
+  LP (3): total subsidies 5.5844 (34.90% of the tree)

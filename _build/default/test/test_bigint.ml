@@ -1,0 +1,165 @@
+(* Unit and property tests for the arbitrary-precision integer substrate.
+
+   Properties are checked against native int arithmetic on ranges where the
+   native result is exact, and against algebraic identities (ring axioms,
+   division laws) on values far beyond 63 bits constructed from strings. *)
+
+module B = Repro_field.Bigint
+
+let b = B.of_int
+let check_str msg expected actual = Alcotest.(check string) msg expected (B.to_string actual)
+
+(* Generator for ints whose products stay exact in native arithmetic. *)
+let small_int = QCheck2.Gen.int_range (-1_000_000) 1_000_000
+
+(* Generator for bigints of up to ~120 decimal digits. *)
+let big_gen =
+  let open QCheck2.Gen in
+  let* ndigits = int_range 1 120 in
+  let* sign = oneofl [ ""; "-" ] in
+  let* first = int_range 1 9 in
+  let* rest = list_size (return (ndigits - 1)) (int_range 0 9) in
+  return
+    (B.of_string
+       (sign ^ string_of_int first ^ String.concat "" (List.map string_of_int rest)))
+
+let big_print x = B.to_string x
+
+let unit_tests =
+  [
+    Alcotest.test_case "zero and one" `Quick (fun () ->
+        check_str "zero" "0" B.zero;
+        check_str "one" "1" B.one;
+        Alcotest.(check bool) "is_zero" true (B.is_zero B.zero);
+        Alcotest.(check int) "sign -5" (-1) (B.sign (b (-5))));
+    Alcotest.test_case "of_int round-trips through to_string" `Quick (fun () ->
+        List.iter
+          (fun i -> check_str (string_of_int i) (string_of_int i) (b i))
+          [ 0; 1; -1; 42; -42; 1 lsl 30; (1 lsl 30) - 1; max_int; min_int; min_int + 1 ]);
+    Alcotest.test_case "of_string round-trip on huge literals" `Quick (fun () ->
+        List.iter
+          (fun s -> check_str s s (B.of_string s))
+          [
+            "123456789012345678901234567890";
+            "-999999999999999999999999999999999999";
+            "1000000000000000000000000000000000000000000000001";
+          ]);
+    Alcotest.test_case "of_string rejects garbage" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.check_raises ("reject " ^ s) (Invalid_argument "Bigint.of_string: bad digit")
+              (fun () -> ignore (B.of_string s)))
+          [ "12x3"; "1.5" ]);
+    Alcotest.test_case "addition with carries across limbs" `Quick (fun () ->
+        let x = B.of_string "1152921504606846975" (* 2^60 - 1 *) in
+        check_str "2^60-1 + 1" "1152921504606846976" (B.add x B.one));
+    Alcotest.test_case "subtraction producing sign change" `Quick (fun () ->
+        check_str "3 - 10" "-7" (B.sub (b 3) (b 10));
+        check_str "10 - 3" "7" (B.sub (b 10) (b 3));
+        check_str "x - x" "0" (B.sub (b 12345) (b 12345)));
+    Alcotest.test_case "schoolbook multiplication vs known product" `Quick (fun () ->
+        let x = B.of_string "123456789123456789123456789" in
+        let y = B.of_string "987654321987654321" in
+        check_str "x*y" "121932631356500531469135800347203169112635269" (B.mul x y));
+    Alcotest.test_case "division truncates toward zero" `Quick (fun () ->
+        let q, r = B.divmod (b 7) (b 2) in
+        check_str "7/2" "3" q;
+        check_str "7%2" "1" r;
+        let q, r = B.divmod (b (-7)) (b 2) in
+        check_str "-7/2" "-3" q;
+        check_str "-7%2" "-1" r;
+        let q, r = B.divmod (b 7) (b (-2)) in
+        check_str "7/-2" "-3" q;
+        check_str "7%-2" "1" r);
+    Alcotest.test_case "division by zero raises" `Quick (fun () ->
+        Alcotest.check_raises "divmod" Division_by_zero (fun () ->
+            ignore (B.divmod B.one B.zero)));
+    Alcotest.test_case "multi-limb Knuth division with add-back path" `Quick (fun () ->
+        (* Exercise the long-division path with a known big quotient. *)
+        let x = B.of_string "340282366920938463463374607431768211456" (* 2^128 *) in
+        let y = B.of_string "18446744073709551616" (* 2^64 *) in
+        check_str "2^128 / 2^64" "18446744073709551616" (B.div x y);
+        check_str "2^128 mod 2^64" "0" (B.rem x y));
+    Alcotest.test_case "gcd" `Quick (fun () ->
+        check_str "gcd 12 18" "6" (B.gcd (b 12) (b 18));
+        check_str "gcd 0 5" "5" (B.gcd B.zero (b 5));
+        check_str "gcd -12 18" "6" (B.gcd (b (-12)) (b 18));
+        let fib40 = B.of_string "102334155" and fib41 = B.of_string "165580141" in
+        check_str "consecutive fibs coprime" "1" (B.gcd fib40 fib41));
+    Alcotest.test_case "pow" `Quick (fun () ->
+        check_str "2^100" "1267650600228229401496703205376" (B.pow B.two 100);
+        check_str "x^0" "1" (B.pow (b 999) 0);
+        check_str "(-3)^3" "-27" (B.pow (b (-3)) 3));
+    Alcotest.test_case "to_int_opt" `Quick (fun () ->
+        Alcotest.(check (option int)) "42" (Some 42) (B.to_int_opt (b 42));
+        Alcotest.(check (option int)) "-42" (Some (-42)) (B.to_int_opt (b (-42)));
+        Alcotest.(check (option int))
+          "max_int" (Some max_int)
+          (B.to_int_opt (B.of_string (string_of_int max_int)));
+        Alcotest.(check (option int)) "2^200" None (B.to_int_opt (B.pow B.two 200)));
+    Alcotest.test_case "to_float on representable values" `Quick (fun () ->
+        Alcotest.(check (float 0.0)) "2^40" (Float.ldexp 1.0 40) (B.to_float (B.pow B.two 40));
+        Alcotest.(check (float 0.0)) "-5" (-5.0) (B.to_float (b (-5))));
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        Alcotest.(check bool) "lt" true (B.lt (b (-3)) (b 2));
+        Alcotest.(check bool) "neg order" true (B.lt (b (-10)) (b (-3)));
+        Alcotest.(check bool) "min" true (B.equal (B.min (b 4) (b 9)) (b 4));
+        Alcotest.(check bool) "max" true (B.equal (B.max (b 4) (b 9)) (b 9)));
+  ]
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
+
+let property_tests =
+  [
+    prop "add agrees with native ints" QCheck2.Gen.(pair small_int small_int) (fun (x, y) ->
+        B.to_int_opt (B.add (b x) (b y)) = Some (x + y));
+    prop "mul agrees with native ints" QCheck2.Gen.(pair small_int small_int) (fun (x, y) ->
+        B.to_int_opt (B.mul (b x) (b y)) = Some (x * y));
+    prop "divmod agrees with native ints"
+      QCheck2.Gen.(pair small_int small_int)
+      (fun (x, y) ->
+        y = 0
+        ||
+        let q, r = B.divmod (b x) (b y) in
+        B.to_int_opt q = Some (x / y) && B.to_int_opt r = Some (x mod y));
+    prop "string round-trip" big_gen (fun x -> B.equal x (B.of_string (B.to_string x)));
+    prop "addition commutes" QCheck2.Gen.(pair big_gen big_gen) (fun (x, y) ->
+        B.equal (B.add x y) (B.add y x));
+    prop "addition associates"
+      QCheck2.Gen.(triple big_gen big_gen big_gen)
+      (fun (x, y, z) -> B.equal (B.add (B.add x y) z) (B.add x (B.add y z)));
+    prop "multiplication commutes" QCheck2.Gen.(pair big_gen big_gen) (fun (x, y) ->
+        B.equal (B.mul x y) (B.mul y x));
+    prop "multiplication distributes"
+      QCheck2.Gen.(triple big_gen big_gen big_gen)
+      (fun (x, y, z) ->
+        B.equal (B.mul x (B.add y z)) (B.add (B.mul x y) (B.mul x z)));
+    prop "sub then add round-trips" QCheck2.Gen.(pair big_gen big_gen) (fun (x, y) ->
+        B.equal x (B.add (B.sub x y) y));
+    prop "division law: x = q*y + r with |r| < |y|"
+      QCheck2.Gen.(pair big_gen big_gen)
+      (fun (x, y) ->
+        B.is_zero y
+        ||
+        let q, r = B.divmod x y in
+        B.equal x (B.add (B.mul q y) r)
+        && B.lt (B.abs r) (B.abs y)
+        && (B.is_zero r || B.sign r = B.sign x));
+    prop "gcd divides both" QCheck2.Gen.(pair big_gen big_gen) (fun (x, y) ->
+        let g = B.gcd x y in
+        B.is_zero g
+        || (B.is_zero (B.rem x g) && B.is_zero (B.rem y g)));
+    prop "compare is antisymmetric" QCheck2.Gen.(pair big_gen big_gen) (fun (x, y) ->
+        compare (B.compare x y) 0 = compare 0 (B.compare y x));
+    prop "neg is an involution" big_gen (fun x -> B.equal x (B.neg (B.neg x)));
+    prop "to_string of neg prepends minus" big_gen (fun x ->
+        B.is_zero x
+        || B.to_string (B.neg x)
+           = (if B.sign x > 0 then "-" ^ B.to_string x
+              else String.sub (B.to_string x) 1 (String.length (B.to_string x) - 1)));
+    prop "print" big_gen (fun x ->
+        ignore (big_print x);
+        true);
+  ]
+
+let suite = unit_tests @ property_tests

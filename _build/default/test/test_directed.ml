@@ -1,0 +1,131 @@
+(* Tests for the directed stack: the digraph substrate, the directed game
+   engine, the Anshelevich H_n family (directed PoS is tight at H_n), and
+   directed SNE by constraint generation — notably that an epsilon subsidy
+   on the shared arc enforces the optimum, collapsing the H_n gap. *)
+
+module Dg = Repro_game.Digame.Float_digame
+module D = Dg.D
+module QDg = Repro_game.Digame.Rat_digame
+module Q = Repro_field.Rational
+module Fx = Repro_util.Floatx
+module Harmonic = Repro_util.Harmonic
+
+let fl = Alcotest.float 1e-9
+
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3, 0 -> 3 direct. *)
+  D.create ~n:4 [ (0, 1, 1.0); (1, 3, 1.0); (0, 2, 3.0); (2, 3, 0.5); (0, 3, 2.5) ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "digraph construction and validation" `Quick (fun () ->
+        let g = diamond () in
+        Alcotest.(check int) "nodes" 4 (D.n_nodes g);
+        Alcotest.(check int) "arcs" 5 (D.n_arcs g);
+        Alcotest.check fl "weight" 3.0 (D.weight g 2);
+        Alcotest.check_raises "self-loop" (Invalid_argument "Dgraph.create: self-loop")
+          (fun () -> ignore (D.create ~n:2 [ (1, 1, 1.0) ]));
+        Alcotest.check_raises "negative" (Invalid_argument "Dgraph.create: negative weight")
+          (fun () -> ignore (D.create ~n:2 [ (0, 1, -1.0) ])));
+    Alcotest.test_case "directed Dijkstra respects orientation" `Quick (fun () ->
+        let g = diamond () in
+        (match D.shortest_path g ~src:0 ~dst:3 with
+        | Some (d, path) ->
+            Alcotest.check fl "0->3 distance" 2.0 d;
+            Alcotest.(check (list int)) "via node 1" [ 0; 1 ] path
+        | None -> Alcotest.fail "path exists");
+        (* No path against the arrows. *)
+        Alcotest.(check bool) "3->0 unreachable" true (D.shortest_path g ~src:3 ~dst:0 = None));
+    Alcotest.test_case "parallel arcs are distinct strategies" `Quick (fun () ->
+        let g = D.create ~n:2 [ (0, 1, 1.0); (0, 1, 2.0) ] in
+        Alcotest.(check int) "two arcs" 2 (D.n_arcs g);
+        Alcotest.(check int) "two one-arc paths" 2
+          (List.length (D.simple_paths g ~src:0 ~dst:1 ~limit:10));
+        match D.shortest_path g ~src:0 ~dst:1 with
+        | Some (d, [ 0 ]) -> Alcotest.check fl "cheaper arc" 1.0 d
+        | _ -> Alcotest.fail "expected the weight-1 arc");
+    Alcotest.test_case "directed simple path enumeration" `Quick (fun () ->
+        let g = diamond () in
+        Alcotest.(check int) "three routes" 3
+          (List.length (D.simple_paths g ~src:0 ~dst:3 ~limit:100)));
+    Alcotest.test_case "Anshelevich family: both named states behave as described"
+      `Quick (fun () ->
+        let n = 4 in
+        let spec, shared, private_ = Dg.anshelevich_instance ~n ~eps:0.01 in
+        Dg.(
+          Alcotest.check fl "shared social cost" 1.01 (social_cost spec shared);
+          Alcotest.check fl "private social cost" (Harmonic.h n) (social_cost spec private_);
+          (* All-private is an equilibrium: joining the shared arc alone
+             costs 1.01 > 1/i for every i. *)
+          Alcotest.(check bool) "private is an equilibrium" true
+            (is_equilibrium spec private_);
+          (* The shared state is not: player n pays 1.01/n... no wait, the
+             cheapest deviator is player 1, whose private arc costs 1 <
+             1.01 only if she is alone; with all n sharing she pays 1.01/4
+             < her private 1. Actually the defector is the player whose
+             private arc undercuts her share: 1/i < 1.01/n for i close to
+             n. Player 4 pays 1.01/4 = 0.2525 > 1/4 = 0.25: deviates. *)
+          Alcotest.(check bool) "shared is not an equilibrium" false
+            (is_equilibrium spec shared)));
+    Alcotest.test_case "Anshelevich family: PoS approaches H_n (exhaustive)" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let spec, _, _ = Dg.anshelevich_instance ~n ~eps:0.01 in
+            let l = Dg.landscape spec in
+            Alcotest.check fl "optimum" 1.01 l.Dg.optimum;
+            match l.Dg.best_eq with
+            | Some (w, _) ->
+                Alcotest.check fl
+                  (Printf.sprintf "best equilibrium at n=%d is all-private" n)
+                  (Harmonic.h n) w
+            | None -> Alcotest.fail "equilibrium exists")
+          [ 2; 3; 4; 5 ]);
+    Alcotest.test_case "epsilon subsidy on the shared arc enforces the optimum" `Quick
+      (fun () ->
+        let n = 5 in
+        let eps = 0.01 in
+        let spec, shared, _ = Dg.anshelevich_instance ~n ~eps in
+        let subsidy, cost, converged = Dg.sne_cutting_plane spec ~state:shared in
+        Alcotest.(check bool) "converged" true converged;
+        Alcotest.(check bool) "now an equilibrium" true
+          (Dg.is_equilibrium ~subsidy spec shared);
+        (* Player n's constraint: (1 + eps - b)/n <= 1/n, i.e. b >= eps:
+           the whole H_n gap costs epsilon to fix. *)
+        Alcotest.(check (float 1e-6)) "subsidy cost is epsilon" eps cost);
+    Alcotest.test_case "exact rational digame agrees on the H_n value" `Quick (fun () ->
+        let n = 6 in
+        let spec, _, private_ = QDg.anshelevich_instance ~n ~eps:(Q.of_ints 1 100) in
+        Alcotest.(check string) "exact H_6" "49/20"
+          (Q.to_string (QDg.social_cost spec private_));
+        Alcotest.(check bool) "equilibrium" true (QDg.is_equilibrium spec private_));
+  ]
+
+let prop ?(count = 25) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 2 7) f)
+
+let property_tests =
+  [
+    prop "directed best response never exceeds the current cost" (fun n ->
+        let spec, shared, private_ = Dg.anshelevich_instance ~n ~eps:0.05 in
+        List.for_all
+          (fun state ->
+            let ok = ref true in
+            for i = 0 to Dg.n_players spec - 1 do
+              let c, _ = Dg.best_response spec state i in
+              if not (Fx.leq c (Dg.player_cost spec state i)) then ok := false
+            done;
+            !ok)
+          [ shared; private_ ]);
+    prop "directed SNE cutting plane enforces on the shared state" (fun n ->
+        let spec, shared, _ = Dg.anshelevich_instance ~n ~eps:0.02 in
+        let subsidy, _, converged = Dg.sne_cutting_plane spec ~state:shared in
+        converged && Dg.is_equilibrium ~subsidy spec shared);
+    prop "landscape optimum is the shared design" (fun n ->
+        let spec, shared, _ = Dg.anshelevich_instance ~n ~eps:0.03 in
+        let l = Dg.landscape spec in
+        Fx.approx_eq l.Dg.optimum (Dg.social_cost spec shared));
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,120 @@
+(* Float-vs-exact-rational full-stack agreement: the same integer-weighted
+   instance is run through both field instantiations — MST, player costs,
+   equilibrium checks, the SNE LP (3) — and the float answers must match
+   the exact ones to tolerance. This is the end-to-end certification that
+   the float stack's tolerances are calibrated. Also: potential traces
+   strictly decrease. *)
+
+module FGm = Repro_game.Game.Float_game
+module FG = FGm.G
+module QGm = Repro_game.Game.Rat_game
+module QG = QGm.G
+module Q = Repro_field.Rational
+module FSne = Repro_core.Sne_lp.Float
+module QSne = Repro_core.Sne_lp.Rat
+module Instances = Repro_core.Instances
+module Prng = Repro_util.Prng
+module Fx = Repro_util.Floatx
+
+(* The rational twin of a float instance with integer weights. *)
+let rational_twin (graph : FG.t) =
+  let edges =
+    List.init (FG.n_edges graph) (fun id ->
+        let u, v = FG.endpoints graph id in
+        let w = FG.weight graph id in
+        assert (Float.is_integer w);
+        (u, v, Q.of_int (int_of_float w)))
+  in
+  QG.create ~n:(FG.n_nodes graph) edges
+
+let random_pair seed =
+  let inst =
+    Instances.random ~dist:(Instances.Integer 9) ~n:(4 + (seed mod 5))
+      ~extra:(2 + (seed mod 4)) ~seed ()
+  in
+  (inst.Instances.graph, rational_twin inst.Instances.graph, inst.Instances.root)
+
+let prop ?(count = 40) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
+
+let unit_tests =
+  [
+    Alcotest.test_case "potential trace strictly decreases per round" `Quick (fun () ->
+        let inst = Instances.random ~dist:(Instances.Integer 9) ~n:8 ~extra:6 ~seed:77 () in
+        let spec = Instances.spec inst in
+        let tree = Instances.mst_tree inst in
+        let start = FGm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+        let out, trace = FGm.Dynamics.trace spec start in
+        Alcotest.(check bool) "converged" true out.FGm.Dynamics.converged;
+        Alcotest.(check int) "one potential per completed round + start"
+          (out.FGm.Dynamics.rounds + 1) (List.length trace);
+        let rec strictly_decreasing = function
+          | a :: (b :: _ as rest) -> a > b && strictly_decreasing rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "strict descent" true (strictly_decreasing trace));
+  ]
+
+let property_tests =
+  [
+    prop "MST weight agrees across fields" (fun seed ->
+        let fg, qg, _ = random_pair seed in
+        let fw = FG.total_weight fg (Option.get (FG.mst_kruskal fg)) in
+        let qw = QG.total_weight qg (Option.get (QG.mst_kruskal qg)) in
+        Fx.approx_eq fw (Q.to_float qw));
+    prop "player costs agree across fields" (fun seed ->
+        let fg, qg, root = random_pair seed in
+        let fspec = FGm.broadcast ~graph:fg ~root in
+        let qspec = QGm.broadcast ~graph:qg ~root in
+        let ids = Option.get (FG.mst_kruskal fg) in
+        let ftree = FG.Tree.of_edge_ids fg ~root ids in
+        (* Kruskal ties are broken identically (same ids), so the trees
+           coincide. *)
+        let qtree = QG.Tree.of_edge_ids qg ~root (Option.get (QG.mst_kruskal qg)) in
+        let fstate = FGm.Broadcast.state_of_tree fspec ~root ftree in
+        let qstate = QGm.Broadcast.state_of_tree qspec ~root qtree in
+        let ok = ref true in
+        for i = 0 to FGm.n_players fspec - 1 do
+          if
+            not
+              (Fx.approx_eq
+                 (FGm.player_cost fspec fstate i)
+                 (Q.to_float (QGm.player_cost qspec qstate i)))
+          then ok := false
+        done;
+        !ok);
+    prop "equilibrium verdicts agree across fields" (fun seed ->
+        let fg, qg, root = random_pair seed in
+        let fspec = FGm.broadcast ~graph:fg ~root in
+        let qspec = QGm.broadcast ~graph:qg ~root in
+        let ftree = FG.Tree.of_edge_ids fg ~root (Option.get (FG.mst_kruskal fg)) in
+        let qtree = QG.Tree.of_edge_ids qg ~root (Option.get (QG.mst_kruskal qg)) in
+        FGm.Broadcast.is_tree_equilibrium fspec ftree
+        = QGm.Broadcast.is_tree_equilibrium qspec qtree);
+    prop "SNE LP (3) optima agree across fields" ~count:25 (fun seed ->
+        let fg, qg, root = random_pair seed in
+        let fspec = FGm.broadcast ~graph:fg ~root in
+        let qspec = QGm.broadcast ~graph:qg ~root in
+        let ftree = FG.Tree.of_edge_ids fg ~root (Option.get (FG.mst_kruskal fg)) in
+        let qtree = QG.Tree.of_edge_ids qg ~root (Option.get (QG.mst_kruskal qg)) in
+        let fr = FSne.broadcast fspec ~root ftree in
+        let qr = QSne.broadcast qspec ~root qtree in
+        Fx.approx_eq ~eps:1e-6 fr.FSne.cost (Q.to_float qr.QSne.cost)
+        (* And the exact optimum's subsidies are certified exactly. *)
+        && QGm.Broadcast.is_tree_equilibrium ~subsidy:qr.QSne.subsidy qspec qtree);
+    prop "rational potential is exactly the weighted harmonic sum" ~count:20 (fun seed ->
+        let _, qg, root = random_pair seed in
+        let qspec = QGm.broadcast ~graph:qg ~root in
+        let qtree = QG.Tree.of_edge_ids qg ~root (Option.get (QG.mst_kruskal qg)) in
+        let qstate = QGm.Broadcast.state_of_tree qspec ~root qtree in
+        let expected =
+          List.fold_left
+            (fun acc id ->
+              Q.add acc (Q.mul (QG.weight qg id) (Q.harmonic (QG.Tree.usage qtree id))))
+            Q.zero (QG.Tree.edge_ids qtree)
+        in
+        Q.equal expected (QGm.potential qspec qstate));
+  ]
+
+let suite = unit_tests @ property_tests

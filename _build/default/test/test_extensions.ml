@@ -1,0 +1,214 @@
+(* Tests for the Section 6 extensions and the tooling around the core:
+   combinatorial SNE (waterfill + closed-form single-constraint optimum),
+   coalition (pair) stability, and instance serialization. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Co = Repro_game.Coalition.Float_coalition
+module Comb = Repro_core.Combinatorial.Float
+module Sne = Repro_core.Sne_lp.Float
+module Lb = Repro_core.Lower_bounds.Float
+module Serial = Repro_core.Serial.Float
+module SerialQ = Repro_core.Serial.Rat
+module Q = Repro_field.Rational
+module Instances = Repro_core.Instances
+module Fx = Repro_util.Floatx
+
+let fl = Alcotest.float 1e-7
+
+let shared_highway () =
+  (* From test_game: private edges w 1, spokes 0.3, hub 1.2. *)
+  G.create ~n:5
+    [ (1, 0, 1.0); (2, 0, 1.0); (3, 0, 1.0);
+      (1, 4, 0.3); (2, 4, 0.3); (3, 4, 0.3); (4, 0, 1.2) ]
+
+let unit_tests =
+  [
+    (* ---------------- combinatorial SNE ---------------- *)
+    Alcotest.test_case "single-constraint optimum matches the LP on cycles" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let inst = Lb.cycle_instance ~n in
+            let spec = Lb.spec inst in
+            let tree = Lb.tree inst in
+            let comb = Comb.single_constraint_opt spec ~root:inst.Lb.root tree in
+            let lp = Sne.broadcast spec ~root:inst.Lb.root tree in
+            Alcotest.check fl (Printf.sprintf "n=%d" n) lp.Sne.cost comb.Comb.cost;
+            Alcotest.(check bool) "enforces" true
+              (Gm.Broadcast.is_tree_equilibrium ~subsidy:comb.Comb.subsidy spec tree))
+          [ 5; 9; 17; 33 ]);
+    Alcotest.test_case "single-constraint solver rejects multi-constraint instances"
+      `Quick (fun () ->
+        let inst = Instances.random ~dist:(Instances.Integer 9) ~n:6 ~extra:4 ~seed:3 () in
+        let spec = Instances.spec inst in
+        let tree = Instances.mst_tree inst in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Comb.single_constraint_opt spec ~root:inst.Instances.root tree);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "waterfill returns zero on stable instances" `Quick (fun () ->
+        let graph = G.create ~n:2 [ (0, 1, 1.0); (0, 1, 2.0) ] in
+        let spec = Gm.broadcast ~graph ~root:0 in
+        let tree = G.Tree.of_edge_ids graph ~root:0 [ 0 ] in
+        let r = Comb.waterfill spec ~root:0 tree in
+        Alcotest.check fl "no spend" 0.0 r.Comb.cost);
+    (* ---------------- coalitions ---------------- *)
+    Alcotest.test_case "Nash but not pair-stable: the shared highway" `Quick (fun () ->
+        (* All-private is a Nash equilibrium of the 3-player game, but two
+           players jointly moving to the hub both gain
+           (0.3 + 1.2/2 = 0.9 < 1). *)
+        let spec = Gm.create ~graph:(shared_highway ()) ~pairs:[| (1, 0); (2, 0); (3, 0) |] in
+        let all_private = [| [ 0 ]; [ 1 ]; [ 2 ] |] in
+        Alcotest.(check bool) "Nash" true (Gm.is_equilibrium spec all_private);
+        Alcotest.(check bool) "pair-refutable" true
+          (Co.refute_pair_stability spec all_private <> None);
+        Alcotest.(check bool) "exhaustive agrees" false
+          (Co.is_pair_stable_exhaustive spec all_private));
+    Alcotest.test_case "all-shared is pair-stable" `Quick (fun () ->
+        let spec = Gm.create ~graph:(shared_highway ()) ~pairs:[| (1, 0); (2, 0); (3, 0) |] in
+        let all_shared = [| [ 3; 6 ]; [ 4; 6 ]; [ 5; 6 ] |] in
+        Alcotest.(check bool) "no quick refutation" true
+          (Co.refute_pair_stability spec all_shared = None);
+        Alcotest.(check bool) "exhaustively stable" true
+          (Co.is_pair_stable_exhaustive spec all_shared));
+    Alcotest.test_case "simple path enumeration counts" `Quick (fun () ->
+        let g = shared_highway () in
+        (* node 1 to 0: direct; spoke+hub; spoke+spoke+private (x2):
+           1-4-2-0 and 1-4-3-0. Total 4 simple paths. *)
+        Alcotest.(check int) "paths" 4
+          (List.length (Co.simple_paths g ~src:1 ~dst:0 ~limit:100)));
+    (* ---------------- serialization ---------------- *)
+    Alcotest.test_case "parse a hand-written instance" `Quick (fun () ->
+        let text =
+          "# example\n\
+           nodes 3\n\
+           root 0\n\
+           edge 0 1 2\n\
+           edge 1 2 2\n\
+           edge 0 2 5/2   # shortcut\n\
+           tree 0 1\n\
+           subsidy 1 0.5\n"
+        in
+        let t = Serial.of_string text in
+        Alcotest.(check int) "nodes" 3 (G.n_nodes t.Serial.graph);
+        Alcotest.(check int) "edges" 3 (G.n_edges t.Serial.graph);
+        Alcotest.check fl "rational weight" 2.5 (G.weight t.Serial.graph 2);
+        Alcotest.(check (option (list int))) "tree" (Some [ 0; 1 ]) t.Serial.tree_edge_ids;
+        let b = Serial.subsidy_array t in
+        Alcotest.check fl "subsidy" 0.5 b.(1);
+        let tree = Serial.target_tree t in
+        Alcotest.(check bool) "declared tree is the target" true
+          (G.Tree.mem_edge tree 0 && G.Tree.mem_edge tree 1 && not (G.Tree.mem_edge tree 2)));
+    Alcotest.test_case "the same file loads exactly into the rational stack" `Quick
+      (fun () ->
+        let text = "nodes 2\nroot 0\nedge 0 1 1/3\n" in
+        let t = SerialQ.of_string text in
+        Alcotest.(check string) "exact third" "1/3"
+          (Q.to_string (SerialQ.G.weight t.SerialQ.graph 0)));
+    Alcotest.test_case "round-trip through to_string" `Quick (fun () ->
+        let inst = Instances.random ~dist:(Instances.Integer 9) ~n:7 ~extra:4 ~seed:5 () in
+        let t =
+          {
+            Serial.graph = inst.Instances.graph;
+            root = inst.Instances.root;
+            tree_edge_ids = Some (G.Tree.edge_ids (Instances.mst_tree inst));
+            subsidy = [ (0, 0.25) ];
+          }
+        in
+        let t' = Serial.of_string (Serial.to_string t) in
+        Alcotest.(check int) "nodes" (G.n_nodes t.Serial.graph) (G.n_nodes t'.Serial.graph);
+        Alcotest.(check int) "edges" (G.n_edges t.Serial.graph) (G.n_edges t'.Serial.graph);
+        Alcotest.(check int) "root" t.Serial.root t'.Serial.root;
+        Alcotest.(check (option (list int))) "tree" t.Serial.tree_edge_ids t'.Serial.tree_edge_ids;
+        G.fold_edges t.Serial.graph ~init:() ~f:(fun () e ->
+            Alcotest.check fl "weight" e.G.weight (G.weight t'.Serial.graph e.G.id)));
+    Alcotest.test_case "parser rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun text ->
+            Alcotest.(check bool) ("reject " ^ text) true
+              (try
+                 ignore (Serial.of_string text);
+                 false
+               with Failure _ | Invalid_argument _ -> true))
+          [ "edge 0 1 2\n"; "nodes 2\nroot 5\nedge 0 1 2\n"; "nodes 2\nfrob 1\n" ]);
+    Alcotest.test_case "save/load through a temp file" `Quick (fun () ->
+        let inst = Instances.random ~dist:(Instances.Integer 5) ~n:5 ~extra:2 ~seed:9 () in
+        let t =
+          { Serial.graph = inst.Instances.graph; root = inst.Instances.root;
+            tree_edge_ids = None; subsidy = [] }
+        in
+        let path = Filename.temp_file "sne" ".inst" in
+        Serial.save path t;
+        let t' = Serial.load path in
+        Sys.remove path;
+        Alcotest.(check int) "edges" (G.n_edges t.Serial.graph) (G.n_edges t'.Serial.graph));
+  ]
+
+let prop ?(count = 30) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
+
+let property_tests =
+  [
+    prop "waterfill enforces and is between the LP optimum and Theorem 6" (fun seed ->
+        let inst =
+          Instances.random ~dist:(Instances.Integer 9) ~n:(4 + (seed mod 6))
+            ~extra:(2 + (seed mod 4)) ~seed ()
+        in
+        let spec = Instances.spec inst in
+        let tree = Instances.mst_tree inst in
+        let r = Comb.waterfill spec ~root:inst.Instances.root tree in
+        let lp = Sne.broadcast spec ~root:inst.Instances.root tree in
+        Gm.Broadcast.is_tree_equilibrium ~subsidy:r.Comb.subsidy spec tree
+        && Fx.leq lp.Sne.cost (r.Comb.cost +. 1e-7))
+    ;
+    prop "waterfill subsidies respect the box constraints" (fun seed ->
+        let inst =
+          Instances.random ~dist:(Instances.Integer 9) ~n:(4 + (seed mod 6))
+            ~extra:(2 + (seed mod 4)) ~seed ()
+        in
+        let spec = Instances.spec inst in
+        let graph = inst.Instances.graph in
+        let tree = Instances.mst_tree inst in
+        let r = Comb.waterfill spec ~root:inst.Instances.root tree in
+        Array.for_all2
+          (fun b (e : G.edge) ->
+            Fx.geq b 0.0 && Fx.leq b e.G.weight
+            && (G.Tree.mem_edge tree e.G.id || Fx.approx_eq b 0.0))
+          r.Comb.subsidy
+          (Array.init (G.n_edges graph) (G.edge graph)));
+    prop "pair-stability refutation implies Nash or joint instability is real"
+      ~count:20 (fun seed ->
+        let inst =
+          Instances.random ~dist:(Instances.Integer 9) ~n:(4 + (seed mod 4)) ~extra:3 ~seed ()
+        in
+        let spec = Instances.spec inst in
+        let tree = Instances.mst_tree inst in
+        let state = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+        match Co.refute_pair_stability spec state with
+        | None -> true
+        | Some (i, j, pi, pj) ->
+            (* The returned witness really is a joint improvement, and the
+               exhaustive check agrees the state is unstable. *)
+            Co.joint_improvement spec state i j pi pj
+            && not (Co.is_pair_stable_exhaustive spec state));
+    prop "serialization round-trips random instances" ~count:25 (fun seed ->
+        let inst =
+          Instances.random ~dist:(Instances.Integer 9) ~n:(4 + (seed mod 8))
+            ~extra:(seed mod 6) ~seed ()
+        in
+        let t =
+          { Serial.graph = inst.Instances.graph; root = inst.Instances.root;
+            tree_edge_ids = None; subsidy = [] }
+        in
+        let t' = Serial.of_string (Serial.to_string t) in
+        G.n_edges t'.Serial.graph = G.n_edges t.Serial.graph
+        && G.fold_edges t.Serial.graph ~init:true ~f:(fun ok e ->
+               ok
+               && Fx.approx_eq e.G.weight (G.weight t'.Serial.graph e.G.id)
+               && G.endpoints t.Serial.graph e.G.id = G.endpoints t'.Serial.graph e.G.id));
+  ]
+
+let suite = unit_tests @ property_tests

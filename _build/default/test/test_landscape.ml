@@ -1,0 +1,168 @@
+(* Tests for the exact landscapes: the general state-space landscape
+   (multicast), epsilon-equilibria, and the SND Pareto frontier. The key
+   cross-check: on broadcast games the general state landscape and the
+   spanning-tree landscape must agree on the best equilibrium weight. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Snd = Repro_core.Snd.Float
+module Sne = Repro_core.Sne_lp.Float
+module Instances = Repro_core.Instances
+module Prng = Repro_util.Prng
+module Fx = Repro_util.Floatx
+
+let fl = Alcotest.float 1e-9
+
+let shared_highway () =
+  G.create ~n:5
+    [ (1, 0, 1.0); (2, 0, 1.0); (3, 0, 1.0);
+      (1, 4, 0.3); (2, 4, 0.3); (3, 4, 0.3); (4, 0, 1.2) ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "multicast constructor validates terminals" `Quick (fun () ->
+        let g = shared_highway () in
+        Alcotest.check_raises "root terminal"
+          (Invalid_argument "Game.multicast: root cannot be a terminal") (fun () ->
+            ignore (Gm.multicast ~graph:g ~root:0 ~terminals:[ 0 ]));
+        Alcotest.check_raises "duplicate"
+          (Invalid_argument "Game.multicast: duplicate terminal") (fun () ->
+            ignore (Gm.multicast ~graph:g ~root:0 ~terminals:[ 1; 1 ]));
+        let spec = Gm.multicast ~graph:g ~root:0 ~terminals:[ 1; 3 ] in
+        Alcotest.(check int) "two players" 2 (Gm.n_players spec));
+    Alcotest.test_case "multicast landscape on the shared highway" `Quick (fun () ->
+        (* Players at nodes 1 and 2 only. The cheapest joint design routes
+           player 1 across both spokes onto player 2's private edge
+           (0.3 + 0.3 + 1.0 = 1.6) — but it is not stable (player 1 would
+           rather pay 1.0 directly). The best equilibrium shares the hub
+           (1.8); the worst is all-private (2.0). *)
+        let spec = Gm.multicast ~graph:(shared_highway ()) ~root:0 ~terminals:[ 1; 2 ] in
+        let l = Gm.Exact.state_landscape spec in
+        Alcotest.check fl "optimum" 1.6 l.Gm.Exact.optimum;
+        (match l.Gm.Exact.best_eq with
+        | Some (w, _) -> Alcotest.check fl "best equilibrium shares the hub" 1.8 w
+        | None -> Alcotest.fail "no equilibrium");
+        (match l.Gm.Exact.worst_eq with
+        | Some (w, _) -> Alcotest.check fl "worst equilibrium is all-private" 2.0 w
+        | None -> Alcotest.fail "no equilibrium");
+        Alcotest.(check bool) "several states" true (l.Gm.Exact.n_states > 4));
+    Alcotest.test_case "state landscape guards against explosion" `Quick (fun () ->
+        let spec = Gm.multicast ~graph:(shared_highway ()) ~root:0 ~terminals:[ 1; 2; 3 ] in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Gm.Exact.state_landscape ~max_states:3 spec);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "epsilon-equilibrium measures" `Quick (fun () ->
+        let graph = G.create ~n:2 [ (0, 1, 1.0); (0, 1, 2.0) ] in
+        let spec = Gm.broadcast ~graph ~root:0 in
+        (* On the expensive edge: gain = 2 - 1 = 1; ratio = 2. *)
+        Alcotest.check fl "additive" 1.0 (Gm.additive_instability spec [| [ 1 ] |]);
+        (match Gm.multiplicative_instability spec [| [ 1 ] |] with
+        | Some a -> Alcotest.check fl "multiplicative" 2.0 a
+        | None -> Alcotest.fail "finite alpha expected");
+        Alcotest.(check bool) "eps 0.5 insufficient" false
+          (Gm.is_epsilon_equilibrium spec [| [ 1 ] |] ~epsilon:0.5);
+        Alcotest.(check bool) "eps 1.0 sufficient" true
+          (Gm.is_epsilon_equilibrium spec [| [ 1 ] |] ~epsilon:1.0);
+        Alcotest.check fl "equilibrium has zero instability" 0.0
+          (Gm.additive_instability spec [| [ 0 ] |]));
+    Alcotest.test_case "Pareto frontier on the quickstart instance" `Quick (fun () ->
+        (* 0-1-2-3 chain (2 each) + shortcut (0,3) w 3.5. MST (weight 6)
+           needs 1/6 of subsidies; the tree through the shortcut
+           (weight 7.5 - 2... trees: chain (6); shortcut variants). *)
+        let graph = G.create ~n:4 [ (0, 1, 2.0); (1, 2, 2.0); (2, 3, 2.0); (0, 3, 3.5) ] in
+        let frontier = Snd.pareto_frontier ~graph ~root:0 in
+        Alcotest.(check bool) "non-empty" true (frontier <> []);
+        (* Weights strictly increase along the frontier while costs
+           strictly decrease. *)
+        let rec check_monotone = function
+          | a :: (b :: _ as rest) ->
+              Alcotest.(check bool) "weights increase" true (a.Snd.weight < b.Snd.weight);
+              Alcotest.(check bool) "costs decrease" true
+                (a.Snd.subsidy_cost > b.Snd.subsidy_cost);
+              check_monotone rest
+          | _ -> ()
+        in
+        check_monotone frontier;
+        (* The head is the MST with its LP cost. *)
+        (match frontier with
+        | head :: _ ->
+            Alcotest.check fl "head is the MST" 6.0 head.Snd.weight;
+            Alcotest.check fl "with the LP optimum" (1.0 /. 6.0) head.Snd.subsidy_cost
+        | [] -> ());
+        (* The tail needs no subsidies: the best unsubsidized equilibrium. *)
+        match List.rev frontier with
+        | last :: _ ->
+            Alcotest.check fl "free tail" 0.0 last.Snd.subsidy_cost;
+            let best_eq =
+              (Gm.Exact.equilibrium_landscape ~graph ~root:0).Gm.Exact.best_equilibrium
+            in
+            Alcotest.check fl "tail = best unsubsidized equilibrium"
+              (fst (Option.get best_eq)) last.Snd.weight
+        | [] -> ());
+    Alcotest.test_case "best_for_budget walks the frontier" `Quick (fun () ->
+        let graph = G.create ~n:4 [ (0, 1, 2.0); (1, 2, 2.0); (2, 3, 2.0); (0, 3, 3.5) ] in
+        let frontier = Snd.pareto_frontier ~graph ~root:0 in
+        (match Snd.best_for_budget frontier ~budget:1.0 with
+        | Some d -> Alcotest.check fl "rich budget buys the MST" 6.0 d.Snd.weight
+        | None -> Alcotest.fail "feasible");
+        match Snd.best_for_budget frontier ~budget:0.0 with
+        | Some d ->
+            Alcotest.(check bool) "zero budget costs nothing" true
+              (Fx.approx_eq d.Snd.subsidy_cost 0.0)
+        | None -> Alcotest.fail "zero budget is always feasible");
+  ]
+
+let prop ?(count = 20) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
+
+let property_tests =
+  [
+    prop "broadcast: state landscape agrees with the tree landscape" (fun seed ->
+        let inst =
+          Instances.random ~dist:(Instances.Integer 7) ~n:(3 + (seed mod 3)) ~extra:2 ~seed ()
+        in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        match Gm.Exact.state_landscape ~max_states:300_000 spec with
+        | exception Invalid_argument _ -> true (* state space too large: skip *)
+        | sl ->
+            let tl = Gm.Exact.equilibrium_landscape ~graph ~root in
+            (* Optima agree (MST weight = cheapest state cost) and best
+               equilibrium weights agree (the cycle argument of Section 2:
+               non-tree equilibria cost no less). *)
+            Fx.approx_eq sl.Gm.Exact.optimum tl.Gm.Exact.mst_weight
+            &&
+            (match (sl.Gm.Exact.best_eq, tl.Gm.Exact.best_equilibrium) with
+            | Some (a, _), Some (b, _) -> Fx.approx_eq a b
+            | None, None -> true
+            | _ -> false));
+    prop "frontier points are enforceable at their stated budget" ~count:10 (fun seed ->
+        let inst =
+          Instances.random ~dist:(Instances.Integer 7) ~n:(4 + (seed mod 2)) ~extra:2 ~seed ()
+        in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        let frontier = Snd.pareto_frontier ~graph ~root in
+        frontier <> []
+        && List.for_all
+             (fun d ->
+               let tree = G.Tree.of_edge_ids graph ~root d.Snd.tree_edges in
+               Gm.Broadcast.is_tree_equilibrium ~subsidy:d.Snd.subsidy spec tree)
+             frontier);
+    prop "BR dynamics strictly decrease additive instability to zero" ~count:15
+      (fun seed ->
+        let inst =
+          Instances.random ~dist:(Instances.Integer 8) ~n:(4 + (seed mod 4)) ~extra:3 ~seed ()
+        in
+        let spec = Instances.spec inst in
+        let tree = Instances.mst_tree inst in
+        let start = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+        let out = Gm.Dynamics.best_response_dynamics spec start in
+        out.Gm.Dynamics.converged
+        && Fx.approx_eq (Gm.additive_instability spec out.Gm.Dynamics.state) 0.0);
+  ]
+
+let suite = unit_tests @ property_tests

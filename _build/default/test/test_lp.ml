@@ -1,0 +1,330 @@
+(* Tests for the two-phase simplex solver: known optima, infeasibility and
+   unboundedness detection, bound handling (shifted, mirrored, split and
+   fixed variables), degenerate problems, and a float-vs-exact-rational
+   cross-check on random LPs. *)
+
+module FS = Repro_lp.Simplex.Float_simplex
+module RS = Repro_lp.Simplex.Rat_simplex
+module Q = Repro_field.Rational
+module Prng = Repro_util.Prng
+
+let fl = Alcotest.float 1e-7
+
+let float_problem ~n_vars ?(lower = `Zero) ?upper ~minimize ~constraints () =
+  let lo =
+    match lower with
+    | `Zero -> Array.make n_vars (Some 0.0)
+    | `Free -> Array.make n_vars None
+    | `Given a -> a
+  in
+  let up = match upper with None -> Array.make n_vars None | Some a -> a in
+  FS.make_problem ~n_vars ~minimize ~constraints ~lower:lo ~upper:up ()
+
+let leq coeffs rhs = { FS.coeffs; relation = FS.Leq; rhs; label = "c" }
+let geq coeffs rhs = { FS.coeffs; relation = FS.Geq; rhs; label = "c" }
+let eq coeffs rhs = { FS.coeffs; relation = FS.Eq; rhs; label = "c" }
+
+let expect_optimal = function
+  | FS.Optimal s -> s
+  | FS.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | FS.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+let unit_tests =
+  [
+    Alcotest.test_case "textbook 2-variable LP" `Quick (fun () ->
+        (* min -x - 2y  s.t. x + y <= 4, x <= 2, y <= 3, x,y >= 0.
+           Optimum at (1,3): objective -7. *)
+        let p =
+          float_problem ~n_vars:2
+            ~minimize:[ (0, -1.0); (1, -2.0) ]
+            ~constraints:[ leq [ (0, 1.0); (1, 1.0) ] 4.0; leq [ (0, 1.0) ] 2.0; leq [ (1, 1.0) ] 3.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "objective" (-7.0) s.objective;
+        Alcotest.check fl "x" 1.0 s.values.(0);
+        Alcotest.check fl "y" 3.0 s.values.(1));
+    Alcotest.test_case "minimization with >= rows (phase 1 needed)" `Quick (fun () ->
+        (* min 2x + 3y s.t. x + y >= 4, x - y <= 2, x,y >= 0. On the active
+           line x + y = 4 the cost is 12 - x, so push x up to the x - y <= 2
+           limit: optimum (3,1) with value 9. *)
+        let p =
+          float_problem ~n_vars:2
+            ~minimize:[ (0, 2.0); (1, 3.0) ]
+            ~constraints:[ geq [ (0, 1.0); (1, 1.0) ] 4.0; leq [ (0, 1.0); (1, -1.0) ] 2.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "objective" 9.0 s.objective);
+    Alcotest.test_case "equality constraints" `Quick (fun () ->
+        (* min x + y s.t. x + 2y = 6, x - y = 0 -> x = y = 2. *)
+        let p =
+          float_problem ~n_vars:2
+            ~minimize:[ (0, 1.0); (1, 1.0) ]
+            ~constraints:[ eq [ (0, 1.0); (1, 2.0) ] 6.0; eq [ (0, 1.0); (1, -1.0) ] 0.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x" 2.0 s.values.(0);
+        Alcotest.check fl "y" 2.0 s.values.(1));
+    Alcotest.test_case "infeasible system detected" `Quick (fun () ->
+        let p =
+          float_problem ~n_vars:1
+            ~minimize:[ (0, 1.0) ]
+            ~constraints:[ geq [ (0, 1.0) ] 5.0; leq [ (0, 1.0) ] 3.0 ]
+            ()
+        in
+        Alcotest.(check bool) "infeasible" true (FS.solve p = FS.Infeasible));
+    Alcotest.test_case "unbounded problem detected" `Quick (fun () ->
+        let p =
+          float_problem ~n_vars:1 ~minimize:[ (0, -1.0) ] ~constraints:[ geq [ (0, 1.0) ] 0.0 ] ()
+        in
+        Alcotest.(check bool) "unbounded" true (FS.solve p = FS.Unbounded));
+    Alcotest.test_case "upper bounds are respected" `Quick (fun () ->
+        (* min -x with x in [0, 7]. *)
+        let p =
+          float_problem ~n_vars:1
+            ~upper:[| Some 7.0 |]
+            ~minimize:[ (0, -1.0) ]
+            ~constraints:[] ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x hits its bound" 7.0 s.values.(0));
+    Alcotest.test_case "non-zero lower bounds shift correctly" `Quick (fun () ->
+        (* min x with x in [3, 10]. *)
+        let p =
+          float_problem ~n_vars:1
+            ~lower:(`Given [| Some 3.0 |])
+            ~upper:[| Some 10.0 |]
+            ~minimize:[ (0, 1.0) ]
+            ~constraints:[] ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x at lower bound" 3.0 s.values.(0));
+    Alcotest.test_case "free variables (split) can go negative" `Quick (fun () ->
+        (* min x s.t. x >= -5 as a row, x free. *)
+        let p =
+          float_problem ~n_vars:1 ~lower:`Free
+            ~minimize:[ (0, 1.0) ]
+            ~constraints:[ geq [ (0, 1.0) ] (-5.0) ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x = -5" (-5.0) s.values.(0));
+    Alcotest.test_case "mirrored variables (upper bound only)" `Quick (fun () ->
+        (* max x (= min -x) with x <= 4, x free otherwise, plus x >= 1 row. *)
+        let p =
+          float_problem ~n_vars:1 ~lower:`Free
+            ~upper:[| Some 4.0 |]
+            ~minimize:[ (0, -1.0) ]
+            ~constraints:[ geq [ (0, 1.0) ] 1.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x = 4" 4.0 s.values.(0));
+    Alcotest.test_case "fixed variable via equal bounds" `Quick (fun () ->
+        let p =
+          float_problem ~n_vars:2
+            ~lower:(`Given [| Some 2.0; Some 0.0 |])
+            ~upper:[| Some 2.0; None |]
+            ~minimize:[ (0, 1.0); (1, 1.0) ]
+            ~constraints:[ geq [ (0, 1.0); (1, 1.0) ] 5.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x fixed" 2.0 s.values.(0);
+        Alcotest.check fl "y fills the rest" 3.0 s.values.(1));
+    Alcotest.test_case "empty range rejected" `Quick (fun () ->
+        let p =
+          float_problem ~n_vars:1
+            ~lower:(`Given [| Some 3.0 |])
+            ~upper:[| Some 2.0 |]
+            ~minimize:[ (0, 1.0) ]
+            ~constraints:[] ()
+        in
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Simplex: empty variable range (upper < lower)") (fun () ->
+            ignore (FS.solve p)));
+    Alcotest.test_case "degenerate LP terminates (Bland)" `Quick (fun () ->
+        (* Classic cycling example (Beale); Bland's rule must terminate. *)
+        let p =
+          float_problem ~n_vars:4
+            ~minimize:[ (0, -0.75); (1, 150.0); (2, -0.02); (3, 6.0) ]
+            ~constraints:
+              [
+                leq [ (0, 0.25); (1, -60.0); (2, -0.04); (3, 9.0) ] 0.0;
+                leq [ (0, 0.5); (1, -90.0); (2, -0.02); (3, 3.0) ] 0.0;
+                leq [ (2, 1.0) ] 1.0;
+              ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "objective" (-0.05) s.objective);
+    Alcotest.test_case "redundant equality rows do not break phase 1" `Quick (fun () ->
+        let p =
+          float_problem ~n_vars:2
+            ~minimize:[ (0, 1.0); (1, 1.0) ]
+            ~constraints:
+              [ eq [ (0, 1.0); (1, 1.0) ] 2.0; eq [ (0, 2.0); (1, 2.0) ] 4.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "objective" 2.0 s.objective);
+    Alcotest.test_case "exact rational solve gives exact answers" `Quick (fun () ->
+        (* min x + y s.t. 3x + y >= 1, x + 3y >= 1: optimum x = y = 1/4. *)
+        let lower, upper = RS.nonneg 2 in
+        let p =
+          RS.make_problem ~n_vars:2
+            ~minimize:[ (0, Q.one); (1, Q.one) ]
+            ~constraints:
+              [
+                { RS.coeffs = [ (0, Q.of_int 3); (1, Q.one) ]; relation = RS.Geq; rhs = Q.one; label = "a" };
+                { RS.coeffs = [ (0, Q.one); (1, Q.of_int 3) ]; relation = RS.Geq; rhs = Q.one; label = "b" };
+              ]
+            ~lower ~upper ()
+        in
+        match RS.solve p with
+        | RS.Optimal s ->
+            Alcotest.(check string) "x" "1/4" (Q.to_string s.values.(0));
+            Alcotest.(check string) "y" "1/4" (Q.to_string s.values.(1));
+            Alcotest.(check string) "objective" "1/2" (Q.to_string s.objective)
+        | _ -> Alcotest.fail "expected optimal");
+    Alcotest.test_case "free variables with equality rows" `Quick (fun () ->
+        (* min |shape|: x free, y free; x + y = 1, x - y = 5 -> x = 3,
+           y = -2; objective x + 2y = -1. *)
+        let p =
+          float_problem ~n_vars:2 ~lower:`Free
+            ~minimize:[ (0, 1.0); (1, 2.0) ]
+            ~constraints:[ eq [ (0, 1.0); (1, 1.0) ] 1.0; eq [ (0, 1.0); (1, -1.0) ] 5.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x" 3.0 s.values.(0);
+        Alcotest.check fl "y" (-2.0) s.values.(1);
+        Alcotest.check fl "objective" (-1.0) s.objective);
+    Alcotest.test_case "negative rhs rows are normalized correctly" `Quick (fun () ->
+        (* -x <= -3 is x >= 3. *)
+        let p =
+          float_problem ~n_vars:1
+            ~minimize:[ (0, 1.0) ]
+            ~constraints:[ leq [ (0, -1.0) ] (-3.0) ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "x = 3" 3.0 s.values.(0));
+    Alcotest.test_case "objective constants from shifted bounds" `Quick (fun () ->
+        (* min 2x with x in [5, 9] and a slack row: optimum 10, exercising
+           the cost_const path of the canonicalization. *)
+        let p =
+          float_problem ~n_vars:2
+            ~lower:(`Given [| Some 5.0; Some 0.0 |])
+            ~upper:[| Some 9.0; None |]
+            ~minimize:[ (0, 2.0) ]
+            ~constraints:[ leq [ (0, 1.0); (1, 1.0) ] 20.0 ]
+            ()
+        in
+        let s = expect_optimal (FS.solve p) in
+        Alcotest.check fl "objective" 10.0 s.objective);
+    Alcotest.test_case "pp_problem renders" `Quick (fun () ->
+        let p =
+          float_problem ~n_vars:2
+            ~minimize:[ (0, 1.0) ]
+            ~constraints:[ leq [ (0, 1.0); (1, 2.0) ] 4.0 ]
+            ()
+        in
+        let s = Format.asprintf "%a" FS.pp_problem p in
+        Alcotest.(check bool) "mentions minimize" true
+          (String.length s > 0 && String.sub s 0 8 = "minimize"));
+  ]
+
+(* Random LP cross-check: generate small LPs with integer data, solve in
+   float and in exact rationals, and require agreement of status and (when
+   optimal) objective value. *)
+let random_lp_pair seed =
+  let rng = Prng.create seed in
+  let n_vars = Prng.int_in_range rng ~lo:1 ~hi:4 in
+  let n_cons = Prng.int_in_range rng ~lo:1 ~hi:5 in
+  let coeff () = Prng.int_in_range rng ~lo:(-4) ~hi:4 in
+  let cons =
+    List.init n_cons (fun _ ->
+        let coeffs = List.init n_vars (fun i -> (i, coeff ())) in
+        let rel = Prng.choose rng [ `Leq; `Geq; `Eq ] in
+        let rhs = Prng.int_in_range rng ~lo:(-6) ~hi:10 in
+        (coeffs, rel, rhs))
+  in
+  let obj = List.init n_vars (fun i -> (i, coeff ())) in
+  let upper = List.init n_vars (fun _ -> if Prng.bool rng then Some (Prng.int_in_range rng ~lo:0 ~hi:8) else None) in
+  let fp =
+    let lower, _ = FS.nonneg n_vars in
+    FS.make_problem ~n_vars
+      ~minimize:(List.map (fun (i, c) -> (i, float_of_int c)) obj)
+      ~constraints:
+        (List.map
+           (fun (coeffs, rel, rhs) ->
+             {
+               FS.coeffs = List.map (fun (i, c) -> (i, float_of_int c)) coeffs;
+               relation = (match rel with `Leq -> FS.Leq | `Geq -> FS.Geq | `Eq -> FS.Eq);
+               rhs = float_of_int rhs;
+               label = "r";
+             })
+           cons)
+      ~lower
+      ~upper:(Array.of_list (List.map (Option.map float_of_int) upper))
+      ()
+  in
+  let rp =
+    let lower, _ = RS.nonneg n_vars in
+    RS.make_problem ~n_vars
+      ~minimize:(List.map (fun (i, c) -> (i, Q.of_int c)) obj)
+      ~constraints:
+        (List.map
+           (fun (coeffs, rel, rhs) ->
+             {
+               RS.coeffs = List.map (fun (i, c) -> (i, Q.of_int c)) coeffs;
+               relation = (match rel with `Leq -> RS.Leq | `Geq -> RS.Geq | `Eq -> RS.Eq);
+               rhs = Q.of_int rhs;
+               label = "r";
+             })
+           cons)
+      ~lower
+      ~upper:(Array.of_list (List.map (Option.map Q.of_int) upper))
+      ()
+  in
+  (fp, rp)
+
+let feasible_in p (s : FS.solution) =
+  List.for_all
+    (fun (c : FS.constr) ->
+      let lhs = List.fold_left (fun acc (i, a) -> acc +. (a *. s.values.(i))) 0.0 c.coeffs in
+      match c.relation with
+      | FS.Leq -> Repro_util.Floatx.leq ~eps:1e-6 lhs c.rhs
+      | FS.Geq -> Repro_util.Floatx.geq ~eps:1e-6 lhs c.rhs
+      | FS.Eq -> Repro_util.Floatx.approx_eq ~eps:1e-6 lhs c.rhs)
+    p.FS.constraints
+  && Array.for_all2
+       (fun v (lo, up) ->
+         (match lo with None -> true | Some l -> Repro_util.Floatx.geq ~eps:1e-6 v l)
+         && match up with None -> true | Some u -> Repro_util.Floatx.leq ~eps:1e-6 v u)
+       s.values
+       (Array.map2 (fun a b -> (a, b)) p.FS.lower p.FS.upper)
+
+let prop name count f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
+
+let property_tests =
+  [
+    prop "float and exact rational solvers agree" 150 (fun seed ->
+        let fp, rp = random_lp_pair seed in
+        match (FS.solve fp, RS.solve rp) with
+        | FS.Optimal fs, RS.Optimal rs ->
+            Repro_util.Floatx.approx_eq ~eps:1e-6 fs.objective (Q.to_float rs.objective)
+        | FS.Infeasible, RS.Infeasible -> true
+        | FS.Unbounded, RS.Unbounded -> true
+        | _ -> false);
+    prop "optimal solutions are feasible" 150 (fun seed ->
+        let fp, _ = random_lp_pair seed in
+        match FS.solve fp with FS.Optimal s -> feasible_in fp s | _ -> true);
+  ]
+
+let suite = unit_tests @ property_tests

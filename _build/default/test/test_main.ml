@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("bigint", Test_bigint.suite);
+      ("rational", Test_rational.suite);
+      ("graph", Test_graph.suite);
+      ("prng", Test_prng.suite);
+      ("util", Test_util.suite);
+      ("lp", Test_lp.suite);
+      ("game", Test_game.suite);
+      ("core", Test_core.suite);
+      ("problems", Test_problems.suite);
+      ("reductions", Test_reductions.suite);
+      ("weighted", Test_weighted.suite);
+      ("extensions", Test_extensions.suite);
+      ("landscape", Test_landscape.suite);
+      ("exactness", Test_exactness.suite);
+      ("directed", Test_directed.suite);
+      ("steiner", Test_steiner.suite);
+    ]

@@ -1,0 +1,73 @@
+(* Tests for the deterministic PRNG, including a regression for the 2^62
+   overflow that once made [float] return negative values. *)
+
+module Prng = Repro_util.Prng
+
+let unit_tests =
+  [
+    Alcotest.test_case "determinism from seed" `Quick (fun () ->
+        let a = Prng.create 42 and b = Prng.create 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+        done);
+    Alcotest.test_case "different seeds diverge" `Quick (fun () ->
+        let a = Prng.create 1 and b = Prng.create 2 in
+        let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+        let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+        Alcotest.(check bool) "streams differ" true (xs <> ys));
+    Alcotest.test_case "split produces an independent stream" `Quick (fun () ->
+        let a = Prng.create 7 in
+        let c = Prng.split a in
+        let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+        let ys = List.init 20 (fun _ -> Prng.int c 1_000_000) in
+        Alcotest.(check bool) "streams differ" true (xs <> ys));
+    Alcotest.test_case "copy replays" `Quick (fun () ->
+        let a = Prng.create 11 in
+        ignore (Prng.int a 10);
+        let b = Prng.copy a in
+        Alcotest.(check int) "replay" (Prng.int a 1000) (Prng.int b 1000));
+    Alcotest.test_case "int rejects non-positive bounds" `Quick (fun () ->
+        let a = Prng.create 1 in
+        Alcotest.check_raises "zero" (Invalid_argument "Prng.int: bound must be positive")
+          (fun () -> ignore (Prng.int a 0)));
+  ]
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+let property_tests =
+  [
+    prop "int stays in range" QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 1000))
+      (fun (seed, n) ->
+        let rng = Prng.create seed in
+        let v = Prng.int rng n in
+        0 <= v && v < n);
+    prop "int_in_range stays in range"
+      QCheck2.Gen.(triple (int_range 0 10_000) (int_range (-50) 50) (int_range 0 100))
+      (fun (seed, lo, extent) ->
+        let rng = Prng.create seed in
+        let hi = lo + extent in
+        let v = Prng.int_in_range rng ~lo ~hi in
+        lo <= v && v <= hi);
+    prop "float is non-negative and below the bound (overflow regression)"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let ok = ref true in
+        for _ = 1 to 50 do
+          let x = Prng.float rng 10.0 in
+          if not (0.0 <= x && x < 10.0) then ok := false
+        done;
+        !ok);
+    prop "shuffle is a permutation" QCheck2.Gen.(int_range 0 10_000) (fun seed ->
+        let rng = Prng.create seed in
+        let a = Array.init 30 (fun i -> i) in
+        Prng.shuffle rng a;
+        List.sort compare (Array.to_list a) = List.init 30 (fun i -> i));
+    prop "sample yields distinct elements" QCheck2.Gen.(int_range 0 10_000) (fun seed ->
+        let rng = Prng.create seed in
+        let a = Array.init 20 (fun i -> i) in
+        let s = Prng.sample rng 8 a |> Array.to_list in
+        List.length (List.sort_uniq compare s) = 8);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,204 @@
+(* Tests for the NP-complete problem substrates: exact bin packing, DPLL
+   SAT, and maximum independent set. Each solver is validated on known
+   instances and against brute force on random small ones. *)
+
+module BP = Repro_problems.Binpacking
+module Sat = Repro_problems.Sat
+module IS = Repro_problems.Indepset
+module Prng = Repro_util.Prng
+
+(* Brute force references. *)
+let brute_force_exact_fill (t : BP.t) =
+  let n = Array.length t.BP.sizes in
+  let rec go i load =
+    if i = n then Array.for_all (fun l -> l = t.BP.capacity) load
+    else
+      let rec try_bin j =
+        j < t.BP.bins
+        && ((load.(j) + t.BP.sizes.(i) <= t.BP.capacity
+            &&
+            (load.(j) <- load.(j) + t.BP.sizes.(i);
+             let r = go (i + 1) load in
+             load.(j) <- load.(j) - t.BP.sizes.(i);
+             r))
+           || try_bin (j + 1))
+      in
+      try_bin 0
+  in
+  go 0 (Array.make t.BP.bins 0)
+
+let brute_force_sat (t : Sat.t) =
+  let rec go v assignment =
+    if v > t.Sat.n_vars then Sat.satisfies t assignment
+    else begin
+      assignment.(v) <- false;
+      go (v + 1) assignment
+      ||
+      (assignment.(v) <- true;
+       go (v + 1) assignment)
+    end
+  in
+  go 1 (Array.make (t.Sat.n_vars + 1) false)
+
+let brute_force_alpha (g : IS.t) =
+  let n = IS.n_nodes g in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let nodes = List.filter (fun v -> (mask lsr v) land 1 = 1) (List.init n (fun i -> i)) in
+    if IS.is_independent g nodes then best := max !best (List.length nodes)
+  done;
+  !best
+
+let unit_tests =
+  [
+    Alcotest.test_case "bin packing: solvable strict instance" `Quick (fun () ->
+        let t = BP.create ~sizes:[| 4; 4; 2; 2; 2; 2 |] ~bins:2 ~capacity:8 in
+        Alcotest.(check bool) "strict" true (BP.is_strict t);
+        match BP.solve t with
+        | Some a -> Alcotest.(check bool) "checks" true (BP.check t a)
+        | None -> Alcotest.fail "instance is solvable");
+    Alcotest.test_case "bin packing: unsolvable exact fill" `Quick (fun () ->
+        (* Total = 16 = 2*8 but 6+6 > 8 and 6+4+... no exact split:
+           {6,6,4}: 6+? bins must sum to 8 each: impossible. *)
+        let t = BP.create ~sizes:[| 6; 6; 4 |] ~bins:2 ~capacity:8 in
+        Alcotest.(check bool) "no exact fill" true (BP.solve t = None));
+    Alcotest.test_case "bin packing: normalize produces equivalent strict form" `Quick
+      (fun () ->
+        let t = BP.create ~sizes:[| 3; 3; 5 |] ~bins:2 ~capacity:6 in
+        let s = BP.normalize t in
+        Alcotest.(check bool) "strict" true (BP.is_strict s);
+        (* 3+3 fits a bin, 5+1 fills the other: solvable. *)
+        Alcotest.(check bool) "solvable" true (BP.solve s <> None);
+        Alcotest.(check bool) "fit answer matches" true (BP.solve_fit t <> None));
+    Alcotest.test_case "bin packing: oversized item rejected" `Quick (fun () ->
+        let t = BP.create ~sizes:[| 9 |] ~bins:1 ~capacity:8 in
+        Alcotest.check_raises "oversize"
+          (Invalid_argument "Binpacking.normalize: an item exceeds the capacity") (fun () ->
+            ignore (BP.normalize t)));
+    Alcotest.test_case "sat: simple formulas" `Quick (fun () ->
+        let f = Sat.create ~n_vars:2 [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ] ] in
+        Alcotest.(check bool) "satisfiable" true (Sat.is_satisfiable f);
+        let g = Sat.create ~n_vars:1 [ [ 1 ]; [ -1 ] ] in
+        Alcotest.(check bool) "contradiction" false (Sat.is_satisfiable g);
+        let h = Sat.create ~n_vars:2 [ [ 1; 2 ]; [ -1; -2 ]; [ 1; -2 ]; [ -1; 2 ] ] in
+        Alcotest.(check bool) "xor of x,y with both implications is unsat" false
+          (Sat.is_satisfiable h));
+    Alcotest.test_case "sat: solver returns a genuine model" `Quick (fun () ->
+        let f =
+          Sat.create ~n_vars:4 [ [ 1; -2; 3 ]; [ -1; 2; -4 ]; [ 2; 3; 4 ]; [ -3; -4; 1 ] ]
+        in
+        match Sat.solve f with
+        | Some a -> Alcotest.(check bool) "model satisfies" true (Sat.satisfies f a)
+        | None -> Alcotest.fail "formula is satisfiable");
+    Alcotest.test_case "sat: 3sat-4 recognizer" `Quick (fun () ->
+        let ok = Sat.create ~n_vars:4 [ [ 1; 2; 3 ]; [ -1; -2; 4 ] ] in
+        Alcotest.(check bool) "well-formed" true (Sat.is_3sat4 ok);
+        let dup = Sat.create ~n_vars:3 [ [ 1; -1; 2 ] ] in
+        Alcotest.(check bool) "duplicate variable in clause" false (Sat.is_3sat4 dup);
+        let wide = Sat.create ~n_vars:4 [ [ 1; 2 ] ] in
+        Alcotest.(check bool) "wrong width" false (Sat.is_3sat4 wide);
+        let busy =
+          Sat.create ~n_vars:5
+            [ [ 1; 2; 3 ]; [ 1; 2; 4 ]; [ 1; 3; 4 ]; [ 1; 2; 5 ]; [ 1; 3; 5 ] ]
+        in
+        Alcotest.(check bool) "variable 1 appears 5 times" false (Sat.is_3sat4 busy));
+    Alcotest.test_case "sat: random 3sat-4 generator is well-formed" `Quick (fun () ->
+        let rng = Prng.create 5 in
+        let f = Sat.random_3sat4 rng ~n_vars:9 ~n_clauses:8 in
+        Alcotest.(check bool) "3sat-4" true (Sat.is_3sat4 f);
+        Alcotest.(check int) "clauses" 8 (List.length f.Sat.clauses));
+    Alcotest.test_case "sat: all_satisfying agrees with brute force count" `Quick
+      (fun () ->
+        let f = Sat.create ~n_vars:3 [ [ 1; 2; 3 ]; [ -1; -2; -3 ] ] in
+        (* 8 assignments minus all-false minus all-true = 6. *)
+        Alcotest.(check int) "count" 6 (List.length (Sat.all_satisfying f)));
+    Alcotest.test_case "independent set: named graphs have known alpha" `Quick (fun () ->
+        let expect = [ ("K4", 1); ("K3,3", 3); ("prism", 2); ("Petersen", 4); ("cube", 4); ("Moebius-Kantor", 8) ] in
+        List.iter
+          (fun (name, alpha) ->
+            let g = List.assoc name IS.named in
+            Alcotest.(check bool) (name ^ " is 3-regular") true (IS.is_3regular g);
+            Alcotest.(check int) (name ^ " alpha") alpha (IS.independence_number g);
+            Alcotest.(check bool)
+              (name ^ " witness is independent")
+              true
+              (IS.is_independent g (IS.max_independent_set g)))
+          expect);
+    Alcotest.test_case "independent set: rejects malformed graphs" `Quick (fun () ->
+        Alcotest.check_raises "self-loop" (Invalid_argument "Indepset.create: self-loop")
+          (fun () -> ignore (IS.create ~n:2 [ (0, 0) ]));
+        Alcotest.check_raises "duplicate" (Invalid_argument "Indepset.create: duplicate edge")
+          (fun () -> ignore (IS.create ~n:2 [ (0, 1); (1, 0) ])));
+    Alcotest.test_case "random 3-regular graphs are 3-regular and connected" `Quick
+      (fun () ->
+        let rng = Prng.create 3 in
+        for _ = 1 to 5 do
+          let g = IS.random_3regular rng ~n:10 in
+          Alcotest.(check bool) "3-regular" true (IS.is_3regular g);
+          Alcotest.(check int) "edges" 15 (IS.n_edges g)
+        done);
+  ]
+
+let prop ?(count = 60) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let property_tests =
+  [
+    prop "exact bin packing agrees with brute force"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let bins = Prng.int_in_range rng ~lo:1 ~hi:3 in
+        let capacity = 2 * Prng.int_in_range rng ~lo:2 ~hi:5 in
+        (* Random even items that sum to bins * capacity. *)
+        let rec items remaining acc =
+          if remaining = 0 then acc
+          else
+            let s = 2 * Prng.int_in_range rng ~lo:1 ~hi:(min (capacity / 2) (remaining / 2)) in
+            items (remaining - s) (s :: acc)
+        in
+        let sizes = Array.of_list (items (bins * capacity) []) in
+        let t = BP.create ~sizes ~bins ~capacity in
+        (BP.solve t <> None) = brute_force_exact_fill t);
+    prop "solve's assignments always check" QCheck2.Gen.(int_range 0 100_000) (fun seed ->
+        let rng = Prng.create seed in
+        let bins = Prng.int_in_range rng ~lo:1 ~hi:3 in
+        let capacity = 2 * Prng.int_in_range rng ~lo:2 ~hi:5 in
+        let rec items remaining acc =
+          if remaining = 0 then acc
+          else
+            let s = 2 * Prng.int_in_range rng ~lo:1 ~hi:(min (capacity / 2) (remaining / 2)) in
+            items (remaining - s) (s :: acc)
+        in
+        let sizes = Array.of_list (items (bins * capacity) []) in
+        let t = BP.create ~sizes ~bins ~capacity in
+        match BP.solve t with None -> true | Some a -> BP.check t a);
+    prop "DPLL agrees with brute force on random 3-CNF"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let n_vars = Prng.int_in_range rng ~lo:2 ~hi:6 in
+        let n_clauses = Prng.int_in_range rng ~lo:1 ~hi:10 in
+        let clause () =
+          List.init 3 (fun _ ->
+              let v = 1 + Prng.int rng n_vars in
+              if Prng.bool rng then v else -v)
+        in
+        let f = Sat.create ~n_vars (List.init n_clauses (fun _ -> clause ())) in
+        Sat.is_satisfiable f = brute_force_sat f);
+    prop "branch-and-bound alpha agrees with brute force" ~count:30
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let n = Prng.int_in_range rng ~lo:4 ~hi:10 in
+        let edges = ref [] in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if Prng.int rng 100 < 40 then edges := (u, v) :: !edges
+          done
+        done;
+        let g = IS.create ~n !edges in
+        IS.independence_number g = brute_force_alpha g);
+  ]
+
+let suite = unit_tests @ property_tests

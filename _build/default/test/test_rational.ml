@@ -1,0 +1,104 @@
+(* Tests for the exact rational field: normalization invariants, field
+   axioms (as properties), exact harmonic sums, and conversions. *)
+
+module Q = Repro_field.Rational
+module B = Repro_field.Bigint
+
+let q = Q.of_ints
+let check_str msg expected actual = Alcotest.(check string) msg expected (Q.to_string actual)
+
+let rat_gen =
+  let open QCheck2.Gen in
+  let* n = int_range (-10_000) 10_000 in
+  let* d = int_range 1 10_000 in
+  return (Q.of_ints n d)
+
+let unit_tests =
+  [
+    Alcotest.test_case "normalization" `Quick (fun () ->
+        check_str "4/8" "1/2" (q 4 8);
+        check_str "-4/8" "-1/2" (q (-4) 8);
+        check_str "4/-8" "-1/2" (q 4 (-8));
+        check_str "0/7" "0" (q 0 7);
+        check_str "6/3" "2" (q 6 3);
+        Alcotest.(check bool) "invariant" true (Q.check (q 123456 (-987654))));
+    Alcotest.test_case "zero denominator raises" `Quick (fun () ->
+        Alcotest.check_raises "0 den" Division_by_zero (fun () -> ignore (q 1 0));
+        Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Q.inv Q.zero)));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        check_str "1/2 + 1/3" "5/6" (Q.add (q 1 2) (q 1 3));
+        check_str "1/2 - 1/3" "1/6" (Q.sub (q 1 2) (q 1 3));
+        check_str "2/3 * 9/4" "3/2" (Q.mul (q 2 3) (q 9 4));
+        check_str "(1/2) / (1/3)" "3/2" (Q.div (q 1 2) (q 1 3)));
+    Alcotest.test_case "comparisons are exact" `Quick (fun () ->
+        (* 1/3 + 1/3 + 1/3 = 1 exactly: the reason this module exists. *)
+        let third = q 1 3 in
+        Alcotest.(check bool) "sum of thirds" true
+          (Q.equal Q.one (Q.add third (Q.add third third)));
+        Alcotest.(check bool) "order" true (Q.lt (q 99999 100000) Q.one));
+    Alcotest.test_case "harmonic numbers" `Quick (fun () ->
+        check_str "H_1" "1" (Q.harmonic 1);
+        check_str "H_4" "25/12" (Q.harmonic 4);
+        check_str "H_10" "7381/2520" (Q.harmonic 10);
+        check_str "H_0" "0" (Q.harmonic 0));
+    Alcotest.test_case "harmonic_diff matches subtraction" `Quick (fun () ->
+        let lhs = Q.harmonic_diff 20 7 in
+        let rhs = Q.sub (Q.harmonic 20) (Q.harmonic 7) in
+        Alcotest.(check bool) "H_20 - H_7" true (Q.equal lhs rhs));
+    Alcotest.test_case "to_float accuracy" `Quick (fun () ->
+        Alcotest.(check (float 1e-12)) "1/3" (1.0 /. 3.0) (Q.to_float (q 1 3));
+        Alcotest.(check (float 1e-12)) "-7/2" (-3.5) (Q.to_float (q (-7) 2));
+        Alcotest.(check (float 1e-9))
+          "H_100 matches float harmonic" (Repro_util.Harmonic.h 100)
+          (Q.to_float (Q.harmonic 100)));
+    Alcotest.test_case "the generic field harmonic agrees with both backends" `Quick
+      (fun () ->
+        (* Field.harmonic is what the game engine's Rosenthal potential
+           uses; it must match the specialized implementations. *)
+        let module F = Repro_field.Field in
+        for n = 0 to 30 do
+          Alcotest.(check bool)
+            (Printf.sprintf "rational H_%d" n)
+            true
+            (Q.equal (F.harmonic (module F.Rat) n) (Q.harmonic n));
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "float H_%d" n)
+            (Repro_util.Harmonic.h n)
+            (F.harmonic (module F.Float_field) n)
+        done;
+        Alcotest.(check bool) "diff" true
+          (Q.equal
+             (F.harmonic_diff (module F.Rat) 12 5)
+             (Q.harmonic_diff 12 5)));
+    Alcotest.test_case "of_string round-trip" `Quick (fun () ->
+        List.iter
+          (fun s -> check_str s s (Q.of_string s))
+          [ "0"; "-3"; "1/2"; "-13717421/109739369" ]);
+  ]
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let property_tests =
+  [
+    prop "normalized invariant holds after ops" QCheck2.Gen.(pair rat_gen rat_gen)
+      (fun (x, y) ->
+        Q.check (Q.add x y) && Q.check (Q.sub x y) && Q.check (Q.mul x y)
+        && (Q.is_zero y || Q.check (Q.div x y)));
+    prop "addition commutes" QCheck2.Gen.(pair rat_gen rat_gen) (fun (x, y) ->
+        Q.equal (Q.add x y) (Q.add y x));
+    prop "mul distributes over add" QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+      (fun (x, y, z) -> Q.equal (Q.mul x (Q.add y z)) (Q.add (Q.mul x y) (Q.mul x z)));
+    prop "x * inv x = 1" rat_gen (fun x ->
+        Q.is_zero x || Q.equal Q.one (Q.mul x (Q.inv x)));
+    prop "sub anti-commutes" QCheck2.Gen.(pair rat_gen rat_gen) (fun (x, y) ->
+        Q.equal (Q.sub x y) (Q.neg (Q.sub y x)));
+    prop "compare consistent with float order on well-separated values"
+      QCheck2.Gen.(pair rat_gen rat_gen)
+      (fun (x, y) ->
+        let fx = Q.to_float x and fy = Q.to_float y in
+        Float.abs (fx -. fy) < 1e-9 || compare fx fy = Q.compare x y);
+    prop "string round-trip" rat_gen (fun x -> Q.equal x (Q.of_string (Q.to_string x)));
+    prop "abs is non-negative" rat_gen (fun x -> Q.sign (Q.abs x) >= 0);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,145 @@
+(* Tests for the Dreyfus-Wagner Steiner tree solver: known instances,
+   degeneration to MST / shortest paths, brute-force agreement on random
+   graphs, and the multicast cross-check — the Steiner optimum must equal
+   the game engine's exhaustive cheapest-state cost. *)
+
+module St = Repro_graph.Steiner.Float_steiner
+module G = St.G
+module Gm = Repro_game.Game.Float_game
+module Prng = Repro_util.Prng
+module Fx = Repro_util.Floatx
+
+let fl = Alcotest.float 1e-9
+
+(* St.G and Gm.G are the same applicative instantiation. *)
+
+let connected_through g terminals ids =
+  let uf = Repro_graph.Union_find.create (G.n_nodes g) in
+  List.iter
+    (fun id ->
+      let u, v = G.endpoints g id in
+      ignore (Repro_graph.Union_find.union uf u v))
+    ids;
+  match terminals with
+  | [] -> true
+  | t0 :: rest -> List.for_all (fun t -> Repro_graph.Union_find.same uf t0 t) rest
+
+(* Reference: try every subset of non-terminal "Steiner" nodes, MST of the
+   induced subgraph, keep the best. *)
+let brute_force g terminals =
+  let n = G.n_nodes g in
+  let term = Array.make n false in
+  List.iter (fun t -> term.(t) <- true) terminals;
+  let optional = List.filter (fun v -> not term.(v)) (List.init n (fun i -> i)) in
+  let best = ref None in
+  let rec go chosen = function
+    | [] ->
+        let keep = Array.copy term in
+        List.iter (fun v -> keep.(v) <- true) chosen;
+        (* MST over the kept nodes, via Kruskal restricted to kept
+           endpoints; the result must connect all terminals. *)
+        let uf = Repro_graph.Union_find.create n in
+        let weight = ref 0.0 in
+        let order = List.init (G.n_edges g) (fun i -> i) in
+        let order =
+          List.sort (fun a b -> compare (G.weight g a) (G.weight g b)) order
+        in
+        List.iter
+          (fun id ->
+            let u, v = G.endpoints g id in
+            if keep.(u) && keep.(v) && Repro_graph.Union_find.union uf u v then
+              weight := !weight +. G.weight g id)
+          order;
+        let connected =
+          match terminals with
+          | [] -> true
+          | t0 :: rest -> List.for_all (fun t -> Repro_graph.Union_find.same uf t0 t) rest
+        in
+        if connected then
+          (match !best with
+          | Some b when b <= !weight -> ()
+          | _ -> best := Some !weight)
+    | v :: rest ->
+        go chosen rest;
+        go (v :: chosen) rest
+  in
+  go [] optional;
+  Option.get !best
+
+let random_graph seed =
+  let rng = Prng.create seed in
+  let n = Prng.int_in_range rng ~lo:4 ~hi:8 in
+  G.Gen.random_connected rng ~n ~extra_edges:(Prng.int rng 6)
+    ~rand_weight:(fun rng -> float_of_int (Prng.int_in_range rng ~lo:1 ~hi:9))
+
+let unit_tests =
+  [
+    Alcotest.test_case "two terminals degenerate to the shortest path" `Quick (fun () ->
+        let g =
+          G.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (0, 3, 2.5) ]
+        in
+        let w, ids = St.minimum_steiner_tree g ~terminals:[ 0; 3 ] in
+        Alcotest.check fl "weight = shortest path" 2.5 w;
+        Alcotest.(check (list int)) "the direct edge" [ 3 ] ids);
+    Alcotest.test_case "all nodes as terminals degenerate to the MST" `Quick (fun () ->
+        let g = random_graph 3 in
+        let terminals = List.init (G.n_nodes g) (fun i -> i) in
+        let w, _ = St.minimum_steiner_tree g ~terminals in
+        let mst_w = G.total_weight g (Option.get (G.mst_kruskal g)) in
+        Alcotest.check fl "MST weight" mst_w w);
+    Alcotest.test_case "a genuine Steiner point beats terminal-only trees" `Quick
+      (fun () ->
+        (* Star with center 4: terminals 0,1,2 pairwise at distance 2
+           through the center, but 3 through each other. *)
+        let g =
+          G.create ~n:4
+            [ (0, 3, 1.0); (1, 3, 1.0); (2, 3, 1.0); (0, 1, 2.8); (1, 2, 2.8); (0, 2, 2.8) ]
+        in
+        let w, ids = St.minimum_steiner_tree g ~terminals:[ 0; 1; 2 ] in
+        Alcotest.check fl "through the hub" 3.0 w;
+        Alcotest.(check (list int)) "three spokes" [ 0; 1; 2 ] ids);
+    Alcotest.test_case "input validation" `Quick (fun () ->
+        let g = G.create ~n:2 [ (0, 1, 1.0) ] in
+        Alcotest.(check bool) "no terminals" true
+          (try ignore (St.minimum_steiner_tree g ~terminals:[]); false
+           with Invalid_argument _ -> true);
+        let disconnected = G.create ~n:3 [ (0, 1, 1.0) ] in
+        Alcotest.(check bool) "disconnected" true
+          (try ignore (St.minimum_steiner_tree disconnected ~terminals:[ 0; 2 ]); false
+           with Invalid_argument _ -> true));
+  ]
+
+let prop ?(count = 40) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
+
+let property_tests =
+  [
+    prop "agrees with brute force over Steiner-node subsets" (fun seed ->
+        let g = random_graph seed in
+        let rng = Prng.create (seed + 1) in
+        let k = Prng.int_in_range rng ~lo:2 ~hi:(min 4 (G.n_nodes g)) in
+        let terminals =
+          Array.to_list (Prng.sample rng k (Array.init (G.n_nodes g) (fun i -> i)))
+        in
+        let w, ids = St.minimum_steiner_tree g ~terminals in
+        Fx.approx_eq w (brute_force g terminals)
+        && Fx.approx_eq w (G.total_weight g ids)
+        && connected_through g terminals ids);
+    prop "Steiner optimum = multicast game's cheapest state" ~count:15 (fun seed ->
+        let g = random_graph seed in
+        let rng = Prng.create (seed + 2) in
+        let root = Prng.int rng (G.n_nodes g) in
+        let others = List.filter (( <> ) root) (List.init (G.n_nodes g) (fun i -> i)) in
+        let terminals =
+          Array.to_list (Prng.sample rng (min 2 (List.length others)) (Array.of_list others))
+        in
+        let spec = Gm.multicast ~graph:g ~root ~terminals in
+        match Gm.Exact.state_landscape ~max_states:200_000 spec with
+        | exception Invalid_argument _ -> true (* too many states: skip *)
+        | l ->
+            let w, _ = St.minimum_steiner_tree g ~terminals:(root :: terminals) in
+            Fx.approx_eq w l.Gm.Exact.optimum);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,153 @@
+(* Tests for the remaining utility modules: the binary heap, harmonic
+   numbers, float comparisons, tables, and the domain pool. *)
+
+module Heap = Repro_util.Heap
+module Harmonic = Repro_util.Harmonic
+module Fx = Repro_util.Floatx
+module Table = Repro_util.Table
+module Parallel = Repro_parallel.Parallel
+module Prng = Repro_util.Prng
+
+let unit_tests =
+  [
+    Alcotest.test_case "heap basics" `Quick (fun () ->
+        let h = Heap.create ~cmp:compare in
+        Alcotest.(check bool) "empty" true (Heap.is_empty h);
+        Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+        List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+        Alcotest.(check int) "size" 5 (Heap.size h);
+        Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+        Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (Heap.to_sorted_list h);
+        Alcotest.(check bool) "drained" true (Heap.is_empty h));
+    Alcotest.test_case "heap with custom comparison" `Quick (fun () ->
+        let h = Heap.create ~cmp:(fun a b -> compare b a) in
+        List.iter (Heap.push h) [ 2; 9; 4 ];
+        Alcotest.(check (option int)) "max first" (Some 9) (Heap.pop h));
+    Alcotest.test_case "harmonic numbers" `Quick (fun () ->
+        Alcotest.(check (float 1e-12)) "H_0" 0.0 (Harmonic.h 0);
+        Alcotest.(check (float 1e-12)) "H_1" 1.0 (Harmonic.h 1);
+        Alcotest.(check (float 1e-12)) "H_4" (25.0 /. 12.0) (Harmonic.h 4);
+        Alcotest.(check (float 1e-9)) "diff" (Harmonic.h 20 -. Harmonic.h 7) (Harmonic.diff 20 7);
+        Alcotest.check_raises "negative" (Invalid_argument "Harmonic.h: negative index")
+          (fun () -> ignore (Harmonic.h (-1))));
+    Alcotest.test_case "harmonic asymptotic expansion is continuous at the cutoff" `Quick
+      (fun () ->
+        (* Compare the expansion against direct summation just above the
+           table limit. *)
+        let n = (1 lsl 16) + 5 in
+        let direct = ref 0.0 in
+        for i = 1 to n do
+          direct := !direct +. (1.0 /. float_of_int i)
+        done;
+        Alcotest.(check (float 1e-9)) "expansion matches summation" !direct (Harmonic.h n));
+    Alcotest.test_case "bypass path length matches its defining inequality" `Quick
+      (fun () ->
+        for kappa = 1 to 30 do
+          let l = Harmonic.min_l_exceeding kappa in
+          if not (Harmonic.diff (kappa + l) kappa > 1.0) then
+            Alcotest.failf "l too small at kappa=%d" kappa;
+          if l > 1 && Harmonic.diff (kappa + l - 1) kappa > 1.0 then
+            Alcotest.failf "l not minimal at kappa=%d" kappa
+        done);
+    Alcotest.test_case "floatx comparisons" `Quick (fun () ->
+        Alcotest.(check bool) "approx_eq at scale" true (Fx.approx_eq 1e12 (1e12 +. 1.0));
+        Alcotest.(check bool) "lt beyond tolerance" true (Fx.lt 1.0 1.1);
+        Alcotest.(check bool) "not lt within tolerance" false (Fx.lt 1.0 (1.0 +. 1e-12));
+        Alcotest.(check bool) "leq with slop" true (Fx.leq (1.0 +. 1e-12) 1.0);
+        Alcotest.(check (float 0.0)) "clamp" 2.0 (Fx.clamp ~lo:0.0 ~hi:2.0 5.0));
+    Alcotest.test_case "kahan summation beats naive on adversarial input" `Quick
+      (fun () ->
+        let a = Array.init 10_001 (fun i -> if i = 0 then 1e16 else 1.0) in
+        a.(10_000) <- -1e16;
+        (* True sum = 9999. Naive summation loses every unit addend into
+           the 1e16's rounding; Kahan keeps them to within a few ulps. *)
+        let naive = Array.fold_left ( +. ) 0.0 a in
+        Alcotest.(check bool) "naive is far off" true (Float.abs (naive -. 9999.0) > 100.0);
+        Alcotest.(check (float 4.0)) "kahan" 9999.0 (Fx.sum_kahan a));
+    Alcotest.test_case "table renders all cells" `Quick (fun () ->
+        let t = Table.create ~title:"T" ~header:[ "a"; "b" ] in
+        Table.add_row t [ "1"; "2" ];
+        Table.add_rows t [ [ "333"; Table.cell_b true ]; [ Table.cell_f 1.5 ] ];
+        let s = Table.render t in
+        let contains needle =
+          let rec find i =
+            i + String.length needle <= String.length s
+            && (String.sub s i (String.length needle) = needle || find (i + 1))
+          in
+          find 0
+        in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+          [ "== T =="; "333"; "yes"; "1.5000" ]);
+    Alcotest.test_case "parallel map preserves order and values" `Quick (fun () ->
+        let a = Array.init 100 (fun i -> i) in
+        let r = Parallel.map ~domains:4 (fun x -> x * x) a in
+        Alcotest.(check bool) "squares" true (Array.for_all2 (fun x y -> y = x * x) a r));
+    Alcotest.test_case "parallel map re-raises worker exceptions" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Parallel.map ~domains:3
+                  (fun x -> if x = 7 then failwith "boom" else x)
+                  (Array.init 20 (fun i -> i)));
+             false
+           with Failure msg -> msg = "boom"));
+    Alcotest.test_case "parallel map on empty input" `Quick (fun () ->
+        Alcotest.(check int) "empty" 0 (Array.length (Parallel.map (fun x -> x) [||])));
+    Alcotest.test_case "timed returns the thunk's value" `Quick (fun () ->
+        let v, dt = Parallel.timed (fun () -> 42) in
+        Alcotest.(check int) "value" 42 v;
+        Alcotest.(check bool) "non-negative time" true (dt >= 0.0));
+  ]
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+let property_tests =
+  [
+    prop "heap drains in sorted order" QCheck2.Gen.(list_size (int_range 0 60) int)
+      (fun xs ->
+        let h = Heap.create ~cmp:compare in
+        List.iter (Heap.push h) xs;
+        Heap.to_sorted_list h = List.sort compare xs);
+    prop "heap interleaved push/pop maintains the invariant"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let h = Heap.create ~cmp:compare in
+        let model = ref [] in
+        let ok = ref true in
+        for _ = 1 to 200 do
+          if Prng.bool rng || !model = [] then begin
+            let x = Prng.int rng 1000 in
+            Heap.push h x;
+            model := x :: !model
+          end
+          else begin
+            let expected = List.fold_left min max_int !model in
+            (match Heap.pop h with
+            | Some v when v = expected ->
+                model :=
+                  (let removed = ref false in
+                   List.filter
+                     (fun y ->
+                       if (not !removed) && y = expected then (
+                         removed := true;
+                         false)
+                       else true)
+                     !model)
+            | _ -> ok := false)
+          end
+        done;
+        !ok && Heap.size h = List.length !model);
+    prop "harmonic is monotone and concave-ish" QCheck2.Gen.(int_range 1 5000) (fun n ->
+        Harmonic.h (n + 1) > Harmonic.h n
+        && Harmonic.h (n + 1) -. Harmonic.h n <= 1.0 /. float_of_int n +. 1e-12);
+    prop "parallel map equals sequential map" QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Prng.create seed in
+        let a = Array.init (Prng.int_in_range rng ~lo:1 ~hi:64) (fun _ -> Prng.int rng 1000) in
+        Parallel.map ~domains:3 (fun x -> (2 * x) + 1) a = Array.map (fun x -> (2 * x) + 1) a);
+  ]
+
+let suite = unit_tests @ property_tests
