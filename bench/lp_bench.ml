@@ -1,0 +1,213 @@
+(* LP backend benchmarks: unboxed float kernel vs. the functorized float
+   simplex, and warm-started vs. cold-restarted cutting-plane SNE.
+
+   Writes a machine-readable BENCH_lp.json (see Repro_util.Bench_json) so
+   CI and later PRs have a perf trajectory to compare against.
+
+     dune exec bench/lp_bench.exe                 (full sweep)
+     dune exec bench/lp_bench.exe -- --quick      (CI-sized)
+     dune exec bench/lp_bench.exe -- --json out.json
+
+   The two headline numbers (printed and recorded under "summary"):
+   - kernel speedup on the n=64 broadcast SNE LP (target: >= 3x);
+   - total simplex pivots, warm vs cold, across the cutting-plane seeds
+     (warm must be strictly fewer). *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Instances = Repro_core.Instances
+module Json = Repro_util.Bench_json
+module Fx = Repro_util.Floatx
+
+(* The functorized float path (cold oracle) vs the unboxed kernel. *)
+module SneFunctor = Repro_core.Sne_lp.Make (Repro_field.Field.Float_field)
+module SneFast = Repro_core.Sne_lp.Float
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let json_path =
+  let path = ref "BENCH_lp.json" in
+  Array.iteri
+    (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+(* Median wall-clock seconds over [reps] runs (after one warm-up run). *)
+let time_median ?(reps = 5) f =
+  ignore (f ());
+  let samples =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (reps / 2)
+
+(* Random broadcast instances whose MST is NOT already an equilibrium, so
+   the SNE LP is non-trivial and the cutting plane generates cuts. *)
+let unstable_instance ?(dist = Instances.Integer 9) ~n ~extra seed =
+  let rec go s guard =
+    if guard = 0 then failwith "lp_bench: no unstable instance found";
+    let inst = Instances.random ~dist ~n ~extra ~seed:s () in
+    let spec = Instances.spec inst in
+    let tree = Instances.mst_tree inst in
+    if Gm.Broadcast.is_tree_equilibrium spec tree then go (s + 1000) (guard - 1)
+    else inst
+  in
+  go seed 200
+
+(* ------------------------------------------------------------------ *)
+(* Functor vs. unboxed kernel on the broadcast SNE LP (3)               *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_rows = ref []
+
+let bench_kernel () =
+  Printf.printf "\n%-6s %-6s %12s %12s %9s\n" "n" "m" "functor" "unboxed" "speedup";
+  let sizes = if quick then [ 16; 32; 64 ] else [ 16; 32; 48; 64; 96 ] in
+  List.iter
+    (fun n ->
+      let inst = unstable_instance ~n ~extra:n (100 + n) in
+      let spec = Instances.spec inst in
+      let root = inst.Instances.root in
+      let tree = Instances.mst_tree inst in
+      let m = G.n_edges inst.Instances.graph in
+      let functor_s = time_median (fun () -> SneFunctor.broadcast spec ~root tree) in
+      let unboxed_s = time_median (fun () -> SneFast.broadcast spec ~root tree) in
+      (* The two backends must agree on the optimum, or the speedup is
+         meaningless. *)
+      let cf = (SneFunctor.broadcast spec ~root tree).SneFunctor.cost in
+      let cu = (SneFast.broadcast spec ~root tree).SneFast.cost in
+      if not (Fx.approx_eq ~eps:1e-5 cf cu) then
+        failwith (Printf.sprintf "lp_bench: backends disagree at n=%d (%g vs %g)" n cf cu);
+      let speedup = functor_s /. unboxed_s in
+      Printf.printf "%-6d %-6d %10.3fms %10.3fms %8.2fx\n" n m (1e3 *. functor_s)
+        (1e3 *. unboxed_s) speedup;
+      kernel_rows :=
+        Json.Obj
+          [
+            ("n", Json.Int n);
+            ("edges", Json.Int m);
+            ("functor_ms", Json.Float (1e3 *. functor_s));
+            ("unboxed_ms", Json.Float (1e3 *. unboxed_s));
+            ("speedup", Json.Float speedup);
+            ("cost", Json.Float cu);
+          ]
+        :: !kernel_rows)
+    sizes;
+  List.rev !kernel_rows
+
+(* ------------------------------------------------------------------ *)
+(* Warm-started vs. cold-restarted cutting plane (LP (1))               *)
+(* ------------------------------------------------------------------ *)
+
+(* Enforcing the MST is too easy a target — one round, a pivot or two.
+   Enforcing an anti-MST (maximum spanning tree, built by Kruskal on
+   inverted weights) puts the target far from equilibrium, so the loop
+   runs several rounds and accumulates dozens of cuts: exactly the regime
+   where warm starts pay. *)
+let anti_mst_tree inst =
+  let g = inst.Instances.graph in
+  let maxw = G.fold_edges g ~init:0.0 ~f:(fun a e -> Float.max a e.G.weight) in
+  let inverted = G.with_weights g (fun e -> maxw -. e.G.weight +. 1.0) in
+  match G.mst_kruskal inverted with
+  | None -> failwith "lp_bench: disconnected instance"
+  | Some ids -> G.Tree.of_edge_ids g ~root:inst.Instances.root ids
+
+let bench_cutting_plane () =
+  Printf.printf "\n%-6s %-4s %-4s %10s %10s %12s %12s %7s\n" "seed" "n" "rnd" "warm piv"
+    "cold piv" "warm" "cold" "agree";
+  let seeds = if quick then [ 1; 2; 3; 4 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let rows =
+    List.map
+      (fun seed ->
+        let n = 12 + (4 * (seed mod 4)) in
+        let inst =
+          Instances.random ~dist:(Instances.Heavy_tailed 10.0) ~n ~extra:n ~seed ()
+        in
+        let spec = Instances.spec inst in
+        let tree = anti_mst_tree inst in
+        let state = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+        let (rw, sw) = SneFast.cutting_plane ~warm:true spec ~state in
+        let (rc, sc) = SneFast.cutting_plane ~warm:false spec ~state in
+        let warm_s = time_median ~reps:3 (fun () -> SneFast.cutting_plane ~warm:true spec ~state) in
+        let cold_s = time_median ~reps:3 (fun () -> SneFast.cutting_plane ~warm:false spec ~state) in
+        let agree =
+          sw.SneFast.converged && sc.SneFast.converged
+          && Fx.approx_eq ~eps:1e-5 rw.SneFast.cost rc.SneFast.cost
+        in
+        Printf.printf "%-6d %-4d %-4d %10d %10d %10.3fms %10.3fms %7b\n" seed n
+          sw.SneFast.rounds sw.SneFast.pivots sc.SneFast.pivots (1e3 *. warm_s)
+          (1e3 *. cold_s) agree;
+        if not agree then failwith (Printf.sprintf "lp_bench: warm/cold disagree at seed %d" seed);
+        ( sw.SneFast.pivots,
+          sc.SneFast.pivots,
+          Json.Obj
+            [
+              ("seed", Json.Int seed);
+              ("n", Json.Int n);
+              ("rounds", Json.Int sw.SneFast.rounds);
+              ("generated", Json.Int sw.SneFast.generated);
+              ("warm_pivots", Json.Int sw.SneFast.pivots);
+              ("cold_pivots", Json.Int sc.SneFast.pivots);
+              ("warm_ms", Json.Float (1e3 *. warm_s));
+              ("cold_ms", Json.Float (1e3 *. cold_s));
+              ("cost", Json.Float rw.SneFast.cost);
+            ] ))
+      seeds
+  in
+  let warm_total = List.fold_left (fun a (w, _, _) -> a + w) 0 rows in
+  let cold_total = List.fold_left (fun a (_, c, _) -> a + c) 0 rows in
+  (warm_total, cold_total, List.map (fun (_, _, j) -> j) rows)
+
+let () =
+  Printf.printf "LP backend benchmarks (%s mode)\n" (if quick then "quick" else "full");
+  let kernel = bench_kernel () in
+  let warm_total, cold_total, cp_rows = bench_cutting_plane () in
+  let n64_speedup =
+    List.fold_left
+      (fun acc row ->
+        match row with
+        | Json.Obj kvs ->
+            let n = match List.assoc "n" kvs with Json.Int n -> n | _ -> 0 in
+            let s =
+              match List.assoc "speedup" kvs with Json.Float s -> s | _ -> 0.0
+            in
+            if n = 64 then s else acc
+        | _ -> acc)
+      0.0 kernel
+  in
+  Printf.printf
+    "\nsummary: n=64 kernel speedup %.2fx (target >= 3x); cutting-plane pivots warm %d vs cold %d\n"
+    n64_speedup warm_total cold_total;
+  Json.write_file ~path:json_path
+    (Json.Obj
+       [
+         ( "meta",
+           Json.Obj
+             [
+               ("bench", Json.Str "lp_bench");
+               ("mode", Json.Str (if quick then "quick" else "full"));
+               ("functor_backend", Json.Str SneFunctor.Lp.name);
+               ("unboxed_backend", Json.Str SneFast.Lp.name);
+             ] );
+         ("kernel", Json.List kernel);
+         ("cutting_plane", Json.List cp_rows);
+         ( "summary",
+           Json.Obj
+             [
+               ("n64_speedup", Json.Float n64_speedup);
+               ("warm_pivots_total", Json.Int warm_total);
+               ("cold_pivots_total", Json.Int cold_total);
+               ("warm_strictly_fewer", Json.Bool (warm_total < cold_total));
+             ] );
+       ]);
+  Printf.printf "wrote %s\n" json_path;
+  if n64_speedup < 3.0 then
+    Printf.eprintf "WARNING: n=64 kernel speedup %.2fx below the 3x target\n" n64_speedup;
+  if warm_total >= cold_total then begin
+    Printf.eprintf "ERROR: warm cutting plane did not save pivots (%d >= %d)\n" warm_total
+      cold_total;
+    exit 1
+  end

@@ -1,10 +1,12 @@
 (* The experiment harness: regenerates the shape of every theorem and
-   figure in the paper (tables EXP-A .. EXP-J, indexed in DESIGN.md §5 and
+   figure in the paper (tables EXP-A .. EXP-J, indexed in DESIGN.md §6 and
    recorded in EXPERIMENTS.md), then runs bechamel micro-benchmarks of the
    core solvers.
 
    Run with: dune exec bench/main.exe
-   Pass --no-speed to skip the bechamel section (CI-friendly). *)
+   Pass --no-speed to skip the bechamel section (CI-friendly).
+   Pass --json <path> to also dump the speed rows as JSON (shared
+   Repro_util.Bench_json format with bench/lp_bench.exe). *)
 
 module Gm = Repro_game.Game.Float_game
 module G = Gm.G
@@ -783,10 +785,19 @@ let speed_benchmarks () =
       in
       Table.add_row t [ name; h ])
     (List.sort compare !rows);
-  Table.print t
+  Table.print t;
+  List.sort compare !rows
 
 let () =
   let skip_speed = Array.exists (( = ) "--no-speed") Sys.argv in
+  let json_path =
+    let path = ref None in
+    Array.iteri
+      (fun i a ->
+        if a = "--json" && i + 1 < Array.length Sys.argv then path := Some Sys.argv.(i + 1))
+      Sys.argv;
+    !path
+  in
   banner
     "Reproduction harness: Enforcing efficient equilibria in network design games via subsidies (SPAA 2012)";
   table_a_lp_agreement ();
@@ -804,5 +815,23 @@ let () =
   table_m_pareto ();
   table_n_directed ();
   table_o_multicast ();
-  if not skip_speed then speed_benchmarks ();
+  let speed_rows = if skip_speed then [] else speed_benchmarks () in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let module Json = Repro_util.Bench_json in
+      Json.write_file ~path
+        (Json.Obj
+           [
+             ( "meta",
+               Json.Obj
+                 [ ("bench", Json.Str "main"); ("skip_speed", Json.Bool skip_speed) ] );
+             ( "speed",
+               Json.List
+                 (List.map
+                    (fun (name, ns) ->
+                      Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float ns) ])
+                    speed_rows) );
+           ]);
+      Printf.printf "\nwrote %s\n" path);
   print_endline "\nAll experiment tables regenerated. Paper-vs-measured notes: EXPERIMENTS.md."

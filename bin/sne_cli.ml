@@ -87,8 +87,12 @@ let solve_cmd =
       | `Cut ->
           let state = Gm.Broadcast.state_of_tree spec ~root tree in
           let r, stats = Sne.cutting_plane spec ~state in
-          Printf.printf "cutting plane: %d rounds, %d constraints generated\n"
-            stats.Sne.rounds stats.Sne.generated;
+          Printf.printf "cutting plane: %d rounds, %d constraints generated, %d pivots\n"
+            stats.Sne.rounds stats.Sne.generated stats.Sne.pivots;
+          if not stats.Sne.converged then
+            Printf.printf
+              "WARNING: round limit reached with violated constraints outstanding — \
+               the printed subsidy may under-enforce; re-run with a higher limit\n";
           (r.Sne.subsidy, r.Sne.cost, "LP (1) via cutting planes")
       | `Thm6 ->
           let r = Enforce.subsidize_mst graph tree in

@@ -18,24 +18,33 @@
     all three return a subsidy assignment; an [Infeasible]/[Unbounded]
     answer from the LP solver indicates a bug and raises. *)
 
-module Make (F : Repro_field.Field.S) = struct
+module Make_backend
+    (F : Repro_field.Field.S)
+    (Lp : Repro_lp.Lp_intf.BACKEND with type num = F.t) =
+struct
   module Gm = Repro_game.Game.Make (F)
   module W = Repro_game.Weighted.Make (F)
   module G = Gm.G
-  module Lp = Repro_lp.Simplex.Make (F)
+  module Lp = Lp
 
   type result = {
     subsidy : F.t array; (* indexed by edge id; zero outside the target *)
     cost : F.t; (* total subsidies *)
   }
 
-  type cutting_plane_stats = { rounds : int; generated : int; converged : bool }
+  type cutting_plane_stats = {
+    rounds : int;
+    generated : int;
+    converged : bool;
+    pivots : int; (* total simplex pivots across all master solves *)
+  }
 
-  let solve_or_fail ~what p =
-    match Lp.solve p with
+  let ok_or_fail ~what = function
     | Lp.Optimal s -> s
     | Lp.Infeasible -> failwith (what ^ ": LP infeasible (SNE is always feasible; bug)")
     | Lp.Unbounded -> failwith (what ^ ": LP unbounded (objective is >= 0; bug)")
+
+  let solve_or_fail ~what p = ok_or_fail ~what (Lp.solve p)
 
   (* ---------------------------------------------------------------- *)
   (* LP (3): broadcast games, spanning-tree target                     *)
@@ -175,6 +184,79 @@ module Make (F : Repro_field.Field.S) = struct
       edge_of_var;
     { subsidy; cost = s.Lp.objective }
 
+  (* ---------------------------------------------------------------- *)
+  (* Shared constraint-generation driver                               *)
+  (* ---------------------------------------------------------------- *)
+
+  (* The cutting-plane loop over an oracle [find_cuts] that, given the
+     clamped subsidy vector of the current master optimum, returns the
+     violated path constraints (empty = converged). [warm] picks between
+     the backend's incremental path — append each cut to the live tableau
+     and re-optimize from the previous basis — and cold restarts that
+     re-solve the accumulated master from scratch every round. Both reach
+     the same optimum; the stats record how many pivots each spent. *)
+  let cutting_core ~what ~warm ~max_rounds ~graph base ~find_cuts =
+    let m = G.n_edges graph in
+    let clamp (s : Lp.solution) =
+      Array.init m (fun id -> F.max F.zero (F.min s.Lp.values.(id) (G.weight graph id)))
+    in
+    let generated = ref 0 in
+    let cold_constraints = ref base.Lp.constraints in
+    let cold_pivots = ref 0 in
+    let warm_state = ref None in
+    let initial () =
+      let st, o = Lp.solve_incremental base in
+      if warm then warm_state := Some st else cold_pivots := Lp.pivots st;
+      ok_or_fail ~what o
+    in
+    let apply_cuts cuts =
+      generated := !generated + List.length cuts;
+      match !warm_state with
+      | Some st ->
+          let last =
+            List.fold_left (fun _ c -> Lp.add_constraint st c) Lp.Infeasible cuts
+          in
+          ok_or_fail ~what last
+      | None ->
+          cold_constraints := List.rev_append cuts !cold_constraints;
+          let st, o =
+            Lp.solve_incremental { base with Lp.constraints = !cold_constraints }
+          in
+          cold_pivots := !cold_pivots + Lp.pivots st;
+          ok_or_fail ~what o
+    in
+    let total_pivots () =
+      match !warm_state with Some st -> Lp.pivots st | None -> !cold_pivots
+    in
+    let rec loop round (s : Lp.solution) =
+      let subsidy = clamp s in
+      let finish converged =
+        ( { subsidy; cost = s.Lp.objective },
+          {
+            rounds = round;
+            generated = !generated;
+            converged;
+            pivots = total_pivots ();
+          } )
+      in
+      match find_cuts ~subsidy with
+      | [] -> finish true
+      | _ when round >= max_rounds -> finish false
+      | cuts -> loop (round + 1) (apply_cuts cuts)
+    in
+    loop 0 (initial ())
+
+  (* The box-only master: minimize total subsidies with 0 <= b_a <= w_a. *)
+  let box_master graph =
+    let m = G.n_edges graph in
+    Lp.make_problem ~n_vars:m
+      ~var_name:(fun id -> Printf.sprintf "b_e%d" id)
+      ~minimize:(List.init m (fun id -> (id, F.one)))
+      ~constraints:[]
+      ~lower:(Array.make m (Some F.zero))
+      ~upper:(Array.init m (fun id -> Some (G.weight graph id)))
+      ()
+
   (** Exact weighted SNE by constraint generation. [weighted_broadcast]
       only guards against single-non-tree-edge deviations; for {e unit}
       demands Lemma 2 makes that sufficient, but for general demands it is
@@ -182,22 +264,15 @@ module Make (F : Repro_field.Field.S) = struct
       deviation beats every one-edge deviation — the exchange argument in
       Lemma 2's proof genuinely needs unit demands). So the exact solver
       runs the cutting-plane loop with the weighted best-response oracle,
-      seeding the master with the [weighted_broadcast] constraint family
-      would also work; starting from the box is simpler and converges in a
-      handful of rounds. *)
-  let weighted_cutting_plane ?(max_rounds = 500) (wspec : W.spec) ~(state : Gm.state) =
+      warm-starting each master re-solve from the previous basis. *)
+  let weighted_cutting_plane ?(warm = true) ?(max_rounds = 500) (wspec : W.spec)
+      ~(state : Gm.state) =
     let graph = W.graph wspec in
-    let m = G.n_edges graph in
     let du_all = W.demand_usage wspec state in
-    let lower = Array.make m (Some F.zero) in
-    let upper = Array.init m (fun id -> Some (G.weight graph id)) in
-    let constraints = ref [] in
-    let generated = ref 0 in
     (* Player i's cost on her current path must not exceed her cost on the
        deviation path p: sum_{a in T_i} (w-b) d_i/D_a <= sum_{a in p}
        (w-b) d_i/(D_a + d_i - [i uses a] d_i). *)
-    let add_path_constraint i path =
-      incr generated;
+    let path_constraint i path =
       let di = wspec.W.demand.(i) in
       let mine = Gm.player_edges wspec.W.base state i in
       let coeffs = Hashtbl.create 8 in
@@ -219,49 +294,24 @@ module Make (F : Repro_field.Field.S) = struct
           let others = if mine.(id) then F.sub du_all.(id) di else du_all.(id) in
           touch ~side:`Deviation id (F.add others di))
         path;
-      constraints :=
-        {
-          Lp.coeffs = Hashtbl.fold (fun k c acc -> (k, c) :: acc) coeffs [];
-          relation = Lp.Leq;
-          rhs = !rhs;
-          label = Printf.sprintf "wpath(p%d)" i;
-        }
-        :: !constraints
+      {
+        Lp.coeffs = Hashtbl.fold (fun k c acc -> (k, c) :: acc) coeffs [];
+        relation = Lp.Leq;
+        rhs = !rhs;
+        label = Printf.sprintf "wpath(p%d)" i;
+      }
     in
-    let solve_master () =
-      let p =
-        Lp.make_problem ~n_vars:m
-          ~var_name:(fun id -> Printf.sprintf "b_e%d" id)
-          ~minimize:(List.init m (fun id -> (id, F.one)))
-          ~constraints:!constraints ~lower ~upper ()
-      in
-      solve_or_fail ~what:"Sne_lp.weighted_cutting_plane" p
+    let find_cuts ~subsidy =
+      let cuts = ref [] in
+      for i = W.n_players wspec - 1 downto 0 do
+        let current = W.player_cost ~subsidy wspec state i in
+        let cost, path = W.best_response ~subsidy wspec state i in
+        if F.lt cost current then cuts := path_constraint i path :: !cuts
+      done;
+      !cuts
     in
-    let rec loop round =
-      let s = solve_master () in
-      let subsidy =
-        Array.init m (fun id -> F.max F.zero (F.min s.Lp.values.(id) (G.weight graph id)))
-      in
-      if round >= max_rounds then
-        ( { subsidy; cost = s.Lp.objective },
-          { rounds = round; generated = !generated; converged = false } )
-      else begin
-        let violated = ref false in
-        for i = 0 to W.n_players wspec - 1 do
-          let current = W.player_cost ~subsidy wspec state i in
-          let cost, path = W.best_response ~subsidy wspec state i in
-          if F.lt cost current then begin
-            violated := true;
-            add_path_constraint i path
-          end
-        done;
-        if !violated then loop (round + 1)
-        else
-          ( { subsidy; cost = s.Lp.objective },
-            { rounds = round; generated = !generated; converged = true } )
-      end
-    in
-    loop 0
+    cutting_core ~what:"Sne_lp.weighted_cutting_plane" ~warm ~max_rounds ~graph
+      (box_master graph) ~find_cuts
 
   (* ---------------------------------------------------------------- *)
   (* LP (2): general games, polynomial size                            *)
@@ -350,20 +400,17 @@ module Make (F : Repro_field.Field.S) = struct
   (** Solve the exponential LP (1) by cutting planes: start with only the
       box constraints, and repeatedly add the constraint of each player's
       cheapest deviating path (found by [Gm.best_response], which is exactly
-      the paper's H_i shortest-path oracle) until none is violated. *)
-  let cutting_plane ?(max_rounds = 500) spec ~(state : Gm.state) =
+      the paper's H_i shortest-path oracle) until none is violated. Each
+      master re-solve warm-starts from the previous optimal basis
+      ([warm = false] forces the old cold restarts, kept for the
+      pivot-budget benchmarks and the warm-vs-cold property tests). *)
+  let cutting_plane ?(warm = true) ?(max_rounds = 500) spec ~(state : Gm.state) =
     let graph = spec.Gm.graph in
-    let m = G.n_edges graph in
     let usage = Gm.usage spec state in
-    let lower = Array.make m (Some F.zero) in
-    let upper = Array.init m (fun id -> Some (G.weight graph id)) in
-    let constraints = ref [] in
-    let generated = ref 0 in
     (* Constraint for player i forced below the cost of deviation path p:
        cost_i(T;b) <= sum_{a in p} (w_a - b_a)/d_a. Terms for edges on both
        sides cancel via the shared hashtable. *)
-    let add_path_constraint i path =
-      incr generated;
+    let path_constraint i path =
       let mine = Gm.player_edges spec state i in
       let coeffs = Hashtbl.create 8 in
       let rhs = ref F.zero in
@@ -384,49 +431,30 @@ module Make (F : Repro_field.Field.S) = struct
       List.iter
         (fun id -> touch ~side:`Deviation id (usage.(id) + 1 - if mine.(id) then 1 else 0))
         path;
-      constraints :=
-        {
-          Lp.coeffs = Hashtbl.fold (fun k c acc -> (k, c) :: acc) coeffs [];
-          relation = Lp.Leq;
-          rhs = !rhs;
-          label = Printf.sprintf "path(p%d)" i;
-        }
-        :: !constraints
+      {
+        Lp.coeffs = Hashtbl.fold (fun k c acc -> (k, c) :: acc) coeffs [];
+        relation = Lp.Leq;
+        rhs = !rhs;
+        label = Printf.sprintf "path(p%d)" i;
+      }
     in
-    let solve_master () =
-      let p =
-        Lp.make_problem ~n_vars:m
-          ~var_name:(fun id -> Printf.sprintf "b_e%d" id)
-          ~minimize:(List.init m (fun id -> (id, F.one)))
-          ~constraints:!constraints ~lower ~upper ()
-      in
-      solve_or_fail ~what:"Sne_lp.cutting_plane" p
+    let find_cuts ~subsidy =
+      let cuts = ref [] in
+      for i = Gm.n_players spec - 1 downto 0 do
+        let current = Gm.player_cost ~subsidy spec state i in
+        let cost, path = Gm.best_response ~subsidy spec state i in
+        if F.lt cost current then cuts := path_constraint i path :: !cuts
+      done;
+      !cuts
     in
-    let rec loop round =
-      let s = solve_master () in
-      let subsidy =
-        Array.init m (fun id -> F.max F.zero (F.min s.Lp.values.(id) (G.weight graph id)))
-      in
-      if round >= max_rounds then
-        ({ subsidy; cost = s.Lp.objective }, { rounds = round; generated = !generated; converged = false })
-      else begin
-        let violated = ref false in
-        for i = 0 to Gm.n_players spec - 1 do
-          let current = Gm.player_cost ~subsidy spec state i in
-          let cost, path = Gm.best_response ~subsidy spec state i in
-          if F.lt cost current then begin
-            violated := true;
-            add_path_constraint i path
-          end
-        done;
-        if !violated then loop (round + 1)
-        else
-          ( { subsidy; cost = s.Lp.objective },
-            { rounds = round; generated = !generated; converged = true } )
-      end
-    in
-    loop 0
+    cutting_core ~what:"Sne_lp.cutting_plane" ~warm ~max_rounds ~graph
+      (box_master graph) ~find_cuts
 end
 
-module Float = Make (Repro_field.Field.Float_field)
+module Make (F : Repro_field.Field.S) = Make_backend (F) (Repro_lp.Simplex.Make (F))
+
+(* The float instantiation runs on the specialized unboxed kernel (with its
+   genuine dual-simplex warm start); the exact-rational one keeps the
+   functorized simplex as the correctness oracle. *)
+module Float = Make_backend (Repro_field.Field.Float_field) (Repro_lp.Simplex_float)
 module Rat = Make (Repro_field.Field.Rat)

@@ -4,20 +4,38 @@
     All solvers compute a minimum-cost subsidy assignment enforcing a given
     state; SNE is always feasible (fully subsidizing the target works), so
     they never report infeasibility (an LP failure raises — it would be a
-    bug). *)
+    bug).
 
-module Make (F : Repro_field.Field.S) : sig
+    The solvers are functorized over an LP backend ({!Repro_lp.Lp_intf.BACKEND})
+    so the float instantiation can run on the specialized unboxed kernel
+    ({!Repro_lp.Simplex_float}) while the exact-rational one keeps the
+    functorized simplex as the correctness oracle. The cutting-plane
+    solvers use the backend's warm-start path: each violated constraint is
+    appended to the live tableau and the master re-optimizes from the
+    previous basis instead of re-running two-phase from scratch. *)
+
+module Make_backend
+    (F : Repro_field.Field.S)
+    (Lp : Repro_lp.Lp_intf.BACKEND with type num = F.t) : sig
   module Gm : module type of Repro_game.Game.Make (F)
   module W : module type of Repro_game.Weighted.Make (F)
   module G : module type of Gm.G
-  module Lp : module type of Repro_lp.Simplex.Make (F)
+  module Lp : Repro_lp.Lp_intf.BACKEND with type num = F.t
 
   type result = {
     subsidy : F.t array; (** edge-indexed; zero outside the target *)
     cost : F.t; (** total subsidies *)
   }
 
-  type cutting_plane_stats = { rounds : int; generated : int; converged : bool }
+  type cutting_plane_stats = {
+    rounds : int;
+    generated : int;
+    converged : bool;
+        (** [false] = the loop hit [max_rounds] with violated constraints
+            still outstanding; consumers should warn, not silently pass the
+            last iterate through *)
+    pivots : int; (** total simplex pivots across all master solves *)
+  }
 
   (** LP (3): the compact broadcast formulation — one variable per tree
       edge, one constraint per (player, incident non-tree edge) with the
@@ -32,9 +50,15 @@ module Make (F : Repro_field.Field.S) : sig
   (** Exact weighted SNE by constraint generation with the weighted
       best-response oracle. Lemma 2's single-edge deviation family is
       insufficient for weighted games (the tests pin a witness), so the
-      exact solver generates violated path constraints until none remain. *)
+      exact solver generates violated path constraints until none remain.
+      [warm] (default [true]) re-optimizes each master from the previous
+      basis; [warm:false] forces cold restarts (for benchmarks/tests). *)
   val weighted_cutting_plane :
-    ?max_rounds:int -> W.spec -> state:Gm.state -> result * cutting_plane_stats
+    ?warm:bool ->
+    ?max_rounds:int ->
+    W.spec ->
+    state:Gm.state ->
+    result * cutting_plane_stats
 
   (** LP (2): the polynomial-size formulation for general games —
       shortest-path potentials pi_i(v) simulate the separation oracle
@@ -43,10 +67,19 @@ module Make (F : Repro_field.Field.S) : sig
 
   (** LP (1) solved by cutting planes: the paper's ellipsoid + Dijkstra
       separation oracle, run as the standard constraint-generation loop
-      (DESIGN.md §2). *)
+      (DESIGN.md §2), warm-started between rounds. *)
   val cutting_plane :
-    ?max_rounds:int -> Gm.spec -> state:Gm.state -> result * cutting_plane_stats
+    ?warm:bool ->
+    ?max_rounds:int ->
+    Gm.spec ->
+    state:Gm.state ->
+    result * cutting_plane_stats
 end
 
-module Float : module type of Make (Repro_field.Field.Float_field)
+module Make (F : Repro_field.Field.S) :
+  module type of Make_backend (F) (Repro_lp.Simplex.Make (F))
+
+module Float :
+  module type of Make_backend (Repro_field.Field.Float_field) (Repro_lp.Simplex_float)
+
 module Rat : module type of Make (Repro_field.Field.Rat)

@@ -16,7 +16,10 @@
     reproduction needs. *)
 
 module Make (F : Repro_field.Field.S) = struct
+  type num = F.t
   type relation = Leq | Geq | Eq
+
+  let name = "simplex-functor-" ^ F.name
 
   type constr = {
     coeffs : (int * F.t) list; (* sparse: variable index, coefficient *)
@@ -216,7 +219,12 @@ module Make (F : Repro_field.Field.S) = struct
     basis : int array;
   }
 
+  (* Module-level pivot counter: [state] snapshots it around each solve so
+     the benches can compare pivot budgets across backends. *)
+  let pivot_counter = ref 0
+
   let pivot tab r c =
+    incr pivot_counter;
     let row = tab.t_rows.(r) in
     let piv = row.(c) in
     for j = 0 to tab.width do
@@ -385,6 +393,43 @@ module Make (F : Repro_field.Field.S) = struct
         Optimal { values; objective }
 
   let solve p = try solve p with Exit -> Infeasible
+
+  (* ---------------------------------------------------------------- *)
+  (* Incremental interface (cold implementation)                       *)
+  (* ---------------------------------------------------------------- *)
+
+  (* The functor path keeps no factorization around: [add_constraint]
+     re-solves the accumulated problem from scratch. That makes it the
+     semantic oracle for the genuinely warm-started [Simplex_float] kernel —
+     both must report identical outcomes round after round — while [pivots]
+     exposes exactly how much work cold restarts cost. *)
+  type state = {
+    mutable cur : problem;
+    mutable last : outcome;
+    mutable spent : int; (* pivots spent on this state so far *)
+  }
+
+  let pivots st = st.spent
+
+  let solve_incremental p =
+    let before = !pivot_counter in
+    let o = solve p in
+    ({ cur = p; last = o; spent = !pivot_counter - before }, o)
+
+  let add_constraint st c =
+    match st.last with
+    | Infeasible ->
+        (* Adding a row only shrinks the feasible region. *)
+        st.cur <- { st.cur with constraints = c :: st.cur.constraints };
+        Infeasible
+    | Optimal _ | Unbounded ->
+        let p = { st.cur with constraints = c :: st.cur.constraints } in
+        let before = !pivot_counter in
+        let o = solve p in
+        st.cur <- p;
+        st.last <- o;
+        st.spent <- st.spent + (!pivot_counter - before);
+        o
 end
 
 module Float_simplex = Make (Repro_field.Field.Float_field)

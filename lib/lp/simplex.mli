@@ -11,7 +11,11 @@
     rounding-noise pivots). *)
 
 module Make (F : Repro_field.Field.S) : sig
+  type num = F.t
   type relation = Leq | Geq | Eq
+
+  (** Backend name for bench labels ("simplex-functor-<field>"). *)
+  val name : string
 
   type constr = {
     coeffs : (int * F.t) list; (** sparse: variable index, coefficient *)
@@ -55,6 +59,20 @@ module Make (F : Repro_field.Field.S) : sig
       Raises [Invalid_argument] on an empty variable range
       (upper < lower). *)
   val solve : problem -> outcome
+
+  (** Incremental-solver state for the {!Lp_intf.BACKEND} warm-start
+      contract. This functor keeps no factorization: [add_constraint]
+      re-solves the accumulated problem from scratch (a {e cold} restart),
+      which makes it the semantic oracle for the warm-started
+      {!Simplex_float} kernel while [pivots] prices what cold restarts
+      cost. *)
+  type state
+
+  val solve_incremental : problem -> state * outcome
+  val add_constraint : state -> constr -> outcome
+
+  (** Total simplex pivots spent on this state so far. *)
+  val pivots : state -> int
 end
 
 module Float_simplex : module type of Make (Repro_field.Field.Float_field)

@@ -1,0 +1,647 @@
+(* Specialized float simplex kernel on flat unboxed tableaus.
+
+   The functorized [Simplex.Make] boxes every scalar behind [F.t] and pays a
+   closure call per arithmetic op in the innermost pivot loop; instantiated
+   at float that overhead dominates the SNE sweeps. This kernel is the same
+   dense two-phase primal simplex, hand-specialized:
+
+   - the tableau is one flat row-major [float array] (rhs at offset 0 of
+     each row, coefficient of column j at offset 1+j), so the pivot loop is
+     straight-line unboxed float code over contiguous memory;
+   - pricing is Dantzig's largest-coefficient rule, with an automatic
+     fallback to Bland's least-index rule after [bland_after] consecutive
+     degenerate pivots (and back to Dantzig once progress resumes);
+   - [solve_incremental]/[add_constraint] implement the warm-start contract
+     of {!Lp_intf.BACKEND}: an appended constraint becomes one new row (its
+     fresh slack basic) reduced against the current basis, and the dual
+     simplex re-optimizes from the previous optimal tableau instead of
+     re-running two-phase from scratch — the cutting-plane loops in
+     [Sne_lp] lean on this.
+
+   The model layer (general bounds compiled away by shifting / mirroring /
+   splitting plus explicit upper-bound rows) mirrors [Simplex.Make] exactly,
+   so the exact-rational functor instantiation stays the drop-in
+   correctness oracle. *)
+
+type num = float
+type relation = Leq | Geq | Eq
+
+type constr = {
+  coeffs : (int * float) list;
+  relation : relation;
+  rhs : float;
+  label : string;
+}
+
+type problem = {
+  n_vars : int;
+  minimize : (int * float) list;
+  constraints : constr list;
+  lower : float option array;
+  upper : float option array;
+  var_name : int -> string;
+}
+
+type solution = { values : float array; objective : float }
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let name = "simplex-float-unboxed"
+
+let make_problem ~n_vars ?(var_name = fun i -> Printf.sprintf "x%d" i) ~minimize
+    ~constraints ~lower ~upper () =
+  if Array.length lower <> n_vars || Array.length upper <> n_vars then
+    invalid_arg "Simplex_float.make_problem: bound arrays must have n_vars entries";
+  let check_index (i, _) =
+    if i < 0 || i >= n_vars then
+      invalid_arg "Simplex_float.make_problem: variable out of range"
+  in
+  List.iter check_index minimize;
+  List.iter (fun c -> List.iter check_index c.coeffs) constraints;
+  { n_vars; minimize; constraints; lower; upper; var_name }
+
+let nonneg n = (Array.make n (Some 0.0), Array.make n None)
+
+(* Tolerances, aligned with Field.Float_field so the kernel classifies
+   borderline instances the same way the functor float path does. *)
+let pivot_tol = 1e-9 (* minimum pivot magnitude *)
+let price_tol = 1e-9 (* reduced cost must be below -price_tol to enter *)
+let feas_tol = 1e-9 (* rhs below -feas_tol means primal infeasible *)
+let phase1_tol = 1e-7 (* residual artificial mass that counts as infeasible *)
+let degen_tol = 1e-12 (* a ratio this small is a degenerate step *)
+let bland_after = 40 (* degenerate pivots in a row before Bland takes over *)
+
+(* How an original variable is recovered from canonical columns. *)
+type recover =
+  | Shifted of int * float (* x = base + y_col *)
+  | Mirrored of int * float (* x = base - y_col *)
+  | Split of int * int (* x = y_plus - y_minus *)
+
+type state = {
+  prob : problem;
+  recover : recover array;
+  structural : int; (* canonical structural columns *)
+  mutable added : constr list; (* cuts appended after the initial solve *)
+  mutable a : float array; (* flat tableau, row i at [i*stride .. ] *)
+  mutable stride : int; (* >= width + 1; row layout: rhs, then columns *)
+  mutable m : int;
+  mutable width : int; (* columns in use (structural + slacks + arts) *)
+  mutable obj : float array; (* reduced-cost row, same layout; obj.(0) = -z *)
+  mutable basis : int array; (* length >= m *)
+  mutable barred : bool array; (* per column; artificials after phase 1 *)
+  mutable n_pivots : int;
+  mutable degen_streak : int;
+  mutable bland : bool;
+  mutable last : outcome;
+}
+
+let pivots st = st.n_pivots
+
+let[@inline] coef st i j = Array.unsafe_get st.a ((i * st.stride) + 1 + j)
+let[@inline] row_rhs st i = Array.unsafe_get st.a (i * st.stride)
+
+(* ------------------------------------------------------------------ *)
+(* The pivot kernel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pivot st r c =
+  let a = st.a and stride = st.stride and width = st.width in
+  let base = r * stride in
+  let inv = 1.0 /. Array.unsafe_get a (base + 1 + c) in
+  for j = 0 to width do
+    Array.unsafe_set a (base + j) (Array.unsafe_get a (base + j) *. inv)
+  done;
+  Array.unsafe_set a (base + 1 + c) 1.0;
+  for i = 0 to st.m - 1 do
+    if i <> r then begin
+      let bi = i * stride in
+      let f = Array.unsafe_get a (bi + 1 + c) in
+      if f <> 0.0 then begin
+        for j = 0 to width do
+          Array.unsafe_set a (bi + j)
+            (Array.unsafe_get a (bi + j) -. (f *. Array.unsafe_get a (base + j)))
+        done;
+        Array.unsafe_set a (bi + 1 + c) 0.0
+      end
+    end
+  done;
+  let obj = st.obj in
+  let f = Array.unsafe_get obj (1 + c) in
+  if f <> 0.0 then begin
+    for j = 0 to width do
+      Array.unsafe_set obj j
+        (Array.unsafe_get obj j -. (f *. Array.unsafe_get a (base + j)))
+    done;
+    Array.unsafe_set obj (1 + c) 0.0
+  end;
+  st.basis.(r) <- c;
+  st.n_pivots <- st.n_pivots + 1
+
+(* ------------------------------------------------------------------ *)
+(* Primal simplex: Dantzig pricing, Bland fallback on degeneracy        *)
+(* ------------------------------------------------------------------ *)
+
+let entering_column st =
+  let obj = st.obj and barred = st.barred in
+  if st.bland then begin
+    (* Bland: smallest index with a genuinely negative reduced cost. *)
+    let e = ref (-1) in
+    (try
+       for j = 0 to st.width - 1 do
+         if
+           (not (Array.unsafe_get barred j))
+           && Array.unsafe_get obj (1 + j) < -.price_tol
+         then begin
+           e := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !e
+  end
+  else begin
+    (* Dantzig: most negative reduced cost. *)
+    let e = ref (-1) and best = ref (-.price_tol) in
+    for j = 0 to st.width - 1 do
+      let d = Array.unsafe_get obj (1 + j) in
+      if d < !best && not (Array.unsafe_get barred j) then begin
+        best := d;
+        e := j
+      end
+    done;
+    !e
+  end
+
+let rec primal st =
+  let c = entering_column st in
+  if c < 0 then `Optimal
+  else begin
+    (* Ratio test; ties break toward the smallest basis id (lexicographic,
+       as in the functor) so Bland mode is genuinely anti-cycling. *)
+    let leave = ref (-1) and best_ratio = ref infinity in
+    for r = 0 to st.m - 1 do
+      let arc = coef st r c in
+      if arc > pivot_tol then begin
+        let ratio = row_rhs st r /. arc in
+        let better =
+          !leave < 0
+          || ratio < !best_ratio -. degen_tol
+          || (ratio <= !best_ratio +. degen_tol && st.basis.(r) < st.basis.(!leave))
+        in
+        if better then begin
+          if !leave < 0 || ratio < !best_ratio then best_ratio := ratio;
+          leave := r
+        end
+      end
+    done;
+    if !leave < 0 then `Unbounded
+    else begin
+      if !best_ratio <= degen_tol then begin
+        st.degen_streak <- st.degen_streak + 1;
+        if st.degen_streak >= bland_after then st.bland <- true
+      end
+      else begin
+        st.degen_streak <- 0;
+        st.bland <- false
+      end;
+      pivot st !leave c;
+      primal st
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dual simplex: re-optimization after an appended cut                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Precondition: the reduced-cost row is dual feasible (all >= -tol), which
+   holds at any primal optimum and is preserved by the ratio test below.
+   Returns [`Stalled] past a generous pivot budget so the caller can fall
+   back to a cold rebuild instead of cycling on numerical noise. *)
+let dual st =
+  let limit = 200 + (20 * (st.m + st.width)) in
+  let rec loop iters =
+    let leave = ref (-1) and worst = ref (-.feas_tol) in
+    for r = 0 to st.m - 1 do
+      let b = row_rhs st r in
+      if b < !worst then begin
+        worst := b;
+        leave := r
+      end
+    done;
+    if !leave < 0 then `Optimal
+    else if iters > limit then `Stalled
+    else begin
+      let r = !leave in
+      (* Entering column: minimize obj_j / (-a_rj) over a_rj < 0, keeping
+         the first (smallest-index) column among near-ties. *)
+      let enter = ref (-1) and best = ref infinity in
+      for j = 0 to st.width - 1 do
+        if not (Array.unsafe_get st.barred j) then begin
+          let arj = coef st r j in
+          if arj < -.pivot_tol then begin
+            let ratio = Array.unsafe_get st.obj (1 + j) /. -.arj in
+            if !enter < 0 || ratio < !best -. degen_tol then begin
+              best := ratio;
+              enter := j
+            end
+          end
+        end
+      done;
+      if !enter < 0 then `Infeasible
+      else begin
+        pivot st r !enter;
+        loop (iters + 1)
+      end
+    end
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization and the two-phase driver                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite a user constraint over canonical columns: a dense accumulator of
+   length [structural] plus the adjusted rhs. *)
+let rewrite ~recover ~structural (c : constr) =
+  let acc = Array.make structural 0.0 in
+  let rhs = ref c.rhs in
+  List.iter
+    (fun (i, a) ->
+      match recover.(i) with
+      | Shifted (col, base) ->
+          acc.(col) <- acc.(col) +. a;
+          rhs := !rhs -. (a *. base)
+      | Mirrored (col, base) ->
+          acc.(col) <- acc.(col) -. a;
+          rhs := !rhs -. (a *. base)
+      | Split (cp, cm) ->
+          acc.(cp) <- acc.(cp) +. a;
+          acc.(cm) <- acc.(cm) -. a)
+    c.coeffs;
+  (acc, !rhs)
+
+let extract st =
+  let vals = Array.make st.structural 0.0 in
+  for r = 0 to st.m - 1 do
+    let b = st.basis.(r) in
+    if b < st.structural then vals.(b) <- row_rhs st r
+  done;
+  let values =
+    Array.map
+      (function
+        | Shifted (col, base) -> base +. vals.(col)
+        | Mirrored (col, base) -> base -. vals.(col)
+        | Split (cp, cm) -> vals.(cp) -. vals.(cm))
+      st.recover
+  in
+  let objective =
+    List.fold_left (fun acc (i, a) -> acc +. (a *. values.(i))) 0.0 st.prob.minimize
+  in
+  Optimal { values; objective }
+
+(* Reduced costs for [cost_of] given the current basis, by row elimination:
+   d_j = c_j - c_B . B^-1 A_j. *)
+let set_objective st cost_of =
+  Array.fill st.obj 0 st.stride 0.0;
+  for j = 0 to st.width - 1 do
+    st.obj.(1 + j) <- cost_of j
+  done;
+  for r = 0 to st.m - 1 do
+    let cb = cost_of st.basis.(r) in
+    if cb <> 0.0 then begin
+      let base = r * st.stride in
+      for j = 0 to st.width do
+        st.obj.(j) <- st.obj.(j) -. (cb *. st.a.(base + j))
+      done
+    end
+  done
+
+let build p =
+  (* 1. Assign canonical columns; bounded variables also get an explicit
+     upper-bound row. *)
+  let next = ref 0 in
+  let fresh () =
+    let c = !next in
+    incr next;
+    c
+  in
+  let extra_rows = ref [] in
+  let recover =
+    Array.init p.n_vars (fun i ->
+        match (p.lower.(i), p.upper.(i)) with
+        | Some lo, Some up ->
+            if up < lo then
+              invalid_arg "Simplex: empty variable range (upper < lower)";
+            let col = fresh () in
+            extra_rows :=
+              { coeffs = [ (i, 1.0) ]; relation = Leq; rhs = up; label = "ub" }
+              :: !extra_rows;
+            Shifted (col, lo)
+        | Some lo, None -> Shifted (fresh (), lo)
+        | None, Some up -> Mirrored (fresh (), up)
+        | None, None ->
+            let cp = fresh () in
+            let cm = fresh () in
+            Split (cp, cm))
+  in
+  let structural = !next in
+  let all_constraints = p.constraints @ List.rev !extra_rows in
+  let m = List.length all_constraints in
+  (* 2. Rewrite rows over canonical columns and normalize rhs >= 0. *)
+  let rewritten =
+    List.map
+      (fun c ->
+        let acc, rhs = rewrite ~recover ~structural c in
+        if rhs < 0.0 then begin
+          for j = 0 to structural - 1 do
+            acc.(j) <- -.acc.(j)
+          done;
+          let rel =
+            match c.relation with Leq -> Geq | Geq -> Leq | Eq -> Eq
+          in
+          (acc, rel, -.rhs)
+        end
+        else (acc, c.relation, rhs))
+      all_constraints
+  in
+  (* 3. Column layout: structural, slacks/surpluses, artificials. *)
+  let n_slack =
+    List.fold_left
+      (fun k (_, rel, _) -> match rel with Eq -> k | Leq | Geq -> k + 1)
+      0 rewritten
+  in
+  let n_art =
+    List.fold_left
+      (fun k (_, rel, _) -> match rel with Leq -> k | Geq | Eq -> k + 1)
+      0 rewritten
+  in
+  let width = structural + n_slack + n_art in
+  (* Headroom so a typical cutting-plane run appends without realloc. *)
+  let stride = width + 1 + 16 in
+  let mcap = m + 16 in
+  let st =
+    {
+      prob = p;
+      recover;
+      structural;
+      added = [];
+      a = Array.make (max 1 (mcap * stride)) 0.0;
+      stride;
+      m;
+      width;
+      obj = Array.make stride 0.0;
+      basis = Array.make (max 1 mcap) (-1);
+      barred = Array.make (max 1 (stride - 1)) false;
+      n_pivots = 0;
+      degen_streak = 0;
+      bland = false;
+      last = Infeasible;
+    }
+  in
+  let next_slack = ref structural in
+  let next_art = ref (structural + n_slack) in
+  List.iteri
+    (fun r (acc, rel, rhs) ->
+      let base = r * stride in
+      for j = 0 to structural - 1 do
+        st.a.(base + 1 + j) <- acc.(j)
+      done;
+      st.a.(base) <- rhs;
+      (match rel with
+      | Leq ->
+          let s = !next_slack in
+          incr next_slack;
+          st.a.(base + 1 + s) <- 1.0;
+          st.basis.(r) <- s
+      | Geq ->
+          let s = !next_slack in
+          incr next_slack;
+          st.a.(base + 1 + s) <- -1.0;
+          let art = !next_art in
+          incr next_art;
+          st.a.(base + 1 + art) <- 1.0;
+          st.basis.(r) <- art
+      | Eq ->
+          let art = !next_art in
+          incr next_art;
+          st.a.(base + 1 + art) <- 1.0;
+          st.basis.(r) <- art))
+    rewritten;
+  let is_artificial j = j >= structural + n_slack in
+  (* 4. Phase 1: minimize the sum of artificials. *)
+  let infeasible = ref false in
+  if n_art > 0 then begin
+    set_objective st (fun j -> if is_artificial j then 1.0 else 0.0);
+    (match primal st with
+    | `Unbounded -> assert false (* bounded below by 0 *)
+    | `Optimal -> if -.st.obj.(0) > phase1_tol then infeasible := true);
+    if not !infeasible then
+      (* Drive residual zero-valued artificials out of the basis; redundant
+         rows keep theirs, harmlessly, because artificial columns are barred
+         below. *)
+      for r = 0 to st.m - 1 do
+        if is_artificial st.basis.(r) then begin
+          let found = ref (-1) in
+          for j = 0 to structural + n_slack - 1 do
+            if !found < 0 && Float.abs (coef st r j) > pivot_tol then found := j
+          done;
+          if !found >= 0 then pivot st r !found
+        end
+      done
+  end;
+  if !infeasible then begin
+    st.last <- Infeasible;
+    st
+  end
+  else begin
+    (* 5. Phase 2 over the real objective; artificials are barred for the
+       rest of the state's life (warm rounds included). *)
+    for j = structural + n_slack to width - 1 do
+      st.barred.(j) <- true
+    done;
+    let cost = Array.make (max 1 structural) 0.0 in
+    List.iter
+      (fun (i, a) ->
+        match recover.(i) with
+        | Shifted (col, _) -> cost.(col) <- cost.(col) +. a
+        | Mirrored (col, _) -> cost.(col) <- cost.(col) -. a
+        | Split (cp, cm) ->
+            cost.(cp) <- cost.(cp) +. a;
+            cost.(cm) <- cost.(cm) -. a)
+      p.minimize;
+    set_objective st (fun j -> if j < structural then cost.(j) else 0.0);
+    st.degen_streak <- 0;
+    st.bland <- false;
+    (match primal st with
+    | `Unbounded -> st.last <- Unbounded
+    | `Optimal -> st.last <- extract st);
+    st
+  end
+
+let solve_incremental p =
+  let st = build p in
+  (st, st.last)
+
+let solve p = (build p).last
+
+(* ------------------------------------------------------------------ *)
+(* Warm re-optimization                                                *)
+(* ------------------------------------------------------------------ *)
+
+let grow st ~rows ~cols =
+  let need_w = st.width + cols + 1 in
+  let need_m = st.m + rows in
+  let cap_rows = Array.length st.a / st.stride in
+  if need_w > st.stride then begin
+    let stride' = max need_w (st.stride * 2) in
+    let cap' = max need_m (cap_rows * 2) in
+    let a' = Array.make (cap' * stride') 0.0 in
+    for i = 0 to st.m - 1 do
+      Array.blit st.a (i * st.stride) a' (i * stride') (st.width + 1)
+    done;
+    let obj' = Array.make stride' 0.0 in
+    Array.blit st.obj 0 obj' 0 (st.width + 1);
+    st.a <- a';
+    st.obj <- obj';
+    st.stride <- stride'
+  end
+  else if need_m > cap_rows then begin
+    let cap' = max need_m (cap_rows * 2) in
+    let a' = Array.make (cap' * st.stride) 0.0 in
+    Array.blit st.a 0 a' 0 (st.m * st.stride);
+    st.a <- a'
+  end;
+  if Array.length st.basis < need_m then begin
+    let b' = Array.make (max need_m (Array.length st.basis * 2)) (-1) in
+    Array.blit st.basis 0 b' 0 st.m;
+    st.basis <- b'
+  end;
+  if Array.length st.barred < st.width + cols then begin
+    let b' = Array.make (max (st.width + cols) (Array.length st.barred * 2)) false in
+    Array.blit st.barred 0 b' 0 st.width;
+    st.barred <- b'
+  end
+
+(* Append one <= row (canonical coefficients scaled by [sgn]) with a fresh
+   basic slack, reduced against the current basis. *)
+let append_leq st acc rhs sgn =
+  grow st ~rows:1 ~cols:1;
+  let slack = st.width in
+  st.width <- st.width + 1;
+  st.barred.(slack) <- false;
+  let r = st.m in
+  st.m <- st.m + 1;
+  let base = r * st.stride in
+  Array.fill st.a base st.stride 0.0;
+  for j = 0 to st.structural - 1 do
+    st.a.(base + 1 + j) <- sgn *. acc.(j)
+  done;
+  st.a.(base + 1 + slack) <- 1.0;
+  st.a.(base) <- sgn *. rhs;
+  (* Zero out the basic columns of the new row: basic columns are unit
+     columns in the old rows, so one elimination pass per old row does it. *)
+  for i = 0 to r - 1 do
+    let b = st.basis.(i) in
+    let f = st.a.(base + 1 + b) in
+    if f <> 0.0 then begin
+      let bi = i * st.stride in
+      for j = 0 to st.width do
+        st.a.(base + j) <- st.a.(base + j) -. (f *. st.a.(bi + j))
+      done;
+      st.a.(base + 1 + b) <- 0.0
+    end
+  done;
+  st.basis.(r) <- slack
+
+(* Cold rebuild of the whole state in place — the fallback when the dual
+   simplex stalls or the previous outcome was Unbounded. *)
+let rebuild st =
+  let p =
+    { st.prob with constraints = st.prob.constraints @ List.rev st.added }
+  in
+  let fresh = build p in
+  st.a <- fresh.a;
+  st.stride <- fresh.stride;
+  st.m <- fresh.m;
+  st.width <- fresh.width;
+  st.obj <- fresh.obj;
+  st.basis <- fresh.basis;
+  st.barred <- fresh.barred;
+  st.n_pivots <- st.n_pivots + fresh.n_pivots;
+  st.degen_streak <- 0;
+  st.bland <- false;
+  st.last <- fresh.last;
+  st.last
+
+let add_constraint st c =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= st.prob.n_vars then
+        invalid_arg "Simplex_float.add_constraint: variable out of range")
+    c.coeffs;
+  st.added <- c :: st.added;
+  match st.last with
+  | Infeasible ->
+      (* Adding a row only shrinks the feasible region. *)
+      Infeasible
+  | Unbounded ->
+      (* No optimal basis to warm-start from; the new row may bound the
+         problem, so rebuild cold. *)
+      rebuild st
+  | Optimal _ -> (
+      let acc, rhs = rewrite ~recover:st.recover ~structural:st.structural c in
+      (match c.relation with
+      | Leq -> append_leq st acc rhs 1.0
+      | Geq -> append_leq st acc rhs (-1.0)
+      | Eq ->
+          append_leq st acc rhs 1.0;
+          append_leq st acc rhs (-1.0));
+      match dual st with
+      | `Stalled -> rebuild st
+      | `Infeasible ->
+          st.last <- Infeasible;
+          Infeasible
+      | `Optimal -> (
+          (* The dual pass restores primal feasibility and preserves dual
+             feasibility, so this is optimal; a primal polish pass mops up
+             any rounding-induced negative reduced costs (usually zero
+             pivots). *)
+          st.degen_streak <- 0;
+          st.bland <- false;
+          match primal st with
+          | `Unbounded ->
+              st.last <- Unbounded;
+              Unbounded
+          | `Optimal ->
+              st.last <- extract st;
+              st.last))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (mirrors Simplex.Make)                               *)
+(* ------------------------------------------------------------------ *)
+
+let pp_relation fmt = function
+  | Leq -> Format.pp_print_string fmt "<="
+  | Geq -> Format.pp_print_string fmt ">="
+  | Eq -> Format.pp_print_string fmt "="
+
+let pp_problem fmt p =
+  let pp_terms fmt coeffs =
+    if coeffs = [] then Format.pp_print_string fmt "0"
+    else
+      List.iteri
+        (fun k (i, c) ->
+          if k > 0 then Format.pp_print_string fmt " + ";
+          Format.fprintf fmt "%.12g*%s" c (p.var_name i))
+        coeffs
+  in
+  Format.fprintf fmt "minimize %a@." pp_terms p.minimize;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  [%s] %a %a %.12g@." c.label pp_terms c.coeffs
+        pp_relation c.relation c.rhs)
+    p.constraints;
+  Array.iteri
+    (fun i (lo, up) ->
+      let s = function None -> "inf" | Some x -> Printf.sprintf "%.12g" x in
+      Format.fprintf fmt "  %s in [%s, %s]@." (p.var_name i) (s lo) (s up))
+    (Array.map2 (fun a b -> (a, b)) p.lower p.upper)

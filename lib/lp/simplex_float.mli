@@ -1,0 +1,84 @@
+(** Specialized float simplex kernel on flat unboxed tableaus.
+
+    Drop-in replacement for [Simplex.Make (Field.Float_field)] on the hot
+    paths: the same model layer (general bounds, <=/>=/= rows) and the same
+    [problem]/[outcome] shape, but the tableau is a single flat row-major
+    [float array] pivoted with direct float ops — no functor indirection,
+    no per-op closure, no boxing. Pricing is Dantzig's largest-coefficient
+    rule with an automatic fallback to Bland's least-index rule after a
+    degeneracy streak (and back once progress resumes).
+
+    The warm-start half of {!Lp_intf.BACKEND} is genuinely incremental
+    here: [add_constraint] appends the canonicalized row with a fresh basic
+    slack to the optimal tableau and re-optimizes by dual simplex instead
+    of re-running two-phase from scratch. The cutting-plane SNE solvers in
+    [Sne_lp] are built on exactly this.
+
+    The functorized exact-rational simplex remains the correctness oracle;
+    the property tests cross-validate every verdict of this kernel against
+    it. *)
+
+type num = float
+type relation = Leq | Geq | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse: variable index, coefficient *)
+  relation : relation;
+  rhs : float;
+  label : string;
+}
+
+type problem = {
+  n_vars : int;
+  minimize : (int * float) list;  (** sparse objective *)
+  constraints : constr list;
+  lower : float option array;  (** [None] = unbounded below *)
+  upper : float option array;
+  var_name : int -> string;
+}
+
+type solution = { values : float array; objective : float }
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+(** Backend name for bench labels ("simplex-float-unboxed"). *)
+val name : string
+
+(** Validates array lengths and variable indices; raises
+    [Invalid_argument]. *)
+val make_problem :
+  n_vars:int ->
+  ?var_name:(int -> string) ->
+  minimize:(int * float) list ->
+  constraints:constr list ->
+  lower:float option array ->
+  upper:float option array ->
+  unit ->
+  problem
+
+(** Bound arrays putting all variables in [\[0, +inf)]. *)
+val nonneg : int -> float option array * float option array
+
+(** One-shot two-phase solve. Raises [Invalid_argument] on an empty
+    variable range (upper < lower). *)
+val solve : problem -> outcome
+
+(** Opaque warm-startable solver state: the canonicalized tableau, its
+    basis, and the bookkeeping needed to append rows later. *)
+type state
+
+(** Full two-phase solve that keeps the final tableau around for
+    [add_constraint]. *)
+val solve_incremental : problem -> state * outcome
+
+(** Append one constraint and re-optimize from the previous basis (dual
+    simplex; an [Eq] row becomes two [<=] rows). Falls back to a cold
+    rebuild if the previous outcome was [Unbounded] or the dual pass
+    stalls; once [Infeasible], stays [Infeasible]. *)
+val add_constraint : state -> constr -> outcome
+
+(** Total simplex pivots spent on this state so far (two-phase + all warm
+    re-optimizations). *)
+val pivots : state -> int
+
+val pp_relation : Format.formatter -> relation -> unit
+val pp_problem : Format.formatter -> problem -> unit

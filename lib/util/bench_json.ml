@@ -1,0 +1,94 @@
+(* Tiny JSON emitter for machine-readable bench artifacts (BENCH_*.json).
+
+   The sealed package set has no JSON library, and the benches only need to
+   WRITE well-formed JSON, never parse it — so this is a value type plus a
+   printer with proper string escaping and float formatting (NaN/infinity
+   are not valid JSON; they serialize as null). Shared by bench/lp_bench.ml
+   and bench/main.ml --json so CI archives a uniform format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec emit b ~indent ~level v =
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char b '\n' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+        (* NaN and +/-inf are not representable in JSON *)
+        Buffer.add_string b "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.1f" f)
+      else Buffer.add_string b (Printf.sprintf "%.12g" f)
+  | Str s -> escape_string b s
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_char b '[';
+      newline ();
+      List.iteri
+        (fun k x ->
+          if k > 0 then begin
+            Buffer.add_char b ',';
+            newline ()
+          end;
+          pad (level + 1);
+          emit b ~indent ~level:(level + 1) x)
+        xs;
+      newline ();
+      pad level;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      newline ();
+      List.iteri
+        (fun k (key, x) ->
+          if k > 0 then begin
+            Buffer.add_char b ',';
+            newline ()
+          end;
+          pad (level + 1);
+          escape_string b key;
+          Buffer.add_string b (if indent then ": " else ":");
+          emit b ~indent ~level:(level + 1) x)
+        kvs;
+      newline ();
+      pad level;
+      Buffer.add_char b '}'
+
+let to_string ?(indent = true) v =
+  let b = Buffer.create 1024 in
+  emit b ~indent ~level:0 v;
+  if indent then Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file ~path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string v))

@@ -1,0 +1,22 @@
+(** Tiny JSON emitter for machine-readable bench artifacts (BENCH_*.json).
+
+    Write-only: a value type plus a printer with proper string escaping.
+    NaN and infinities serialize as [null] (JSON has no representation for
+    them). Shared by [bench/lp_bench.ml] and [bench/main.ml --json] so CI
+    archives a uniform format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render to a string; [indent] (default [true]) pretty-prints with
+    two-space indentation and a trailing newline. *)
+val to_string : ?indent:bool -> t -> string
+
+(** Write [to_string v] to [path], truncating any existing file. *)
+val write_file : path:string -> t -> unit

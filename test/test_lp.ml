@@ -1,10 +1,16 @@
 (* Tests for the two-phase simplex solver: known optima, infeasibility and
    unboundedness detection, bound handling (shifted, mirrored, split and
    fixed variables), degenerate problems, and a float-vs-exact-rational
-   cross-check on random LPs. *)
+   cross-check on random LPs.
+
+   The same random-LP generator also cross-validates the unboxed float
+   kernel (Repro_lp.Simplex_float) against the exact-rational functor, and
+   exercises both backends' warm-start path (solve_incremental /
+   add_constraint) against cold re-solves. *)
 
 module FS = Repro_lp.Simplex.Float_simplex
 module RS = Repro_lp.Simplex.Rat_simplex
+module UF = Repro_lp.Simplex_float
 module Q = Repro_field.Rational
 module Prng = Repro_util.Prng
 
@@ -327,4 +333,196 @@ let property_tests =
         match FS.solve fp with FS.Optimal s -> feasible_in fp s | _ -> true);
   ]
 
-let suite = unit_tests @ property_tests
+(* ------------------------------------------------------------------ *)
+(* Unboxed float kernel (Repro_lp.Simplex_float)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The kernel shares the BACKEND record shapes with the functor but has
+   its own (nominal) types; translate structurally. *)
+let uf_of_fs (p : FS.problem) : UF.problem =
+  UF.make_problem ~n_vars:p.FS.n_vars ~minimize:p.FS.minimize
+    ~constraints:
+      (List.map
+         (fun (c : FS.constr) ->
+           {
+             UF.coeffs = c.FS.coeffs;
+             relation =
+               (match c.FS.relation with FS.Leq -> UF.Leq | FS.Geq -> UF.Geq | FS.Eq -> UF.Eq);
+             rhs = c.FS.rhs;
+             label = c.FS.label;
+           })
+         p.FS.constraints)
+    ~lower:p.FS.lower ~upper:p.FS.upper ~var_name:p.FS.var_name ()
+
+let uf_leq coeffs rhs = { UF.coeffs; relation = UF.Leq; rhs; label = "cut" }
+let uf_geq coeffs rhs = { UF.coeffs; relation = UF.Geq; rhs; label = "cut" }
+let uf_eq coeffs rhs = { UF.coeffs; relation = UF.Eq; rhs; label = "cut" }
+
+let uf_expect_optimal = function
+  | UF.Optimal s -> s
+  | UF.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | UF.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+let kernel_unit_tests =
+  [
+    Alcotest.test_case "kernel: textbook LP and warm-start cuts" `Quick (fun () ->
+        (* min -x - 2y s.t. x + y <= 4, x <= 2, y <= 3 -> (1,3), obj -7.
+           Then tighten warm: y <= 2 moves to (2,2), obj -6; then the Geq
+           cut x + y >= 5 makes it infeasible. *)
+        let p =
+          uf_of_fs
+            (float_problem ~n_vars:2
+               ~minimize:[ (0, -1.0); (1, -2.0) ]
+               ~constraints:
+                 [ leq [ (0, 1.0); (1, 1.0) ] 4.0; leq [ (0, 1.0) ] 2.0; leq [ (1, 1.0) ] 3.0 ]
+               ())
+        in
+        let st, o = UF.solve_incremental p in
+        let s = uf_expect_optimal o in
+        Alcotest.check fl "cold objective" (-7.0) s.UF.objective;
+        let s2 = uf_expect_optimal (UF.add_constraint st (uf_leq [ (1, 1.0) ] 2.0)) in
+        Alcotest.check fl "after Leq cut" (-6.0) s2.UF.objective;
+        Alcotest.check fl "x" 2.0 s2.UF.values.(0);
+        Alcotest.check fl "y" 2.0 s2.UF.values.(1);
+        let o3 = UF.add_constraint st (uf_geq [ (0, 1.0); (1, 1.0) ] 5.0) in
+        Alcotest.(check bool) "infeasible cut detected" true (o3 = UF.Infeasible);
+        (* Infeasibility is absorbing. *)
+        let o4 = UF.add_constraint st (uf_leq [ (0, 1.0) ] 100.0) in
+        Alcotest.(check bool) "stays infeasible" true (o4 = UF.Infeasible));
+    Alcotest.test_case "kernel: warm equality cut" `Quick (fun () ->
+        (* min x + y s.t. x + y >= 1 -> obj 1; then x - y = 1 forces
+           (1, 0). *)
+        let p =
+          uf_of_fs
+            (float_problem ~n_vars:2
+               ~minimize:[ (0, 1.0); (1, 1.0) ]
+               ~constraints:[ geq [ (0, 1.0); (1, 1.0) ] 1.0 ]
+               ())
+        in
+        let st, o = UF.solve_incremental p in
+        Alcotest.check fl "base" 1.0 (uf_expect_optimal o).UF.objective;
+        let s = uf_expect_optimal (UF.add_constraint st (uf_eq [ (0, 1.0); (1, -1.0) ] 1.0)) in
+        Alcotest.check fl "obj still 1" 1.0 s.UF.objective;
+        Alcotest.check fl "x" 1.0 s.UF.values.(0);
+        Alcotest.check fl "y" 0.0 s.UF.values.(1));
+    Alcotest.test_case "kernel: warm start after unbounded base" `Quick (fun () ->
+        (* min -x, x >= 0: unbounded; adding x <= 9 bounds it (forces the
+           cold-rebuild path, since an unbounded base has no optimal
+           basis to warm from). *)
+        let p =
+          uf_of_fs (float_problem ~n_vars:1 ~minimize:[ (0, -1.0) ] ~constraints:[] ())
+        in
+        let st, o = UF.solve_incremental p in
+        Alcotest.(check bool) "unbounded base" true (o = UF.Unbounded);
+        let s = uf_expect_optimal (UF.add_constraint st (uf_leq [ (0, 1.0) ] 9.0)) in
+        Alcotest.check fl "bounded now" (-9.0) s.UF.objective);
+    Alcotest.test_case "kernel: pivot counter is monotone" `Quick (fun () ->
+        let p =
+          uf_of_fs
+            (float_problem ~n_vars:2
+               ~minimize:[ (0, -1.0); (1, -2.0) ]
+               ~constraints:[ leq [ (0, 1.0); (1, 1.0) ] 4.0 ]
+               ())
+        in
+        let st, _ = UF.solve_incremental p in
+        let before = UF.pivots st in
+        ignore (UF.add_constraint st (uf_leq [ (1, 1.0) ] 1.0));
+        Alcotest.(check bool) "pivots grow" true (UF.pivots st >= before));
+    Alcotest.test_case "kernel: empty range rejected" `Quick (fun () ->
+        let p =
+          uf_of_fs
+            (float_problem ~n_vars:1
+               ~lower:(`Given [| Some 3.0 |])
+               ~upper:[| Some 2.0 |]
+               ~minimize:[ (0, 1.0) ]
+               ~constraints:[] ())
+        in
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Simplex: empty variable range (upper < lower)") (fun () ->
+            ignore (UF.solve p)));
+    Alcotest.test_case "kernel: Beale degenerate LP terminates" `Quick (fun () ->
+        (* Dantzig pricing must fall back to Bland on a degeneracy streak;
+           either way the classic cycling LP has to terminate and agree. *)
+        let p =
+          uf_of_fs
+            (float_problem ~n_vars:4
+               ~minimize:[ (0, -0.75); (1, 150.0); (2, -0.02); (3, 6.0) ]
+               ~constraints:
+                 [
+                   leq [ (0, 0.25); (1, -60.0); (2, -0.04); (3, 9.0) ] 0.0;
+                   leq [ (0, 0.5); (1, -90.0); (2, -0.02); (3, 3.0) ] 0.0;
+                   leq [ (2, 1.0) ] 1.0;
+                 ]
+               ())
+        in
+        Alcotest.check fl "objective" (-0.05) (uf_expect_optimal (UF.solve p)).UF.objective);
+  ]
+
+(* Extra constraints to feed add_constraint in the incremental property. *)
+let random_extra_cuts rng ~n_vars ~count =
+  List.init count (fun _ ->
+      let coeffs = List.init n_vars (fun i -> (i, float_of_int (Prng.int_in_range rng ~lo:(-4) ~hi:4))) in
+      let rhs = float_of_int (Prng.int_in_range rng ~lo:(-2) ~hi:12) in
+      match Prng.choose rng [ `Leq; `Geq; `Eq ] with
+      | `Leq -> uf_leq coeffs rhs
+      | `Geq -> uf_geq coeffs rhs
+      | `Eq -> uf_eq coeffs rhs)
+
+let kernel_property_tests =
+  [
+    prop "unboxed kernel agrees with exact rationals" 200 (fun seed ->
+        let fp, rp = random_lp_pair seed in
+        match (UF.solve (uf_of_fs fp), RS.solve rp) with
+        | UF.Optimal us, RS.Optimal rs ->
+            Repro_util.Floatx.approx_eq ~eps:1e-6 us.UF.objective (Q.to_float rs.objective)
+        | UF.Infeasible, RS.Infeasible -> true
+        | UF.Unbounded, RS.Unbounded -> true
+        | _ -> false);
+    prop "warm-started cuts match a cold re-solve" 150 (fun seed ->
+        let fp, _ = random_lp_pair seed in
+        let base = uf_of_fs fp in
+        let rng = Prng.create (seed + 77) in
+        let cuts = random_extra_cuts rng ~n_vars:base.UF.n_vars ~count:(Prng.int_in_range rng ~lo:1 ~hi:3) in
+        let st, o0 = UF.solve_incremental base in
+        let warm = List.fold_left (fun _ c -> UF.add_constraint st c) o0 cuts in
+        let cold =
+          UF.solve { base with UF.constraints = base.UF.constraints @ cuts }
+        in
+        match (warm, cold) with
+        | UF.Optimal w, UF.Optimal c ->
+            Repro_util.Floatx.approx_eq ~eps:1e-6 w.UF.objective c.UF.objective
+        | UF.Infeasible, UF.Infeasible -> true
+        | UF.Unbounded, UF.Unbounded -> true
+        (* An Infeasible mid-sequence is absorbing in the warm path; the
+           cold solve of the full system must then be infeasible too. *)
+        | UF.Infeasible, _ | _, UF.Infeasible | UF.Unbounded, _ | _, UF.Unbounded -> false);
+    prop "functor backend add_constraint matches cold re-solve" 100 (fun seed ->
+        (* The functor's warm-start API is an honest cold restart; still,
+           its bookkeeping (cumulative constraints, sticky infeasibility)
+           must give the same outcomes. *)
+        let fp, _ = random_lp_pair seed in
+        let rng = Prng.create (seed + 131) in
+        let cuts =
+          List.map
+            (fun (c : UF.constr) ->
+              {
+                FS.coeffs = c.UF.coeffs;
+                relation =
+                  (match c.UF.relation with UF.Leq -> FS.Leq | UF.Geq -> FS.Geq | UF.Eq -> FS.Eq);
+                rhs = c.UF.rhs;
+                label = c.UF.label;
+              })
+            (random_extra_cuts rng ~n_vars:fp.FS.n_vars ~count:2)
+        in
+        let st, o0 = FS.solve_incremental fp in
+        let warm = List.fold_left (fun _ c -> FS.add_constraint st c) o0 cuts in
+        let cold = FS.solve { fp with FS.constraints = fp.FS.constraints @ cuts } in
+        match (warm, cold) with
+        | FS.Optimal w, FS.Optimal c ->
+            Repro_util.Floatx.approx_eq ~eps:1e-6 w.objective c.objective
+        | FS.Infeasible, FS.Infeasible -> true
+        | FS.Unbounded, FS.Unbounded -> true
+        | _ -> false);
+  ]
+
+let suite = unit_tests @ property_tests @ kernel_unit_tests @ kernel_property_tests

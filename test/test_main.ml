@@ -7,6 +7,7 @@ let () =
       ("prng", Test_prng.suite);
       ("util", Test_util.suite);
       ("lp", Test_lp.suite);
+      ("warmstart", Test_warmstart.suite);
       ("game", Test_game.suite);
       ("core", Test_core.suite);
       ("problems", Test_problems.suite);

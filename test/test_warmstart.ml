@@ -1,0 +1,132 @@
+(* Warm-started vs. cold-restarted cutting-plane SNE (ISSUE 1 tentpole).
+
+   The cutting-plane solvers re-optimize each master LP from the previous
+   optimal basis (dual simplex on the appended rows) instead of re-running
+   two-phase simplex from scratch. These tests pin the contract: for the
+   same instance the warm and cold paths must reach the same enforcement
+   cost, both converge, the warm path must not spend more pivots, and the
+   returned subsidy must actually enforce the target (certified by the
+   game-side equilibrium checks, not by the LP's own bookkeeping).
+
+   Targets are anti-MSTs (maximum spanning trees): enforcing the MST is
+   nearly free and converges in one round, while a maximum spanning tree is
+   far from equilibrium, so the loop runs several rounds and accumulates
+   dozens of cuts — the regime warm starts exist for. *)
+
+module Gm = Repro_game.Game.Float_game
+module W = Repro_game.Weighted.Float_weighted
+module G = Gm.G
+module Sne = Repro_core.Sne_lp.Float
+module Instances = Repro_core.Instances
+module Prng = Repro_util.Prng
+module Fx = Repro_util.Floatx
+
+(* Maximum spanning tree: Kruskal on inverted weights. *)
+let anti_mst_tree inst =
+  let g = inst.Instances.graph in
+  let maxw = G.fold_edges g ~init:0.0 ~f:(fun a e -> Float.max a e.G.weight) in
+  let inverted = G.with_weights g (fun e -> maxw -. e.G.weight +. 1.0) in
+  match G.mst_kruskal inverted with
+  | None -> Alcotest.fail "generator produced a disconnected graph"
+  | Some ids -> G.Tree.of_edge_ids g ~root:inst.Instances.root ids
+
+let hard_instance seed =
+  let n = 10 + (3 * (seed mod 5)) in
+  let inst = Instances.random ~dist:(Instances.Heavy_tailed 10.0) ~n ~extra:n ~seed () in
+  let spec = Instances.spec inst in
+  let tree = anti_mst_tree inst in
+  let state = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+  (inst, spec, tree, state)
+
+let prop ?(count = 25) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
+
+let unit_tests =
+  [
+    Alcotest.test_case "warm run certifies on a fixed hard instance" `Quick (fun () ->
+        let _, spec, tree, state = hard_instance 3 in
+        let r, stats = Sne.cutting_plane spec ~state in
+        Alcotest.(check bool) "converged" true stats.Sne.converged;
+        Alcotest.(check bool) "generated cuts (instance is non-trivial)" true
+          (stats.Sne.generated > 0);
+        Alcotest.(check bool) "rounds > 1 (multi-round regime)" true (stats.Sne.rounds > 1);
+        Alcotest.(check bool) "enforces the state" true
+          (Gm.is_equilibrium ~subsidy:r.Sne.subsidy spec state);
+        Alcotest.(check bool) "enforces the tree" true
+          (Gm.Broadcast.is_tree_equilibrium ~subsidy:r.Sne.subsidy spec tree));
+    Alcotest.test_case "warm saves pivots across a seed family" `Quick (fun () ->
+        (* The per-seed inequality is <=; strictness is asserted on the
+           total so a single degenerate instance cannot flake the suite.
+           This mirrors the acceptance gate in bench/lp_bench.ml. *)
+        let seeds = [ 1; 2; 3; 4; 5 ] in
+        let warm_total, cold_total =
+          List.fold_left
+            (fun (w, c) seed ->
+              let _, spec, _, state = hard_instance seed in
+              let rw, sw = Sne.cutting_plane ~warm:true spec ~state in
+              let rc, sc = Sne.cutting_plane ~warm:false spec ~state in
+              Alcotest.(check bool) "both converged" true
+                (sw.Sne.converged && sc.Sne.converged);
+              Alcotest.(check (float 1e-6)) "same enforcement cost" rc.Sne.cost rw.Sne.cost;
+              Alcotest.(check bool) "warm pivots <= cold pivots" true
+                (sw.Sne.pivots <= sc.Sne.pivots);
+              (w + sw.Sne.pivots, c + sc.Sne.pivots))
+            (0, 0) seeds
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "warm strictly fewer pivots in total (%d < %d)" warm_total
+             cold_total)
+          true
+          (warm_total < cold_total));
+    Alcotest.test_case "max_rounds exhaustion is surfaced, not hidden" `Quick (fun () ->
+        let _, spec, _, state = hard_instance 3 in
+        let _, stats = Sne.cutting_plane ~max_rounds:1 spec ~state in
+        Alcotest.(check bool) "converged = false" true (not stats.Sne.converged);
+        Alcotest.(check bool) "rounds capped" true (stats.Sne.rounds <= 1));
+  ]
+
+let property_tests =
+  [
+    prop "warm and cold cutting plane agree and both certify" (fun seed ->
+        let _, spec, _, state = hard_instance seed in
+        let rw, sw = Sne.cutting_plane ~warm:true spec ~state in
+        let rc, sc = Sne.cutting_plane ~warm:false spec ~state in
+        sw.Sne.converged && sc.Sne.converged
+        && Fx.approx_eq ~eps:1e-6 rw.Sne.cost rc.Sne.cost
+        && sw.Sne.pivots <= sc.Sne.pivots
+        && Gm.is_equilibrium ~subsidy:rw.Sne.subsidy spec state
+        && Gm.is_equilibrium ~subsidy:rc.Sne.subsidy spec state);
+    prop "subsidies stay within edge weights in both modes" ~count:15 (fun seed ->
+        let inst, spec, _, state = hard_instance seed in
+        let graph = inst.Instances.graph in
+        let within r =
+          Array.for_all2
+            (fun b (e : G.edge) -> Fx.geq b 0.0 && Fx.leq b e.G.weight)
+            r.Sne.subsidy
+            (Array.init (G.n_edges graph) (G.edge graph))
+        in
+        let rw, _ = Sne.cutting_plane ~warm:true spec ~state in
+        let rc, _ = Sne.cutting_plane ~warm:false spec ~state in
+        within rw && within rc);
+    prop "weighted cutting plane: warm matches cold" ~count:15 (fun seed ->
+        let rng = Prng.create seed in
+        let n = Prng.int_in_range rng ~lo:4 ~hi:8 in
+        let graph =
+          G.Gen.random_connected rng ~n ~extra_edges:(Prng.int rng 6)
+            ~rand_weight:(fun rng -> float_of_int (Prng.int_in_range rng ~lo:1 ~hi:9))
+        in
+        let root = Prng.int rng n in
+        let demand_of _ = float_of_int (Prng.int_in_range rng ~lo:1 ~hi:4) in
+        let t = W.broadcast ~graph ~root ~demand_of in
+        let tree = G.Tree.of_edge_ids graph ~root (Option.get (G.mst_kruskal graph)) in
+        let state = W.Broadcast.state_of_tree t ~root tree in
+        let rw, sw = Sne.weighted_cutting_plane ~warm:true t ~state in
+        let rc, sc = Sne.weighted_cutting_plane ~warm:false t ~state in
+        sw.Sne.converged && sc.Sne.converged
+        && Fx.approx_eq ~eps:1e-6 rw.Sne.cost rc.Sne.cost
+        && sw.Sne.pivots <= sc.Sne.pivots
+        && W.is_equilibrium ~subsidy:rw.Sne.subsidy t state);
+  ]
+
+let suite = unit_tests @ property_tests
