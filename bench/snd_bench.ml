@@ -1,0 +1,272 @@
+(* Branch-and-bound SND engine benchmarks: the weight-ordered pruned
+   search (Repro_core.Snd_search) against the seed's exhaustive
+   price-every-tree enumeration.
+
+   Writes a machine-readable BENCH_snd.json (see Repro_util.Bench_json;
+   schema in EXPERIMENTS.md) so CI and later PRs have a perf trajectory.
+
+     dune exec bench/snd_bench.exe                 (full sweep)
+     dune exec bench/snd_bench.exe -- --quick      (CI-sized smoke)
+     dune exec bench/snd_bench.exe -- --json out.json
+
+   Headline numbers (printed and recorded under "summary"):
+   - LP-solve reduction on the n=12 frontier benchmark: the engine must
+     price >= 5x fewer trees than brute-force enumerates (full mode; the
+     quick smoke only requires "no more than brute");
+   - exact_small scaling: the largest n in 8..14 each solver finishes
+     within a 10 s budget (the engine's must be >= brute's). *)
+
+module Instances = Repro_core.Instances
+module Gm = Instances.Gm
+module G = Instances.G
+module Snd = Repro_core.Snd.Float
+module Search = Repro_core.Snd_search.Float
+module Par = Repro_parallel.Parallel
+module Json = Repro_util.Bench_json
+module Fx = Repro_util.Floatx
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let json_path =
+  let path = ref "BENCH_snd.json" in
+  Array.iteri
+    (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+let stats_json (s : Search.stats) =
+  Json.Obj
+    [
+      ("trees_seen", Json.Int s.Search.trees_seen);
+      ("trees_priced", Json.Int s.Search.trees_priced);
+      ("lb_pruned", Json.Int s.Search.lb_pruned);
+      ("incumbent_skips", Json.Int s.Search.incumbent_skips);
+      ("cache_hits", Json.Int s.Search.cache_hits);
+      ("nodes_expanded", Json.Int s.Search.nodes_expanded);
+      ("msts_computed", Json.Int s.Search.msts_computed);
+    ]
+
+(* Instances whose MST is not already an equilibrium, so the search has
+   actual pricing work to do before it reaches a self-enforcing tree. *)
+let unstable_instance ?(dist = Instances.Integer 9) ~n ~extra seed =
+  let rec go s guard =
+    if guard = 0 then failwith "snd_bench: no unstable instance found";
+    let inst = Instances.random ~dist ~n ~extra ~seed:s () in
+    let spec = Instances.spec inst in
+    let tree = Instances.mst_tree inst in
+    if Gm.Broadcast.is_tree_equilibrium spec tree then go (s + 1000) (guard - 1)
+    else inst
+  in
+  go seed 200
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Frontier benchmark: engine LP solves vs brute-force enumeration      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_frontier () =
+  let n, extra = if quick then (8, 3) else (12, 5) in
+  let inst = unstable_instance ~n ~extra 7 in
+  let graph = inst.Instances.graph and root = inst.Instances.root in
+  let trees_total = G.Enumerate.count_spanning_trees graph in
+  let brute, brute_s = time (fun () -> Snd.pareto_frontier_brute ~graph ~root) in
+  let (engine, stats), engine_s =
+    time (fun () -> Search.pareto_frontier ~graph ~root ())
+  in
+  let agree =
+    List.length brute = List.length engine
+    && List.for_all2
+         (fun (b : Snd.design) (e : Search.design) ->
+           Fx.approx_eq ~eps:1e-6 b.Snd.weight e.Search.weight
+           && Fx.approx_eq ~eps:1e-6 b.Snd.subsidy_cost e.Search.subsidy_cost)
+         brute engine
+  in
+  let priced = stats.Search.trees_priced in
+  let ratio = float_of_int trees_total /. float_of_int (max 1 priced) in
+  Printf.printf "\nfrontier benchmark (n=%d, %d edges, %d spanning trees)\n" n
+    (G.n_edges graph) trees_total;
+  Printf.printf
+    "  brute: %d LP solves, %.1fms | engine: %d priced, %d lb-pruned, %.1fms | %.1fx fewer solves, agree=%b\n"
+    trees_total (1e3 *. brute_s) priced stats.Search.lb_pruned (1e3 *. engine_s)
+    ratio agree;
+  if not agree then failwith "snd_bench: engine frontier disagrees with brute force";
+  if priced > trees_total then
+    failwith "snd_bench: engine priced more trees than brute force enumerates";
+  if (not quick) && ratio < 5.0 then
+    failwith
+      (Printf.sprintf "snd_bench: LP-solve reduction %.2fx below the 5x target" ratio);
+  ( ratio,
+    Json.Obj
+      [
+        ("n", Json.Int n);
+        ("edges", Json.Int (G.n_edges graph));
+        ("trees_total", Json.Int trees_total);
+        ("brute_lp_solves", Json.Int trees_total);
+        ("brute_ms", Json.Float (1e3 *. brute_s));
+        ("engine_ms", Json.Float (1e3 *. engine_s));
+        ("engine", stats_json stats);
+        ("frontier_points", Json.Int (List.length engine));
+        ("solve_reduction", Json.Float ratio);
+        ("agree", Json.Bool agree);
+      ] )
+
+(* ------------------------------------------------------------------ *)
+(* exact_small scaling: largest n finished within the deadline          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_scaling () =
+  let deadline = if quick then 2.0 else 10.0 in
+  let sizes = if quick then [ 8; 9 ] else [ 8; 10; 12; 13; 14; 15; 16 ] in
+  Printf.printf "\nexact_small scaling (deadline %.0fs per solver per size)\n" deadline;
+  Printf.printf "%-4s %-6s %12s %12s %10s %10s\n" "n" "m" "brute" "engine" "priced" "agree";
+  let brute_alive = ref true and max_brute = ref 0 and max_engine = ref 0 in
+  let rows =
+    List.map
+      (fun n ->
+        let inst = unstable_instance ~n ~extra:n (300 + n) in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        let mst_cost = (Search.lp_pricer spec ~root).Search.price (Instances.mst_tree inst) [] in
+        (* Half the MST's enforcement cost: tight enough that the MST is
+           infeasible and the search must descend the weight order. *)
+        let budget = 0.5 *. mst_cost.Search.Sne.cost in
+        let brute_ms, brute_d =
+          if !brute_alive then begin
+            let d, s = time (fun () -> Snd.exact_small_brute ~graph ~root ~budget) in
+            if s > deadline then brute_alive := false else max_brute := n;
+            (Some (1e3 *. s), d)
+          end
+          else (None, None)
+        in
+        let (engine_d, stats), engine_s =
+          time (fun () -> Search.exact_small ~graph ~root ~budget ())
+        in
+        if engine_s <= deadline then max_engine := n;
+        let agree =
+          match (brute_ms, brute_d, engine_d) with
+          | Some _, Some b, Some e ->
+              b.Snd.tree_edges = e.Search.tree_edges
+              && Fx.approx_eq ~eps:1e-9 b.Snd.subsidy_cost e.Search.subsidy_cost
+          | Some _, None, None -> true
+          | Some _, _, _ -> false
+          | None, _, _ -> true (* brute timed out earlier: nothing to compare *)
+        in
+        Printf.printf "%-4d %-6d %12s %10.1fms %10d %10b\n" n (G.n_edges graph)
+          (match brute_ms with Some ms -> Printf.sprintf "%.1fms" ms | None -> "timeout")
+          (1e3 *. engine_s) stats.Search.trees_priced agree;
+        if not agree then failwith (Printf.sprintf "snd_bench: designs disagree at n=%d" n);
+        Json.Obj
+          [
+            ("n", Json.Int n);
+            ("edges", Json.Int (G.n_edges graph));
+            ("budget", Json.Float budget);
+            ("brute_ms", match brute_ms with Some ms -> Json.Float ms | None -> Json.Null);
+            ("engine_ms", Json.Float (1e3 *. engine_s));
+            ("engine", stats_json stats);
+            ("agree", Json.Bool agree);
+          ])
+      sizes
+  in
+  (!max_brute, !max_engine, rows)
+
+(* ------------------------------------------------------------------ *)
+(* Pricer comparison: functor LP vs LRU cache vs warm-started kernel    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pricers () =
+  let n, extra = if quick then (8, 3) else (11, 5) in
+  let inst = unstable_instance ~n ~extra 42 in
+  let graph = inst.Instances.graph and root = inst.Instances.root in
+  let spec = Instances.spec inst in
+  let domains = max 2 (min 4 (Par.default_domains ())) in
+  let runs =
+    [
+      ("lp3", Search.default_config, None);
+      ( "lp3+lru",
+        { Search.default_config with cache = 1024 },
+        Some (fun () -> Search.cached_pricer ~capacity:1024 (Search.lp_pricer spec ~root)) );
+      ( "lp3-warm",
+        Search.default_config,
+        Some (fun () -> Search.warm_kernel_pricer spec ~root) );
+      ( Printf.sprintf "lp3-par%d" domains,
+        { Search.default_config with domains; batch = 4 * domains },
+        None );
+    ]
+  in
+  let reference = ref None in
+  Printf.printf "\npricer comparison on the n=%d frontier\n" n;
+  Printf.printf "%-12s %12s %8s %8s %8s\n" "pricer" "wall" "priced" "cached" "agree";
+  List.map
+    (fun (name, config, mk) ->
+      let pricer = Option.map (fun f -> f ()) mk in
+      let (frontier, stats), wall =
+        time (fun () -> Search.pareto_frontier ~config ?pricer ~graph ~root ())
+      in
+      let pairs =
+        List.map (fun (d : Search.design) -> (d.Search.subsidy_cost, d.Search.weight)) frontier
+      in
+      let agree =
+        match !reference with
+        | None ->
+            reference := Some pairs;
+            true
+        | Some ref_pairs ->
+            List.length ref_pairs = List.length pairs
+            && List.for_all2
+                 (fun (c, w) (c', w') ->
+                   Fx.approx_eq ~eps:1e-6 c c' && Fx.approx_eq ~eps:1e-6 w w')
+                 ref_pairs pairs
+      in
+      Printf.printf "%-12s %10.1fms %8d %8d %8b\n" name (1e3 *. wall)
+        stats.Search.trees_priced stats.Search.cache_hits agree;
+      if not agree then failwith (Printf.sprintf "snd_bench: pricer %s disagrees" name);
+      Json.Obj
+        [
+          ("pricer", Json.Str name);
+          ("wall_ms", Json.Float (1e3 *. wall));
+          ("engine", stats_json stats);
+          ("agree", Json.Bool agree);
+        ])
+    runs
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "SND engine benchmarks (%s mode)\n" (if quick then "quick" else "full");
+  let ratio, frontier = bench_frontier () in
+  let max_brute, max_engine, scaling = bench_scaling () in
+  let pricers = bench_pricers () in
+  Printf.printf
+    "\nsummary: frontier LP-solve reduction %.1fx (target >= 5x); exact_small within deadline: brute n<=%d, engine n<=%d\n"
+    ratio max_brute max_engine;
+  Json.write_file ~path:json_path
+    (Json.Obj
+       [
+         ( "meta",
+           Json.Obj
+             [
+               ("bench", Json.Str "snd_bench");
+               ("mode", Json.Str (if quick then "quick" else "full"));
+             ] );
+         ("frontier", frontier);
+         ("scaling", Json.List scaling);
+         ("pricers", Json.List pricers);
+         ( "summary",
+           Json.Obj
+             [
+               ("frontier_solve_reduction", Json.Float ratio);
+               ("frontier_target_met", Json.Bool (quick || ratio >= 5.0));
+               ("max_n_brute", Json.Int max_brute);
+               ("max_n_engine", Json.Int max_engine);
+             ] );
+       ]);
+  Printf.printf "wrote %s\n" json_path;
+  if max_engine < max_brute then begin
+    Printf.eprintf "ERROR: engine scaled worse than brute force (n<=%d vs n<=%d)\n"
+      max_engine max_brute;
+    exit 1
+  end

@@ -6,6 +6,8 @@
                         a small random instance
    sne_cli lower-bound — sweep one of the paper's lower-bound families
    sne_cli reduction  — build and verify one of the hardness reductions
+   sne_cli pareto     — the budget/weight Pareto frontier of a small instance
+   sne_cli design     — exact SND via the branch-and-bound engine
    sne_cli dynamics   — run best-response dynamics from the MST *)
 
 module Gm = Repro_game.Game.Float_game
@@ -249,13 +251,23 @@ let reduction_cmd =
 (* pareto                                                            *)
 (* ---------------------------------------------------------------- *)
 
+let engine_arg =
+  Arg.(value & opt (enum [ ("search", `Search); ("brute", `Brute) ]) `Search
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"search (branch-and-bound, the default) or brute (exhaustive \
+                 enumeration — the reference oracle).")
+
 let pareto_cmd =
-  let run seed n extra file =
+  let run seed n extra file engine =
     let graph, root, _ = resolve_instance file seed n extra in
     if G.n_nodes graph > 12 then
       failwith "pareto enumerates all spanning trees; use n <= 12";
     let module Snd = Repro_core.Snd.Float in
-    let frontier = Snd.pareto_frontier ~graph ~root in
+    let frontier =
+      match engine with
+      | `Search -> Snd.pareto_frontier ~graph ~root
+      | `Brute -> Snd.pareto_frontier_brute ~graph ~root
+    in
     let mst_w = G.total_weight graph (Option.get (G.mst_kruskal graph)) in
     let t =
       Table.create ~title:"budget menu (Pareto frontier)"
@@ -276,7 +288,67 @@ let pareto_cmd =
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"The budget/weight Pareto frontier of a small instance.")
-    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ file_arg)
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ file_arg $ engine_arg)
+
+(* ---------------------------------------------------------------- *)
+(* design                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let design_cmd =
+  let budget_arg =
+    Arg.(required & opt (some float) None
+         & info [ "budget" ] ~docv:"B" ~doc:"Subsidy budget the design must fit.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Worker domains for parallel exploration (1 = sequential).")
+  in
+  let no_lb_arg =
+    Arg.(value & flag
+         & info [ "no-lb" ] ~doc:"Disable enforcement lower-bound pruning (debugging).")
+  in
+  let run seed n extra file budget engine domains no_lb =
+    let graph, root, _ = resolve_instance file seed n extra in
+    if G.n_nodes graph > 16 then failwith "design searches spanning trees; use n <= 16";
+    let module Search = Repro_core.Snd_search.Float in
+    let module Snd = Repro_core.Snd.Float in
+    Printf.printf "instance: %s, %d nodes, %d edges, root %d, budget %.3f\n"
+      (match file with Some p -> p | None -> Printf.sprintf "seed=%d" seed)
+      (G.n_nodes graph) (G.n_edges graph) root budget;
+    let describe = function
+      | None -> print_endline "no design within budget"
+      | Some (edges, w, cost) ->
+          Printf.printf "design: weight %.3f, enforcement cost %.4f, edges %s\n" w cost
+            (String.concat "," (List.map string_of_int edges))
+    in
+    match engine with
+    | `Brute ->
+        describe
+          (Option.map
+             (fun (d : Snd.design) -> (d.Snd.tree_edges, d.Snd.weight, d.Snd.subsidy_cost))
+             (Snd.exact_small_brute ~graph ~root ~budget))
+    | `Search ->
+        let config =
+          { Search.default_config with domains = max 1 domains; use_lb = not no_lb }
+        in
+        let d, s = Search.exact_small ~config ~graph ~root ~budget () in
+        describe
+          (Option.map
+             (fun (d : Search.design) ->
+               (d.Search.tree_edges, d.Search.weight, d.Search.subsidy_cost))
+             d);
+        Printf.printf
+          "search: %d trees seen, %d priced, %d lb-pruned, %d incumbent-skips, %d cache \
+           hits, %d nodes expanded\n"
+          s.Search.trees_seen s.Search.trees_priced s.Search.lb_pruned
+          s.Search.incumbent_skips s.Search.cache_hits s.Search.nodes_expanded
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:"Exact stable network design: the lightest tree enforceable within a budget.")
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ file_arg $ budget_arg
+          $ engine_arg $ domains_arg $ no_lb_arg)
 
 (* ---------------------------------------------------------------- *)
 (* dynamics                                                          *)
@@ -309,4 +381,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; landscape_cmd; lower_bound_cmd; reduction_cmd; pareto_cmd; dynamics_cmd ]))
+          [ solve_cmd; landscape_cmd; lower_bound_cmd; reduction_cmd; pareto_cmd;
+            design_cmd; dynamics_cmd ]))

@@ -35,6 +35,51 @@ module Make (F : Repro_field.Field.S) = struct
     let graph = G.create ~n:(n + 1) spec_edges in
     { graph; root = 0; tree_edge_ids = List.init n (fun i -> i + 1) }
 
+  (** Admissible lower bound on the LP (3) enforcement optimum of [tree],
+      without solving any LP. Each LP (3) row says
+      [sum_k alpha_k b_k <= rhs] over subsidies [b >= 0]; when a row is
+      violated at b = 0 (rhs < 0), any feasible assignment must put at
+      least [(-rhs) / max_k (-alpha_k)] total subsidy on its
+      negative-coefficient edges, and the negative coefficients are exactly
+      [-1/n_a] for the edges a on the deviator's own path segment q1. So
+      [(-rhs) * min_{a in q1} n_a] bounds the total cost from below; the
+      bound is the max over all rows, exact in the field's arithmetic and
+      0 when the tree is already an equilibrium. The row constants mirror
+      {!Sne_lp}'s [broadcast] construction (LCA cancellation of Lemma 2):
+      rhs = w_e - sum_{q1} w_a/n_a + sum_{q2} w_a/(n_a+1). *)
+  let broadcast_enforcement_lb (spec : Gm.spec) ~root (tree : G.Tree.t) =
+    let graph = spec.Gm.graph in
+    let best = ref F.zero in
+    let consider u edge_id v =
+      let l = G.Tree.lca tree u v in
+      let rhs = ref (G.weight graph edge_id) in
+      (* min n_a over the deviator-side segment; 0 = empty segment. *)
+      let min_usage = ref 0 in
+      List.iter
+        (fun id ->
+          let n = G.Tree.usage tree id in
+          rhs := F.sub !rhs (F.div (G.weight graph id) (F.of_int n));
+          if !min_usage = 0 || n < !min_usage then min_usage := n)
+        (G.Tree.path_between tree u l);
+      List.iter
+        (fun id ->
+          let n = G.Tree.usage tree id in
+          rhs := F.add !rhs (F.div (G.weight graph id) (F.of_int (n + 1))))
+        (G.Tree.path_between tree v l);
+      if F.sign !rhs < 0 then begin
+        (* rhs < 0 forces q1 nonempty: with q1 empty every rhs term is
+           nonnegative. *)
+        let lb = F.mul (F.neg !rhs) (F.of_int !min_usage) in
+        if F.compare lb !best > 0 then best := lb
+      end
+    in
+    G.fold_edges graph ~init:() ~f:(fun () e ->
+        if not (G.Tree.mem_edge tree e.G.id) then
+          List.iter
+            (fun u -> if u <> root then consider u e.G.id (G.other graph e.G.id u))
+            [ e.G.u; e.G.v ]);
+    !best
+
   (** Theorem 21 instance: path <r, v_1, ..., v_n> with edges of weight [x]
       except the last, of weight 1; plus shortcut edges (r, v_{n-1}) of
       weight [x] and (r, v_n) of weight 1. The paper's bound takes

@@ -15,6 +15,15 @@ module Make (F : Repro_field.Field.S) : sig
   val spec : instance -> Gm.spec
   val tree : instance -> G.Tree.t
 
+  (** Admissible lower bound on the LP (3) enforcement optimum of a
+      spanning tree, computed without an LP solve: the max over violated
+      deviation rows of [(-rhs) * min_{a in q1} n_a] (see the
+      implementation note). Exact in the field's arithmetic; 0 when the
+      tree is already an equilibrium. The branch-and-bound SND engine
+      uses it to discard trees whose enforcement provably exceeds the
+      budget (or the incumbent frontier cost) before pricing them. *)
+  val broadcast_enforcement_lb : Gm.spec -> root:int -> G.Tree.t -> F.t
+
   (** Theorem 11: unit cycle on n+1 nodes, target = the spanning path
       (the edge (root, v_1) is the dropped temptation). Needs n >= 2. *)
   val cycle_instance : n:int -> instance

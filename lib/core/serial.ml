@@ -30,9 +30,11 @@ module Make (F : Repro_field.Field.S) = struct
 
   let parse_weight s =
     match String.index_opt s '/' with
-    | Some i ->
+    | Some i -> (
         let num = String.sub s 0 i and den = String.sub s (i + 1) (String.length s - i - 1) in
-        F.div (F.of_int (int_of_string num)) (F.of_int (int_of_string den))
+        match (int_of_string_opt num, int_of_string_opt den) with
+        | Some n, Some d when d <> 0 -> F.div (F.of_int n) (F.of_int d)
+        | _ -> failwith (Printf.sprintf "Serial: cannot parse weight %S" s))
     | None -> (
         (* Integers go through of_int to stay exact in the rational field;
            decimals are only meaningful for the float field. *)
@@ -60,15 +62,28 @@ module Make (F : Repro_field.Field.S) = struct
              | None -> line
            in
            let fail msg = failwith (Printf.sprintf "Serial line %d: %s" (lineno + 1) msg) in
+           let int_arg what s =
+             match int_of_string_opt s with
+             | Some i -> i
+             | None -> fail (Printf.sprintf "%s: bad integer %S" what s)
+           in
+           let weight_arg s =
+             try parse_weight s with Failure msg -> fail msg
+           in
            match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
            | [] -> ()
-           | [ "nodes"; n ] -> nodes := Some (int_of_string n)
-           | [ "root"; r ] -> root := int_of_string r
+           | [ "nodes"; n ] -> nodes := Some (int_arg "nodes" n)
+           | "nodes" :: _ -> fail "'nodes' expects exactly one count"
+           | [ "root"; r ] -> root := int_arg "root" r
+           | "root" :: _ -> fail "'root' expects exactly one node"
            | [ "edge"; u; v; w ] ->
-               edges := (int_of_string u, int_of_string v, parse_weight w) :: !edges
-           | "tree" :: ids -> tree := Some (List.map int_of_string ids)
+               edges := (int_arg "edge endpoint" u, int_arg "edge endpoint" v, weight_arg w) :: !edges
+           | "edge" :: _ -> fail "'edge' expects 'edge u v weight'"
+           | "tree" :: (_ :: _ as ids) -> tree := Some (List.map (int_arg "tree edge id") ids)
+           | [ "tree" ] -> fail "'tree' expects at least one edge id"
            | [ "subsidy"; id; amount ] ->
-               subsidy := (int_of_string id, parse_weight amount) :: !subsidy
+               subsidy := (int_arg "subsidy edge id" id, weight_arg amount) :: !subsidy
+           | "subsidy" :: _ -> fail "'subsidy' expects 'subsidy edge_id amount'"
            | tok :: _ -> fail (Printf.sprintf "unknown directive %S" tok))
     |> ignore;
     let n = match !nodes with Some n -> n | None -> failwith "Serial: missing 'nodes'" in

@@ -30,12 +30,11 @@ module Make (F : Repro_field.Field.S) = struct
       subsidy_cost = r.Sne.cost;
     }
 
-  (** Exact SND on small instances: enumerate every spanning tree, keep the
-      lightest whose minimum enforcement cost fits the budget. Such a tree
-      always exists when [budget >= 0] is large enough; with small budgets
-      the best equilibrium tree of the unsubsidized game is still feasible
-      at subsidy 0, so the result is [None] only for disconnected graphs. *)
-  let exact_small ~graph ~root ~budget =
+  (** Exact SND by exhaustive enumeration: every spanning tree priced, the
+      lightest affordable one kept. Kept as the reference oracle for the
+      branch-and-bound engine (differential tests, benchmark baselines);
+      [exact_small] below returns the same design with far fewer LP solves. *)
+  let exact_small_brute ~graph ~root ~budget =
     let spec = Gm.broadcast ~graph ~root in
     let best = ref None in
     G.Enumerate.iter_spanning_trees graph ~f:(fun ids ->
@@ -48,6 +47,27 @@ module Make (F : Repro_field.Field.S) = struct
           if F.leq d.subsidy_cost budget then best := Some d
         end);
     !best
+
+  module Search = Snd_search.Make (F)
+
+  let design_of_search (d : Search.design) =
+    {
+      tree_edges = d.Search.tree_edges;
+      weight = d.Search.weight;
+      subsidy = d.Search.subsidy;
+      subsidy_cost = d.Search.subsidy_cost;
+    }
+
+  (** Exact SND on small instances: the lightest spanning tree whose
+      minimum enforcement cost fits the budget. Such a tree always exists
+      when [budget >= 0] is large enough; with small budgets the best
+      equilibrium tree of the unsubsidized game is still feasible at
+      subsidy 0, so the result is [None] only for disconnected graphs.
+      Runs the branch-and-bound engine ({!Snd_search}); returns exactly
+      what [exact_small_brute] returns. *)
+  let exact_small ~graph ~root ~budget =
+    let d, _stats = Search.exact_small ~graph ~root ~budget () in
+    Option.map design_of_search d
 
   (** The integral (all-or-nothing) version of SND, as defined in
       Section 2: subsidies must cover whole edges. Enumerate spanning
@@ -85,7 +105,7 @@ module Make (F : Repro_field.Field.S) = struct
       list left to right, each point is the cheapest enforceable design
       whose required budget does not exceed the given one. Exponential
       (tree enumeration x one LP each): small instances. *)
-  let pareto_frontier ~graph ~root =
+  let pareto_frontier_brute ~graph ~root =
     let spec = Gm.broadcast ~graph ~root in
     let points = ref [] in
     G.Enumerate.iter_spanning_trees graph ~f:(fun ids ->
@@ -108,6 +128,12 @@ module Make (F : Repro_field.Field.S) = struct
         | _ -> frontier := d :: !frontier)
       sorted;
     List.rev !frontier
+
+  (** Same frontier, computed by the branch-and-bound engine with
+      incremental dominance filtering instead of pricing every tree. *)
+  let pareto_frontier ~graph ~root =
+    let ds, _stats = Search.pareto_frontier ~graph ~root () in
+    List.map design_of_search ds
 
   (** The cheapest design enforceable within [budget], read off a
       precomputed frontier. *)

@@ -18,9 +18,14 @@ module Make (F : Repro_field.Field.S) : sig
   module Aon : module type of Aon.Make (F)
 
   (** Exact SND: lightest spanning tree whose LP enforcement cost fits the
-      budget. Exponential (tree enumeration); [None] only on disconnected
-      graphs. *)
+      budget; [None] only on disconnected graphs. Runs the branch-and-bound
+      engine ({!Snd_search}) — weight-ordered search with admissible
+      pruning — and returns exactly what {!exact_small_brute} returns. *)
   val exact_small : graph:G.t -> root:int -> budget:F.t -> design option
+
+  (** The seed exhaustive solver (every spanning tree priced), kept as the
+      reference oracle for differential tests and benchmark baselines. *)
+  val exact_small_brute : graph:G.t -> root:int -> budget:F.t -> design option
 
   (** The integral SND of Section 2 (whole-edge subsidies): tree
       enumeration x exact all-or-nothing pricing. Doubly exponential;
@@ -30,8 +35,12 @@ module Make (F : Repro_field.Field.S) : sig
 
   (** All Pareto-optimal (required budget, design weight) pairs over
       spanning trees, cheapest weight first — the designer's menu.
-      Exponential; small instances. *)
+      Computed by the branch-and-bound engine with incremental dominance
+      filtering; identical to {!pareto_frontier_brute}. *)
   val pareto_frontier : graph:G.t -> root:int -> design list
+
+  (** The seed price-every-tree frontier computation (reference oracle). *)
+  val pareto_frontier_brute : graph:G.t -> root:int -> design list
 
   (** Cheapest design on a precomputed frontier affordable at [budget]. *)
   val best_for_budget : design list -> budget:F.t -> design option

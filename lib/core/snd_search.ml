@@ -1,0 +1,446 @@
+(** Branch-and-bound STABLE NETWORK DESIGN engine.
+
+    The seed solver ([Snd]) enumerated every spanning tree and priced each
+    with LP (3). This engine replaces the enumeration with a best-first
+    search over the Lawler partition of spanning trees
+    ({!Repro_graph.Wgraph.Make.Enumerate.by_weight}): trees arrive in
+    nondecreasing weight, so [exact_small] can stop at the first affordable
+    weight class, and the frontier computation can stop once a zero-cost
+    (self-enforcing) tree has been priced. Two more layers cut LP work:
+
+    - {b admissible pruning} — {!Lower_bounds.Make.broadcast_enforcement_lb}
+      gives a certified lower bound on a tree's enforcement cost; a tree
+      whose bound already exceeds the budget (or the best priced cost, for
+      the frontier) is discarded unpriced;
+    - {b pricing acceleration} — an LRU cache keyed by canonical sorted
+      edge-id lists absorbs re-priced trees, and the float instantiation
+      can opt into warm-started dual-simplex solves that reuse the previous
+      tree's optimal basis ({!Float.warm_kernel_pricer}).
+
+    Search is optionally domain-parallel: candidates are pulled from the
+    weight-ordered stream in batches and priced on a persistent
+    {!Repro_parallel.Parallel.Pool}, with a shared atomic incumbent letting
+    workers skip trees a sibling has already beaten. Results are folded
+    back in stream order, so every configuration returns exactly what the
+    sequential seed solver returns (see DESIGN.md for the argument). *)
+
+module Make (F : Repro_field.Field.S) = struct
+  module Gm = Repro_game.Game.Make (F)
+  module G = Gm.G
+  module Sne = Sne_lp.Make (F)
+  module Lb = Lower_bounds.Make (F)
+  module Par = Repro_parallel.Parallel
+
+  type design = {
+    tree_edges : int list;
+    weight : F.t;
+    subsidy : F.t array;
+    subsidy_cost : F.t;
+  }
+
+  type stats = {
+    trees_seen : int;  (** pulled from the weight-ordered stream *)
+    trees_priced : int;  (** LP (3) solves actually performed *)
+    lb_pruned : int;  (** discarded by the enforcement lower bound *)
+    incumbent_skips : int;  (** discarded because an incumbent already won *)
+    cache_hits : int;  (** prices served from the LRU cache *)
+    nodes_expanded : int;  (** Lawler subproblems branched *)
+    msts_computed : int;  (** MST completions inside the generator *)
+  }
+
+  (* A pricer answers "minimum enforcement cost of this tree". [price]
+     must be pure and thread-safe: parallel configurations call it from
+     several domains at once. [solves] counts underlying LP solves (the
+     cached wrapper shares its inner pricer's counter, so cache hits do
+     not bump it). *)
+  type pricer = {
+    name : string;
+    price : G.Tree.t -> int list -> Sne.result;
+    solves : int Atomic.t;
+    cache_hits : unit -> int;
+  }
+
+  let lp_pricer spec ~root =
+    let solves = Atomic.make 0 in
+    {
+      name = "lp3";
+      price =
+        (fun tree _ids ->
+          Atomic.incr solves;
+          Sne.broadcast spec ~root tree);
+      solves;
+      cache_hits = (fun () -> 0);
+    }
+
+  let cached_pricer ?(capacity = 256) inner =
+    let cache : (int list, Sne.result) Repro_util.Lru.t =
+      Repro_util.Lru.create ~capacity
+    in
+    let mu = Mutex.create () in
+    let locked f =
+      Mutex.lock mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+    in
+    {
+      name = inner.name ^ "+lru";
+      price =
+        (fun tree ids ->
+          match locked (fun () -> Repro_util.Lru.find cache ids) with
+          | Some r -> r
+          | None ->
+              let r = inner.price tree ids in
+              locked (fun () -> Repro_util.Lru.add cache ids r);
+              r);
+      solves = inner.solves;
+      cache_hits = (fun () -> locked (fun () -> Repro_util.Lru.hits cache));
+    }
+
+  type config = {
+    domains : int;  (** 1 = sequential (no domains spawned) *)
+    batch : int;  (** candidates priced per round; 0 = pick from [domains] *)
+    cache : int;  (** LRU capacity for the default pricer; 0 = uncached *)
+    use_lb : bool;  (** apply the enforcement-cost lower bound *)
+  }
+
+  let default_config = { domains = 1; batch = 0; cache = 256; use_lb = true }
+
+  let zero_stats =
+    {
+      trees_seen = 0;
+      trees_priced = 0;
+      lb_pruned = 0;
+      incumbent_skips = 0;
+      cache_hits = 0;
+      nodes_expanded = 0;
+      msts_computed = 0;
+    }
+
+  (* The stream's total order: exact weight, then sorted edge ids. *)
+  let beats (w, ids) (w', ids') =
+    let c = F.compare w w' in
+    c < 0 || (c = 0 && compare ids ids' < 0)
+
+  (* A candidate pulled from the stream and scheduled for pricing. *)
+  type cand = { cw : F.t; cids : int list; ctree : G.Tree.t; clb : F.t }
+
+  let design_of_result (c : cand) (r : Sne.result) =
+    {
+      tree_edges = c.cids;
+      weight = c.cw;
+      subsidy = r.Sne.subsidy;
+      subsidy_cost = r.Sne.cost;
+    }
+
+  let with_pool config f =
+    if config.domains > 1 then begin
+      let pool = Par.Pool.create ~domains:config.domains () in
+      Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f (Some pool))
+    end
+    else f None
+
+  let batch_size config =
+    if config.batch > 0 then config.batch
+    else if config.domains > 1 then 2 * config.domains
+    else 1
+
+  let default_pricer config spec ~root =
+    let p = lp_pricer spec ~root in
+    if config.cache > 0 then cached_pricer ~capacity:config.cache p else p
+
+  (* Search driver shared by both entry points. [pull] extracts the next
+     batch of candidates worth pricing (applying stop rules and bounds);
+     [price] maps one candidate to an optional result (workers may decline,
+     e.g. when an incumbent already wins); [fold] consumes results in
+     stream order. *)
+  let drive config pool ~pull ~price ~fold =
+    let batch = batch_size config in
+    let again = ref true in
+    while !again do
+      let cands = pull batch in
+      let n = Array.length cands in
+      if n = 0 then again := false
+      else begin
+        let results =
+          match pool with
+          | None -> Array.map (fun c -> price (fun () -> ()) c) cands
+          | Some p -> Par.Pool.map_cancellable p price cands
+        in
+        Array.iteri (fun i r -> fold cands.(i) r) results
+      end
+    done
+
+  (** Exact SND, returning the same design as the seed enumeration solver:
+      the first affordable tree in (weight, sorted-edge-ids) order among
+      the minimum-weight affordable class. Terminates as soon as the
+      stream's weights exceed the incumbent's. *)
+  let exact_small ?(config = default_config) ?pricer ~graph ~root ~budget () =
+    let spec = Gm.broadcast ~graph ~root in
+    let pricer =
+      match pricer with Some p -> p | None -> default_pricer config spec ~root
+    in
+    let solves0 = Atomic.get pricer.solves in
+    let hits0 = pricer.cache_hits () in
+    let ostats = G.Enumerate.fresh_stats () in
+    let stream = ref (G.Enumerate.by_weight ~stats:ostats graph) in
+    let seen = ref 0 and lb_pruned = ref 0 and inc_skips = ref 0 in
+    let best = ref None in
+    let exhausted = ref false in
+    (* The seed's adoption test, with an exact tie-break on edge ids so
+       equal-weight trees resolve to the lexicographically first one the
+       seed's scan order would have kept. *)
+    let promising w ids =
+      match !best with
+      | None -> true
+      | Some d ->
+          F.lt w d.weight
+          || (F.compare w d.weight = 0 && compare ids d.tree_edges < 0)
+    in
+    let pull k =
+      let acc = ref [] and count = ref 0 in
+      while (not !exhausted) && !count < k do
+        match !stream () with
+        | Seq.Nil -> exhausted := true
+        | Seq.Cons ((w, ids), rest) ->
+            stream := rest;
+            (* Weights only grow along the stream: once they exactly exceed
+               the incumbent's, nothing later can beat it. (Exact ties can
+               still improve the tie-break, so keep draining the class.) *)
+            (match !best with
+            | Some d when F.compare w d.weight > 0 -> exhausted := true
+            | _ ->
+                incr seen;
+                if not (promising w ids) then incr inc_skips
+                else begin
+                  let tree = G.Tree.of_edge_ids graph ~root ids in
+                  let lb =
+                    if config.use_lb then Lb.broadcast_enforcement_lb spec ~root tree
+                    else F.zero
+                  in
+                  if config.use_lb && F.lt budget lb then incr lb_pruned
+                  else begin
+                    acc := { cw = w; cids = ids; ctree = tree; clb = lb } :: !acc;
+                    incr count
+                  end
+                end)
+      done;
+      Array.of_list (List.rev !acc)
+    in
+    with_pool config (fun pool ->
+        (* Shared affordable incumbent in exact stream order: if a sibling
+           has already certified an affordable tree that precedes candidate
+           [c], then [c] cannot be the final answer and pricing it is
+           wasted work. *)
+        let incumbent = Par.Incumbent.create ~better:beats () in
+        let price _check (c : cand) =
+          let dominated =
+            match Par.Incumbent.get incumbent with
+            | Some iv -> beats iv (c.cw, c.cids)
+            | None -> false
+          in
+          if dominated then None
+          else begin
+            let r = pricer.price c.ctree c.cids in
+            if F.leq r.Sne.cost budget then
+              ignore (Par.Incumbent.improve incumbent (c.cw, c.cids));
+            Some r
+          end
+        in
+        let fold (c : cand) = function
+          | None -> incr inc_skips
+          | Some (r : Sne.result) ->
+              if promising c.cw c.cids && F.leq r.Sne.cost budget then
+                best := Some (design_of_result c r)
+        in
+        drive config pool ~pull ~price ~fold;
+        let stats =
+          {
+            trees_seen = !seen;
+            trees_priced = Atomic.get pricer.solves - solves0;
+            lb_pruned = !lb_pruned;
+            incumbent_skips = !inc_skips;
+            cache_hits = pricer.cache_hits () - hits0;
+            nodes_expanded = ostats.G.Enumerate.nodes_expanded;
+            msts_computed = ostats.G.Enumerate.msts_computed;
+          }
+        in
+        (!best, stats))
+
+  (** The full (budget, weight) Pareto frontier, identical to the seed's
+      price-everything computation. Incremental dominance filtering: a tree
+      whose enforcement lower bound strictly exceeds the best priced cost so
+      far is already dominated by an earlier (no heavier) tree and is never
+      priced; once a zero-cost tree has been priced, every later tree is
+      dominated and the stream stops. *)
+  let pareto_frontier ?(config = default_config) ?pricer ~graph ~root () =
+    let spec = Gm.broadcast ~graph ~root in
+    let pricer =
+      match pricer with Some p -> p | None -> default_pricer config spec ~root
+    in
+    let solves0 = Atomic.get pricer.solves in
+    let hits0 = pricer.cache_hits () in
+    let ostats = G.Enumerate.fresh_stats () in
+    let stream = ref (G.Enumerate.by_weight ~stats:ostats graph) in
+    let seen = ref 0 and lb_pruned = ref 0 in
+    let min_cost = ref None in
+    let priced = ref [] in
+    let exhausted = ref false in
+    let pull k =
+      let acc = ref [] and count = ref 0 in
+      while (not !exhausted) && !count < k do
+        match !min_cost with
+        | Some m when F.leq m F.zero -> exhausted := true
+        | _ -> (
+            match !stream () with
+            | Seq.Nil -> exhausted := true
+            | Seq.Cons ((w, ids), rest) ->
+                stream := rest;
+                incr seen;
+                let tree = G.Tree.of_edge_ids graph ~root ids in
+                let lb =
+                  if config.use_lb then Lb.broadcast_enforcement_lb spec ~root tree
+                  else F.zero
+                in
+                let dominated =
+                  config.use_lb
+                  &&
+                  match !min_cost with
+                  | Some m -> F.lt m lb
+                  | None -> false
+                in
+                if dominated then incr lb_pruned
+                else begin
+                  acc := { cw = w; cids = ids; ctree = tree; clb = lb } :: !acc;
+                  incr count
+                end)
+      done;
+      Array.of_list (List.rev !acc)
+    in
+    with_pool config (fun pool ->
+        (* Per-batch completion board for worker-side skipping: slot [j]
+           holds tree [j]'s priced cost once known. A candidate whose lower
+           bound exceeds an earlier (hence no heavier) sibling's priced cost
+           is dominated. A single scalar incumbent would be unsound here —
+           a *heavier* sibling's low cost says nothing about a lighter
+           tree's frontier membership — so the scan is restricted to strict
+           predecessors in stream order. *)
+        let board = ref [||] in
+        let price _check (slot, (c : cand)) =
+          let dominated =
+            config.use_lb
+            && ((match !min_cost with Some m -> F.lt m c.clb | None -> false)
+               ||
+               let b = !board in
+               let rec scan j =
+                 j < slot
+                 &&
+                 match Atomic.get b.(j) with
+                 | Some cj when F.lt cj c.clb -> true
+                 | _ -> scan (j + 1)
+               in
+               scan 0)
+          in
+          if dominated then None
+          else begin
+            let r = pricer.price c.ctree c.cids in
+            Atomic.set (!board).(slot) (Some r.Sne.cost);
+            Some r
+          end
+        in
+        let fold (_, (c : cand)) = function
+          | None -> incr lb_pruned
+          | Some (r : Sne.result) ->
+              priced := design_of_result c r :: !priced;
+              (match !min_cost with
+              | Some m when F.compare m r.Sne.cost <= 0 -> ()
+              | _ -> min_cost := Some r.Sne.cost)
+        in
+        let pull_slotted k =
+          let cands = pull k in
+          board := Array.init (Array.length cands) (fun _ -> Atomic.make None);
+          Array.mapi (fun i c -> (i, c)) cands
+        in
+        drive config pool ~pull:pull_slotted ~price ~fold;
+        (* The seed's postprocessing, verbatim: stable sort by (weight,
+           cost), keep the strictly-decreasing-cost prefix points. *)
+        let sorted =
+          List.sort
+            (fun a b ->
+              let c = F.compare a.weight b.weight in
+              if c <> 0 then c else F.compare a.subsidy_cost b.subsidy_cost)
+            !priced
+        in
+        let frontier = ref [] in
+        List.iter
+          (fun d ->
+            match !frontier with
+            | b :: _ when F.leq b.subsidy_cost d.subsidy_cost -> ()
+            | _ -> frontier := d :: !frontier)
+          sorted;
+        let stats =
+          {
+            trees_seen = !seen;
+            trees_priced = Atomic.get pricer.solves - solves0;
+            lb_pruned = !lb_pruned;
+            incumbent_skips = 0;
+            cache_hits = pricer.cache_hits () - hits0;
+            nodes_expanded = ostats.G.Enumerate.nodes_expanded;
+            msts_computed = ostats.G.Enumerate.msts_computed;
+          }
+        in
+        (List.rev !frontier, stats))
+end
+
+module Float = struct
+  include Make (Repro_field.Field.Float_field)
+
+  (** Warm-started pricing on the unboxed kernel: build LP (3) via
+      {!Sne_lp.Float.broadcast_problem} and solve it with
+      {!Repro_lp.Simplex_float.solve_dual_incremental}, seeding each solve
+      with the optimal basis of the previous tree mapped through edge ids.
+      Adjacent trees in the weight-ordered stream differ by few edges, so
+      most of the basis carries over. Results agree with {!lp_pricer} up to
+      float rounding but are {e not} bit-identical (different pivot paths);
+      the default engine therefore keeps the functorized backend and this
+      pricer is an explicit opt-in for benchmarks. *)
+  let warm_kernel_pricer spec ~root =
+    let module K = Repro_lp.Simplex_float in
+    let graph = spec.Gm.graph in
+    let m = G.n_edges graph in
+    let solves = Atomic.make 0 in
+    let mu = Mutex.create () in
+    let last_basis = ref [] in
+    let price tree _ids =
+      let p, edge_of_var = Sne_lp.Float.broadcast_problem spec ~root tree in
+      let var_of_edge = Array.make m (-1) in
+      Array.iteri (fun k id -> var_of_edge.(id) <- k) edge_of_var;
+      Mutex.lock mu;
+      let prev = !last_basis in
+      Mutex.unlock mu;
+      let hint =
+        List.filter_map
+          (fun id -> if var_of_edge.(id) >= 0 then Some var_of_edge.(id) else None)
+          prev
+      in
+      Atomic.incr solves;
+      let st, outcome = K.solve_dual_incremental ~hint p in
+      match outcome with
+      | K.Optimal s ->
+          let basis_edges = List.map (fun k -> edge_of_var.(k)) (K.basis_hint st) in
+          Mutex.lock mu;
+          last_basis := basis_edges;
+          Mutex.unlock mu;
+          let subsidy = Array.make m 0.0 in
+          Array.iteri
+            (fun k id ->
+              subsidy.(id) <-
+                Stdlib.Float.max 0.0
+                  (Stdlib.Float.min s.K.values.(k) (G.weight graph id)))
+            edge_of_var;
+          { Sne.subsidy; cost = s.K.objective }
+      | K.Infeasible | K.Unbounded ->
+          failwith "Snd_search.warm_kernel_pricer: LP (3) solve failed (bug)"
+    in
+    { name = "lp3-warm"; price; solves; cache_hits = (fun () -> 0) }
+end
+
+module Rat = Make (Repro_field.Field.Rat)

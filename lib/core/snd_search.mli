@@ -1,0 +1,107 @@
+(** Branch-and-bound STABLE NETWORK DESIGN engine.
+
+    Replaces the seed solver's exhaustive spanning-tree enumeration with a
+    best-first search over the weight-ordered Lawler partition
+    ({!Repro_graph.Wgraph.Make.Enumerate.by_weight}), pruned by the
+    admissible enforcement-cost lower bound of
+    {!Lower_bounds.Make.broadcast_enforcement_lb}, with LRU-cached and
+    optionally warm-started LP (3) pricing and optional domain-parallel
+    batch exploration. Every configuration returns exactly the same
+    designs as the seed enumeration solver (DESIGN.md, "SND search
+    engine"); only the amount of LP work differs. *)
+
+module Make (F : Repro_field.Field.S) : sig
+  module Gm : module type of Repro_game.Game.Make (F)
+  module G : module type of Gm.G
+  module Sne : module type of Sne_lp.Make (F)
+  module Lb : module type of Lower_bounds.Make (F)
+
+  type design = {
+    tree_edges : int list;
+    weight : F.t;  (** social cost of the design *)
+    subsidy : F.t array;
+    subsidy_cost : F.t;  (** minimum enforcement cost (LP (3)) *)
+  }
+
+  (** Search-effort counters, all deltas for one engine call. *)
+  type stats = {
+    trees_seen : int;  (** pulled from the weight-ordered stream *)
+    trees_priced : int;  (** LP (3) solves actually performed *)
+    lb_pruned : int;  (** discarded by the enforcement lower bound *)
+    incumbent_skips : int;  (** discarded because an incumbent already won *)
+    cache_hits : int;  (** prices served from the LRU cache *)
+    nodes_expanded : int;  (** Lawler subproblems branched *)
+    msts_computed : int;  (** MST completions inside the generator *)
+  }
+
+  (** A tree-pricing backend. [price tree ids] returns the minimum
+      enforcement cost of [tree] (with [ids] its canonical sorted edge-id
+      list); it must be pure and thread-safe. [solves] counts underlying LP
+      solves; [cache_hits ()] reports cache absorption (0 for uncached
+      pricers). *)
+  type pricer = {
+    name : string;
+    price : G.Tree.t -> int list -> Sne.result;
+    solves : int Atomic.t;
+    cache_hits : unit -> int;
+  }
+
+  (** The reference pricer: one {!Sne_lp} LP (3) solve per call, on the
+      same functorized backend the seed solver used (so results are
+      bit-identical to the seed's). *)
+  val lp_pricer : Gm.spec -> root:int -> pricer
+
+  (** Wrap a pricer with an LRU cache keyed by canonical sorted edge-id
+      lists (mutex-protected; safe across domains). Shares the inner
+      pricer's [solves] counter. *)
+  val cached_pricer : ?capacity:int -> pricer -> pricer
+
+  type config = {
+    domains : int;  (** 1 = sequential (no domains spawned) *)
+    batch : int;  (** candidates priced per round; 0 = pick from [domains] *)
+    cache : int;  (** LRU capacity for the default pricer; 0 = uncached *)
+    use_lb : bool;  (** apply the enforcement-cost lower bound *)
+  }
+
+  (** [{ domains = 1; batch = 0; cache = 256; use_lb = true }]. *)
+  val default_config : config
+
+  val zero_stats : stats
+
+  (** Exact SND: the design the seed enumeration solver returns, found by
+      weight-ordered search with early termination. [None] only on
+      disconnected graphs. *)
+  val exact_small :
+    ?config:config ->
+    ?pricer:pricer ->
+    graph:G.t ->
+    root:int ->
+    budget:F.t ->
+    unit ->
+    design option * stats
+
+  (** The full (required budget, design weight) Pareto frontier, identical
+      to the seed's price-every-tree computation, with dominated trees
+      filtered incrementally during the search. *)
+  val pareto_frontier :
+    ?config:config ->
+    ?pricer:pricer ->
+    graph:G.t ->
+    root:int ->
+    unit ->
+    design list * stats
+end
+
+module Float : sig
+  include module type of Make (Repro_field.Field.Float_field)
+
+  (** Warm-started pricing on the unboxed float kernel: LP (3) built via
+      {!Sne_lp.Float.broadcast_problem}, solved by
+      {!Repro_lp.Simplex_float.solve_dual_incremental} seeded with the
+      previous tree's optimal basis (mapped through edge ids). Agrees with
+      {!lp_pricer} up to float rounding but is not bit-identical — opt-in
+      for benchmarks, not the engine default. *)
+  val warm_kernel_pricer : Gm.spec -> root:int -> pricer
+end
+
+module Rat : module type of Make (Repro_field.Field.Rat)

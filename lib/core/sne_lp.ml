@@ -50,9 +50,11 @@ struct
   (* LP (3): broadcast games, spanning-tree target                     *)
   (* ---------------------------------------------------------------- *)
 
-  (** Minimum-cost subsidies enforcing the spanning tree [tree] in the
-      broadcast game [spec] rooted at [root]. *)
-  let broadcast spec ~root (tree : G.Tree.t) =
+  (** The LP (3) instance for enforcing [tree], without solving it: the
+      problem plus the variable layout ([edge_of_var.(k)] is the tree-edge
+      id of LP variable [k]). The branch-and-bound SND engine uses this to
+      drive the kernel's cross-solve warm start directly. *)
+  let broadcast_problem spec ~root (tree : G.Tree.t) =
     let graph = spec.Gm.graph in
     let m = G.n_edges graph in
     (* One LP variable per tree edge. *)
@@ -110,10 +112,23 @@ struct
         ~minimize:(List.init n_vars (fun k -> (k, F.one)))
         ~constraints:!constraints ~lower ~upper ()
     in
-    let s = solve_or_fail ~what:"Sne_lp.broadcast" p in
-    let subsidy = Array.make m F.zero in
-    Array.iteri (fun k id -> subsidy.(id) <- F.max F.zero (F.min s.Lp.values.(k) (G.weight graph id))) edge_of_var;
+    (p, edge_of_var)
+
+  (** Clamp an LP (3) solution into an edge-indexed subsidy assignment. *)
+  let broadcast_extract spec (s : Lp.solution) edge_of_var =
+    let graph = spec.Gm.graph in
+    let subsidy = Array.make (G.n_edges graph) F.zero in
+    Array.iteri
+      (fun k id -> subsidy.(id) <- F.max F.zero (F.min s.Lp.values.(k) (G.weight graph id)))
+      edge_of_var;
     { subsidy; cost = s.Lp.objective }
+
+  (** Minimum-cost subsidies enforcing the spanning tree [tree] in the
+      broadcast game [spec] rooted at [root]. *)
+  let broadcast spec ~root (tree : G.Tree.t) =
+    let p, edge_of_var = broadcast_problem spec ~root tree in
+    let s = solve_or_fail ~what:"Sne_lp.broadcast" p in
+    broadcast_extract spec s edge_of_var
 
   (* ---------------------------------------------------------------- *)
   (* Weighted broadcast LP: the Section 6 extension to weighted players *)

@@ -20,7 +20,13 @@ module Make_backend
   module Gm : module type of Repro_game.Game.Make (F)
   module W : module type of Repro_game.Weighted.Make (F)
   module G : module type of Gm.G
-  module Lp : Repro_lp.Lp_intf.BACKEND with type num = F.t
+
+  (** The backend itself, with its types kept transparent (so e.g.
+      [Float.Lp.problem] is [Repro_lp.Simplex_float.problem] and external
+      solvers interoperate with [broadcast_problem]). *)
+  module Lp : module type of struct
+    include Lp
+  end
 
   type result = {
     subsidy : F.t array; (** edge-indexed; zero outside the target *)
@@ -41,6 +47,16 @@ module Make_backend
       edge, one constraint per (player, incident non-tree edge) with the
       LCA cancellation of Lemma 2's proof. *)
   val broadcast : Gm.spec -> root:int -> G.Tree.t -> result
+
+  (** The LP (3) instance without solving it, plus its variable layout:
+      [edge_of_var.(k)] is the tree-edge id of LP variable [k]. The
+      branch-and-bound SND engine builds the problem here and solves it
+      through the kernel's cross-solve warm start. *)
+  val broadcast_problem : Gm.spec -> root:int -> G.Tree.t -> Lp.problem * int array
+
+  (** Clamp an LP (3) solution into an edge-indexed subsidy assignment
+      (the [broadcast] postprocessing, exposed for external solves). *)
+  val broadcast_extract : Gm.spec -> Lp.solution -> int array -> result
 
   (** The weighted one-non-tree-edge analogue of LP (3). For unit demands
       this is exact (Lemma 2); for general demands it is only a

@@ -366,6 +366,121 @@ module Make (F : Repro_field.Field.S) = struct
     let count_spanning_trees g = fold_spanning_trees g ~init:0 ~f:(fun n _ -> n + 1)
 
     let iter_spanning_trees g ~f = fold_spanning_trees g ~init:() ~f:(fun () t -> f t)
+
+    (* -------------------------------------------------------------- *)
+    (* Weight-ordered (best-first) enumeration                         *)
+    (* -------------------------------------------------------------- *)
+
+    type order_stats = {
+      mutable nodes_expanded : int; (* subproblems popped and branched *)
+      mutable msts_computed : int; (* MST completions across all children *)
+    }
+
+    let fresh_stats () = { nodes_expanded = 0; msts_computed = 0 }
+
+    (* A subproblem of the Lawler partition: the spanning trees containing
+       every [forced] edge and no [excluded] edge, represented by its
+       minimum such tree [ids] of weight [w]. *)
+    type subproblem = {
+      w : F.t;
+      ids : int list; (* sorted; the representative (minimum) tree *)
+      forced : int list;
+      excluded : int list;
+    }
+
+    (** Every spanning tree of [g], in nondecreasing total weight
+        (ties broken by the sorted edge-id list, lexicographically — the
+        same order [fold_spanning_trees] visits a tied class in). Lawler's
+        partition scheme over include/exclude subproblems: each heap entry
+        carries the minimum spanning tree of its subproblem (Kruskal on the
+        graph with forced edges contracted and excluded edges deleted), so
+        popping in bound order streams trees cheapest-first and a consumer
+        searching for the first tree satisfying a monotone predicate can
+        stop as soon as the stream's weight passes its incumbent.
+
+        The sequence is ephemeral (backed by a mutable heap): traverse it
+        once. Cost: one Kruskal completion per child of each popped tree
+        (at most n-1 per tree), against one LP per tree for the pricing
+        consumers — generation is never the bottleneck. *)
+    let by_weight ?stats g : (F.t * int list) Seq.t =
+      let m = n_edges g in
+      let target = g.n - 1 in
+      let tick_node () =
+        match stats with Some s -> s.nodes_expanded <- s.nodes_expanded + 1 | None -> ()
+      and tick_mst () =
+        match stats with Some s -> s.msts_computed <- s.msts_computed + 1 | None -> ()
+      in
+      (* Kruskal scan order, fixed once: (weight, id) — the same tie-break
+         as [mst_kruskal], so the root representative is the MST. *)
+      let order = Array.init m (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          let c = F.compare g.edges.(a).weight g.edges.(b).weight in
+          if c <> 0 then c else compare a b)
+        order;
+      let out = Array.make m false (* scratch exclusion mask *) in
+      (* Minimum spanning tree of a subproblem: union the forced edges
+         (contraction), then greedily complete; [None] when the forced
+         edges close a cycle or the remaining graph is disconnected. *)
+      let complete ~forced ~excluded =
+        tick_mst ();
+        List.iter (fun id -> out.(id) <- true) excluded;
+        let uf = Union_find.create g.n in
+        let bad = ref false in
+        List.iter
+          (fun id ->
+            let e = g.edges.(id) in
+            if not (Union_find.union uf e.u e.v) then bad := true)
+          forced;
+        let chosen = ref [] in
+        let count = ref (List.length forced) in
+        if not !bad then
+          Array.iter
+            (fun id ->
+              if !count < target && not out.(id) then begin
+                let e = g.edges.(id) in
+                if Union_find.union uf e.u e.v then begin
+                  chosen := id :: !chosen;
+                  incr count
+                end
+              end)
+            order;
+        List.iter (fun id -> out.(id) <- false) excluded;
+        if !bad || !count <> target then None
+        else
+          let ids = List.sort compare (List.rev_append !chosen forced) in
+          Some (total_weight g ids, ids)
+      in
+      let heap =
+        Repro_util.Heap.create ~cmp:(fun a b ->
+            let c = F.compare a.w b.w in
+            if c <> 0 then c else compare a.ids b.ids)
+      in
+      (match complete ~forced:[] ~excluded:[] with
+      | Some (w, ids) -> Repro_util.Heap.push heap { w; ids; forced = []; excluded = [] }
+      | None -> ());
+      let rec next () =
+        match Repro_util.Heap.pop heap with
+        | None -> Seq.Nil
+        | Some node ->
+            tick_node ();
+            (* Branch on the representative's free (not yet forced) edges:
+               child k keeps the first k-1 free edges and bans the k-th —
+               a partition of the subproblem minus its representative. *)
+            let free = List.filter (fun id -> not (List.mem id node.forced)) node.ids in
+            let rec branch forced = function
+              | [] -> ()
+              | e :: rest ->
+                  let excluded = e :: node.excluded in
+                  (match complete ~forced ~excluded with
+                  | Some (w, ids) -> Repro_util.Heap.push heap { w; ids; forced; excluded }
+                  | None -> ());
+                  branch (e :: forced) rest
+            in
+            branch node.forced free;
+            Seq.Cons ((node.w, node.ids), next)
+      in
+      next
   end
 
   (* ---------------------------------------------------------------- *)

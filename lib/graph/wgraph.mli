@@ -131,6 +131,23 @@ module Make (F : Repro_field.Field.S) : sig
     val fold_spanning_trees : t -> init:'a -> f:('a -> int list -> 'a) -> 'a
     val count_spanning_trees : t -> int
     val iter_spanning_trees : t -> f:(int list -> unit) -> unit
+
+    (** Search-effort counters for {!by_weight}. *)
+    type order_stats = {
+      mutable nodes_expanded : int;  (** subproblems popped and branched *)
+      mutable msts_computed : int;  (** MST completions across all children *)
+    }
+
+    val fresh_stats : unit -> order_stats
+
+    (** Every spanning tree as [(weight, sorted edge ids)], in nondecreasing
+        weight (ties in sorted-edge-id lexicographic order). Lawler
+        partition with include/exclude branching: each subproblem is
+        represented by its minimum spanning tree, computed by Kruskal with
+        the forced edges contracted and the excluded edges deleted, so the
+        stream is cheapest-first and consumers can stop early. The sequence
+        is ephemeral (mutable heap underneath): traverse it once. *)
+    val by_weight : ?stats:order_stats -> t -> (F.t * int list) Seq.t
   end
 
   (** {1 Generators} (deterministic given the PRNG state) *)

@@ -315,9 +315,10 @@ let set_objective st cost_of =
     end
   done
 
-let build p =
-  (* 1. Assign canonical columns; bounded variables also get an explicit
-     upper-bound row. *)
+(* Step 1 of canonicalization, shared by [build] and [build_dual]: assign
+   canonical columns; doubly-bounded variables also get an explicit
+   upper-bound row appended to the constraint list. *)
+let assign_columns p =
   let next = ref 0 in
   let fresh () =
     let c = !next in
@@ -343,8 +344,26 @@ let build p =
             let cm = fresh () in
             Split (cp, cm))
   in
-  let structural = !next in
-  let all_constraints = p.constraints @ List.rev !extra_rows in
+  (recover, !next, p.constraints @ List.rev !extra_rows)
+
+(* The objective over canonical columns. *)
+let canonical_cost ~recover ~structural minimize =
+  let cost = Array.make (max 1 structural) 0.0 in
+  List.iter
+    (fun (i, a) ->
+      match recover.(i) with
+      | Shifted (col, _) -> cost.(col) <- cost.(col) +. a
+      | Mirrored (col, _) -> cost.(col) <- cost.(col) -. a
+      | Split (cp, cm) ->
+          cost.(cp) <- cost.(cp) +. a;
+          cost.(cm) <- cost.(cm) -. a)
+    minimize;
+  cost
+
+let build p =
+  (* 1. Assign canonical columns; bounded variables also get an explicit
+     upper-bound row. *)
+  let recover, structural, all_constraints = assign_columns p in
   let m = List.length all_constraints in
   (* 2. Rewrite rows over canonical columns and normalize rhs >= 0. *)
   let rewritten =
@@ -458,16 +477,7 @@ let build p =
     for j = structural + n_slack to width - 1 do
       st.barred.(j) <- true
     done;
-    let cost = Array.make (max 1 structural) 0.0 in
-    List.iter
-      (fun (i, a) ->
-        match recover.(i) with
-        | Shifted (col, _) -> cost.(col) <- cost.(col) +. a
-        | Mirrored (col, _) -> cost.(col) <- cost.(col) -. a
-        | Split (cp, cm) ->
-            cost.(cp) <- cost.(cp) +. a;
-            cost.(cm) <- cost.(cm) -. a)
-      p.minimize;
+    let cost = canonical_cost ~recover ~structural p.minimize in
     set_objective st (fun j -> if j < structural then cost.(j) else 0.0);
     st.degen_streak <- 0;
     st.bland <- false;
@@ -614,6 +624,146 @@ let add_constraint st c =
           | `Optimal ->
               st.last <- extract st;
               st.last))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-solve warm starts: dual simplex from a crash-pivoted slack     *)
+(* basis                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let basis_hint st =
+  let inv = Array.make (max 1 st.structural) (-1) in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Shifted (c, _) | Mirrored (c, _) -> inv.(c) <- i
+      | Split (cp, cm) ->
+          inv.(cp) <- i;
+          inv.(cm) <- i)
+    st.recover;
+  let vars = ref [] in
+  for r = 0 to st.m - 1 do
+    let b = st.basis.(r) in
+    if b >= 0 && b < st.structural && inv.(b) >= 0 then vars := inv.(b) :: !vars
+  done;
+  List.sort_uniq compare !vars
+
+(* A dual-startable tableau: every constraint rewritten as <= with a basic
+   slack and no rhs sign normalization, so the canonical origin is a basis
+   straight away — dual feasible whenever every canonical objective
+   coefficient is nonnegative (the LP (3) pricing family: minimize a
+   nonnegative combination of lower-bounded variables). Returns [None]
+   when the objective disqualifies the problem. *)
+let build_dual ~hint p =
+  let recover, structural, all_constraints = assign_columns p in
+  let cost = canonical_cost ~recover ~structural p.minimize in
+  if Array.exists (fun c -> c < 0.0) cost then None
+  else begin
+    let rows =
+      List.concat_map
+        (fun c ->
+          let acc, rhs = rewrite ~recover ~structural c in
+          match c.relation with
+          | Leq -> [ (acc, rhs) ]
+          | Geq -> [ (Array.map (fun x -> -.x) acc, -.rhs) ]
+          | Eq -> [ (Array.copy acc, rhs); (Array.map (fun x -> -.x) acc, -.rhs) ])
+        all_constraints
+    in
+    let m = List.length rows in
+    let width = structural + m in
+    let stride = width + 1 + 16 in
+    let mcap = m + 16 in
+    let st =
+      {
+        prob = p;
+        recover;
+        structural;
+        added = [];
+        a = Array.make (max 1 (mcap * stride)) 0.0;
+        stride;
+        m;
+        width;
+        obj = Array.make stride 0.0;
+        basis = Array.make (max 1 mcap) (-1);
+        barred = Array.make (max 1 (stride - 1)) false;
+        n_pivots = 0;
+        degen_streak = 0;
+        bland = false;
+        last = Infeasible;
+      }
+    in
+    List.iteri
+      (fun r (acc, rhs) ->
+        let base = r * stride in
+        for j = 0 to structural - 1 do
+          st.a.(base + 1 + j) <- acc.(j)
+        done;
+        st.a.(base) <- rhs;
+        st.a.(base + 1 + structural + r) <- 1.0;
+        st.basis.(r) <- structural + r)
+      rows;
+    set_objective st (fun j -> if j < structural then cost.(j) else 0.0);
+    (* Crash pivots: drive the hinted variables (an adjacent solve's basis)
+       into this basis before the dual pass. May break dual feasibility of
+       the objective row; the primal polish after [dual] absorbs that. *)
+    let crashed = ref false in
+    let basic = Array.make (max 1 width) false in
+    for r = 0 to st.m - 1 do
+      basic.(st.basis.(r)) <- true
+    done;
+    List.iter
+      (fun i ->
+        if i >= 0 && i < p.n_vars then
+          match recover.(i) with
+          | Split _ -> ()
+          | Shifted (c, _) | Mirrored (c, _) ->
+              if not basic.(c) then begin
+                let best_r = ref (-1) and best = ref 1e-7 in
+                for r = 0 to st.m - 1 do
+                  if st.basis.(r) >= structural then begin
+                    let v = Float.abs (coef st r c) in
+                    if v > !best then begin
+                      best := v;
+                      best_r := r
+                    end
+                  end
+                done;
+                if !best_r >= 0 then begin
+                  basic.(st.basis.(!best_r)) <- false;
+                  basic.(c) <- true;
+                  pivot st !best_r c;
+                  crashed := true
+                end
+              end)
+      hint;
+    Some (st, !crashed)
+  end
+
+let solve_dual_incremental ?(hint = []) p =
+  match build_dual ~hint p with
+  | None -> solve_incremental p
+  | Some (st, crashed) -> (
+      match dual st with
+      | `Stalled ->
+          (* Numerical trouble; a cold two-phase solve is the safe answer. *)
+          solve_incremental p
+      | `Infeasible ->
+          if crashed then solve_incremental p
+          else begin
+            st.last <- Infeasible;
+            (st, Infeasible)
+          end
+      | `Optimal -> (
+          (* Primal feasible now; polish away any negative reduced costs
+             the crash pivots left behind (usually zero pivots). *)
+          st.degen_streak <- 0;
+          st.bland <- false;
+          match primal st with
+          | `Unbounded ->
+              st.last <- Unbounded;
+              (st, Unbounded)
+          | `Optimal ->
+              st.last <- extract st;
+              (st, st.last)))
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing (mirrors Simplex.Make)                               *)

@@ -80,5 +80,21 @@ val add_constraint : state -> constr -> outcome
     re-optimizations). *)
 val pivots : state -> int
 
+(** Cross-solve warm start: a dual-simplex solve from the all-slack
+    (canonical-origin) basis, optionally crash-pivoting the variables in
+    [hint] — original variable indices, typically an adjacent solve's
+    {!basis_hint} — into the basis first. Skips phase 1 entirely: the
+    origin basis is dual feasible whenever every canonical objective
+    coefficient is nonnegative, which holds for the whole LP (3) pricing
+    family (minimize a nonnegative combination of lower-bounded
+    variables). Problems outside that shape, and solves where the dual
+    pass stalls, fall back to the cold two-phase [solve_incremental];
+    the answer is always exact, only the pivot count changes. *)
+val solve_dual_incremental : ?hint:int list -> problem -> state * outcome
+
+(** Original-variable indices of the variables currently basic — feed to
+    the next adjacent solve's [?hint]. *)
+val basis_hint : state -> int list
+
 val pp_relation : Format.formatter -> relation -> unit
 val pp_problem : Format.formatter -> problem -> unit

@@ -1,33 +1,58 @@
-(** Minimal OCaml 5 data parallelism for the benchmark sweeps.
+(** Minimal OCaml 5 data parallelism for the benchmark sweeps and the
+    branch-and-bound SND engine.
 
     [map f a] evaluates [f] on every element of [a] using up to
     [Domain.recommended_domain_count] domains, handing out indices through
     an atomic counter (dynamic scheduling: parameter sweeps here have wildly
     uneven per-item cost — an LP at n=256 dwarfs one at n=8). Exceptions in
-    workers are captured and re-raised in the caller. On a single-core
-    container this degrades gracefully to sequential execution. *)
+    workers are captured and re-raised in the caller; sibling workers
+    cancel cooperatively (they poll the shared error cell before every
+    item, and [map_cancellable] also hands [f] a poll closure so long items
+    can abort mid-flight). On a single-core container this degrades
+    gracefully to sequential execution.
+
+    [Pool] is the persistent variant: spawn the domains once, push many
+    [map]s through them — the SND search prices trees in small batches and
+    cannot afford a domain spawn/join per batch. [Incumbent] is the shared
+    atomic bound those workers race on. *)
+
+exception Cancelled
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
-let map ?domains f a =
+(* The shared work loop: claim indices until the array is exhausted or a
+   sibling has recorded an error. [f] receives a poll closure raising
+   [Cancelled] when the sweep is poisoned, so cooperative items can bail
+   mid-computation; [Cancelled] itself never wins the error cell race
+   (the poisoning exception does). *)
+let run_sweep ~error ~next ~results f a =
+  let n = Array.length a in
+  let check () = if Atomic.get error <> None then raise Cancelled in
+  let rec work () =
+    if Atomic.get error = None then begin
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f check a.(i) with
+        | v -> results.(i) <- Some v
+        | exception Cancelled -> ()
+        | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+        work ()
+      end
+    end
+  in
+  work
+
+let map_cancellable ?domains f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
     let workers = min n (match domains with Some d -> max 1 d | None -> default_domains ()) in
-    if workers = 1 then Array.map f a
+    if workers = 1 then Array.map (f (fun () -> ())) a
     else begin
       let results = Array.make n None in
       let error = Atomic.make None in
       let next = Atomic.make 0 in
-      let rec work () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get error = None then begin
-          (match f a.(i) with
-          | v -> results.(i) <- Some v
-          | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
-          work ()
-        end
-      in
+      let work = run_sweep ~error ~next ~results f a in
       let handles = List.init (workers - 1) (fun _ -> Domain.spawn work) in
       work ();
       List.iter Domain.join handles;
@@ -35,6 +60,8 @@ let map ?domains f a =
       Array.map Option.get results
     end
   end
+
+let map ?domains f a = map_cancellable ?domains (fun _check x -> f x) a
 
 (** [map_list f l] is [map] over a list. *)
 let map_list ?domains f l = Array.to_list (map ?domains f (Array.of_list l))
@@ -44,3 +71,163 @@ let timed f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Shared atomic incumbent                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Incumbent = struct
+  (* Lock-free best-so-far cell: workers race CAS improvements ordered by
+     a caller-supplied strict "beats" relation. The SND search keeps its
+     best affordable (weight, tree) here so sibling domains can skip
+     pricing trees an incumbent already dominates. *)
+  type 'a t = { cell : 'a option Atomic.t; better : 'a -> 'a -> bool }
+
+  let create ~better () = { cell = Atomic.make None; better }
+  let get t = Atomic.get t.cell
+
+  (* CAS loop; true iff [v] strictly improved the incumbent. *)
+  let rec improve t v =
+    let cur = Atomic.get t.cell in
+    let wins = match cur with None -> true | Some c -> t.better v c in
+    if wins then
+      if Atomic.compare_and_set t.cell cur (Some v) then true else improve t v
+    else wins
+end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  (* One outstanding job at a time; workers sleep on [work_ready] between
+     jobs. Completion is "all indices claimed (or the job poisoned) and no
+     worker still inside an item", tracked by [next]/[inflight]. A worker
+     that wakes up late joins the job, finds nothing to claim, and goes
+     back to sleep — nothing is lost or run twice. *)
+  type ('a, 'b) job_data = {
+    data : 'a array;
+    f : (unit -> unit) -> 'a -> 'b;
+    results : 'b option array;
+    next : int Atomic.t;
+    inflight : int Atomic.t;
+    error : exn option Atomic.t;
+  }
+
+  type job = Job : ('a, 'b) job_data -> job
+
+  type t = {
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    mutable job : job option;
+    mutable epoch : int;
+    mutable stop : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let run_job pool (Job j) =
+    Atomic.incr j.inflight;
+    let n = Array.length j.data in
+    let check () = if Atomic.get j.error <> None then raise Cancelled in
+    let rec work () =
+      if Atomic.get j.error = None then begin
+        let i = Atomic.fetch_and_add j.next 1 in
+        if i < n then begin
+          (match j.f check j.data.(i) with
+          | v -> j.results.(i) <- Some v
+          | exception Cancelled -> ()
+          | exception e -> ignore (Atomic.compare_and_set j.error None (Some e)));
+          work ()
+        end
+      end
+    in
+    work ();
+    Atomic.decr j.inflight;
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.work_done;
+    Mutex.unlock pool.mutex
+
+  let worker pool =
+    let rec loop last_epoch =
+      Mutex.lock pool.mutex;
+      while (not pool.stop) && pool.epoch = last_epoch do
+        Condition.wait pool.work_ready pool.mutex
+      done;
+      let stop = pool.stop and epoch = pool.epoch and job = pool.job in
+      Mutex.unlock pool.mutex;
+      if not stop then begin
+        (match job with Some j -> run_job pool j | None -> ());
+        loop epoch
+      end
+    in
+    loop 0
+
+  let create ?domains () =
+    let workers = match domains with Some d -> max 1 d | None -> default_domains () in
+    let pool =
+      {
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        job = None;
+        epoch = 0;
+        stop = false;
+        workers = [];
+      }
+    in
+    (* The submitting domain participates too, so spawn one fewer. *)
+    pool.workers <- List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool
+
+  let size pool = 1 + List.length pool.workers
+
+  let map_cancellable pool f a =
+    let n = Array.length a in
+    if n = 0 then [||]
+    else begin
+      Mutex.lock pool.mutex;
+      if pool.stop then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Parallel.Pool.map: pool is shut down"
+      end;
+      let j =
+        {
+          data = a;
+          f;
+          results = Array.make n None;
+          next = Atomic.make 0;
+          inflight = Atomic.make 0;
+          error = Atomic.make None;
+        }
+      in
+      pool.job <- Some (Job j);
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex;
+      run_job pool (Job j);
+      let finished () =
+        Atomic.get j.inflight = 0
+        && (Atomic.get j.next >= n || Atomic.get j.error <> None)
+      in
+      Mutex.lock pool.mutex;
+      while not (finished ()) do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      pool.job <- None;
+      Mutex.unlock pool.mutex;
+      (match Atomic.get j.error with Some e -> raise e | None -> ());
+      Array.map Option.get j.results
+    end
+
+  let map pool f a = map_cancellable pool (fun _check x -> f x) a
+
+  let shutdown pool =
+    Mutex.lock pool.mutex;
+    let already = pool.stop in
+    pool.stop <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    if not already then List.iter Domain.join pool.workers;
+    pool.workers <- []
+end

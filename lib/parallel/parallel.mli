@@ -1,18 +1,73 @@
-(** Minimal OCaml 5 data parallelism for parameter sweeps.
+(** Minimal OCaml 5 data parallelism for parameter sweeps and the
+    branch-and-bound SND engine.
 
     Dynamic scheduling over an atomic index counter — sweep items here have
     wildly uneven cost (an LP at n=256 dwarfs one at n=8). Degrades to
     sequential execution on single-core machines. *)
+
+(** Raised inside a worker item by the poll closure of
+    {!map_cancellable} / {!Pool.map_cancellable} when a sibling worker has
+    already poisoned the sweep; the item's result is discarded and the
+    original exception is re-raised in the caller. *)
+exception Cancelled
 
 (** [Domain.recommended_domain_count () - 1], at least 1. *)
 val default_domains : unit -> int
 
 (** [map ?domains f a]: evaluate [f] on every element using up to
     [domains] domains (default {!default_domains}). Order of results
-    matches [a]. A worker exception is re-raised in the caller. *)
+    matches [a]. A worker exception is re-raised in the caller; sibling
+    workers cancel cooperatively (the error cell is polled before every
+    item claim). *)
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map] where [f] also receives a poll closure: calling it raises
+    {!Cancelled} when the sweep has been poisoned, so long-running items
+    can abort mid-computation instead of running to completion. *)
+val map_cancellable : ?domains:int -> ((unit -> unit) -> 'a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Wall-clock seconds of a thunk, with its result. *)
 val timed : (unit -> 'a) -> 'a * float
+
+(** Lock-free best-so-far cell shared between worker domains, ordered by a
+    caller-supplied strict "beats" relation. *)
+module Incumbent : sig
+  type 'a t
+
+  (** [create ~better ()]: empty incumbent; [better a b] must mean [a]
+      strictly beats [b] (irreflexive), or the CAS loop would spin. *)
+  val create : better:('a -> 'a -> bool) -> unit -> 'a t
+
+  val get : 'a t -> 'a option
+
+  (** Race a candidate in; [true] iff it strictly improved the cell. *)
+  val improve : 'a t -> 'a -> bool
+end
+
+(** Persistent worker pool: spawn the domains once, push many maps through
+    them. The SND search prices trees in small batches and cannot afford a
+    domain spawn/join per batch. At most one map may be in flight per pool
+    (maps from the pool's own workers would deadlock — don't nest). *)
+module Pool : sig
+  type t
+
+  (** [create ?domains ()] spawns [domains - 1] worker domains (default
+      {!default_domains}); the submitting domain participates in every
+      map, so total parallelism is [domains]. *)
+  val create : ?domains:int -> unit -> t
+
+  (** Total domains participating in a map (workers + submitter). *)
+  val size : t -> int
+
+  (** Like {!val:map}, on the pool's resident domains. Raises
+      [Invalid_argument] after [shutdown]. *)
+  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+  (** Like {!val:map_cancellable}, on the pool's resident domains. *)
+  val map_cancellable : t -> ((unit -> unit) -> 'a -> 'b) -> 'a array -> 'b array
+
+  (** Join the worker domains; idempotent. Subsequent maps raise. *)
+  val shutdown : t -> unit
+end

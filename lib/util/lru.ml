@@ -1,0 +1,73 @@
+(* Least-recently-used cache: hashtable plus an intrusive doubly-linked
+   recency list. Single-threaded (callers wrap a mutex around it when
+   sharing across domains — the SND pricing cache does). *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option; (* most recently used *)
+  mutable last : ('k, 'v) node option; (* eviction candidate *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      unlink t n;
+      push_front t n
+  | None ->
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n;
+      if Hashtbl.length t.table > t.capacity then
+        match t.last with
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.key
+        | None -> ()

@@ -1,0 +1,23 @@
+(** Least-recently-used cache (hashtable + intrusive recency list).
+
+    Single-threaded; callers sharing one across domains wrap a mutex
+    around it (the SND pricing cache does). Keys are compared with
+    structural equality/hashing, so canonical sorted edge-id lists work
+    directly as keys. *)
+
+type ('k, 'v) t
+
+(** Raises [Invalid_argument] unless [capacity > 0]. *)
+val create : capacity:int -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+
+(** Lookup; refreshes the entry's recency and counts a hit or miss. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** Insert or overwrite; evicts the least recently used entry when over
+    capacity. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int

@@ -75,3 +75,29 @@ The shipped instance corpus loads and solves:
   $ sne_cli solve --file ../../instances/cycle16.inst | head -n 2
   instance: ../../instances/cycle16.inst, 17 nodes, 17 edges, root 0, target tree weight 16.000
   LP (3): total subsidies 5.5844 (34.90% of the tree)
+
+The branch-and-bound design engine agrees with brute-force enumeration:
+
+  $ sne_cli design --file ../../instances/twin_hubs.inst --budget 0.5
+  instance: ../../instances/twin_hubs.inst, 7 nodes, 10 edges, root 0, budget 0.500
+  design: weight 7.800, enforcement cost 0.3000, edges 2,4,5,6,7,8
+  search: 6 trees seen, 5 priced, 0 lb-pruned, 1 incumbent-skips, 0 cache hits, 7 nodes expanded
+
+  $ sne_cli design --file ../../instances/twin_hubs.inst --budget 0.5 --engine brute
+  instance: ../../instances/twin_hubs.inst, 7 nodes, 10 edges, root 0, budget 0.500
+  design: weight 7.800, enforcement cost 0.3000, edges 2,4,5,6,7,8
+
+The frontier is identical through either engine:
+
+  $ sne_cli pareto --file ../../instances/twin_hubs.inst --engine brute
+  
+  == budget menu (Pareto frontier) ==
+  +-----------------+---------------+-----------------+
+  | required budget | design weight | overhead vs MST |
+  +-----------------+---------------+-----------------+
+  | 0.6000          | 7.6000        | +0.0%           |
+  | 0.3000          | 7.8000        | +2.6%           |
+  | 0.0667          | 8.5000        | +11.8%          |
+  | 0               | 8.6000        | +13.2%          |
+  +-----------------+---------------+-----------------+
+  Theorem 6 budget wgt(MST)/e = 2.796 always buys the MST.

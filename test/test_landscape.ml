@@ -101,6 +101,45 @@ let unit_tests =
             Alcotest.check fl "tail = best unsubsidized equilibrium"
               (fst (Option.get best_eq)) last.Snd.weight
         | [] -> ());
+    Alcotest.test_case "engine frontier is byte-identical to brute force on the corpus"
+      `Slow (fun () ->
+        (* The stacked-PR acceptance bar: on every committed instance the
+           branch-and-bound engine's frontier must match the exhaustive
+           enumeration exactly — same (budget, weight) pairs over exact
+           rationals, not approximately. *)
+        let module SndR = Repro_core.Snd.Rat in
+        let module SearchR = Repro_core.Snd_search.Rat in
+        let module SerialR = Repro_core.Serial.Rat in
+        let module Q = Repro_field.Rational in
+        let dir = "../instances" in
+        let insts =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".inst")
+          |> List.sort compare
+        in
+        Alcotest.(check bool) "corpus found" true (insts <> []);
+        List.iter
+          (fun file ->
+            let t = SerialR.load (Filename.concat dir file) in
+            let graph = t.SerialR.graph and root = t.SerialR.root in
+            let brute = SndR.pareto_frontier_brute ~graph ~root in
+            let engine, _ = SearchR.pareto_frontier ~graph ~root () in
+            if List.length brute <> List.length engine then
+              Alcotest.failf "%s: %d brute points vs %d engine points" file
+                (List.length brute) (List.length engine);
+            List.iter2
+              (fun (b : SndR.design) (e : SearchR.design) ->
+                if
+                  Q.compare b.SndR.subsidy_cost e.SearchR.subsidy_cost <> 0
+                  || Q.compare b.SndR.weight e.SearchR.weight <> 0
+                then
+                  Alcotest.failf "%s: frontier mismatch (%s, %s) vs (%s, %s)" file
+                    (Q.to_string b.SndR.subsidy_cost)
+                    (Q.to_string b.SndR.weight)
+                    (Q.to_string e.SearchR.subsidy_cost)
+                    (Q.to_string e.SearchR.weight))
+              brute engine)
+          insts);
     Alcotest.test_case "best_for_budget walks the frontier" `Quick (fun () ->
         let graph = G.create ~n:4 [ (0, 1, 2.0); (1, 2, 2.0); (2, 3, 2.0); (0, 3, 3.5) ] in
         let frontier = Snd.pareto_frontier ~graph ~root:0 in

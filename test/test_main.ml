@@ -10,6 +10,7 @@ let () =
       ("warmstart", Test_warmstart.suite);
       ("game", Test_game.suite);
       ("core", Test_core.suite);
+      ("snd-search", Test_snd_search.suite);
       ("problems", Test_problems.suite);
       ("reductions", Test_reductions.suite);
       ("weighted", Test_weighted.suite);

@@ -1,0 +1,248 @@
+(* Tests for the branch-and-bound SND engine (Repro_core.Snd_search):
+   differential identity against the seed exhaustive solver over hundreds
+   of random graphs, the weight-ordered generator's order/completeness,
+   admissibility of the enforcement lower bound, warm-started and cached
+   pricer agreement, parallel-configuration determinism, and the
+   all-or-nothing budget boundary cases. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Snd = Repro_core.Snd.Float
+module Search = Repro_core.Snd_search.Float
+module Sne = Search.Sne (* the functorized backend the engine prices with *)
+module Lb = Repro_core.Lower_bounds.Float
+module SndR = Repro_core.Snd.Rat
+module SearchR = Repro_core.Snd_search.Rat
+module Instances = Repro_core.Instances
+module Fx = Repro_util.Floatx
+module Q = Repro_field.Rational
+
+let fl = Alcotest.float 1e-9
+
+(* Integer weights keep distinct tree weights >= 1 apart, so the float
+   stack's tolerant comparisons agree with exact order and the engine's
+   seed-identity argument applies bit-for-bit. *)
+let random_instance ?(lo = 4) ?(hi = 7) seed =
+  Instances.random ~dist:(Instances.Integer 9)
+    ~n:(lo + (seed mod (hi - lo + 1)))
+    ~extra:(seed / 7 mod 4) ~seed ()
+
+let design_eq (a : Snd.design option) (b : Search.design option) =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+      a.Snd.tree_edges = b.Search.tree_edges
+      && Fx.approx_eq a.Snd.weight b.Search.weight
+      && Fx.approx_eq a.Snd.subsidy_cost b.Search.subsidy_cost
+  | _ -> false
+
+let mst_lp_cost spec ~root inst =
+  (Sne.broadcast spec ~root (Instances.mst_tree inst)).Sne.cost
+
+let quickstart_graph () =
+  G.create ~n:4 [ (0, 1, 2.0); (1, 2, 2.0); (2, 3, 2.0); (0, 3, 3.5) ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "by_weight streams every spanning tree exactly once" `Quick
+      (fun () ->
+        let inst = random_instance 12345 in
+        let g = inst.Instances.graph in
+        let streamed = List.of_seq (G.Enumerate.by_weight g) in
+        let all =
+          G.Enumerate.fold_spanning_trees g ~init:[] ~f:(fun acc ids -> List.sort compare ids :: acc)
+        in
+        Alcotest.(check int) "count" (List.length all) (List.length streamed);
+        Alcotest.(check bool) "same tree set" true
+          (List.sort compare (List.map snd streamed) = List.sort compare all);
+        let rec nondecreasing = function
+          | (w1, _) :: ((w2, _) :: _ as rest) ->
+              (w1 <= w2 +. 1e-9) && nondecreasing rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "nondecreasing weights" true (nondecreasing streamed);
+        List.iter
+          (fun (w, ids) -> Alcotest.check fl "weight matches ids" (G.total_weight g ids) w)
+          streamed);
+    Alcotest.test_case "by_weight stats count search effort" `Quick (fun () ->
+        let inst = random_instance 99 in
+        let g = inst.Instances.graph in
+        let stats = G.Enumerate.fresh_stats () in
+        let n = Seq.length (G.Enumerate.by_weight ~stats g) in
+        Alcotest.(check bool) "one expansion per tree" true
+          (stats.G.Enumerate.nodes_expanded = n);
+        Alcotest.(check bool) "completions at least trees" true
+          (stats.G.Enumerate.msts_computed >= n));
+    Alcotest.test_case "engine stats account for every streamed tree" `Quick (fun () ->
+        let graph = quickstart_graph () in
+        let d, s = Search.exact_small ~graph ~root:0 ~budget:0.2 () in
+        Alcotest.(check bool) "found a design" true (d <> None);
+        Alcotest.(check bool) "stats partition the stream" true
+          (s.Search.trees_priced + s.Search.lb_pruned + s.Search.incumbent_skips
+          <= s.Search.trees_seen);
+        Alcotest.(check bool) "search did not price the whole landscape" true
+          (s.Search.trees_seen <= G.Enumerate.count_spanning_trees graph));
+    Alcotest.test_case "frontier on the quickstart instance matches brute force" `Quick
+      (fun () ->
+        let graph = quickstart_graph () in
+        let brute = Snd.pareto_frontier_brute ~graph ~root:0 in
+        let engine, stats = Search.pareto_frontier ~graph ~root:0 () in
+        Alcotest.(check int) "same size" (List.length brute) (List.length engine);
+        List.iter2
+          (fun (b : Snd.design) (e : Search.design) ->
+            Alcotest.check fl "weight" b.Snd.weight e.Search.weight;
+            Alcotest.check fl "cost" b.Snd.subsidy_cost e.Search.subsidy_cost)
+          brute engine;
+        Alcotest.(check bool) "stopped early" true
+          (stats.Search.trees_seen <= G.Enumerate.count_spanning_trees graph));
+    Alcotest.test_case "disconnected graph yields no design" `Quick (fun () ->
+        let graph = G.create ~n:3 [ (0, 1, 1.0) ] in
+        let d, s = Search.exact_small ~graph ~root:0 ~budget:100.0 () in
+        Alcotest.(check bool) "no design" true (d = None);
+        Alcotest.(check int) "nothing priced" 0 s.Search.trees_priced);
+    Alcotest.test_case "cached pricer absorbs repeated prices" `Quick (fun () ->
+        let graph = quickstart_graph () in
+        let spec = Gm.broadcast ~graph ~root:0 in
+        let pricer = Search.cached_pricer ~capacity:8 (Search.lp_pricer spec ~root:0) in
+        let ids = Option.get (G.mst_kruskal graph) in
+        let tree = G.Tree.of_edge_ids graph ~root:0 ids in
+        let c1 = (pricer.Search.price tree ids).Sne.cost in
+        let c2 = (pricer.Search.price tree ids).Sne.cost in
+        Alcotest.check fl "same cost" c1 c2;
+        Alcotest.(check int) "one solve" 1 (Atomic.get pricer.Search.solves);
+        Alcotest.(check int) "one hit" 1 (pricer.Search.cache_hits ()));
+    Alcotest.test_case "AoN budget boundaries on the quickstart instance" `Quick
+      (fun () ->
+        let graph = quickstart_graph () in
+        let spec = Gm.broadcast ~graph ~root:0 in
+        let mst_ids = Option.get (G.mst_kruskal graph) in
+        let mst = G.Tree.of_edge_ids graph ~root:0 mst_ids in
+        let r = Snd.Aon.solve_exact spec mst in
+        Alcotest.(check bool) "optimal" true r.Snd.Aon.optimal;
+        Alcotest.(check bool) "MST needs subsidies" true (r.Snd.Aon.cost > 0.0);
+        (* Budget exactly the AoN pricing of the optimum buys the MST... *)
+        (match Snd.exact_small_aon ~graph ~root:0 ~budget:r.Snd.Aon.cost () with
+        | Some d ->
+            Alcotest.(check (list int)) "exact budget buys the MST" mst_ids d.Snd.tree_edges;
+            Alcotest.check fl "at its AoN cost" r.Snd.Aon.cost d.Snd.subsidy_cost
+        | None -> Alcotest.fail "exact budget must be feasible");
+        (* ...while a budget just below it forces a heavier design. *)
+        (match Snd.exact_small_aon ~graph ~root:0 ~budget:(r.Snd.Aon.cost -. 0.01) () with
+        | Some d ->
+            Alcotest.(check bool) "short budget buys a heavier tree" true
+              (d.Snd.weight > G.total_weight graph mst_ids)
+        | None -> Alcotest.fail "a Nash tree is always affordable");
+        (* Budget zero: the best unsubsidized equilibrium tree. *)
+        (match Snd.exact_small_aon ~graph ~root:0 ~budget:0.0 () with
+        | Some d ->
+            Alcotest.check fl "zero budget costs nothing" 0.0 d.Snd.subsidy_cost;
+            let best_eq =
+              (Gm.Exact.equilibrium_landscape ~graph ~root:0).Gm.Exact.best_equilibrium
+            in
+            Alcotest.check fl "and is the best Nash tree" (fst (Option.get best_eq))
+              d.Snd.weight
+        | None -> Alcotest.fail "budget 0 is feasible on connected instances");
+        (* Budget zero on a disconnected graph: no spanning tree at all. *)
+        let disconnected = G.create ~n:3 [ (0, 1, 1.0) ] in
+        Alcotest.(check bool) "disconnected is infeasible" true
+          (Snd.exact_small_aon ~graph:disconnected ~root:0 ~budget:0.0 () = None));
+    Alcotest.test_case "exact-rational engine equals brute on a shortcut chain" `Quick
+      (fun () ->
+        let module GR = SndR.G in
+        let two = Q.of_int 2 and seven_halves = Q.of_ints 7 2 in
+        let graph =
+          GR.create ~n:4
+            [ (0, 1, two); (1, 2, two); (2, 3, two); (0, 3, seven_halves) ]
+        in
+        let brute = SndR.pareto_frontier_brute ~graph ~root:0 in
+        let engine, _ = SearchR.pareto_frontier ~graph ~root:0 () in
+        Alcotest.(check int) "same size" (List.length brute) (List.length engine);
+        List.iter2
+          (fun (b : SndR.design) (e : SearchR.design) ->
+            Alcotest.(check bool) "identical exact pairs" true
+              (Q.compare b.SndR.weight e.SearchR.weight = 0
+              && Q.compare b.SndR.subsidy_cost e.SearchR.subsidy_cost = 0
+              && b.SndR.tree_edges = e.SearchR.tree_edges))
+          brute engine);
+  ]
+
+let prop ?(count = 50) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
+
+let property_tests =
+  [
+    (* The acceptance bar: the engine returns the seed's design, verified
+       differentially over >= 200 random graphs x 3 budget regimes. *)
+    prop "exact_small equals the seed solver (220 random graphs)" ~count:220
+      (fun seed ->
+        let inst = random_instance seed in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        let mst_cost = mst_lp_cost spec ~root inst in
+        List.for_all
+          (fun budget ->
+            design_eq
+              (Snd.exact_small_brute ~graph ~root ~budget)
+              (fst (Search.exact_small ~graph ~root ~budget ())))
+          [ 0.0; 0.5 *. mst_cost; (2.0 *. mst_cost) +. 1.0 ]);
+    prop "parallel and unpruned configurations return the same design" ~count:40
+      (fun seed ->
+        let inst = random_instance seed in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        let budget = 0.5 *. mst_lp_cost spec ~root inst in
+        let reference = Snd.exact_small_brute ~graph ~root ~budget in
+        List.for_all
+          (fun config ->
+            design_eq reference (fst (Search.exact_small ~config ~graph ~root ~budget ())))
+          [
+            { Search.default_config with domains = 2 };
+            { Search.default_config with domains = 3; batch = 2 };
+            { Search.default_config with use_lb = false };
+            { Search.default_config with cache = 0 };
+          ]);
+    prop "pareto_frontier equals brute force on random graphs" ~count:25 (fun seed ->
+        let inst = random_instance ~lo:4 ~hi:6 seed in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let brute = Snd.pareto_frontier_brute ~graph ~root in
+        List.for_all
+          (fun config ->
+            let engine, _ = Search.pareto_frontier ~config ~graph ~root () in
+            List.length brute = List.length engine
+            && List.for_all2
+                 (fun (b : Snd.design) (e : Search.design) ->
+                   Fx.approx_eq b.Snd.weight e.Search.weight
+                   && Fx.approx_eq b.Snd.subsidy_cost e.Search.subsidy_cost)
+                 brute engine)
+          [ Search.default_config; { Search.default_config with domains = 2 } ]);
+    prop "enforcement lower bound is admissible" ~count:60 (fun seed ->
+        let inst = random_instance seed in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        G.Enumerate.by_weight graph |> Seq.take 8
+        |> Seq.for_all (fun (_, ids) ->
+               let tree = G.Tree.of_edge_ids graph ~root ids in
+               let lb = Lb.broadcast_enforcement_lb spec ~root tree in
+               let cost = (Sne.broadcast spec ~root tree).Sne.cost in
+               lb <= cost +. 1e-9));
+    prop "warm kernel pricer agrees with the functor backend" ~count:30 (fun seed ->
+        let inst = random_instance seed in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        let warm = Search.warm_kernel_pricer spec ~root in
+        G.Enumerate.by_weight graph |> Seq.take 10
+        |> Seq.for_all (fun (_, ids) ->
+               let tree = G.Tree.of_edge_ids graph ~root ids in
+               let reference = (Sne.broadcast spec ~root tree).Sne.cost in
+               Fx.approx_eq ~eps:1e-6 (warm.Search.price tree ids).Sne.cost reference));
+    prop "engine never prices more trees than brute enumerates" ~count:30 (fun seed ->
+        let inst = random_instance seed in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let total = G.Enumerate.count_spanning_trees graph in
+        let _, s_exact = Search.exact_small ~graph ~root ~budget:1.0 () in
+        let _, s_pareto = Search.pareto_frontier ~graph ~root () in
+        s_exact.Search.trees_priced <= total && s_pareto.Search.trees_priced <= total);
+  ]
+
+let suite = unit_tests @ property_tests

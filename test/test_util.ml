@@ -1,12 +1,17 @@
 (* Tests for the remaining utility modules: the binary heap, harmonic
-   numbers, float comparisons, tables, and the domain pool. *)
+   numbers, float comparisons, tables, the LRU cache, the domain pool
+   (including cooperative cancellation and the persistent worker pool),
+   and the plain-text instance serializer. *)
 
 module Heap = Repro_util.Heap
 module Harmonic = Repro_util.Harmonic
 module Fx = Repro_util.Floatx
 module Table = Repro_util.Table
+module Lru = Repro_util.Lru
 module Parallel = Repro_parallel.Parallel
 module Prng = Repro_util.Prng
+module Serial = Repro_core.Serial.Float
+module SerialR = Repro_core.Serial.Rat
 
 let unit_tests =
   [
@@ -99,6 +104,147 @@ let unit_tests =
         let v, dt = Parallel.timed (fun () -> 42) in
         Alcotest.(check int) "value" 42 v;
         Alcotest.(check bool) "non-negative time" true (dt >= 0.0));
+    Alcotest.test_case "poisoned sweep cancels siblings promptly" `Quick (fun () ->
+        (* One item raises; the others spin on the poll closure. Without
+           cooperative cancellation they would run their full 10 s deadline
+           and the sweep would take as long — the regression this guards
+           against. *)
+        let t0 = Unix.gettimeofday () in
+        (try
+           ignore
+             (Parallel.map_cancellable ~domains:4
+                (fun check x ->
+                  if x = 0 then begin
+                    (* Give siblings time to enter their spin loops. *)
+                    ignore (Unix.select [] [] [] 0.05);
+                    failwith "poison"
+                  end
+                  else begin
+                    let deadline = Unix.gettimeofday () +. 10.0 in
+                    while Unix.gettimeofday () < deadline do
+                      check ()
+                    done;
+                    failwith "worker was never cancelled"
+                  end)
+                (Array.init 8 (fun i -> i)));
+           Alcotest.fail "the poisoning exception must re-raise"
+         with Failure msg -> Alcotest.(check string) "poison wins" "poison" msg);
+        Alcotest.(check bool) "returned promptly" true (Unix.gettimeofday () -. t0 < 5.0));
+    Alcotest.test_case "pool runs several maps over the same domains" `Quick (fun () ->
+        let pool = Parallel.Pool.create ~domains:3 () in
+        Fun.protect
+          ~finally:(fun () -> Parallel.Pool.shutdown pool)
+          (fun () ->
+            Alcotest.(check bool) "size" true (Parallel.Pool.size pool >= 1);
+            let a = Array.init 50 (fun i -> i) in
+            let r1 = Parallel.Pool.map pool (fun x -> x + 1) a in
+            let r2 = Parallel.Pool.map pool (fun x -> x * x) a in
+            Alcotest.(check bool) "first map" true
+              (Array.for_all2 (fun x y -> y = x + 1) a r1);
+            Alcotest.(check bool) "second map" true
+              (Array.for_all2 (fun x y -> y = x * x) a r2);
+            Alcotest.(check int) "empty map" 0
+              (Array.length (Parallel.Pool.map pool (fun x -> x) [||]))));
+    Alcotest.test_case "pool re-raises worker exceptions and survives them" `Quick
+      (fun () ->
+        let pool = Parallel.Pool.create ~domains:3 () in
+        Fun.protect
+          ~finally:(fun () -> Parallel.Pool.shutdown pool)
+          (fun () ->
+            (try
+               ignore
+                 (Parallel.Pool.map pool
+                    (fun x -> if x = 7 then failwith "boom" else x)
+                    (Array.init 20 (fun i -> i)));
+               Alcotest.fail "expected failure"
+             with Failure msg -> Alcotest.(check string) "boom" "boom" msg);
+            (* The pool is still usable after a poisoned job. *)
+            let r = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+            Alcotest.(check bool) "recovered" true (r = [| 2; 3; 4 |])));
+    Alcotest.test_case "pool rejects maps after shutdown" `Quick (fun () ->
+        let pool = Parallel.Pool.create ~domains:2 () in
+        Parallel.Pool.shutdown pool;
+        Parallel.Pool.shutdown pool (* idempotent *);
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Parallel.Pool.map pool (fun x -> x) [| 1 |]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "incumbent keeps the best value under races" `Quick (fun () ->
+        let inc = Parallel.Incumbent.create ~better:(fun a b -> a < b) () in
+        Alcotest.(check bool) "empty" true (Parallel.Incumbent.get inc = None);
+        Alcotest.(check bool) "first improves" true (Parallel.Incumbent.improve inc 10);
+        Alcotest.(check bool) "worse does not" false (Parallel.Incumbent.improve inc 12);
+        Alcotest.(check bool) "better does" true (Parallel.Incumbent.improve inc 3);
+        Alcotest.(check bool) "value" true (Parallel.Incumbent.get inc = Some 3);
+        (* Hammer it from several domains; the minimum must win. *)
+        ignore
+          (Parallel.map ~domains:4
+             (fun x -> Parallel.Incumbent.improve inc x)
+             (Array.init 100 (fun i -> 100 - i)));
+        Alcotest.(check bool) "global min" true (Parallel.Incumbent.get inc = Some 1));
+    Alcotest.test_case "lru caches, refreshes and evicts" `Quick (fun () ->
+        Alcotest.check_raises "capacity must be positive"
+          (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+            ignore (Lru.create ~capacity:0));
+        let c = Lru.create ~capacity:2 in
+        Alcotest.(check (option int)) "miss" None (Lru.find c "a");
+        Lru.add c "a" 1;
+        Lru.add c "b" 2;
+        Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c "a");
+        (* "b" is now least recent; adding "c" evicts it. *)
+        Lru.add c "c" 3;
+        Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+        Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+        Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+        Alcotest.(check int) "length" 2 (Lru.length c);
+        Alcotest.(check int) "hits" 3 (Lru.hits c);
+        Alcotest.(check int) "misses" 2 (Lru.misses c);
+        Lru.add c "a" 7;
+        Alcotest.(check (option int)) "overwrite" (Some 7) (Lru.find c "a"));
+    Alcotest.test_case "serial round-trips through of_string/to_string" `Quick
+      (fun () ->
+        let text =
+          "# demo\nnodes 4\nroot 1\nedge 0 1 2\nedge 1 2 1/3\nedge 2 3 0.5\n\
+           edge 0 3 7\ntree 0 1 3\nsubsidy 2 3/4\n"
+        in
+        let t = Serial.of_string text in
+        (* The float stack quantizes decimal weights on parse, so compare
+           from the first emitted form onward: one more round trip must be
+           the identity. *)
+        let t' = Serial.of_string (Serial.to_string t) in
+        let t'' = Serial.of_string (Serial.to_string t') in
+        Alcotest.(check string) "fixed point" (Serial.to_string t') (Serial.to_string t'');
+        Alcotest.(check int) "root" 1 t'.Serial.root;
+        Alcotest.(check (option (list int))) "tree" (Some [ 0; 1; 3 ]) t'.Serial.tree_edge_ids;
+        (* The same text loads exactly into the rational stack too. *)
+        let r = SerialR.of_string text in
+        let r' = SerialR.of_string (SerialR.to_string r) in
+        Alcotest.(check string) "rational fixed point" (SerialR.to_string r)
+          (SerialR.to_string r'));
+    Alcotest.test_case "serial rejects malformed directives with line numbers" `Quick
+      (fun () ->
+        let rejects ~line text =
+          match Serial.of_string text with
+          | exception Failure msg ->
+              let prefix = Printf.sprintf "Serial line %d:" line in
+              if not (String.length msg >= String.length prefix
+                      && String.sub msg 0 (String.length prefix) = prefix)
+              then Alcotest.failf "wrong error %S for %S" msg text
+          | _ -> Alcotest.failf "accepted malformed input %S" text
+        in
+        rejects ~line:2 "nodes 3\nnodes 3 trailing garbage\n";
+        rejects ~line:2 "nodes 3\nroot 0 0\n";
+        rejects ~line:2 "nodes 3\nedge 0 1\n";
+        rejects ~line:2 "nodes 3\nedge 0 1 2 junk\n";
+        rejects ~line:2 "nodes 3\nedge 0 one 2\n";
+        rejects ~line:2 "nodes 3\ntree\n";
+        rejects ~line:2 "nodes 3\ntree 0 x\n";
+        rejects ~line:2 "nodes 3\nsubsidy 0\n";
+        rejects ~line:2 "nodes 3\nfrobnicate 1\n";
+        rejects ~line:3 "nodes 3\nedge 0 1 1\nedge 1 2 1/0\n";
+        (* Comments and blank lines are still fine. *)
+        ignore (Serial.of_string "# header\n\nnodes 2\nedge 0 1 1 # weight one\n"));
   ]
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
