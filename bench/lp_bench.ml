@@ -161,10 +161,69 @@ let bench_cutting_plane () =
   let cold_total = List.fold_left (fun a (_, c, _) -> a + c) 0 rows in
   (warm_total, cold_total, List.map (fun (_, _, j) -> j) rows)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: disabled-path overhead and a stats snapshot           *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Repro_obs.Obs
+
+(* Cost of one counter bump while observability is off — the only thing
+   the instrumentation adds to a pivot on the default path. *)
+let disabled_incr_ns () =
+  let c = Obs.counter "bench.scratch" in
+  let reps = 20_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    Obs.incr c
+  done;
+  1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let bench_obs () =
+  let n = if quick then 32 else 64 in
+  let inst = unstable_instance ~n ~extra:n (100 + n) in
+  let spec = Instances.spec inst in
+  let root = inst.Instances.root in
+  let tree = Instances.mst_tree inst in
+  let off_s = time_median (fun () -> SneFast.broadcast spec ~root tree) in
+  Obs.reset ();
+  (* One enabled solve to count the instrumentation events a solve fires
+     (pivot-loop counters dominate; spans and per-solve bumps are O(1)). *)
+  Obs.with_enabled true (fun () -> ignore (SneFast.broadcast spec ~root tree));
+  let v name = Obs.value (Obs.counter name) in
+  let events = v "lp.pivots" + v "lp.dual_pivots" + 8 in
+  let incr_ns = disabled_incr_ns () in
+  let overhead_pct = float_of_int events *. incr_ns /. (off_s *. 1e9) *. 100.0 in
+  Obs.reset ();
+  let on_s =
+    Obs.with_enabled true (fun () ->
+        time_median (fun () -> SneFast.broadcast spec ~root tree))
+  in
+  let stats = Obs.stats_json () in
+  Printf.printf
+    "\nobs overhead (n=%d): %d events/solve x %.2fns disabled bump = %.4f%% of a \
+     %.3fms solve; enabled/disabled wall ratio %.3f\n"
+    n events incr_ns overhead_pct (1e3 *. off_s) (on_s /. off_s);
+  if overhead_pct >= 2.0 then
+    Printf.eprintf "WARNING: disabled-path obs overhead %.2f%% exceeds the 2%% budget\n"
+      overhead_pct;
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ("events_per_solve", Json.Int events);
+      ("disabled_incr_ns", Json.Float incr_ns);
+      ("solve_ms_disabled", Json.Float (1e3 *. off_s));
+      ("solve_ms_enabled", Json.Float (1e3 *. on_s));
+      ("enabled_ratio", Json.Float (on_s /. off_s));
+      ("disabled_overhead_pct", Json.Float overhead_pct);
+      ("within_budget", Json.Bool (overhead_pct < 2.0));
+      ("stats", stats);
+    ]
+
 let () =
   Printf.printf "LP backend benchmarks (%s mode)\n" (if quick then "quick" else "full");
   let kernel = bench_kernel () in
   let warm_total, cold_total, cp_rows = bench_cutting_plane () in
+  let obs = bench_obs () in
   let n64_speedup =
     List.fold_left
       (fun acc row ->
@@ -194,6 +253,7 @@ let () =
              ] );
          ("kernel", Json.List kernel);
          ("cutting_plane", Json.List cp_rows);
+         ("obs", obs);
          ( "summary",
            Json.Obj
              [

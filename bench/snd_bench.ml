@@ -234,12 +234,33 @@ let bench_pricers () =
     runs
 
 (* ------------------------------------------------------------------ *)
+(* Observability snapshot: one instrumented frontier run                *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Repro_obs.Obs
+
+let bench_obs () =
+  let n, extra = if quick then (8, 3) else (10, 4) in
+  let inst = unstable_instance ~n ~extra 7 in
+  let graph = inst.Instances.graph and root = inst.Instances.root in
+  Obs.reset ();
+  let (_, stats) =
+    Obs.with_enabled true (fun () -> Search.pareto_frontier ~graph ~root ())
+  in
+  (* The registry must agree with the engine's own stats record, or the
+     snapshot is lying. *)
+  let v name = Obs.value (Obs.counter name) in
+  if v "snd.trees_priced" <> stats.Search.trees_priced
+     || v "snd.trees_seen" <> stats.Search.trees_seen then
+    failwith "snd_bench: obs registry disagrees with engine stats";
+  Json.Obj [ ("n", Json.Int n); ("stats", Obs.stats_json ()) ]
 
 let () =
   Printf.printf "SND engine benchmarks (%s mode)\n" (if quick then "quick" else "full");
   let ratio, frontier = bench_frontier () in
   let max_brute, max_engine, scaling = bench_scaling () in
   let pricers = bench_pricers () in
+  let obs = bench_obs () in
   Printf.printf
     "\nsummary: frontier LP-solve reduction %.1fx (target >= 5x); exact_small within deadline: brute n<=%d, engine n<=%d\n"
     ratio max_brute max_engine;
@@ -255,6 +276,7 @@ let () =
          ("frontier", frontier);
          ("scaling", Json.List scaling);
          ("pricers", Json.List pricers);
+         ("obs", obs);
          ( "summary",
            Json.Obj
              [

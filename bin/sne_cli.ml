@@ -42,6 +42,42 @@ let file_arg =
            ~doc:"Load the instance from FILE (see lib/core/serial.ml for the \
                  format) instead of generating one.")
 
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the observability report (counters, gauges, span tree) \
+                 after the run.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Write the span-tree trace as JSON to FILE.")
+
+(* Every subcommand body runs under this wrapper: enable the observability
+   registry when --stats/--trace ask for it, run the body, emit the report
+   and/or trace file, and only then turn [Error] into exit code 1 — so a
+   failing run still ships its evidence. *)
+let with_obs show_stats trace f =
+  let module Obs = Repro_obs.Obs in
+  let wanted = show_stats || trace <> None in
+  if wanted then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
+  let r = f () in
+  if wanted then begin
+    Obs.set_enabled false;
+    if show_stats then print_string (Obs.render_stats ());
+    match trace with
+    | Some path -> Repro_util.Bench_json.write_file ~path (Obs.trace_json ())
+    | None -> ()
+  end;
+  match r with
+  | Ok () -> ()
+  | Error msg ->
+      flush stdout;
+      prerr_endline ("sne_cli: " ^ msg);
+      exit 1
+
 (* Either the instance from --file, or a generated one. Returns
    (graph, root, target tree). *)
 let resolve_instance file seed n extra =
@@ -70,43 +106,59 @@ let solve_cmd =
                    (cutting plane), thm6 (Theorem 6 construction), \
                    aon-exact, aon-greedy.")
   in
-  let run seed n extra meth file =
+  let max_rounds_arg =
+    Arg.(value & opt int 500
+         & info [ "max-rounds" ] ~docv:"R"
+             ~doc:"Cutting-plane round limit (cut method only).")
+  in
+  let run seed n extra meth max_rounds file show_stats trace =
+    with_obs show_stats trace @@ fun () ->
     let graph, root, tree = resolve_instance file seed n extra in
     let spec = Gm.broadcast ~graph ~root in
     let w = G.Tree.total_weight tree in
     Printf.printf "instance: %s, %d nodes, %d edges, root %d, target tree weight %.3f\n"
       (match file with Some p -> p | None -> Printf.sprintf "seed=%d" seed)
       (G.n_nodes graph) (G.n_edges graph) root w;
-    let subsidy, cost, label =
+    let subsidy, cost, label, failure =
       match meth with
       | `Lp3 ->
           let r = Sne.broadcast spec ~root tree in
-          (r.Sne.subsidy, r.Sne.cost, "LP (3)")
+          (r.Sne.subsidy, r.Sne.cost, "LP (3)", None)
       | `Lp2 ->
           let state = Gm.Broadcast.state_of_tree spec ~root tree in
           let r = Sne.poly spec ~state in
-          (r.Sne.subsidy, r.Sne.cost, "LP (2)")
+          (r.Sne.subsidy, r.Sne.cost, "LP (2)", None)
       | `Cut ->
           let state = Gm.Broadcast.state_of_tree spec ~root tree in
-          let r, stats = Sne.cutting_plane spec ~state in
+          let r, stats = Sne.cutting_plane ~max_rounds spec ~state in
           Printf.printf "cutting plane: %d rounds, %d constraints generated, %d pivots\n"
             stats.Sne.rounds stats.Sne.generated stats.Sne.pivots;
-          if not stats.Sne.converged then
-            Printf.printf
-              "WARNING: round limit reached with violated constraints outstanding — \
-               the printed subsidy may under-enforce; re-run with a higher limit\n";
-          (r.Sne.subsidy, r.Sne.cost, "LP (1) via cutting planes")
+          let failure =
+            if stats.Sne.converged then None
+            else
+              Some
+                "cutting plane hit the round limit with violated constraints \
+                 outstanding; the printed subsidy may under-enforce — re-run with \
+                 a higher --max-rounds"
+          in
+          (r.Sne.subsidy, r.Sne.cost, "LP (1) via cutting planes", failure)
       | `Thm6 ->
           let r = Enforce.subsidize_mst graph tree in
-          (r.Enforce.subsidy, r.Enforce.total, "Theorem 6 construction")
+          (r.Enforce.subsidy, r.Enforce.total, "Theorem 6 construction", None)
       | `AonExact ->
           let r = Aon.solve_exact spec tree in
           Printf.printf "branch-and-bound: %d nodes explored, optimal=%b\n"
             r.Aon.nodes_explored r.Aon.optimal;
-          (Aon.subsidy_of_chosen graph r.Aon.chosen, r.Aon.cost, "all-or-nothing (exact)")
+          ( Aon.subsidy_of_chosen graph r.Aon.chosen,
+            r.Aon.cost,
+            "all-or-nothing (exact)",
+            None )
       | `AonGreedy ->
           let r = Aon.greedy spec tree in
-          (Aon.subsidy_of_chosen graph r.Aon.chosen, r.Aon.cost, "all-or-nothing (greedy)")
+          ( Aon.subsidy_of_chosen graph r.Aon.chosen,
+            r.Aon.cost,
+            "all-or-nothing (greedy)",
+            None )
     in
     Printf.printf "%s: total subsidies %.4f (%.2f%% of the tree)\n" label cost
       (100.0 *. cost /. w);
@@ -118,17 +170,20 @@ let solve_cmd =
             (G.weight graph id) b)
       subsidy;
     Printf.printf "MST is an equilibrium under this plan: %b\n"
-      (Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree)
+      (Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree);
+    match failure with None -> Ok () | Some msg -> Error msg
   in
   Cmd.v (Cmd.info "solve" ~doc:"Enforce the target tree of a broadcast instance.")
-    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ method_arg $ file_arg)
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ method_arg $ max_rounds_arg
+          $ file_arg $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* landscape                                                         *)
 (* ---------------------------------------------------------------- *)
 
 let landscape_cmd =
-  let run seed n extra =
+  let run seed n extra show_stats trace =
+    with_obs show_stats trace @@ fun () ->
     if n > 12 then failwith "landscape enumerates all spanning trees; use n <= 12";
     let inst = make_instance seed n extra in
     let graph = inst.Instances.graph and root = inst.Instances.root in
@@ -144,13 +199,14 @@ let landscape_cmd =
     (match l.Gm.Exact.worst_equilibrium with
     | Some (w, _) -> Printf.printf "worst equilibrium: weight %.3f\n" w
     | None -> ());
-    match Gm.Exact.price_of_stability ~graph ~root with
+    (match Gm.Exact.price_of_stability ~graph ~root with
     | Some pos -> Printf.printf "price of stability: %.4f (H_n bound: %.4f)\n" pos
         (Repro_util.Harmonic.h (n - 1))
-    | None -> ()
+    | None -> ());
+    Ok ()
   in
   Cmd.v (Cmd.info "landscape" ~doc:"Exact equilibrium landscape of a small instance.")
-    Term.(const run $ seed_arg $ nodes_arg $ extra_arg)
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* lower-bound                                                       *)
@@ -164,8 +220,9 @@ let lower_bound_cmd =
   let max_n_arg =
     Arg.(value & opt int 128 & info [ "max-n" ] ~docv:"N" ~doc:"Largest instance size.")
   in
-  let run family max_n =
-    match family with
+  let run family max_n show_stats trace =
+    with_obs show_stats trace @@ fun () ->
+    (match family with
     | `Cycle ->
         let t = Table.create ~title:"Theorem 11: unit cycle" ~header:[ "n"; "ratio"; "1/e" ] in
         let n = ref 8 in
@@ -192,10 +249,11 @@ let lower_bound_cmd =
               Table.cell_f bound ];
           n := !n + 3
         done;
-        Table.print t
+        Table.print t);
+    Ok ()
   in
   Cmd.v (Cmd.info "lower-bound" ~doc:"Sweep one of the paper's lower-bound families.")
-    Term.(const run $ family_arg $ max_n_arg)
+    Term.(const run $ family_arg $ max_n_arg $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* reduction                                                         *)
@@ -206,8 +264,9 @@ let reduction_cmd =
     Arg.(value & opt (enum [ ("bypass", `Bypass); ("binpacking", `Bp); ("indepset", `Is); ("sat", `Sat) ]) `Bypass
          & info [ "which" ] ~docv:"RED" ~doc:"bypass, binpacking, indepset or sat.")
   in
-  let run which =
-    match which with
+  let run which show_stats trace =
+    with_obs show_stats trace @@ fun () ->
+    (match which with
     | `Bypass ->
         let module B = Repro_reductions.Bypass_gadget.Rat in
         for beta = 1 to 8 do
@@ -242,10 +301,11 @@ let reduction_cmd =
         let t = R.build f in
         let s = R.stats t in
         Printf.printf "gadget graph: %d nodes, %d edges; correspondence over all assignments: %b\n"
-          s.R.nodes s.R.edges (R.verify_all_assignments t)
+          s.R.nodes s.R.edges (R.verify_all_assignments t));
+    Ok ()
   in
   Cmd.v (Cmd.info "reduction" ~doc:"Build and verify one of the hardness reductions.")
-    Term.(const run $ which_arg)
+    Term.(const run $ which_arg $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* pareto                                                            *)
@@ -258,7 +318,8 @@ let engine_arg =
                  enumeration — the reference oracle).")
 
 let pareto_cmd =
-  let run seed n extra file engine =
+  let run seed n extra file engine show_stats trace =
+    with_obs show_stats trace @@ fun () ->
     let graph, root, _ = resolve_instance file seed n extra in
     if G.n_nodes graph > 12 then
       failwith "pareto enumerates all spanning trees; use n <= 12";
@@ -284,11 +345,13 @@ let pareto_cmd =
       frontier;
     Table.print t;
     Printf.printf "Theorem 6 budget wgt(MST)/e = %.3f always buys the MST.\n"
-      (mst_w /. Stdlib.exp 1.0)
+      (mst_w /. Stdlib.exp 1.0);
+    Ok ()
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"The budget/weight Pareto frontier of a small instance.")
-    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ file_arg $ engine_arg)
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ file_arg $ engine_arg
+          $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* design                                                            *)
@@ -308,7 +371,8 @@ let design_cmd =
     Arg.(value & flag
          & info [ "no-lb" ] ~doc:"Disable enforcement lower-bound pruning (debugging).")
   in
-  let run seed n extra file budget engine domains no_lb =
+  let run seed n extra file budget engine domains no_lb show_stats trace =
+    with_obs show_stats trace @@ fun () ->
     let graph, root, _ = resolve_instance file seed n extra in
     if G.n_nodes graph > 16 then failwith "design searches spanning trees; use n <= 16";
     let module Search = Repro_core.Snd_search.Float in
@@ -317,10 +381,11 @@ let design_cmd =
       (match file with Some p -> p | None -> Printf.sprintf "seed=%d" seed)
       (G.n_nodes graph) (G.n_edges graph) root budget;
     let describe = function
-      | None -> print_endline "no design within budget"
+      | None -> Error "no design within budget"
       | Some (edges, w, cost) ->
           Printf.printf "design: weight %.3f, enforcement cost %.4f, edges %s\n" w cost
-            (String.concat "," (List.map string_of_int edges))
+            (String.concat "," (List.map string_of_int edges));
+          Ok ()
     in
     match engine with
     | `Brute ->
@@ -333,29 +398,33 @@ let design_cmd =
           { Search.default_config with domains = max 1 domains; use_lb = not no_lb }
         in
         let d, s = Search.exact_small ~config ~graph ~root ~budget () in
-        describe
-          (Option.map
-             (fun (d : Search.design) ->
-               (d.Search.tree_edges, d.Search.weight, d.Search.subsidy_cost))
-             d);
+        let r =
+          describe
+            (Option.map
+               (fun (d : Search.design) ->
+                 (d.Search.tree_edges, d.Search.weight, d.Search.subsidy_cost))
+               d)
+        in
         Printf.printf
           "search: %d trees seen, %d priced, %d lb-pruned, %d incumbent-skips, %d cache \
            hits, %d nodes expanded\n"
           s.Search.trees_seen s.Search.trees_priced s.Search.lb_pruned
-          s.Search.incumbent_skips s.Search.cache_hits s.Search.nodes_expanded
+          s.Search.incumbent_skips s.Search.cache_hits s.Search.nodes_expanded;
+        r
   in
   Cmd.v
     (Cmd.info "design"
        ~doc:"Exact stable network design: the lightest tree enforceable within a budget.")
     Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ file_arg $ budget_arg
-          $ engine_arg $ domains_arg $ no_lb_arg)
+          $ engine_arg $ domains_arg $ no_lb_arg $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* dynamics                                                          *)
 (* ---------------------------------------------------------------- *)
 
 let dynamics_cmd =
-  let run seed n extra =
+  let run seed n extra show_stats trace =
+    with_obs show_stats trace @@ fun () ->
     let inst = make_instance seed n extra in
     let spec = Instances.spec inst in
     let tree = Instances.mst_tree inst in
@@ -368,10 +437,11 @@ let dynamics_cmd =
     Printf.printf "final social cost %.3f, potential %.3f, equilibrium=%b\n"
       (Gm.social_cost spec out.Gm.Dynamics.state)
       (Gm.potential spec out.Gm.Dynamics.state)
-      (Gm.is_equilibrium spec out.Gm.Dynamics.state)
+      (Gm.is_equilibrium spec out.Gm.Dynamics.state);
+    Ok ()
   in
   Cmd.v (Cmd.info "dynamics" ~doc:"Best-response dynamics from the MST.")
-    Term.(const run $ seed_arg $ nodes_arg $ extra_arg)
+    Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ stats_arg $ trace_arg)
 
 let () =
   let info =

@@ -22,6 +22,11 @@ module Make (F : Repro_field.Field.S) = struct
   module Gm = Repro_game.Game.Make (F)
   module G = Gm.G
   module Sne = Sne_lp.Make (F)
+  module Obs = Repro_obs.Obs
+
+  let c_solves = Obs.counter "aon.exact_solves"
+  let c_nodes = Obs.counter "aon.nodes_explored"
+  let c_truncated = Obs.counter "aon.truncated"
 
   type result = {
     chosen : bool array; (* per edge id: fully subsidized? *)
@@ -50,6 +55,8 @@ module Make (F : Repro_field.Field.S) = struct
       Fully subsidizing everything is always feasible, so a result always
       exists. *)
   let solve_exact ?(max_nodes = 2_000_000) spec (tree : G.Tree.t) =
+    Obs.incr c_solves;
+    Obs.span "aon.solve_exact" @@ fun () ->
     let graph = spec.Gm.graph in
     let candidates =
       G.Tree.edge_ids tree
@@ -90,6 +97,8 @@ module Make (F : Repro_field.Field.S) = struct
       end
     in
     go 0 F.zero;
+    Obs.add c_nodes !explored;
+    if !truncated then Obs.incr c_truncated;
     {
       chosen = best_chosen;
       cost = !best_cost;

@@ -30,6 +30,18 @@ module Make (F : Repro_field.Field.S) = struct
   module Sne = Sne_lp.Make (F)
   module Lb = Lower_bounds.Make (F)
   module Par = Repro_parallel.Parallel
+  module Obs = Repro_obs.Obs
+
+  let c_seen = Obs.counter "snd.trees_seen"
+  let c_priced = Obs.counter "snd.trees_priced"
+  let c_lb_pruned = Obs.counter "snd.lb_pruned"
+  let c_inc_skips = Obs.counter "snd.incumbent_skips"
+  let c_cache_hits = Obs.counter "snd.cache_hits"
+  let c_cache_misses = Obs.counter "snd.cache_misses"
+  let c_nodes = Obs.counter "snd.nodes_expanded"
+  let c_msts = Obs.counter "snd.msts_computed"
+  let c_batches = Obs.counter "snd.batches"
+  let c_batch_items = Obs.counter "snd.batch_items"
 
   type design = {
     tree_edges : int list;
@@ -58,6 +70,7 @@ module Make (F : Repro_field.Field.S) = struct
     price : G.Tree.t -> int list -> Sne.result;
     solves : int Atomic.t;
     cache_hits : unit -> int;
+    cache_misses : unit -> int;
   }
 
   let lp_pricer spec ~root =
@@ -70,6 +83,7 @@ module Make (F : Repro_field.Field.S) = struct
           Sne.broadcast spec ~root tree);
       solves;
       cache_hits = (fun () -> 0);
+      cache_misses = (fun () -> 0);
     }
 
   let cached_pricer ?(capacity = 256) inner =
@@ -93,6 +107,7 @@ module Make (F : Repro_field.Field.S) = struct
               r);
       solves = inner.solves;
       cache_hits = (fun () -> locked (fun () -> Repro_util.Lru.hits cache));
+      cache_misses = (fun () -> locked (fun () -> Repro_util.Lru.misses cache));
     }
 
   type config = {
@@ -114,6 +129,18 @@ module Make (F : Repro_field.Field.S) = struct
       nodes_expanded = 0;
       msts_computed = 0;
     }
+
+  (* Mirror one engine call's stats deltas into the process-wide registry
+     (no-ops while observability is off). *)
+  let record_stats (s : stats) ~misses =
+    Obs.add c_seen s.trees_seen;
+    Obs.add c_priced s.trees_priced;
+    Obs.add c_lb_pruned s.lb_pruned;
+    Obs.add c_inc_skips s.incumbent_skips;
+    Obs.add c_cache_hits s.cache_hits;
+    Obs.add c_cache_misses misses;
+    Obs.add c_nodes s.nodes_expanded;
+    Obs.add c_msts s.msts_computed
 
   (* The stream's total order: exact weight, then sorted edge ids. *)
   let beats (w, ids) (w', ids') =
@@ -160,10 +187,15 @@ module Make (F : Repro_field.Field.S) = struct
       let n = Array.length cands in
       if n = 0 then again := false
       else begin
+        (* snd.batch_items / (snd.batches * batch) = parallel occupancy:
+           how full the pricing rounds actually ran. *)
+        Obs.incr c_batches;
+        Obs.add c_batch_items n;
         let results =
-          match pool with
-          | None -> Array.map (fun c -> price (fun () -> ()) c) cands
-          | Some p -> Par.Pool.map_cancellable p price cands
+          Obs.span "snd.price_batch" (fun () ->
+              match pool with
+              | None -> Array.map (fun c -> price (fun () -> ()) c) cands
+              | Some p -> Par.Pool.map_cancellable p price cands)
         in
         Array.iteri (fun i r -> fold cands.(i) r) results
       end
@@ -174,12 +206,14 @@ module Make (F : Repro_field.Field.S) = struct
       the minimum-weight affordable class. Terminates as soon as the
       stream's weights exceed the incumbent's. *)
   let exact_small ?(config = default_config) ?pricer ~graph ~root ~budget () =
+    Obs.span "snd.exact_small" @@ fun () ->
     let spec = Gm.broadcast ~graph ~root in
     let pricer =
       match pricer with Some p -> p | None -> default_pricer config spec ~root
     in
     let solves0 = Atomic.get pricer.solves in
     let hits0 = pricer.cache_hits () in
+    let misses0 = pricer.cache_misses () in
     let ostats = G.Enumerate.fresh_stats () in
     let stream = ref (G.Enumerate.by_weight ~stats:ostats graph) in
     let seen = ref 0 and lb_pruned = ref 0 and inc_skips = ref 0 in
@@ -263,6 +297,7 @@ module Make (F : Repro_field.Field.S) = struct
             msts_computed = ostats.G.Enumerate.msts_computed;
           }
         in
+        record_stats stats ~misses:(pricer.cache_misses () - misses0);
         (!best, stats))
 
   (** The full (budget, weight) Pareto frontier, identical to the seed's
@@ -272,12 +307,14 @@ module Make (F : Repro_field.Field.S) = struct
       priced; once a zero-cost tree has been priced, every later tree is
       dominated and the stream stops. *)
   let pareto_frontier ?(config = default_config) ?pricer ~graph ~root () =
+    Obs.span "snd.pareto_frontier" @@ fun () ->
     let spec = Gm.broadcast ~graph ~root in
     let pricer =
       match pricer with Some p -> p | None -> default_pricer config spec ~root
     in
     let solves0 = Atomic.get pricer.solves in
     let hits0 = pricer.cache_hits () in
+    let misses0 = pricer.cache_misses () in
     let ostats = G.Enumerate.fresh_stats () in
     let stream = ref (G.Enumerate.by_weight ~stats:ostats graph) in
     let seen = ref 0 and lb_pruned = ref 0 in
@@ -387,6 +424,7 @@ module Make (F : Repro_field.Field.S) = struct
             msts_computed = ostats.G.Enumerate.msts_computed;
           }
         in
+        record_stats stats ~misses:(pricer.cache_misses () - misses0);
         (List.rev !frontier, stats))
 end
 
@@ -440,7 +478,13 @@ module Float = struct
       | K.Infeasible | K.Unbounded ->
           failwith "Snd_search.warm_kernel_pricer: LP (3) solve failed (bug)"
     in
-    { name = "lp3-warm"; price; solves; cache_hits = (fun () -> 0) }
+    {
+      name = "lp3-warm";
+      price;
+      solves;
+      cache_hits = (fun () -> 0);
+      cache_misses = (fun () -> 0);
+    }
 end
 
 module Rat = Make (Repro_field.Field.Rat)

@@ -37,13 +37,14 @@ module Make (F : Repro_field.Field.S) : sig
   (** A tree-pricing backend. [price tree ids] returns the minimum
       enforcement cost of [tree] (with [ids] its canonical sorted edge-id
       list); it must be pure and thread-safe. [solves] counts underlying LP
-      solves; [cache_hits ()] reports cache absorption (0 for uncached
-      pricers). *)
+      solves; [cache_hits ()] / [cache_misses ()] report cache absorption
+      (both 0 for uncached pricers), so hit rate is hits / (hits + misses). *)
   type pricer = {
     name : string;
     price : G.Tree.t -> int list -> Sne.result;
     solves : int Atomic.t;
     cache_hits : unit -> int;
+    cache_misses : unit -> int;
   }
 
   (** The reference pricer: one {!Sne_lp} LP (3) solve per call, on the

@@ -46,6 +46,17 @@ struct
 
   let solve_or_fail ~what p = ok_or_fail ~what (Lp.solve p)
 
+  (* Solver-level observability (Repro_obs registry; both field
+     instantiations share the same named counters). *)
+  module Obs = Repro_obs.Obs
+
+  let c_broadcast = Obs.counter "sne.broadcast_solves"
+  let c_weighted = Obs.counter "sne.weighted_broadcast_solves"
+  let c_poly = Obs.counter "sne.poly_solves"
+  let c_rounds = Obs.counter "sne.cut_rounds"
+  let c_cuts = Obs.counter "sne.cuts_generated"
+  let c_nonconverged = Obs.counter "sne.nonconverged"
+
   (* ---------------------------------------------------------------- *)
   (* LP (3): broadcast games, spanning-tree target                     *)
   (* ---------------------------------------------------------------- *)
@@ -126,9 +137,11 @@ struct
   (** Minimum-cost subsidies enforcing the spanning tree [tree] in the
       broadcast game [spec] rooted at [root]. *)
   let broadcast spec ~root (tree : G.Tree.t) =
-    let p, edge_of_var = broadcast_problem spec ~root tree in
-    let s = solve_or_fail ~what:"Sne_lp.broadcast" p in
-    broadcast_extract spec s edge_of_var
+    Obs.incr c_broadcast;
+    Obs.span "sne.broadcast" (fun () ->
+        let p, edge_of_var = broadcast_problem spec ~root tree in
+        let s = solve_or_fail ~what:"Sne_lp.broadcast" p in
+        broadcast_extract spec s edge_of_var)
 
   (* ---------------------------------------------------------------- *)
   (* Weighted broadcast LP: the Section 6 extension to weighted players *)
@@ -192,7 +205,10 @@ struct
         ~minimize:(List.init n_vars (fun k -> (k, F.one)))
         ~constraints:!constraints ~lower ~upper ()
     in
-    let s = solve_or_fail ~what:"Sne_lp.weighted_broadcast" p in
+    Obs.incr c_weighted;
+    let s = Obs.span "sne.weighted_broadcast" (fun () ->
+        solve_or_fail ~what:"Sne_lp.weighted_broadcast" p)
+    in
     let subsidy = Array.make m F.zero in
     Array.iteri
       (fun k id -> subsidy.(id) <- F.max F.zero (F.min s.Lp.values.(k) (G.weight graph id)))
@@ -220,25 +236,28 @@ struct
     let cold_pivots = ref 0 in
     let warm_state = ref None in
     let initial () =
-      let st, o = Lp.solve_incremental base in
-      if warm then warm_state := Some st else cold_pivots := Lp.pivots st;
-      ok_or_fail ~what o
+      Obs.span "sne.master" (fun () ->
+          let st, o = Lp.solve_incremental base in
+          if warm then warm_state := Some st else cold_pivots := Lp.pivots st;
+          ok_or_fail ~what o)
     in
     let apply_cuts cuts =
       generated := !generated + List.length cuts;
-      match !warm_state with
-      | Some st ->
-          let last =
-            List.fold_left (fun _ c -> Lp.add_constraint st c) Lp.Infeasible cuts
-          in
-          ok_or_fail ~what last
-      | None ->
-          cold_constraints := List.rev_append cuts !cold_constraints;
-          let st, o =
-            Lp.solve_incremental { base with Lp.constraints = !cold_constraints }
-          in
-          cold_pivots := !cold_pivots + Lp.pivots st;
-          ok_or_fail ~what o
+      Obs.add c_cuts (List.length cuts);
+      Obs.span "sne.master" (fun () ->
+          match !warm_state with
+          | Some st ->
+              let last =
+                List.fold_left (fun _ c -> Lp.add_constraint st c) Lp.Infeasible cuts
+              in
+              ok_or_fail ~what last
+          | None ->
+              cold_constraints := List.rev_append cuts !cold_constraints;
+              let st, o =
+                Lp.solve_incremental { base with Lp.constraints = !cold_constraints }
+              in
+              cold_pivots := !cold_pivots + Lp.pivots st;
+              ok_or_fail ~what o)
     in
     let total_pivots () =
       match !warm_state with Some st -> Lp.pivots st | None -> !cold_pivots
@@ -246,6 +265,7 @@ struct
     let rec loop round (s : Lp.solution) =
       let subsidy = clamp s in
       let finish converged =
+        if not converged then Obs.incr c_nonconverged;
         ( { subsidy; cost = s.Lp.objective },
           {
             rounds = round;
@@ -254,12 +274,14 @@ struct
             pivots = total_pivots ();
           } )
       in
-      match find_cuts ~subsidy with
+      match Obs.span "sne.separate" (fun () -> find_cuts ~subsidy) with
       | [] -> finish true
       | _ when round >= max_rounds -> finish false
-      | cuts -> loop (round + 1) (apply_cuts cuts)
+      | cuts ->
+          Obs.incr c_rounds;
+          loop (round + 1) (apply_cuts cuts)
     in
-    loop 0 (initial ())
+    Obs.span "sne.cutting_plane" (fun () -> loop 0 (initial ()))
 
   (* The box-only master: minimize total subsidies with 0 <= b_a <= w_a. *)
   let box_master graph =
@@ -335,6 +357,8 @@ struct
   (** Minimum-cost subsidies enforcing [state] in a general network design
       game, via the polynomial LP with shortest-path potentials. *)
   let poly spec ~(state : Gm.state) =
+    Obs.incr c_poly;
+    Obs.span "sne.poly" @@ fun () ->
     let graph = spec.Gm.graph in
     let m = G.n_edges graph in
     let n = G.n_nodes graph in

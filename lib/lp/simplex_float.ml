@@ -47,16 +47,54 @@ type outcome = Optimal of solution | Infeasible | Unbounded
 
 let name = "simplex-float-unboxed"
 
+(* Kernel-wide observability counters (Repro_obs registry; no-ops while
+   instrumentation is disabled). *)
+module Obs = Repro_obs.Obs
+
+let c_pivots = Obs.counter "lp.pivots"
+let c_phase1 = Obs.counter "lp.phase1_pivots"
+let c_phase2 = Obs.counter "lp.phase2_pivots"
+let c_dual = Obs.counter "lp.dual_pivots"
+let c_cold = Obs.counter "lp.cold_solves"
+let c_warm = Obs.counter "lp.warm_solves"
+let c_rebuilds = Obs.counter "lp.rebuilds"
+
+(* NaN poisons the Dantzig pricing comparisons silently ([d < !best] is
+   always false for NaN), so a non-finite coefficient can stall
+   entering-variable selection or return garbage labelled [Optimal].
+   Reject such models up front with a pinpointed error instead. *)
+let check_finite ~what ~where x =
+  if not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "%s: non-finite %s (%g)" what where x)
+
+let check_constr ~what (c : constr) =
+  List.iter
+    (fun (_, a) ->
+      check_finite ~what ~where:(Printf.sprintf "coefficient in constraint %S" c.label) a)
+    c.coeffs;
+  check_finite ~what ~where:(Printf.sprintf "rhs in constraint %S" c.label) c.rhs
+
 let make_problem ~n_vars ?(var_name = fun i -> Printf.sprintf "x%d" i) ~minimize
     ~constraints ~lower ~upper () =
+  let what = "Simplex_float.make_problem" in
   if Array.length lower <> n_vars || Array.length upper <> n_vars then
-    invalid_arg "Simplex_float.make_problem: bound arrays must have n_vars entries";
+    invalid_arg (what ^ ": bound arrays must have n_vars entries");
   let check_index (i, _) =
-    if i < 0 || i >= n_vars then
-      invalid_arg "Simplex_float.make_problem: variable out of range"
+    if i < 0 || i >= n_vars then invalid_arg (what ^ ": variable out of range")
   in
   List.iter check_index minimize;
   List.iter (fun c -> List.iter check_index c.coeffs) constraints;
+  List.iter (fun (i, a) ->
+      check_finite ~what ~where:(Printf.sprintf "objective coefficient of %s" (var_name i)) a)
+    minimize;
+  List.iter (check_constr ~what) constraints;
+  let check_bound which i = function
+    | Some x ->
+        check_finite ~what ~where:(Printf.sprintf "%s bound of %s" which (var_name i)) x
+    | None -> ()
+  in
+  Array.iteri (check_bound "lower") lower;
+  Array.iteri (check_bound "upper") upper;
   { n_vars; minimize; constraints; lower; upper; var_name }
 
 let nonneg n = (Array.make n (Some 0.0), Array.make n None)
@@ -134,7 +172,8 @@ let pivot st r c =
     Array.unsafe_set obj (1 + c) 0.0
   end;
   st.basis.(r) <- c;
-  st.n_pivots <- st.n_pivots + 1
+  st.n_pivots <- st.n_pivots + 1;
+  Obs.incr c_pivots
 
 (* ------------------------------------------------------------------ *)
 (* Primal simplex: Dantzig pricing, Bland fallback on degeneracy        *)
@@ -249,6 +288,7 @@ let dual st =
       if !enter < 0 then `Infeasible
       else begin
         pivot st r !enter;
+        Obs.incr c_dual;
         loop (iters + 1)
       end
     end
@@ -446,13 +486,16 @@ let build p =
           st.basis.(r) <- art))
     rewritten;
   let is_artificial j = j >= structural + n_slack in
+  Obs.incr c_cold;
   (* 4. Phase 1: minimize the sum of artificials. *)
   let infeasible = ref false in
   if n_art > 0 then begin
     set_objective st (fun j -> if is_artificial j then 1.0 else 0.0);
+    let before = st.n_pivots in
     (match primal st with
     | `Unbounded -> assert false (* bounded below by 0 *)
     | `Optimal -> if -.st.obj.(0) > phase1_tol then infeasible := true);
+    Obs.add c_phase1 (st.n_pivots - before);
     if not !infeasible then
       (* Drive residual zero-valued artificials out of the basis; redundant
          rows keep theirs, harmlessly, because artificial columns are barred
@@ -481,9 +524,11 @@ let build p =
     set_objective st (fun j -> if j < structural then cost.(j) else 0.0);
     st.degen_streak <- 0;
     st.bland <- false;
+    let before = st.n_pivots in
     (match primal st with
     | `Unbounded -> st.last <- Unbounded
     | `Optimal -> st.last <- extract st);
+    Obs.add c_phase2 (st.n_pivots - before);
     st
   end
 
@@ -565,6 +610,7 @@ let append_leq st acc rhs sgn =
 (* Cold rebuild of the whole state in place — the fallback when the dual
    simplex stalls or the previous outcome was Unbounded. *)
 let rebuild st =
+  Obs.incr c_rebuilds;
   let p =
     { st.prob with constraints = st.prob.constraints @ List.rev st.added }
   in
@@ -588,6 +634,7 @@ let add_constraint st c =
       if i < 0 || i >= st.prob.n_vars then
         invalid_arg "Simplex_float.add_constraint: variable out of range")
     c.coeffs;
+  check_constr ~what:"Simplex_float.add_constraint" c;
   st.added <- c :: st.added;
   match st.last with
   | Infeasible ->
@@ -598,6 +645,7 @@ let add_constraint st c =
          problem, so rebuild cold. *)
       rebuild st
   | Optimal _ -> (
+      Obs.incr c_warm;
       let acc, rhs = rewrite ~recover:st.recover ~structural:st.structural c in
       (match c.relation with
       | Leq -> append_leq st acc rhs 1.0
@@ -742,6 +790,7 @@ let solve_dual_incremental ?(hint = []) p =
   match build_dual ~hint p with
   | None -> solve_incremental p
   | Some (st, crashed) -> (
+      Obs.incr c_warm;
       match dual st with
       | `Stalled ->
           (* Numerical trouble; a cold two-phase solve is the safe answer. *)

@@ -1,0 +1,222 @@
+(* Process-wide metrics and tracing for the solver stack. See obs.mli for
+   the semantics; the implementation notes that matter:
+
+   - One shared [enabled] flag gates every event. The disabled path is a
+     single [Atomic.get] plus a branch, so instrumentation can live inside
+     pivot loops and worker domains without a measurable cost while off.
+   - Counters and gauges are individual [Atomic.t] cells found once by
+     name (under the registry mutex) and then updated lock-free — the
+     parallel pool's workers bump them concurrently.
+   - Spans keep a per-domain path stack in [Domain.DLS]; aggregation into
+     the global table happens once per span exit, under the mutex. Keys
+     are reversed paths (leaf first), which makes push/pop on the domain
+     stack O(1). *)
+
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let prev = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag prev) f
+
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c : int Atomic.t }
+
+let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counter_tbl name with
+      | Some c -> c
+      | None ->
+          let c = { c = Atomic.make 0 } in
+          Hashtbl.add counter_tbl name c;
+          c)
+
+let incr c = if Atomic.get flag then Atomic.incr c.c
+let add c n = if Atomic.get flag then ignore (Atomic.fetch_and_add c.c n)
+let value c = Atomic.get c.c
+
+type gauge = { g : float Atomic.t }
+
+let gauge_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt gauge_tbl name with
+      | Some g -> g
+      | None ->
+          let g = { g = Atomic.make 0.0 } in
+          Hashtbl.add gauge_tbl name g;
+          g)
+
+let set g x = if Atomic.get flag then Atomic.set g.g x
+
+let rec accumulate g x =
+  if Atomic.get flag then begin
+    let cur = Atomic.get g.g in
+    (* CAS on the box we just read: retried only under a genuine race. *)
+    if not (Atomic.compare_and_set g.g cur (cur +. x)) then accumulate g x
+  end
+
+let gauge_value g = Atomic.get g.g
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_cell = { mutable s_count : int; mutable s_total : float }
+
+(* Keyed by the reversed path: ["price"; "search"] is search > price. *)
+let span_tbl : (string list, span_cell) Hashtbl.t = Hashtbl.create 64
+let stack_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let span name f =
+  if not (Atomic.get flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let path = name :: !stack in
+    stack := path;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        (stack := match !stack with _ :: rest -> rest | [] -> []);
+        locked (fun () ->
+            match Hashtbl.find_opt span_tbl path with
+            | Some cell ->
+                cell.s_count <- cell.s_count + 1;
+                cell.s_total <- cell.s_total +. dt
+            | None -> Hashtbl.add span_tbl path { s_count = 1; s_total = dt }))
+      f
+  end
+
+type span_node = {
+  name : string;
+  count : int;
+  total_s : float;
+  children : span_node list;
+}
+
+(* Regroup the flat (path, cell) table into a tree. An interior path that
+   was never completed itself (only its children were) gets count 0. *)
+let rec build_tree items =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (path, data) ->
+      match path with
+      | [] -> ()
+      | hd :: rest ->
+          let own, subs =
+            match Hashtbl.find_opt tbl hd with
+            | Some x -> x
+            | None ->
+                let x = (ref None, ref []) in
+                Hashtbl.add tbl hd x;
+                order := hd :: !order;
+                x
+          in
+          if rest = [] then own := Some data else subs := (rest, data) :: !subs)
+    items;
+  !order
+  |> List.rev_map (fun name ->
+         let own, subs = Hashtbl.find tbl name in
+         let count, total_s = match !own with Some d -> d | None -> (0, 0.0) in
+         { name; count; total_s; children = build_tree !subs })
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let span_tree () =
+  let items =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun path cell acc -> (List.rev path, (cell.s_count, cell.s_total)) :: acc)
+          span_tbl [])
+  in
+  build_tree items
+
+(* ------------------------------------------------------------------ *)
+(* Reset and snapshots                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c 0) counter_tbl;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g 0.0) gauge_tbl;
+      Hashtbl.reset span_tbl)
+
+let counters () =
+  locked (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c) :: acc) counter_tbl [])
+  |> List.sort compare
+
+let gauges () =
+  locked (fun () ->
+      Hashtbl.fold (fun name g acc -> (name, Atomic.get g.g) :: acc) gauge_tbl [])
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let render_stats () =
+  let buf = Buffer.create 1024 in
+  let t = Repro_util.Table.create ~title:"observability counters" ~header:[ "counter"; "value" ] in
+  List.iter (fun (name, v) -> Repro_util.Table.add_row t [ name; Repro_util.Table.cell_i v ])
+    (counters ());
+  List.iter
+    (fun (name, v) -> Repro_util.Table.add_row t [ name; Repro_util.Table.cell_f ~digits:6 v ])
+    (gauges ());
+  Buffer.add_string buf (Repro_util.Table.render t);
+  (match span_tree () with
+  | [] -> ()
+  | roots ->
+      let st =
+        Repro_util.Table.create ~title:"span tree" ~header:[ "span"; "count"; "seconds" ]
+      in
+      let rec walk depth n =
+        Repro_util.Table.add_row st
+          [
+            String.make (2 * depth) ' ' ^ n.name;
+            Repro_util.Table.cell_i n.count;
+            Repro_util.Table.cell_f ~digits:6 n.total_s;
+          ];
+        List.iter (walk (depth + 1)) n.children
+      in
+      List.iter (walk 0) roots;
+      Buffer.add_string buf (Repro_util.Table.render st));
+  Buffer.contents buf
+
+let rec span_json n =
+  Repro_util.Bench_json.Obj
+    [
+      ("name", Repro_util.Bench_json.Str n.name);
+      ("count", Repro_util.Bench_json.Int n.count);
+      ("total_s", Repro_util.Bench_json.Float n.total_s);
+      ("children", Repro_util.Bench_json.List (List.map span_json n.children));
+    ]
+
+let trace_json () = Repro_util.Bench_json.List (List.map span_json (span_tree ()))
+
+let stats_json () =
+  Repro_util.Bench_json.Obj
+    [
+      ( "counters",
+        Repro_util.Bench_json.Obj
+          (List.map (fun (n, v) -> (n, Repro_util.Bench_json.Int v)) (counters ())) );
+      ( "gauges",
+        Repro_util.Bench_json.Obj
+          (List.map (fun (n, v) -> (n, Repro_util.Bench_json.Float v)) (gauges ())) );
+      ("spans", trace_json ());
+    ]

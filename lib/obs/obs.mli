@@ -1,0 +1,112 @@
+(** Unified solver observability: one process-wide registry of named
+    monotonic counters, float gauges and hierarchical wall-clock spans,
+    shared by every layer of the solver stack (the simplex kernels,
+    the cutting-plane loops, the SND search, the parallel pool).
+
+    {2 Enablement and the disabled fast path}
+
+    Instrumentation is {e disabled by default}: every [incr]/[add]/[set]
+    and every [span] first reads one shared atomic flag and returns
+    immediately when it is off, so instrumented hot paths cost one atomic
+    load plus a branch per event (measured by [bench/lp_bench.exe] and
+    recorded under ["obs_overhead"] in BENCH_lp.json; the budget is < 2%
+    of solve time). Handle creation ([counter]/[gauge]) is independent of
+    the flag — handles are cheap and are normally created once at module
+    initialization.
+
+    Enabling instrumentation must never change what a solver computes —
+    [test/test_obs.ml] runs the cutting-plane and SND-search entry points
+    with the flag on and off over random graphs and checks byte-identical
+    results.
+
+    {2 Domain-safety contract}
+
+    - Counters and gauges accumulate through [Atomic] operations only:
+      worker domains ({!Repro_parallel.Parallel.Pool}) report without
+      taking any lock.
+    - The span stack is per-domain ([Domain.DLS]), so concurrent spans in
+      different domains nest independently; a worker's span tree is rooted
+      at that domain's outermost span.
+    - Registration and span aggregation take a short global mutex, on
+      handle creation and span {e exit} only — never per counter event.
+    - [reset]/[set_enabled] are not synchronized against in-flight
+      workers; call them between solver runs, not during one. *)
+
+(** {1 Enablement} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** [with_enabled flag f] runs [f ()] with the flag set to [flag] and
+    restores the previous value afterwards (also on exceptions). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a
+
+(** Zero every counter and gauge and drop all recorded spans. The
+    registry keeps its handles: existing counters stay valid. *)
+val reset : unit -> unit
+
+(** {1 Counters and gauges} *)
+
+type counter
+
+(** [counter name] returns the process-wide counter registered under
+    [name], creating it at zero on first use (idempotent). *)
+val counter : string -> counter
+
+(** No-op while disabled. *)
+val incr : counter -> unit
+
+(** [add c n] bumps [c] by [n] ([n >= 0]; counters are monotonic while
+    the flag is up). No-op while disabled. *)
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+
+(** Overwrite the gauge. No-op while disabled. *)
+val set : gauge -> float -> unit
+
+(** Accumulate into the gauge (atomic CAS loop). No-op while disabled. *)
+val accumulate : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** {1 Spans} *)
+
+(** [span name f] times [f ()] and records the wall-clock duration under
+    the current domain's span path (so nested spans aggregate
+    hierarchically: ["snd.search" > "snd.price" > ...]). The duration is
+    recorded even when [f] raises. While disabled this is just [f ()]. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** One node of the aggregated span tree: total seconds and number of
+    completed invocations at this path, with children sorted by name. *)
+type span_node = {
+  name : string;
+  count : int;
+  total_s : float;
+  children : span_node list;
+}
+
+val span_tree : unit -> span_node list
+
+(** {1 Snapshots and emission} *)
+
+(** Every registered counter (zero or not), sorted by name. *)
+val counters : unit -> (string * int) list
+
+val gauges : unit -> (string * float) list
+
+(** Human-readable tables (counters + gauges, then the span tree),
+    rendered through {!Repro_util.Table}. *)
+val render_stats : unit -> string
+
+(** The machine-readable stats block embedded in BENCH_*.json:
+    [{"counters": {...}, "gauges": {...}, "spans": [...]}]. *)
+val stats_json : unit -> Repro_util.Bench_json.t
+
+(** The span tree alone, as written by [sne_cli --trace FILE]. *)
+val trace_json : unit -> Repro_util.Bench_json.t

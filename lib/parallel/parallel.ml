@@ -18,13 +18,25 @@
 
 exception Cancelled
 
+module Obs = Repro_obs.Obs
+
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* A [Cancelled] raised while the error cell is still empty did NOT come
+   from the poll closure (which only raises once the cell is set) — it came
+   from the user callback itself. Such a spurious [Cancelled] must poison
+   the sweep and re-raise in the caller; silently discarding it used to
+   leave a hole in [results] and crash the final [Option.get] with an
+   opaque [Invalid_argument]. The CAS covers both cases at once: a
+   cooperative [Cancelled] (cell already set) loses the race and is
+   discarded; a spurious one (cell empty) wins it and poisons the sweep
+   like any other exception. *)
+let record_item_exn ~error e = ignore (Atomic.compare_and_set error None (Some e))
 
 (* The shared work loop: claim indices until the array is exhausted or a
    sibling has recorded an error. [f] receives a poll closure raising
    [Cancelled] when the sweep is poisoned, so cooperative items can bail
-   mid-computation; [Cancelled] itself never wins the error cell race
-   (the poisoning exception does). *)
+   mid-computation. *)
 let run_sweep ~error ~next ~results f a =
   let n = Array.length a in
   let check () = if Atomic.get error <> None then raise Cancelled in
@@ -34,8 +46,7 @@ let run_sweep ~error ~next ~results f a =
       if i < n then begin
         (match f check a.(i) with
         | v -> results.(i) <- Some v
-        | exception Cancelled -> ()
-        | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+        | exception e -> record_item_exn ~error e);
         work ()
       end
     end
@@ -126,23 +137,36 @@ module Pool = struct
     mutable workers : unit Domain.t list;
   }
 
+  (* Pool observability: items claimed across all jobs, wall-clock seconds
+     workers spent inside jobs, and items aborted by cancellation. All
+     atomic — workers report without touching the pool mutex. *)
+  let c_items = Obs.counter "pool.items"
+  let c_cancellations = Obs.counter "pool.cancellations"
+  let g_busy = Obs.gauge "pool.busy_s"
+
   let run_job pool (Job j) =
     Atomic.incr j.inflight;
+    let t0 = Unix.gettimeofday () in
     let n = Array.length j.data in
     let check () = if Atomic.get j.error <> None then raise Cancelled in
     let rec work () =
       if Atomic.get j.error = None then begin
         let i = Atomic.fetch_and_add j.next 1 in
         if i < n then begin
+          Obs.incr c_items;
+          (* Same unpoisoned-[Cancelled] contract as [run_sweep]. *)
           (match j.f check j.data.(i) with
           | v -> j.results.(i) <- Some v
-          | exception Cancelled -> ()
-          | exception e -> ignore (Atomic.compare_and_set j.error None (Some e)));
+          | exception Cancelled ->
+              Obs.incr c_cancellations;
+              record_item_exn ~error:j.error Cancelled
+          | exception e -> record_item_exn ~error:j.error e);
           work ()
         end
       end
     in
     work ();
+    Obs.accumulate g_busy (Unix.gettimeofday () -. t0);
     Atomic.decr j.inflight;
     Mutex.lock pool.mutex;
     Condition.broadcast pool.work_done;

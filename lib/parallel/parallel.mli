@@ -8,7 +8,12 @@
 (** Raised inside a worker item by the poll closure of
     {!map_cancellable} / {!Pool.map_cancellable} when a sibling worker has
     already poisoned the sweep; the item's result is discarded and the
-    original exception is re-raised in the caller. *)
+    original exception is re-raised in the caller. If the user callback
+    raises [Cancelled] on its own while the sweep is {e not} poisoned, the
+    sweep treats it like any other exception: siblings cancel and
+    [Cancelled] re-raises in the caller (it used to be swallowed, leaving
+    a hole in the result array and crashing with an opaque
+    [Invalid_argument]). *)
 exception Cancelled
 
 (** [Domain.recommended_domain_count () - 1], at least 1. *)

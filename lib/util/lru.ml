@@ -55,6 +55,23 @@ let find t k =
       push_front t n;
       Some n.value
 
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table k
+
+(* Drops entries AND zeroes the hit/miss counters: the observability layer
+   calls this between engine runs, and stale counts from a previous run
+   would corrupt the new run's hit rate. *)
+let clear t =
+  Hashtbl.reset t.table;
+  t.first <- None;
+  t.last <- None;
+  t.hits <- 0;
+  t.misses <- 0
+
 let add t k v =
   match Hashtbl.find_opt t.table k with
   | Some n ->

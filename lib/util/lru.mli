@@ -16,8 +16,20 @@ val length : ('k, 'v) t -> int
 val find : ('k, 'v) t -> 'k -> 'v option
 
 (** Insert or overwrite; evicts the least recently used entry when over
-    capacity. *)
+    capacity. Overwriting refreshes recency but is not a lookup — only
+    {!find} moves the hit/miss counters, so [hits + misses] is exactly the
+    number of [find] calls. *)
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 
+(** Drop [k] if present (no counter movement); no-op otherwise. *)
+val remove : ('k, 'v) t -> 'k -> unit
+
+(** Drop every entry and zero the hit/miss counters — a fresh cache for
+    the next engine run, without re-allocating. *)
+val clear : ('k, 'v) t -> unit
+
+(** Number of {!find} calls that returned an entry. *)
 val hits : ('k, 'v) t -> int
+
+(** Number of {!find} calls that returned [None]. *)
 val misses : ('k, 'v) t -> int

@@ -101,3 +101,41 @@ The frontier is identical through either engine:
   | 0               | 8.6000        | +13.2%          |
   +-----------------+---------------+-----------------+
   Theorem 6 budget wgt(MST)/e = 2.796 always buys the MST.
+
+A cutting-plane run that exhausts its round limit fails loudly (the
+printed subsidy may under-enforce), instead of the old silent exit 0:
+
+  $ sne_cli solve --seed 3 -n 9 --method cut --max-rounds 0
+  instance: seed=3, 9 nodes, 14 edges, root 3, target tree weight 21.000
+  cutting plane: 0 rounds, 0 constraints generated, 0 pivots
+  LP (1) via cutting planes: total subsidies 0.0000 (0.00% of the tree)
+  MST is an equilibrium under this plan: false
+  sne_cli: cutting plane hit the round limit with violated constraints outstanding; the printed subsidy may under-enforce — re-run with a higher --max-rounds
+  [1]
+
+An unaffordable budget is an error, not a quiet empty answer:
+
+  $ sne_cli design --file ../../instances/twin_hubs.inst --budget=-1
+  instance: ../../instances/twin_hubs.inst, 7 nodes, 10 edges, root 0, budget -1.000
+  search: 64 trees seen, 0 priced, 64 lb-pruned, 0 incumbent-skips, 0 cache hits, 64 nodes expanded
+  sne_cli: no design within budget
+  [1]
+
+A converged solve still exits 0 with --stats, and the report includes the
+solver counters:
+
+  $ sne_cli solve --seed 3 -n 9 --stats | grep -o "sne.broadcast_solves"
+  sne.broadcast_solves
+
+  $ sne_cli design --file ../../instances/twin_hubs.inst --budget 0.5 --stats | grep -oE "snd.trees_priced +\| 5"
+  snd.trees_priced              | 5
+
+--trace writes the span tree as JSON:
+
+  $ sne_cli solve --seed 3 -n 9 --trace trace.json >/dev/null && grep -o '"name": "sne.broadcast"' trace.json
+  "name": "sne.broadcast"
+
+A failing run still emits its stats before the nonzero exit:
+
+  $ sne_cli solve --seed 3 -n 9 --method cut --max-rounds 0 --stats 2>/dev/null | grep -o "sne.nonconverged"
+  sne.nonconverged

@@ -456,6 +456,64 @@ let kernel_unit_tests =
                ())
         in
         Alcotest.check fl "objective" (-0.05) (uf_expect_optimal (UF.solve p)).UF.objective);
+    Alcotest.test_case "kernel: rejects non-finite input up front" `Quick (fun () ->
+        (* NaN used to slip through and silently corrupt Dantzig pricing
+           (d < best is always false for NaN); the kernel now fails fast at
+           construction. *)
+        let expect_invalid what f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.failf "%s: non-finite value accepted" what
+        in
+        let free n = Array.make n None in
+        expect_invalid "objective NaN" (fun () ->
+            UF.make_problem ~n_vars:2 ~minimize:[ (0, Float.nan) ] ~constraints:[]
+              ~lower:(free 2) ~upper:(free 2) ());
+        expect_invalid "constraint coeff inf" (fun () ->
+            UF.make_problem ~n_vars:2 ~minimize:[ (0, 1.0) ]
+              ~constraints:[ uf_leq [ (1, Float.infinity) ] 1.0 ]
+              ~lower:(free 2) ~upper:(free 2) ());
+        expect_invalid "rhs NaN" (fun () ->
+            UF.make_problem ~n_vars:1 ~minimize:[ (0, 1.0) ]
+              ~constraints:[ uf_leq [ (0, 1.0) ] Float.nan ]
+              ~lower:(free 1) ~upper:(free 1) ());
+        expect_invalid "bound -inf" (fun () ->
+            UF.make_problem ~n_vars:1 ~minimize:[ (0, 1.0) ] ~constraints:[]
+              ~lower:[| Some Float.neg_infinity |] ~upper:(free 1) ());
+        (* A warm-start cut must pass the same gate. *)
+        let p =
+          UF.make_problem ~n_vars:1 ~minimize:[ (0, 1.0) ] ~constraints:[]
+            ~lower:[| Some 0.0 |] ~upper:(free 1) ()
+        in
+        let st, _ = UF.solve_incremental p in
+        expect_invalid "warm cut NaN" (fun () ->
+            UF.add_constraint st (uf_geq [ (0, Float.nan) ] 0.0));
+        (* [None] bounds stay legal: free variables are not "non-finite". *)
+        ignore
+          (UF.make_problem ~n_vars:1 ~minimize:[ (0, 1.0) ] ~constraints:[]
+             ~lower:(free 1) ~upper:(free 1) ()));
+    Alcotest.test_case "kernel: non-finite edge weights rejected via Sne_lp" `Quick
+      (fun () ->
+        let module Gm = Repro_game.Game.Float_game in
+        let module G = Gm.G in
+        let module Sne = Repro_core.Sne_lp.Float in
+        (* NaN and +inf pass graph construction (sign nan = 0) and must be
+           stopped by the LP layer; -inf is already a "negative weight" to
+           [G.create]. Either way nothing non-finite reaches the pivot loop. *)
+        let check w =
+          let solve () =
+            let g = G.create ~n:3 [ (0, 1, 1.0); (1, 2, w); (0, 2, 1.0) ] in
+            let spec = Gm.broadcast ~graph:g ~root:0 in
+            let tree = G.Tree.of_edge_ids g ~root:0 [ 0; 1 ] in
+            Sne.broadcast spec ~root:0 tree
+          in
+          match solve () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.failf "edge weight %g accepted" w
+        in
+        check Float.nan;
+        check Float.infinity;
+        check Float.neg_infinity);
   ]
 
 (* Extra constraints to feed add_constraint in the incremental property. *)

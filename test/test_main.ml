@@ -6,6 +6,7 @@ let () =
       ("graph", Test_graph.suite);
       ("prng", Test_prng.suite);
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("lp", Test_lp.suite);
       ("warmstart", Test_warmstart.suite);
       ("game", Test_game.suite);

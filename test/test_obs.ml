@@ -1,0 +1,185 @@
+(* Tests for the observability subsystem (Repro_obs.Obs): registry
+   semantics (disabled no-ops, reset, name dedup), span aggregation into a
+   tree, domain-safety of counter updates, and the load-bearing guarantee
+   that turning instrumentation on never changes what any solver returns. *)
+
+module Obs = Repro_obs.Obs
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Sne = Repro_core.Sne_lp.Float
+module Search = Repro_core.Snd_search.Float
+module Instances = Repro_core.Instances
+module Parallel = Repro_parallel.Parallel
+
+(* Every test starts from a clean, disabled registry; [with_enabled]
+   restores the previous flag even when the body raises. *)
+let fresh () =
+  Obs.set_enabled false;
+  Obs.reset ()
+
+let unit_tests =
+  [
+    Alcotest.test_case "disabled instrumentation is inert" `Quick (fun () ->
+        fresh ();
+        let c = Obs.counter "obs.test.inert" in
+        let g = Obs.gauge "obs.test.inert_g" in
+        Obs.incr c;
+        Obs.add c 41;
+        Obs.set g 7.0;
+        Obs.accumulate g 1.0;
+        let v = Obs.span "obs.test.span" (fun () -> 42) in
+        Alcotest.(check int) "span passes the value through" 42 v;
+        Alcotest.(check int) "counter untouched" 0 (Obs.value c);
+        Alcotest.(check (float 0.0)) "gauge untouched" 0.0 (Obs.gauge_value g);
+        Alcotest.(check bool) "no spans recorded" true (Obs.span_tree () = []));
+    Alcotest.test_case "counters, gauges, reset and name dedup" `Quick (fun () ->
+        fresh ();
+        Obs.with_enabled true (fun () ->
+            let c = Obs.counter "obs.test.c" in
+            Obs.incr c;
+            Obs.add c 41;
+            Alcotest.(check int) "counter value" 42 (Obs.value c);
+            (* The registry hands back the same cell for the same name. *)
+            Obs.incr (Obs.counter "obs.test.c");
+            Alcotest.(check int) "deduped by name" 43 (Obs.value c);
+            let g = Obs.gauge "obs.test.g" in
+            Obs.set g 2.0;
+            Obs.accumulate g 0.5;
+            Alcotest.(check (float 1e-12)) "gauge value" 2.5 (Obs.gauge_value g);
+            Alcotest.(check bool) "snapshot lists the counter" true
+              (List.mem_assoc "obs.test.c" (Obs.counters ()));
+            Obs.reset ();
+            Alcotest.(check int) "reset zeroes counters" 0 (Obs.value c);
+            Alcotest.(check (float 0.0)) "reset zeroes gauges" 0.0 (Obs.gauge_value g)));
+    Alcotest.test_case "span tree nests and aggregates" `Quick (fun () ->
+        fresh ();
+        Obs.with_enabled true (fun () ->
+            Obs.span "outer" (fun () ->
+                Obs.span "inner" (fun () -> ());
+                Obs.span "inner" (fun () -> ()));
+            Obs.span "outer" (fun () -> ());
+            match Obs.span_tree () with
+            | [ { Obs.name = "outer"; count = 2; total_s; children = [ inner ] } ] ->
+                Alcotest.(check string) "child name" "inner" inner.Obs.name;
+                Alcotest.(check int) "child count" 2 inner.Obs.count;
+                Alcotest.(check bool) "parent time covers child" true
+                  (total_s >= inner.Obs.total_s)
+            | t -> Alcotest.failf "unexpected span tree (%d roots)" (List.length t)));
+    Alcotest.test_case "spans survive exceptions" `Quick (fun () ->
+        fresh ();
+        Obs.with_enabled true (fun () ->
+            (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+            match Obs.span_tree () with
+            | [ { Obs.name = "boom"; count = 1; _ } ] -> ()
+            | _ -> Alcotest.fail "raising span not recorded");
+        Alcotest.(check bool) "flag restored" false (Obs.enabled ()));
+    Alcotest.test_case "counters are domain-safe" `Quick (fun () ->
+        fresh ();
+        Obs.with_enabled true (fun () ->
+            let c = Obs.counter "obs.test.par" in
+            let g = Obs.gauge "obs.test.par_g" in
+            ignore
+              (Parallel.map ~domains:4
+                 (fun _ ->
+                   Obs.incr c;
+                   Obs.accumulate g 1.0)
+                 (Array.init 1000 (fun i -> i)));
+            Alcotest.(check int) "no lost increments" 1000 (Obs.value c);
+            Alcotest.(check (float 1e-9)) "no lost accumulations" 1000.0
+              (Obs.gauge_value g)));
+    Alcotest.test_case "emission includes registered names" `Quick (fun () ->
+        fresh ();
+        Obs.with_enabled true (fun () ->
+            Obs.incr (Obs.counter "obs.test.emit");
+            Obs.span "obs.test.espan" (fun () -> ()));
+        let contains hay needle =
+          let n = String.length needle in
+          let rec go i =
+            i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        let rendered = Obs.render_stats () in
+        Alcotest.(check bool) "table has the counter" true
+          (contains rendered "obs.test.emit");
+        Alcotest.(check bool) "table has the span" true
+          (contains rendered "obs.test.espan");
+        let json = Repro_util.Bench_json.to_string (Obs.stats_json ()) in
+        Alcotest.(check bool) "json has the counter" true (contains json "obs.test.emit");
+        Alcotest.(check bool) "json has the span" true (contains json "obs.test.espan"));
+    Alcotest.test_case "registry mirrors the engine's own stats" `Quick (fun () ->
+        fresh ();
+        let inst = Instances.random ~dist:(Instances.Integer 9) ~n:6 ~extra:3 ~seed:11 () in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        let budget =
+          0.5 *. (Sne.broadcast spec ~root (Instances.mst_tree inst)).Sne.cost
+        in
+        let _, stats =
+          Obs.with_enabled true (fun () -> Search.exact_small ~graph ~root ~budget ())
+        in
+        let v name = Obs.value (Obs.counter name) in
+        Alcotest.(check int) "trees_seen" stats.Search.trees_seen (v "snd.trees_seen");
+        Alcotest.(check int) "trees_priced" stats.Search.trees_priced (v "snd.trees_priced");
+        Alcotest.(check int) "lb_pruned" stats.Search.lb_pruned (v "snd.lb_pruned");
+        Alcotest.(check int) "incumbent_skips" stats.Search.incumbent_skips
+          (v "snd.incumbent_skips");
+        Alcotest.(check int) "cache_hits" stats.Search.cache_hits (v "snd.cache_hits");
+        Alcotest.(check int) "nodes_expanded" stats.Search.nodes_expanded
+          (v "snd.nodes_expanded");
+        (* The stream partition the engine already guarantees must also hold
+           in the registry's view. *)
+        Alcotest.(check int) "stream partition" (v "snd.trees_seen")
+          (v "snd.lb_pruned" + v "snd.incumbent_skips" + v "snd.trees_priced"
+          + v "snd.cache_hits");
+        (* Batch occupancy accounting: every priced-or-skipped candidate
+           went through some batch. *)
+        Alcotest.(check bool) "batches ran" true (v "snd.batches" > 0);
+        Alcotest.(check bool) "batch items cover candidates" true
+          (v "snd.batch_items" >= v "snd.trees_priced" + v "snd.cache_hits"))
+    ;
+  ]
+
+(* The tentpole guarantee: observability is pure reporting. For ~50 random
+   instances, running the cutting-plane SNE solver and the SND search with
+   the registry enabled must return byte-identical results to the disabled
+   runs (the records are floats/ints/lists only, so structural equality is
+   byte-level identity), and the counters it leaves behind must be sane. *)
+let prop name count gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let property_tests =
+  [
+    prop "enabling obs never changes solver results" 50 QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        fresh ();
+        let inst =
+          Instances.random ~dist:(Instances.Integer 9)
+            ~n:(5 + (seed mod 3))
+            ~extra:(2 + (seed mod 3))
+            ~seed ()
+        in
+        let graph = inst.Instances.graph and root = inst.Instances.root in
+        let spec = Instances.spec inst in
+        let tree = Instances.mst_tree inst in
+        let state = Gm.Broadcast.state_of_tree spec ~root tree in
+        let cut_off = Obs.with_enabled false (fun () -> Sne.cutting_plane spec ~state) in
+        let cut_on = Obs.with_enabled true (fun () -> Sne.cutting_plane spec ~state) in
+        let budget = 0.5 *. (Sne.broadcast spec ~root tree).Sne.cost in
+        let search_off =
+          Obs.with_enabled false (fun () -> Search.exact_small ~graph ~root ~budget ())
+        in
+        Obs.reset ();
+        let search_on =
+          Obs.with_enabled true (fun () -> Search.exact_small ~graph ~root ~budget ())
+        in
+        let _, s_on = search_on in
+        let v name = Obs.value (Obs.counter name) in
+        cut_off = cut_on && search_off = search_on
+        && v "snd.trees_seen" = s_on.Search.trees_seen
+        && v "snd.trees_priced" = s_on.Search.trees_priced
+        && v "sne.broadcast_solves" = s_on.Search.trees_priced
+        && Obs.value (Obs.counter "sne.cut_rounds") >= 0);
+  ]
+
+let suite = unit_tests @ property_tests

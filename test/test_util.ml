@@ -130,6 +130,42 @@ let unit_tests =
            Alcotest.fail "the poisoning exception must re-raise"
          with Failure msg -> Alcotest.(check string) "poison wins" "poison" msg);
         Alcotest.(check bool) "returned promptly" true (Unix.gettimeofday () -. t0 < 5.0));
+    Alcotest.test_case "spurious Cancelled poisons the sweep instead of crashing" `Quick
+      (fun () ->
+        (* A user callback raising [Cancelled] while no sibling has poisoned
+           the sweep used to be swallowed, leaving a hole in the result
+           array and crashing with Invalid_argument "option is None"; it
+           must poison the sweep and re-raise like any other exception. *)
+        (try
+           ignore
+             (Parallel.map_cancellable ~domains:2
+                (fun _check x -> if x = 3 then raise Parallel.Cancelled else x)
+                (Array.init 8 (fun i -> i)));
+           Alcotest.fail "expected Cancelled to re-raise"
+         with Parallel.Cancelled -> ());
+        (* Sequential path too: one domain, no siblings to blame. *)
+        try
+          ignore
+            (Parallel.map_cancellable ~domains:1
+               (fun _check _ -> raise Parallel.Cancelled)
+               [| 0 |]);
+          Alcotest.fail "expected Cancelled to re-raise sequentially"
+        with Parallel.Cancelled -> ());
+    Alcotest.test_case "pool: spurious Cancelled poisons the job and pool survives" `Quick
+      (fun () ->
+        let pool = Parallel.Pool.create ~domains:3 () in
+        Fun.protect
+          ~finally:(fun () -> Parallel.Pool.shutdown pool)
+          (fun () ->
+            (try
+               ignore
+                 (Parallel.Pool.map_cancellable pool
+                    (fun _check x -> if x = 5 then raise Parallel.Cancelled else x)
+                    (Array.init 16 (fun i -> i)));
+               Alcotest.fail "expected Cancelled to re-raise"
+             with Parallel.Cancelled -> ());
+            let r = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2 |] in
+            Alcotest.(check bool) "pool still works" true (r = [| 2; 3 |])));
     Alcotest.test_case "pool runs several maps over the same domains" `Quick (fun () ->
         let pool = Parallel.Pool.create ~domains:3 () in
         Fun.protect
@@ -202,6 +238,49 @@ let unit_tests =
         Alcotest.(check int) "misses" 2 (Lru.misses c);
         Lru.add c "a" 7;
         Alcotest.(check (option int)) "overwrite" (Some 7) (Lru.find c "a"));
+    Alcotest.test_case "lru capacity-1 eviction order" `Quick (fun () ->
+        (* The degenerate cache: every insert of a new key evicts the sole
+           resident, and first/last always point at the same node. *)
+        let c = Lru.create ~capacity:1 in
+        Lru.add c "a" 1;
+        Lru.add c "b" 2;
+        Alcotest.(check (option int)) "a evicted" None (Lru.find c "a");
+        Alcotest.(check (option int)) "b resident" (Some 2) (Lru.find c "b");
+        Lru.add c "b" 9;
+        Alcotest.(check (option int)) "overwrite keeps residency" (Some 9) (Lru.find c "b");
+        Alcotest.(check int) "length stays 1" 1 (Lru.length c);
+        Lru.add c "c" 3;
+        Alcotest.(check (option int)) "b evicted in turn" None (Lru.find c "b");
+        Alcotest.(check (option int)) "c resident" (Some 3) (Lru.find c "c"));
+    Alcotest.test_case "lru remove and clear" `Quick (fun () ->
+        let c = Lru.create ~capacity:3 in
+        Lru.add c "a" 1;
+        Lru.add c "b" 2;
+        Lru.remove c "nope" (* no-op *);
+        Lru.remove c "a";
+        Alcotest.(check int) "length after remove" 1 (Lru.length c);
+        Alcotest.(check (option int)) "removed is gone" None (Lru.find c "a");
+        Alcotest.(check (option int)) "other survives" (Some 2) (Lru.find c "b");
+        (* Removing the recency-list head/tail must not corrupt the links:
+           fill up, remove the middle, and evict through the rest. *)
+        Lru.add c "c" 3;
+        Lru.add c "d" 4;
+        Lru.remove c "c";
+        Lru.add c "e" 5;
+        Lru.add c "f" 6 (* evicts "b", the least recent *);
+        Alcotest.(check (option int)) "evicted after remove" None (Lru.find c "b");
+        Alcotest.(check bool) "survivors intact" true
+          (Lru.find c "d" = Some 4 && Lru.find c "e" = Some 5 && Lru.find c "f" = Some 6);
+        let h, m = (Lru.hits c, Lru.misses c) in
+        Alcotest.(check bool) "counters moved" true (h > 0 && m > 0);
+        Lru.clear c;
+        Alcotest.(check int) "cleared length" 0 (Lru.length c);
+        Alcotest.(check int) "cleared hits" 0 (Lru.hits c);
+        Alcotest.(check int) "cleared misses" 0 (Lru.misses c);
+        (* The cache is fully usable after clear. *)
+        Lru.add c "x" 7;
+        Alcotest.(check (option int)) "usable after clear" (Some 7) (Lru.find c "x");
+        Alcotest.(check int) "fresh accounting" 1 (Lru.hits c));
     Alcotest.test_case "serial round-trips through of_string/to_string" `Quick
       (fun () ->
         let text =
