@@ -22,8 +22,13 @@ module Fx = Repro_util.Floatx
 (* The functorized float path (cold oracle) vs the unboxed kernel. *)
 module SneFunctor = Repro_core.Sne_lp.Make (Repro_field.Field.Float_field)
 module SneFast = Repro_core.Sne_lp.Float
+module SneSparse = Repro_core.Sne_lp.Float_sparse
+module Parallel = Repro_parallel.Parallel
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
+(* --smoke: the CI gate. Smallest sizes, but still exercises every backend
+   pair and hard-fails on any disagreement; speed targets only warn. *)
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 
 let json_path =
   let path = ref "BENCH_lp.json" in
@@ -162,10 +167,128 @@ let bench_cutting_plane () =
   (warm_total, cold_total, List.map (fun (_, _, j) -> j) rows)
 
 (* ------------------------------------------------------------------ *)
-(* Observability: disabled-path overhead and a stats snapshot           *)
+(* Sparse revised kernel vs dense, and serial vs parallel separation    *)
 (* ------------------------------------------------------------------ *)
 
 module Obs = Repro_obs.Obs
+
+(* Eta-file refactorization count for one sparse cutting-plane run, read
+   off the lp.sparse.* observability counters. *)
+let sparse_refactors f =
+  Obs.reset ();
+  Obs.with_enabled true (fun () -> ignore (f ()));
+  let r = Obs.value (Obs.counter "lp.sparse.refactors") in
+  Obs.reset ();
+  r
+
+let sparse_instance n =
+  let inst =
+    Instances.random ~dist:(Instances.Heavy_tailed 10.0) ~n ~extra:n ~seed:(300 + n) ()
+  in
+  let spec = Instances.spec inst in
+  let tree = anti_mst_tree inst in
+  let state = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+  (inst, spec, state)
+
+let bench_sparse () =
+  Printf.printf "\ndense vs sparse cutting plane (warm, anti-MST targets)\n";
+  Printf.printf "%-6s %-6s %12s %12s %8s %7s %7s %6s %6s\n" "n" "m" "dense" "sparse"
+    "speedup" "d-piv" "s-piv" "refac" "agree";
+  let sizes = if smoke then [ 12; 16 ] else if quick then [ 24; 48 ] else [ 48; 96; 128 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let inst, spec, state = sparse_instance n in
+        let m = G.n_edges inst.Instances.graph in
+        let rd, sd = SneFast.cutting_plane ~warm:true spec ~state in
+        let rs, ss = SneSparse.cutting_plane ~warm:true spec ~state in
+        let agree =
+          sd.SneFast.converged && ss.SneSparse.converged
+          && Fx.approx_eq ~eps:1e-5 rd.SneFast.cost rs.SneSparse.cost
+        in
+        if not agree then
+          failwith
+            (Printf.sprintf "lp_bench: dense/sparse disagree at n=%d (%g vs %g)" n
+               rd.SneFast.cost rs.SneSparse.cost);
+        let dense_s =
+          time_median ~reps:3 (fun () -> SneFast.cutting_plane ~warm:true spec ~state)
+        in
+        let sparse_s =
+          time_median ~reps:3 (fun () -> SneSparse.cutting_plane ~warm:true spec ~state)
+        in
+        let refactors =
+          sparse_refactors (fun () -> SneSparse.cutting_plane ~warm:true spec ~state)
+        in
+        let speedup = dense_s /. sparse_s in
+        Printf.printf "%-6d %-6d %10.3fms %10.3fms %7.2fx %7d %7d %6d %6b\n" n m
+          (1e3 *. dense_s) (1e3 *. sparse_s) speedup sd.SneFast.pivots ss.SneSparse.pivots
+          refactors agree;
+        ( n,
+          speedup,
+          Json.Obj
+            [
+              ("n", Json.Int n);
+              ("edges", Json.Int m);
+              ("dense_ms", Json.Float (1e3 *. dense_s));
+              ("sparse_ms", Json.Float (1e3 *. sparse_s));
+              ("speedup", Json.Float speedup);
+              ("dense_pivots", Json.Int sd.SneFast.pivots);
+              ("sparse_pivots", Json.Int ss.SneSparse.pivots);
+              ("sparse_refactors", Json.Int refactors);
+              ("rounds", Json.Int ss.SneSparse.rounds);
+              ("cost", Json.Float rs.SneSparse.cost);
+              ("agree", Json.Bool agree);
+            ] ))
+      sizes
+  in
+  (* Serial vs pooled separation on the largest instance. On a single-core
+     box the pool adds overhead instead of speed; that is reported honestly
+     (the "cores" field) and only warned about, never failed — correctness
+     (identical answers with and without the pool) is the hard gate. *)
+  let n = List.fold_left max 0 sizes in
+  let _, spec, state = sparse_instance n in
+  let pool = Parallel.Pool.create ~domains:4 () in
+  let sep =
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.shutdown pool)
+      (fun () ->
+        let rser, sser = SneSparse.cutting_plane ~warm:true spec ~state in
+        let rpar, spar = SneSparse.cutting_plane ~warm:true ~pool spec ~state in
+        let agree =
+          sser.SneSparse.converged && spar.SneSparse.converged
+          && Fx.approx_eq ~eps:1e-5 rser.SneSparse.cost rpar.SneSparse.cost
+        in
+        if not agree then
+          failwith
+            (Printf.sprintf "lp_bench: serial/parallel separation disagree at n=%d (%g vs %g)"
+               n rser.SneSparse.cost rpar.SneSparse.cost);
+        let serial_s =
+          time_median ~reps:3 (fun () -> SneSparse.cutting_plane ~warm:true spec ~state)
+        in
+        let par_s =
+          time_median ~reps:3 (fun () -> SneSparse.cutting_plane ~warm:true ~pool spec ~state)
+        in
+        let speedup = serial_s /. par_s in
+        Printf.printf
+          "separation (n=%d, 4 domains, %d cores): serial %.3fms, parallel %.3fms, %.2fx\n" n
+          (Domain.recommended_domain_count ()) (1e3 *. serial_s) (1e3 *. par_s) speedup;
+        ( speedup,
+          Json.Obj
+            [
+              ("n", Json.Int n);
+              ("domains", Json.Int 4);
+              ("cores", Json.Int (Domain.recommended_domain_count ()));
+              ("serial_ms", Json.Float (1e3 *. serial_s));
+              ("parallel_ms", Json.Float (1e3 *. par_s));
+              ("speedup", Json.Float speedup);
+              ("agree", Json.Bool agree);
+            ] ))
+  in
+  (rows, sep)
+
+(* ------------------------------------------------------------------ *)
+(* Observability: disabled-path overhead and a stats snapshot           *)
+(* ------------------------------------------------------------------ *)
 
 (* Cost of one counter bump while observability is off — the only thing
    the instrumentation adds to a pivot on the default path. *)
@@ -220,10 +343,16 @@ let bench_obs () =
     ]
 
 let () =
-  Printf.printf "LP backend benchmarks (%s mode)\n" (if quick then "quick" else "full");
+  Printf.printf "LP backend benchmarks (%s mode)\n"
+    (if smoke then "smoke" else if quick then "quick" else "full");
   let kernel = bench_kernel () in
   let warm_total, cold_total, cp_rows = bench_cutting_plane () in
+  let sparse_rows, (sep_speedup, sep_row) = bench_sparse () in
   let obs = bench_obs () in
+  let sparse_max_n = List.fold_left (fun a (n, _, _) -> max a n) 0 sparse_rows in
+  let sparse_speedup_max_n =
+    List.fold_left (fun acc (n, s, _) -> if n = sparse_max_n then s else acc) 0.0 sparse_rows
+  in
   let n64_speedup =
     List.fold_left
       (fun acc row ->
@@ -238,8 +367,9 @@ let () =
       0.0 kernel
   in
   Printf.printf
-    "\nsummary: n=64 kernel speedup %.2fx (target >= 3x); cutting-plane pivots warm %d vs cold %d\n"
-    n64_speedup warm_total cold_total;
+    "\nsummary: n=64 kernel speedup %.2fx (target >= 3x); cutting-plane pivots warm %d vs \
+     cold %d; sparse/dense at n=%d %.2fx; parallel separation %.2fx\n"
+    n64_speedup warm_total cold_total sparse_max_n sparse_speedup_max_n sep_speedup;
   Json.write_file ~path:json_path
     (Json.Obj
        [
@@ -247,12 +377,16 @@ let () =
            Json.Obj
              [
                ("bench", Json.Str "lp_bench");
-               ("mode", Json.Str (if quick then "quick" else "full"));
+               ("mode", Json.Str (if smoke then "smoke" else if quick then "quick" else "full"));
                ("functor_backend", Json.Str SneFunctor.Lp.name);
                ("unboxed_backend", Json.Str SneFast.Lp.name);
+               ("sparse_backend", Json.Str SneSparse.Lp.name);
+               ("cores", Json.Int (Domain.recommended_domain_count ()));
              ] );
          ("kernel", Json.List kernel);
          ("cutting_plane", Json.List cp_rows);
+         ("sparse", Json.List (List.map (fun (_, _, j) -> j) sparse_rows));
+         ("separation", sep_row);
          ("obs", obs);
          ( "summary",
            Json.Obj
@@ -261,12 +395,25 @@ let () =
                ("warm_pivots_total", Json.Int warm_total);
                ("cold_pivots_total", Json.Int cold_total);
                ("warm_strictly_fewer", Json.Bool (warm_total < cold_total));
+               ("sparse_speedup_max_n", Json.Float sparse_speedup_max_n);
+               ("sparse_max_n", Json.Int sparse_max_n);
+               ("separation_speedup", Json.Float sep_speedup);
              ] );
        ]);
   Printf.printf "wrote %s\n" json_path;
   if n64_speedup < 3.0 then
     Printf.eprintf "WARNING: n=64 kernel speedup %.2fx below the 3x target\n" n64_speedup;
-  if warm_total >= cold_total then begin
+  if (not smoke) && sparse_speedup_max_n < 2.0 then
+    Printf.eprintf "WARNING: sparse/dense speedup %.2fx at n=%d below the 2x target\n"
+      sparse_speedup_max_n sparse_max_n;
+  if sep_speedup < 1.5 then
+    Printf.eprintf
+      "WARNING: parallel separation speedup %.2fx below the 1.5x target (%d cores visible)\n"
+      sep_speedup
+      (Domain.recommended_domain_count ());
+  (* Smoke mode is the CI agreement gate: sizes are too small for the pivot
+     economics to be meaningful there, so only disagreement is fatal. *)
+  if (not smoke) && warm_total >= cold_total then begin
     Printf.eprintf "ERROR: warm cutting plane did not save pivots (%d >= %d)\n" warm_total
       cold_total;
     exit 1

@@ -34,6 +34,20 @@ let json_path =
     Sys.argv;
   !path
 
+(* --backend {dense,sparse} selects which LP kernel the warm-started pricer
+   row of the comparison uses (the reference lp3 pricer always runs, so
+   either choice is still cross-checked against the functorized backend). *)
+let backend =
+  let b = ref "dense" in
+  Array.iteri
+    (fun i a -> if a = "--backend" && i + 1 < Array.length Sys.argv then b := Sys.argv.(i + 1))
+    Sys.argv;
+  match !b with
+  | "dense" | "sparse" -> !b
+  | other ->
+      Printf.eprintf "snd_bench: unknown --backend %s (expected dense or sparse)\n" other;
+      exit 2
+
 let stats_json (s : Search.stats) =
   Json.Obj
     [
@@ -189,9 +203,12 @@ let bench_pricers () =
       ( "lp3+lru",
         { Search.default_config with cache = 1024 },
         Some (fun () -> Search.cached_pricer ~capacity:1024 (Search.lp_pricer spec ~root)) );
-      ( "lp3-warm",
+      ( (if backend = "sparse" then "lp3-sparse" else "lp3-warm"),
         Search.default_config,
-        Some (fun () -> Search.warm_kernel_pricer spec ~root) );
+        Some
+          (fun () ->
+            if backend = "sparse" then Search.sparse_kernel_pricer spec ~root
+            else Search.warm_kernel_pricer spec ~root) );
       ( Printf.sprintf "lp3-par%d" domains,
         { Search.default_config with domains; batch = 4 * domains },
         None );
@@ -272,6 +289,7 @@ let () =
              [
                ("bench", Json.Str "snd_bench");
                ("mode", Json.Str (if quick then "quick" else "full"));
+               ("backend", Json.Str backend);
              ] );
          ("frontier", frontier);
          ("scaling", Json.List scaling);

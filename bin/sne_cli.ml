@@ -13,6 +13,8 @@
 module Gm = Repro_game.Game.Float_game
 module G = Gm.G
 module Sne = Repro_core.Sne_lp.Float
+module Snes = Repro_core.Sne_lp.Float_sparse
+module Par = Repro_parallel.Parallel
 module Enforce = Repro_core.Enforce
 module Aon = Repro_core.Aon.Float
 module Lb = Repro_core.Lower_bounds.Float
@@ -111,7 +113,21 @@ let solve_cmd =
          & info [ "max-rounds" ] ~docv:"R"
              ~doc:"Cutting-plane round limit (cut method only).")
   in
-  let run seed n extra meth max_rounds file show_stats trace =
+  let backend_arg =
+    Arg.(value & opt (enum [ ("dense", `Dense); ("sparse", `Sparse) ]) `Dense
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"LP kernel for the lp3/lp2/cut methods: dense (the unboxed \
+                   tableau kernel) or sparse (the revised simplex with an eta \
+                   file). Both return the same optima; sparse wins on large \
+                   cutting-plane masters.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Worker domains for the cut method's separation oracles \
+                   (1 = serial).")
+  in
+  let run seed n extra meth max_rounds backend domains file show_stats trace =
     with_obs show_stats trace @@ fun () ->
     let graph, root, tree = resolve_instance file seed n extra in
     let spec = Gm.broadcast ~graph ~root in
@@ -119,33 +135,69 @@ let solve_cmd =
     Printf.printf "instance: %s, %d nodes, %d edges, root %d, target tree weight %.3f\n"
       (match file with Some p -> p | None -> Printf.sprintf "seed=%d" seed)
       (G.n_nodes graph) (G.n_edges graph) root w;
+    (* Run the cut method's separation oracles on a worker pool when
+       --domains asks for one (answers are identical either way). *)
+    let with_pool f =
+      if domains <= 1 then f None
+      else begin
+        let pool = Par.Pool.create ~domains () in
+        Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f (Some pool))
+      end
+    in
+    let round_limit_failure converged =
+      if converged then None
+      else
+        Some
+          "cutting plane hit the round limit with violated constraints \
+           outstanding; the printed subsidy may under-enforce — re-run with \
+           a higher --max-rounds"
+    in
+    (* The dense (Sne) and sparse (Snes) instantiations share graph and
+       game types but not LP result types, so each method/backend pair
+       gets its own arm producing the common (subsidy, cost, label,
+       failure) tuple. *)
     let subsidy, cost, label, failure =
-      match meth with
-      | `Lp3 ->
+      match (meth, backend) with
+      | `Lp3, `Dense ->
           let r = Sne.broadcast spec ~root tree in
           (r.Sne.subsidy, r.Sne.cost, "LP (3)", None)
-      | `Lp2 ->
+      | `Lp3, `Sparse ->
+          let r = Snes.broadcast spec ~root tree in
+          (r.Snes.subsidy, r.Snes.cost, "LP (3)", None)
+      | `Lp2, `Dense ->
           let state = Gm.Broadcast.state_of_tree spec ~root tree in
           let r = Sne.poly spec ~state in
           (r.Sne.subsidy, r.Sne.cost, "LP (2)", None)
-      | `Cut ->
+      | `Lp2, `Sparse ->
           let state = Gm.Broadcast.state_of_tree spec ~root tree in
-          let r, stats = Sne.cutting_plane ~max_rounds spec ~state in
+          let r = Snes.poly spec ~state in
+          (r.Snes.subsidy, r.Snes.cost, "LP (2)", None)
+      | `Cut, `Dense ->
+          let state = Gm.Broadcast.state_of_tree spec ~root tree in
+          let r, stats =
+            with_pool (fun pool -> Sne.cutting_plane ?pool ~max_rounds spec ~state)
+          in
           Printf.printf "cutting plane: %d rounds, %d constraints generated, %d pivots\n"
             stats.Sne.rounds stats.Sne.generated stats.Sne.pivots;
-          let failure =
-            if stats.Sne.converged then None
-            else
-              Some
-                "cutting plane hit the round limit with violated constraints \
-                 outstanding; the printed subsidy may under-enforce — re-run with \
-                 a higher --max-rounds"
+          ( r.Sne.subsidy,
+            r.Sne.cost,
+            "LP (1) via cutting planes",
+            round_limit_failure stats.Sne.converged )
+      | `Cut, `Sparse ->
+          let state = Gm.Broadcast.state_of_tree spec ~root tree in
+          let r, stats =
+            with_pool (fun pool -> Snes.cutting_plane ?pool ~max_rounds spec ~state)
           in
-          (r.Sne.subsidy, r.Sne.cost, "LP (1) via cutting planes", failure)
-      | `Thm6 ->
+          Printf.printf "cutting plane: %d rounds, %d constraints generated, %d pivots\n"
+            stats.Snes.rounds stats.Snes.generated stats.Snes.pivots;
+          ( r.Snes.subsidy,
+            r.Snes.cost,
+            "LP (1) via cutting planes",
+            round_limit_failure stats.Snes.converged )
+      | `Thm6, _ ->
           let r = Enforce.subsidize_mst graph tree in
           (r.Enforce.subsidy, r.Enforce.total, "Theorem 6 construction", None)
-      | `AonExact ->
+      | `AonExact, _ ->
           let r = Aon.solve_exact spec tree in
           Printf.printf "branch-and-bound: %d nodes explored, optimal=%b\n"
             r.Aon.nodes_explored r.Aon.optimal;
@@ -153,7 +205,7 @@ let solve_cmd =
             r.Aon.cost,
             "all-or-nothing (exact)",
             None )
-      | `AonGreedy ->
+      | `AonGreedy, _ ->
           let r = Aon.greedy spec tree in
           ( Aon.subsidy_of_chosen graph r.Aon.chosen,
             r.Aon.cost,
@@ -175,7 +227,7 @@ let solve_cmd =
   in
   Cmd.v (Cmd.info "solve" ~doc:"Enforce the target tree of a broadcast instance.")
     Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ method_arg $ max_rounds_arg
-          $ file_arg $ stats_arg $ trace_arg)
+          $ backend_arg $ domains_arg $ file_arg $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- *)
 (* landscape                                                         *)

@@ -485,6 +485,57 @@ module Float = struct
       cache_hits = (fun () -> 0);
       cache_misses = (fun () -> 0);
     }
+
+  (** {!warm_kernel_pricer} on the sparse revised-simplex kernel
+      ({!Repro_lp.Revised_sparse}): same LP (3) construction and
+      cross-solve basis hinting, but the masters stay sparse and the
+      crash start replays the previous tree's basic columns through the
+      eta file instead of a dense rebuild. Same agreement caveats. *)
+  let sparse_kernel_pricer spec ~root =
+    let module K = Repro_lp.Revised_sparse in
+    let graph = spec.Gm.graph in
+    let m = G.n_edges graph in
+    let solves = Atomic.make 0 in
+    let mu = Mutex.create () in
+    let last_basis = ref [] in
+    let price tree _ids =
+      let p, edge_of_var = Sne_lp.Float_sparse.broadcast_problem spec ~root tree in
+      let var_of_edge = Array.make m (-1) in
+      Array.iteri (fun k id -> var_of_edge.(id) <- k) edge_of_var;
+      Mutex.lock mu;
+      let prev = !last_basis in
+      Mutex.unlock mu;
+      let hint =
+        List.filter_map
+          (fun id -> if var_of_edge.(id) >= 0 then Some var_of_edge.(id) else None)
+          prev
+      in
+      Atomic.incr solves;
+      let st, outcome = K.solve_dual_incremental ~hint p in
+      match outcome with
+      | K.Optimal s ->
+          let basis_edges = List.map (fun k -> edge_of_var.(k)) (K.basis_hint st) in
+          Mutex.lock mu;
+          last_basis := basis_edges;
+          Mutex.unlock mu;
+          let subsidy = Array.make m 0.0 in
+          Array.iteri
+            (fun k id ->
+              subsidy.(id) <-
+                Stdlib.Float.max 0.0
+                  (Stdlib.Float.min s.K.values.(k) (G.weight graph id)))
+            edge_of_var;
+          { Sne.subsidy; cost = s.K.objective }
+      | K.Infeasible | K.Unbounded ->
+          failwith "Snd_search.sparse_kernel_pricer: LP (3) solve failed (bug)"
+    in
+    {
+      name = "lp3-sparse";
+      price;
+      solves;
+      cache_hits = (fun () -> 0);
+      cache_misses = (fun () -> 0);
+    }
 end
 
 module Rat = Make (Repro_field.Field.Rat)

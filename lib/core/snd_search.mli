@@ -103,6 +103,11 @@ module Float : sig
       {!lp_pricer} up to float rounding but is not bit-identical — opt-in
       for benchmarks, not the engine default. *)
   val warm_kernel_pricer : Gm.spec -> root:int -> pricer
+
+  (** {!warm_kernel_pricer} on the sparse revised-simplex kernel
+      ({!Repro_lp.Revised_sparse}): sparse masters, eta-file warm starts.
+      Same agreement caveats — opt-in via [--backend sparse]. *)
+  val sparse_kernel_pricer : Gm.spec -> root:int -> pricer
 end
 
 module Rat : module type of Make (Repro_field.Field.Rat)

@@ -56,6 +56,65 @@ struct
   let c_rounds = Obs.counter "sne.cut_rounds"
   let c_cuts = Obs.counter "sne.cuts_generated"
   let c_nonconverged = Obs.counter "sne.nonconverged"
+  let c_sep_batches = Obs.counter "sne.separate.batches"
+  let c_sep_oracle = Obs.counter "sne.separate.oracle_calls"
+  let c_sep_parallel = Obs.counter "sne.separate.parallel_batches"
+  let c_sep_dedup = Obs.counter "sne.separate.cuts_deduped"
+
+  (* ---------------------------------------------------------------- *)
+  (* Batched separation                                                *)
+  (* ---------------------------------------------------------------- *)
+
+  (** Run the per-player oracles of one separation round: [oracle i] for
+      every player, results in player order. With a [pool] of size > 1
+      the best-response Dijkstras fan out over its domains (guided
+      chunking absorbs the uneven per-player cost; each domain keeps its
+      own heap scratch); without one, or on a single-domain pool, the
+      sweep is a plain serial loop. Exposed so the benches can time
+      serial vs parallel separation on identical subsidy vectors. *)
+  let oracle_sweep ?pool ~n_players (oracle : int -> 'a) : 'a array =
+    Obs.incr c_sep_batches;
+    Obs.add c_sep_oracle n_players;
+    match pool with
+    | Some p when Repro_parallel.Parallel.Pool.size p > 1 && n_players > 1 ->
+        Obs.incr c_sep_parallel;
+        Repro_parallel.Parallel.Pool.map p oracle (Array.init n_players Fun.id)
+    | _ -> Array.init n_players oracle
+
+  (* Within-round cut dedup, keyed on the mathematical content (sorted
+     coefficients, relation, rhs) and not the label: symmetric deviations
+     routinely produce the same inequality for different players, and
+     appending both just grows the master. *)
+  let cut_key (c : Lp.constr) =
+    let coeffs = List.sort (fun (a, _) (b, _) -> compare a b) c.Lp.coeffs in
+    let b = Buffer.create 64 in
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b (string_of_int k);
+        Buffer.add_char b ':';
+        Buffer.add_string b (F.to_string v);
+        Buffer.add_char b ';')
+      coeffs;
+    Buffer.add_string b
+      (match c.Lp.relation with Lp.Leq -> "<=" | Lp.Geq -> ">=" | Lp.Eq -> "=");
+    Buffer.add_string b (F.to_string c.Lp.rhs);
+    Buffer.contents b
+
+  let dedup_cuts cuts =
+    let seen = Hashtbl.create 16 in
+    let kept =
+      List.filter
+        (fun c ->
+          let k = cut_key c in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        cuts
+    in
+    Obs.add c_sep_dedup (List.length cuts - List.length kept);
+    kept
 
   (* ---------------------------------------------------------------- *)
   (* LP (3): broadcast games, spanning-tree target                     *)
@@ -274,7 +333,7 @@ struct
             pivots = total_pivots ();
           } )
       in
-      match Obs.span "sne.separate" (fun () -> find_cuts ~subsidy) with
+      match Obs.span "sne.separate" (fun () -> dedup_cuts (find_cuts ~subsidy)) with
       | [] -> finish true
       | _ when round >= max_rounds -> finish false
       | cuts ->
@@ -302,7 +361,7 @@ struct
       Lemma 2's proof genuinely needs unit demands). So the exact solver
       runs the cutting-plane loop with the weighted best-response oracle,
       warm-starting each master re-solve from the previous basis. *)
-  let weighted_cutting_plane ?(warm = true) ?(max_rounds = 500) (wspec : W.spec)
+  let weighted_cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool (wspec : W.spec)
       ~(state : Gm.state) =
     let graph = W.graph wspec in
     let du_all = W.demand_usage wspec state in
@@ -339,11 +398,20 @@ struct
       }
     in
     let find_cuts ~subsidy =
+      (* The Dijkstra oracles fan out (read-only on the graph/state); the
+         constraints are then built serially in player order, so the cut
+         list is identical to the old sequential loop's. *)
+      let responses =
+        oracle_sweep ?pool ~n_players:(W.n_players wspec) (fun i ->
+            let current = W.player_cost ~subsidy wspec state i in
+            let cost, path = W.best_response ~subsidy wspec state i in
+            if F.lt cost current then Some path else None)
+      in
       let cuts = ref [] in
-      for i = W.n_players wspec - 1 downto 0 do
-        let current = W.player_cost ~subsidy wspec state i in
-        let cost, path = W.best_response ~subsidy wspec state i in
-        if F.lt cost current then cuts := path_constraint i path :: !cuts
+      for i = Array.length responses - 1 downto 0 do
+        match responses.(i) with
+        | Some path -> cuts := path_constraint i path :: !cuts
+        | None -> ()
       done;
       !cuts
     in
@@ -443,7 +511,7 @@ struct
       master re-solve warm-starts from the previous optimal basis
       ([warm = false] forces the old cold restarts, kept for the
       pivot-budget benchmarks and the warm-vs-cold property tests). *)
-  let cutting_plane ?(warm = true) ?(max_rounds = 500) spec ~(state : Gm.state) =
+  let cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool spec ~(state : Gm.state) =
     let graph = spec.Gm.graph in
     let usage = Gm.usage spec state in
     (* Constraint for player i forced below the cost of deviation path p:
@@ -478,11 +546,17 @@ struct
       }
     in
     let find_cuts ~subsidy =
+      let responses =
+        oracle_sweep ?pool ~n_players:(Gm.n_players spec) (fun i ->
+            let current = Gm.player_cost ~subsidy spec state i in
+            let cost, path = Gm.best_response ~subsidy spec state i in
+            if F.lt cost current then Some path else None)
+      in
       let cuts = ref [] in
-      for i = Gm.n_players spec - 1 downto 0 do
-        let current = Gm.player_cost ~subsidy spec state i in
-        let cost, path = Gm.best_response ~subsidy spec state i in
-        if F.lt cost current then cuts := path_constraint i path :: !cuts
+      for i = Array.length responses - 1 downto 0 do
+        match responses.(i) with
+        | Some path -> cuts := path_constraint i path :: !cuts
+        | None -> ()
       done;
       !cuts
     in
@@ -496,4 +570,10 @@ module Make (F : Repro_field.Field.S) = Make_backend (F) (Repro_lp.Simplex.Make 
    genuine dual-simplex warm start); the exact-rational one keeps the
    functorized simplex as the correctness oracle. *)
 module Float = Make_backend (Repro_field.Field.Float_field) (Repro_lp.Simplex_float)
+
+(* Same field, same games, sparse revised-simplex masters: the kernel the
+   cutting-plane solvers select with [--backend sparse]. *)
+module Float_sparse =
+  Make_backend (Repro_field.Field.Float_field) (Repro_lp.Revised_sparse)
+
 module Rat = Make (Repro_field.Field.Rat)

@@ -63,15 +63,28 @@ module Make_backend
       {e relaxation} — see [weighted_cutting_plane]. *)
   val weighted_broadcast : W.spec -> root:int -> G.Tree.t -> result
 
+  (** One separation round's per-player oracles, batched: [oracle i] for
+      each player, results in player order. A [pool] of size > 1 fans the
+      (read-only) best-response Dijkstras out over its domains with
+      guided chunking; otherwise the sweep is serial. Exposed so the
+      benches can time serial vs parallel separation on identical
+      subsidy vectors. Instrumented under [sne.separate.*]. *)
+  val oracle_sweep :
+    ?pool:Repro_parallel.Parallel.Pool.t -> n_players:int -> (int -> 'a) -> 'a array
+
   (** Exact weighted SNE by constraint generation with the weighted
       best-response oracle. Lemma 2's single-edge deviation family is
       insufficient for weighted games (the tests pin a witness), so the
       exact solver generates violated path constraints until none remain.
       [warm] (default [true]) re-optimizes each master from the previous
-      basis; [warm:false] forces cold restarts (for benchmarks/tests). *)
+      basis; [warm:false] forces cold restarts (for benchmarks/tests).
+      [pool] parallelizes each round's separation oracles; the generated
+      cut sequence is identical either way (cuts are deduplicated within
+      a round and appended in player order). *)
   val weighted_cutting_plane :
     ?warm:bool ->
     ?max_rounds:int ->
+    ?pool:Repro_parallel.Parallel.Pool.t ->
     W.spec ->
     state:Gm.state ->
     result * cutting_plane_stats
@@ -83,10 +96,12 @@ module Make_backend
 
   (** LP (1) solved by cutting planes: the paper's ellipsoid + Dijkstra
       separation oracle, run as the standard constraint-generation loop
-      (DESIGN.md §2), warm-started between rounds. *)
+      (DESIGN.md §2), warm-started between rounds. [pool] runs each
+      round's per-player oracles concurrently (see {!oracle_sweep}). *)
   val cutting_plane :
     ?warm:bool ->
     ?max_rounds:int ->
+    ?pool:Repro_parallel.Parallel.Pool.t ->
     Gm.spec ->
     state:Gm.state ->
     result * cutting_plane_stats
@@ -97,5 +112,13 @@ module Make (F : Repro_field.Field.S) :
 
 module Float :
   module type of Make_backend (Repro_field.Field.Float_field) (Repro_lp.Simplex_float)
+
+(** The float games on the sparse revised-simplex kernel
+    ({!Repro_lp.Revised_sparse}) — selected by the CLI/benches with
+    [--backend sparse]. Shares the graph/game modules with {!Float} (the
+    functors are applicative), so trees and specs move freely between the
+    two; only the [Lp] types differ. *)
+module Float_sparse :
+  module type of Make_backend (Repro_field.Field.Float_field) (Repro_lp.Revised_sparse)
 
 module Rat : module type of Make (Repro_field.Field.Rat)

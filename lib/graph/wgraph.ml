@@ -148,47 +148,105 @@ module Make (F : Repro_field.Field.S) = struct
 
   type sssp = { dist : F.t option array; pred_edge : int option array }
 
+  (* Monomorphic binary heap for Dijkstra: keys in a flat [F.t] array
+     (dynamically an unboxed float array for the float field) and nodes
+     in an [int] array, ordered by (key, node) — the exact total order
+     the old polymorphic tuple heap used, so the pop sequence and hence
+     the predecessor choices are unchanged. No tuple allocation per push
+     on the separation-oracle hot loop. The scratch is per-domain (DLS):
+     concurrent oracle sweeps on a [Parallel.Pool] each get their own.
+     [dijkstra] is accordingly not reentrant within a domain (no caller
+     runs it from inside a [weight_fn]). *)
+  type heap_scratch = { mutable keys : F.t array; mutable nodes : int array; mutable hn : int }
+
+  let heap_key = Domain.DLS.new_key (fun () -> { keys = [||]; nodes = [||]; hn = 0 })
+
+  let heap_less h i j =
+    let c = F.compare h.keys.(i) h.keys.(j) in
+    if c <> 0 then c < 0 else h.nodes.(i) < h.nodes.(j)
+
+  let heap_swap h i j =
+    let k = h.keys.(i) in
+    h.keys.(i) <- h.keys.(j);
+    h.keys.(j) <- k;
+    let m = h.nodes.(i) in
+    h.nodes.(i) <- h.nodes.(j);
+    h.nodes.(j) <- m
+
+  let heap_push h d x =
+    (if h.hn = Array.length h.keys then begin
+       let cap = max 16 (2 * h.hn) in
+       let keys = Array.make cap F.zero and nodes = Array.make cap 0 in
+       Array.blit h.keys 0 keys 0 h.hn;
+       Array.blit h.nodes 0 nodes 0 h.hn;
+       h.keys <- keys;
+       h.nodes <- nodes
+     end);
+    h.keys.(h.hn) <- d;
+    h.nodes.(h.hn) <- x;
+    h.hn <- h.hn + 1;
+    let i = ref (h.hn - 1) in
+    let up = ref true in
+    while !up && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if heap_less h !i p then begin
+        heap_swap h !i p;
+        i := p
+      end
+      else up := false
+    done
+
+  let rec heap_sift_down h i =
+    let l = (2 * i) + 1 in
+    if l < h.hn then begin
+      let s = if l + 1 < h.hn && heap_less h (l + 1) l then l + 1 else l in
+      if heap_less h s i then begin
+        heap_swap h i s;
+        heap_sift_down h s
+      end
+    end
+
   (** Dijkstra from [src]. [weight_fn] lets callers reinterpret weights
       (this is how best responses price deviations, and how the LP (1)
-      separation oracle builds the graph H_i); it must be non-negative. *)
+      separation oracle builds the graph H_i); it must be non-negative.
+      Settled nodes are detected lazily: a popped entry whose key is
+      already beaten by the recorded distance is stale and skipped, which
+      replaces both the [final] array and decrease-key. *)
   let dijkstra ?weight_fn g ~src =
     let wf = match weight_fn with Some f -> f | None -> fun e -> e.weight in
     let dist = Array.make g.n None in
     let pred_edge = Array.make g.n None in
-    let final = Array.make g.n false in
-    let heap =
-      Repro_util.Heap.create ~cmp:(fun (d1, n1) (d2, n2) ->
-          let c = F.compare d1 d2 in
-          if c <> 0 then c else compare n1 n2)
-    in
+    let h = Domain.DLS.get heap_key in
+    h.hn <- 0;
     dist.(src) <- Some F.zero;
-    Repro_util.Heap.push heap (F.zero, src);
-    let rec loop () =
-      match Repro_util.Heap.pop heap with
-      | None -> ()
-      | Some (d, x) ->
-          if not final.(x) then begin
-            final.(x) <- true;
-            List.iter
-              (fun (id, y) ->
-                if not final.(y) then begin
-                  let w = wf g.edges.(id) in
-                  assert (F.sign w >= 0);
-                  let nd = F.add d w in
-                  let better =
-                    match dist.(y) with None -> true | Some old -> F.compare nd old < 0
-                  in
-                  if better then begin
-                    dist.(y) <- Some nd;
-                    pred_edge.(y) <- Some id;
-                    Repro_util.Heap.push heap (nd, y)
-                  end
-                end)
-              g.adj.(x)
-          end;
-          loop ()
-    in
-    loop ();
+    heap_push h F.zero src;
+    while h.hn > 0 do
+      let d = h.keys.(0) and x = h.nodes.(0) in
+      h.hn <- h.hn - 1;
+      if h.hn > 0 then begin
+        h.keys.(0) <- h.keys.(h.hn);
+        h.nodes.(0) <- h.nodes.(h.hn);
+        heap_sift_down h 0
+      end;
+      let stale =
+        match dist.(x) with Some best -> F.compare best d < 0 | None -> true
+      in
+      if not stale then
+        List.iter
+          (fun (id, y) ->
+            let w = wf g.edges.(id) in
+            assert (F.sign w >= 0);
+            let nd = F.add d w in
+            let better =
+              match dist.(y) with None -> true | Some old -> F.compare nd old < 0
+            in
+            if better then begin
+              dist.(y) <- Some nd;
+              pred_edge.(y) <- Some id;
+              heap_push h nd y
+            end)
+          g.adj.(x)
+    done;
     { dist; pred_edge }
 
   (** Extract the edge-id path [src -> dst] from a Dijkstra run rooted at

@@ -1,0 +1,1231 @@
+(* Sparse revised simplex with bounded variables.
+
+   The dense kernel ([Simplex_float]) compiles general bounds away: every
+   doubly-bounded variable becomes an explicit upper-bound row, and each
+   pivot rewrites the whole O(rows * cols) tableau. On the cutting-plane
+   masters of [Sne_lp] that is exactly wrong: the box bounds
+   0 <= b_a <= w_a cover every variable (so the dense tableau starts with
+   |E| rows before the first cut arrives), while the generated rows are
+   sparse tree-path cuts touching a dozen edges each. This kernel keeps
+   the bounds implicit and the matrix sparse:
+
+   - columns are the structural variables plus one +1-coefficient slack
+     per row (the relation lives in the slack's bounds: <= gives
+     s in [0,inf), >= gives s in (-inf,0], = pins s at 0);
+   - constraints are stored twice: CSR (rows, append-only — the dual
+     ratio test sweeps the leaving row through it) and CSC (per-column
+     grow arrays — FTRAN scatters and pricing dot-products walk columns);
+   - the basis inverse is a product-form eta file: one column eta per
+     pivot, one row eta per appended cut (see [append_row]), rebuilt from
+     scratch by [refactor] when the file grows past its trigger;
+   - pricing is partial (rotating column sections, largest reduced cost
+     within the first section that offers a candidate), with Bland's rule
+     after a degeneracy streak, mirroring the dense kernel's fallback.
+
+   A fresh problem starts from the all-slack basis: dual feasible for the
+   whole LP (3) family (minimize a nonnegative combination of
+   lower-bounded variables), in which case the dual simplex repairs
+   primal feasibility directly; otherwise a composite phase 1 drives the
+   infeasibility out. Numerical trouble — stalls, singular
+   refactorization — falls back to a cold rebuild and, as a last resort,
+   delegates the state to the dense kernel, so the answer is always
+   delivered; only the pivot count changes. Tolerances are aligned with
+   [Simplex_float] so the two kernels classify borderline instances the
+   same way (the property tests cross-validate both against the
+   exact-rational functor). *)
+
+type num = float
+type relation = Leq | Geq | Eq
+
+type constr = {
+  coeffs : (int * float) list;
+  relation : relation;
+  rhs : float;
+  label : string;
+}
+
+type problem = {
+  n_vars : int;
+  minimize : (int * float) list;
+  constraints : constr list;
+  lower : float option array;
+  upper : float option array;
+  var_name : int -> string;
+}
+
+type solution = { values : float array; objective : float }
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let name = "revised-simplex-sparse"
+
+module Obs = Repro_obs.Obs
+
+let c_pivots = Obs.counter "lp.sparse.pivots"
+let c_primal = Obs.counter "lp.sparse.primal_pivots"
+let c_dual = Obs.counter "lp.sparse.dual_pivots"
+let c_flips = Obs.counter "lp.sparse.bound_flips"
+let c_refactors = Obs.counter "lp.sparse.refactors"
+let c_drift = Obs.counter "lp.sparse.drift_refactors"
+let c_cold = Obs.counter "lp.sparse.cold_solves"
+let c_warm = Obs.counter "lp.sparse.warm_solves"
+let c_rebuilds = Obs.counter "lp.sparse.rebuilds"
+let c_fallbacks = Obs.counter "lp.sparse.fallbacks"
+
+(* Same up-front NaN/inf rejection as the dense kernel: a non-finite
+   coefficient silently poisons float pricing comparisons. *)
+let check_finite ~what ~where x =
+  if not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "%s: non-finite %s (%g)" what where x)
+
+let check_constr ~what (c : constr) =
+  List.iter
+    (fun (_, a) ->
+      check_finite ~what ~where:(Printf.sprintf "coefficient in constraint %S" c.label) a)
+    c.coeffs;
+  check_finite ~what ~where:(Printf.sprintf "rhs in constraint %S" c.label) c.rhs
+
+let make_problem ~n_vars ?(var_name = fun i -> Printf.sprintf "x%d" i) ~minimize
+    ~constraints ~lower ~upper () =
+  let what = "Revised_sparse.make_problem" in
+  if Array.length lower <> n_vars || Array.length upper <> n_vars then
+    invalid_arg (what ^ ": bound arrays must have n_vars entries");
+  let check_index (i, _) =
+    if i < 0 || i >= n_vars then invalid_arg (what ^ ": variable out of range")
+  in
+  List.iter check_index minimize;
+  List.iter (fun c -> List.iter check_index c.coeffs) constraints;
+  List.iter (fun (i, a) ->
+      check_finite ~what ~where:(Printf.sprintf "objective coefficient of %s" (var_name i)) a)
+    minimize;
+  List.iter (check_constr ~what) constraints;
+  let check_bound which i = function
+    | Some x ->
+        check_finite ~what ~where:(Printf.sprintf "%s bound of %s" which (var_name i)) x
+    | None -> ()
+  in
+  Array.iteri (check_bound "lower") lower;
+  Array.iteri (check_bound "upper") upper;
+  { n_vars; minimize; constraints; lower; upper; var_name }
+
+let nonneg n = (Array.make n (Some 0.0), Array.make n None)
+
+(* Tolerances, aligned with Simplex_float. *)
+let pivot_tol = 1e-9
+let price_tol = 1e-9
+let feas_tol = 1e-9
+let phase1_tol = 1e-7
+let degen_tol = 1e-12
+let bland_after = 40
+let eta_drop = 1e-13 (* eta entries below this are rounding noise *)
+let refactor_etas = 64 (* eta-file length that triggers refactorization *)
+
+(* ------------------------------------------------------------------ *)
+(* The eta file                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Column eta (from a pivot on row [r] with FTRANed column [w]):
+     FTRAN   t = w_r / pr; w_r <- t; w_i <- w_i - v_i * t
+     BTRAN   w_r <- (w_r - sum_i v_i * w_i) / pr
+   Row eta (from an appended row [r]; pr = 1):
+     FTRAN   w_r <- w_r - sum_i v_i * w_i
+     BTRAN   w_i <- w_i - v_i * w_r
+   [idx]/[v] hold the off-pivot entries. *)
+type eta = { col : bool; r : int; pr : float; idx : int array; v : float array }
+
+type core = {
+  ns : int; (* structural columns; slack of row r is column ns + r *)
+  (* CSR, rows append-only *)
+  mutable nrows : int;
+  mutable row_ptr : int array; (* nrows + 1 entries in use *)
+  mutable rc : int array;
+  mutable rv : float array;
+  mutable nnz : int;
+  mutable b : float array; (* rhs per row *)
+  (* CSC of the structural columns (slack columns are implicit units) *)
+  cr : int array array;
+  cv : float array array;
+  clen : int array;
+  (* per-column data, structural then slacks; length ns + nrows in use *)
+  mutable lo : float array; (* neg_infinity = unbounded below *)
+  mutable up : float array;
+  mutable cost : float array;
+  mutable bpos : int array; (* row of a basic column, -1 if nonbasic *)
+  mutable nb_up : bool array; (* nonbasic column rests at its upper bound *)
+  (* basis *)
+  mutable basis : int array; (* per row *)
+  mutable xb : float array; (* values of the basic columns, per row *)
+  (* eta file *)
+  mutable etas : eta array;
+  mutable n_etas : int;
+  mutable eta_nnz : int;
+  (* eta file size right after the last refactorization: the refactor
+     trigger bounds the UPDATE file (etas added since), not the
+     factorization itself, or dense bases would refactor every pivot *)
+  mutable base_etas : int;
+  mutable base_nnz : int;
+  (* scratch (capacity >= nrows / >= ncols; zeroed by their users) *)
+  mutable wk : float array;
+  mutable rho : float array;
+  mutable yv : float array;
+  mutable acc : float array;
+  mutable acc_touched : bool array;
+  mutable touched : int array;
+  mutable n_touched : int;
+  (* pricing / anti-cycling *)
+  mutable price_ptr : int;
+  mutable degen_streak : int;
+  mutable bland : bool;
+  (* stats *)
+  mutable n_pivots : int;
+  mutable n_refactors : int;
+}
+
+let ncols core = core.ns + core.nrows
+
+(* Growable-array helpers (amortized doubling). *)
+let grow_f a n =
+  let len = Array.length a in
+  if len >= n then a
+  else begin
+    let a' = Array.make (max n (max 8 (2 * len))) 0.0 in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+let grow_i a n fill =
+  let len = Array.length a in
+  if len >= n then a
+  else begin
+    let a' = Array.make (max n (max 8 (2 * len))) fill in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+let grow_b a n =
+  let len = Array.length a in
+  if len >= n then a
+  else begin
+    let a' = Array.make (max n (max 8 (2 * len))) false in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+(* ------------------------------------------------------------------ *)
+(* FTRAN / BTRAN over the eta file                                     *)
+(* ------------------------------------------------------------------ *)
+
+let apply_eta_ftran (e : eta) w =
+  if e.col then begin
+    let t = Array.unsafe_get w e.r /. e.pr in
+    Array.unsafe_set w e.r t;
+    if t <> 0.0 then
+      for k = 0 to Array.length e.idx - 1 do
+        let i = Array.unsafe_get e.idx k in
+        Array.unsafe_set w i
+          (Array.unsafe_get w i -. (Array.unsafe_get e.v k *. t))
+      done
+  end
+  else begin
+    let s = ref 0.0 in
+    for k = 0 to Array.length e.idx - 1 do
+      s := !s +. (Array.unsafe_get e.v k *. Array.unsafe_get w (Array.unsafe_get e.idx k))
+    done;
+    w.(e.r) <- w.(e.r) -. !s
+  end
+
+let apply_eta_btran (e : eta) w =
+  if e.col then begin
+    let s = ref 0.0 in
+    for k = 0 to Array.length e.idx - 1 do
+      s := !s +. (Array.unsafe_get e.v k *. Array.unsafe_get w (Array.unsafe_get e.idx k))
+    done;
+    w.(e.r) <- (w.(e.r) -. !s) /. e.pr
+  end
+  else begin
+    let t = Array.unsafe_get w e.r in
+    if t <> 0.0 then
+      for k = 0 to Array.length e.idx - 1 do
+        let i = Array.unsafe_get e.idx k in
+        Array.unsafe_set w i
+          (Array.unsafe_get w i -. (Array.unsafe_get e.v k *. t))
+      done
+  end
+
+let ftran core w =
+  for k = 0 to core.n_etas - 1 do
+    apply_eta_ftran (Array.unsafe_get core.etas k) w
+  done
+
+let btran core w =
+  for k = core.n_etas - 1 downto 0 do
+    apply_eta_btran (Array.unsafe_get core.etas k) w
+  done
+
+let push_eta core e =
+  if Array.length core.etas = core.n_etas then begin
+    let etas' =
+      Array.make (max 16 (2 * core.n_etas))
+        { col = true; r = 0; pr = 1.0; idx = [||]; v = [||] }
+    in
+    Array.blit core.etas 0 etas' 0 core.n_etas;
+    core.etas <- etas'
+  end;
+  core.etas.(core.n_etas) <- e;
+  core.n_etas <- core.n_etas + 1;
+  core.eta_nnz <- core.eta_nnz + Array.length e.idx + 1
+
+(* Column eta from the FTRANed entering column [w], pivot row [r]. *)
+let push_col_eta core r w =
+  let count = ref 0 in
+  for i = 0 to core.nrows - 1 do
+    if i <> r && Float.abs w.(i) > eta_drop then incr count
+  done;
+  let idx = Array.make !count 0 and v = Array.make !count 0.0 in
+  let k = ref 0 in
+  for i = 0 to core.nrows - 1 do
+    if i <> r && Float.abs w.(i) > eta_drop then begin
+      idx.(!k) <- i;
+      v.(!k) <- w.(i);
+      incr k
+    end
+  done;
+  push_eta core { col = true; r; pr = w.(r); idx; v }
+
+(* ------------------------------------------------------------------ *)
+(* Columns, values, reduced costs                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Scatter column [j] of [A | I] into [w] (caller pre-zeroes). *)
+let scatter_col core j w =
+  if j < core.ns then begin
+    let cr = core.cr.(j) and cv = core.cv.(j) in
+    for k = 0 to core.clen.(j) - 1 do
+      w.(cr.(k)) <- cv.(k)
+    done
+  end
+  else w.(j - core.ns) <- 1.0
+
+(* y . A_j *)
+let dot_col core y j =
+  if j < core.ns then begin
+    let cr = core.cr.(j) and cv = core.cv.(j) in
+    let s = ref 0.0 in
+    for k = 0 to core.clen.(j) - 1 do
+      s := !s +. (Array.unsafe_get cv k *. Array.unsafe_get y (Array.unsafe_get cr k))
+    done;
+    !s
+  end
+  else y.(j - core.ns)
+
+(* Value of a nonbasic column: its resting bound (0 for free columns). *)
+let nb_val core j =
+  if core.nb_up.(j) then core.up.(j)
+  else if core.lo.(j) > neg_infinity then core.lo.(j)
+  else 0.0
+
+let value_of core j =
+  let p = core.bpos.(j) in
+  if p >= 0 then core.xb.(p) else nb_val core j
+
+let fixed core j = core.lo.(j) = core.up.(j)
+
+(* xb = B^-1 (b - A_N x_N), from scratch (initial build, refactorization,
+   crash starts). *)
+let recompute_xb core =
+  let v = core.wk in
+  for r = 0 to core.nrows - 1 do
+    v.(r) <- core.b.(r);
+    if core.bpos.(core.ns + r) < 0 then v.(r) <- v.(r) -. nb_val core (core.ns + r)
+  done;
+  for r = 0 to core.nrows - 1 do
+    for k = core.row_ptr.(r) to core.row_ptr.(r + 1) - 1 do
+      let j = core.rc.(k) in
+      if core.bpos.(j) < 0 then begin
+        let x = nb_val core j in
+        if x <> 0.0 then v.(r) <- v.(r) -. (core.rv.(k) *. x)
+      end
+    done
+  done;
+  ftran core v;
+  Array.blit v 0 core.xb 0 core.nrows
+
+(* ------------------------------------------------------------------ *)
+(* Refactorization: rebuild the eta file from scratch                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-enter the basic columns into an identity basis one at a time,
+   sparsest first, claiming for each the unclaimed row with the largest
+   FTRANed magnitude (partial pivoting restricted to free rows). Rows
+   whose basic column is their own slack are trivial and claim
+   themselves. Returns [false] when no acceptable pivot remains — the
+   caller rebuilds cold. Also recomputes [xb], so refactorization doubles
+   as drift repair. *)
+let refactor core =
+  Obs.incr c_refactors;
+  core.n_refactors <- core.n_refactors + 1;
+  core.n_etas <- 0;
+  core.eta_nnz <- 0;
+  let claimed = Array.make core.nrows false in
+  let pending = ref [] in
+  for r = 0 to core.nrows - 1 do
+    if core.basis.(r) = core.ns + r then claimed.(r) <- true
+    else pending := core.basis.(r) :: !pending
+  done;
+  let col_nnz j = if j < core.ns then core.clen.(j) else 1 in
+  let pending =
+    List.sort (fun a b -> compare (col_nnz a, a) (col_nnz b, b)) !pending
+  in
+  let w = core.wk in
+  let ok = ref true in
+  List.iter
+    (fun c ->
+      if !ok then begin
+        Array.fill w 0 core.nrows 0.0;
+        scatter_col core c w;
+        ftran core w;
+        let best = ref (-1) and bestv = ref 0.0 in
+        for r = 0 to core.nrows - 1 do
+          if (not claimed.(r)) && Float.abs w.(r) > !bestv then begin
+            best := r;
+            bestv := Float.abs w.(r)
+          end
+        done;
+        if !best < 0 || !bestv <= 1e-10 then ok := false
+        else begin
+          let r = !best in
+          push_col_eta core r w;
+          claimed.(r) <- true;
+          core.basis.(r) <- c;
+          core.bpos.(c) <- r
+        end
+      end)
+    pending;
+  core.base_etas <- core.n_etas;
+  core.base_nnz <- core.eta_nnz;
+  if !ok then recompute_xb core;
+  !ok
+
+let maybe_refactor core =
+  if
+    core.n_etas - core.base_etas >= refactor_etas
+    || core.eta_nnz - core.base_nnz > 24 * (core.nrows + 8)
+  then refactor core
+  else true
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility bookkeeping                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Most-violated row: (row, amount, below) with amount <= feas_tol when
+   primal feasible. *)
+let max_violation core =
+  let row = ref (-1) and amt = ref feas_tol and below = ref false in
+  for r = 0 to core.nrows - 1 do
+    let c = core.basis.(r) in
+    let v = core.xb.(r) in
+    let d_lo = core.lo.(c) -. v and d_up = v -. core.up.(c) in
+    if d_lo > !amt then begin
+      row := r;
+      amt := d_lo;
+      below := true
+    end
+    else if d_up > !amt then begin
+      row := r;
+      amt := d_up;
+      below := false
+    end
+  done;
+  (!row, !amt, !below)
+
+(* ------------------------------------------------------------------ *)
+(* Pricing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Reduced cost of a nonbasic column under the (possibly phase-1) duals;
+   [phase1] zeroes the nonbasic objective. *)
+let reduced_cost core ~phase1 y j =
+  (if phase1 then 0.0 else core.cost.(j)) -. dot_col core y j
+
+(* Entering-column candidate: Some (direction, |d|) or None. Direction
+   +1 increases the column off its lower bound, -1 decreases it off its
+   upper; free columns move either way. *)
+let candidate core ~phase1 y j =
+  if core.bpos.(j) >= 0 || fixed core j then None
+  else begin
+    let d = reduced_cost core ~phase1 y j in
+    if core.nb_up.(j) then if d > price_tol then Some (-1, d) else None
+    else if core.lo.(j) > neg_infinity then
+      if d < -.price_tol then Some (1, -.d) else None
+    else if d < -.price_tol then Some (1, -.d)
+    else if d > price_tol then Some (-1, d)
+    else None
+  end
+
+(* Partial pricing: rotate through column sections starting at
+   [price_ptr], stop at the end of the first section containing a
+   candidate (largest |d| within it). Bland mode scans everything and
+   takes the least index. *)
+let pick_entering core ~phase1 y =
+  let n = ncols core in
+  if core.bland then begin
+    let found = ref None in
+    (try
+       for j = 0 to n - 1 do
+         match candidate core ~phase1 y j with
+         | Some (dir, _) ->
+             found := Some (j, dir);
+             raise Exit
+         | None -> ()
+       done
+     with Exit -> ());
+    !found
+  end
+  else begin
+    let section = max 64 (n / 8) in
+    let best = ref None and bestv = ref 0.0 in
+    let off = ref 0 in
+    (try
+       while !off < n do
+         let j = (core.price_ptr + !off) mod n in
+         (match candidate core ~phase1 y j with
+         | Some (dir, mag) ->
+             if mag > !bestv then begin
+               best := Some (j, dir);
+               bestv := mag
+             end
+         | None -> ());
+         incr off;
+         if !off mod section = 0 && !best <> None then raise Exit
+       done
+     with Exit -> ());
+    (match !best with
+    | Some (j, _) -> core.price_ptr <- (j + 1) mod n
+    | None -> ());
+    !best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Primal simplex (phase 2, and composite phase 1)                      *)
+(* ------------------------------------------------------------------ *)
+
+let track_degeneracy core t =
+  if t <= degen_tol then begin
+    core.degen_streak <- core.degen_streak + 1;
+    if core.degen_streak > bland_after then core.bland <- true
+  end
+  else begin
+    core.degen_streak <- 0;
+    core.bland <- false
+  end
+
+(* One primal step on entering column [j] moving in [dir]. In phase 1,
+   infeasible basics block at their violated bound (they become feasible
+   there and leave); feasible basics block as usual. *)
+let primal_step core ~phase1 j dir =
+  let w = core.wk in
+  Array.fill w 0 core.nrows 0.0;
+  scatter_col core j w;
+  ftran core w;
+  let limit = ref infinity and leave_r = ref (-1) and leave_up = ref false in
+  let leave_mag = ref 0.0 in
+  let rng = core.up.(j) -. core.lo.(j) in
+  if rng < infinity then limit := rng;
+  let try_limit t r up mag =
+    let t = Float.max 0.0 t in
+    if t < !limit -. 1e-12 || (t < !limit +. 1e-12 && mag > !leave_mag) then begin
+      limit := t;
+      leave_r := r;
+      leave_up := up;
+      leave_mag := mag
+    end
+  in
+  let fdir = float_of_int dir in
+  for r = 0 to core.nrows - 1 do
+    let wr = w.(r) in
+    if Float.abs wr > pivot_tol then begin
+      let delta = -.fdir *. wr in
+      let c = core.basis.(r) in
+      let bv = core.xb.(r) in
+      let lo_b = core.lo.(c) and up_b = core.up.(c) in
+      let mag = Float.abs wr in
+      if phase1 && bv < lo_b -. feas_tol then begin
+        if delta > 0.0 then try_limit ((lo_b -. bv) /. delta) r false mag
+      end
+      else if phase1 && bv > up_b +. feas_tol then begin
+        if delta < 0.0 then try_limit ((bv -. up_b) /. -.delta) r true mag
+      end
+      else if delta < 0.0 then begin
+        if lo_b > neg_infinity then try_limit ((bv -. lo_b) /. -.delta) r false mag
+      end
+      else if up_b < infinity then try_limit ((up_b -. bv) /. delta) r true mag
+    end
+  done;
+  if !limit = infinity then `Unbounded
+  else begin
+    let t = Float.max 0.0 !limit in
+    let step = fdir *. t in
+    if step <> 0.0 then
+      for r = 0 to core.nrows - 1 do
+        core.xb.(r) <- core.xb.(r) -. (step *. w.(r))
+      done;
+    if !leave_r < 0 then begin
+      (* Bound flip: the entering column crosses its own range. *)
+      core.nb_up.(j) <- not core.nb_up.(j);
+      Obs.incr c_flips;
+      track_degeneracy core t;
+      `Step
+    end
+    else begin
+      let r = !leave_r in
+      let vq = nb_val core j +. step in
+      let lv = core.basis.(r) in
+      core.nb_up.(lv) <- !leave_up;
+      core.bpos.(lv) <- -1;
+      core.basis.(r) <- j;
+      core.bpos.(j) <- r;
+      core.xb.(r) <- vq;
+      push_col_eta core r w;
+      core.n_pivots <- core.n_pivots + 1;
+      Obs.incr c_pivots;
+      Obs.incr c_primal;
+      track_degeneracy core t;
+      if maybe_refactor core then `Step else `Stalled
+    end
+  end
+
+(* Phase-1 duals: the composite cost is +-1 on the violated basics. *)
+let phase1_duals core y =
+  Array.fill y 0 core.nrows 0.0;
+  for r = 0 to core.nrows - 1 do
+    let c = core.basis.(r) in
+    let v = core.xb.(r) in
+    if v < core.lo.(c) -. feas_tol then y.(r) <- -1.0
+    else if v > core.up.(c) +. feas_tol then y.(r) <- 1.0
+  done;
+  btran core y
+
+let phase2_duals core y =
+  Array.fill y 0 core.nrows 0.0;
+  for r = 0 to core.nrows - 1 do
+    y.(r) <- core.cost.(core.basis.(r))
+  done;
+  btran core y
+
+let primal_loop core ~phase1 =
+  let max_iter = 500 + (20 * (core.nrows + ncols core)) in
+  let iter = ref 0 in
+  let rec go () =
+    if phase1 && (let _, amt, _ = max_violation core in amt <= feas_tol) then `Feasible
+    else if !iter > max_iter then `Stalled
+    else begin
+      incr iter;
+      let y = core.yv in
+      if phase1 then phase1_duals core y else phase2_duals core y;
+      match pick_entering core ~phase1 y with
+      | None ->
+          if not phase1 then `Optimal
+          else begin
+            let _, amt, _ = max_violation core in
+            if amt > phase1_tol then `Infeasible else `Feasible
+          end
+      | Some (j, dir) -> (
+          match primal_step core ~phase1 j dir with
+          | `Step -> go ()
+          | `Stalled -> `Stalled
+          | `Unbounded -> if phase1 then `Stalled else `Unbounded)
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Dual simplex                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* alpha_j = rho . A_j for every column touched by the rows where rho is
+   nonzero: a CSR sweep plus the implicit slack units. Results land in
+   [acc]; [touched] lists the columns to reset afterwards. *)
+let dual_sweep core rho =
+  core.n_touched <- 0;
+  let touch j x =
+    if not core.acc_touched.(j) then begin
+      core.acc_touched.(j) <- true;
+      core.acc.(j) <- x;
+      core.touched.(core.n_touched) <- j;
+      core.n_touched <- core.n_touched + 1
+    end
+    else core.acc.(j) <- core.acc.(j) +. x
+  in
+  for r = 0 to core.nrows - 1 do
+    let x = rho.(r) in
+    if Float.abs x > 1e-13 then begin
+      touch (core.ns + r) x;
+      for k = core.row_ptr.(r) to core.row_ptr.(r + 1) - 1 do
+        touch core.rc.(k) (x *. core.rv.(k))
+      done
+    end
+  done
+
+let clear_sweep core =
+  for k = 0 to core.n_touched - 1 do
+    let j = core.touched.(k) in
+    core.acc.(j) <- 0.0;
+    core.acc_touched.(j) <- false
+  done;
+  core.n_touched <- 0
+
+(* Dual simplex: drive the most-violated basic to its bound, entering
+   the column with the best (smallest) dual ratio. The no-candidate
+   verdict is a sound infeasibility certificate independent of dual
+   feasibility: the leaving row's equation already maximizes (minimizes)
+   the basic value over the nonbasic boxes. *)
+let dual_loop core =
+  let max_iter = 500 + (20 * (core.nrows + ncols core)) in
+  let iter = ref 0 in
+  let rec go retried =
+    let r, _amt, below = max_violation core in
+    if r < 0 then `Feasible
+    else if !iter > max_iter then `Stalled
+    else begin
+      incr iter;
+      let rho = core.rho in
+      Array.fill rho 0 core.nrows 0.0;
+      rho.(r) <- 1.0;
+      btran core rho;
+      let y = core.yv in
+      phase2_duals core y;
+      dual_sweep core rho;
+      (* Dual ratio test over the touched nonbasic columns. *)
+      let q = ref (-1) and q_ratio = ref infinity and q_mag = ref 0.0 in
+      for k = 0 to core.n_touched - 1 do
+        let j = core.touched.(k) in
+        if core.bpos.(j) < 0 && not (fixed core j) then begin
+          let a = core.acc.(j) in
+          if Float.abs a > pivot_tol then begin
+            let at_up = core.nb_up.(j) in
+            let free = (not at_up) && core.lo.(j) = neg_infinity in
+            let ok =
+              if free then true
+              else if below then if at_up then a > 0.0 else a < 0.0
+              else if at_up then a < 0.0
+              else a > 0.0
+            in
+            if ok then begin
+              let d = reduced_cost core ~phase1:false y j in
+              let num =
+                if free then Float.abs d
+                else if at_up then Float.max 0.0 (-.d)
+                else Float.max 0.0 d
+              in
+              let ratio = num /. Float.abs a in
+              if
+                ratio < !q_ratio -. 1e-12
+                || (ratio < !q_ratio +. 1e-12 && Float.abs a > !q_mag)
+              then begin
+                q := j;
+                q_ratio := ratio;
+                q_mag := Float.abs a
+              end
+            end
+          end
+        end
+      done;
+      let alpha_q = if !q >= 0 then core.acc.(!q) else 0.0 in
+      clear_sweep core;
+      if !q < 0 then `Infeasible
+      else begin
+        let j = !q in
+        let target = if below then core.lo.(core.basis.(r)) else core.up.(core.basis.(r)) in
+        let dq = (core.xb.(r) -. target) /. alpha_q in
+        let rng = core.up.(j) -. core.lo.(j) in
+        if rng < infinity && Float.abs dq > rng +. feas_tol then begin
+          (* The entering column hits its own far bound first: flip it,
+             shift the basics, and retry the (still violated) row. *)
+          let step = if core.nb_up.(j) then -.rng else rng in
+          let w = core.wk in
+          Array.fill w 0 core.nrows 0.0;
+          scatter_col core j w;
+          ftran core w;
+          for i = 0 to core.nrows - 1 do
+            core.xb.(i) <- core.xb.(i) -. (step *. w.(i))
+          done;
+          core.nb_up.(j) <- not core.nb_up.(j);
+          Obs.incr c_flips;
+          go false
+        end
+        else begin
+          let w = core.wk in
+          Array.fill w 0 core.nrows 0.0;
+          scatter_col core j w;
+          ftran core w;
+          if Float.abs (w.(r) -. alpha_q) > 1e-6 *. Float.max 1.0 (Float.abs alpha_q)
+             || Float.abs w.(r) <= pivot_tol
+          then
+            (* FTRAN and BTRAN disagree on the pivot element: the eta
+               file has drifted. Refactorize once and retry the row. *)
+            if retried then `Stalled
+            else if (Obs.incr c_drift; refactor core) then go true
+            else `Stalled
+          else begin
+            let vq = nb_val core j +. dq in
+            for i = 0 to core.nrows - 1 do
+              core.xb.(i) <- core.xb.(i) -. (dq *. w.(i))
+            done;
+            let lv = core.basis.(r) in
+            core.nb_up.(lv) <- not below;
+            core.bpos.(lv) <- -1;
+            core.basis.(r) <- j;
+            core.bpos.(j) <- r;
+            core.xb.(r) <- vq;
+            push_col_eta core r w;
+            core.n_pivots <- core.n_pivots + 1;
+            Obs.incr c_pivots;
+            Obs.incr c_dual;
+            track_degeneracy core (Float.abs dq);
+            if maybe_refactor core then go false else `Stalled
+          end
+        end
+      end
+    end
+  in
+  go false
+
+(* ------------------------------------------------------------------ *)
+(* Building a core                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical sparse row: duplicate indices merged, exact zeros dropped,
+   sorted by column for deterministic sweeps. *)
+let canon_coeffs coeffs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) coeffs in
+  let rec merge = function
+    | (i, a) :: (j, b) :: tl when i = j -> merge ((i, a +. b) :: tl)
+    | (i, a) :: tl -> if a = 0.0 then merge tl else (i, a) :: merge tl
+    | [] -> []
+  in
+  merge sorted
+
+let slack_bounds = function
+  | Leq -> (0.0, infinity)
+  | Geq -> (neg_infinity, 0.0)
+  | Eq -> (0.0, 0.0)
+
+let alloc_core prob rows =
+  let ns = prob.n_vars in
+  let nrows = List.length rows in
+  let nc = ns + nrows in
+  let lo = Array.make nc neg_infinity and up = Array.make nc infinity in
+  for j = 0 to ns - 1 do
+    (match prob.lower.(j) with Some l -> lo.(j) <- l | None -> ());
+    (match prob.upper.(j) with Some u -> up.(j) <- u | None -> ());
+    if up.(j) < lo.(j) then
+      invalid_arg "Simplex: empty variable range (upper < lower)"
+  done;
+  let cost = Array.make nc 0.0 in
+  List.iter (fun (j, c) -> cost.(j) <- cost.(j) +. c) prob.minimize;
+  let canon = List.map (fun c -> (canon_coeffs c.coeffs, c)) rows in
+  let nnz = List.fold_left (fun a (cs, _) -> a + List.length cs) 0 canon in
+  let row_ptr = Array.make (nrows + 1) 0 in
+  let rc = Array.make (max 1 nnz) 0 and rv = Array.make (max 1 nnz) 0.0 in
+  let b = Array.make (max 1 nrows) 0.0 in
+  let clen = Array.make ns 0 in
+  List.iter (fun (cs, _) -> List.iter (fun (j, _) -> clen.(j) <- clen.(j) + 1) cs) canon;
+  let cr = Array.init ns (fun j -> Array.make (max 1 clen.(j)) 0) in
+  let cv = Array.init ns (fun j -> Array.make (max 1 clen.(j)) 0.0) in
+  Array.fill clen 0 ns 0;
+  let pos = ref 0 in
+  List.iteri
+    (fun r (cs, (cstr : constr)) ->
+      row_ptr.(r) <- !pos;
+      List.iter
+        (fun (j, a) ->
+          rc.(!pos) <- j;
+          rv.(!pos) <- a;
+          incr pos;
+          cr.(j).(clen.(j)) <- r;
+          cv.(j).(clen.(j)) <- a;
+          clen.(j) <- clen.(j) + 1)
+        cs;
+      b.(r) <- cstr.rhs;
+      let slo, sup = slack_bounds cstr.relation in
+      lo.(ns + r) <- slo;
+      up.(ns + r) <- sup)
+    canon;
+  row_ptr.(nrows) <- !pos;
+  let bpos = Array.make nc (-1) in
+  let nb_up = Array.make nc false in
+  for j = 0 to ns - 1 do
+    nb_up.(j) <- lo.(j) = neg_infinity && up.(j) < infinity
+  done;
+  let basis = Array.init (max 1 nrows) (fun r -> ns + r) in
+  for r = 0 to nrows - 1 do
+    bpos.(ns + r) <- r
+  done;
+  let core =
+    {
+      ns;
+      nrows;
+      row_ptr;
+      rc;
+      rv;
+      nnz;
+      b;
+      cr;
+      cv;
+      clen;
+      lo;
+      up;
+      cost;
+      bpos;
+      nb_up;
+      basis;
+      xb = Array.make (max 1 nrows) 0.0;
+      etas = [||];
+      n_etas = 0;
+      eta_nnz = 0;
+      base_etas = 0;
+      base_nnz = 0;
+      wk = Array.make (max 1 nrows) 0.0;
+      rho = Array.make (max 1 nrows) 0.0;
+      yv = Array.make (max 1 nrows) 0.0;
+      acc = Array.make (max 1 nc) 0.0;
+      acc_touched = Array.make (max 1 nc) false;
+      touched = Array.make (max 1 nc) 0;
+      n_touched = 0;
+      price_ptr = 0;
+      degen_streak = 0;
+      bland = false;
+      n_pivots = 0;
+      n_refactors = 0;
+    }
+  in
+  recompute_xb core;
+  core
+
+(* The all-slack origin basis is dual feasible when every nonbasic
+   reduced cost (= the raw objective coefficient) respects its resting
+   bound — the whole LP (3) family qualifies. *)
+let dual_feasible_start core =
+  let ok = ref true in
+  for j = 0 to core.ns - 1 do
+    if !ok then
+      let c = core.cost.(j) in
+      if fixed core j then ()
+      else if core.nb_up.(j) then ok := c <= price_tol
+      else if core.lo.(j) > neg_infinity then ok := c >= -.price_tol
+      else ok := Float.abs c <= price_tol
+  done;
+  !ok
+
+let extract core prob =
+  let values = Array.init core.ns (value_of core) in
+  let objective =
+    List.fold_left (fun a (j, c) -> a +. (c *. values.(j))) 0.0 prob.minimize
+  in
+  { values; objective }
+
+(* Crash the hinted structural columns into the all-slack basis (rows
+   still holding their own slack only), then recompute xb. Used by the
+   cross-solve warm start. *)
+let crash_hint core hint =
+  let crashed = ref false in
+  List.iter
+    (fun j ->
+      if j >= 0 && j < core.ns && core.bpos.(j) < 0 && not (fixed core j) then begin
+        let w = core.wk in
+        Array.fill w 0 core.nrows 0.0;
+        scatter_col core j w;
+        ftran core w;
+        let best = ref (-1) and bestv = ref 1e-7 in
+        for r = 0 to core.nrows - 1 do
+          if core.basis.(r) = core.ns + r && Float.abs w.(r) > !bestv then begin
+            best := r;
+            bestv := Float.abs w.(r)
+          end
+        done;
+        if !best >= 0 then begin
+          let r = !best in
+          let lv = core.basis.(r) in
+          core.nb_up.(lv) <- core.lo.(lv) = neg_infinity;
+          core.bpos.(lv) <- -1;
+          core.basis.(r) <- j;
+          core.bpos.(j) <- r;
+          push_col_eta core r w;
+          crashed := true
+        end
+      end)
+    hint;
+  if !crashed then recompute_xb core
+
+(* Full solve of a fresh core: dual simplex when the origin basis is
+   dual feasible (then a primal polish mops up drift), composite
+   phase 1 + phase 2 otherwise. [`Fail] = numerical stall; the caller
+   delegates to the dense kernel. *)
+let solve_core core prob ~hint =
+  let polish () =
+    match primal_loop core ~phase1:false with
+    | `Optimal -> `Done (Optimal (extract core prob))
+    | `Unbounded -> `Done Unbounded
+    | `Stalled | `Feasible | `Infeasible -> `Fail
+  in
+  let via_phase1 () =
+    match primal_loop core ~phase1:true with
+    | `Feasible -> polish ()
+    | `Infeasible -> `Done Infeasible
+    | `Stalled | `Optimal | `Unbounded -> `Fail
+  in
+  if dual_feasible_start core then begin
+    (match hint with [] -> () | h -> crash_hint core h);
+    match dual_loop core with
+    | `Feasible -> polish ()
+    | `Infeasible -> `Done Infeasible
+    | `Stalled -> via_phase1 ()
+  end
+  else via_phase1 ()
+
+(* ------------------------------------------------------------------ *)
+(* Appending a row to a live core                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Append one canonicalized row with a fresh basic slack. The basis
+   matrix gains one row and one unit column; its inverse is the old one
+   extended by a single row eta holding the new row's coefficients on
+   the old basic columns. Old basic values are untouched. Returns [true]
+   when the new slack already sits within its bounds. *)
+let append_row core (c : constr) =
+  let cs = canon_coeffs c.coeffs in
+  let r = core.nrows in
+  let extra = List.length cs in
+  core.rc <- grow_i core.rc (core.nnz + extra) 0;
+  core.rv <- grow_f core.rv (core.nnz + extra);
+  core.row_ptr <- grow_i core.row_ptr (r + 2) 0;
+  core.b <- grow_f core.b (r + 1);
+  (* The new slack's value under the current solution, and the row eta
+     over the old basic columns. *)
+  let v = ref c.rhs in
+  let eta_idx = ref [] and eta_v = ref [] and eta_n = ref 0 in
+  List.iter
+    (fun (j, a) ->
+      core.rc.(core.nnz) <- j;
+      core.rv.(core.nnz) <- a;
+      core.nnz <- core.nnz + 1;
+      let cr = grow_i core.cr.(j) (core.clen.(j) + 1) 0 in
+      let cv = grow_f core.cv.(j) (core.clen.(j) + 1) in
+      cr.(core.clen.(j)) <- r;
+      cv.(core.clen.(j)) <- a;
+      core.cr.(j) <- cr;
+      core.cv.(j) <- cv;
+      core.clen.(j) <- core.clen.(j) + 1;
+      v := !v -. (a *. value_of core j);
+      let p = core.bpos.(j) in
+      if p >= 0 then begin
+        eta_idx := p :: !eta_idx;
+        eta_v := a :: !eta_v;
+        incr eta_n
+      end)
+    cs;
+  core.row_ptr.(r + 1) <- core.nnz;
+  core.b.(r) <- c.rhs;
+  let nc = core.ns + r + 1 in
+  core.lo <- grow_f core.lo nc;
+  core.up <- grow_f core.up nc;
+  core.cost <- grow_f core.cost nc;
+  core.bpos <- grow_i core.bpos nc (-1);
+  core.nb_up <- grow_b core.nb_up nc;
+  let slo, sup = slack_bounds c.relation in
+  let sj = core.ns + r in
+  core.lo.(sj) <- slo;
+  core.up.(sj) <- sup;
+  core.cost.(sj) <- 0.0;
+  core.nb_up.(sj) <- false;
+  core.basis <- grow_i core.basis (r + 1) (-1);
+  core.xb <- grow_f core.xb (r + 1);
+  core.basis.(r) <- sj;
+  core.bpos.(sj) <- r;
+  core.xb.(r) <- !v;
+  core.nrows <- r + 1;
+  if !eta_n > 0 then
+    push_eta core
+      {
+        col = false;
+        r;
+        pr = 1.0;
+        idx = Array.of_list (List.rev !eta_idx);
+        v = Array.of_list (List.rev !eta_v);
+      };
+  core.wk <- grow_f core.wk core.nrows;
+  core.rho <- grow_f core.rho core.nrows;
+  core.yv <- grow_f core.yv core.nrows;
+  core.acc <- grow_f core.acc nc;
+  core.acc_touched <- grow_b core.acc_touched nc;
+  core.touched <- grow_i core.touched nc 0;
+  !v >= slo -. feas_tol && !v <= sup +. feas_tol
+
+(* ------------------------------------------------------------------ *)
+(* Incremental state and the BACKEND surface                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  prob : problem;
+  mutable added : constr list; (* newest first *)
+  mutable core : core option;
+  mutable deleg : Simplex_float.state option;
+  mutable base_pivots : int; (* pivots of abandoned cores *)
+  mutable base_refactors : int;
+  mutable last : outcome;
+}
+
+let pivots st =
+  st.base_pivots
+  + (match st.core with Some c -> c.n_pivots | None -> 0)
+  + (match st.deleg with Some d -> Simplex_float.pivots d | None -> 0)
+
+let refactors st =
+  st.base_refactors + match st.core with Some c -> c.n_refactors | None -> 0
+
+(* Delegation to the dense kernel: the structural problem types are
+   field-for-field identical, only nominally distinct. *)
+let to_dense_relation = function
+  | Leq -> Simplex_float.Leq
+  | Geq -> Simplex_float.Geq
+  | Eq -> Simplex_float.Eq
+
+let to_dense_constr (c : constr) =
+  {
+    Simplex_float.coeffs = c.coeffs;
+    relation = to_dense_relation c.relation;
+    rhs = c.rhs;
+    label = c.label;
+  }
+
+let to_dense_problem (p : problem) extra =
+  {
+    Simplex_float.n_vars = p.n_vars;
+    minimize = p.minimize;
+    constraints = List.map to_dense_constr (p.constraints @ extra);
+    lower = p.lower;
+    upper = p.upper;
+    var_name = p.var_name;
+  }
+
+let of_dense_outcome = function
+  | Simplex_float.Optimal s ->
+      Optimal { values = s.Simplex_float.values; objective = s.Simplex_float.objective }
+  | Simplex_float.Infeasible -> Infeasible
+  | Simplex_float.Unbounded -> Unbounded
+
+let delegate st =
+  Obs.incr c_fallbacks;
+  (match st.core with
+  | Some c ->
+      st.base_pivots <- st.base_pivots + c.n_pivots;
+      st.base_refactors <- st.base_refactors + c.n_refactors
+  | None -> ());
+  st.core <- None;
+  let d, out =
+    Simplex_float.solve_incremental (to_dense_problem st.prob (List.rev st.added))
+  in
+  st.deleg <- Some d;
+  st.last <- of_dense_outcome out;
+  st.last
+
+let build_state ?(hint = []) prob =
+  let st =
+    {
+      prob;
+      added = [];
+      core = None;
+      deleg = None;
+      base_pivots = 0;
+      base_refactors = 0;
+      last = Infeasible;
+    }
+  in
+  let core = alloc_core prob prob.constraints in
+  (match solve_core core prob ~hint with
+  | `Done out ->
+      st.core <- Some core;
+      st.last <- out
+  | `Fail ->
+      st.base_pivots <- core.n_pivots;
+      st.base_refactors <- core.n_refactors;
+      ignore (delegate st));
+  (st, st.last)
+
+let cold_rebuild st =
+  Obs.incr c_rebuilds;
+  (match st.core with
+  | Some c ->
+      st.base_pivots <- st.base_pivots + c.n_pivots;
+      st.base_refactors <- st.base_refactors + c.n_refactors
+  | None -> ());
+  st.core <- None;
+  let prob = st.prob in
+  let core = alloc_core prob (prob.constraints @ List.rev st.added) in
+  match solve_core core prob ~hint:[] with
+  | `Done out ->
+      st.core <- Some core;
+      st.last <- out;
+      out
+  | `Fail ->
+      st.base_pivots <- st.base_pivots + core.n_pivots;
+      st.base_refactors <- st.base_refactors + core.n_refactors;
+      delegate st
+
+let solve_incremental prob =
+  Obs.incr c_cold;
+  build_state prob
+
+let solve prob = snd (solve_incremental prob)
+
+let solve_dual_incremental ?(hint = []) prob =
+  Obs.incr c_cold;
+  build_state ~hint prob
+
+let basis_hint st =
+  match (st.core, st.deleg) with
+  | Some core, _ ->
+      let out = ref [] in
+      for j = core.ns - 1 downto 0 do
+        if core.bpos.(j) >= 0 then out := j :: !out
+      done;
+      !out
+  | None, Some d -> Simplex_float.basis_hint d
+  | None, None -> []
+
+let add_constraint st (c : constr) =
+  let what = "Revised_sparse.add_constraint" in
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= st.prob.n_vars then invalid_arg (what ^ ": variable out of range"))
+    c.coeffs;
+  check_constr ~what c;
+  st.added <- c :: st.added;
+  match st.deleg with
+  | Some d ->
+      st.last <- of_dense_outcome (Simplex_float.add_constraint d (to_dense_constr c));
+      st.last
+  | None -> (
+      match (st.last, st.core) with
+      | Infeasible, _ -> Infeasible
+      | _, None | Unbounded, _ -> cold_rebuild st
+      | Optimal _, Some core ->
+          Obs.incr c_warm;
+          if append_row core c then st.last
+          else begin
+            let polish () =
+              match primal_loop core ~phase1:false with
+              | `Optimal ->
+                  st.last <- Optimal (extract core st.prob);
+                  st.last
+              | `Unbounded ->
+                  st.last <- Unbounded;
+                  st.last
+              | `Stalled | `Feasible | `Infeasible -> cold_rebuild st
+            in
+            match dual_loop core with
+            | `Feasible -> polish ()
+            | `Infeasible ->
+                st.last <- Infeasible;
+                st.last
+            | `Stalled -> cold_rebuild st
+          end)

@@ -33,20 +33,36 @@ let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
    like any other exception. *)
 let record_item_exn ~error e = ignore (Atomic.compare_and_set error None (Some e))
 
-(* The shared work loop: claim indices until the array is exhausted or a
-   sibling has recorded an error. [f] receives a poll closure raising
-   [Cancelled] when the sweep is poisoned, so cooperative items can bail
-   mid-computation. *)
-let run_sweep ~error ~next ~results f a =
+(* Guided chunk size: claim half the remaining work divided evenly over
+   the workers, never less than one item. Early chunks are large (low
+   counter contention), late chunks shrink to single items so an uneven
+   tail — one player's Dijkstra dwarfing the rest — cannot strand the
+   whole sweep behind a worker holding a big fixed chunk. [approx] is a
+   racy read of the claim counter; it only tunes the size, claims
+   themselves go through fetch-and-add and never overlap. *)
+let guided_chunk ~workers ~n approx = max 1 ((n - approx) / (2 * workers))
+
+(* The shared work loop: claim guided chunks of indices until the array
+   is exhausted or a sibling has recorded an error. Results land at their
+   absolute indices, so scheduling never reorders them. [f] receives a
+   poll closure raising [Cancelled] when the sweep is poisoned, so
+   cooperative items can bail mid-computation. *)
+let run_sweep ~workers ~error ~next ~results f a =
   let n = Array.length a in
   let check () = if Atomic.get error <> None then raise Cancelled in
   let rec work () =
     if Atomic.get error = None then begin
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (match f check a.(i) with
-        | v -> results.(i) <- Some v
-        | exception e -> record_item_exn ~error e);
+      let k = guided_chunk ~workers ~n (Atomic.get next) in
+      let lo = Atomic.fetch_and_add next k in
+      if lo < n then begin
+        let hi = min (lo + k) n in
+        let i = ref lo in
+        while !i < hi && Atomic.get error = None do
+          (match f check a.(!i) with
+          | v -> results.(!i) <- Some v
+          | exception e -> record_item_exn ~error e);
+          incr i
+        done;
         work ()
       end
     end
@@ -63,7 +79,7 @@ let map_cancellable ?domains f a =
       let results = Array.make n None in
       let error = Atomic.make None in
       let next = Atomic.make 0 in
-      let work = run_sweep ~error ~next ~results f a in
+      let work = run_sweep ~workers ~error ~next ~results f a in
       let handles = List.init (workers - 1) (fun _ -> Domain.spawn work) in
       work ();
       List.iter Domain.join handles;
@@ -123,6 +139,7 @@ module Pool = struct
     next : int Atomic.t;
     inflight : int Atomic.t;
     error : exn option Atomic.t;
+    job_workers : int; (* guided-chunk divisor: pool size at submit time *)
   }
 
   type job = Job : ('a, 'b) job_data -> job
@@ -151,16 +168,22 @@ module Pool = struct
     let check () = if Atomic.get j.error <> None then raise Cancelled in
     let rec work () =
       if Atomic.get j.error = None then begin
-        let i = Atomic.fetch_and_add j.next 1 in
-        if i < n then begin
-          Obs.incr c_items;
-          (* Same unpoisoned-[Cancelled] contract as [run_sweep]. *)
-          (match j.f check j.data.(i) with
-          | v -> j.results.(i) <- Some v
-          | exception Cancelled ->
-              Obs.incr c_cancellations;
-              record_item_exn ~error:j.error Cancelled
-          | exception e -> record_item_exn ~error:j.error e);
+        let k = guided_chunk ~workers:j.job_workers ~n (Atomic.get j.next) in
+        let lo = Atomic.fetch_and_add j.next k in
+        if lo < n then begin
+          let hi = min (lo + k) n in
+          let i = ref lo in
+          while !i < hi && Atomic.get j.error = None do
+            Obs.incr c_items;
+            (* Same unpoisoned-[Cancelled] contract as [run_sweep]. *)
+            (match j.f check j.data.(!i) with
+            | v -> j.results.(!i) <- Some v
+            | exception Cancelled ->
+                Obs.incr c_cancellations;
+                record_item_exn ~error:j.error Cancelled
+            | exception e -> record_item_exn ~error:j.error e);
+            incr i
+          done;
           work ()
         end
       end
@@ -223,6 +246,7 @@ module Pool = struct
           next = Atomic.make 0;
           inflight = Atomic.make 0;
           error = Atomic.make None;
+          job_workers = size pool;
         }
       in
       pool.job <- Some (Job j);

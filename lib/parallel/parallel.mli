@@ -1,9 +1,13 @@
 (** Minimal OCaml 5 data parallelism for parameter sweeps and the
     branch-and-bound SND engine.
 
-    Dynamic scheduling over an atomic index counter — sweep items here have
-    wildly uneven cost (an LP at n=256 dwarfs one at n=8). Degrades to
-    sequential execution on single-core machines. *)
+    Dynamic scheduling over an atomic index counter with guided chunk
+    sizing (each claim takes half the remaining work split over the
+    workers, shrinking to single items near the tail) — sweep items here
+    have wildly uneven cost (an LP at n=256 dwarfs one at n=8, one
+    player's Dijkstra dwarfs the rest of a separation round). Results
+    always land at their input indices, whatever the schedule. Degrades
+    to sequential execution on single-core machines. *)
 
 (** Raised inside a worker item by the poll closure of
     {!map_cancellable} / {!Pool.map_cancellable} when a sibling worker has

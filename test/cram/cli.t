@@ -139,3 +139,22 @@ A failing run still emits its stats before the nonzero exit:
 
   $ sne_cli solve --seed 3 -n 9 --method cut --max-rounds 0 --stats 2>/dev/null | grep -o "sne.nonconverged"
   sne.nonconverged
+
+The sparse revised-simplex backend agrees with the dense kernel through
+every method (per-edge subsidy lines are skipped: alternate optima may
+distribute the same total differently between backends):
+
+  $ sne_cli solve --seed 3 -n 9 --backend sparse | head -n 2
+  instance: seed=3, 9 nodes, 14 edges, root 3, target tree weight 21.000
+  LP (3): total subsidies 0.9167 (4.37% of the tree)
+
+  $ sne_cli solve --seed 8 --method cut --backend sparse --domains 2 | grep -v "  edge "
+  instance: seed=8, 10 nodes, 15 edges, root 1, target tree weight 45.000
+  cutting plane: 1 rounds, 1 constraints generated, 1 pivots
+  LP (1) via cutting planes: total subsidies 2.1333 (4.74% of the tree)
+  MST is an equilibrium under this plan: true
+
+and its solves are visible in the observability report:
+
+  $ sne_cli solve --seed 8 --method cut --backend sparse --stats | grep -oE "lp.sparse.pivots +\| 1" | head -n 1
+  lp.sparse.pivots              | 1

@@ -8,6 +8,7 @@ let () =
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
       ("lp", Test_lp.suite);
+      ("sparse-lp", Test_sparse_lp.suite);
       ("warmstart", Test_warmstart.suite);
       ("game", Test_game.suite);
       ("core", Test_core.suite);

@@ -197,6 +197,38 @@ let unit_tests =
             (* The pool is still usable after a poisoned job. *)
             let r = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
             Alcotest.(check bool) "recovered" true (r = [| 2; 3; 4 |])));
+    Alcotest.test_case "guided chunking keeps results order-stable" `Quick (fun () ->
+        (* Dynamic chunk sizes must never reorder results: each item's
+           value lands at its input index, whatever schedule the workers
+           race into. Uneven per-item cost makes the claim pattern
+           irregular on purpose. *)
+        let n = 500 in
+        let a = Array.init n (fun i -> i) in
+        let f x =
+          if x mod 17 = 0 then begin
+            let s = ref 0 in
+            for k = 1 to 20_000 do
+              s := !s + (k mod 7)
+            done;
+            ignore !s
+          end;
+          x * 3
+        in
+        let expected = Array.map f a in
+        for domains = 1 to 4 do
+          let r = Parallel.map ~domains f a in
+          Alcotest.(check bool)
+            (Printf.sprintf "map order-stable at %d domains" domains)
+            true (r = expected)
+        done;
+        let pool = Parallel.Pool.create ~domains:4 () in
+        Fun.protect
+          ~finally:(fun () -> Parallel.Pool.shutdown pool)
+          (fun () ->
+            for _ = 1 to 3 do
+              let r = Parallel.Pool.map pool f a in
+              Alcotest.(check bool) "pool map order-stable" true (r = expected)
+            done));
     Alcotest.test_case "pool rejects maps after shutdown" `Quick (fun () ->
         let pool = Parallel.Pool.create ~domains:2 () in
         Parallel.Pool.shutdown pool;
