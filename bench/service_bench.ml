@@ -1,0 +1,214 @@
+(* Request-service benchmark: replay a mixed wire-format workload through
+   Repro_service and record throughput and latency percentiles.
+
+   Writes a machine-readable BENCH_service.json (schema in EXPERIMENTS.md,
+   validated by tools/check_bench.py) so CI and later PRs have a service
+   trajectory next to BENCH_lp.json and BENCH_snd.json.
+
+     dune exec bench/service_bench.exe                 (full load)
+     dune exec bench/service_bench.exe -- --smoke      (CI gate)
+     dune exec bench/service_bench.exe -- --json out.json
+
+   The smoke mode is a hard gate, not a measurement: it must replay at
+   least 1000 mixed requests end to end with zero crashes, at least one
+   deadline expiry, and at least one cache hit, or exit nonzero. Every
+   request goes through Service_wire serialization both ways, so the wire
+   format is exercised under load too. *)
+
+module Service = Repro_service.Service
+module Wire = Repro_service.Service_wire
+module Instances = Repro_core.Instances
+module Serial = Repro_core.Serial.Float
+module Par = Repro_parallel.Parallel
+module Obs = Repro_obs.Obs
+module Json = Repro_util.Bench_json
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let json_path =
+  let path = ref "BENCH_service.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let payload ~seed ~n ~extra =
+  let inst = Instances.random ~dist:(Instances.Integer 10) ~n ~extra ~seed () in
+  Serial.to_string
+    {
+      Serial.graph = inst.Instances.graph;
+      root = inst.Instances.root;
+      tree_edge_ids = None;
+      subsidy = [];
+    }
+
+(* A small pool of distinct instances, revisited round-robin: revisits of
+   the same (kind, instance) pair are exactly what the response cache
+   absorbs, so cache hits are guaranteed by construction. *)
+let instance_pool = Array.init 12 (fun i -> payload ~seed:(100 + i) ~n:8 ~extra:4)
+
+(* A hopeless budget never finds an incumbent, so the SND engine grinds
+   the full spanning-tree stream of a dense instance until its deadline
+   aborts it — the guaranteed deadline-expiry traffic. *)
+let slow_payload = payload ~seed:5 ~n:14 ~extra:14
+
+let mk_request i =
+  let id = Printf.sprintf "r%d" i in
+  let inst = instance_pool.(i mod Array.length instance_pool) in
+  match i mod 16 with
+  | 0 | 1 | 2 ->
+      { Service.id; kind = Service.Sne { meth = `Lp3; backend = Service.Dense; max_rounds = 500 };
+        payload = inst; deadline_ms = None; priority = 0 }
+  | 3 | 4 ->
+      { Service.id; kind = Service.Sne { meth = `Lp3; backend = Service.Sparse; max_rounds = 500 };
+        payload = inst; deadline_ms = None; priority = 0 }
+  | 5 | 6 ->
+      { Service.id; kind = Service.Sne { meth = `Cut; backend = Service.Dense; max_rounds = 500 };
+        payload = inst; deadline_ms = None; priority = 0 }
+  | 7 | 8 | 9 ->
+      { Service.id; kind = Service.Enforce; payload = inst; deadline_ms = None;
+        priority = 0 }
+  | 10 | 11 | 12 ->
+      { Service.id; kind = Service.Check; payload = inst; deadline_ms = None;
+        priority = 1 }
+  | 13 ->
+      { Service.id; kind = Service.Snd { budget = 1e6 }; payload = inst;
+        deadline_ms = None; priority = 0 }
+  | 14 ->
+      (* Malformed payload: parses on the wire, fails Serial parsing —
+         graceful degradation traffic. *)
+      { Service.id; kind = Service.Check; payload = "nodes 3\nroot 0\nedge 0 1 oops\n";
+        deadline_ms = None; priority = 0 }
+  | _ ->
+      { Service.id; kind = Service.Snd { budget = -1.0 }; payload = slow_payload;
+        deadline_ms = Some 25.0; priority = 2 }
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let () =
+  let total = if smoke then 1024 else 4096 in
+  let workers = max 1 (min 4 (Par.default_domains ())) in
+  Printf.printf "service bench (%s mode): %d requests, %d workers\n%!"
+    (if smoke then "smoke" else "full")
+    total workers;
+  Obs.reset ();
+  let responses, wall =
+    Obs.with_enabled true (fun () ->
+        Service.with_service ~workers ~queue_limit:(total + 1) ~cache:256
+          ~batch:(4 * workers) (fun svc ->
+            let t0 = Unix.gettimeofday () in
+            (* Wire round trip under load: serialize each request to its
+               line form and parse it back before submission. *)
+            let reqs =
+              List.init total (fun i ->
+                  let line = Wire.request_to_string (mk_request i) in
+                  match Wire.parse_request line with
+                  | Ok r -> r
+                  | Error e ->
+                      Printf.eprintf "service_bench: wire round trip failed: %s\n" e;
+                      exit 1)
+            in
+            let rs = Service.run_batch svc reqs in
+            (rs, Unix.gettimeofday () -. t0)))
+  in
+  let count pred = List.length (List.filter pred responses) in
+  let ok = count (fun r -> Result.is_ok r.Service.result) in
+  let by reason =
+    count (fun r ->
+        match r.Service.result with
+        | Error e -> Wire.reason_slug e = reason
+        | Ok _ -> false)
+  in
+  let deadline_expired = by "deadline_expired" in
+  let parse_errors = by "parse_error" in
+  let solver_errors = by "solver_error" in
+  let other_errors =
+    List.length responses - ok - deadline_expired - parse_errors - solver_errors
+  in
+  let cache_hits = count (fun r -> r.Service.cache_hit) in
+  let lat =
+    responses |> List.map (fun r -> r.Service.elapsed_ms) |> Array.of_list
+  in
+  Array.sort compare lat;
+  let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+  let mean = Array.fold_left ( +. ) 0.0 lat /. float_of_int (max 1 (Array.length lat)) in
+  let throughput = float_of_int (List.length responses) /. wall in
+  Printf.printf
+    "  %d responses in %.2fs (%.0f req/s): %d ok, %d cache hits, %d deadline-expired, %d parse errors, %d solver errors, %d other\n"
+    (List.length responses) wall throughput ok cache_hits deadline_expired
+    parse_errors solver_errors other_errors;
+  Printf.printf "  latency: p50 %.2fms, p99 %.2fms, mean %.2fms, max %.2fms\n" p50 p99
+    mean
+    (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
+  (* Hard gates (both modes; the smoke invocation is what CI enforces):
+     every request answered, at least one deadline abort, at least one
+     cache hit, no solver crashes leaking through as solver_error. *)
+  let gates =
+    [
+      ("all requests answered", List.length responses = total);
+      ("replayed >= 1000 requests", total >= 1000);
+      ("no solver errors", solver_errors = 0);
+      (">= 1 deadline expiry", deadline_expired >= 1);
+      (">= 1 cache hit", cache_hits >= 1);
+      ("parse errors surfaced as structured responses", parse_errors >= 1);
+      ("latency percentiles ordered", p50 <= p99);
+    ]
+  in
+  let gates_met = List.for_all snd gates in
+  List.iter
+    (fun (name, okg) -> if not okg then Printf.eprintf "GATE FAILED: %s\n" name)
+    gates;
+  Json.write_file ~path:json_path
+    (Json.Obj
+       [
+         ( "meta",
+           Json.Obj
+             [
+               ("bench", Json.Str "service_bench");
+               ("mode", Json.Str (if smoke then "smoke" else "full"));
+               ("workers", Json.Int workers);
+             ] );
+         ( "load",
+           Json.Obj
+             [
+               ("requests", Json.Int total);
+               ("distinct_instances", Json.Int (Array.length instance_pool));
+             ] );
+         ( "results",
+           Json.Obj
+             [
+               ("ok", Json.Int ok);
+               ("cache_hits", Json.Int cache_hits);
+               ("deadline_expired", Json.Int deadline_expired);
+               ("parse_errors", Json.Int parse_errors);
+               ("solver_errors", Json.Int solver_errors);
+               ("other_errors", Json.Int other_errors);
+             ] );
+         ( "latency_ms",
+           Json.Obj
+             [
+               ("p50", Json.Float p50);
+               ("p99", Json.Float p99);
+               ("mean", Json.Float mean);
+               ( "max",
+                 Json.Float
+                   (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1)) );
+             ] );
+         ("throughput_rps", Json.Float throughput);
+         ("obs", Obs.stats_json ());
+         ("summary", Json.Obj [ ("gates_met", Json.Bool gates_met) ]);
+       ]);
+  Printf.printf "wrote %s\n" json_path;
+  if not gates_met then exit 1

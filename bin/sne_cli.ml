@@ -8,7 +8,9 @@
    sne_cli reduction  — build and verify one of the hardness reductions
    sne_cli pareto     — the budget/weight Pareto frontier of a small instance
    sne_cli design     — exact SND via the branch-and-bound engine
-   sne_cli dynamics   — run best-response dynamics from the MST *)
+   sne_cli dynamics   — run best-response dynamics from the MST
+   sne_cli serve      — request service over stdio: newline-delimited
+                        requests in, one-line JSON responses out *)
 
 module Gm = Repro_game.Game.Float_game
 module G = Gm.G
@@ -495,6 +497,120 @@ let dynamics_cmd =
   Cmd.v (Cmd.info "dynamics" ~doc:"Best-response dynamics from the MST.")
     Term.(const run $ seed_arg $ nodes_arg $ extra_arg $ stats_arg $ trace_arg)
 
+(* ---------------------------------------------------------------- *)
+(* serve                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Service = Repro_service.Service in
+  let module Wire = Repro_service.Service_wire in
+  let stdio_arg =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Speak the wire protocol over stdin/stdout (the only \
+                   transport; see DESIGN.md for the format).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"W" ~doc:"Solver parallelism (1 = no extra domains).")
+  in
+  let queue_limit_arg =
+    Arg.(value & opt int 256
+         & info [ "queue-limit" ] ~docv:"Q"
+             ~doc:"Backpressure high-water mark: pending requests beyond this \
+                   are answered with an overloaded error immediately.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 512
+         & info [ "cache" ] ~docv:"C"
+             ~doc:"Response cache capacity in outcomes (0 disables caching).")
+  in
+  (* Best-effort id echo for lines that fail wire parsing, so callers can
+     still correlate the error response. *)
+  let sniff_id line =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.find_map (fun tok ->
+           if String.length tok > 3 && String.sub tok 0 3 = "id=" then
+             let raw = String.sub tok 3 (String.length tok - 3) in
+             Some (match Wire.decode raw with Ok s -> s | Error _ -> raw)
+           else None)
+    |> Option.value ~default:""
+  in
+  let run stdio workers queue_limit cache show_stats trace =
+    with_obs show_stats trace @@ fun () ->
+    if not stdio then Error "serve: pass --stdio (the only transport)"
+    else begin
+      let wire_errors = Repro_obs.Obs.counter "service.wire_parse_errors" in
+      Service.with_service ~workers ~queue_limit ~cache (fun svc ->
+          (* Responses are emitted in request order: parse errors complete
+             instantly, solver responses as their tickets resolve. Between
+             input lines we drain whatever already finished, so a slow
+             request pipelines behind fast ones without reordering. *)
+          let queue : [ `Done of Service.response | `Wait of Service.ticket ] Queue.t =
+            Queue.create ()
+          in
+          let emit r =
+            print_string (Wire.response_to_string r);
+            print_newline ();
+            flush stdout
+          in
+          let rec drain ~block =
+            match Queue.peek_opt queue with
+            | None -> ()
+            | Some (`Done r) ->
+                ignore (Queue.pop queue);
+                emit r;
+                drain ~block
+            | Some (`Wait tk) ->
+                if block then begin
+                  ignore (Queue.pop queue);
+                  emit (Service.await svc tk);
+                  drain ~block
+                end
+                else (
+                  match Service.poll_response svc tk with
+                  | Some r ->
+                      ignore (Queue.pop queue);
+                      emit r;
+                      drain ~block
+                  | None -> ())
+          in
+          (try
+             while true do
+               let line = input_line stdin in
+               let t = String.trim line in
+               if t <> "" && t.[0] <> '#' then begin
+                 (match Wire.parse_request t with
+                 | Ok req -> Queue.add (`Wait (Service.submit svc req)) queue
+                 | Error msg ->
+                     Repro_obs.Obs.incr wire_errors;
+                     Queue.add
+                       (`Done
+                          {
+                            Service.id = sniff_id t;
+                            result = Error (Service.Parse_error msg);
+                            cache_hit = false;
+                            elapsed_ms = 0.0;
+                          })
+                       queue);
+                 drain ~block:false
+               end
+             done
+           with End_of_file -> ());
+          drain ~block:true);
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve solver requests over stdio: newline-delimited wire requests \
+             in, one-line JSON responses out, in request order. Structured \
+             error responses (parse errors, expired deadlines, overload) are \
+             normal operation, not process failures.")
+    Term.(const run $ stdio_arg $ workers_arg $ queue_limit_arg $ cache_arg
+          $ stats_arg $ trace_arg)
+
 let () =
   let info =
     Cmd.info "sne_cli" ~version:"1.0"
@@ -504,4 +620,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ solve_cmd; landscape_cmd; lower_bound_cmd; reduction_cmd; pareto_cmd;
-            design_cmd; dynamics_cmd ]))
+            design_cmd; dynamics_cmd; serve_cmd ]))

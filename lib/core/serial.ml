@@ -79,17 +79,39 @@ module Make (F : Repro_field.Field.S) = struct
            | [ "edge"; u; v; w ] ->
                edges := (int_arg "edge endpoint" u, int_arg "edge endpoint" v, weight_arg w) :: !edges
            | "edge" :: _ -> fail "'edge' expects 'edge u v weight'"
-           | "tree" :: (_ :: _ as ids) -> tree := Some (List.map (int_arg "tree edge id") ids)
+           | "tree" :: (_ :: _ as ids) ->
+               tree := Some (lineno + 1, List.map (int_arg "tree edge id") ids)
            | [ "tree" ] -> fail "'tree' expects at least one edge id"
            | [ "subsidy"; id; amount ] ->
-               subsidy := (int_arg "subsidy edge id" id, weight_arg amount) :: !subsidy
+               subsidy := (lineno + 1, int_arg "subsidy edge id" id, weight_arg amount) :: !subsidy
            | "subsidy" :: _ -> fail "'subsidy' expects 'subsidy edge_id amount'"
            | tok :: _ -> fail (Printf.sprintf "unknown directive %S" tok))
     |> ignore;
     let n = match !nodes with Some n -> n | None -> failwith "Serial: missing 'nodes'" in
     let graph = G.create ~n (List.rev !edges) in
     if !root < 0 || !root >= n then failwith "Serial: root out of range";
-    { graph; root = !root; tree_edge_ids = !tree; subsidy = List.rev !subsidy }
+    (* Edge ids are only meaningful once every 'edge' line has been seen, so
+       referential validation runs after the graph is built — but still
+       fails with the referencing line's number, not a late crash in
+       [subsidy_array]/[target_tree] long after parsing. *)
+    let m = G.n_edges graph in
+    let check_id what lineno id =
+      if id < 0 || id >= m then
+        failwith
+          (Printf.sprintf
+             "Serial line %d: %s references nonexistent edge id %d (instance has %d edges)"
+             lineno what id m)
+    in
+    (match !tree with
+    | Some (lineno, ids) -> List.iter (check_id "'tree'" lineno) ids
+    | None -> ());
+    List.iter (fun (lineno, id, _) -> check_id "'subsidy'" lineno id) (List.rev !subsidy);
+    {
+      graph;
+      root = !root;
+      tree_edge_ids = Option.map snd !tree;
+      subsidy = List.rev_map (fun (_, id, v) -> (id, v)) !subsidy;
+    }
 
   let to_string t =
     let buf = Buffer.create 256 in

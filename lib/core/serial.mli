@@ -14,7 +14,10 @@ module Make (F : Repro_field.Field.S) : sig
     subsidy : (int * F.t) list;
   }
 
-  (** Raises [Failure] with a line number on malformed input. *)
+  (** Raises [Failure] with a line number on malformed input, including
+      [tree]/[subsidy] lines referencing edge ids the instance does not
+      declare (referential validation happens at parse time, not when the
+      subsidy array or target tree is later materialized). *)
   val of_string : string -> t
 
   val to_string : t -> string

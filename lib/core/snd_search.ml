@@ -205,7 +205,8 @@ module Make (F : Repro_field.Field.S) = struct
       the first affordable tree in (weight, sorted-edge-ids) order among
       the minimum-weight affordable class. Terminates as soon as the
       stream's weights exceed the incumbent's. *)
-  let exact_small ?(config = default_config) ?pricer ~graph ~root ~budget () =
+  let exact_small ?(config = default_config) ?pricer ?(poll = fun () -> ()) ~graph ~root
+      ~budget () =
     Obs.span "snd.exact_small" @@ fun () ->
     let spec = Gm.broadcast ~graph ~root in
     let pricer =
@@ -232,6 +233,7 @@ module Make (F : Repro_field.Field.S) = struct
     let pull k =
       let acc = ref [] and count = ref 0 in
       while (not !exhausted) && !count < k do
+        poll ();
         match !stream () with
         | Seq.Nil -> exhausted := true
         | Seq.Cons ((w, ids), rest) ->
@@ -266,6 +268,10 @@ module Make (F : Repro_field.Field.S) = struct
            wasted work. *)
         let incumbent = Par.Incumbent.create ~better:beats () in
         let price _check (c : cand) =
+          (* Cancellation point before each LP solve; in parallel
+             configurations this runs on worker domains, so [poll] must be
+             thread-safe (the service's deadline cells are atomics). *)
+          poll ();
           let dominated =
             match Par.Incumbent.get incumbent with
             | Some iv -> beats iv (c.cw, c.cids)
@@ -306,7 +312,8 @@ module Make (F : Repro_field.Field.S) = struct
       far is already dominated by an earlier (no heavier) tree and is never
       priced; once a zero-cost tree has been priced, every later tree is
       dominated and the stream stops. *)
-  let pareto_frontier ?(config = default_config) ?pricer ~graph ~root () =
+  let pareto_frontier ?(config = default_config) ?pricer ?(poll = fun () -> ()) ~graph
+      ~root () =
     Obs.span "snd.pareto_frontier" @@ fun () ->
     let spec = Gm.broadcast ~graph ~root in
     let pricer =
@@ -324,6 +331,7 @@ module Make (F : Repro_field.Field.S) = struct
     let pull k =
       let acc = ref [] and count = ref 0 in
       while (not !exhausted) && !count < k do
+        poll ();
         match !min_cost with
         | Some m when F.leq m F.zero -> exhausted := true
         | _ -> (
@@ -362,6 +370,7 @@ module Make (F : Repro_field.Field.S) = struct
            predecessors in stream order. *)
         let board = ref [||] in
         let price _check (slot, (c : cand)) =
+          poll ();
           let dominated =
             config.use_lb
             && ((match !min_cost with Some m -> F.lt m c.clb | None -> false)

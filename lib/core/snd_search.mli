@@ -71,10 +71,16 @@ module Make (F : Repro_field.Field.S) : sig
 
   (** Exact SND: the design the seed enumeration solver returns, found by
       weight-ordered search with early termination. [None] only on
-      disconnected graphs. *)
+      disconnected graphs. [poll] is called once per enumerated candidate
+      and once before each pricing LP; it may raise (e.g.
+      {!Repro_parallel.Parallel.Cancelled} from an expired service
+      deadline) to abort the search mid-stream — the exception propagates
+      to the caller. In parallel configurations it runs on worker domains
+      and must be thread-safe. *)
   val exact_small :
     ?config:config ->
     ?pricer:pricer ->
+    ?poll:(unit -> unit) ->
     graph:G.t ->
     root:int ->
     budget:F.t ->
@@ -83,10 +89,12 @@ module Make (F : Repro_field.Field.S) : sig
 
   (** The full (required budget, design weight) Pareto frontier, identical
       to the seed's price-every-tree computation, with dominated trees
-      filtered incrementally during the search. *)
+      filtered incrementally during the search. [poll] as in
+      {!exact_small}. *)
   val pareto_frontier :
     ?config:config ->
     ?pricer:pricer ->
+    ?poll:(unit -> unit) ->
     graph:G.t ->
     root:int ->
     unit ->

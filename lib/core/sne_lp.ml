@@ -285,7 +285,7 @@ struct
      and re-optimize from the previous basis — and cold restarts that
      re-solve the accumulated master from scratch every round. Both reach
      the same optimum; the stats record how many pivots each spent. *)
-  let cutting_core ~what ~warm ~max_rounds ~graph base ~find_cuts =
+  let cutting_core ~what ~warm ~max_rounds ~poll ~graph base ~find_cuts =
     let m = G.n_edges graph in
     let clamp (s : Lp.solution) =
       Array.init m (fun id -> F.max F.zero (F.min s.Lp.values.(id) (G.weight graph id)))
@@ -322,6 +322,10 @@ struct
       match !warm_state with Some st -> Lp.pivots st | None -> !cold_pivots
     in
     let rec loop round (s : Lp.solution) =
+      (* Cancellation point, once per master/separation round: a service
+         deadline raising here aborts the loop between pivot batches
+         instead of running the master to convergence. *)
+      poll ();
       let subsidy = clamp s in
       let finish converged =
         if not converged then Obs.incr c_nonconverged;
@@ -361,8 +365,8 @@ struct
       Lemma 2's proof genuinely needs unit demands). So the exact solver
       runs the cutting-plane loop with the weighted best-response oracle,
       warm-starting each master re-solve from the previous basis. *)
-  let weighted_cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool (wspec : W.spec)
-      ~(state : Gm.state) =
+  let weighted_cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool
+      ?(poll = fun () -> ()) (wspec : W.spec) ~(state : Gm.state) =
     let graph = W.graph wspec in
     let du_all = W.demand_usage wspec state in
     (* Player i's cost on her current path must not exceed her cost on the
@@ -415,7 +419,7 @@ struct
       done;
       !cuts
     in
-    cutting_core ~what:"Sne_lp.weighted_cutting_plane" ~warm ~max_rounds ~graph
+    cutting_core ~what:"Sne_lp.weighted_cutting_plane" ~warm ~max_rounds ~poll ~graph
       (box_master graph) ~find_cuts
 
   (* ---------------------------------------------------------------- *)
@@ -511,7 +515,8 @@ struct
       master re-solve warm-starts from the previous optimal basis
       ([warm = false] forces the old cold restarts, kept for the
       pivot-budget benchmarks and the warm-vs-cold property tests). *)
-  let cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool spec ~(state : Gm.state) =
+  let cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool ?(poll = fun () -> ())
+      spec ~(state : Gm.state) =
     let graph = spec.Gm.graph in
     let usage = Gm.usage spec state in
     (* Constraint for player i forced below the cost of deviation path p:
@@ -560,7 +565,7 @@ struct
       done;
       !cuts
     in
-    cutting_core ~what:"Sne_lp.cutting_plane" ~warm ~max_rounds ~graph
+    cutting_core ~what:"Sne_lp.cutting_plane" ~warm ~max_rounds ~poll ~graph
       (box_master graph) ~find_cuts
 end
 

@@ -80,11 +80,15 @@ module Make_backend
       basis; [warm:false] forces cold restarts (for benchmarks/tests).
       [pool] parallelizes each round's separation oracles; the generated
       cut sequence is identical either way (cuts are deduplicated within
-      a round and appended in player order). *)
+      a round and appended in player order). [poll] is called once per
+      round and may raise (e.g. {!Repro_parallel.Parallel.Cancelled} from a
+      service deadline) to abort the loop between master solves; the
+      exception propagates to the caller. *)
   val weighted_cutting_plane :
     ?warm:bool ->
     ?max_rounds:int ->
     ?pool:Repro_parallel.Parallel.Pool.t ->
+    ?poll:(unit -> unit) ->
     W.spec ->
     state:Gm.state ->
     result * cutting_plane_stats
@@ -97,11 +101,14 @@ module Make_backend
   (** LP (1) solved by cutting planes: the paper's ellipsoid + Dijkstra
       separation oracle, run as the standard constraint-generation loop
       (DESIGN.md §2), warm-started between rounds. [pool] runs each
-      round's per-player oracles concurrently (see {!oracle_sweep}). *)
+      round's per-player oracles concurrently (see {!oracle_sweep});
+      [poll] is the per-round cancellation hook (see
+      {!weighted_cutting_plane}). *)
   val cutting_plane :
     ?warm:bool ->
     ?max_rounds:int ->
     ?pool:Repro_parallel.Parallel.Pool.t ->
+    ?poll:(unit -> unit) ->
     Gm.spec ->
     state:Gm.state ->
     result * cutting_plane_stats

@@ -159,6 +159,7 @@ module Pool = struct
      atomic — workers report without touching the pool mutex. *)
   let c_items = Obs.counter "pool.items"
   let c_cancellations = Obs.counter "pool.cancellations"
+  let c_item_errors = Obs.counter "pool.item_errors"
   let g_busy = Obs.gauge "pool.busy_s"
 
   let run_job pool (Job j) =
@@ -269,6 +270,24 @@ module Pool = struct
     end
 
   let map pool f a = map_cancellable pool (fun _check x -> f x) a
+
+  (* Fault isolation by construction: the wrapped callback never raises, so
+     the sweep machinery never sees an exception and never poisons the job.
+     Each item's exception lands as [Error] at its own index — the request
+     service's per-request cancellation (deadline cells raising [Cancelled]
+     from a composed poll) rides entirely on this. *)
+  let map_result pool f a =
+    map_cancellable pool
+      (fun check x ->
+        match f check x with
+        | v -> Ok v
+        | exception (Cancelled as e) ->
+            Obs.incr c_cancellations;
+            Error e
+        | exception e ->
+            Obs.incr c_item_errors;
+            Error e)
+      a
 
   let shutdown pool =
     Mutex.lock pool.mutex;

@@ -77,6 +77,17 @@ module Pool : sig
   (** Like {!val:map_cancellable}, on the pool's resident domains. *)
   val map_cancellable : t -> ((unit -> unit) -> 'a -> 'b) -> 'a array -> 'b array
 
+  (** Per-item fault isolation: like {!map_cancellable}, but an exception
+      raised by one item is captured as [Error] at that item's index
+      instead of poisoning the sweep — every other item still runs to
+      completion. This is the hook the request service builds per-request
+      cancellation on: each item's callback composes its own poll (e.g. a
+      deadline or cancellation cell) that raises {!Cancelled}, and the
+      resulting [Error Cancelled] kills only that request. A captured
+      [Cancelled] still counts under the [pool.cancellations] obs counter;
+      other exceptions count under [pool.item_errors]. *)
+  val map_result : t -> ((unit -> unit) -> 'a -> 'b) -> 'a array -> ('b, exn) result array
+
   (** Join the worker domains; idempotent. Subsequent maps raise. *)
   val shutdown : t -> unit
 end

@@ -1,0 +1,486 @@
+(* Batched request-processing service over the solver stack: a bounded
+   priority queue drained by a dispatcher domain onto a resident
+   Parallel.Pool, with per-request deadlines/cancellation polled inside
+   the solvers and a digest-keyed LRU reusing outcomes across requests.
+   See service.mli for the architecture contract and DESIGN.md §9 for the
+   request lifecycle. *)
+
+module Serial = Repro_core.Serial.Float
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Sne = Repro_core.Sne_lp.Float
+module Snes = Repro_core.Sne_lp.Float_sparse
+module Search = Repro_core.Snd_search.Float
+module Enforce = Repro_core.Enforce
+module Par = Repro_parallel.Parallel
+module Obs = Repro_obs.Obs
+module Lru = Repro_util.Lru
+module Digestx = Repro_util.Digestx
+
+type backend = Dense | Sparse
+
+type kind =
+  | Sne of { meth : [ `Lp3 | `Cut ]; backend : backend; max_rounds : int }
+  | Enforce
+  | Snd of { budget : float }
+  | Check
+
+type request = {
+  id : string;
+  kind : kind;
+  payload : string;
+  deadline_ms : float option;
+  priority : int;
+}
+
+type error_reason =
+  | Parse_error of string
+  | Deadline_expired
+  | Cancelled
+  | Overloaded
+  | Nonconverged
+  | No_design
+  | Solver_error of string
+  | Shutdown
+
+type outcome =
+  | Subsidy of {
+      cost : float;
+      tree_weight : float;
+      equilibrium : bool;
+      edges : (int * float) list;
+    }
+  | Design of { weight : float; subsidy_cost : float; tree_edges : int list }
+  | Equilibrium of { equilibrium : bool; tree_weight : float }
+
+type response = {
+  id : string;
+  result : (outcome, error_reason) result;
+  cache_hit : bool;
+  elapsed_ms : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let c_submitted = Obs.counter "service.submitted"
+let c_completed = Obs.counter "service.completed"
+let c_rejected = Obs.counter "service.rejected"
+let c_deadline = Obs.counter "service.deadline_expired"
+let c_cancelled = Obs.counter "service.cancelled"
+let c_cache_hits = Obs.counter "service.cache_hits"
+let c_parse_errors = Obs.counter "service.parse_errors"
+let c_solver_errors = Obs.counter "service.solver_errors"
+let c_batches = Obs.counter "service.batches"
+let g_queue_depth = Obs.gauge "service.queue_depth"
+let g_inflight = Obs.gauge "service.inflight"
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kind_fingerprint = function
+  | Sne { meth; backend; max_rounds } ->
+      Printf.sprintf "sne:%s:%s:%d"
+        (match meth with `Lp3 -> "lp3" | `Cut -> "cut")
+        (match backend with Dense -> "dense" | Sparse -> "sparse")
+        max_rounds
+  | Enforce -> "enforce"
+  (* %h prints the exact bits, so budgets differing below decimal printing
+     precision never share a cache line. *)
+  | Snd { budget } -> Printf.sprintf "snd:%h" budget
+  | Check -> "check"
+
+(* The digest keys the payload's *parse*, re-serialized to the canonical
+   writer format — comments, blank lines, decimal-vs-fraction spellings and
+   subsidy line order all wash out, so textually different but semantically
+   identical instances share a cache entry. *)
+let cache_key_of_inst kind (inst : Serial.t) =
+  Digestx.of_fields [ kind_fingerprint kind; Serial.to_string inst ]
+
+let cache_key (req : request) =
+  cache_key_of_inst req.kind (Serial.of_string req.payload)
+
+(* ------------------------------------------------------------------ *)
+(* Running one request                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let nonzero_subsidies subsidy =
+  let acc = ref [] in
+  Array.iteri (fun id b -> if b > 1e-9 then acc := (id, b) :: !acc) subsidy;
+  List.rev !acc
+
+let subsidy_outcome spec tree subsidy cost =
+  Ok
+    (Subsidy
+       {
+         cost;
+         tree_weight = G.Tree.total_weight tree;
+         equilibrium = Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree;
+         edges = nonzero_subsidies subsidy;
+       })
+
+(* Solve the parsed instance. [poll] raises [Par.Cancelled] once the
+   request's deadline has passed or it was cancelled; the long solvers
+   (cutting planes, SND search) poll it mid-run through their [?poll]
+   hooks, the one-shot LPs only between phases. *)
+let solve_kind ~poll (inst : Serial.t) kind =
+  let graph = inst.Serial.graph and root = inst.Serial.root in
+  match kind with
+  | Sne { meth; backend; max_rounds } -> (
+      poll ();
+      let tree = Serial.target_tree inst in
+      let spec = Gm.broadcast ~graph ~root in
+      match (meth, backend) with
+      | `Lp3, Dense ->
+          let r = Sne.broadcast spec ~root tree in
+          subsidy_outcome spec tree r.Sne.subsidy r.Sne.cost
+      | `Lp3, Sparse ->
+          let r = Snes.broadcast spec ~root tree in
+          subsidy_outcome spec tree r.Snes.subsidy r.Snes.cost
+      | `Cut, Dense ->
+          let state = Gm.Broadcast.state_of_tree spec ~root tree in
+          let r, s = Sne.cutting_plane ~max_rounds ~poll spec ~state in
+          if not s.Sne.converged then Error Nonconverged
+          else subsidy_outcome spec tree r.Sne.subsidy r.Sne.cost
+      | `Cut, Sparse ->
+          let state = Gm.Broadcast.state_of_tree spec ~root tree in
+          let r, s = Snes.cutting_plane ~max_rounds ~poll spec ~state in
+          if not s.Snes.converged then Error Nonconverged
+          else subsidy_outcome spec tree r.Snes.subsidy r.Snes.cost)
+  | Enforce ->
+      poll ();
+      let tree = Serial.target_tree inst in
+      let spec = Gm.broadcast ~graph ~root in
+      let r = Enforce.subsidize_mst graph tree in
+      subsidy_outcome spec tree r.Enforce.subsidy r.Enforce.total
+  | Snd { budget } -> (
+      match Search.exact_small ~poll ~graph ~root ~budget () with
+      | Some d, _ ->
+          Ok
+            (Design
+               {
+                 weight = d.Search.weight;
+                 subsidy_cost = d.Search.subsidy_cost;
+                 tree_edges = d.Search.tree_edges;
+               })
+      | None, _ -> Error No_design)
+  | Check ->
+      poll ();
+      let tree = Serial.target_tree inst in
+      let spec = Gm.broadcast ~graph ~root in
+      let subsidy = Serial.subsidy_array inst in
+      Ok
+        (Equilibrium
+           {
+             equilibrium = Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree;
+             tree_weight = G.Tree.total_weight tree;
+           })
+
+(* ------------------------------------------------------------------ *)
+(* The service                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ticket = {
+  req : request;
+  submitted_at : float;
+  deadline_at : float option;
+  cancelled : bool Atomic.t;
+  mutable resp : response option;  (* guarded by the service mutex *)
+}
+
+type t = {
+  mu : Mutex.t;
+  work_ready : Condition.t;  (* dispatcher sleeps here between submissions *)
+  resp_ready : Condition.t;  (* awaiters sleep here *)
+  mutable queue : (int * ticket) list;  (* newest first; int = arrival seq *)
+  mutable seq : int;
+  mutable n_pending : int;
+  mutable n_inflight : int;
+  mutable stopping : bool;
+  mutable dispatcher : unit Domain.t option;
+  pool : Par.Pool.t;
+  batch : int;
+  queue_limit : int;
+  cache : (string, outcome) Lru.t option;
+  cache_mu : Mutex.t;
+}
+
+let count_result = function
+  | Ok _ -> ()
+  | Error Deadline_expired -> Obs.incr c_deadline
+  | Error Cancelled -> Obs.incr c_cancelled
+  | Error (Parse_error _) -> Obs.incr c_parse_errors
+  | Error (Solver_error _) | Error Nonconverged -> Obs.incr c_solver_errors
+  | Error Overloaded -> () (* counted as service.rejected at submission *)
+  | Error No_design | Error Shutdown -> ()
+
+(* Complete a ticket (first completion wins; later ones are dropped, so
+   e.g. the dispatcher's belt-and-braces pass after a batch cannot
+   overwrite the worker's real response). *)
+let fulfill svc tk result ~cache_hit =
+  let resp =
+    {
+      id = tk.req.id;
+      result;
+      cache_hit;
+      elapsed_ms = 1000.0 *. (Unix.gettimeofday () -. tk.submitted_at);
+    }
+  in
+  Mutex.lock svc.mu;
+  let fresh = tk.resp = None in
+  if fresh then tk.resp <- Some resp;
+  if fresh then Condition.broadcast svc.resp_ready;
+  Mutex.unlock svc.mu;
+  if fresh then begin
+    Obs.incr c_completed;
+    count_result result
+  end
+
+let cache_find svc key =
+  match svc.cache with
+  | None -> None
+  | Some cache ->
+      Mutex.lock svc.cache_mu;
+      let r = Lru.find cache key in
+      Mutex.unlock svc.cache_mu;
+      r
+
+let cache_add svc key outcome =
+  match svc.cache with
+  | None -> ()
+  | Some cache ->
+      Mutex.lock svc.cache_mu;
+      Lru.add cache key outcome;
+      Mutex.unlock svc.cache_mu
+
+(* Worker-side execution of one dispatched ticket. Every failure mode
+   lands as a structured [Error] response — nothing escapes, so a batch
+   mate can never be poisoned and the service cannot wedge. *)
+let exec svc pool_check tk =
+  let expired () =
+    match tk.deadline_at with
+    | Some t -> Unix.gettimeofday () > t
+    | None -> false
+  in
+  let poll () =
+    pool_check ();
+    if Atomic.get tk.cancelled || expired () then raise Par.Cancelled
+  in
+  if Atomic.get tk.cancelled then fulfill svc tk (Error Cancelled) ~cache_hit:false
+  else if expired () then fulfill svc tk (Error Deadline_expired) ~cache_hit:false
+  else
+    match Serial.of_string tk.req.payload with
+    | exception Failure msg ->
+        fulfill svc tk (Error (Parse_error msg)) ~cache_hit:false
+    | inst -> (
+        let key = cache_key_of_inst tk.req.kind inst in
+        match cache_find svc key with
+        | Some outcome ->
+            Obs.incr c_cache_hits;
+            fulfill svc tk (Ok outcome) ~cache_hit:true
+        | None -> (
+            match solve_kind ~poll inst tk.req.kind with
+            | Ok outcome ->
+                cache_add svc key outcome;
+                fulfill svc tk (Ok outcome) ~cache_hit:false
+            | Error reason -> fulfill svc tk (Error reason) ~cache_hit:false
+            | exception Par.Cancelled ->
+                let reason =
+                  if Atomic.get tk.cancelled then Cancelled else Deadline_expired
+                in
+                fulfill svc tk (Error reason) ~cache_hit:false
+            | exception e ->
+                fulfill svc tk (Error (Solver_error (Printexc.to_string e)))
+                  ~cache_hit:false))
+
+(* Dispatcher: drain the queue in priority batches onto the pool until
+   shutdown, then fail whatever is still queued. Runs in its own domain
+   and participates in every pool sweep (Pool.map_* include the
+   submitting domain), so [workers = 1] needs no extra domains at all. *)
+let dispatch_loop svc =
+  let rec loop () =
+    Mutex.lock svc.mu;
+    while svc.queue = [] && not svc.stopping do
+      Condition.wait svc.work_ready svc.mu
+    done;
+    if svc.stopping then begin
+      let rest = List.rev_map snd svc.queue in
+      svc.queue <- [];
+      svc.n_pending <- 0;
+      Obs.set g_queue_depth 0.0;
+      Mutex.unlock svc.mu;
+      List.iter (fun tk -> fulfill svc tk (Error Shutdown) ~cache_hit:false) rest
+    end
+    else begin
+      (* Highest priority first, FIFO among equals (the arrival sequence
+         breaks ties). The unsent remainder keeps its arrival order. *)
+      let sorted =
+        List.stable_sort
+          (fun (sa, ta) (sb, tb) ->
+            if ta.req.priority <> tb.req.priority then
+              compare tb.req.priority ta.req.priority
+            else compare sa sb)
+          (List.rev svc.queue)
+      in
+      let rec split k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> split (k - 1) (x :: acc) rest
+      in
+      let taken, rest = split svc.batch [] sorted in
+      let batch = Array.of_list (List.map snd taken) in
+      svc.queue <- List.rev rest;
+      svc.n_pending <- svc.n_pending - Array.length batch;
+      svc.n_inflight <- Array.length batch;
+      Obs.set g_queue_depth (float_of_int svc.n_pending);
+      Obs.set g_inflight (float_of_int svc.n_inflight);
+      Mutex.unlock svc.mu;
+      Obs.incr c_batches;
+      let results = Par.Pool.map_result svc.pool (fun check tk -> exec svc check tk) batch in
+      (* [exec] never raises, so every slot is [Ok ()]; the [Error] arm is
+         pure insurance — if it ever fires, the ticket still completes. *)
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok () -> ()
+          | Error e ->
+              fulfill svc batch.(i)
+                (Error (Solver_error (Printexc.to_string e)))
+                ~cache_hit:false)
+        results;
+      Mutex.lock svc.mu;
+      svc.n_inflight <- 0;
+      Obs.set g_inflight 0.0;
+      Mutex.unlock svc.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(workers = 1) ?(queue_limit = 256) ?(cache = 512) ?batch () =
+  if workers < 1 then invalid_arg "Service.create: workers must be >= 1";
+  if queue_limit < 1 then invalid_arg "Service.create: queue_limit must be >= 1";
+  let batch = match batch with Some b -> max 1 b | None -> 2 * workers in
+  let svc =
+    {
+      mu = Mutex.create ();
+      work_ready = Condition.create ();
+      resp_ready = Condition.create ();
+      queue = [];
+      seq = 0;
+      n_pending = 0;
+      n_inflight = 0;
+      stopping = false;
+      dispatcher = None;
+      pool = Par.Pool.create ~domains:workers ();
+      batch;
+      queue_limit;
+      cache = (if cache > 0 then Some (Lru.create ~capacity:cache) else None);
+      cache_mu = Mutex.create ();
+    }
+  in
+  svc.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop svc));
+  svc
+
+let completed_ticket req ~at result =
+  {
+    req;
+    submitted_at = at;
+    deadline_at = None;
+    cancelled = Atomic.make false;
+    resp =
+      Some
+        { id = req.id; result; cache_hit = false; elapsed_ms = 0.0 };
+  }
+
+let submit svc req =
+  let now = Unix.gettimeofday () in
+  Obs.incr c_submitted;
+  Mutex.lock svc.mu;
+  if svc.stopping then begin
+    Mutex.unlock svc.mu;
+    Obs.incr c_completed;
+    completed_ticket req ~at:now (Error Shutdown)
+  end
+  else if svc.n_pending >= svc.queue_limit then begin
+    Mutex.unlock svc.mu;
+    (* Backpressure: reject *now*, with a complete ticket — the caller can
+       shed or retry, the queue never grows past the high-water mark. *)
+    Obs.incr c_rejected;
+    Obs.incr c_completed;
+    completed_ticket req ~at:now (Error Overloaded)
+  end
+  else begin
+    let tk =
+      {
+        req;
+        submitted_at = now;
+        deadline_at = Option.map (fun ms -> now +. (ms /. 1000.0)) req.deadline_ms;
+        cancelled = Atomic.make false;
+        resp = None;
+      }
+    in
+    svc.queue <- (svc.seq, tk) :: svc.queue;
+    svc.seq <- svc.seq + 1;
+    svc.n_pending <- svc.n_pending + 1;
+    Obs.set g_queue_depth (float_of_int svc.n_pending);
+    Condition.signal svc.work_ready;
+    Mutex.unlock svc.mu;
+    tk
+  end
+
+let await svc tk =
+  Mutex.lock svc.mu;
+  let rec wait () =
+    match tk.resp with
+    | Some r ->
+        Mutex.unlock svc.mu;
+        r
+    | None ->
+        Condition.wait svc.resp_ready svc.mu;
+        wait ()
+  in
+  wait ()
+
+let poll_response svc tk =
+  Mutex.lock svc.mu;
+  let r = tk.resp in
+  Mutex.unlock svc.mu;
+  r
+
+let cancel _svc tk = Atomic.set tk.cancelled true
+
+let run_batch svc reqs =
+  let tickets = List.map (submit svc) reqs in
+  List.map (await svc) tickets
+
+let pending svc =
+  Mutex.lock svc.mu;
+  let n = svc.n_pending in
+  Mutex.unlock svc.mu;
+  n
+
+let inflight svc =
+  Mutex.lock svc.mu;
+  let n = svc.n_inflight in
+  Mutex.unlock svc.mu;
+  n
+
+let shutdown svc =
+  Mutex.lock svc.mu;
+  svc.stopping <- true;
+  let d = svc.dispatcher in
+  svc.dispatcher <- None;
+  Condition.broadcast svc.work_ready;
+  Mutex.unlock svc.mu;
+  match d with
+  | None -> ()
+  | Some d ->
+      Domain.join d;
+      Par.Pool.shutdown svc.pool
+
+let with_service ?workers ?queue_limit ?cache ?batch f =
+  let svc = create ?workers ?queue_limit ?cache ?batch () in
+  Fun.protect ~finally:(fun () -> shutdown svc) (fun () -> f svc)

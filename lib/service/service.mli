@@ -1,0 +1,149 @@
+(** Batched request-processing service over the solver stack.
+
+    Every solver entry point in this repo used to be a one-shot CLI
+    invocation: parse, solve, exit. This module is the layer the ROADMAP's
+    "serve heavy traffic" goal needs — a typed request/response API that
+    accepts a stream of solver requests, bounds their latency with
+    deadlines, rejects excess load instead of growing without bound, and
+    reuses work across requests through a digest-keyed response cache.
+
+    {2 Architecture}
+
+    - {b Submission queue}: [submit] enqueues under a mutex; beyond
+      [queue_limit] pending requests it refuses immediately with an
+      [Overloaded] response (backpressure — the queue never grows without
+      bound). Pending requests are dispatched highest [priority] first,
+      FIFO among equals.
+    - {b Worker pool}: a dispatcher domain drains the queue in batches and
+      fans each batch out over a resident
+      {!Repro_parallel.Parallel.Pool} via [Pool.map_result], so one
+      request's failure (solver exception, expired deadline) is captured
+      as that request's structured [Error] response and never poisons its
+      batch-mates.
+    - {b Deadlines and cancellation}: each request carries an optional
+      deadline (measured from submission) and a cancellation cell
+      ([cancel]). Workers poll both through the [?poll] hooks of
+      {!Repro_core.Snd_search} and the {!Repro_core.Sne_lp} cutting-plane
+      loop: an expired deadline raises
+      {!Repro_parallel.Parallel.Cancelled} inside the search and aborts it
+      mid-stream rather than running to completion.
+    - {b Cross-request cache}: successful outcomes are cached in an LRU
+      ({!Repro_util.Lru}) keyed by a canonical instance digest
+      ({!Repro_util.Digestx} over the re-serialized parse of the payload
+      plus the request kind), so repeated instances — e.g. a
+      price-of-stability sweep hammering near-identical graphs — return
+      the cached response with [cache_hit = true]. Cached responses are
+      byte-identical to the original under {!Service_wire} serialization.
+    - {b Graceful degradation}: a request that cannot be served yields a
+      structured [Error] response carrying the reason; the service itself
+      never raises out of [submit]/[await] and never wedges.
+
+    Observability: [service.*] counters and gauges (submitted, completed,
+    rejected, deadline_expired, cancelled, cache_hits, solver_errors,
+    queue_depth, inflight) in the process-wide {!Repro_obs.Obs} registry,
+    visible through the CLI's [--stats] path. *)
+
+type backend = Dense | Sparse
+
+(** What to run against the payload instance. *)
+type kind =
+  | Sne of { meth : [ `Lp3 | `Cut ]; backend : backend; max_rounds : int }
+      (** Theorem 1 SNE: the compact broadcast LP (3), or LP (1) by
+          cutting planes. *)
+  | Enforce  (** The Theorem 6 constructive wgt(T)/e bound on the MST. *)
+  | Snd of { budget : float }
+      (** Branch-and-bound stable network design within [budget]. *)
+  | Check  (** Lemma 2 equilibrium check of the target tree under the
+               payload's declared subsidies. *)
+
+type request = {
+  id : string;  (** caller-chosen; echoed verbatim in the response *)
+  kind : kind;
+  payload : string;  (** a {!Repro_core.Serial} instance text *)
+  deadline_ms : float option;  (** latency budget from submission *)
+  priority : int;  (** higher dispatches earlier; default wire value 0 *)
+}
+
+type error_reason =
+  | Parse_error of string  (** malformed payload (or wire line) *)
+  | Deadline_expired
+  | Cancelled  (** by {!cancel} *)
+  | Overloaded  (** rejected at submission: queue at [queue_limit] *)
+  | Nonconverged  (** cutting plane hit its round limit *)
+  | No_design  (** SND: no tree enforceable within the budget *)
+  | Solver_error of string  (** the solver raised; message attached *)
+  | Shutdown  (** service stopped before the request ran *)
+
+type outcome =
+  | Subsidy of {
+      cost : float;
+      tree_weight : float;
+      equilibrium : bool;  (** independent Lemma 2 re-check of the plan *)
+      edges : (int * float) list;  (** nonzero subsidies, by edge id *)
+    }
+  | Design of { weight : float; subsidy_cost : float; tree_edges : int list }
+  | Equilibrium of { equilibrium : bool; tree_weight : float }
+
+type response = {
+  id : string;
+  result : (outcome, error_reason) result;
+  cache_hit : bool;
+  elapsed_ms : float;  (** submission to completion, queue wait included *)
+}
+
+type t
+type ticket
+
+(** [create ()] spawns the dispatcher domain and the worker pool.
+    [workers] is total solve parallelism (default 1: the dispatcher solves
+    alone, no extra domains); [queue_limit] the backpressure high-water
+    mark on {e pending} requests (default 256); [cache] the LRU capacity
+    in cached outcomes (default 512; [0] disables caching); [batch] how
+    many requests one pool sweep takes (default [2 * workers]). *)
+val create :
+  ?workers:int -> ?queue_limit:int -> ?cache:int -> ?batch:int -> unit -> t
+
+(** Enqueue; never raises and never blocks on solver work. When the queue
+    is at [queue_limit] (or the service is shut down), the ticket is
+    already complete with [Error Overloaded] (resp. [Error Shutdown]). *)
+val submit : t -> request -> ticket
+
+(** Block until the ticket's response is ready. Idempotent. *)
+val await : t -> ticket -> response
+
+(** [poll_response] is [await] without blocking. *)
+val poll_response : t -> ticket -> response option
+
+(** Best-effort cancellation: a still-queued request completes as
+    [Error Cancelled] without solving; a running one aborts at its next
+    poll point. No-op on completed tickets. *)
+val cancel : t -> ticket -> unit
+
+(** [submit] them all, then [await] them all; responses in input order. *)
+val run_batch : t -> request list -> response list
+
+(** Pending (queued, not yet dispatched) request count — what
+    backpressure measures against [queue_limit]. *)
+val pending : t -> int
+
+(** Requests currently executing on the pool. *)
+val inflight : t -> int
+
+(** Stop accepting work, fail remaining queued requests with
+    [Error Shutdown], join the dispatcher and the pool. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_service ?workers ... f] runs [f] over a fresh service and
+    shuts it down afterwards, also on exceptions. *)
+val with_service :
+  ?workers:int ->
+  ?queue_limit:int ->
+  ?cache:int ->
+  ?batch:int ->
+  (t -> 'a) ->
+  'a
+
+(** The canonical cache digest of a request — exposed so tests can assert
+    that equivalent payloads (comments, whitespace, reordered subsidy
+    lines) coincide. Raises [Failure] on unparseable payloads. *)
+val cache_key : request -> string

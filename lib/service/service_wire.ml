@@ -1,0 +1,261 @@
+(* Wire format for the request service: key=value request lines with
+   percent-encoded values, one-line JSON responses through the repo's
+   write-only JSON emitter. The format is deliberately line-oriented so
+   `sne_cli serve --stdio` composes with shell pipelines and the bench's
+   replay files are plain text. *)
+
+module Json = Repro_util.Bench_json
+
+(* ------------------------------------------------------------------ *)
+(* Percent encoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let unreserved c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '_' || c = '~' || c = '/' || c = ':' || c = '-'
+
+let encode s =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      if unreserved c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] <> '%' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else if i + 2 >= n then Error "truncated percent escape"
+    else
+      match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+      | Some hi, Some lo ->
+          Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+          go (i + 3)
+      | _ -> Error (Printf.sprintf "bad percent escape %%%c%c" s.[i + 1] s.[i + 2])
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let split_tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (( <> ) "")
+
+let parse_request line =
+  let ( let* ) = Result.bind in
+  let* pairs =
+    List.fold_left
+      (fun acc tok ->
+        let* acc = acc in
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "token %S is not key=value" tok)
+        | Some i ->
+            let key = String.sub tok 0 i in
+            let raw = String.sub tok (i + 1) (String.length tok - i - 1) in
+            if List.mem_assoc key acc then
+              Error (Printf.sprintf "duplicate key %S" key)
+            else
+              let* v =
+                Result.map_error
+                  (fun e -> Printf.sprintf "key %S: %s" key e)
+                  (decode raw)
+              in
+              Ok ((key, v) :: acc))
+      (Ok []) (split_tokens line)
+  in
+  let find k = List.assoc_opt k pairs in
+  let known =
+    [ "id"; "kind"; "inst"; "method"; "backend"; "max_rounds"; "budget";
+      "deadline_ms"; "priority" ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc (k, _) ->
+        let* () = acc in
+        if List.mem k known then Ok ()
+        else Error (Printf.sprintf "unknown key %S" k))
+      (Ok ()) pairs
+  in
+  let require k =
+    match find k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing required key %S" k)
+  in
+  let int_of k v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "key %S: bad integer %S" k v)
+  in
+  let float_of k v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "key %S: bad number %S" k v)
+  in
+  let optional k ~default parse =
+    match find k with Some v -> parse k v | None -> Ok default
+  in
+  let* id = require "id" in
+  let* payload = require "inst" in
+  let* kind_s = require "kind" in
+  let* max_rounds = optional "max_rounds" ~default:500 int_of in
+  let* backend =
+    optional "backend" ~default:Service.Dense (fun k v ->
+        match v with
+        | "dense" -> Ok Service.Dense
+        | "sparse" -> Ok Service.Sparse
+        | _ -> Error (Printf.sprintf "key %S: expected dense or sparse, got %S" k v))
+  in
+  let* meth =
+    optional "method" ~default:`Lp3 (fun k v ->
+        match v with
+        | "lp3" -> Ok `Lp3
+        | "cut" -> Ok `Cut
+        | _ -> Error (Printf.sprintf "key %S: expected lp3 or cut, got %S" k v))
+  in
+  let* kind =
+    match kind_s with
+    | "sne" -> Ok (Service.Sne { meth; backend; max_rounds })
+    | "enforce" -> Ok Service.Enforce
+    | "snd" ->
+        let* b = require "budget" in
+        let* budget = float_of "budget" b in
+        Ok (Service.Snd { budget })
+    | "check" -> Ok Service.Check
+    | _ ->
+        Error
+          (Printf.sprintf "key \"kind\": expected sne, enforce, snd or check, got %S"
+             kind_s)
+  in
+  let* deadline_ms =
+    match find "deadline_ms" with
+    | None -> Ok None
+    | Some v ->
+        let* f = float_of "deadline_ms" v in
+        if f <= 0.0 then Error "key \"deadline_ms\": must be positive"
+        else Ok (Some f)
+  in
+  let* priority = optional "priority" ~default:0 int_of in
+  Ok { Service.id; kind; payload; deadline_ms; priority }
+
+let request_to_string (r : Service.request) =
+  let buf = Buffer.create 128 in
+  let kv k v =
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf k;
+    Buffer.add_char buf '=';
+    Buffer.add_string buf (encode v)
+  in
+  kv "id" r.Service.id;
+  (match r.Service.kind with
+  | Service.Sne { meth; backend; max_rounds } ->
+      kv "kind" "sne";
+      kv "method" (match meth with `Lp3 -> "lp3" | `Cut -> "cut");
+      kv "backend" (match backend with Service.Dense -> "dense" | Service.Sparse -> "sparse");
+      if max_rounds <> 500 then kv "max_rounds" (string_of_int max_rounds)
+  | Service.Enforce -> kv "kind" "enforce"
+  | Service.Snd { budget } ->
+      kv "kind" "snd";
+      kv "budget" (Printf.sprintf "%.12g" budget)
+  | Service.Check -> kv "kind" "check");
+  (match r.Service.deadline_ms with
+  | Some ms -> kv "deadline_ms" (Printf.sprintf "%.12g" ms)
+  | None -> ());
+  if r.Service.priority <> 0 then kv "priority" (string_of_int r.Service.priority);
+  kv "inst" r.Service.payload;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Response emission                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let reason_slug = function
+  | Service.Parse_error _ -> "parse_error"
+  | Service.Deadline_expired -> "deadline_expired"
+  | Service.Cancelled -> "cancelled"
+  | Service.Overloaded -> "overloaded"
+  | Service.Nonconverged -> "nonconverged"
+  | Service.No_design -> "no_design"
+  | Service.Solver_error _ -> "solver_error"
+  | Service.Shutdown -> "shutdown"
+
+let reason_detail = function
+  | Service.Parse_error msg | Service.Solver_error msg -> Some msg
+  | _ -> None
+
+let outcome_json = function
+  | Service.Subsidy { cost; tree_weight; equilibrium; edges } ->
+      Json.Obj
+        [
+          ("type", Json.Str "subsidy");
+          ("cost", Json.Float cost);
+          ("tree_weight", Json.Float tree_weight);
+          ("equilibrium", Json.Bool equilibrium);
+          ( "edges",
+            Json.List
+              (List.map
+                 (fun (id, b) ->
+                   Json.Obj [ ("edge", Json.Int id); ("amount", Json.Float b) ])
+                 edges) );
+        ]
+  | Service.Design { weight; subsidy_cost; tree_edges } ->
+      Json.Obj
+        [
+          ("type", Json.Str "design");
+          ("weight", Json.Float weight);
+          ("subsidy_cost", Json.Float subsidy_cost);
+          ("tree_edges", Json.List (List.map (fun i -> Json.Int i) tree_edges));
+        ]
+  | Service.Equilibrium { equilibrium; tree_weight } ->
+      Json.Obj
+        [
+          ("type", Json.Str "check");
+          ("equilibrium", Json.Bool equilibrium);
+          ("tree_weight", Json.Float tree_weight);
+        ]
+
+let outcome_to_string o = Json.to_string ~indent:false (outcome_json o)
+
+let response_json (r : Service.response) =
+  let base =
+    [
+      ("id", Json.Str r.Service.id);
+      ( "status",
+        Json.Str (match r.Service.result with Ok _ -> "ok" | Error _ -> "error") );
+      ("cache_hit", Json.Bool r.Service.cache_hit);
+      ("elapsed_ms", Json.Float r.Service.elapsed_ms);
+    ]
+  in
+  match r.Service.result with
+  | Ok outcome -> Json.Obj (base @ [ ("outcome", outcome_json outcome) ])
+  | Error reason ->
+      let detail =
+        match reason_detail reason with
+        | Some msg -> [ ("detail", Json.Str msg) ]
+        | None -> []
+      in
+      Json.Obj (base @ [ ("reason", Json.Str (reason_slug reason)) ] @ detail)
+
+let response_to_string r =
+  let s = Json.to_string ~indent:false (response_json r) in
+  (* to_string without indentation still has no trailing newline, but be
+     explicit about the one-line contract. *)
+  String.concat "" (String.split_on_char '\n' s)

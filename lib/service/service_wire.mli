@@ -1,0 +1,71 @@
+(** Wire format for the request service, as spoken by
+    [sne_cli serve --stdio]: newline-delimited requests in, one-line JSON
+    responses out. Documented in DESIGN.md §9.
+
+    {2 Request lines}
+
+    One request per line, whitespace-separated [key=value] tokens:
+
+    {v
+    id=7 kind=sne method=cut backend=sparse deadline_ms=250 inst=nodes%203%0A...
+    id=8 kind=snd budget=1.5 priority=2 inst=...
+    v}
+
+    Keys: [id] (required), [kind] ([sne]|[enforce]|[snd]|[check],
+    required), [inst] (required; the {!Repro_core.Serial} instance text,
+    percent-encoded), [method] ([lp3] default | [cut]), [backend] ([dense]
+    default | [sparse]), [max_rounds] (default 500), [budget] (required
+    for [kind=snd]), [deadline_ms], [priority] (default 0). Unknown keys,
+    duplicate keys and malformed values are parse errors — the serve loop
+    answers them with a structured [parse_error] response rather than
+    dying.
+
+    Values are percent-encoded: every byte outside
+    [A-Za-z0-9._~/:-] is written as [%XX] (uppercase hex), so instance
+    texts with spaces and newlines fit in one token.
+
+    {2 Response lines}
+
+    One JSON object per response, single line:
+
+    {v
+    {"id":"7","status":"ok","cache_hit":false,"elapsed_ms":3.1,
+     "outcome":{"type":"subsidy","cost":0.5,...}}
+    {"id":"9","status":"error","reason":"deadline_expired",
+     "cache_hit":false,"elapsed_ms":250.8}
+    v}
+
+    [status] is ["ok"] iff the request produced an outcome; otherwise
+    [reason] holds a stable slug ([parse_error], [deadline_expired],
+    [cancelled], [overloaded], [nonconverged], [no_design],
+    [solver_error], [shutdown]) and [detail] the human message when there
+    is one. *)
+
+(** Percent-encode every byte outside the unreserved set
+    [A-Za-z0-9._~/:-]. *)
+val encode : string -> string
+
+(** Inverse of {!encode}; [Error] on truncated or non-hex escapes. *)
+val decode : string -> (string, string) result
+
+(** Parse one request line. [Error] messages name the offending key. *)
+val parse_request : string -> (Service.request, string) result
+
+(** Render a request as one parseable line ({!parse_request} round-trips
+    it) — the bench and tests build their replay traffic with this. *)
+val request_to_string : Service.request -> string
+
+(** The stable reason slug of an error response (also used by the obs
+    counters' consumers). *)
+val reason_slug : Service.error_reason -> string
+
+val outcome_json : Service.outcome -> Repro_util.Bench_json.t
+
+(** The outcome alone, as a compact one-line JSON string — what the
+    byte-identical cache-hit test compares. *)
+val outcome_to_string : Service.outcome -> string
+
+val response_json : Service.response -> Repro_util.Bench_json.t
+
+(** One line, no trailing newline. *)
+val response_to_string : Service.response -> string

@@ -1,0 +1,16 @@
+(** Canonical content digests for cache keys. MD5 via the stdlib [Digest]
+    — stability and speed matter here, not cryptographic strength. *)
+
+let of_string s = Digest.to_hex (Digest.string s)
+
+(* Length-prefix each field so field boundaries are part of the hash:
+   ["ab"; "c"] and ["a"; "bc"] must not collide. *)
+let of_fields fields =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (string_of_int (String.length f));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf f)
+    fields;
+  of_string (Buffer.contents buf)

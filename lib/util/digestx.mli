@@ -1,0 +1,15 @@
+(** Canonical content digests for cache keys (the service layer's
+    cross-request cache keys instances by these).
+
+    Thin wrapper over the stdlib [Digest] (MD5): not cryptographic — a
+    stable, collision-resistant-enough fingerprint for deduplicating
+    identical solver inputs inside one process. Digests are lowercase hex,
+    so they embed directly in JSON and log lines. *)
+
+(** MD5 of the raw bytes, as 32 lowercase hex characters. *)
+val of_string : string -> string
+
+(** Digest of a compound key: the fields are length-prefixed before
+    hashing, so [["ab"; "c"]] and [["a"; "bc"]] never collide the way a
+    plain concatenation would. *)
+val of_fields : string list -> string

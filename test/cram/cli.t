@@ -158,3 +158,13 @@ and its solves are visible in the observability report:
 
   $ sne_cli solve --seed 8 --method cut --backend sparse --stats | grep -oE "lp.sparse.pivots +\| 1" | head -n 1
   lp.sparse.pivots              | 1
+
+The request service over stdio: responses come back in request order, a
+malformed line gets a structured parse error without killing the loop,
+and replaying an instance hits the response cache:
+
+  $ printf 'id=a kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\nid=b kind=bogus inst=x\nid=c kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\n' \
+  >   | sne_cli serve --stdio | sed -E 's/"elapsed_ms":[-0-9.e+]+/"elapsed_ms":_/'
+  {"id":"a","status":"ok","cache_hit":false,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
+  {"id":"b","status":"error","cache_hit":false,"elapsed_ms":_,"reason":"parse_error","detail":"key \"kind\": expected sne, enforce, snd or check, got \"bogus\""}
+  {"id":"c","status":"ok","cache_hit":true,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}

@@ -133,6 +133,30 @@ let unit_tests =
                  false
                with Failure _ | Invalid_argument _ -> true))
           [ "edge 0 1 2\n"; "nodes 2\nroot 5\nedge 0 1 2\n"; "nodes 2\nfrob 1\n" ]);
+    (* Regression: 'subsidy' (and 'tree') lines referencing edge ids the
+       instance never declares used to parse fine and only blow up — or
+       silently misbehave — much later; ids are now validated at parse
+       time, with the offending line's number in the message. *)
+    Alcotest.test_case "parser rejects dangling edge-id references" `Quick (fun () ->
+        let expect_line line text =
+          match Serial.of_string text with
+          | _ -> Alcotest.failf "accepted dangling reference: %s" text
+          | exception Failure msg ->
+              let prefix = Printf.sprintf "Serial line %d:" line in
+              Alcotest.(check bool)
+                (Printf.sprintf "%S starts with %S" msg prefix)
+                true
+                (String.length msg >= String.length prefix
+                && String.sub msg 0 (String.length prefix) = prefix)
+        in
+        expect_line 4 "nodes 3\nroot 0\nedge 0 1 2\nsubsidy 7 0.5\n";
+        expect_line 4 "nodes 3\nroot 0\nedge 0 1 2\nsubsidy -1 0.5\n";
+        expect_line 5 "nodes 3\nroot 0\nedge 0 1 2\nedge 1 2 2\ntree 0 3\n";
+        (* In-range references still parse. *)
+        let t =
+          Serial.of_string "nodes 3\nroot 0\nedge 0 1 2\nedge 1 2 2\nsubsidy 1 0.5\n"
+        in
+        Alcotest.check fl "valid subsidy kept" 0.5 (Serial.subsidy_array t).(1));
     Alcotest.test_case "save/load through a temp file" `Quick (fun () ->
         let inst = Instances.random ~dist:(Instances.Integer 5) ~n:5 ~extra:2 ~seed:9 () in
         let t =

@@ -17,6 +17,7 @@ let () =
       ("reductions", Test_reductions.suite);
       ("weighted", Test_weighted.suite);
       ("extensions", Test_extensions.suite);
+      ("service", Test_service.suite);
       ("landscape", Test_landscape.suite);
       ("exactness", Test_exactness.suite);
       ("directed", Test_directed.suite);

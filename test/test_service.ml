@@ -1,0 +1,354 @@
+(* The request service: typed submit/await round trips, cross-request
+   caching (byte-identical replays), deadline expiry aborting a long SND
+   search mid-stream, backpressure rejection at the queue high-water mark,
+   structured parse errors for malformed wire lines, and the
+   Pool.map_result fault-isolation hook it is all built on. *)
+
+module Service = Repro_service.Service
+module Wire = Repro_service.Service_wire
+module Par = Repro_parallel.Parallel
+module Obs = Repro_obs.Obs
+module Instances = Repro_core.Instances
+module Serial = Repro_core.Serial.Float
+
+let payload ?(seed = 1) ?(n = 8) ?(extra = 5) () =
+  let inst = Instances.random ~dist:(Instances.Integer 10) ~n ~extra ~seed () in
+  Serial.to_string
+    {
+      Serial.graph = inst.Instances.graph;
+      root = inst.Instances.root;
+      tree_edge_ids = None;
+      subsidy = [];
+    }
+
+let req ?(id = "r") ?deadline_ms ?(priority = 0) kind payload =
+  { Service.id; kind; payload; deadline_ms; priority }
+
+let lp3 = Service.Sne { meth = `Lp3; backend = Service.Dense; max_rounds = 500 }
+
+(* A search guaranteed to run long: a hopeless (negative) budget can
+   never be met, so no incumbent ever stops the stream and the engine
+   grinds through the whole weight-ordered spanning-tree enumeration of a
+   dense instance (astronomically many trees at n=14, one MST each).
+   Deadlines must abort it mid-stream. *)
+let slow_snd = Service.Snd { budget = -1.0 }
+let slow_payload = payload ~seed:5 ~n:14 ~extra:14 ()
+
+let ok_outcome = function
+  | { Service.result = Ok o; _ } -> o
+  | { Service.result = Error e; _ } ->
+      Alcotest.failf "expected Ok response, got error %s" (Wire.reason_slug e)
+
+let err_reason = function
+  | { Service.result = Error e; _ } -> e
+  | { Service.result = Ok _; _ } -> Alcotest.fail "expected Error response"
+
+let test_basic_roundtrip () =
+  Service.with_service (fun svc ->
+      let p = payload () in
+      let resps =
+        Service.run_batch svc
+          [
+            req ~id:"a" lp3 p;
+            req ~id:"b" Service.Enforce p;
+            req ~id:"c" Service.Check p;
+            req ~id:"d" (Service.Snd { budget = 1e6 }) p;
+          ]
+      in
+      Alcotest.(check (list string))
+        "ids echoed in order" [ "a"; "b"; "c"; "d" ]
+        (List.map (fun r -> r.Service.id) resps);
+      (match ok_outcome (List.nth resps 0) with
+      | Service.Subsidy { equilibrium; cost; _ } ->
+          Alcotest.(check bool) "lp3 plan certified" true equilibrium;
+          Alcotest.(check bool) "lp3 cost finite" true (Float.is_finite cost)
+      | _ -> Alcotest.fail "expected subsidy outcome");
+      (match ok_outcome (List.nth resps 2) with
+      | Service.Equilibrium { tree_weight; _ } ->
+          Alcotest.(check bool) "check weight positive" true (tree_weight > 0.0)
+      | _ -> Alcotest.fail "expected check outcome");
+      match ok_outcome (List.nth resps 3) with
+      | Service.Design { subsidy_cost; _ } ->
+          Alcotest.(check bool) "huge budget affords the MST" true
+            (subsidy_cost < 1e6)
+      | _ -> Alcotest.fail "expected design outcome")
+
+let test_cache_hit_byte_identical () =
+  Service.with_service (fun svc ->
+      let p = payload ~seed:2 () in
+      let r1 = Service.await svc (Service.submit svc (req ~id:"x1" lp3 p)) in
+      let r2 = Service.await svc (Service.submit svc (req ~id:"x2" lp3 p)) in
+      Alcotest.(check bool) "first solve is not a hit" false r1.Service.cache_hit;
+      Alcotest.(check bool) "replay is a hit" true r2.Service.cache_hit;
+      Alcotest.(check string) "byte-identical outcome"
+        (Wire.outcome_to_string (ok_outcome r1))
+        (Wire.outcome_to_string (ok_outcome r2));
+      (* Semantically identical text (comments, blank lines) hits too:
+         the key digests the canonical re-serialization of the parse. *)
+      let p' = "# replayed instance\n\n" ^ p in
+      let r3 = Service.await svc (Service.submit svc (req ~id:"x3" lp3 p')) in
+      Alcotest.(check bool) "canonicalized payload hits" true r3.Service.cache_hit;
+      Alcotest.(check string) "same digest"
+        (Service.cache_key (req lp3 p))
+        (Service.cache_key (req lp3 p'));
+      (* A different request kind against the same instance must miss. *)
+      let r4 = Service.await svc (Service.submit svc (req ~id:"x4" Service.Check p)) in
+      Alcotest.(check bool) "different kind misses" false r4.Service.cache_hit)
+
+let test_deadline_expiry_cancels_snd () =
+  Obs.with_enabled true (fun () ->
+      let before = Obs.value (Obs.counter "service.deadline_expired") in
+      let t0 = Unix.gettimeofday () in
+      Service.with_service (fun svc ->
+          let r =
+            Service.await svc
+              (Service.submit svc (req ~id:"slow" ~deadline_ms:150.0 slow_snd slow_payload))
+          in
+          (match err_reason r with
+          | Service.Deadline_expired -> ()
+          | e -> Alcotest.failf "expected deadline_expired, got %s" (Wire.reason_slug e));
+          Alcotest.(check bool) "marked not cached" false r.Service.cache_hit);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (* The full n=14 stream takes minutes; an enforced deadline means the
+         search actually aborted mid-stream, not after completion. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "aborted promptly (%.1fs)" elapsed)
+        true (elapsed < 30.0);
+      Alcotest.(check bool) "service.deadline_expired bumped" true
+        (Obs.value (Obs.counter "service.deadline_expired") > before))
+
+let test_client_cancel () =
+  Service.with_service ~workers:1 ~batch:1 (fun svc ->
+      let tk = Service.submit svc (req ~id:"c" slow_snd slow_payload) in
+      (* Whether it is still queued or already running, cancellation must
+         turn it into a structured Cancelled response. *)
+      Service.cancel svc tk;
+      match err_reason (Service.await svc tk) with
+      | Service.Cancelled -> ()
+      | e -> Alcotest.failf "expected cancelled, got %s" (Wire.reason_slug e))
+
+let spin_until ?(timeout_s = 30.0) what pred =
+  let t0 = Unix.gettimeofday () in
+  while (not (pred ())) && Unix.gettimeofday () -. t0 < timeout_s do
+    Domain.cpu_relax ()
+  done;
+  if not (pred ()) then Alcotest.failf "timed out waiting for %s" what
+
+let test_backpressure_rejects () =
+  Obs.with_enabled true (fun () ->
+      let before = Obs.value (Obs.counter "service.rejected") in
+      Service.with_service ~workers:1 ~batch:1 ~queue_limit:2 (fun svc ->
+          (* Occupy the only worker with a long search (deadline-bounded so
+             the test always terminates), then fill the queue to its
+             high-water mark; the next submission must bounce. *)
+          let blocker =
+            Service.submit svc
+              (req ~id:"blocker" ~deadline_ms:3000.0 slow_snd slow_payload)
+          in
+          spin_until "the blocker to start" (fun () -> Service.inflight svc = 1);
+          let q1 =
+            Service.submit svc (req ~id:"q1" ~deadline_ms:10000.0 lp3 (payload ()))
+          in
+          let q2 =
+            Service.submit svc (req ~id:"q2" ~deadline_ms:10000.0 lp3 (payload ()))
+          in
+          Alcotest.(check int) "queue at high-water" 2 (Service.pending svc);
+          let rejected = Service.submit svc (req ~id:"q3" lp3 (payload ())) in
+          (match Service.poll_response svc rejected with
+          | Some r -> (
+              match err_reason r with
+              | Service.Overloaded -> ()
+              | e -> Alcotest.failf "expected overloaded, got %s" (Wire.reason_slug e))
+          | None -> Alcotest.fail "rejection must complete the ticket immediately");
+          (* The queued-but-accepted requests still complete normally once
+             the blocker's deadline frees the worker. *)
+          ignore (ok_outcome (Service.await svc q1));
+          ignore (ok_outcome (Service.await svc q2));
+          match err_reason (Service.await svc blocker) with
+          | Service.Deadline_expired -> ()
+          | e -> Alcotest.failf "blocker: expected deadline_expired, got %s"
+                   (Wire.reason_slug e));
+      Alcotest.(check bool) "service.rejected bumped" true
+        (Obs.value (Obs.counter "service.rejected") > before))
+
+let test_malformed_payload_is_structured () =
+  Service.with_service (fun svc ->
+      let bad = "nodes 3\nroot 0\nedge 0 1 2\nedge 1 2 oops\n" in
+      let r = Service.await svc (Service.submit svc (req ~id:"bad" lp3 bad)) in
+      match err_reason r with
+      | Service.Parse_error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "names the line (%s)" msg)
+            true
+            (let open String in
+             length msg >= 4 && sub msg 0 4 = "Seri")
+      | e -> Alcotest.failf "expected parse_error, got %s" (Wire.reason_slug e))
+
+let test_wire_parse_errors () =
+  let bad l =
+    match Wire.parse_request l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "line %S must not parse" l
+  in
+  bad "";
+  bad "id=1";  (* missing kind/inst *)
+  bad "id=1 kind=bogus inst=nodes%202";
+  bad "id=1 kind=snd inst=x";  (* snd without budget *)
+  bad "id=1 kind=sne inst=x id=2";  (* duplicate key *)
+  bad "id=1 kind=sne surprise=1 inst=x";  (* unknown key *)
+  bad "id=1 kind=sne inst=%zz";  (* bad escape *)
+  bad "id=1 kind=sne deadline_ms=-5 inst=x";
+  bad "no_equals_token"
+
+let test_wire_roundtrip () =
+  let p = payload ~seed:3 () in
+  let reqs =
+    [
+      req ~id:"w1" lp3 p;
+      req ~id:"w2" ~deadline_ms:12.5 ~priority:3
+        (Service.Sne { meth = `Cut; backend = Service.Sparse; max_rounds = 77 })
+        p;
+      req ~id:"w3" (Service.Snd { budget = 2.25 }) p;
+      req ~id:"w4" Service.Enforce p;
+      req ~id:"w5" Service.Check "nodes 2\nroot 0\nedge 0 1 1\n";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.parse_request (Wire.request_to_string r) with
+      | Ok r' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round trip %s" r.Service.id)
+            true (r = r')
+      | Error e -> Alcotest.failf "round trip %s failed: %s" r.Service.id e)
+    reqs
+
+(* Simple substring search (no extra dependency). *)
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let test_response_emission () =
+  let ok =
+    {
+      Service.id = "e1";
+      result = Ok (Service.Equilibrium { equilibrium = true; tree_weight = 4.0 });
+      cache_hit = true;
+      elapsed_ms = 1.5;
+    }
+  in
+  let s = Wire.response_to_string ok in
+  Alcotest.(check bool) "one line" false (String.contains s '\n');
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "has %s" affix) true (contains ~affix s))
+    [ "\"id\":\"e1\""; "\"status\":\"ok\""; "\"cache_hit\":true"; "\"type\":\"check\"" ];
+  let err =
+    {
+      Service.id = "e2";
+      result = Error (Service.Parse_error "Serial line 3: boom");
+      cache_hit = false;
+      elapsed_ms = 0.1;
+    }
+  in
+  let s = Wire.response_to_string err in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "has %s" affix) true (contains ~affix s))
+    [ "\"status\":\"error\""; "\"reason\":\"parse_error\""; "Serial line 3" ]
+
+let test_priority_order () =
+  (* With one worker and batch=1, a high-priority request submitted while
+     the worker is busy must overtake an earlier low-priority one: it is
+     dispatched first, so its end-to-end latency is strictly smaller even
+     though it entered the queue later. *)
+  Service.with_service ~workers:1 ~batch:1 (fun svc ->
+      let blocker =
+        Service.submit svc (req ~id:"b" ~deadline_ms:1500.0 slow_snd slow_payload)
+      in
+      spin_until "the blocker to start" (fun () -> Service.inflight svc = 1);
+      let lo = Service.submit svc (req ~id:"lo" ~priority:0 lp3 (payload ~seed:11 ())) in
+      let hi = Service.submit svc (req ~id:"hi" ~priority:5 lp3 (payload ~seed:12 ())) in
+      ignore (Service.await svc blocker);
+      let rlo = Service.await svc lo and rhi = Service.await svc hi in
+      ignore (ok_outcome rlo);
+      ignore (ok_outcome rhi);
+      Alcotest.(check bool)
+        (Printf.sprintf "hi (%.1fms) finished before lo (%.1fms)"
+           rhi.Service.elapsed_ms rlo.Service.elapsed_ms)
+        true
+        (rhi.Service.elapsed_ms < rlo.Service.elapsed_ms))
+
+let test_pool_map_result_isolation () =
+  let pool = Par.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      let results =
+        Par.Pool.map_result pool
+          (fun _check x ->
+            if x mod 2 = 0 then failwith (Printf.sprintf "boom %d" x) else x * 10)
+          [| 1; 2; 3; 4; 5 |]
+      in
+      Array.iteri
+        (fun i r ->
+          let x = i + 1 in
+          match r with
+          | Ok v ->
+              Alcotest.(check bool) "odd survives" true (x mod 2 = 1);
+              Alcotest.(check int) "value" (x * 10) v
+          | Error (Failure msg) ->
+              Alcotest.(check bool) "even fails" true (x mod 2 = 0);
+              Alcotest.(check string) "message" (Printf.sprintf "boom %d" x) msg
+          | Error e -> Alcotest.failf "unexpected exn %s" (Printexc.to_string e))
+        results;
+      (* A Cancelled raised by one item kills only that item. *)
+      let results =
+        Par.Pool.map_result pool
+          (fun _check x -> if x = 2 then raise Par.Cancelled else x)
+          [| 1; 2; 3 |]
+      in
+      Alcotest.(check bool) "slot 0 ok" true (results.(0) = Ok 1);
+      Alcotest.(check bool) "slot 1 cancelled" true (results.(1) = Error Par.Cancelled);
+      Alcotest.(check bool) "slot 2 ok" true (results.(2) = Ok 3))
+
+let test_shutdown_fails_queued () =
+  let svc = Service.create ~workers:1 ~batch:1 () in
+  let blocker = Service.submit svc (req ~id:"b" ~deadline_ms:2000.0 slow_snd slow_payload) in
+  spin_until "the blocker to start" (fun () -> Service.inflight svc = 1);
+  let queued = Service.submit svc (req ~id:"q" lp3 (payload ())) in
+  Service.shutdown svc;
+  (match err_reason (Service.await svc queued) with
+  | Service.Shutdown -> ()
+  | e -> Alcotest.failf "expected shutdown, got %s" (Wire.reason_slug e));
+  (* The blocker was already running: it completes with its own verdict
+     (deadline expiry), not Shutdown. *)
+  (match err_reason (Service.await svc blocker) with
+  | Service.Deadline_expired -> ()
+  | e -> Alcotest.failf "expected deadline_expired, got %s" (Wire.reason_slug e));
+  (* Submissions after shutdown complete immediately as Shutdown. *)
+  match err_reason (Service.await svc (Service.submit svc (req ~id:"late" lp3 (payload ())))) with
+  | Service.Shutdown -> ()
+  | e -> Alcotest.failf "expected shutdown, got %s" (Wire.reason_slug e)
+
+let suite =
+  [
+    Alcotest.test_case "submit/await round trip, all kinds" `Quick test_basic_roundtrip;
+    Alcotest.test_case "cache hit is byte-identical" `Quick test_cache_hit_byte_identical;
+    Alcotest.test_case "deadline expiry cancels a long SND search" `Slow
+      test_deadline_expiry_cancels_snd;
+    Alcotest.test_case "client cancellation" `Quick test_client_cancel;
+    Alcotest.test_case "backpressure rejects past the high-water mark" `Slow
+      test_backpressure_rejects;
+    Alcotest.test_case "malformed payload yields structured parse error" `Quick
+      test_malformed_payload_is_structured;
+    Alcotest.test_case "wire: malformed request lines" `Quick test_wire_parse_errors;
+    Alcotest.test_case "wire: request round trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire: response emission" `Quick test_response_emission;
+    Alcotest.test_case "priority overtakes FIFO" `Slow test_priority_order;
+    Alcotest.test_case "Pool.map_result isolates item faults" `Quick
+      test_pool_map_result_isolation;
+    Alcotest.test_case "shutdown fails queued, spares running" `Slow
+      test_shutdown_fails_queued;
+  ]

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable BENCH_*.json traces the benches emit.
+
+Usage: tools/check_bench.py BENCH_lp.json BENCH_snd.json BENCH_service.json ...
+
+Each file self-identifies through meta.bench; the matching schema check
+runs and the script exits nonzero on the first violation. CI calls this
+instead of inlining the assertions in the workflow, so the checks are
+versioned with the code that produces the traces (schemas documented in
+EXPERIMENTS.md).
+"""
+
+import json
+import sys
+
+
+class BenchError(Exception):
+    pass
+
+
+def need(obj, key, where):
+    if key not in obj:
+        raise BenchError(f"{where}: missing key {key!r}")
+    return obj[key]
+
+
+def check_lp(b):
+    rows = need(b, "sparse", "lp_bench")
+    if not rows:
+        raise BenchError("lp_bench: empty sparse bench block")
+    for row in rows:
+        if row.get("agree") is not True:
+            raise BenchError(f"lp_bench: sparse row disagrees: {row}")
+        for key in ("n", "dense_ms", "sparse_ms", "speedup",
+                    "dense_pivots", "sparse_pivots", "sparse_refactors"):
+            need(row, key, "lp_bench sparse row")
+    if need(b, "separation", "lp_bench").get("agree") is not True:
+        raise BenchError(f"lp_bench: separation disagrees: {b['separation']}")
+    meta = need(b, "meta", "lp_bench")
+    if meta.get("sparse_backend") != "revised-simplex-sparse":
+        raise BenchError(f"lp_bench: unexpected sparse backend: {meta}")
+    summary = need(b, "summary", "lp_bench")
+    for key in ("n64_speedup", "warm_pivots_total", "cold_pivots_total",
+                "separation_speedup"):
+        need(summary, key, "lp_bench summary")
+    if summary["warm_pivots_total"] > summary["cold_pivots_total"]:
+        raise BenchError(
+            "lp_bench: warm-started cutting planes pivoted more than cold "
+            f"({summary['warm_pivots_total']} > {summary['cold_pivots_total']})")
+
+
+def check_snd(b):
+    frontier = need(b, "frontier", "snd_bench")
+    if frontier.get("agree") is not True:
+        raise BenchError(f"snd_bench: frontier disagrees with brute force: {frontier}")
+    priced = need(need(frontier, "engine", "snd_bench frontier"),
+                  "trees_priced", "snd_bench frontier.engine")
+    total = need(frontier, "trees_total", "snd_bench frontier")
+    if priced > total:
+        raise BenchError(
+            f"snd_bench: engine priced {priced} trees, brute enumerates {total}")
+    for row in need(b, "scaling", "snd_bench"):
+        if row.get("agree") is not True:
+            raise BenchError(f"snd_bench: scaling row disagrees: {row}")
+    summary = need(b, "summary", "snd_bench")
+    if summary.get("frontier_target_met") is not True:
+        raise BenchError(f"snd_bench: frontier solve-reduction target missed: {summary}")
+    if need(summary, "max_n_engine", "snd_bench summary") < \
+       need(summary, "max_n_brute", "snd_bench summary"):
+        raise BenchError(f"snd_bench: engine scaled worse than brute force: {summary}")
+
+
+def check_service(b):
+    meta = need(b, "meta", "service_bench")
+    load = need(b, "load", "service_bench")
+    results = need(b, "results", "service_bench")
+    latency = need(b, "latency_ms", "service_bench")
+    requests = need(load, "requests", "service_bench load")
+    if meta.get("mode") == "smoke" and requests < 1000:
+        raise BenchError(f"service_bench: smoke replayed only {requests} requests (< 1000)")
+    answered = sum(need(results, key, "service_bench results")
+                   for key in ("ok", "deadline_expired", "parse_errors",
+                               "solver_errors", "other_errors"))
+    if answered != requests:
+        raise BenchError(
+            f"service_bench: {requests} requests but {answered} responses accounted for")
+    if results["solver_errors"] != 0:
+        raise BenchError(f"service_bench: {results['solver_errors']} solver errors")
+    if results["deadline_expired"] < 1:
+        raise BenchError("service_bench: no deadline expiry observed")
+    if need(results, "cache_hits", "service_bench results") < 1:
+        raise BenchError("service_bench: no cache hit observed")
+    p50 = need(latency, "p50", "service_bench latency_ms")
+    p99 = need(latency, "p99", "service_bench latency_ms")
+    if not (0.0 <= p50 <= p99 <= need(latency, "max", "service_bench latency_ms")):
+        raise BenchError(f"service_bench: latency percentiles out of order: {latency}")
+    if need(b, "throughput_rps", "service_bench") <= 0.0:
+        raise BenchError("service_bench: nonpositive throughput")
+    if need(need(b, "summary", "service_bench"), "gates_met",
+            "service_bench summary") is not True:
+        raise BenchError("service_bench: the bench's own gates failed")
+
+
+CHECKS = {
+    "lp_bench": check_lp,
+    "snd_bench": check_snd,
+    "service_bench": check_service,
+}
+
+
+def main(paths):
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path) as f:
+                b = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_bench: {path}: unreadable: {e}", file=sys.stderr)
+            return 1
+        name = b.get("meta", {}).get("bench")
+        check = CHECKS.get(name)
+        if check is None:
+            print(f"check_bench: {path}: unknown bench {name!r} "
+                  f"(expected one of {sorted(CHECKS)})", file=sys.stderr)
+            return 1
+        try:
+            check(b)
+        except BenchError as e:
+            print(f"check_bench: {path}: {e}", file=sys.stderr)
+            return 1
+        print(f"check_bench: {path}: ok ({name}, mode={b['meta'].get('mode')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
