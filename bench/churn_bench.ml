@@ -1,0 +1,428 @@
+(* Churn benchmark: incremental re-solve sessions vs cold solves under a
+   generated instance-delta trace.
+
+   Replays the same deterministic churn trace (weight perturbations
+   dominant, occasional player add/remove) through two paths:
+
+   - warm: a resident Sne_session per float kernel (dense and sparse),
+     mutated in place and re-solved with the retained cut pool and the
+     cross-solve dual-simplex basis hint;
+   - cold: re-parse the serialized instance from scratch and run the full
+     LP (1) cutting-plane loop (the pre-session serving cost, which is why
+     the cold timings are labeled cold_includes_parse in the JSON).
+
+   Every step is certified two ways before any latency number counts:
+   the warm float cost must agree with the cold float cost, and both must
+   agree with a cold exact-rational cutting-plane solve of the same
+   instance (integer weights throughout, so the rational parse is exact).
+   A mini SND churn segment exercises the sharable pricing cache's
+   dirty-edge invalidation and certifies the warm Pareto frontier against
+   a cold one.
+
+     dune exec bench/churn_bench.exe                 (full trace)
+     dune exec bench/churn_bench.exe -- --smoke      (CI gate)
+     dune exec bench/churn_bench.exe -- --json out.json
+
+   Writes BENCH_churn.json (schema in EXPERIMENTS.md, validated by
+   tools/check_bench.py). Certification and convergence are hard gates
+   (exit 1); the >= 5x warm-vs-cold p50 speedup target is reported and
+   warned on but does not fail the run — shared CI runners make latency
+   ratios too noisy to gate hard (same policy as the other benches). *)
+
+module Instances = Repro_core.Instances
+module Ser = Repro_core.Serial.Float
+module SerR = Repro_core.Serial.Rat
+module SneR = Repro_core.Sne_lp.Rat
+module SneD = Repro_core.Sne_lp.Float
+module SneS = Repro_core.Sne_lp.Float_sparse
+module SessD = Repro_core.Sne_session.Dense
+module SessS = Repro_core.Sne_session.Sparse
+module Snd = Repro_core.Snd_search.Float
+module G = Ser.G
+module Gm = Ser.Gm
+module Rat = Repro_field.Field.Rat
+module Obs = Repro_obs.Obs
+module Json = Repro_util.Bench_json
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let json_path =
+  let path = ref "BENCH_churn.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+let now = Unix.gettimeofday
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let summarize times =
+  let a = Array.of_list (List.rev_map (fun t -> t *. 1000.0) times) in
+  Array.sort compare a;
+  let mean = Array.fold_left ( +. ) 0.0 a /. float_of_int (max 1 (Array.length a)) in
+  (percentile a 0.50, percentile a 0.99, mean)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic churn trace                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed LCG so the trace (and hence the committed BENCH_churn.json) is
+   reproducible; integer weights keep the rational parse exact. *)
+let rng = ref 20260808
+
+let rand n =
+  rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  !rng mod n
+
+let int_weight () = float_of_int (1 + rand 9)
+
+(* One candidate delta against the current instance. Add/remove are held
+   near the initial size so the trace churns structure without drifting
+   into a different problem scale. *)
+let gen_delta ~n0 (inst : Ser.t) =
+  let n = G.n_nodes inst.Ser.graph and m = G.n_edges inst.Ser.graph in
+  let roll = rand 100 in
+  if roll < 70 then Ser.Delta.Edge_weight { edge = rand m; weight = int_weight () }
+  else if roll < 85 && n < n0 + 3 then
+    let a = rand n in
+    let b = (a + 1 + rand (n - 1)) mod n in
+    Ser.Delta.Add_player { attach = [ (a, int_weight ()); (b, int_weight ()) ] }
+  else if n > max 4 (n0 - 2) then
+    let v = 1 + rand (n - 1) in
+    Ser.Delta.Remove_player { node = (if v = inst.Ser.root then (v + 1) mod n else v) }
+  else Ser.Delta.Edge_weight { edge = rand m; weight = int_weight () }
+
+(* Candidates can be invalid (a removal that disconnects); fall back to a
+   reweight, which always applies. *)
+let next_delta ~n0 (inst : Ser.t) =
+  let candidate = gen_delta ~n0 inst in
+  match Ser.Delta.apply inst candidate with
+  | (_ : Ser.Delta.applied) -> candidate
+  | exception Failure _ ->
+      Ser.Delta.Edge_weight
+        { edge = rand (G.n_edges inst.Ser.graph); weight = int_weight () }
+
+(* ------------------------------------------------------------------ *)
+(* Cold baselines                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-session serving cost for one re-solve: parse the wire text,
+   rebuild tree/spec/state, run the full cutting-plane loop. *)
+let cold_dense text =
+  let inst = Ser.of_string text in
+  let tree = Ser.target_tree inst in
+  let spec = Gm.broadcast ~graph:inst.Ser.graph ~root:inst.Ser.root in
+  let state = Gm.Broadcast.state_of_tree spec ~root:inst.Ser.root tree in
+  let r, s = SneD.cutting_plane spec ~state in
+  (r.SneD.cost, s.SneD.pivots, s.SneD.converged)
+
+let cold_sparse text =
+  let inst = Ser.of_string text in
+  let tree = Ser.target_tree inst in
+  let spec = Gm.broadcast ~graph:inst.Ser.graph ~root:inst.Ser.root in
+  let state = Gm.Broadcast.state_of_tree spec ~root:inst.Ser.root tree in
+  let r, s = SneS.cutting_plane spec ~state in
+  (r.SneS.cost, s.SneS.pivots, s.SneS.converged)
+
+(* The exact-rational certificate: same instance text, exact arithmetic,
+   full cold cutting plane. *)
+let rational_cost text =
+  let inst = SerR.of_string text in
+  let tree = SerR.target_tree inst in
+  let spec = SerR.Gm.broadcast ~graph:inst.SerR.graph ~root:inst.SerR.root in
+  let state = SerR.Gm.Broadcast.state_of_tree spec ~root:inst.SerR.root tree in
+  let r, s = SneR.cutting_plane spec ~state in
+  if not s.SneR.converged then failwith "rational certificate did not converge";
+  Rat.to_float r.SneR.cost
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
+
+(* ------------------------------------------------------------------ *)
+(* Per-backend accumulators                                            *)
+(* ------------------------------------------------------------------ *)
+
+type side = {
+  mutable warm_times : float list;
+  mutable cold_times : float list;
+  mutable pivots : int;
+  mutable cold_pivots : int;
+  mutable rounds : int;
+  mutable reused : int;
+  mutable fresh : int;
+  mutable warm_starts : int;
+  mutable agree : bool;
+  mutable converged : bool;
+}
+
+let new_side () =
+  {
+    warm_times = [];
+    cold_times = [];
+    pivots = 0;
+    cold_pivots = 0;
+    rounds = 0;
+    reused = 0;
+    fresh = 0;
+    warm_starts = 0;
+    agree = true;
+    converged = true;
+  }
+
+let side_json steps s =
+  let wp50, wp99, wmean = summarize s.warm_times in
+  let cp50, cp99, cmean = summarize s.cold_times in
+  let per x = float_of_int x /. float_of_int (max 1 steps) in
+  ( Json.Obj
+      [
+        ( "warm_ms",
+          Json.Obj
+            [ ("p50", Json.Float wp50); ("p99", Json.Float wp99); ("mean", Json.Float wmean) ] );
+        ( "cold_ms",
+          Json.Obj
+            [ ("p50", Json.Float cp50); ("p99", Json.Float cp99); ("mean", Json.Float cmean) ] );
+        ("speedup_p50", Json.Float (cp50 /. Float.max 1e-9 wp50));
+        ("pivots_per_resolve", Json.Float (per s.pivots));
+        ("cold_pivots_per_solve", Json.Float (per s.cold_pivots));
+        ("rounds_per_resolve", Json.Float (per s.rounds));
+        ( "cut_reuse_rate",
+          Json.Float (float_of_int s.reused /. float_of_int (max 1 (s.reused + s.fresh))) );
+        ("warm_starts", Json.Int s.warm_starts);
+        ("agree", Json.Bool s.agree);
+        ("converged", Json.Bool s.converged);
+      ],
+    cp50 /. Float.max 1e-9 wp50 )
+
+(* ------------------------------------------------------------------ *)
+(* SND churn segment: sharable pricing cache under reweights            *)
+(* ------------------------------------------------------------------ *)
+
+let snd_segment ~steps =
+  let base = Instances.random ~dist:(Instances.Integer 9) ~n:6 ~extra:3 ~seed:7 () in
+  let root = base.Instances.root in
+  let inst =
+    ref
+      {
+        Ser.graph = base.Instances.graph;
+        root;
+        tree_edge_ids = None;
+        subsidy = [];
+        budget = None;
+      }
+  in
+  let cache = Snd.price_cache ~capacity:1024 in
+  let warm_pricer g = Snd.cached_pricer ~cache (Snd.lp_pricer (Gm.broadcast ~graph:g ~root) ~root) in
+  let cold_pricer g = Snd.lp_pricer (Gm.broadcast ~graph:g ~root) ~root in
+  let frontier pricer g = fst (Snd.pareto_frontier ~pricer ~graph:g ~root ()) in
+  let signature designs =
+    List.map (fun d -> (d.Snd.tree_edges, d.Snd.weight, d.Snd.subsidy_cost)) designs
+  in
+  ignore (frontier (warm_pricer !inst.Ser.graph) !inst.Ser.graph);
+  let warm_t = ref [] and cold_t = ref [] and agree = ref true in
+  for _ = 1 to steps do
+    let m = G.n_edges !inst.Ser.graph in
+    let d = Ser.Delta.Edge_weight { edge = rand m; weight = int_weight () } in
+    let applied = Ser.Delta.apply !inst d in
+    inst := applied.Ser.Delta.inst;
+    Snd.invalidate_edges cache applied.Ser.Delta.dirty_edges;
+    let g = !inst.Ser.graph in
+    let t0 = now () in
+    let warm = frontier (warm_pricer g) g in
+    warm_t := (now () -. t0) :: !warm_t;
+    let t1 = now () in
+    let cold = frontier (cold_pricer g) g in
+    cold_t := (now () -. t1) :: !cold_t;
+    if signature warm <> signature cold then agree := false
+  done;
+  let wp50, _, _ = summarize !warm_t and cp50, _, _ = summarize !cold_t in
+  ( Json.Obj
+      [
+        ("steps", Json.Int steps);
+        ("warm_p50_ms", Json.Float wp50);
+        ("cold_p50_ms", Json.Float cp50);
+        ("agree", Json.Bool !agree);
+      ],
+    !agree )
+
+(* ------------------------------------------------------------------ *)
+(* Main trace                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let steps = if smoke then 20 else 80 in
+  let n0 = if smoke then 40 else 64 in
+  let extra = if smoke then 160 else 400 in
+  Printf.printf "churn bench (%s mode): %d steps, initial n=%d\n%!"
+    (if smoke then "smoke" else "full")
+    steps n0;
+  Obs.reset ();
+  Obs.set_enabled true;
+  let base = Instances.random ~dist:(Instances.Integer 9) ~n:n0 ~extra ~seed:42 () in
+  let inst0 =
+    {
+      Ser.graph = base.Instances.graph;
+      root = base.Instances.root;
+      tree_edge_ids = None;
+      subsidy = [];
+      budget = None;
+    }
+  in
+  let sd = SessD.create inst0 and ss = SessS.create inst0 in
+  (* Prime both sessions: the first resolve is cold by construction (empty
+     pool, no basis) and is not a churn measurement. *)
+  ignore (SessD.resolve sd);
+  ignore (SessS.resolve ss);
+  let dense = new_side () and sparse = new_side () in
+  let weight_deltas = ref 0 and adds = ref 0 and removes = ref 0 in
+  let certified = ref 0 and rational_ok = ref true in
+  for step = 1 to steps do
+    (* Round-trip the delta through its text form — the wire path — and
+       validate it applies before mutating any session. *)
+    let text_delta = Ser.Delta.to_string (next_delta ~n0 (SessD.instance sd)) in
+    let d = Ser.Delta.of_string text_delta in
+    (match d with
+    | Ser.Delta.Edge_weight _ -> incr weight_deltas
+    | Ser.Delta.Add_player _ -> incr adds
+    | Ser.Delta.Remove_player _ -> incr removes
+    | Ser.Delta.Set_budget _ -> ());
+    let run_side (type sess) side ~mutate ~resolve ~cold (s : sess) =
+      let t0 = now () in
+      ignore (mutate s d);
+      let r, (stats : SessD.resolve_stats) = resolve s in
+      side.warm_times <- (now () -. t0) :: side.warm_times;
+      side.pivots <- side.pivots + stats.SessD.pivots;
+      side.rounds <- side.rounds + stats.SessD.rounds;
+      side.reused <- side.reused + stats.SessD.reused_cuts;
+      side.fresh <- side.fresh + stats.SessD.fresh_cuts;
+      if stats.SessD.warm then side.warm_starts <- side.warm_starts + 1;
+      if not stats.SessD.converged then side.converged <- false;
+      let t1 = now () in
+      let cold_cost, cold_pivots, cold_conv = cold () in
+      side.cold_times <- (now () -. t1) :: side.cold_times;
+      side.cold_pivots <- side.cold_pivots + cold_pivots;
+      if not cold_conv then side.converged <- false;
+      if not (close r cold_cost) then begin
+        Printf.eprintf "step %d: warm %.9f != cold %.9f\n" step r cold_cost;
+        side.agree <- false
+      end;
+      r
+    in
+    (* Both kernels see the same delta; the serialized instance is shared
+       by the cold float baselines and the rational certificate. *)
+    let dcost =
+      run_side dense sd ~mutate:SessD.mutate
+        ~resolve:(fun s ->
+          let r, st = SessD.resolve s in
+          (r.SessD.Sne.cost, st))
+        ~cold:(fun () -> cold_dense (Ser.to_string (SessD.instance sd)))
+    in
+    let scost =
+      run_side sparse ss ~mutate:SessS.mutate
+        ~resolve:(fun s ->
+          let r, (st : SessS.resolve_stats) = SessS.resolve s in
+          ( r.SessS.Sne.cost,
+            {
+              SessD.pivots = st.SessS.pivots;
+              rounds = st.SessS.rounds;
+              reused_cuts = st.SessS.reused_cuts;
+              fresh_cuts = st.SessS.fresh_cuts;
+              pool_size = st.SessS.pool_size;
+              warm = st.SessS.warm;
+              converged = st.SessS.converged;
+            } ))
+        ~cold:(fun () -> cold_sparse (Ser.to_string (SessS.instance ss)))
+    in
+    let rcost = rational_cost (Ser.to_string (SessD.instance sd)) in
+    if close dcost rcost && close scost rcost then incr certified
+    else begin
+      Printf.eprintf "step %d: rational %.9f vs dense %.9f / sparse %.9f\n" step rcost
+        dcost scost;
+      rational_ok := false
+    end
+  done;
+  let snd_json, snd_agree = snd_segment ~steps:(if smoke then 6 else 16) in
+  let dense_json, dense_speedup = side_json steps dense in
+  let sparse_json, sparse_speedup = side_json steps sparse in
+  let gates =
+    [
+      ("dense warm/cold agreement", dense.agree);
+      ("sparse warm/cold agreement", sparse.agree);
+      ("every resolve converged", dense.converged && sparse.converged);
+      ("every step rationally certified", !rational_ok && !certified = steps);
+      (* A resolve with an empty basis hint is still correct (it just
+         starts the dual simplex from the box optimum); this gate pins
+         that basis retention is wired up and usually effective, not that
+         every optimum happens to leave a structural variable basic. *)
+      ( "basis warm-start on at least half the resolves",
+        2 * dense.warm_starts >= steps && 2 * sparse.warm_starts >= steps );
+      ("snd frontier agreement after invalidation", snd_agree);
+    ]
+  in
+  let gates_met = List.for_all snd gates in
+  List.iter
+    (fun (name, ok) -> if not ok then Printf.eprintf "GATE FAILED: %s\n" name)
+    gates;
+  let speedup_ok = dense_speedup >= 5.0 && sparse_speedup >= 5.0 in
+  if not speedup_ok then
+    Printf.eprintf
+      "WARNING: warm p50 speedup below 5x target (dense %.1fx, sparse %.1fx) — latency is advisory on shared runners\n"
+      dense_speedup sparse_speedup;
+  Printf.printf
+    "  dense:  warm p50 %.2fms vs cold p50 %.2fms (%.1fx), reuse %.0f%%\n"
+    (let p, _, _ = summarize dense.warm_times in
+     p)
+    (let p, _, _ = summarize dense.cold_times in
+     p)
+    dense_speedup
+    (100.0 *. float_of_int dense.reused /. float_of_int (max 1 (dense.reused + dense.fresh)));
+  Printf.printf
+    "  sparse: warm p50 %.2fms vs cold p50 %.2fms (%.1fx), reuse %.0f%%\n"
+    (let p, _, _ = summarize sparse.warm_times in
+     p)
+    (let p, _, _ = summarize sparse.cold_times in
+     p)
+    sparse_speedup
+    (100.0 *. float_of_int sparse.reused
+    /. float_of_int (max 1 (sparse.reused + sparse.fresh)));
+  Printf.printf "  certified %d/%d steps against the exact-rational solver\n" !certified
+    steps;
+  Json.write_file ~path:json_path
+    (Json.Obj
+       [
+         ( "meta",
+           Json.Obj
+             [
+               ("bench", Json.Str "churn_bench");
+               ("mode", Json.Str (if smoke then "smoke" else "full"));
+               ("cold_includes_parse", Json.Bool true);
+             ] );
+         ( "trace",
+           Json.Obj
+             [
+               ("steps", Json.Int steps);
+               ("weight_deltas", Json.Int !weight_deltas);
+               ("add_player", Json.Int !adds);
+               ("remove_player", Json.Int !removes);
+               ("initial_nodes", Json.Int n0);
+               ("initial_edges", Json.Int (G.n_edges inst0.Ser.graph));
+             ] );
+         ("backends", Json.Obj [ ("dense", dense_json); ("sparse", sparse_json) ]);
+         ( "rational",
+           Json.Obj
+             [
+               ("certified_steps", Json.Int !certified);
+               ("all_certified", Json.Bool (!rational_ok && !certified = steps));
+             ] );
+         ("snd_churn", snd_json);
+         ("obs", Obs.stats_json ());
+         ( "summary",
+           Json.Obj
+             [ ("gates_met", Json.Bool gates_met); ("speedup_ok", Json.Bool speedup_ok) ]
+         );
+       ]);
+  Printf.printf "wrote %s\n" json_path;
+  if not gates_met then exit 1

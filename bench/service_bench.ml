@@ -45,6 +45,7 @@ let payload ~seed ~n ~extra =
       root = inst.Instances.root;
       tree_edge_ids = None;
       subsidy = [];
+      budget = None;
     }
 
 (* A small pool of distinct instances, revisited round-robin: revisits of

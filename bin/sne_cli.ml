@@ -218,7 +218,7 @@ let solve_cmd =
       (100.0 *. cost /. w);
     Array.iteri
       (fun id b ->
-        if b > 1e-9 then
+        if Repro_util.Floatx.gt b 0.0 then
           let u, v = G.endpoints graph id in
           Printf.printf "  edge %d (%d-%d, weight %.3f): subsidize %.4f\n" id u v
             (G.weight graph id) b)
@@ -525,6 +525,13 @@ let serve_cmd =
          & info [ "cache" ] ~docv:"C"
              ~doc:"Response cache capacity in outcomes (0 disables caching).")
   in
+  let sessions_arg =
+    Arg.(value & opt int 64
+         & info [ "sessions" ] ~docv:"S"
+             ~doc:"Incremental session table capacity; least recently used \
+                   handles are evicted and later requests naming them get a \
+                   structured unknown_session error.")
+  in
   (* Best-effort id echo for lines that fail wire parsing, so callers can
      still correlate the error response. *)
   let sniff_id line =
@@ -537,12 +544,12 @@ let serve_cmd =
            else None)
     |> Option.value ~default:""
   in
-  let run stdio workers queue_limit cache show_stats trace =
+  let run stdio workers queue_limit cache sessions show_stats trace =
     with_obs show_stats trace @@ fun () ->
     if not stdio then Error "serve: pass --stdio (the only transport)"
     else begin
       let wire_errors = Repro_obs.Obs.counter "service.wire_parse_errors" in
-      Service.with_service ~workers ~queue_limit ~cache (fun svc ->
+      Service.with_service ~workers ~queue_limit ~cache ~sessions (fun svc ->
           (* Responses are emitted in request order: parse errors complete
              instantly, solver responses as their tickets resolve. Between
              input lines we drain whatever already finished, so a slow
@@ -609,7 +616,7 @@ let serve_cmd =
              error responses (parse errors, expired deadlines, overload) are \
              normal operation, not process failures.")
     Term.(const run $ stdio_arg $ workers_arg $ queue_limit_arg $ cache_arg
-          $ stats_arg $ trace_arg)
+          $ sessions_arg $ stats_arg $ trace_arg)
 
 let () =
   let info =

@@ -11,6 +11,7 @@
     edge 1 2 1/3        # rationals allowed
     tree 0 1 3 4        # optional: target tree edge ids (by declaration order)
     subsidy 2 0.75      # optional: edge id, amount
+    budget 5            # optional: subsidy budget cap
     v}
 
     Weights are parsed by the field's own reader, so the same file loads
@@ -26,6 +27,7 @@ module Make (F : Repro_field.Field.S) = struct
     root : int;
     tree_edge_ids : int list option;
     subsidy : (int * F.t) list;
+    budget : F.t option;
   }
 
   let parse_weight s =
@@ -54,6 +56,7 @@ module Make (F : Repro_field.Field.S) = struct
     let edges = ref [] in
     let tree = ref None in
     let subsidy = ref [] in
+    let budget = ref None in
     String.split_on_char '\n' text
     |> List.iteri (fun lineno line ->
            let line =
@@ -85,6 +88,8 @@ module Make (F : Repro_field.Field.S) = struct
            | [ "subsidy"; id; amount ] ->
                subsidy := (lineno + 1, int_arg "subsidy edge id" id, weight_arg amount) :: !subsidy
            | "subsidy" :: _ -> fail "'subsidy' expects 'subsidy edge_id amount'"
+           | [ "budget"; b ] -> budget := Some (weight_arg b)
+           | "budget" :: _ -> fail "'budget' expects exactly one amount"
            | tok :: _ -> fail (Printf.sprintf "unknown directive %S" tok))
     |> ignore;
     let n = match !nodes with Some n -> n | None -> failwith "Serial: missing 'nodes'" in
@@ -111,6 +116,7 @@ module Make (F : Repro_field.Field.S) = struct
       root = !root;
       tree_edge_ids = Option.map snd !tree;
       subsidy = List.rev_map (fun (_, id, v) -> (id, v)) !subsidy;
+      budget = !budget;
     }
 
   let to_string t =
@@ -118,6 +124,9 @@ module Make (F : Repro_field.Field.S) = struct
     Buffer.add_string buf "# broadcast network design instance\n";
     Buffer.add_string buf (Printf.sprintf "nodes %d\n" (G.n_nodes t.graph));
     Buffer.add_string buf (Printf.sprintf "root %d\n" t.root);
+    (match t.budget with
+    | Some b -> Buffer.add_string buf (Printf.sprintf "budget %s\n" (F.to_string b))
+    | None -> ());
     G.fold_edges t.graph ~init:() ~f:(fun () e ->
         Buffer.add_string buf
           (Printf.sprintf "edge %d %d %s\n" e.G.u e.G.v (F.to_string e.G.weight)));
@@ -164,6 +173,197 @@ module Make (F : Repro_field.Field.S) = struct
           | None -> failwith "Serial: disconnected instance")
     in
     G.Tree.of_edge_ids t.graph ~root:t.root ids
+
+  (** Instance deltas: the churn vocabulary the incremental re-solve path
+      speaks. Application goes through the same [G.create]/canonical-order
+      machinery as parsing, so [to_string (apply d i).inst] is byte-equal
+      to serializing the mutated instance built directly — [Digestx] cache
+      keys stay stable across the delta path. *)
+  module Delta = struct
+    type inst = t
+
+    type t =
+      | Edge_weight of { edge : int; weight : F.t }
+      | Add_player of { attach : (int * F.t) list }
+          (** New node [n] (next dense id) wired to existing nodes; edge
+              ids of the attachments are appended in list order. *)
+      | Remove_player of { node : int }
+          (** Nodes above [node] shift down one; surviving edges are
+              renumbered compactly in declaration order. *)
+      | Set_budget of F.t option
+
+    type applied = {
+      inst : inst;
+      edge_map : int array;
+          (** old edge id -> new edge id, [-1] when the edge died. *)
+      dirty_edges : int list;
+          (** new-instance ids of edges whose weight changed or that are
+              new; cache invalidation granularity for weight deltas. *)
+      structural : bool;
+          (** Node/edge ids were renumbered or the node set changed —
+              edge-keyed caches for the old instance are wholesale stale. *)
+    }
+
+    let fail fmt = Printf.ksprintf failwith ("Delta: " ^^ fmt)
+
+    let triples g =
+      G.fold_edges g ~init:[] ~f:(fun acc e -> (e.G.u, e.G.v, e.G.weight) :: acc)
+      |> List.rev
+
+    let identity_map m = Array.init m Fun.id
+
+    let apply inst = function
+      | Edge_weight { edge; weight } ->
+          let m = G.n_edges inst.graph in
+          if edge < 0 || edge >= m then
+            fail "edge_weight references nonexistent edge id %d" edge;
+          if F.lt weight F.zero then fail "edge_weight: negative weight on edge %d" edge;
+          let graph =
+            G.with_weights inst.graph (fun e -> if e.G.id = edge then weight else e.G.weight)
+          in
+          {
+            inst = { inst with graph };
+            edge_map = identity_map m;
+            dirty_edges = [ edge ];
+            structural = false;
+          }
+      | Add_player { attach } ->
+          if attach = [] then fail "add_player needs at least one attachment edge";
+          let n = G.n_nodes inst.graph and m = G.n_edges inst.graph in
+          List.iter
+            (fun (u, w) ->
+              if u < 0 || u >= n then fail "add_player attaches to nonexistent node %d" u;
+              if F.lt w F.zero then fail "add_player: negative attachment weight")
+            attach;
+          let fresh = List.map (fun (u, w) -> (u, n, w)) attach in
+          let graph = G.create ~n:(n + 1) (triples inst.graph @ fresh) in
+          (* The old target tree no longer spans the new node. *)
+          {
+            inst = { inst with graph; tree_edge_ids = None };
+            edge_map = identity_map m;
+            dirty_edges = List.init (List.length attach) (fun i -> m + i);
+            structural = true;
+          }
+      | Remove_player { node } ->
+          let n = G.n_nodes inst.graph and m = G.n_edges inst.graph in
+          if node < 0 || node >= n then fail "remove_player: nonexistent node %d" node;
+          if node = inst.root then fail "remove_player: cannot remove the root";
+          if n <= 2 then fail "remove_player: instance would have no players left";
+          let shift x = if x > node then x - 1 else x in
+          let edge_map = Array.make m (-1) in
+          let next = ref 0 in
+          let surviving =
+            G.fold_edges inst.graph ~init:[] ~f:(fun acc e ->
+                if e.G.u = node || e.G.v = node then acc
+                else begin
+                  edge_map.(e.G.id) <- !next;
+                  incr next;
+                  (shift e.G.u, shift e.G.v, e.G.weight) :: acc
+                end)
+            |> List.rev
+          in
+          let graph = G.create ~n:(n - 1) surviving in
+          if not (G.is_connected graph) then
+            fail "remove_player: removing node %d disconnects the instance" node;
+          let subsidy =
+            List.filter_map
+              (fun (id, b) ->
+                let id' = edge_map.(id) in
+                if id' >= 0 then Some (id', b) else None)
+              inst.subsidy
+          in
+          {
+            inst =
+              {
+                graph;
+                root = shift inst.root;
+                tree_edge_ids = None;
+                subsidy;
+                budget = inst.budget;
+              };
+            edge_map;
+            dirty_edges = [];
+            structural = true;
+          }
+      | Set_budget b ->
+          (match b with
+          | Some v when F.lt v F.zero -> fail "set_budget: negative budget"
+          | _ -> ());
+          {
+            inst = { inst with budget = b };
+            edge_map = identity_map (G.n_edges inst.graph);
+            dirty_edges = [];
+            structural = false;
+          }
+
+    let apply_all inst deltas = List.fold_left (fun i d -> (apply i d).inst) inst deltas
+
+    (* One-line text form for wire payloads and churn traces:
+         edge_weight ID W | add_player U1 W1 [U2 W2 ...]
+         | remove_player NODE | set_budget B|none *)
+    let to_string = function
+      | Edge_weight { edge; weight } ->
+          Printf.sprintf "edge_weight %d %s" edge (F.to_string weight)
+      | Add_player { attach } ->
+          "add_player "
+          ^ String.concat " "
+              (List.concat_map (fun (u, w) -> [ string_of_int u; F.to_string w ]) attach)
+      | Remove_player { node } -> Printf.sprintf "remove_player %d" node
+      | Set_budget None -> "set_budget none"
+      | Set_budget (Some b) -> Printf.sprintf "set_budget %s" (F.to_string b)
+
+    let of_string line =
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let int_arg what s =
+        match int_of_string_opt s with
+        | Some i -> i
+        | None -> fail "%s: bad integer %S" what s
+      in
+      let weight_arg s = try parse_weight s with Failure _ -> fail "bad weight %S" s in
+      let rec attach_pairs = function
+        | [] -> []
+        | [ _ ] -> fail "add_player expects 'add_player u1 w1 [u2 w2 ...]'"
+        | u :: w :: rest ->
+            (int_arg "add_player node" u, weight_arg w) :: attach_pairs rest
+      in
+      match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+      | [ "edge_weight"; id; w ] ->
+          Edge_weight { edge = int_arg "edge_weight edge id" id; weight = weight_arg w }
+      | "edge_weight" :: _ -> fail "edge_weight expects 'edge_weight edge_id weight'"
+      | "add_player" :: (_ :: _ as rest) -> Add_player { attach = attach_pairs rest }
+      | [ "add_player" ] -> fail "add_player needs at least one attachment edge"
+      | [ "remove_player"; v ] -> Remove_player { node = int_arg "remove_player node" v }
+      | "remove_player" :: _ -> fail "remove_player expects 'remove_player node'"
+      | [ "set_budget"; "none" ] -> Set_budget None
+      | [ "set_budget"; b ] -> Set_budget (Some (weight_arg b))
+      | "set_budget" :: _ -> fail "set_budget expects 'set_budget amount|none'"
+      | [] -> fail "empty delta"
+      | tok :: _ -> fail "unknown delta %S" tok
+
+    (* Multi-line trace: one delta per line, [#] comments and blanks
+       skipped; failures carry the offending line number. *)
+    let list_of_string text =
+      String.split_on_char '\n' text
+      |> List.mapi (fun lineno line -> (lineno + 1, line))
+      |> List.filter_map (fun (lineno, line) ->
+             let stripped =
+               match String.index_opt line '#' with
+               | Some i -> String.sub line 0 i
+               | None -> line
+             in
+             if String.trim stripped = "" then None
+             else
+               match of_string line with
+               | d -> Some d
+               | exception Failure msg ->
+                   failwith (Printf.sprintf "%s (line %d)" msg lineno))
+
+    let list_to_string deltas = String.concat "\n" (List.map to_string deltas) ^ "\n"
+  end
 end
 
 module Float = Make (Repro_field.Field.Float_field)

@@ -1,7 +1,8 @@
 (** Plain-text instance serialization (the format the CLI's [--file]
-    accepts): [nodes]/[root]/[edge u v w]/[tree ids...]/[subsidy id amount]
-    directives, [#] comments, weights as integers, [n/d] fractions or
-    decimals. The same file loads exactly into both field stacks. *)
+    accepts): [nodes]/[root]/[edge u v w]/[tree ids...]/[subsidy id amount]/
+    [budget b] directives, [#] comments, weights as integers, [n/d]
+    fractions or decimals. The same file loads exactly into both field
+    stacks. *)
 
 module Make (F : Repro_field.Field.S) : sig
   module Gm : module type of Repro_game.Game.Make (F)
@@ -12,6 +13,7 @@ module Make (F : Repro_field.Field.S) : sig
     root : int;
     tree_edge_ids : int list option;
     subsidy : (int * F.t) list;
+    budget : F.t option;  (** optional subsidy budget cap *)
   }
 
   (** Raises [Failure] with a line number on malformed input, including
@@ -29,6 +31,60 @@ module Make (F : Repro_field.Field.S) : sig
 
   (** The declared target tree, or the MST when none is declared. *)
   val target_tree : t -> G.Tree.t
+
+  (** Instance deltas — the churn vocabulary of the incremental re-solve
+      path. Application preserves canonical serialization:
+      [to_string (apply d i).inst] equals serializing the mutated instance
+      built directly, so [Repro_util.Digestx] cache keys stay stable. *)
+  module Delta : sig
+    type inst = t
+
+    type t =
+      | Edge_weight of { edge : int; weight : F.t }
+          (** Reweight one edge in place; ids and adjacency preserved. *)
+      | Add_player of { attach : (int * F.t) list }
+          (** A new node (the next dense id) wired to existing nodes;
+              attachment edge ids are appended in list order. Drops any
+              declared target tree (it no longer spans). *)
+      | Remove_player of { node : int }
+          (** Remove a non-root node; higher node ids shift down one and
+              surviving edges are renumbered compactly in declaration
+              order. Fails if the remainder is disconnected. *)
+      | Set_budget of F.t option
+
+    type applied = {
+      inst : inst;
+      edge_map : int array;
+          (** old edge id -> new edge id, [-1] when the edge died. *)
+      dirty_edges : int list;
+          (** new-instance ids of changed/new edges (invalidation
+              granularity for weight deltas). *)
+      structural : bool;
+          (** ids were renumbered or the node set changed — edge-keyed
+              caches built against the old instance are wholesale stale. *)
+    }
+
+    (** Raises [Failure] (message prefixed "Delta:") on out-of-range ids,
+        negative weights, removing the root or the last player, or a
+        removal that disconnects the instance. *)
+    val apply : inst -> t -> applied
+
+    val apply_all : inst -> t list -> inst
+
+    (** One-line text form, used in wire payloads and churn traces:
+        [edge_weight ID W], [add_player U1 W1 [U2 W2 ...]],
+        [remove_player NODE], [set_budget B|none]. *)
+    val to_string : t -> string
+
+    (** Parse one delta line ([#] comments allowed); raises [Failure]. *)
+    val of_string : string -> t
+
+    (** Parse a multi-line trace (blank lines and comments skipped);
+        failures carry the offending line number. *)
+    val list_of_string : string -> t list
+
+    val list_to_string : t list -> string
+  end
 end
 
 module Float : module type of Make (Repro_field.Field.Float_field)

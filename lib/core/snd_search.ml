@@ -86,15 +86,45 @@ module Make (F : Repro_field.Field.S) = struct
       cache_misses = (fun () -> 0);
     }
 
-  let cached_pricer ?(capacity = 256) inner =
-    let cache : (int list, Sne.result) Repro_util.Lru.t =
-      Repro_util.Lru.create ~capacity
-    in
-    let mu = Mutex.create () in
-    let locked f =
-      Mutex.lock mu;
-      Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
-    in
+  (* A sharable pricing cache: the LRU keyed by canonical sorted edge-id
+     lists plus its mutex. Under churn the incremental path keeps one of
+     these alive across instance deltas and evicts selectively instead of
+     rebuilding the pricer (and losing every cached tree) per step. *)
+  type price_cache = {
+    pc_lru : (int list, Sne.result) Repro_util.Lru.t;
+    pc_mu : Mutex.t;
+  }
+
+  let price_cache ~capacity =
+    { pc_lru = Repro_util.Lru.create ~capacity; pc_mu = Mutex.create () }
+
+  let pc_locked pc f =
+    Mutex.lock pc.pc_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock pc.pc_mu) f
+
+  (* Dirty-edge invalidation: evict exactly the entries whose tree
+     contains a mutated edge (keys are the trees' sorted edge-id lists).
+     A price for a tree CONTAINING a dirty edge is certainly stale; one
+     for a tree avoiding every dirty edge can still drift through LP (3)
+     deviation rows that reference the reweighted non-tree edge, so this
+     granularity is for callers that re-certify prices downstream (the
+     churn bench does) — callers needing exactness after an arbitrary
+     reweight, or any structural delta, use [clear_price_cache]. *)
+  let invalidate_edges pc dirty =
+    match dirty with
+    | [] -> ()
+    | dirty ->
+        let dirty = List.sort_uniq compare dirty in
+        pc_locked pc (fun () ->
+            Repro_util.Lru.filter pc.pc_lru ~f:(fun ids _ ->
+                not (List.exists (fun id -> List.mem id dirty) ids)))
+
+  let clear_price_cache pc = pc_locked pc (fun () -> Repro_util.Lru.clear pc.pc_lru)
+
+  let cached_pricer ?(capacity = 256) ?cache inner =
+    let pc = match cache with Some pc -> pc | None -> price_cache ~capacity in
+    let locked f = pc_locked pc f in
+    let cache = pc.pc_lru in
     {
       name = inner.name ^ "+lru";
       price =

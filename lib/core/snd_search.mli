@@ -52,10 +52,31 @@ module Make (F : Repro_field.Field.S) : sig
       bit-identical to the seed's). *)
   val lp_pricer : Gm.spec -> root:int -> pricer
 
+  (** A sharable pricing cache (the LRU keyed by canonical sorted tree
+      edge-id lists, plus its mutex). Under churn, keep one of these
+      alive across instance deltas and invalidate selectively instead of
+      rebuilding the pricer — and losing every cached tree — per step. *)
+  type price_cache
+
+  val price_cache : capacity:int -> price_cache
+
+  (** Evict exactly the entries whose tree contains a dirty edge. Stale
+      certainty only runs one way: a tree {e containing} a mutated edge
+      is certainly stale, while one avoiding every dirty edge can still
+      drift through LP (3) deviation rows referencing a reweighted
+      non-tree edge — so this granularity is for callers that re-certify
+      prices downstream; use {!clear_price_cache} when exactness after an
+      arbitrary reweight (or any structural delta) is required. *)
+  val invalidate_edges : price_cache -> int list -> unit
+
+  val clear_price_cache : price_cache -> unit
+
   (** Wrap a pricer with an LRU cache keyed by canonical sorted edge-id
       lists (mutex-protected; safe across domains). Shares the inner
-      pricer's [solves] counter. *)
-  val cached_pricer : ?capacity:int -> pricer -> pricer
+      pricer's [solves] counter. [cache] plugs in a shared
+      {!price_cache} (then [capacity] is ignored); by default a private
+      cache of [capacity] is created. *)
+  val cached_pricer : ?capacity:int -> ?cache:price_cache -> pricer -> pricer
 
   type config = {
     domains : int;  (** 1 = sequential (no domains spawned) *)

@@ -508,6 +508,43 @@ struct
   (* LP (1): constraint generation with the Dijkstra separation oracle *)
   (* ---------------------------------------------------------------- *)
 
+  (** The LP (1) constraint pinning player [i]'s cost on her current
+      strategy below the cost of deviation path [path]:
+      cost_i(T;b) <= sum_{a in p} (w_a - b_a)/d_a. Terms for edges on
+      both sides cancel via the shared hashtable. Exposed so the
+      incremental session can rebuild its retained cut pool against the
+      {e current} state/usage/weights after a delta — any u->root path
+      yields a valid member of the constraint family when its
+      coefficients are recomputed this way. *)
+  let lp1_path_constraint spec ~(state : Gm.state) ~(usage : int array) i path =
+    let graph = spec.Gm.graph in
+    let mine = Gm.player_edges spec state i in
+    let coeffs = Hashtbl.create 8 in
+    let rhs = ref F.zero in
+    let touch ~side id d =
+      let d = F.of_int d in
+      let cur = try Hashtbl.find coeffs id with Not_found -> F.zero in
+      let c = F.div F.one d in
+      let w_over_d = F.div (G.weight graph id) d in
+      match side with
+      | `Current ->
+          Hashtbl.replace coeffs id (F.sub cur c);
+          rhs := F.sub !rhs w_over_d
+      | `Deviation ->
+          Hashtbl.replace coeffs id (F.add cur c);
+          rhs := F.add !rhs w_over_d
+    in
+    List.iter (fun id -> touch ~side:`Current id usage.(id)) state.(i);
+    List.iter
+      (fun id -> touch ~side:`Deviation id (usage.(id) + 1 - if mine.(id) then 1 else 0))
+      path;
+    {
+      Lp.coeffs = Hashtbl.fold (fun k c acc -> (k, c) :: acc) coeffs [];
+      relation = Lp.Leq;
+      rhs = !rhs;
+      label = Printf.sprintf "path(p%d)" i;
+    }
+
   (** Solve the exponential LP (1) by cutting planes: start with only the
       box constraints, and repeatedly add the constraint of each player's
       cheapest deviating path (found by [Gm.best_response], which is exactly
@@ -519,42 +556,12 @@ struct
       spec ~(state : Gm.state) =
     let graph = spec.Gm.graph in
     let usage = Gm.usage spec state in
-    (* Constraint for player i forced below the cost of deviation path p:
-       cost_i(T;b) <= sum_{a in p} (w_a - b_a)/d_a. Terms for edges on both
-       sides cancel via the shared hashtable. *)
-    let path_constraint i path =
-      let mine = Gm.player_edges spec state i in
-      let coeffs = Hashtbl.create 8 in
-      let rhs = ref F.zero in
-      let touch ~side id d =
-        let d = F.of_int d in
-        let cur = try Hashtbl.find coeffs id with Not_found -> F.zero in
-        let c = F.div F.one d in
-        let w_over_d = F.div (G.weight graph id) d in
-        match side with
-        | `Current ->
-            Hashtbl.replace coeffs id (F.sub cur c);
-            rhs := F.sub !rhs w_over_d
-        | `Deviation ->
-            Hashtbl.replace coeffs id (F.add cur c);
-            rhs := F.add !rhs w_over_d
-      in
-      List.iter (fun id -> touch ~side:`Current id usage.(id)) state.(i);
-      List.iter
-        (fun id -> touch ~side:`Deviation id (usage.(id) + 1 - if mine.(id) then 1 else 0))
-        path;
-      {
-        Lp.coeffs = Hashtbl.fold (fun k c acc -> (k, c) :: acc) coeffs [];
-        relation = Lp.Leq;
-        rhs = !rhs;
-        label = Printf.sprintf "path(p%d)" i;
-      }
-    in
+    let path_constraint i path = lp1_path_constraint spec ~state ~usage i path in
     let find_cuts ~subsidy =
       let responses =
         oracle_sweep ?pool ~n_players:(Gm.n_players spec) (fun i ->
-            let current = Gm.player_cost ~subsidy spec state i in
-            let cost, path = Gm.best_response ~subsidy spec state i in
+            let current = Gm.player_cost ~subsidy ~usage spec state i in
+            let cost, path = Gm.best_response ~subsidy ~usage spec state i in
             if F.lt cost current then Some path else None)
       in
       let cuts = ref [] in

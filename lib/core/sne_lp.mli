@@ -98,6 +98,25 @@ module Make_backend
       inside the LP. *)
   val poly : Gm.spec -> state:Gm.state -> result
 
+  (** The LP (1) box-only master for a graph: minimize total subsidies
+      with 0 <= b_a <= w_a, no path constraints yet; variable id = edge
+      id. This is the cutting-plane loop's starting master; the
+      incremental session ({!Sne_session}) instead builds a master
+      restricted to tree-edge variables (optimal LP (1) subsidies vanish
+      off the target tree). *)
+  val box_master : G.t -> Lp.problem
+
+  (** The LP (1) cut for player [i] forced below the cost of deviation
+      path [path], built against the given [state] and [usage] (which
+      must be [Gm.usage spec state]). Any source->root path yields a
+      valid member of the LP (1) family when recomputed this way, which
+      is what lets the incremental session re-use cuts separated before a
+      delta: coefficients are rebuilt against current weights/usage, so
+      the seeded master is a relaxation of LP (1) and never cuts off the
+      optimum. *)
+  val lp1_path_constraint :
+    Gm.spec -> state:Gm.state -> usage:int array -> int -> int list -> Lp.constr
+
   (** LP (1) solved by cutting planes: the paper's ellipsoid + Dijkstra
       separation oracle, run as the standard constraint-generation loop
       (DESIGN.md §2), warm-started between rounds. [pool] runs each

@@ -1,0 +1,355 @@
+(** Incremental re-solve sessions for the LP (1) cutting-plane SNE solver.
+
+    A session retains, across instance deltas, the two artifacts a cold
+    solve rebuilds from nothing every time:
+
+    - the {e separated-cut pool}: the deviation paths discovered by the
+      Dijkstra oracle in previous resolves, keyed by source {e node} (not
+      player index — node identity survives the renumbering of
+      [Serial.Delta.Remove_player] via the edge/node maps);
+    - the {e optimal basis}: the structural (edge) variables basic at the
+      previous optimum, fed to the kernels' cross-solve dual-simplex warm
+      start ([solve_dual_incremental ~hint]).
+
+    On [resolve] the retained paths are rebuilt into LP (1) constraints
+    against the {e current} state/usage/weights with
+    [Sne_lp.lp1_path_constraint]. Any source->root path yields a valid
+    member of the LP (1) family under recomputation, so the seeded master
+    is a relaxation of LP (1): it can never cut off the optimum, and since
+    SNE is always feasible an [Infeasible] outcome still indicates a bug
+    and raises. Fresh separation then runs only for the violations the
+    pool missed — on small deltas typically zero or one round.
+
+    Sessions are single-owner: no internal locking. The service layer
+    wraps each session in its own mutex. *)
+
+module F = Repro_field.Field.Float_field
+module Obs = Repro_obs.Obs
+
+let c_resolves = Obs.counter "sne.session.resolves"
+let c_mutations = Obs.counter "sne.session.mutations"
+let c_reused = Obs.counter "sne.session.cuts_reused"
+let c_fresh = Obs.counter "sne.session.cuts_fresh"
+let c_dropped = Obs.counter "sne.session.pool_dropped"
+
+(** What the session needs beyond {!Repro_lp.Lp_intf.BACKEND}: the
+    cross-solve dual-simplex warm start both float kernels expose. *)
+module type WARM_KERNEL = sig
+  include Repro_lp.Lp_intf.BACKEND with type num = float
+
+  val solve_dual_incremental : ?hint:int list -> problem -> state * outcome
+  val basis_hint : state -> int list
+end
+
+module Make_kernel (K : WARM_KERNEL) = struct
+  module Sne = Sne_lp.Make_backend (F) (K)
+  module Gm = Sne.Gm
+  module G = Sne.G
+  module Ser = Serial.Float
+
+  type resolve_stats = {
+    pivots : int;  (** simplex pivots this resolve *)
+    rounds : int;  (** separation rounds beyond the seeded master *)
+    reused_cuts : int;  (** pool cuts rebuilt and seeded *)
+    fresh_cuts : int;  (** cuts separated anew this resolve *)
+    pool_size : int;  (** pool size after the resolve *)
+    warm : bool;  (** a basis hint from a previous resolve was used *)
+    converged : bool;
+  }
+
+  type t = {
+    mutable inst : Ser.t;
+    max_rounds : int;
+    pool_cap : int;
+    mutable pool : (int * int list) list;  (** (source node, path edge ids), newest first *)
+    mutable basis : int list;  (** edge ids basic at the last optimum *)
+    mutable generation : int;  (** deltas applied since [create] *)
+  }
+
+  let create ?(max_rounds = 500) ?(pool_cap = 4096) inst =
+    { inst; max_rounds; pool_cap; pool = []; basis = []; generation = 0 }
+
+  let instance t = t.inst
+  let generation t = t.generation
+  let pool_size t = List.length t.pool
+
+  (** Digest of the canonical serialization — the same bytes a cold parse
+      of [to_string] would hash, by the [Serial.Delta] canonicality
+      guarantee. *)
+  let digest t = Repro_util.Digestx.of_string (Ser.to_string t.inst)
+
+  (* Remap a retained (node, path) pool entry across a delta. Dropping an
+     entry is always sound (the pool is an optimization); keeping a wrong
+     one is not, so anything ambiguous dies. *)
+  let remap_pool (delta : Ser.Delta.t) (applied : Ser.Delta.applied) pool =
+    let old_m = Array.length applied.Ser.Delta.edge_map in
+    let map_path path =
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | id :: rest ->
+            if id < 0 || id >= old_m then None
+            else
+              let id' = applied.Ser.Delta.edge_map.(id) in
+              if id' < 0 then None else go (id' :: acc) rest
+      in
+      go [] path
+    in
+    let map_node u =
+      match delta with
+      | Ser.Delta.Remove_player { node } ->
+          if u = node then None else Some (if u > node then u - 1 else u)
+      | _ -> Some u
+    in
+    List.filter_map
+      (fun (u, path) ->
+        match map_node u with
+        | None -> None
+        | Some u' -> (
+            match map_path path with Some p -> Some (u', p) | None -> None))
+      pool
+
+  let mutate t delta =
+    let applied = Ser.Delta.apply t.inst delta in
+    let before = List.length t.pool in
+    t.pool <- remap_pool delta applied t.pool;
+    Obs.add c_dropped (before - List.length t.pool);
+    (* Basis edge ids survive exactly when the edge does. *)
+    let old_m = Array.length applied.Ser.Delta.edge_map in
+    t.basis <-
+      List.filter_map
+        (fun id ->
+          if id < 0 || id >= old_m then None
+          else
+            let id' = applied.Ser.Delta.edge_map.(id) in
+            if id' < 0 then None else Some id')
+        t.basis;
+    t.inst <- applied.Ser.Delta.inst;
+    t.generation <- t.generation + 1;
+    Obs.incr c_mutations;
+    applied
+
+  let ok_or_fail ~what = function
+    | K.Optimal s -> s
+    | K.Infeasible -> failwith (what ^ ": LP infeasible (SNE is always feasible; bug)")
+    | K.Unbounded -> failwith (what ^ ": LP unbounded (objective is >= 0; bug)")
+
+  (* Mathematical-content key, mirroring the cutting-plane loop's
+     within-round dedup: symmetric deviations produce identical rows. *)
+  let cut_key (c : K.constr) =
+    let coeffs = List.sort (fun (a, _) (b, _) -> compare a b) c.K.coeffs in
+    String.concat ";"
+      (List.map (fun (k, v) -> Printf.sprintf "%d:%s" k (F.to_string v)) coeffs)
+    ^ Printf.sprintf "|%s" (F.to_string c.K.rhs)
+
+  let resolve ?pool:_ ?(poll = fun () -> ()) t =
+    Obs.incr c_resolves;
+    Obs.span "sne.session.resolve" @@ fun () ->
+    let inst = t.inst in
+    let graph = inst.Ser.graph in
+    let root = inst.Ser.root in
+    let n = G.n_nodes graph and m = G.n_edges graph in
+    let tree = Ser.target_tree inst in
+    let spec = Gm.broadcast ~graph ~root in
+    let state = Gm.Broadcast.state_of_tree spec ~root tree in
+    let usage = Gm.usage spec state in
+    (* The master is restricted to tree-edge variables. Some optimal
+       LP (1) solution always has b_a = 0 off the target tree: an off-tree
+       subsidy leaves every player's current cost unchanged (the enforced
+       state uses tree edges only) while cheapening deviations, so zeroing
+       it preserves feasibility and lowers the objective. Fixing those
+       variables shrinks the dense master from m rows of compiled upper
+       bounds to n-1, which is what makes a steady-state warm resolve
+       cheap. Projecting a cut = dropping its off-tree coefficients
+       (exact, since those variables are fixed at zero). *)
+    let tree_ids = G.Tree.edge_ids tree in
+    let n_tv = List.length tree_ids in
+    let edge_of_var = Array.of_list tree_ids in
+    let var_of_edge = Array.make m (-1) in
+    Array.iteri (fun k id -> var_of_edge.(id) <- k) edge_of_var;
+    let project (c : K.constr) =
+      let coeffs =
+        List.filter_map
+          (fun (id, x) ->
+            let k = var_of_edge.(id) in
+            if k < 0 then None else Some (k, x))
+          c.K.coeffs
+      in
+      (* An empty projection is a constant inequality; validity of the
+         recomputed row at b_tree = w (full subsidy: every current cost is
+         0 <= any deviation cost) makes it hold, so dropping is exact. *)
+      match coeffs with [] -> None | _ -> Some { c with K.coeffs }
+    in
+    (* Revalidate the pool against the current instance; mutate already
+       remapped ids, so this only drops entries made nonsensical by root
+       moves or ids beyond a shrunk instance. *)
+    let valid (u, path) =
+      u >= 0 && u < n && u <> root && path <> []
+      && List.for_all (fun id -> id >= 0 && id < m) path
+    in
+    t.pool <- List.filter valid t.pool;
+    let seen = Hashtbl.create 64 in
+    let constraint_of (u, path) =
+      project
+        (Sne.lp1_path_constraint spec ~state ~usage (Gm.broadcast_player ~root u) path)
+    in
+    let retained =
+      List.filter_map
+        (fun entry ->
+          match constraint_of entry with
+          | None -> None
+          | Some c ->
+              let k = cut_key c in
+              if Hashtbl.mem seen k then None
+              else begin
+                Hashtbl.add seen k ();
+                Some c
+              end)
+        (List.rev t.pool (* oldest first, so newest win LRU-style capping *))
+    in
+    let reused = List.length retained in
+    Obs.add c_reused reused;
+    let base =
+      K.make_problem ~n_vars:n_tv
+        ~var_name:(fun k -> Printf.sprintf "b_e%d" edge_of_var.(k))
+        ~minimize:(List.init n_tv (fun k -> (k, F.one)))
+        ~constraints:retained
+        ~lower:(Array.make n_tv (Some F.zero))
+        ~upper:(Array.init n_tv (fun k -> Some (G.weight graph edge_of_var.(k))))
+        ()
+    in
+    (* Retained basis entries are edge ids; only those still in the tree
+       name variables of this master. *)
+    let hint =
+      List.filter_map
+        (fun id ->
+          if id >= 0 && id < m && var_of_edge.(id) >= 0 then Some var_of_edge.(id)
+          else None)
+        t.basis
+    in
+    let warm = hint <> [] in
+    let what = "Sne_session.resolve" in
+    let st, outcome =
+      Obs.span "sne.session.master" (fun () ->
+          K.solve_dual_incremental ~hint base)
+    in
+    let clamp (s : K.solution) =
+      let b = Array.make m 0.0 in
+      Array.iteri
+        (fun k id ->
+          b.(id) <- Float.max 0.0 (Float.min s.K.values.(k) (G.weight graph id)))
+        edge_of_var;
+      b
+    in
+    let fresh_count = ref 0 in
+    (* Separation specialized to tree states via Lemma 2: the session
+       always enforces [state_of_tree tree], and for spanning trees of
+       broadcast games single-non-tree-edge deviations are a complete
+       equilibrium check — so instead of one best-response Dijkstra per
+       player per round (the generic LP (1) oracle, O(n m log n) per
+       sweep), one O(n) share walk plus an O(1)-per-check slack pass over
+       (endpoint, non-tree edge) pairs finds every violated player. The
+       emitted cut is the most violated deviation per player: the
+       (u, v)-edge followed by v's tree path, a valid LP (1) path row
+       like any other, so pool reuse and the rational differential are
+       unaffected. This is what turns the steady-state resolve from a
+       Dijkstra-sweep cost into a few dual pivots. *)
+    let find_violations subsidy =
+      let shares = Gm.Broadcast.path_shares ~subsidy spec tree in
+      let best = Array.make n None in
+      G.fold_edges graph ~init:() ~f:(fun () e ->
+          if not (G.Tree.mem_edge tree e.G.id) then
+            List.iter
+              (fun u ->
+                if u <> root then begin
+                  let v = G.other graph e.G.id u in
+                  let slack =
+                    Gm.Broadcast.deviation_slack ~subsidy spec tree ~shares ~u
+                      ~edge_id:e.G.id ~v
+                  in
+                  if F.lt slack F.zero then
+                    match best.(u) with
+                    | Some (s, _, _) when F.leq s slack -> ()
+                    | _ -> best.(u) <- Some (slack, e.G.id, v)
+                end)
+              [ e.G.u; e.G.v ]);
+      let acc = ref [] in
+      for u = n - 1 downto 0 do
+        match best.(u) with
+        | Some (_, edge_id, v) ->
+            let path = edge_id :: G.Tree.path_to_root tree v in
+            acc := (Gm.broadcast_player ~root u, path) :: !acc
+        | None -> ()
+      done;
+      !acc
+    in
+    let node_of_player i = if i < root then i else i + 1 in
+    let rec loop round (s : K.solution) =
+      poll ();
+      let subsidy = clamp s in
+      let finish converged =
+        ( { Sne.subsidy; cost = s.K.objective },
+          {
+            pivots = K.pivots st;
+            rounds = round;
+            reused_cuts = reused;
+            fresh_cuts = !fresh_count;
+            pool_size = List.length t.pool;
+            warm;
+            converged;
+          } )
+      in
+      let violations =
+        Obs.span "sne.session.separate" (fun () -> find_violations subsidy)
+      in
+      let cuts =
+        List.filter_map
+          (fun (i, path) ->
+            match project (Sne.lp1_path_constraint spec ~state ~usage i path) with
+            | None -> None
+            | Some c ->
+                let k = cut_key c in
+                if Hashtbl.mem seen k then None
+                else begin
+                  Hashtbl.add seen k ();
+                  t.pool <- (node_of_player i, path) :: t.pool;
+                  Some c
+                end)
+          violations
+      in
+      match cuts with
+      | [] -> finish true
+      | _ when round >= t.max_rounds -> finish false
+      | cuts ->
+          fresh_count := !fresh_count + List.length cuts;
+          Obs.add c_fresh (List.length cuts);
+          let last =
+            Obs.span "sne.session.master" (fun () ->
+                List.fold_left (fun _ c -> K.add_constraint st c) K.Infeasible cuts)
+          in
+          loop (round + 1) (ok_or_fail ~what last)
+    in
+    let result, stats = loop 0 (ok_or_fail ~what outcome) in
+    (* Cap the pool (newest first) and remember the basis for next time. *)
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    if List.length t.pool > t.pool_cap then begin
+      Obs.add c_dropped (List.length t.pool - t.pool_cap);
+      t.pool <- take t.pool_cap t.pool
+    end;
+    t.basis <-
+      List.filter_map
+        (fun k -> if k >= 0 && k < n_tv then Some edge_of_var.(k) else None)
+        (K.basis_hint st);
+    (result, { stats with pool_size = List.length t.pool })
+end
+
+(** The two float kernels with a genuine dual-simplex warm start. The
+    game/graph modules are shared with {!Sne_lp.Float} and
+    {!Sne_lp.Float_sparse} (applicative functors), so instances, trees and
+    results move freely between the session and the cold solvers. *)
+module Dense = Make_kernel (Repro_lp.Simplex_float)
+
+module Sparse = Make_kernel (Repro_lp.Revised_sparse)

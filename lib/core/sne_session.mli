@@ -1,0 +1,92 @@
+(** Incremental re-solve sessions for the LP (1) cutting-plane SNE solver.
+
+    A session holds a mutable {!Serial.Float} instance plus the two
+    artifacts worth keeping across {!Serial.Make.Delta} mutations: the
+    pool of deviation paths separated by previous resolves (keyed by
+    source node, so it survives renumbering) and the edge variables basic
+    at the previous optimum (fed to the kernels' cross-solve dual-simplex
+    warm start). [resolve] rebuilds the pool into LP (1) constraints
+    against the current state/usage/weights — always-valid members of the
+    constraint family, so the seeded master is a relaxation and can never
+    cut off the optimum — then separates fresh cuts only for what the
+    pool missed. The master carries one variable per {e tree} edge (some
+    optimal LP (1) solution is zero off the target tree), which keeps
+    the per-resolve master cost at n-1 variables instead of m.
+
+    Sessions are single-owner: no internal locking (the service layer
+    wraps each one in a mutex). Exact agreement with cold solves is
+    pinned by the float differential and exact-rational tests. *)
+
+(** What the session needs beyond {!Repro_lp.Lp_intf.BACKEND}: the
+    cross-solve dual-simplex warm start both float kernels expose. *)
+module type WARM_KERNEL = sig
+  include Repro_lp.Lp_intf.BACKEND with type num = float
+
+  val solve_dual_incremental : ?hint:int list -> problem -> state * outcome
+  val basis_hint : state -> int list
+end
+
+module Make_kernel (K : WARM_KERNEL) : sig
+  module Sne : module type of Sne_lp.Make_backend (Repro_field.Field.Float_field) (K)
+  module Gm : module type of Sne.Gm
+  module G : module type of Sne.G
+  module Ser : module type of Serial.Float
+
+  type resolve_stats = {
+    pivots : int;  (** simplex pivots this resolve *)
+    rounds : int;  (** separation rounds beyond the seeded master *)
+    reused_cuts : int;  (** pool cuts rebuilt and seeded into the master *)
+    fresh_cuts : int;  (** cuts separated anew this resolve *)
+    pool_size : int;  (** pool size after the resolve *)
+    warm : bool;  (** a basis hint from a previous resolve was used *)
+    converged : bool;
+  }
+
+  type t
+
+  (** [pool_cap] bounds the retained cut pool (newest entries win);
+      [max_rounds] bounds each resolve's separation loop. *)
+  val create : ?max_rounds:int -> ?pool_cap:int -> Ser.t -> t
+
+  val instance : t -> Ser.t
+
+  (** Deltas applied since [create]. *)
+  val generation : t -> int
+
+  val pool_size : t -> int
+
+  (** Digest of the canonical serialization — identical to hashing
+      [Ser.to_string] of the same instance built directly (the
+      [Serial.Delta] canonicality guarantee). *)
+  val digest : t -> string
+
+  (** Apply a delta: mutates the instance and remaps the retained pool
+      and basis through the delta's edge/node maps, dropping anything
+      that died. Raises [Failure] (and leaves the session untouched) on
+      an invalid delta. *)
+  val mutate : t -> Ser.Delta.t -> Ser.Delta.applied
+
+  (** Re-solve the current instance, warm. Separation is specialized to
+      the session's tree states via Lemma 2 (single-non-tree-edge slack
+      checks over precomputed path shares instead of per-player
+      best-response Dijkstras), so a steady-state resolve costs a share
+      walk plus a few dual pivots; [pool] is accepted for interface
+      parity but unused — the Lemma 2 pass is cheap enough to stay
+      serial. [poll] is the per-round cancellation hook (as in
+      {!Sne_lp.Make_backend.cutting_plane}). The result is the same
+      optimum a cold [cutting_plane] reaches. *)
+  val resolve :
+    ?pool:Repro_parallel.Parallel.Pool.t ->
+    ?poll:(unit -> unit) ->
+    t ->
+    Sne.result * resolve_stats
+end
+
+(** Sessions over the dense unboxed float kernel
+    ({!Repro_lp.Simplex_float}). Game/graph modules are shared with
+    {!Sne_lp.Float} (applicative functors). *)
+module Dense : module type of Make_kernel (Repro_lp.Simplex_float)
+
+(** Sessions over the sparse revised-simplex kernel
+    ({!Repro_lp.Revised_sparse}); shared with {!Sne_lp.Float_sparse}. *)
+module Sparse : module type of Make_kernel (Repro_lp.Revised_sparse)

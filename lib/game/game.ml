@@ -102,10 +102,14 @@ module Make (F : Repro_field.Field.S) = struct
   (** Shareable weight of edge [id] under subsidies. *)
   let net_weight spec subsidy id = F.sub (G.weight spec.graph id) subsidy.(id)
 
-  (** cost_i(T; b) = sum over the player's edges of (w_a - b_a)/n_a(T). *)
-  let player_cost ?subsidy spec state i =
+  (** cost_i(T; b) = sum over the player's edges of (w_a - b_a)/n_a(T).
+      [usage] short-circuits the per-call usage recomputation when the
+      caller already holds [usage spec state] — the separation sweeps call
+      this once per player per round, and the recount was the dominant
+      cost of a sweep. *)
+  let player_cost ?subsidy ?usage:u_opt spec state i =
     let b = match subsidy with Some b -> b | None -> no_subsidy spec in
-    let u = usage spec state in
+    let u = match u_opt with Some u -> u | None -> usage spec state in
     List.fold_left
       (fun acc id -> F.add acc (F.div (net_weight spec b id) (F.of_int u.(id))))
       F.zero state.(i)
@@ -138,9 +142,9 @@ module Make (F : Repro_field.Field.S) = struct
   (** Best response of player [i] to the other players' strategies in
       [state]: the cheapest path from s_i to t_i where edge [a] costs
       [(w_a - b_a) / (n_a(T) + 1 - n^i_a(T))]. Returns the cost and path. *)
-  let best_response ?subsidy spec state i =
+  let best_response ?subsidy ?usage:u_opt spec state i =
     let b = match subsidy with Some b -> b | None -> no_subsidy spec in
-    let u = usage spec state in
+    let u = match u_opt with Some u -> u | None -> usage spec state in
     let mine = player_edges spec state i in
     let weight_fn (e : G.edge) =
       let sharers = u.(e.id) + 1 - if mine.(e.id) then 1 else 0 in
@@ -155,9 +159,10 @@ module Make (F : Repro_field.Field.S) = struct
       current cost, deviation cost, deviation path. *)
   let worst_violation ?subsidy spec state =
     let best = ref None in
+    let u = usage spec state in
     for i = 0 to n_players spec - 1 do
-      let current = player_cost ?subsidy spec state i in
-      let cost, path = best_response ?subsidy spec state i in
+      let current = player_cost ?subsidy ~usage:u spec state i in
+      let cost, path = best_response ?subsidy ~usage:u spec state i in
       if F.lt cost current then begin
         let gain = F.sub current cost in
         match !best with

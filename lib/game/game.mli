@@ -49,8 +49,10 @@ module Make (F : Repro_field.Field.S) : sig
   (** w_a - b_a. *)
   val net_weight : spec -> F.t array -> int -> F.t
 
-  (** cost_i(T; b) = sum over the player's edges of (w_a - b_a)/n_a(T). *)
-  val player_cost : ?subsidy:F.t array -> spec -> state -> int -> F.t
+  (** cost_i(T; b) = sum over the player's edges of (w_a - b_a)/n_a(T).
+      [usage] supplies a precomputed [usage spec state] so per-round
+      sweeps over all players skip the per-call usage recount. *)
+  val player_cost : ?subsidy:F.t array -> ?usage:int array -> spec -> state -> int -> F.t
 
   (** Total weight of established edges (the authority pays the subsidized
       part, so subsidies do not change it). *)
@@ -62,8 +64,10 @@ module Make (F : Repro_field.Field.S) : sig
   (** {1 Best responses and equilibria} *)
 
   (** Cheapest deviation of player [i]: Dijkstra where edge [a] costs
-      (w_a - b_a)/(n_a(T) + 1 - n^i_a(T)). Returns (cost, path). *)
-  val best_response : ?subsidy:F.t array -> spec -> state -> int -> F.t * int list
+      (w_a - b_a)/(n_a(T) + 1 - n^i_a(T)). Returns (cost, path). [usage]
+      as in {!player_cost}. *)
+  val best_response :
+    ?subsidy:F.t array -> ?usage:int array -> spec -> state -> int -> F.t * int list
 
   (** Most profitable unilateral deviation, if any:
       (player, current cost, deviation cost, deviation path). *)

@@ -12,6 +12,8 @@ module Sne = Repro_core.Sne_lp.Float
 module Snes = Repro_core.Sne_lp.Float_sparse
 module Search = Repro_core.Snd_search.Float
 module Enforce = Repro_core.Enforce
+module Sess_d = Repro_core.Sne_session.Dense
+module Sess_s = Repro_core.Sne_session.Sparse
 module Par = Repro_parallel.Parallel
 module Obs = Repro_obs.Obs
 module Lru = Repro_util.Lru
@@ -24,6 +26,10 @@ type kind =
   | Enforce
   | Snd of { budget : float }
   | Check
+  | Session_open of { backend : backend; max_rounds : int }
+  | Session_mutate of { session : string }
+  | Session_resolve of { session : string }
+  | Session_close of { session : string }
 
 type request = {
   id : string;
@@ -42,6 +48,8 @@ type error_reason =
   | No_design
   | Solver_error of string
   | Shutdown
+  | Unknown_session of string
+  | Invalid_delta of string
 
 type outcome =
   | Subsidy of {
@@ -52,6 +60,21 @@ type outcome =
     }
   | Design of { weight : float; subsidy_cost : float; tree_edges : int list }
   | Equilibrium of { equilibrium : bool; tree_weight : float }
+  | Opened of { session : string; digest : string }
+  | Mutated of { session : string; digest : string; applied : int }
+  | Resolved of {
+      session : string;
+      cost : float;
+      tree_weight : float;
+      equilibrium : bool;
+      edges : (int * float) list;
+      pivots : int;
+      rounds : int;
+      reused_cuts : int;
+      fresh_cuts : int;
+      warm : bool;
+    }
+  | Closed of { session : string }
 
 type response = {
   id : string;
@@ -75,6 +98,13 @@ let c_solver_errors = Obs.counter "service.solver_errors"
 let c_batches = Obs.counter "service.batches"
 let g_queue_depth = Obs.gauge "service.queue_depth"
 let g_inflight = Obs.gauge "service.inflight"
+let c_sess_opened = Obs.counter "service.session.opened"
+let c_sess_closed = Obs.counter "service.session.closed"
+let c_sess_evicted = Obs.counter "service.session.evicted"
+let c_sess_mutations = Obs.counter "service.session.mutations"
+let c_sess_resolves = Obs.counter "service.session.resolves"
+let c_sess_unknown = Obs.counter "service.session.unknown"
+let g_sess_active = Obs.gauge "service.session.active"
 
 (* ------------------------------------------------------------------ *)
 (* Cache keys                                                          *)
@@ -91,6 +121,11 @@ let kind_fingerprint = function
      precision never share a cache line. *)
   | Snd { budget } -> Printf.sprintf "snd:%h" budget
   | Check -> "check"
+  (* Session requests mutate state: two identical Resolve lines can
+     legitimately return different answers, so they never share a cache
+     entry (exec bypasses the response cache for them entirely). *)
+  | Session_open _ | Session_mutate _ | Session_resolve _ | Session_close _ ->
+      failwith "Service.cache_key: session requests are stateful and uncacheable"
 
 (* The digest keys the payload's *parse*, re-serialized to the canonical
    writer format — comments, blank lines, decimal-vs-fraction spellings and
@@ -108,7 +143,10 @@ let cache_key (req : request) =
 
 let nonzero_subsidies subsidy =
   let acc = ref [] in
-  Array.iteri (fun id b -> if b > 1e-9 then acc := (id, b) :: !acc) subsidy;
+  Array.iteri
+    (fun id b ->
+      if Repro_util.Floatx.gt b 0.0 then acc := (id, b) :: !acc)
+    subsidy;
   List.rev !acc
 
 let subsidy_outcome spec tree subsidy cost =
@@ -177,6 +215,9 @@ let solve_kind ~poll (inst : Serial.t) kind =
              equilibrium = Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree;
              tree_weight = G.Tree.total_weight tree;
            })
+  | Session_open _ | Session_mutate _ | Session_resolve _ | Session_close _ ->
+      (* exec routes session kinds to [run_session] before parsing. *)
+      invalid_arg "Service.solve_kind: session request on the stateless path"
 
 (* ------------------------------------------------------------------ *)
 (* The service                                                         *)
@@ -189,6 +230,14 @@ type ticket = {
   cancelled : bool Atomic.t;
   mutable resp : response option;  (* guarded by the service mutex *)
 }
+
+(* One live incremental session. Each carries its own mutex: the session
+   modules are single-owner by contract, and two wire requests naming the
+   same handle can land in one pool batch. The session table's LRU holds
+   the entry; the per-session lock serializes the actual solving. *)
+type session_state = Dense_session of Sess_d.t | Sparse_session of Sess_s.t
+
+type session_entry = { smu : Mutex.t; state : session_state }
 
 type t = {
   mu : Mutex.t;
@@ -205,6 +254,9 @@ type t = {
   queue_limit : int;
   cache : (string, outcome) Lru.t option;
   cache_mu : Mutex.t;
+  sessions : (string, session_entry) Lru.t;  (* bounded; LRU-evicted *)
+  sessions_mu : Mutex.t;
+  mutable session_seq : int;  (* guarded by sessions_mu *)
 }
 
 let count_result = function
@@ -214,6 +266,8 @@ let count_result = function
   | Error (Parse_error _) -> Obs.incr c_parse_errors
   | Error (Solver_error _) | Error Nonconverged -> Obs.incr c_solver_errors
   | Error Overloaded -> () (* counted as service.rejected at submission *)
+  | Error (Unknown_session _) -> Obs.incr c_sess_unknown
+  | Error (Invalid_delta _) -> ()
   | Error No_design | Error Shutdown -> ()
 
 (* Complete a ticket (first completion wins; later ones are dropped, so
@@ -255,6 +309,149 @@ let cache_add svc key outcome =
       Lru.add cache key outcome;
       Mutex.unlock svc.cache_mu
 
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sessions_locked svc f =
+  Mutex.lock svc.sessions_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock svc.sessions_mu) f
+
+let session_gauge svc = Obs.set g_sess_active (float_of_int (Lru.length svc.sessions))
+
+(* Look up a handle (refreshing its recency, so actively-driven sessions
+   survive eviction pressure) and run [f] under the session's own lock.
+   The table lock is released before the session lock is taken: a resolve
+   on one session must not block table operations on others. *)
+let with_session svc sid f =
+  match sessions_locked svc (fun () -> Lru.find svc.sessions sid) with
+  | None -> Error (Unknown_session sid)
+  | Some entry ->
+      Mutex.lock entry.smu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock entry.smu) (fun () -> f entry.state)
+
+let session_digest = function
+  | Dense_session s -> Sess_d.digest s
+  | Sparse_session s -> Sess_s.digest s
+
+(* Run one session request to a result. Pure with respect to the ticket:
+   [exec] turns the result (or an escaped exception) into the response. *)
+let run_session svc ~poll (req : request) =
+  match req.kind with
+  | Session_open { backend; max_rounds } -> (
+      poll ();
+      match Serial.of_string req.payload with
+      | exception Failure msg -> Error (Parse_error msg)
+      | inst ->
+          let state =
+            match backend with
+            | Dense -> Dense_session (Sess_d.create ~max_rounds inst)
+            | Sparse -> Sparse_session (Sess_s.create ~max_rounds inst)
+          in
+          let entry = { smu = Mutex.create (); state } in
+          let session =
+            sessions_locked svc (fun () ->
+                svc.session_seq <- svc.session_seq + 1;
+                let sid = Printf.sprintf "s%d" svc.session_seq in
+                Lru.add
+                  ~on_evict:(fun _sid _entry -> Obs.incr c_sess_evicted)
+                  svc.sessions sid entry;
+                session_gauge svc;
+                sid)
+          in
+          Obs.incr c_sess_opened;
+          Ok (Opened { session; digest = session_digest entry.state }))
+  | Session_mutate { session } ->
+      poll ();
+      with_session svc session (fun state ->
+          match Serial.Delta.list_of_string req.payload with
+          | exception Failure msg -> Error (Invalid_delta msg)
+          | [] -> Error (Invalid_delta "Delta: empty mutation payload")
+          | deltas -> (
+              let instance =
+                match state with
+                | Dense_session s -> Sess_d.instance s
+                | Sparse_session s -> Sess_s.instance s
+              in
+              (* All-or-nothing: a delta failing mid-sequence must not
+                 leave the session half-mutated, so validate the whole
+                 sequence on the (immutable) instance first. *)
+              match Serial.Delta.apply_all instance deltas with
+              | exception Failure msg -> Error (Invalid_delta msg)
+              | _ ->
+                  (match state with
+                  | Dense_session s -> List.iter (fun d -> ignore (Sess_d.mutate s d)) deltas
+                  | Sparse_session s -> List.iter (fun d -> ignore (Sess_s.mutate s d)) deltas);
+                  Obs.add c_sess_mutations (List.length deltas);
+                  Ok
+                    (Mutated
+                       {
+                         session;
+                         digest = session_digest state;
+                         applied = List.length deltas;
+                       })))
+  | Session_resolve { session } ->
+      poll ();
+      with_session svc session (fun state ->
+          Obs.incr c_sess_resolves;
+          let subsidy, cost, stats, inst =
+            match state with
+            | Dense_session s ->
+                let r, st = Sess_d.resolve ~poll s in
+                ( r.Sess_d.Sne.subsidy,
+                  r.Sess_d.Sne.cost,
+                  ( st.Sess_d.pivots,
+                    st.Sess_d.rounds,
+                    st.Sess_d.reused_cuts,
+                    st.Sess_d.fresh_cuts,
+                    st.Sess_d.warm,
+                    st.Sess_d.converged ),
+                  Sess_d.instance s )
+            | Sparse_session s ->
+                let r, st = Sess_s.resolve ~poll s in
+                ( r.Sess_s.Sne.subsidy,
+                  r.Sess_s.Sne.cost,
+                  ( st.Sess_s.pivots,
+                    st.Sess_s.rounds,
+                    st.Sess_s.reused_cuts,
+                    st.Sess_s.fresh_cuts,
+                    st.Sess_s.warm,
+                    st.Sess_s.converged ),
+                  Sess_s.instance s )
+          in
+          let pivots, rounds, reused_cuts, fresh_cuts, warm, converged = stats in
+          if not converged then Error Nonconverged
+          else
+            let tree = Serial.target_tree inst in
+            let spec = Gm.broadcast ~graph:inst.Serial.graph ~root:inst.Serial.root in
+            Ok
+              (Resolved
+                 {
+                   session;
+                   cost;
+                   tree_weight = G.Tree.total_weight tree;
+                   equilibrium = Gm.Broadcast.is_tree_equilibrium ~subsidy spec tree;
+                   edges = nonzero_subsidies subsidy;
+                   pivots;
+                   rounds;
+                   reused_cuts;
+                   fresh_cuts;
+                   warm;
+                 }))
+  | Session_close { session } ->
+      poll ();
+      sessions_locked svc (fun () ->
+          let known = Lru.find svc.sessions session <> None in
+          if not known then Error (Unknown_session session)
+          else begin
+            Lru.remove svc.sessions session;
+            Obs.incr c_sess_closed;
+            session_gauge svc;
+            Ok (Closed { session })
+          end)
+  | Sne _ | Enforce | Snd _ | Check ->
+      invalid_arg "Service.run_session: not a session request"
+
 (* Worker-side execution of one dispatched ticket. Every failure mode
    lands as a structured [Error] response — nothing escapes, so a batch
    mate can never be poisoned and the service cannot wedge. *)
@@ -271,6 +468,19 @@ let exec svc pool_check tk =
   if Atomic.get tk.cancelled then fulfill svc tk (Error Cancelled) ~cache_hit:false
   else if expired () then fulfill svc tk (Error Deadline_expired) ~cache_hit:false
   else
+    match tk.req.kind with
+    | Session_open _ | Session_mutate _ | Session_resolve _ | Session_close _ -> (
+        (* Stateful: bypasses the response cache entirely. *)
+        match run_session svc ~poll tk.req with
+        | result -> fulfill svc tk result ~cache_hit:false
+        | exception Par.Cancelled ->
+            let reason =
+              if Atomic.get tk.cancelled then Cancelled else Deadline_expired
+            in
+            fulfill svc tk (Error reason) ~cache_hit:false
+        | exception e ->
+            fulfill svc tk (Error (Solver_error (Printexc.to_string e))) ~cache_hit:false)
+    | Sne _ | Enforce | Snd _ | Check -> (
     match Serial.of_string tk.req.payload with
     | exception Failure msg ->
         fulfill svc tk (Error (Parse_error msg)) ~cache_hit:false
@@ -293,7 +503,7 @@ let exec svc pool_check tk =
                 fulfill svc tk (Error reason) ~cache_hit:false
             | exception e ->
                 fulfill svc tk (Error (Solver_error (Printexc.to_string e)))
-                  ~cache_hit:false))
+                  ~cache_hit:false)))
 
 (* Dispatcher: drain the queue in priority batches onto the pool until
    shutdown, then fail whatever is still queued. Runs in its own domain
@@ -359,9 +569,11 @@ let dispatch_loop svc =
   in
   loop ()
 
-let create ?(workers = 1) ?(queue_limit = 256) ?(cache = 512) ?batch () =
+let create ?(workers = 1) ?(queue_limit = 256) ?(cache = 512) ?(sessions = 64) ?batch
+    () =
   if workers < 1 then invalid_arg "Service.create: workers must be >= 1";
   if queue_limit < 1 then invalid_arg "Service.create: queue_limit must be >= 1";
+  if sessions < 1 then invalid_arg "Service.create: sessions must be >= 1";
   let batch = match batch with Some b -> max 1 b | None -> 2 * workers in
   let svc =
     {
@@ -379,6 +591,9 @@ let create ?(workers = 1) ?(queue_limit = 256) ?(cache = 512) ?batch () =
       queue_limit;
       cache = (if cache > 0 then Some (Lru.create ~capacity:cache) else None);
       cache_mu = Mutex.create ();
+      sessions = Lru.create ~capacity:sessions;
+      sessions_mu = Mutex.create ();
+      session_seq = 0;
     }
   in
   svc.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop svc));
@@ -481,6 +696,12 @@ let shutdown svc =
       Domain.join d;
       Par.Pool.shutdown svc.pool
 
-let with_service ?workers ?queue_limit ?cache ?batch f =
-  let svc = create ?workers ?queue_limit ?cache ?batch () in
+let with_service ?workers ?queue_limit ?cache ?sessions ?batch f =
+  let svc = create ?workers ?queue_limit ?cache ?sessions ?batch () in
   Fun.protect ~finally:(fun () -> shutdown svc) (fun () -> f svc)
+
+let active_sessions svc =
+  Mutex.lock svc.sessions_mu;
+  let n = Lru.length svc.sessions in
+  Mutex.unlock svc.sessions_mu;
+  n

@@ -45,7 +45,20 @@
 
 type backend = Dense | Sparse
 
-(** What to run against the payload instance. *)
+(** What to run against the payload instance.
+
+    The [Session_*] kinds drive {e incremental re-solve sessions}
+    ({!Repro_core.Sne_session}): [Session_open] parses the payload as an
+    instance and returns a service-generated handle; [Session_mutate]
+    applies the payload as a {!Repro_core.Serial.Make.Delta} trace
+    (all-or-nothing); [Session_resolve] re-solves warm, reusing the
+    session's retained cut pool and optimal basis; [Session_close]
+    releases the handle. Sessions live in a bounded LRU table (see
+    [create]'s [sessions]) — least-recently-used handles are evicted when
+    the table is full, and any later request naming an evicted, closed or
+    never-issued handle gets a structured [Unknown_session] error, never a
+    raise. Session requests bypass the response cache (they are stateful
+    by design). Counters under [service.session.*]. *)
 type kind =
   | Sne of { meth : [ `Lp3 | `Cut ]; backend : backend; max_rounds : int }
       (** Theorem 1 SNE: the compact broadcast LP (3), or LP (1) by
@@ -55,6 +68,10 @@ type kind =
       (** Branch-and-bound stable network design within [budget]. *)
   | Check  (** Lemma 2 equilibrium check of the target tree under the
                payload's declared subsidies. *)
+  | Session_open of { backend : backend; max_rounds : int }
+  | Session_mutate of { session : string }
+  | Session_resolve of { session : string }
+  | Session_close of { session : string }
 
 type request = {
   id : string;  (** caller-chosen; echoed verbatim in the response *)
@@ -73,6 +90,10 @@ type error_reason =
   | No_design  (** SND: no tree enforceable within the budget *)
   | Solver_error of string  (** the solver raised; message attached *)
   | Shutdown  (** service stopped before the request ran *)
+  | Unknown_session of string
+      (** handle never issued, closed, or LRU-evicted; the handle echoed *)
+  | Invalid_delta of string
+      (** mutation payload malformed or inapplicable; nothing applied *)
 
 type outcome =
   | Subsidy of {
@@ -83,6 +104,24 @@ type outcome =
     }
   | Design of { weight : float; subsidy_cost : float; tree_edges : int list }
   | Equilibrium of { equilibrium : bool; tree_weight : float }
+  | Opened of { session : string; digest : string }
+      (** [digest] = canonical instance digest (equals the digest of the
+          same instance built or parsed any other way) *)
+  | Mutated of { session : string; digest : string; applied : int }
+      (** [applied] = deltas applied (the whole payload or nothing) *)
+  | Resolved of {
+      session : string;
+      cost : float;
+      tree_weight : float;
+      equilibrium : bool;
+      edges : (int * float) list;
+      pivots : int;  (** simplex pivots this resolve *)
+      rounds : int;  (** fresh separation rounds *)
+      reused_cuts : int;  (** cut-pool entries reused *)
+      fresh_cuts : int;  (** cuts newly separated *)
+      warm : bool;  (** warm-started from a previous basis *)
+    }
+  | Closed of { session : string }
 
 type response = {
   id : string;
@@ -98,10 +137,19 @@ type ticket
     [workers] is total solve parallelism (default 1: the dispatcher solves
     alone, no extra domains); [queue_limit] the backpressure high-water
     mark on {e pending} requests (default 256); [cache] the LRU capacity
-    in cached outcomes (default 512; [0] disables caching); [batch] how
-    many requests one pool sweep takes (default [2 * workers]). *)
+    in cached outcomes (default 512; [0] disables caching); [sessions]
+    the bounded session-table capacity (default 64; least-recently-used
+    handles are evicted — [Lru.find] on every session request refreshes
+    recency, so actively-driven sessions survive); [batch] how many
+    requests one pool sweep takes (default [2 * workers]). *)
 val create :
-  ?workers:int -> ?queue_limit:int -> ?cache:int -> ?batch:int -> unit -> t
+  ?workers:int ->
+  ?queue_limit:int ->
+  ?cache:int ->
+  ?sessions:int ->
+  ?batch:int ->
+  unit ->
+  t
 
 (** Enqueue; never raises and never blocks on solver work. When the queue
     is at [queue_limit] (or the service is shut down), the ticket is
@@ -129,6 +177,9 @@ val pending : t -> int
 (** Requests currently executing on the pool. *)
 val inflight : t -> int
 
+(** Live incremental sessions in the bounded table. *)
+val active_sessions : t -> int
+
 (** Stop accepting work, fail remaining queued requests with
     [Error Shutdown], join the dispatcher and the pool. Idempotent. *)
 val shutdown : t -> unit
@@ -139,11 +190,13 @@ val with_service :
   ?workers:int ->
   ?queue_limit:int ->
   ?cache:int ->
+  ?sessions:int ->
   ?batch:int ->
   (t -> 'a) ->
   'a
 
 (** The canonical cache digest of a request — exposed so tests can assert
     that equivalent payloads (comments, whitespace, reordered subsidy
-    lines) coincide. Raises [Failure] on unparseable payloads. *)
+    lines) coincide. Raises [Failure] on unparseable payloads and on
+    session requests (stateful, hence uncacheable by design). *)
 val cache_key : request -> string

@@ -85,7 +85,7 @@ let parse_request line =
   let find k = List.assoc_opt k pairs in
   let known =
     [ "id"; "kind"; "inst"; "method"; "backend"; "max_rounds"; "budget";
-      "deadline_ms"; "priority" ]
+      "deadline_ms"; "priority"; "session"; "delta" ]
   in
   let* () =
     List.fold_left
@@ -114,7 +114,6 @@ let parse_request line =
     match find k with Some v -> parse k v | None -> Ok default
   in
   let* id = require "id" in
-  let* payload = require "inst" in
   let* kind_s = require "kind" in
   let* max_rounds = optional "max_rounds" ~default:500 int_of in
   let* backend =
@@ -140,10 +139,33 @@ let parse_request line =
         let* budget = float_of "budget" b in
         Ok (Service.Snd { budget })
     | "check" -> Ok Service.Check
+    | "open" -> Ok (Service.Session_open { backend; max_rounds })
+    | "mutate" ->
+        let* session = require "session" in
+        Ok (Service.Session_mutate { session })
+    | "resolve" ->
+        let* session = require "session" in
+        Ok (Service.Session_resolve { session })
+    | "close" ->
+        let* session = require "session" in
+        Ok (Service.Session_close { session })
     | _ ->
         Error
-          (Printf.sprintf "key \"kind\": expected sne, enforce, snd or check, got %S"
+          (Printf.sprintf
+             "key \"kind\": expected sne, enforce, snd, check, open, mutate, \
+              resolve or close, got %S"
              kind_s)
+  in
+  (* The payload key depends on the kind: stateless solves and [open]
+     carry an instance, [mutate] a delta trace, [resolve]/[close] nothing
+     beyond the handle. *)
+  let* payload =
+    match kind with
+    | Service.Sne _ | Service.Enforce | Service.Snd _ | Service.Check
+    | Service.Session_open _ ->
+        require "inst"
+    | Service.Session_mutate _ -> require "delta"
+    | Service.Session_resolve _ | Service.Session_close _ -> Ok ""
   in
   let* deadline_ms =
     match find "deadline_ms" with
@@ -175,12 +197,33 @@ let request_to_string (r : Service.request) =
   | Service.Snd { budget } ->
       kv "kind" "snd";
       kv "budget" (Printf.sprintf "%.12g" budget)
-  | Service.Check -> kv "kind" "check");
+  | Service.Check -> kv "kind" "check"
+  | Service.Session_open { backend; max_rounds } ->
+      kv "kind" "open";
+      kv "backend"
+        (match backend with Service.Dense -> "dense" | Service.Sparse -> "sparse");
+      if max_rounds <> 500 then kv "max_rounds" (string_of_int max_rounds)
+  | Service.Session_mutate { session } ->
+      kv "kind" "mutate";
+      kv "session" session
+  | Service.Session_resolve { session } ->
+      kv "kind" "resolve";
+      kv "session" session
+  | Service.Session_close { session } ->
+      kv "kind" "close";
+      kv "session" session);
   (match r.Service.deadline_ms with
   | Some ms -> kv "deadline_ms" (Printf.sprintf "%.12g" ms)
   | None -> ());
   if r.Service.priority <> 0 then kv "priority" (string_of_int r.Service.priority);
-  kv "inst" r.Service.payload;
+  (* The payload key mirrors the parser: inst for stateless kinds and
+     open, delta for mutate, nothing for resolve/close. *)
+  (match r.Service.kind with
+  | Service.Sne _ | Service.Enforce | Service.Snd _ | Service.Check
+  | Service.Session_open _ ->
+      kv "inst" r.Service.payload
+  | Service.Session_mutate _ -> kv "delta" r.Service.payload
+  | Service.Session_resolve _ | Service.Session_close _ -> ());
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -196,9 +239,15 @@ let reason_slug = function
   | Service.No_design -> "no_design"
   | Service.Solver_error _ -> "solver_error"
   | Service.Shutdown -> "shutdown"
+  | Service.Unknown_session _ -> "unknown_session"
+  | Service.Invalid_delta _ -> "invalid_delta"
 
 let reason_detail = function
-  | Service.Parse_error msg | Service.Solver_error msg -> Some msg
+  | Service.Parse_error msg
+  | Service.Solver_error msg
+  | Service.Invalid_delta msg
+  | Service.Unknown_session msg ->
+      Some msg
   | _ -> None
 
 let outcome_json = function
@@ -231,6 +280,55 @@ let outcome_json = function
           ("equilibrium", Json.Bool equilibrium);
           ("tree_weight", Json.Float tree_weight);
         ]
+  | Service.Opened { session; digest } ->
+      Json.Obj
+        [
+          ("type", Json.Str "opened");
+          ("session", Json.Str session);
+          ("digest", Json.Str digest);
+        ]
+  | Service.Mutated { session; digest; applied } ->
+      Json.Obj
+        [
+          ("type", Json.Str "mutated");
+          ("session", Json.Str session);
+          ("digest", Json.Str digest);
+          ("applied", Json.Int applied);
+        ]
+  | Service.Resolved
+      {
+        session;
+        cost;
+        tree_weight;
+        equilibrium;
+        edges;
+        pivots;
+        rounds;
+        reused_cuts;
+        fresh_cuts;
+        warm;
+      } ->
+      Json.Obj
+        [
+          ("type", Json.Str "resolved");
+          ("session", Json.Str session);
+          ("cost", Json.Float cost);
+          ("tree_weight", Json.Float tree_weight);
+          ("equilibrium", Json.Bool equilibrium);
+          ( "edges",
+            Json.List
+              (List.map
+                 (fun (id, b) ->
+                   Json.Obj [ ("edge", Json.Int id); ("amount", Json.Float b) ])
+                 edges) );
+          ("pivots", Json.Int pivots);
+          ("rounds", Json.Int rounds);
+          ("reused_cuts", Json.Int reused_cuts);
+          ("fresh_cuts", Json.Int fresh_cuts);
+          ("warm", Json.Bool warm);
+        ]
+  | Service.Closed { session } ->
+      Json.Obj [ ("type", Json.Str "closed"); ("session", Json.Str session) ]
 
 let outcome_to_string o = Json.to_string ~indent:false (outcome_json o)
 

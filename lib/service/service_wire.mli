@@ -9,13 +9,22 @@
     {v
     id=7 kind=sne method=cut backend=sparse deadline_ms=250 inst=nodes%203%0A...
     id=8 kind=snd budget=1.5 priority=2 inst=...
+    id=9 kind=open backend=sparse inst=...
+    id=10 kind=mutate session=s1 delta=edge_weight%200%203.5
+    id=11 kind=resolve session=s1
+    id=12 kind=close session=s1
     v}
 
-    Keys: [id] (required), [kind] ([sne]|[enforce]|[snd]|[check],
-    required), [inst] (required; the {!Repro_core.Serial} instance text,
-    percent-encoded), [method] ([lp3] default | [cut]), [backend] ([dense]
-    default | [sparse]), [max_rounds] (default 500), [budget] (required
-    for [kind=snd]), [deadline_ms], [priority] (default 0). Unknown keys,
+    Keys: [id] (required), [kind] ([sne]|[enforce]|[snd]|[check]|
+    [open]|[mutate]|[resolve]|[close], required), [inst] (required for
+    the stateless kinds and [open]; the {!Repro_core.Serial} instance
+    text, percent-encoded), [method] ([lp3] default | [cut]), [backend]
+    ([dense] default | [sparse]), [max_rounds] (default 500), [budget]
+    (required for [kind=snd]), [session] (required for
+    [mutate]/[resolve]/[close]; the handle returned by [open]'s
+    [opened] outcome), [delta] (required for [mutate]; a percent-encoded
+    {!Repro_core.Serial.Make.Delta} trace, one delta per line, applied
+    all-or-nothing), [deadline_ms], [priority] (default 0). Unknown keys,
     duplicate keys and malformed values are parse errors — the serve loop
     answers them with a structured [parse_error] response rather than
     dying.
@@ -38,8 +47,17 @@
     [status] is ["ok"] iff the request produced an outcome; otherwise
     [reason] holds a stable slug ([parse_error], [deadline_expired],
     [cancelled], [overloaded], [nonconverged], [no_design],
-    [solver_error], [shutdown]) and [detail] the human message when there
-    is one. *)
+    [solver_error], [shutdown], [unknown_session], [invalid_delta]) and
+    [detail] the human message when there is one (for [unknown_session]
+    it echoes the offending handle).
+
+    Session outcomes: [open] answers
+    [{"type":"opened","session":"s1","digest":"..."}] ([digest] is the
+    canonical instance digest, stable across the delta path); [mutate]
+    answers [{"type":"mutated",...,"applied":N}]; [resolve] answers
+    [{"type":"resolved",...}] with the subsidy plan plus warm-start
+    telemetry ([pivots], [rounds], [reused_cuts], [fresh_cuts], [warm]);
+    [close] answers [{"type":"closed","session":"s1"}]. *)
 
 (** Percent-encode every byte outside the unreserved set
     [A-Za-z0-9._~/:-]. *)

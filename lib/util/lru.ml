@@ -72,7 +72,7 @@ let clear t =
   t.hits <- 0;
   t.misses <- 0
 
-let add t k v =
+let add ?on_evict t k v =
   match Hashtbl.find_opt t.table k with
   | Some n ->
       n.value <- v;
@@ -82,9 +82,31 @@ let add t k v =
       let n = { key = k; value = v; prev = None; next = None } in
       Hashtbl.replace t.table k n;
       push_front t n;
-      if Hashtbl.length t.table > t.capacity then
+      if Hashtbl.length t.table > t.capacity then (
         match t.last with
         | Some victim ->
             unlink t victim;
-            Hashtbl.remove t.table victim.key
-        | None -> ()
+            Hashtbl.remove t.table victim.key;
+            (* The callback runs after the victim is already gone, so a
+               re-entrant [add]/[remove] from inside it sees a consistent
+               cache (it just must not assume the victim is still there). *)
+            (match on_evict with
+            | Some f -> f victim.key victim.value
+            | None -> ())
+        | None -> ())
+
+(* Keep only the entries the predicate accepts, preserving recency order.
+   Walks the intrusive list (not the hashtable) so the relative order of
+   survivors is untouched; no hit/miss counter movement. *)
+let filter t ~f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let next = n.next in
+        if not (f n.key n.value) then begin
+          unlink t n;
+          Hashtbl.remove t.table n.key
+        end;
+        walk next
+  in
+  walk t.first

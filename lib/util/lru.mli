@@ -18,11 +18,18 @@ val find : ('k, 'v) t -> 'k -> 'v option
 (** Insert or overwrite; evicts the least recently used entry when over
     capacity. Overwriting refreshes recency but is not a lookup — only
     {!find} moves the hit/miss counters, so [hits + misses] is exactly the
-    number of [find] calls. *)
-val add : ('k, 'v) t -> 'k -> 'v -> unit
+    number of [find] calls. [on_evict] fires once per capacity eviction,
+    after the victim has been removed (never on overwrite or {!remove}),
+    so session tables can release resources held by the evicted value. *)
+val add : ?on_evict:('k -> 'v -> unit) -> ('k, 'v) t -> 'k -> 'v -> unit
 
 (** Drop [k] if present (no counter movement); no-op otherwise. *)
 val remove : ('k, 'v) t -> 'k -> unit
+
+(** Keep only the entries [f] accepts; survivors retain their relative
+    recency order. No counter movement — dirty-edge invalidation in the
+    SND pricing cache must not skew hit rates. *)
+val filter : ('k, 'v) t -> f:('k -> 'v -> bool) -> unit
 
 (** Drop every entry and zero the hit/miss counters — a fresh cache for
     the next engine run, without re-allocating. *)

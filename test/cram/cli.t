@@ -166,5 +166,5 @@ and replaying an instance hits the response cache:
   $ printf 'id=a kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\nid=b kind=bogus inst=x\nid=c kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\n' \
   >   | sne_cli serve --stdio | sed -E 's/"elapsed_ms":[-0-9.e+]+/"elapsed_ms":_/'
   {"id":"a","status":"ok","cache_hit":false,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
-  {"id":"b","status":"error","cache_hit":false,"elapsed_ms":_,"reason":"parse_error","detail":"key \"kind\": expected sne, enforce, snd or check, got \"bogus\""}
+  {"id":"b","status":"error","cache_hit":false,"elapsed_ms":_,"reason":"parse_error","detail":"key \"kind\": expected sne, enforce, snd, check, open, mutate, resolve or close, got \"bogus\""}
   {"id":"c","status":"ok","cache_hit":true,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}

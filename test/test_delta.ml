@@ -1,0 +1,275 @@
+(* Serial.Delta: apply semantics, one-line parse round trips, and the
+   canonicality property the incremental re-solve path leans on — applying
+   a delta then serializing yields byte-identical text (hence an identical
+   [Digestx] key) to building the mutated instance directly from scratch.
+   The property runs against an independent shadow model of the documented
+   semantics, over hundreds of randomized instance/delta-sequence cases. *)
+
+module Ser = Repro_core.Serial.Float
+module G = Ser.G
+module Digestx = Repro_util.Digestx
+
+let digest inst = Digestx.of_string (Ser.to_string inst)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic randomness (fixed LCG; no global RNG state)           *)
+(* ------------------------------------------------------------------ *)
+
+let rng = ref 0
+let reset_rng seed = rng := seed
+
+let rand n =
+  rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  !rng mod n
+
+(* ------------------------------------------------------------------ *)
+(* Shadow model: the documented delta semantics over a plain edge list *)
+(* ------------------------------------------------------------------ *)
+
+type shadow = {
+  n : int;
+  root : int;
+  edges : (int * int * float) list;  (** declaration order *)
+  subsidy : (int * float) list;
+  budget : float option;
+}
+
+let shadow_inst s =
+  {
+    Ser.graph = G.create ~n:s.n s.edges;
+    root = s.root;
+    tree_edge_ids = None;
+    subsidy = s.subsidy;
+    budget = s.budget;
+  }
+
+let shadow_apply s = function
+  | Ser.Delta.Edge_weight { edge; weight } ->
+      {
+        s with
+        edges = List.mapi (fun i (u, v, w) -> if i = edge then (u, v, weight) else (u, v, w)) s.edges;
+      }
+  | Ser.Delta.Add_player { attach } ->
+      { s with n = s.n + 1; edges = s.edges @ List.map (fun (u, w) -> (u, s.n, w)) attach }
+  | Ser.Delta.Remove_player { node } ->
+      let shift x = if x > node then x - 1 else x in
+      let survives (u, v, _) = u <> node && v <> node in
+      let old_id = ref (-1) in
+      let edge_map = Hashtbl.create 16 in
+      let next = ref 0 in
+      List.iter
+        (fun e ->
+          incr old_id;
+          if survives e then begin
+            Hashtbl.add edge_map !old_id !next;
+            incr next
+          end)
+        s.edges;
+      {
+        s with
+        n = s.n - 1;
+        root = shift s.root;
+        edges =
+          List.filter_map
+            (fun (u, v, w) -> if u <> node && v <> node then Some (shift u, shift v, w) else None)
+            s.edges;
+        subsidy =
+          List.filter_map
+            (fun (id, b) ->
+              match Hashtbl.find_opt edge_map id with Some id' -> Some (id', b) | None -> None)
+            s.subsidy;
+      }
+  | Ser.Delta.Set_budget b -> { s with budget = Option.map (fun x -> x) b }
+
+(* A random connected shadow: a random spanning tree plus extra edges. *)
+let random_shadow () =
+  let n = 4 + rand 7 in
+  let tree = List.init (n - 1) (fun i -> (rand (i + 1), i + 1, float_of_int (1 + rand 9))) in
+  let extra =
+    List.filter_map
+      (fun _ ->
+        let u = rand n and v = rand n in
+        if u = v then None else Some (u, v, float_of_int (1 + rand 9)))
+      (List.init (rand 6) Fun.id)
+  in
+  let edges = tree @ extra in
+  let m = List.length edges in
+  let subsidy = if rand 3 = 0 then [ (rand m, float_of_int (rand 4)) ] else [] in
+  let budget = if rand 4 = 0 then Some (float_of_int (rand 20)) else None in
+  { n; root = rand n; edges; subsidy; budget }
+
+(* A random delta valid for [s] — or None when the draw has no valid
+   instance (e.g. every removal would disconnect). *)
+let random_delta s =
+  let m = List.length s.edges in
+  match rand 10 with
+  | 0 | 1 ->
+      let k = 1 + rand 2 in
+      let attach =
+        List.init k (fun _ -> (rand s.n, float_of_int (1 + rand 9)))
+        (* dedup attachment endpoints: parallel edges are legal, identical
+           (u, n) pairs too, so no filtering needed *)
+      in
+      Some (Ser.Delta.Add_player { attach })
+  | 2 ->
+      if s.n <= 2 then None
+      else
+        (* find a removable (non-root, non-disconnecting) node if any *)
+        let candidates =
+          List.filter
+            (fun v ->
+              v <> s.root
+              &&
+              let remaining =
+                List.filter_map
+                  (fun (u, w, x) ->
+                    if u = v || w = v then None
+                    else
+                      Some ((if u > v then u - 1 else u), (if w > v then w - 1 else w), x))
+                  s.edges
+              in
+              G.is_connected (G.create ~n:(s.n - 1) remaining))
+            (List.init s.n Fun.id)
+        in
+        (match candidates with
+        | [] -> None
+        | c -> Some (Ser.Delta.Remove_player { node = List.nth c (rand (List.length c)) }))
+  | 3 -> Some (Ser.Delta.Set_budget (if rand 2 = 0 then None else Some (float_of_int (rand 15))))
+  | _ -> Some (Ser.Delta.Edge_weight { edge = rand m; weight = float_of_int (rand 10) })
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests: apply semantics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let base () =
+  {
+    n = 4;
+    root = 0;
+    edges = [ (0, 1, 3.0); (1, 2, 2.0); (2, 3, 5.0); (0, 3, 4.0) ];
+    subsidy = [ (2, 1.0) ];
+    budget = Some 10.0;
+  }
+
+let test_edge_weight () =
+  let inst = shadow_inst (base ()) in
+  let a = Ser.Delta.apply inst (Ser.Delta.Edge_weight { edge = 1; weight = 7.5 }) in
+  Alcotest.(check (float 0.0)) "weight updated" 7.5 (G.weight a.Ser.Delta.inst.Ser.graph 1);
+  Alcotest.(check (list int)) "dirty = the edge" [ 1 ] a.Ser.Delta.dirty_edges;
+  Alcotest.(check bool) "not structural" false a.Ser.Delta.structural;
+  Alcotest.(check (array int)) "identity edge map" [| 0; 1; 2; 3 |] a.Ser.Delta.edge_map;
+  Alcotest.check_raises "out-of-range edge"
+    (Failure "Delta: edge_weight references nonexistent edge id 9") (fun () ->
+      ignore (Ser.Delta.apply inst (Ser.Delta.Edge_weight { edge = 9; weight = 1.0 })))
+
+let test_add_player () =
+  let inst = { (shadow_inst (base ())) with Ser.tree_edge_ids = Some [ 0; 1; 2 ] } in
+  let a = Ser.Delta.apply inst (Ser.Delta.Add_player { attach = [ (1, 2.0); (3, 6.0) ] }) in
+  let g = a.Ser.Delta.inst.Ser.graph in
+  Alcotest.(check int) "node appended" 5 (G.n_nodes g);
+  Alcotest.(check int) "edges appended" 6 (G.n_edges g);
+  Alcotest.(check (list int)) "new ids dirty" [ 4; 5 ] a.Ser.Delta.dirty_edges;
+  Alcotest.(check bool) "structural" true a.Ser.Delta.structural;
+  Alcotest.(check (option (list int))) "target tree dropped" None
+    a.Ser.Delta.inst.Ser.tree_edge_ids
+
+let test_remove_player () =
+  let inst = shadow_inst (base ()) in
+  let a = Ser.Delta.apply inst (Ser.Delta.Remove_player { node = 2 }) in
+  let g = a.Ser.Delta.inst.Ser.graph in
+  Alcotest.(check int) "node removed" 3 (G.n_nodes g);
+  (* edges 1 (1-2) and 2 (2-3) die; 0 and 3 survive compactly renumbered *)
+  Alcotest.(check (array int)) "edge map" [| 0; -1; -1; 1 |] a.Ser.Delta.edge_map;
+  Alcotest.(check (list (pair int (float 0.0)))) "subsidy on dead edge dropped" []
+    a.Ser.Delta.inst.Ser.subsidy;
+  Alcotest.check_raises "root is irremovable"
+    (Failure "Delta: remove_player: cannot remove the root") (fun () ->
+      ignore (Ser.Delta.apply inst (Ser.Delta.Remove_player { node = 0 })));
+  (* removing node 1 of the path 0-1-2 disconnects it *)
+  let path =
+    shadow_inst { n = 3; root = 0; edges = [ (0, 1, 1.0); (1, 2, 1.0) ]; subsidy = []; budget = None }
+  in
+  Alcotest.check_raises "disconnection rejected"
+    (Failure "Delta: remove_player: removing node 1 disconnects the instance") (fun () ->
+      ignore (Ser.Delta.apply path (Ser.Delta.Remove_player { node = 1 })))
+
+let test_parse_roundtrip () =
+  let cases =
+    [
+      Ser.Delta.Edge_weight { edge = 3; weight = 2.5 };
+      Ser.Delta.Add_player { attach = [ (0, 1.0) ] };
+      Ser.Delta.Add_player { attach = [ (2, 4.0); (5, 0.5) ] };
+      Ser.Delta.Remove_player { node = 7 };
+      Ser.Delta.Set_budget None;
+      Ser.Delta.Set_budget (Some 12.0);
+    ]
+  in
+  List.iter
+    (fun d ->
+      let text = Ser.Delta.to_string d in
+      Alcotest.(check string)
+        ("round trip: " ^ text) text
+        (Ser.Delta.to_string (Ser.Delta.of_string text)))
+    cases;
+  let trace = Ser.Delta.list_to_string cases in
+  Alcotest.(check int) "trace round trip" (List.length cases)
+    (List.length (Ser.Delta.list_of_string trace));
+  Alcotest.check_raises "bad line is a structured failure"
+    (Failure "Delta: remove_player expects 'remove_player node'") (fun () ->
+      ignore (Ser.Delta.of_string "remove_player 1 2"))
+
+(* ------------------------------------------------------------------ *)
+(* The canonicality property, randomized                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_canonicality () =
+  reset_rng 20260808;
+  let cases = ref 0 in
+  while !cases < 250 do
+    let shadow = ref (random_shadow ()) in
+    let inst = ref (shadow_inst !shadow) in
+    let steps = 1 + rand 5 in
+    for _ = 1 to steps do
+      match random_delta !shadow with
+      | None -> ()
+      | Some d ->
+          (* the delta round-trips through its wire text first, like the
+             service mutate path *)
+          let d = Ser.Delta.of_string (Ser.Delta.to_string d) in
+          inst := (Ser.Delta.apply !inst d).Ser.Delta.inst;
+          shadow := shadow_apply !shadow d;
+          incr cases;
+          let direct = shadow_inst !shadow in
+          if digest !inst <> digest direct then
+            Alcotest.failf "digest diverged after %s:\napplied:\n%s\ndirect:\n%s"
+              (Ser.Delta.to_string d) (Ser.to_string !inst) (Ser.to_string direct);
+          (* parsing the serialization is also digest-stable *)
+          Alcotest.(check string) "parse round trip digest" (digest !inst)
+            (digest (Ser.of_string (Ser.to_string !inst)))
+    done
+  done;
+  Alcotest.(check bool) (Printf.sprintf "%d randomized cases" !cases) true (!cases >= 250)
+
+let test_apply_all_matches_stepwise () =
+  let inst = shadow_inst (base ()) in
+  let ds =
+    [
+      Ser.Delta.Edge_weight { edge = 0; weight = 9.0 };
+      Ser.Delta.Add_player { attach = [ (1, 2.0) ] };
+      Ser.Delta.Set_budget None;
+    ]
+  in
+  let stepwise = List.fold_left (fun i d -> (Ser.Delta.apply i d).Ser.Delta.inst) inst ds in
+  Alcotest.(check string) "apply_all = stepwise" (digest stepwise)
+    (digest (Ser.Delta.apply_all inst ds))
+
+let suite =
+  [
+    Alcotest.test_case "edge_weight semantics" `Quick test_edge_weight;
+    Alcotest.test_case "add_player semantics" `Quick test_add_player;
+    Alcotest.test_case "remove_player semantics" `Quick test_remove_player;
+    Alcotest.test_case "one-line parse round trips" `Quick test_parse_roundtrip;
+    Alcotest.test_case "digest canonicality (250 randomized cases)" `Quick
+      test_digest_canonicality;
+    Alcotest.test_case "apply_all matches stepwise application" `Quick
+      test_apply_all_matches_stepwise;
+  ]

@@ -115,6 +115,7 @@ let unit_tests =
             root = inst.Instances.root;
             tree_edge_ids = Some (G.Tree.edge_ids (Instances.mst_tree inst));
             subsidy = [ (0, 0.25) ];
+            budget = None;
           }
         in
         let t' = Serial.of_string (Serial.to_string t) in
@@ -161,7 +162,7 @@ let unit_tests =
         let inst = Instances.random ~dist:(Instances.Integer 5) ~n:5 ~extra:2 ~seed:9 () in
         let t =
           { Serial.graph = inst.Instances.graph; root = inst.Instances.root;
-            tree_edge_ids = None; subsidy = [] }
+            tree_edge_ids = None; subsidy = []; budget = None }
         in
         let path = Filename.temp_file "sne" ".inst" in
         Serial.save path t;
@@ -225,7 +226,7 @@ let property_tests =
         in
         let t =
           { Serial.graph = inst.Instances.graph; root = inst.Instances.root;
-            tree_edge_ids = None; subsidy = [] }
+            tree_edge_ids = None; subsidy = []; budget = None }
         in
         let t' = Serial.of_string (Serial.to_string t) in
         G.n_edges t'.Serial.graph = G.n_edges t.Serial.graph

@@ -17,6 +17,8 @@ let () =
       ("reductions", Test_reductions.suite);
       ("weighted", Test_weighted.suite);
       ("extensions", Test_extensions.suite);
+      ("delta", Test_delta.suite);
+      ("session", Test_session.suite);
       ("service", Test_service.suite);
       ("landscape", Test_landscape.suite);
       ("exactness", Test_exactness.suite);

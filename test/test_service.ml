@@ -19,6 +19,7 @@ let payload ?(seed = 1) ?(n = 8) ?(extra = 5) () =
       root = inst.Instances.root;
       tree_edge_ids = None;
       subsidy = [];
+      budget = None;
     }
 
 let req ?(id = "r") ?deadline_ms ?(priority = 0) kind payload =
@@ -332,6 +333,199 @@ let test_shutdown_fails_queued () =
   | Service.Shutdown -> ()
   | e -> Alcotest.failf "expected shutdown, got %s" (Wire.reason_slug e)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental re-solve sessions over the service                      *)
+(* ------------------------------------------------------------------ *)
+
+let open_kind = Service.Session_open { backend = Service.Dense; max_rounds = 500 }
+
+let opened = function
+  | Service.Opened { session; digest } -> (session, digest)
+  | _ -> Alcotest.fail "expected opened outcome"
+
+let test_session_lifecycle () =
+  Service.with_service (fun svc ->
+      let p = payload ~seed:9 ~n:10 ~extra:8 () in
+      let handle, digest0 =
+        opened (ok_outcome (Service.await svc (Service.submit svc (req ~id:"o" open_kind p))))
+      in
+      Alcotest.(check string)
+        "open digest is the canonical instance digest"
+        (Repro_util.Digestx.of_string (Serial.to_string (Serial.of_string p)))
+        digest0;
+      Alcotest.(check int) "one live session" 1 (Service.active_sessions svc);
+      (* first resolve matches a stateless cutting-plane solve bit-for-bit
+         in cost *)
+      let r1 =
+        ok_outcome
+          (Service.await svc
+             (Service.submit svc (req ~id:"r1" (Service.Session_resolve { session = handle }) "")))
+      in
+      let stateless kindp text =
+        match ok_outcome (Service.await svc (Service.submit svc (req ~id:"sl" kindp text))) with
+        | Service.Subsidy { cost; _ } -> cost
+        | _ -> Alcotest.fail "expected subsidy outcome"
+      in
+      let cut = Service.Sne { meth = `Cut; backend = Service.Dense; max_rounds = 500 } in
+      (match r1 with
+      | Service.Resolved { cost; equilibrium; warm; _ } ->
+          Alcotest.(check bool) "resolve certified" true equilibrium;
+          Alcotest.(check bool) "first resolve is cold" false warm;
+          Alcotest.(check (float 1e-6)) "cost = stateless solve" (stateless cut p) cost
+      | _ -> Alcotest.fail "expected resolved outcome");
+      (* mutate all-or-nothing, then the warm resolve tracks the delta *)
+      let trace = "edge_weight 0 7\nedge_weight 1 2" in
+      let m =
+        ok_outcome
+          (Service.await svc
+             (Service.submit svc (req ~id:"m" (Service.Session_mutate { session = handle }) trace)))
+      in
+      let mutated_text =
+        Serial.to_string
+          (Serial.Delta.apply_all (Serial.of_string p) (Serial.Delta.list_of_string trace))
+      in
+      (match m with
+      | Service.Mutated { applied; digest; _ } ->
+          Alcotest.(check int) "both deltas applied" 2 applied;
+          Alcotest.(check string) "digest tracks the delta path"
+            (Repro_util.Digestx.of_string mutated_text) digest
+      | _ -> Alcotest.fail "expected mutated outcome");
+      (match
+         ok_outcome
+           (Service.await svc
+              (Service.submit svc (req ~id:"r2" (Service.Session_resolve { session = handle }) "")))
+       with
+      | Service.Resolved { cost; equilibrium; _ } ->
+          Alcotest.(check bool) "warm resolve certified" true equilibrium;
+          Alcotest.(check (float 1e-6)) "warm cost = cold solve of mutated instance"
+            (stateless cut mutated_text) cost
+      | _ -> Alcotest.fail "expected resolved outcome");
+      (* close releases the handle; everything after is unknown_session *)
+      (match
+         ok_outcome
+           (Service.await svc
+              (Service.submit svc (req ~id:"c" (Service.Session_close { session = handle }) "")))
+       with
+      | Service.Closed { session } -> Alcotest.(check string) "closed echo" handle session
+      | _ -> Alcotest.fail "expected closed outcome");
+      Alcotest.(check int) "no live sessions" 0 (Service.active_sessions svc);
+      match
+        err_reason
+          (Service.await svc
+             (Service.submit svc (req ~id:"r3" (Service.Session_resolve { session = handle }) "")))
+      with
+      | Service.Unknown_session h -> Alcotest.(check string) "handle echoed" handle h
+      | e -> Alcotest.failf "expected unknown_session, got %s" (Wire.reason_slug e))
+
+let test_session_errors () =
+  Service.with_service (fun svc ->
+      (* never-issued handle *)
+      (match
+         err_reason
+           (Service.await svc
+              (Service.submit svc
+                 (req ~id:"b" (Service.Session_resolve { session = "bogus" }) "")))
+       with
+      | Service.Unknown_session "bogus" -> ()
+      | e -> Alcotest.failf "expected unknown_session bogus, got %s" (Wire.reason_slug e));
+      let p = payload ~seed:10 () in
+      let handle, digest0 =
+        opened (ok_outcome (Service.await svc (Service.submit svc (req ~id:"o" open_kind p))))
+      in
+      (* malformed delta: structured invalid_delta, nothing applied *)
+      (match
+         err_reason
+           (Service.await svc
+              (Service.submit svc
+                 (req ~id:"m" (Service.Session_mutate { session = handle }) "edge_weight 999 1")))
+       with
+      | Service.Invalid_delta _ -> ()
+      | e -> Alcotest.failf "expected invalid_delta, got %s" (Wire.reason_slug e));
+      (* empty mutation payloads are rejected, not silently a no-op *)
+      (match
+         err_reason
+           (Service.await svc
+              (Service.submit svc (req ~id:"m2" (Service.Session_mutate { session = handle }) "")))
+       with
+      | Service.Invalid_delta _ -> ()
+      | e -> Alcotest.failf "expected invalid_delta, got %s" (Wire.reason_slug e));
+      (* the failed mutates left the instance untouched: a no-op delta
+         reports the original digest *)
+      match
+        ok_outcome
+          (Service.await svc
+             (Service.submit svc
+                (req ~id:"m3" (Service.Session_mutate { session = handle }) "set_budget none")))
+      with
+      | Service.Mutated { applied; digest; _ } ->
+          Alcotest.(check int) "one delta applied" 1 applied;
+          Alcotest.(check string) "instance untouched by the failed mutates" digest0 digest
+      | _ -> Alcotest.fail "expected mutated outcome")
+
+let test_session_eviction () =
+  (* a capacity-1 table: opening a second session evicts the first (LRU),
+     whose handle then answers unknown_session, never a raise *)
+  Service.with_service ~sessions:1 (fun svc ->
+      let h1, _ =
+        opened
+          (ok_outcome
+             (Service.await svc (Service.submit svc (req ~id:"o1" open_kind (payload ~seed:11 ())))))
+      in
+      let h2, _ =
+        opened
+          (ok_outcome
+             (Service.await svc (Service.submit svc (req ~id:"o2" open_kind (payload ~seed:12 ())))))
+      in
+      Alcotest.(check int) "table stays at capacity" 1 (Service.active_sessions svc);
+      (match
+         err_reason
+           (Service.await svc
+              (Service.submit svc (req ~id:"r1" (Service.Session_resolve { session = h1 }) "")))
+       with
+      | Service.Unknown_session h -> Alcotest.(check string) "evicted handle echoed" h1 h
+      | e -> Alcotest.failf "expected unknown_session, got %s" (Wire.reason_slug e));
+      (match
+         err_reason
+           (Service.await svc
+              (Service.submit svc
+                 (req ~id:"m1" (Service.Session_mutate { session = h1 }) "edge_weight 0 2")))
+       with
+      | Service.Unknown_session _ -> ()
+      | e -> Alcotest.failf "expected unknown_session on mutate, got %s" (Wire.reason_slug e));
+      match
+        ok_outcome
+          (Service.await svc
+             (Service.submit svc (req ~id:"r2" (Service.Session_resolve { session = h2 }) "")))
+      with
+      | Service.Resolved _ -> ()
+      | _ -> Alcotest.fail "expected resolved outcome")
+
+let test_session_wire_roundtrip () =
+  let reqs =
+    [
+      req ~id:"s1" open_kind (payload ~seed:13 ());
+      req ~id:"s2"
+        (Service.Session_open { backend = Service.Sparse; max_rounds = 77 })
+        (payload ~seed:13 ());
+      req ~id:"s3" (Service.Session_mutate { session = "h42" }) "edge_weight 0 3.5";
+      req ~id:"s4" (Service.Session_resolve { session = "h42" }) "";
+      req ~id:"s5" (Service.Session_close { session = "h42" }) "";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.parse_request (Wire.request_to_string r) with
+      | Ok r' ->
+          Alcotest.(check bool) (Printf.sprintf "round trip %s" r.Service.id) true (r = r')
+      | Error e -> Alcotest.failf "round trip %s failed: %s" r.Service.id e)
+    reqs;
+  (match Wire.parse_request "id=x kind=mutate delta=edge_weight%200%201" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mutate without session must not parse");
+  match Wire.parse_request "id=x kind=open" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "open without inst must not parse"
+
 let suite =
   [
     Alcotest.test_case "submit/await round trip, all kinds" `Quick test_basic_roundtrip;
@@ -351,4 +545,10 @@ let suite =
       test_pool_map_result_isolation;
     Alcotest.test_case "shutdown fails queued, spares running" `Slow
       test_shutdown_fails_queued;
+    Alcotest.test_case "session lifecycle: open/resolve/mutate/close" `Quick
+      test_session_lifecycle;
+    Alcotest.test_case "session errors are structured" `Quick test_session_errors;
+    Alcotest.test_case "bounded session table evicts LRU" `Quick test_session_eviction;
+    Alcotest.test_case "wire: session request round trips" `Quick
+      test_session_wire_roundtrip;
   ]

@@ -1,0 +1,184 @@
+(* Incremental re-solve sessions ([Sne_session]): after every mutation the
+   warm resolve must land on the same optimum a cold [cutting_plane] solve
+   of the freshly re-parsed instance reaches — for both float kernels —
+   and on small instances the exact-rational solver certifies both. Also
+   pins the retention stats (pool growth, cut reuse, basis warm starts)
+   and digest stability across mutations. *)
+
+module SessD = Repro_core.Sne_session.Dense
+module SessS = Repro_core.Sne_session.Sparse
+module SneD = Repro_core.Sne_lp.Float
+module SneS = Repro_core.Sne_lp.Float_sparse
+module SneR = Repro_core.Sne_lp.Rat
+module Ser = Repro_core.Serial.Float
+module SerR = Repro_core.Serial.Rat
+module Instances = Repro_core.Instances
+module G = SneD.G
+module Gm = SneD.Gm
+module Rat = Repro_field.Field.Rat
+module Digestx = Repro_util.Digestx
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
+
+let instance ?(n = 10) ?(extra = 8) seed =
+  let i = Instances.random ~dist:(Instances.Integer 9) ~n ~extra ~seed () in
+  {
+    Ser.graph = i.Instances.graph;
+    root = i.Instances.root;
+    tree_edge_ids = None;
+    subsidy = [];
+    budget = None;
+  }
+
+let cold_dense text =
+  let inst = Ser.of_string text in
+  let tree = Ser.target_tree inst in
+  let spec = SneD.Gm.broadcast ~graph:inst.Ser.graph ~root:inst.Ser.root in
+  let state = SneD.Gm.Broadcast.state_of_tree spec ~root:inst.Ser.root tree in
+  let r, st = SneD.cutting_plane spec ~state in
+  Alcotest.(check bool) "cold dense converged" true st.SneD.converged;
+  r.SneD.cost
+
+let cold_sparse text =
+  let inst = Ser.of_string text in
+  let tree = Ser.target_tree inst in
+  let spec = SneS.Gm.broadcast ~graph:inst.Ser.graph ~root:inst.Ser.root in
+  let state = SneS.Gm.Broadcast.state_of_tree spec ~root:inst.Ser.root tree in
+  let r, st = SneS.cutting_plane spec ~state in
+  Alcotest.(check bool) "cold sparse converged" true st.SneS.converged;
+  r.SneS.cost
+
+let cold_rational text =
+  let inst = SerR.of_string text in
+  let tree = SerR.target_tree inst in
+  let spec = SneR.Gm.broadcast ~graph:inst.SerR.graph ~root:inst.SerR.root in
+  let state = SneR.Gm.Broadcast.state_of_tree spec ~root:inst.SerR.root tree in
+  let r, st = SneR.cutting_plane spec ~state in
+  Alcotest.(check bool) "rational converged" true st.SneR.converged;
+  Rat.to_float r.SneR.cost
+
+(* A fixed churn script exercising every delta constructor. *)
+let script =
+  [
+    "edge_weight 0 7";
+    "edge_weight 3 1";
+    "add_player 1 2 4 3";
+    "edge_weight 2 9";
+    "remove_player 2";
+    "edge_weight 1 2";
+    "add_player 0 5";
+    "set_budget 40";
+    "edge_weight 4 3";
+  ]
+
+let test_dense_matches_cold () =
+  let s = SessD.create (instance 11) in
+  let _, st0 = SessD.resolve s in
+  Alcotest.(check bool) "first resolve is cold" false st0.SessD.warm;
+  List.iter
+    (fun line ->
+      ignore (SessD.mutate s (Ser.Delta.of_string line));
+      let r, st = SessD.resolve s in
+      Alcotest.(check bool) "resolve converged" true st.SessD.converged;
+      let text = Ser.to_string (SessD.instance s) in
+      let cold = cold_dense text in
+      if not (close r.SessD.Sne.cost cold) then
+        Alcotest.failf "after %S: warm %.9f != cold %.9f" line r.SessD.Sne.cost cold;
+      Alcotest.(check string) "digest = canonical digest" (Digestx.of_string text)
+        (SessD.digest s))
+    script
+
+let test_sparse_matches_cold () =
+  let s = SessS.create (instance 12) in
+  ignore (SessS.resolve s);
+  List.iter
+    (fun line ->
+      ignore (SessS.mutate s (Ser.Delta.of_string line));
+      let r, st = SessS.resolve s in
+      Alcotest.(check bool) "resolve converged" true st.SessS.converged;
+      let cold = cold_sparse (Ser.to_string (SessS.instance s)) in
+      if not (close r.SessS.Sne.cost cold) then
+        Alcotest.failf "after %S: warm %.9f != cold %.9f" line r.SessS.Sne.cost cold)
+    script
+
+let test_rational_certifies_both () =
+  let sd = SessD.create (instance 13) and ss = SessS.create (instance 13) in
+  ignore (SessD.resolve sd);
+  ignore (SessS.resolve ss);
+  List.iter
+    (fun line ->
+      let d = Ser.Delta.of_string line in
+      ignore (SessD.mutate sd d);
+      ignore (SessS.mutate ss d);
+      let rd, _ = SessD.resolve sd and rs, _ = SessS.resolve ss in
+      let exact = cold_rational (Ser.to_string (SessD.instance sd)) in
+      if not (close rd.SessD.Sne.cost exact) then
+        Alcotest.failf "after %S: dense %.9f != exact %.9f" line rd.SessD.Sne.cost exact;
+      if not (close rs.SessS.Sne.cost exact) then
+        Alcotest.failf "after %S: sparse %.9f != exact %.9f" line rs.SessS.Sne.cost exact)
+    script
+
+let test_subsidy_is_equilibrium () =
+  (* the returned subsidies actually enforce the target tree (Lemma 2) *)
+  let s = SessD.create (instance ~n:12 ~extra:14 17) in
+  ignore (SessD.resolve s);
+  List.iter
+    (fun line ->
+      ignore (SessD.mutate s (Ser.Delta.of_string line));
+      let r, _ = SessD.resolve s in
+      let inst = SessD.instance s in
+      let tree = Ser.target_tree inst in
+      let spec = Gm.broadcast ~graph:inst.Ser.graph ~root:inst.Ser.root in
+      Alcotest.(check bool)
+        ("equilibrium after " ^ line) true
+        (Gm.Broadcast.is_tree_equilibrium ~subsidy:r.SessD.Sne.subsidy spec tree))
+    [ "edge_weight 0 9"; "edge_weight 5 1"; "add_player 3 2"; "remove_player 1" ]
+
+let test_retention_stats () =
+  let s = SessD.create (instance ~n:12 ~extra:14 19) in
+  let _, st0 = SessD.resolve s in
+  Alcotest.(check bool) "no reuse on the first resolve" true (st0.SessD.reused_cuts = 0);
+  Alcotest.(check int) "generation starts at 0" 0 (SessD.generation s);
+  let reused = ref 0 and warm = ref 0 in
+  List.iteri
+    (fun i line ->
+      ignore (SessD.mutate s (Ser.Delta.of_string line));
+      Alcotest.(check int) "generation counts deltas" (i + 1) (SessD.generation s);
+      let _, st = SessD.resolve s in
+      reused := !reused + st.SessD.reused_cuts;
+      if st.SessD.warm then incr warm;
+      Alcotest.(check bool) "pool_size consistent" true
+        (st.SessD.pool_size = SessD.pool_size s))
+    [ "edge_weight 0 1"; "edge_weight 1 1"; "edge_weight 2 1"; "edge_weight 0 8" ];
+  (* weight churn on a fixed topology: the pool must actually carry cuts
+     across resolves and the basis must warm-start at least once *)
+  Alcotest.(check bool) "cuts were reused across resolves" true (!reused > 0);
+  Alcotest.(check bool) "some resolve warm-started" true (!warm > 0)
+
+let test_invalid_delta_leaves_session_intact () =
+  let s = SessD.create (instance 23) in
+  ignore (SessD.resolve s);
+  let dg = SessD.digest s in
+  let gen = SessD.generation s in
+  Alcotest.(check bool) "invalid delta raises" true
+    (try
+       ignore (SessD.mutate s (Ser.Delta.Edge_weight { edge = 999; weight = 1.0 }));
+       false
+     with Failure _ -> true);
+  Alcotest.(check string) "instance untouched" dg (SessD.digest s);
+  Alcotest.(check int) "generation untouched" gen (SessD.generation s)
+
+let suite =
+  [
+    Alcotest.test_case "dense session matches cold solves across churn" `Quick
+      test_dense_matches_cold;
+    Alcotest.test_case "sparse session matches cold solves across churn" `Quick
+      test_sparse_matches_cold;
+    Alcotest.test_case "exact-rational certificate for both kernels" `Quick
+      test_rational_certifies_both;
+    Alcotest.test_case "resolved subsidies enforce the tree" `Quick
+      test_subsidy_is_equilibrium;
+    Alcotest.test_case "pool/basis retention stats" `Quick test_retention_stats;
+    Alcotest.test_case "invalid delta leaves the session intact" `Quick
+      test_invalid_delta_leaves_session_intact;
+  ]

@@ -313,6 +313,40 @@ let unit_tests =
         Lru.add c "x" 7;
         Alcotest.(check (option int)) "usable after clear" (Some 7) (Lru.find c "x");
         Alcotest.(check int) "fresh accounting" 1 (Lru.hits c));
+    Alcotest.test_case "lru on_evict and filter (bounded session table)" `Quick
+      (fun () ->
+        (* [on_evict] fires exactly once per capacity eviction with the
+           evicted binding — the service's session table relies on it to
+           release the evicted session — and not on overwrites or
+           explicit removes. *)
+        let evicted = ref [] in
+        let on_evict k v = evicted := (k, v) :: !evicted in
+        let c = Lru.create ~capacity:2 in
+        Lru.add ~on_evict c "s1" 1;
+        Lru.add ~on_evict c "s2" 2;
+        Alcotest.(check (list (pair string int))) "no eviction below capacity" [] !evicted;
+        Lru.add ~on_evict c "s1" 10;
+        Alcotest.(check (list (pair string int))) "overwrite does not evict" [] !evicted;
+        Lru.add ~on_evict c "s3" 3;
+        (* "s2" was least recent after s1's overwrite refreshed it *)
+        Alcotest.(check (list (pair string int))) "LRU binding evicted" [ ("s2", 2) ] !evicted;
+        Lru.remove c "s1";
+        Alcotest.(check (list (pair string int))) "remove does not call on_evict"
+          [ ("s2", 2) ] !evicted;
+        (* [filter] drops rejected bindings without touching accounting
+           for the keepers *)
+        let c = Lru.create ~capacity:4 in
+        List.iter (fun (k, v) -> Lru.add c k v) [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ];
+        Lru.filter c ~f:(fun _ v -> v mod 2 = 0);
+        Alcotest.(check int) "filter keeps matches" 2 (Lru.length c);
+        Alcotest.(check (option int)) "odd dropped" None (Lru.find c "a");
+        Alcotest.(check (option int)) "even kept" (Some 2) (Lru.find c "b");
+        (* recency links survive filtering: evict through what is left *)
+        Lru.add c "e" 5;
+        Lru.add c "f" 6;
+        Lru.add c "g" 7;
+        Alcotest.(check int) "back at capacity" 4 (Lru.length c);
+        Alcotest.(check (option int)) "d evicted after filter" None (Lru.find c "d"));
     Alcotest.test_case "serial round-trips through of_string/to_string" `Quick
       (fun () ->
         let text =

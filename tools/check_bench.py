@@ -101,10 +101,70 @@ def check_service(b):
         raise BenchError("service_bench: the bench's own gates failed")
 
 
+def check_churn(b):
+    """BENCH_churn.json: incremental re-solve sessions under a churn trace.
+
+    Correctness is a hard failure (warm/cold disagreement, a missing
+    rational certificate, a nonconverged resolve, malformed schema); the
+    >= 5x warm-vs-cold speedup target is a warning only — latency on
+    shared CI runners is advisory.
+    """
+    trace = need(b, "trace", "churn_bench")
+    steps = need(trace, "steps", "churn_bench trace")
+    if steps < 1:
+        raise BenchError("churn_bench: empty trace")
+    mutations = (need(trace, "weight_deltas", "churn_bench trace")
+                 + need(trace, "add_player", "churn_bench trace")
+                 + need(trace, "remove_player", "churn_bench trace"))
+    if mutations != steps:
+        raise BenchError(
+            f"churn_bench: {steps} steps but {mutations} deltas accounted for")
+    backends = need(b, "backends", "churn_bench")
+    slow = []
+    for name in ("dense", "sparse"):
+        side = need(backends, name, f"churn_bench backends")
+        where = f"churn_bench {name}"
+        if side.get("agree") is not True:
+            raise BenchError(f"{where}: warm resolve disagrees with cold solve")
+        if side.get("converged") is not True:
+            raise BenchError(f"{where}: a resolve did not converge")
+        for block in ("warm_ms", "cold_ms"):
+            ms = need(side, block, where)
+            if not (0.0 <= need(ms, "p50", where) <= need(ms, "p99", where)):
+                raise BenchError(f"{where}: {block} percentiles out of order: {ms}")
+        for key in ("pivots_per_resolve", "cold_pivots_per_solve",
+                    "rounds_per_resolve", "warm_starts"):
+            if need(side, key, where) < 0:
+                raise BenchError(f"{where}: negative {key}")
+        reuse = need(side, "cut_reuse_rate", where)
+        if not (0.0 <= reuse <= 1.0):
+            raise BenchError(f"{where}: cut_reuse_rate {reuse} outside [0, 1]")
+        speedup = need(side, "speedup_p50", where)
+        if speedup < 5.0:
+            slow.append(f"{name} {speedup:.1f}x")
+    rational = need(b, "rational", "churn_bench")
+    if rational.get("all_certified") is not True:
+        raise BenchError("churn_bench: a step lacks its exact-rational certificate")
+    if need(rational, "certified_steps", "churn_bench rational") != steps:
+        raise BenchError(
+            f"churn_bench: certified {rational['certified_steps']} of {steps} steps")
+    if need(b, "snd_churn", "churn_bench").get("agree") is not True:
+        raise BenchError(
+            "churn_bench: SND frontier diverged after cache invalidation")
+    if need(need(b, "summary", "churn_bench"), "gates_met",
+            "churn_bench summary") is not True:
+        raise BenchError("churn_bench: the bench's own gates failed")
+    if slow:
+        print("check_bench: WARNING: churn_bench warm p50 speedup below the "
+              f"5x target ({', '.join(slow)}) — advisory on shared runners",
+              file=sys.stderr)
+
+
 CHECKS = {
     "lp_bench": check_lp,
     "snd_bench": check_snd,
     "service_bench": check_service,
+    "churn_bench": check_churn,
 }
 
 
