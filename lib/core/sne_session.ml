@@ -32,13 +32,24 @@ let c_reused = Obs.counter "sne.session.cuts_reused"
 let c_fresh = Obs.counter "sne.session.cuts_fresh"
 let c_dropped = Obs.counter "sne.session.pool_dropped"
 
+(* Resident-master bookkeeping: a resolve that re-binds the retained
+   kernel state in place ticks [master_patched]; one that had a master
+   but could not patch it (structural delta, pool churn, or a dense
+   tableau past its dual layout) ticks [master_rebuilds]. The very first
+   build of a session is neither. *)
+let c_master_patched = Obs.counter "service.session.master_patched"
+let c_master_rebuilds = Obs.counter "service.session.master_rebuilds"
+
 (** What the session needs beyond {!Repro_lp.Lp_intf.BACKEND}: the
-    cross-solve dual-simplex warm start both float kernels expose. *)
+    cross-solve dual-simplex warm start both float kernels expose, plus
+    the in-place [patch] re-bind that keeps one kernel state resident
+    across weight-only resolves. *)
 module type WARM_KERNEL = sig
   include Repro_lp.Lp_intf.BACKEND with type num = float
 
   val solve_dual_incremental : ?hint:int list -> problem -> state * outcome
   val basis_hint : state -> int list
+  val patch : state -> problem -> outcome option
 end
 
 module Make_kernel (K : WARM_KERNEL) = struct
@@ -63,11 +74,12 @@ module Make_kernel (K : WARM_KERNEL) = struct
     pool_cap : int;
     mutable pool : (int * int list) list;  (** (source node, path edge ids), newest first *)
     mutable basis : int list;  (** edge ids basic at the last optimum *)
+    mutable master : K.state option;  (** resident kernel state, re-bound by [K.patch] *)
     mutable generation : int;  (** deltas applied since [create] *)
   }
 
   let create ?(max_rounds = 500) ?(pool_cap = 4096) inst =
-    { inst; max_rounds; pool_cap; pool = []; basis = []; generation = 0 }
+    { inst; max_rounds; pool_cap; pool = []; basis = []; master = None; generation = 0 }
 
   let instance t = t.inst
   let generation t = t.generation
@@ -226,12 +238,40 @@ module Make_kernel (K : WARM_KERNEL) = struct
           else None)
         t.basis
     in
-    let warm = hint <> [] in
     let what = "Sne_session.resolve" in
-    let st, outcome =
+    (* Prefer re-binding the resident master in place: [K.patch] verifies
+       the constraint matrix entry-for-entry against its live storage, so
+       it succeeds exactly when this resolve's master has the same rows
+       as the last one's (weight-only deltas in steady state) and only
+       rhs / objective / box bounds moved — the factorized basis, cuts
+       and pricing state all survive. Anything structural (player or
+       edge deltas, pool churn changing the retained set) makes patch
+       return [None] and we rebuild from the basis hint as before. *)
+    let p0 = ref 0 in
+    let st, outcome, warm =
       Obs.span "sne.session.master" (fun () ->
-          K.solve_dual_incremental ~hint base)
+          let patched =
+            match t.master with
+            | None -> None
+            | Some st -> (
+                let before = K.pivots st in
+                match K.patch st base with
+                | Some out ->
+                    Obs.incr c_master_patched;
+                    p0 := before;
+                    Some (st, out, true)
+                | None ->
+                    Obs.incr c_master_rebuilds;
+                    None)
+          in
+          match patched with
+          | Some r -> r
+          | None ->
+              let st, out = K.solve_dual_incremental ~hint base in
+              p0 := 0;
+              (st, out, hint <> []))
     in
+    t.master <- Some st;
     let clamp (s : K.solution) =
       let b = Array.make m 0.0 in
       Array.iteri
@@ -289,7 +329,7 @@ module Make_kernel (K : WARM_KERNEL) = struct
       let finish converged =
         ( { Sne.subsidy; cost = s.K.objective },
           {
-            pivots = K.pivots st;
+            pivots = K.pivots st - !p0;
             rounds = round;
             reused_cuts = reused;
             fresh_cuts = !fresh_count;

@@ -18,12 +18,19 @@
     pinned by the float differential and exact-rational tests. *)
 
 (** What the session needs beyond {!Repro_lp.Lp_intf.BACKEND}: the
-    cross-solve dual-simplex warm start both float kernels expose. *)
+    cross-solve dual-simplex warm start both float kernels expose, plus
+    the in-place [patch] re-bind. A session keeps one kernel state
+    resident across resolves: when only rhs / objective / bounds moved
+    (weight-only deltas in steady state) [patch] re-binds it without any
+    rebuild — [service.session.master_patched] counts those resolves,
+    [service.session.master_rebuilds] the ones where a resident master
+    existed but could not be patched. *)
 module type WARM_KERNEL = sig
   include Repro_lp.Lp_intf.BACKEND with type num = float
 
   val solve_dual_incremental : ?hint:int list -> problem -> state * outcome
   val basis_hint : state -> int list
+  val patch : state -> problem -> outcome option
 end
 
 module Make_kernel (K : WARM_KERNEL) : sig

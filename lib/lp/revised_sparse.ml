@@ -15,12 +15,22 @@
    - constraints are stored twice: CSR (rows, append-only — the dual
      ratio test sweeps the leaving row through it) and CSC (per-column
      grow arrays — FTRAN scatters and pricing dot-products walk columns);
-   - the basis inverse is a product-form eta file: one column eta per
-     pivot, one row eta per appended cut (see [append_row]), rebuilt from
-     scratch by [refactor] when the file grows past its trigger;
-   - pricing is partial (rotating column sections, largest reduced cost
-     within the first section that offers a candidate), with Bland's rule
-     after a degeneracy streak, mirroring the dense kernel's fallback.
+   - the basis inverse is, by default, a Markowitz-ordered sparse LU
+     factorization updated in place by Forrest–Tomlin row eliminations on
+     every pivot ([lu_refactor] / [lu_update]); the PR-4 product-form eta
+     file survives as a selectable legacy mode ([set_basis_kind Eta]) so
+     the benches can measure one against the other;
+   - pricing is Devex by default (reference-framework weights on both the
+     primal and the dual side, [Lp_intf.pricing]), with the PR-4 partial
+     pricing (rotating column sections) selectable; both fall back to
+     Bland's rule after a degeneracy streak, mirroring the dense kernel.
+
+   Both basis modes share the op-file machinery: an LU factorization is a
+   file of column ops (the Gauss multipliers of each Markowitz pivot)
+   plus an explicit permuted-triangular U, and a Forrest–Tomlin update
+   appends one row op and edits U, so FTRAN/BTRAN are "apply the op file,
+   then solve with U" — with U = I and one column op per pivot that
+   degenerates to exactly the old eta file.
 
    A fresh problem starts from the all-slack basis: dual feasible for the
    whole LP (3) family (minimize a nonnegative combination of
@@ -65,11 +75,61 @@ let c_primal = Obs.counter "lp.sparse.primal_pivots"
 let c_dual = Obs.counter "lp.sparse.dual_pivots"
 let c_flips = Obs.counter "lp.sparse.bound_flips"
 let c_refactors = Obs.counter "lp.sparse.refactors"
+
+(* Historical name: under the eta basis this counted the refactorizations
+   forced by FTRAN/BTRAN pivot drift. The LU basis made that path dead
+   (the Forrest–Tomlin diagonal test subsumes it), so the counter now
+   reports the length of the Forrest–Tomlin update file: one tick per row
+   op appended by [lu_update]. *)
 let c_drift = Obs.counter "lp.sparse.drift_refactors"
 let c_cold = Obs.counter "lp.sparse.cold_solves"
 let c_warm = Obs.counter "lp.sparse.warm_solves"
 let c_rebuilds = Obs.counter "lp.sparse.rebuilds"
 let c_fallbacks = Obs.counter "lp.sparse.fallbacks"
+let c_patches = Obs.counter "lp.sparse.patches"
+
+(* Basis-representation fill: nonzeros of U plus the op file, sampled
+   after every (re)factorization and update. *)
+let g_fill = Obs.gauge "lp.sparse.fill_nnz"
+
+(* Amortized GC minor words per pivot across every solve/add_constraint/
+   patch entry since process start (ROADMAP item 5's allocation
+   discipline). Metered only while obs is enabled; never read by the
+   solver, so obs on/off cannot change results. *)
+let g_allocs = Obs.gauge "lp.sparse.allocs_per_pivot"
+
+let alloc_words = Atomic.make 0.0
+let alloc_pivots = Atomic.make 0
+
+let atomic_addf a d =
+  let rec go () =
+    let v = Atomic.get a in
+    if not (Atomic.compare_and_set a v (v +. d)) then go ()
+  in
+  go ()
+
+(* Run [f] with the allocation meter on: charge the Gc minor-words delta
+   and the pivot delta ([piv] is sampled before and after) to the
+   process-wide amortized gauge. *)
+let metered ~piv f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let w0 = Gc.minor_words () and p0 = piv () in
+    let finish () =
+      atomic_addf alloc_words (Gc.minor_words () -. w0);
+      let dp = piv () - p0 in
+      if dp > 0 then ignore (Atomic.fetch_and_add alloc_pivots dp);
+      let p = Atomic.get alloc_pivots in
+      if p > 0 then Obs.set g_allocs (Atomic.get alloc_words /. float_of_int p)
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
+  end
 
 (* Same up-front NaN/inf rejection as the dense kernel: a non-finite
    coefficient silently poisons float pricing comparisons. *)
@@ -116,8 +176,46 @@ let feas_tol = 1e-9
 let phase1_tol = 1e-7
 let degen_tol = 1e-12
 let bland_after = 40
-let eta_drop = 1e-13 (* eta entries below this are rounding noise *)
-let refactor_etas = 64 (* eta-file length that triggers refactorization *)
+let eta_drop = 1e-13 (* eta/U entries below this are rounding noise *)
+let refactor_etas = 64 (* eta-file growth that triggers refactorization *)
+
+(* LU-mode knobs. The Markowitz threshold trades sparsity against
+   stability the standard way (accept a pivot within a factor [lu_mtol]
+   of its column's max); a Forrest–Tomlin update whose new diagonal falls
+   below [lu_dtol] is rejected and answered with a fresh factorization.
+   FT row ops are both cheaper and better conditioned than product-form
+   etas (one short U-row elimination instead of a near-dense FTRANed
+   column), so the LU update file is allowed to grow [lu_updates] long
+   between refactorizations where the eta file refactors at
+   [refactor_etas] — and on large masters the cap scales as [nrows/4]:
+   once the permuted-U solve dominates FTRAN anyway, a longer update
+   file costs almost nothing while each avoided Markowitz
+   refactorization saves work that grows with fill. *)
+let lu_mtol = 0.1
+let lu_dtol = 1e-10
+let lu_updates = 100
+
+(* Devex weights are re-anchored (reset to the current frame) once the
+   largest weight outgrows this — Harris's classic guard against the
+   reference framework drifting into noise. *)
+let devex_reset = 1e7
+
+(* ------------------------------------------------------------------ *)
+(* Mode selection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type basis_kind = Lu | Eta
+
+(* Process-wide defaults, snapshotted into each solver core when it is
+   allocated (so an in-flight solve never changes representation or
+   pricing mid-stream). Set them at startup — they are plain refs, not
+   synchronized against concurrent solves. *)
+let basis_mode = ref Lu
+let set_basis_kind k = basis_mode := k
+let basis_kind () = !basis_mode
+let pricing_mode = ref Lp_intf.Devex
+let set_pricing p = pricing_mode := p
+let pricing () = !pricing_mode
 
 (* ------------------------------------------------------------------ *)
 (* The eta file                                                        *)
@@ -133,6 +231,8 @@ let refactor_etas = 64 (* eta-file length that triggers refactorization *)
 type eta = { col : bool; r : int; pr : float; idx : int array; v : float array }
 
 type core = {
+  mode : basis_kind; (* basis representation, fixed at allocation *)
+  price : Lp_intf.pricing; (* pricing rule, fixed at allocation *)
   ns : int; (* structural columns; slack of row r is column ns + r *)
   (* CSR, rows append-only *)
   mutable nrows : int;
@@ -154,15 +254,51 @@ type core = {
   (* basis *)
   mutable basis : int array; (* per row *)
   mutable xb : float array; (* values of the basic columns, per row *)
-  (* eta file *)
+  (* op file. Eta mode: one column eta per pivot, one row eta per
+     appended cut. LU mode: the factorization's Gauss column ops followed
+     by one Forrest–Tomlin row op per pivot/appended cut. *)
   mutable etas : eta array;
   mutable n_etas : int;
   mutable eta_nnz : int;
-  (* eta file size right after the last refactorization: the refactor
-     trigger bounds the UPDATE file (etas added since), not the
+  (* op-file size right after the last refactorization: the refactor
+     trigger bounds the UPDATE file (ops added since), not the
      factorization itself, or dense bases would refactor every pivot *)
   mutable base_etas : int;
   mutable base_nnz : int;
+  (* Explicit U of the LU basis (LU mode only; identity in eta mode).
+     U is triangular under a pair of permutations: position [p] pairs
+     problem row [row_of_pos.(p)] with slot [slot_of_pos.(p)], where slot
+     [s] carries basic column [basis.(s)]. [udiag] is indexed by slot;
+     [ur_*] hold each row's entries strictly right of its diagonal as
+     (slot, value); [uc_*] hold each slot's entries strictly above its
+     diagonal as (row, value) — the same nonzeros stored both ways. *)
+  mutable udiag : float array;
+  mutable ur_idx : int array array;
+  mutable ur_val : float array array;
+  mutable ur_len : int array;
+  mutable uc_idx : int array array;
+  mutable uc_val : float array array;
+  mutable uc_len : int array;
+  mutable u_nnz : int; (* off-diagonal U nonzeros *)
+  mutable row_of_pos : int array;
+  mutable pos_of_row : int array;
+  mutable slot_of_pos : int array;
+  mutable pos_of_slot : int array;
+  mutable n_updates : int; (* Forrest–Tomlin updates since allocation *)
+  (* LU scratch: [spike] keeps every FTRAN's op-file intermediate (the
+     Forrest–Tomlin spike of the entering column), [fx] the U-solve
+     result, [rsp]/[rin]/[hp] the row-spike accumulator, membership
+     flags, and elimination heap of [eliminate_row_spike]. *)
+  mutable spike : float array;
+  mutable fx : float array;
+  mutable rsp : float array;
+  mutable rin : bool array;
+  mutable hp : int array;
+  mutable hp_n : int;
+  (* Devex reference-framework weights: [dwc] per column (primal),
+     [dwr] per row (dual Forrest–Goldfarb). *)
+  mutable dwc : float array;
+  mutable dwr : float array;
   (* scratch (capacity >= nrows / >= ncols; zeroed by their users) *)
   mutable wk : float array;
   mutable rho : float array;
@@ -251,12 +387,61 @@ let apply_eta_btran (e : eta) w =
       done
   end
 
+(* Solve U x = w (w indexed by problem row) by back substitution in
+   position order, scattering each slot's above-diagonal column. The
+   result is indexed by slot — and slots are row indices (slot [s]
+   carries [basis.(s)]), so it is blitted straight back into [w]. *)
+let u_fsolve core w =
+  let fx = core.fx in
+  for p = core.nrows - 1 downto 0 do
+    let r = core.row_of_pos.(p) in
+    let s = core.slot_of_pos.(p) in
+    let t = w.(r) /. core.udiag.(s) in
+    fx.(s) <- t;
+    if t <> 0.0 then begin
+      let ci = core.uc_idx.(s) and cv = core.uc_val.(s) in
+      for k = 0 to core.uc_len.(s) - 1 do
+        let i = Array.unsafe_get ci k in
+        Array.unsafe_set w i (Array.unsafe_get w i -. (Array.unsafe_get cv k *. t))
+      done
+    end
+  done;
+  Array.blit fx 0 w 0 core.nrows
+
+(* Solve U^T y = w (w indexed by slot) by forward substitution in
+   position order, scattering each row's right-of-diagonal entries; the
+   result is indexed by problem row. *)
+let u_bsolve core w =
+  let fx = core.fx in
+  for p = 0 to core.nrows - 1 do
+    let r = core.row_of_pos.(p) in
+    let s = core.slot_of_pos.(p) in
+    let t = w.(s) /. core.udiag.(s) in
+    fx.(r) <- t;
+    if t <> 0.0 then begin
+      let ri = core.ur_idx.(r) and rv = core.ur_val.(r) in
+      for k = 0 to core.ur_len.(r) - 1 do
+        let i = Array.unsafe_get ri k in
+        Array.unsafe_set w i (Array.unsafe_get w i -. (Array.unsafe_get rv k *. t))
+      done
+    end
+  done;
+  Array.blit fx 0 w 0 core.nrows
+
+(* B^-1 w. In LU mode the op-file intermediate (the Forrest–Tomlin spike
+   of the column being transformed) is saved in [core.spike]: a pivot on
+   the column FTRANed last uses it for the basis update. *)
 let ftran core w =
   for k = 0 to core.n_etas - 1 do
     apply_eta_ftran (Array.unsafe_get core.etas k) w
-  done
+  done;
+  if core.mode = Lu then begin
+    Array.blit w 0 core.spike 0 core.nrows;
+    u_fsolve core w
+  end
 
 let btran core w =
+  if core.mode = Lu then u_bsolve core w;
   for k = core.n_etas - 1 downto 0 do
     apply_eta_btran (Array.unsafe_get core.etas k) w
   done
@@ -290,6 +475,226 @@ let push_col_eta core r w =
     end
   done;
   push_eta core { col = true; r; pr = w.(r); idx; v }
+
+(* ------------------------------------------------------------------ *)
+(* U maintenance (LU mode)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let grow_any a n fill =
+  let len = Array.length a in
+  if len >= n then a
+  else begin
+    let a' = Array.make (max n (max 8 (2 * len))) fill in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+(* [u_nnz] counts each off-diagonal nonzero once: the row-wise side
+   ([ur_push]/[ur_remove]) maintains it, the column-wise mirror does
+   not. *)
+let ur_push core r s v =
+  let n = core.ur_len.(r) in
+  if Array.length core.ur_idx.(r) <= n then begin
+    core.ur_idx.(r) <- grow_i core.ur_idx.(r) (n + 1) 0;
+    core.ur_val.(r) <- grow_f core.ur_val.(r) (n + 1)
+  end;
+  core.ur_idx.(r).(n) <- s;
+  core.ur_val.(r).(n) <- v;
+  core.ur_len.(r) <- n + 1;
+  core.u_nnz <- core.u_nnz + 1
+
+let uc_push core s r v =
+  let n = core.uc_len.(s) in
+  if Array.length core.uc_idx.(s) <= n then begin
+    core.uc_idx.(s) <- grow_i core.uc_idx.(s) (n + 1) 0;
+    core.uc_val.(s) <- grow_f core.uc_val.(s) (n + 1)
+  end;
+  core.uc_idx.(s).(n) <- r;
+  core.uc_val.(s).(n) <- v;
+  core.uc_len.(s) <- n + 1
+
+let ur_remove core r s =
+  let n = core.ur_len.(r) in
+  let idx = core.ur_idx.(r) in
+  let k = ref (-1) in
+  for i = 0 to n - 1 do
+    if idx.(i) = s then k := i
+  done;
+  if !k >= 0 then begin
+    let last = n - 1 in
+    idx.(!k) <- idx.(last);
+    core.ur_val.(r).(!k) <- core.ur_val.(r).(last);
+    core.ur_len.(r) <- last;
+    core.u_nnz <- core.u_nnz - 1
+  end
+
+let uc_remove core s r =
+  let n = core.uc_len.(s) in
+  let idx = core.uc_idx.(s) in
+  let k = ref (-1) in
+  for i = 0 to n - 1 do
+    if idx.(i) = r then k := i
+  done;
+  if !k >= 0 then begin
+    let last = n - 1 in
+    idx.(!k) <- idx.(last);
+    core.uc_val.(s).(!k) <- core.uc_val.(s).(last);
+    core.uc_len.(s) <- last
+  end
+
+(* Min-heap of slots keyed by their current position: the row-spike
+   elimination below must consume entries in position order, so that
+   fill-ins (which always land at strictly later positions) are still
+   ahead of the cursor when they appear. *)
+let heap_push core s =
+  core.hp <- grow_i core.hp (core.hp_n + 1) 0;
+  let hp = core.hp and pos = core.pos_of_slot in
+  let i = ref core.hp_n in
+  core.hp_n <- core.hp_n + 1;
+  hp.(!i) <- s;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if pos.(hp.(p)) > pos.(hp.(!i)) then begin
+      let t = hp.(p) in
+      hp.(p) <- hp.(!i);
+      hp.(!i) <- t;
+      i := p
+    end
+    else continue := false
+  done
+
+let heap_pop core =
+  let hp = core.hp and pos = core.pos_of_slot in
+  let top = hp.(0) in
+  core.hp_n <- core.hp_n - 1;
+  hp.(0) <- hp.(core.hp_n);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < core.hp_n && pos.(hp.(l)) < pos.(hp.(!m)) then m := l;
+    if r < core.hp_n && pos.(hp.(r)) < pos.(hp.(!m)) then m := r;
+    if !m = !i then continue := false
+    else begin
+      let t = hp.(!m) in
+      hp.(!m) <- hp.(!i);
+      hp.(!i) <- t;
+      i := !m
+    end
+  done;
+  top
+
+(* Eliminate the exposed row spike of row [it] (now at the last
+   position) against the diagonal rows of its entries, in position
+   order. [rsp]/[rin] hold the spike by slot and the matching slots sit
+   in the heap; both are left clean. Appends the eliminations as one row
+   op (they compose exactly: the pivot rows used are never themselves
+   modified) and returns the new diagonal [sdiag - sum m_k * scol r_k],
+   where [scol] reads the spike column being installed at the last
+   position. *)
+let eliminate_row_spike core it sdiag scol =
+  let m_idx = ref [] and m_val = ref [] and n_m = ref 0 in
+  let d = ref sdiag in
+  while core.hp_n > 0 do
+    let q = heap_pop core in
+    if core.rin.(q) then begin
+      core.rin.(q) <- false;
+      let v = core.rsp.(q) in
+      core.rsp.(q) <- 0.0;
+      if Float.abs v > eta_drop then begin
+        let rq = core.row_of_pos.(core.pos_of_slot.(q)) in
+        let m = v /. core.udiag.(q) in
+        m_idx := rq :: !m_idx;
+        m_val := m :: !m_val;
+        incr n_m;
+        d := !d -. (m *. scol rq);
+        let ri = core.ur_idx.(rq) and rv = core.ur_val.(rq) in
+        for k = 0 to core.ur_len.(rq) - 1 do
+          let q' = ri.(k) in
+          core.rsp.(q') <- core.rsp.(q') -. (m *. rv.(k));
+          if not core.rin.(q') then begin
+            core.rin.(q') <- true;
+            heap_push core q'
+          end
+        done
+      end
+    end
+  done;
+  if !n_m > 0 then begin
+    push_eta core
+      {
+        col = false;
+        r = it;
+        pr = 1.0;
+        idx = Array.of_list !m_idx;
+        v = Array.of_list !m_val;
+      };
+    Obs.incr c_drift
+  end;
+  !d
+
+(* Forrest–Tomlin update: the basic column at row/slot [rr] is being
+   replaced by the column whose op-file transform (spike) the last FTRAN
+   saved in [core.spike]. Deletes U's old column [rr] and its diagonal
+   row, shifts both permutations cyclically so [rr] lands at the last
+   position, eliminates the exposed row spike (one appended row op), and
+   installs the saved spike as U's new last column. Returns [false] when
+   the new diagonal collapses below [lu_dtol] — U is then stale and the
+   caller must refactorize. *)
+let lu_update core rr =
+  let n = core.nrows in
+  let sp = core.spike in
+  let p_out = core.pos_of_slot.(rr) in
+  let it = core.row_of_pos.(p_out) in
+  (* Delete U's column [rr] (its entries live above the diagonal). *)
+  for k = 0 to core.uc_len.(rr) - 1 do
+    ur_remove core core.uc_idx.(rr).(k) rr
+  done;
+  core.uc_len.(rr) <- 0;
+  (* Gather row [it] as the row spike and delete it from U. *)
+  let rlen = core.ur_len.(it) in
+  for k = 0 to rlen - 1 do
+    let s = core.ur_idx.(it).(k) in
+    core.rsp.(s) <- core.ur_val.(it).(k);
+    core.rin.(s) <- true;
+    uc_remove core s it
+  done;
+  core.u_nnz <- core.u_nnz - rlen;
+  core.ur_len.(it) <- 0;
+  (* Cyclic shift: positions after [p_out] slide down; [it]/[rr] last. *)
+  for p = p_out to n - 2 do
+    let r' = core.row_of_pos.(p + 1) in
+    core.row_of_pos.(p) <- r';
+    core.pos_of_row.(r') <- p;
+    let s' = core.slot_of_pos.(p + 1) in
+    core.slot_of_pos.(p) <- s';
+    core.pos_of_slot.(s') <- p
+  done;
+  core.row_of_pos.(n - 1) <- it;
+  core.pos_of_row.(it) <- n - 1;
+  core.slot_of_pos.(n - 1) <- rr;
+  core.pos_of_slot.(rr) <- n - 1;
+  (* Heap-load the spike slots (positions are now final) and eliminate. *)
+  core.hp_n <- 0;
+  for s = 0 to n - 1 do
+    if core.rin.(s) then heap_push core s
+  done;
+  let d = eliminate_row_spike core it sp.(it) (fun r' -> sp.(r')) in
+  if Float.abs d <= lu_dtol then false
+  else begin
+    core.udiag.(rr) <- d;
+    for r' = 0 to n - 1 do
+      if r' <> it && Float.abs sp.(r') > eta_drop then begin
+        ur_push core r' rr sp.(r');
+        uc_push core rr r' sp.(r')
+      end
+    done;
+    core.n_updates <- core.n_updates + 1;
+    Obs.set g_fill (float_of_int (core.u_nnz + core.nrows + core.eta_nnz));
+    true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Columns, values, reduced costs                                      *)
@@ -350,19 +755,17 @@ let recompute_xb core =
   Array.blit v 0 core.xb 0 core.nrows
 
 (* ------------------------------------------------------------------ *)
-(* Refactorization: rebuild the eta file from scratch                   *)
+(* Refactorization: rebuild the basis representation from scratch       *)
 (* ------------------------------------------------------------------ *)
 
-(* Re-enter the basic columns into an identity basis one at a time,
-   sparsest first, claiming for each the unclaimed row with the largest
-   FTRANed magnitude (partial pivoting restricted to free rows). Rows
-   whose basic column is their own slack are trivial and claim
+(* Eta mode: re-enter the basic columns into an identity basis one at a
+   time, sparsest first, claiming for each the unclaimed row with the
+   largest FTRANed magnitude (partial pivoting restricted to free rows).
+   Rows whose basic column is their own slack are trivial and claim
    themselves. Returns [false] when no acceptable pivot remains — the
    caller rebuilds cold. Also recomputes [xb], so refactorization doubles
    as drift repair. *)
-let refactor core =
-  Obs.incr c_refactors;
-  core.n_refactors <- core.n_refactors + 1;
+let eta_refactor core =
   core.n_etas <- 0;
   core.eta_nnz <- 0;
   let claimed = Array.make core.nrows false in
@@ -405,12 +808,293 @@ let refactor core =
   if !ok then recompute_xb core;
   !ok
 
+(* LU mode: Markowitz-ordered sparse LU of the current basis matrix
+   (column [basis.(s)] at slot [s]), rebuilding the op file (the Gauss
+   column ops of each pivot) and the explicit U from scratch. Pivots
+   minimize the fill score (rcount-1)(ccount-1) over the candidate rows
+   of the few cheapest active columns, restricted to entries within
+   [lu_mtol] of their column's magnitude max. The working submatrix
+   keeps exact column counts and lazily validated candidate row lists;
+   active rows only ever hold entries in active columns. Returns
+   [false] on a numerically singular basis — the caller rebuilds cold.
+   Recomputes [xb] on success, so refactorization doubles as drift
+   repair. Unlike [eta_refactor] it never reassigns basic columns to
+   different rows: the row permutation lives inside U. *)
+let lu_refactor core =
+  let n = core.nrows in
+  core.n_etas <- 0;
+  core.eta_nnz <- 0;
+  let r_idx = Array.make (max 1 n) [||] in
+  let r_val = Array.make (max 1 n) [||] in
+  let r_len = Array.make (max 1 n) 0 in
+  let ccount = Array.make (max 1 n) 0 in
+  let col_rows = Array.make (max 1 n) [||] in
+  let col_n = Array.make (max 1 n) 0 in
+  let active_row = Array.make (max 1 n) true in
+  let active_col = Array.make (max 1 n) true in
+  let push_entry r s v =
+    let k = r_len.(r) in
+    if Array.length r_idx.(r) <= k then begin
+      r_idx.(r) <- grow_i r_idx.(r) (k + 1) 0;
+      r_val.(r) <- grow_f r_val.(r) (k + 1)
+    end;
+    r_idx.(r).(k) <- s;
+    r_val.(r).(k) <- v;
+    r_len.(r) <- k + 1
+  in
+  let col_push s r =
+    let k = col_n.(s) in
+    if Array.length col_rows.(s) <= k then col_rows.(s) <- grow_i col_rows.(s) (k + 1) 0;
+    col_rows.(s).(k) <- r;
+    col_n.(s) <- k + 1
+  in
+  for s = 0 to n - 1 do
+    let c = core.basis.(s) in
+    if c < core.ns then
+      for k = 0 to core.clen.(c) - 1 do
+        let r = core.cr.(c).(k) in
+        push_entry r s core.cv.(c).(k);
+        ccount.(s) <- ccount.(s) + 1;
+        col_push s r
+      done
+    else begin
+      let r = c - core.ns in
+      push_entry r s 1.0;
+      ccount.(s) <- 1;
+      col_push s r
+    end
+  done;
+  (* Row value at a slot (linear scan — rows stay short). *)
+  let entry_of r s =
+    let v = ref 0.0 in
+    for k = 0 to r_len.(r) - 1 do
+      if r_idx.(r).(k) = s then v := r_val.(r).(k)
+    done;
+    !v
+  in
+  let rsp = core.rsp and rin = core.rin in
+  let ok = ref true in
+  let step = ref 0 in
+  while !ok && !step < n do
+    (* The few cheapest active columns by exact count. *)
+    let cand = Array.make 4 (-1) in
+    let n_cand = ref 0 in
+    for s = 0 to n - 1 do
+      if active_col.(s) then
+        if !n_cand < 4 then begin
+          cand.(!n_cand) <- s;
+          incr n_cand;
+          (* keep the worst candidate last *)
+          for i = !n_cand - 1 downto 1 do
+            if ccount.(cand.(i)) < ccount.(cand.(i - 1)) then begin
+              let t = cand.(i) in
+              cand.(i) <- cand.(i - 1);
+              cand.(i - 1) <- t
+            end
+          done
+        end
+        else if ccount.(s) < ccount.(cand.(3)) then begin
+          cand.(3) <- s;
+          for i = 3 downto 1 do
+            if ccount.(cand.(i)) < ccount.(cand.(i - 1)) then begin
+              let t = cand.(i) in
+              cand.(i) <- cand.(i - 1);
+              cand.(i - 1) <- t
+            end
+          done
+        end
+    done;
+    let best_r = ref (-1) and best_s = ref (-1) and best_score = ref max_int in
+    let best_mag = ref 0.0 in
+    for ci = 0 to !n_cand - 1 do
+      let s = cand.(ci) in
+      (* Validate and compact the candidate rows, find the column max. *)
+      let w = ref 0 and colmax = ref 0.0 in
+      for k = 0 to col_n.(s) - 1 do
+        let r = col_rows.(s).(k) in
+        if active_row.(r) then begin
+          let v = entry_of r s in
+          if v <> 0.0 then begin
+            (* drop duplicates from re-fills *)
+            let dup = ref false in
+            for i = 0 to !w - 1 do
+              if col_rows.(s).(i) = r then dup := true
+            done;
+            if not !dup then begin
+              col_rows.(s).(!w) <- r;
+              incr w;
+              if Float.abs v > !colmax then colmax := Float.abs v
+            end
+          end
+        end
+      done;
+      col_n.(s) <- !w;
+      if !colmax > lu_dtol then
+        for k = 0 to !w - 1 do
+          let r = col_rows.(s).(k) in
+          let v = Float.abs (entry_of r s) in
+          if v >= lu_mtol *. !colmax then begin
+            let score = (r_len.(r) - 1) * (!w - 1) in
+            if
+              score < !best_score
+              || (score = !best_score && v > !best_mag)
+            then begin
+              best_score := score;
+              best_mag := v;
+              best_r := r;
+              best_s := s
+            end
+          end
+        done
+    done;
+    if !best_r < 0 then ok := false
+    else begin
+      let r = !best_r and s = !best_s in
+      let piv = entry_of r s in
+      (* Eliminate column [s] from the other rows holding it. *)
+      let m_idx = ref [] and m_val = ref [] and n_m = ref 0 in
+      for k = 0 to col_n.(s) - 1 do
+        let r' = col_rows.(s).(k) in
+        if r' <> r && active_row.(r') then begin
+          (* load row r' *)
+          for i = 0 to r_len.(r') - 1 do
+            rsp.(r_idx.(r').(i)) <- r_val.(r').(i);
+            rin.(r_idx.(r').(i)) <- true
+          done;
+          let m = rsp.(s) /. piv in
+          rin.(s) <- false;
+          rsp.(s) <- 0.0;
+          m_idx := r' :: !m_idx;
+          m_val := m :: !m_val;
+          incr n_m;
+          (* subtract m * (pivot row minus the pivot slot) *)
+          let fills = ref [] in
+          for i = 0 to r_len.(r) - 1 do
+            let s' = r_idx.(r).(i) in
+            if s' <> s then
+              if rin.(s') then rsp.(s') <- rsp.(s') -. (m *. r_val.(r).(i))
+              else begin
+                rin.(s') <- true;
+                rsp.(s') <- -.(m *. r_val.(r).(i));
+                fills := s' :: !fills
+              end
+          done;
+          (* rebuild row r': old entries first, then fills *)
+          let old_len = r_len.(r') in
+          let wlen = ref 0 in
+          let keep s' v =
+            if Array.length r_idx.(r') <= !wlen then begin
+              r_idx.(r') <- grow_i r_idx.(r') (!wlen + 1) 0;
+              r_val.(r') <- grow_f r_val.(r') (!wlen + 1)
+            end;
+            r_idx.(r').(!wlen) <- s';
+            r_val.(r').(!wlen) <- v;
+            incr wlen
+          in
+          let old_idx = Array.sub r_idx.(r') 0 old_len in
+          Array.iter
+            (fun s' ->
+              if rin.(s') then begin
+                rin.(s') <- false;
+                let v = rsp.(s') in
+                rsp.(s') <- 0.0;
+                if Float.abs v > eta_drop then keep s' v
+                else ccount.(s') <- ccount.(s') - 1 (* cancelled *)
+              end)
+            old_idx;
+          List.iter
+            (fun s' ->
+              if rin.(s') then begin
+                rin.(s') <- false;
+                let v = rsp.(s') in
+                rsp.(s') <- 0.0;
+                if Float.abs v > eta_drop then begin
+                  keep s' v;
+                  ccount.(s') <- ccount.(s') + 1;
+                  col_push s' r'
+                end
+              end)
+            !fills;
+          r_len.(r') <- !wlen
+        end
+      done;
+      (* the eliminated entries leave column s *)
+      ccount.(s) <- 1;
+      if !n_m > 0 then
+        push_eta core
+          {
+            col = true;
+            r;
+            pr = 1.0;
+            idx = Array.of_list !m_idx;
+            v = Array.of_list !m_val;
+          };
+      (* retire the pivot row and column *)
+      active_row.(r) <- false;
+      active_col.(s) <- false;
+      core.row_of_pos.(!step) <- r;
+      core.pos_of_row.(r) <- !step;
+      core.slot_of_pos.(!step) <- s;
+      core.pos_of_slot.(s) <- !step;
+      core.udiag.(s) <- piv;
+      for i = 0 to r_len.(r) - 1 do
+        let s' = r_idx.(r).(i) in
+        if s' <> s then ccount.(s') <- ccount.(s') - 1
+      done;
+      incr step
+    end
+  done;
+  if !ok then begin
+    (* Install U from the retired rows: everything but each row's own
+       diagonal sits strictly right of it in position order. *)
+    Array.fill core.ur_len 0 n 0;
+    Array.fill core.uc_len 0 n 0;
+    core.u_nnz <- 0;
+    for r = 0 to n - 1 do
+      let sd = core.slot_of_pos.(core.pos_of_row.(r)) in
+      for k = 0 to r_len.(r) - 1 do
+        let s' = r_idx.(r).(k) in
+        if s' <> sd then begin
+          ur_push core r s' r_val.(r).(k);
+          uc_push core s' r r_val.(r).(k)
+        end
+      done
+    done;
+    core.base_etas <- core.n_etas;
+    core.base_nnz <- core.eta_nnz;
+    Obs.set g_fill (float_of_int (core.u_nnz + n + core.eta_nnz));
+    recompute_xb core;
+    true
+  end
+  else false
+
+let refactor core =
+  Obs.incr c_refactors;
+  core.n_refactors <- core.n_refactors + 1;
+  match core.mode with Lu -> lu_refactor core | Eta -> eta_refactor core
+
 let maybe_refactor core =
+  let cap =
+    match core.mode with
+    | Lu -> max lu_updates (core.nrows / 4)
+    | Eta -> refactor_etas
+  in
   if
-    core.n_etas - core.base_etas >= refactor_etas
+    core.n_etas - core.base_etas >= cap
     || core.eta_nnz - core.base_nnz > 24 * (core.nrows + 8)
   then refactor core
   else true
+
+(* Record a basis change (entering column FTRANed into [w], now basic at
+   row [r]) in the representation, then apply the refactorization
+   policy. Returns [false] when the representation could not be
+   repaired; the caller stalls into the cold-rebuild chain. *)
+let basis_pivot core r w =
+  match core.mode with
+  | Eta ->
+      push_col_eta core r w;
+      maybe_refactor core
+  | Lu -> if lu_update core r then maybe_refactor core else refactor core
 
 (* ------------------------------------------------------------------ *)
 (* Feasibility bookkeeping                                             *)
@@ -437,6 +1121,40 @@ let max_violation core =
   done;
   (!row, !amt, !below)
 
+(* alpha_j = rho . A_j for every column touched by the rows where rho is
+   nonzero: a CSR sweep plus the implicit slack units. Results land in
+   [acc]; [touched] lists the columns to reset afterwards. Shared by the
+   dual ratio test and the primal Devex weight propagation (both need a
+   full tableau row). *)
+let dual_sweep core rho =
+  core.n_touched <- 0;
+  let touch j x =
+    if not core.acc_touched.(j) then begin
+      core.acc_touched.(j) <- true;
+      core.acc.(j) <- x;
+      core.touched.(core.n_touched) <- j;
+      core.n_touched <- core.n_touched + 1
+    end
+    else core.acc.(j) <- core.acc.(j) +. x
+  in
+  for r = 0 to core.nrows - 1 do
+    let x = rho.(r) in
+    if Float.abs x > 1e-13 then begin
+      touch (core.ns + r) x;
+      for k = core.row_ptr.(r) to core.row_ptr.(r + 1) - 1 do
+        touch core.rc.(k) (x *. core.rv.(k))
+      done
+    end
+  done
+
+let clear_sweep core =
+  for k = 0 to core.n_touched - 1 do
+    let j = core.touched.(k) in
+    core.acc.(j) <- 0.0;
+    core.acc_touched.(j) <- false
+  done;
+  core.n_touched <- 0
+
 (* ------------------------------------------------------------------ *)
 (* Pricing                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -461,7 +1179,9 @@ let candidate core ~phase1 y j =
     else None
   end
 
-(* Partial pricing: rotate through column sections starting at
+(* Entering-column choice. Devex: full scan maximizing d^2 / gamma_j
+   over the reference-framework weights (an approximate projected
+   steepest edge). Partial: rotate through column sections starting at
    [price_ptr], stop at the end of the first section containing a
    candidate (largest |d| within it). Bland mode scans everything and
    takes the least index. *)
@@ -479,6 +1199,20 @@ let pick_entering core ~phase1 y =
        done
      with Exit -> ());
     !found
+  end
+  else if core.price = Lp_intf.Devex then begin
+    let best = ref None and bests = ref 0.0 in
+    for j = 0 to n - 1 do
+      match candidate core ~phase1 y j with
+      | Some (dir, mag) ->
+          let s = mag *. mag /. core.dwc.(j) in
+          if s > !bests then begin
+            best := Some (j, dir);
+            bests := s
+          end
+      | None -> ()
+    done;
+    !best
   end
   else begin
     let section = max 64 (n / 8) in
@@ -507,6 +1241,64 @@ let pick_entering core ~phase1 y =
 (* ------------------------------------------------------------------ *)
 (* Primal simplex (phase 2, and composite phase 1)                      *)
 (* ------------------------------------------------------------------ *)
+
+(* Devex weight propagation after a primal pivot (entering [j], leaving
+   row [r], FTRANed entering column [w], alpha = w.(r)): for every
+   nonbasic column of the pivot row, gamma_j' <- max(gamma_j',
+   (alpha_j'/alpha)^2 gamma_j), and the leaving column restarts at
+   max(1, gamma_j/alpha^2). Computing the pivot row costs one BTRAN plus
+   a CSR sweep — the Devex surcharge per pivot. Must run before the
+   basis arrays mutate. Weights above [devex_reset] re-anchor the whole
+   reference framework. *)
+let devex_primal_update core j r w =
+  let aq = w.(r) in
+  if Float.abs aq > pivot_tol then begin
+    let gq = core.dwc.(j) in
+    let rho = core.rho in
+    Array.fill rho 0 core.nrows 0.0;
+    rho.(r) <- 1.0;
+    btran core rho;
+    dual_sweep core rho;
+    let mx = ref 1.0 in
+    for k = 0 to core.n_touched - 1 do
+      let j' = core.touched.(k) in
+      if j' <> j && core.bpos.(j') < 0 then begin
+        let a = core.acc.(j') /. aq in
+        let cand = a *. a *. gq in
+        if cand > core.dwc.(j') then core.dwc.(j') <- cand;
+        if core.dwc.(j') > !mx then mx := core.dwc.(j')
+      end
+    done;
+    clear_sweep core;
+    let lv = core.basis.(r) in
+    core.dwc.(lv) <- Float.max 1.0 (gq /. (aq *. aq));
+    if Float.max !mx core.dwc.(lv) > devex_reset then
+      Array.fill core.dwc 0 (Array.length core.dwc) 1.0
+  end
+
+(* Dual Devex (Forrest–Goldfarb) weight propagation after a dual pivot
+   on row [r] with FTRANed entering column [w]: beta_i <- max(beta_i,
+   (w_i/w_r)^2 beta_r) and beta_r <- max(1, beta_r/w_r^2) — essentially
+   free, since [w] is already in hand. *)
+let devex_dual_update core r w =
+  let ar = w.(r) in
+  if Float.abs ar > pivot_tol then begin
+    let br = core.dwr.(r) in
+    let t = Float.max 1.0 (br /. (ar *. ar)) in
+    let mx = ref t in
+    for i = 0 to core.nrows - 1 do
+      if i <> r then begin
+        let wi = w.(i) in
+        if wi <> 0.0 then begin
+          let cand = wi /. ar *. (wi /. ar) *. br in
+          if cand > core.dwr.(i) then core.dwr.(i) <- cand
+        end;
+        if core.dwr.(i) > !mx then mx := core.dwr.(i)
+      end
+    done;
+    core.dwr.(r) <- t;
+    if !mx > devex_reset then Array.fill core.dwr 0 (Array.length core.dwr) 1.0
+  end
 
 let track_degeneracy core t =
   if t <= degen_tol then begin
@@ -578,18 +1370,18 @@ let primal_step core ~phase1 j dir =
     else begin
       let r = !leave_r in
       let vq = nb_val core j +. step in
+      if core.price = Lp_intf.Devex then devex_primal_update core j r w;
       let lv = core.basis.(r) in
       core.nb_up.(lv) <- !leave_up;
       core.bpos.(lv) <- -1;
       core.basis.(r) <- j;
       core.bpos.(j) <- r;
       core.xb.(r) <- vq;
-      push_col_eta core r w;
       core.n_pivots <- core.n_pivots + 1;
       Obs.incr c_pivots;
       Obs.incr c_primal;
       track_degeneracy core t;
-      if maybe_refactor core then `Step else `Stalled
+      if basis_pivot core r w then `Step else `Stalled
     end
   end
 
@@ -641,48 +1433,42 @@ let primal_loop core ~phase1 =
 (* Dual simplex                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* alpha_j = rho . A_j for every column touched by the rows where rho is
-   nonzero: a CSR sweep plus the implicit slack units. Results land in
-   [acc]; [touched] lists the columns to reset afterwards. *)
-let dual_sweep core rho =
-  core.n_touched <- 0;
-  let touch j x =
-    if not core.acc_touched.(j) then begin
-      core.acc_touched.(j) <- true;
-      core.acc.(j) <- x;
-      core.touched.(core.n_touched) <- j;
-      core.n_touched <- core.n_touched + 1
-    end
-    else core.acc.(j) <- core.acc.(j) +. x
-  in
-  for r = 0 to core.nrows - 1 do
-    let x = rho.(r) in
-    if Float.abs x > 1e-13 then begin
-      touch (core.ns + r) x;
-      for k = core.row_ptr.(r) to core.row_ptr.(r + 1) - 1 do
-        touch core.rc.(k) (x *. core.rv.(k))
-      done
-    end
-  done
-
-let clear_sweep core =
-  for k = 0 to core.n_touched - 1 do
-    let j = core.touched.(k) in
-    core.acc.(j) <- 0.0;
-    core.acc_touched.(j) <- false
-  done;
-  core.n_touched <- 0
-
 (* Dual simplex: drive the most-violated basic to its bound, entering
    the column with the best (smallest) dual ratio. The no-candidate
    verdict is a sound infeasibility certificate independent of dual
    feasibility: the leaving row's equation already maximizes (minimizes)
    the basic value over the nonbasic boxes. *)
+(* Leaving-row choice for the dual simplex: the most violated row under
+   partial pricing, the largest violation^2 / weight under dual Devex
+   (Forrest–Goldfarb). *)
+let pick_leaving core =
+  match core.price with
+  | Lp_intf.Partial -> max_violation core
+  | Lp_intf.Devex ->
+      let row = ref (-1) and amt = ref feas_tol and below = ref false in
+      let bests = ref 0.0 in
+      for r = 0 to core.nrows - 1 do
+        let c = core.basis.(r) in
+        let v = core.xb.(r) in
+        let d_lo = core.lo.(c) -. v and d_up = v -. core.up.(c) in
+        let a = Float.max d_lo d_up in
+        if a > feas_tol then begin
+          let s = a *. a /. core.dwr.(r) in
+          if !row < 0 || s > !bests then begin
+            bests := s;
+            row := r;
+            amt := a;
+            below := d_lo >= d_up
+          end
+        end
+      done;
+      (!row, !amt, !below)
+
 let dual_loop core =
   let max_iter = 500 + (20 * (core.nrows + ncols core)) in
   let iter = ref 0 in
   let rec go retried =
-    let r, _amt, below = max_violation core in
+    let r, _amt, below = pick_leaving core in
     if r < 0 then `Feasible
     else if !iter > max_iter then `Stalled
     else begin
@@ -760,28 +1546,29 @@ let dual_loop core =
           if Float.abs (w.(r) -. alpha_q) > 1e-6 *. Float.max 1.0 (Float.abs alpha_q)
              || Float.abs w.(r) <= pivot_tol
           then
-            (* FTRAN and BTRAN disagree on the pivot element: the eta
-               file has drifted. Refactorize once and retry the row. *)
+            (* FTRAN and BTRAN disagree on the pivot element: the
+               representation has drifted. Refactorize once and retry
+               the row. *)
             if retried then `Stalled
-            else if (Obs.incr c_drift; refactor core) then go true
+            else if refactor core then go true
             else `Stalled
           else begin
             let vq = nb_val core j +. dq in
             for i = 0 to core.nrows - 1 do
               core.xb.(i) <- core.xb.(i) -. (dq *. w.(i))
             done;
+            if core.price = Lp_intf.Devex then devex_dual_update core r w;
             let lv = core.basis.(r) in
             core.nb_up.(lv) <- not below;
             core.bpos.(lv) <- -1;
             core.basis.(r) <- j;
             core.bpos.(j) <- r;
             core.xb.(r) <- vq;
-            push_col_eta core r w;
             core.n_pivots <- core.n_pivots + 1;
             Obs.incr c_pivots;
             Obs.incr c_dual;
             track_degeneracy core (Float.abs dq);
-            if maybe_refactor core then go false else `Stalled
+            if basis_pivot core r w then go false else `Stalled
           end
         end
       end
@@ -862,6 +1649,8 @@ let alloc_core prob rows =
   done;
   let core =
     {
+      mode = !basis_mode;
+      price = !pricing_mode;
       ns;
       nrows;
       row_ptr;
@@ -884,6 +1673,28 @@ let alloc_core prob rows =
       eta_nnz = 0;
       base_etas = 0;
       base_nnz = 0;
+      (* the all-slack origin basis is exactly the identity: U = I *)
+      udiag = Array.make (max 1 nrows) 1.0;
+      ur_idx = Array.make (max 1 nrows) [||];
+      ur_val = Array.make (max 1 nrows) [||];
+      ur_len = Array.make (max 1 nrows) 0;
+      uc_idx = Array.make (max 1 nrows) [||];
+      uc_val = Array.make (max 1 nrows) [||];
+      uc_len = Array.make (max 1 nrows) 0;
+      u_nnz = 0;
+      row_of_pos = Array.init (max 1 nrows) (fun i -> i);
+      pos_of_row = Array.init (max 1 nrows) (fun i -> i);
+      slot_of_pos = Array.init (max 1 nrows) (fun i -> i);
+      pos_of_slot = Array.init (max 1 nrows) (fun i -> i);
+      n_updates = 0;
+      spike = Array.make (max 1 nrows) 0.0;
+      fx = Array.make (max 1 nrows) 0.0;
+      rsp = Array.make (max 1 nrows) 0.0;
+      rin = Array.make (max 1 nrows) false;
+      hp = Array.make (max 1 nrows) 0;
+      hp_n = 0;
+      dwc = Array.make (max 1 nc) 1.0;
+      dwr = Array.make (max 1 nrows) 1.0;
       wk = Array.make (max 1 nrows) 0.0;
       rho = Array.make (max 1 nrows) 0.0;
       yv = Array.make (max 1 nrows) 0.0;
@@ -949,8 +1760,20 @@ let crash_hint core hint =
           core.bpos.(lv) <- -1;
           core.basis.(r) <- j;
           core.bpos.(j) <- r;
-          push_col_eta core r w;
-          crashed := true
+          (match core.mode with
+          | Eta ->
+              push_col_eta core r w;
+              crashed := true
+          | Lu ->
+              if lu_update core r then crashed := true
+              else begin
+                (* a failed update leaves U stale: revert the crash
+                   pivot and refactorize the previous (valid) basis *)
+                core.basis.(r) <- lv;
+                core.bpos.(lv) <- r;
+                core.bpos.(j) <- -1;
+                ignore (refactor core)
+              end)
         end
       end)
     hint;
@@ -1043,21 +1866,69 @@ let append_row core (c : constr) =
   core.bpos.(sj) <- r;
   core.xb.(r) <- !v;
   core.nrows <- r + 1;
-  if !eta_n > 0 then
-    push_eta core
-      {
-        col = false;
-        r;
-        pr = 1.0;
-        idx = Array.of_list (List.rev !eta_idx);
-        v = Array.of_list (List.rev !eta_v);
-      };
   core.wk <- grow_f core.wk core.nrows;
   core.rho <- grow_f core.rho core.nrows;
   core.yv <- grow_f core.yv core.nrows;
   core.acc <- grow_f core.acc nc;
   core.acc_touched <- grow_b core.acc_touched nc;
   core.touched <- grow_i core.touched nc 0;
+  core.spike <- grow_f core.spike core.nrows;
+  core.fx <- grow_f core.fx core.nrows;
+  core.rsp <- grow_f core.rsp core.nrows;
+  core.rin <- grow_b core.rin core.nrows;
+  core.hp <- grow_i core.hp core.nrows 0;
+  core.dwc <- grow_f core.dwc nc;
+  core.dwc.(sj) <- 1.0;
+  core.dwr <- grow_f core.dwr core.nrows;
+  core.dwr.(r) <- 1.0;
+  (match core.mode with
+  | Eta ->
+      if !eta_n > 0 then
+        push_eta core
+          {
+            col = false;
+            r;
+            pr = 1.0;
+            idx = Array.of_list (List.rev !eta_idx);
+            v = Array.of_list (List.rev !eta_v);
+          }
+  | Lu ->
+      (* The appended unit slack column is untouched by the op file, so
+         U gains a unit last column and one new row — the constraint's
+         coefficients on the old basic columns, by slot (slot = basic
+         row = the positions collected in [eta_idx]). Eliminate that row
+         spike exactly like a Forrest–Tomlin update whose spike column
+         is e_r: the new diagonal is exactly 1.0. *)
+      core.udiag <- grow_f core.udiag core.nrows;
+      core.ur_idx <- grow_any core.ur_idx core.nrows [||];
+      core.ur_val <- grow_any core.ur_val core.nrows [||];
+      core.ur_len <- grow_i core.ur_len core.nrows 0;
+      core.uc_idx <- grow_any core.uc_idx core.nrows [||];
+      core.uc_val <- grow_any core.uc_val core.nrows [||];
+      core.uc_len <- grow_i core.uc_len core.nrows 0;
+      core.row_of_pos <- grow_i core.row_of_pos core.nrows 0;
+      core.pos_of_row <- grow_i core.pos_of_row core.nrows 0;
+      core.slot_of_pos <- grow_i core.slot_of_pos core.nrows 0;
+      core.pos_of_slot <- grow_i core.pos_of_slot core.nrows 0;
+      core.ur_idx.(r) <- [||];
+      core.ur_val.(r) <- [||];
+      core.ur_len.(r) <- 0;
+      core.uc_idx.(r) <- [||];
+      core.uc_val.(r) <- [||];
+      core.uc_len.(r) <- 0;
+      core.row_of_pos.(r) <- r;
+      core.pos_of_row.(r) <- r;
+      core.slot_of_pos.(r) <- r;
+      core.pos_of_slot.(r) <- r;
+      core.hp_n <- 0;
+      List.iter2
+        (fun p a ->
+          core.rsp.(p) <- a;
+          core.rin.(p) <- true;
+          heap_push core p)
+        !eta_idx !eta_v;
+      core.udiag.(r) <- eliminate_row_spike core r 1.0 (fun _ -> 0.0);
+      Obs.set g_fill (float_of_int (core.u_nnz + core.nrows + core.eta_nnz)));
   !v >= slo -. feas_tol && !v <= sup +. feas_tol
 
 (* ------------------------------------------------------------------ *)
@@ -1065,12 +1936,13 @@ let append_row core (c : constr) =
 (* ------------------------------------------------------------------ *)
 
 type state = {
-  prob : problem;
+  mutable prob : problem; (* rebound in place by [patch] *)
   mutable added : constr list; (* newest first *)
   mutable core : core option;
   mutable deleg : Simplex_float.state option;
   mutable base_pivots : int; (* pivots of abandoned cores *)
   mutable base_refactors : int;
+  mutable base_updates : int;
   mutable last : outcome;
 }
 
@@ -1081,6 +1953,20 @@ let pivots st =
 
 let refactors st =
   st.base_refactors + match st.core with Some c -> c.n_refactors | None -> 0
+
+let updates st =
+  st.base_updates + match st.core with Some c -> c.n_updates | None -> 0
+
+(* Basis-representation nonzeros right now: U (off-diagonals plus the
+   diagonal) plus the op file in LU mode, the eta file alone in eta
+   mode. 0 once the state has delegated to the dense kernel. *)
+let fill_nnz st =
+  match st.core with
+  | Some c -> (
+      match c.mode with
+      | Lu -> c.u_nnz + c.nrows + c.eta_nnz
+      | Eta -> c.eta_nnz)
+  | None -> 0
 
 (* Delegation to the dense kernel: the structural problem types are
    field-for-field identical, only nominally distinct. *)
@@ -1118,7 +2004,8 @@ let delegate st =
   (match st.core with
   | Some c ->
       st.base_pivots <- st.base_pivots + c.n_pivots;
-      st.base_refactors <- st.base_refactors + c.n_refactors
+      st.base_refactors <- st.base_refactors + c.n_refactors;
+      st.base_updates <- st.base_updates + c.n_updates
   | None -> ());
   st.core <- None;
   let d, out =
@@ -1137,18 +2024,23 @@ let build_state ?(hint = []) prob =
       deleg = None;
       base_pivots = 0;
       base_refactors = 0;
+      base_updates = 0;
       last = Infeasible;
     }
   in
-  let core = alloc_core prob prob.constraints in
-  (match solve_core core prob ~hint with
-  | `Done out ->
-      st.core <- Some core;
-      st.last <- out
-  | `Fail ->
-      st.base_pivots <- core.n_pivots;
-      st.base_refactors <- core.n_refactors;
-      ignore (delegate st));
+  metered
+    ~piv:(fun () -> pivots st)
+    (fun () ->
+      let core = alloc_core prob prob.constraints in
+      match solve_core core prob ~hint with
+      | `Done out ->
+          st.core <- Some core;
+          st.last <- out
+      | `Fail ->
+          st.base_pivots <- core.n_pivots;
+          st.base_refactors <- core.n_refactors;
+          st.base_updates <- core.n_updates;
+          ignore (delegate st));
   (st, st.last)
 
 let cold_rebuild st =
@@ -1156,7 +2048,8 @@ let cold_rebuild st =
   (match st.core with
   | Some c ->
       st.base_pivots <- st.base_pivots + c.n_pivots;
-      st.base_refactors <- st.base_refactors + c.n_refactors
+      st.base_refactors <- st.base_refactors + c.n_refactors;
+      st.base_updates <- st.base_updates + c.n_updates
   | None -> ());
   st.core <- None;
   let prob = st.prob in
@@ -1169,6 +2062,7 @@ let cold_rebuild st =
   | `Fail ->
       st.base_pivots <- st.base_pivots + core.n_pivots;
       st.base_refactors <- st.base_refactors + core.n_refactors;
+      st.base_updates <- st.base_updates + core.n_updates;
       delegate st
 
 let solve_incremental prob =
@@ -1200,6 +2094,7 @@ let add_constraint st (c : constr) =
     c.coeffs;
   check_constr ~what c;
   st.added <- c :: st.added;
+  metered ~piv:(fun () -> pivots st) @@ fun () ->
   match st.deleg with
   | Some d ->
       st.last <- of_dense_outcome (Simplex_float.add_constraint d (to_dense_constr c));
@@ -1229,3 +2124,112 @@ let add_constraint st (c : constr) =
                 st.last
             | `Stalled -> cold_rebuild st
           end)
+
+(* ------------------------------------------------------------------ *)
+(* In-place re-bind of a structurally identical problem               *)
+(* ------------------------------------------------------------------ *)
+
+(* [patch st p'] rebinds [st] to [p'] without rebuilding anything when
+   [p'] has the same variables and the same constraint matrix (count,
+   canonical coefficients and relations are checked entry-for-entry
+   against the live CSR) — only objective, bounds and right-hand sides
+   may differ. On a match the core keeps its basis, factorization,
+   Devex weights and pricing state: the new numbers are patched into
+   the arrays, [xb] is recomputed through the existing factors, and the
+   dual simplex re-optimizes from the retained basis (numerical trouble
+   falls through the usual cold-rebuild -> dense-delegate chain
+   internally, never to the caller). Returns [None] only on a
+   structural mismatch, in which case [st] is untouched and the caller
+   must build a fresh state. *)
+let patch st (p' : problem) =
+  if p'.n_vars <> st.prob.n_vars then None
+  else
+    metered ~piv:(fun () -> pivots st) @@ fun () ->
+    match st.deleg with
+    | Some d -> (
+        match Simplex_float.patch d (to_dense_problem p' []) with
+        | Some out ->
+            Obs.incr c_patches;
+            st.prob <- p';
+            st.added <- [];
+            st.last <- of_dense_outcome out;
+            Some st.last
+        | None -> None)
+    | None -> (
+        match st.core with
+        | None -> None
+        | Some core ->
+            let cs' = p'.constraints in
+            if List.length cs' <> core.nrows then None
+            else begin
+              let ok = ref true in
+              List.iteri
+                (fun r (c : constr) ->
+                  if !ok then begin
+                    let cs = canon_coeffs c.coeffs in
+                    let k0 = core.row_ptr.(r) and k1 = core.row_ptr.(r + 1) in
+                    let k = ref k0 in
+                    List.iter
+                      (fun (j, a) ->
+                        if !k >= k1 || core.rc.(!k) <> j || core.rv.(!k) <> a then
+                          ok := false;
+                        incr k)
+                      cs;
+                    if !k <> k1 then ok := false;
+                    let slo, sup = slack_bounds c.relation in
+                    if core.lo.(core.ns + r) <> slo || core.up.(core.ns + r) <> sup
+                    then ok := false
+                  end)
+                cs';
+              if not !ok then None
+              else begin
+                Obs.incr c_patches;
+                st.prob <- p';
+                st.added <- [];
+                List.iteri (fun r (c : constr) -> core.b.(r) <- c.rhs) cs';
+                Array.fill core.cost 0 core.ns 0.0;
+                List.iter
+                  (fun (j, c) -> core.cost.(j) <- core.cost.(j) +. c)
+                  p'.minimize;
+                for j = 0 to core.ns - 1 do
+                  core.lo.(j) <-
+                    (match p'.lower.(j) with Some l -> l | None -> neg_infinity);
+                  core.up.(j) <-
+                    (match p'.upper.(j) with Some u -> u | None -> infinity);
+                  if core.up.(j) < core.lo.(j) then
+                    invalid_arg "Simplex: empty variable range (upper < lower)";
+                  if core.bpos.(j) < 0 then begin
+                    (* keep the resting side meaningful under the new box *)
+                    if core.nb_up.(j) && core.up.(j) = infinity then
+                      core.nb_up.(j) <- false;
+                    if
+                      (not core.nb_up.(j))
+                      && core.lo.(j) = neg_infinity
+                      && core.up.(j) < infinity
+                    then core.nb_up.(j) <- true
+                  end
+                done;
+                recompute_xb core;
+                let polish () =
+                  match primal_loop core ~phase1:false with
+                  | `Optimal ->
+                      st.last <- Optimal (extract core st.prob);
+                      st.last
+                  | `Unbounded ->
+                      st.last <- Unbounded;
+                      st.last
+                  | `Stalled | `Feasible | `Infeasible -> cold_rebuild st
+                in
+                let out =
+                  (* Unlike [add_constraint], the dual pass here may START
+                     dual infeasible (the basis was optimal for the old
+                     objective), so its [`Infeasible] verdict can be
+                     spurious — route it through the cold rebuild, which
+                     re-derives the true outcome from scratch. *)
+                  match dual_loop core with
+                  | `Feasible -> polish ()
+                  | `Infeasible | `Stalled -> cold_rebuild st
+                in
+                Some out
+              end
+            end)

@@ -7,11 +7,14 @@
     the dense kernel compiles general bounds away (shift / mirror / split
     plus an explicit row per upper bound) and pivots a dense tableau, this
     kernel keeps the bounds implicit — nonbasic variables rest at either
-    bound — and represents the basis inverse as a product-form eta file
-    over CSR/CSC constraint storage, so a pivot costs O(nnz) instead of
-    O(rows * cols). See DESIGN.md §8 for the data layout, the append-row
-    eta trick behind [add_constraint], the refactorization trigger, and
-    the regimes where the dense kernel still wins.
+    bound — and represents the basis inverse as a Markowitz-ordered sparse
+    LU factorization maintained by Forrest–Tomlin updates (default; a
+    product-form eta file survives as the selectable legacy engine) over
+    CSR/CSC constraint storage, so a pivot costs O(nnz) instead of
+    O(rows * cols). Pricing is reference-framework Devex by default, with
+    the original rotating partial pricing selectable via {!set_pricing}.
+    See DESIGN.md §8 for the shared data layout and §11 for the LU
+    factorization, the update-file growth policy, and Devex resets.
 
     The warm-start contract of {!Lp_intf.BACKEND} is genuinely
     incremental: [add_constraint] appends the row (its fresh slack basic),
@@ -22,6 +25,24 @@
     delivered, only the pivot count changes. The exact-rational functor
     simplex remains the correctness oracle; property tests cross-validate
     every verdict of this kernel against it and against the dense one. *)
+
+(** Basis-inverse representation. [Lu] (the default) is the sparse LU
+    factorization with Forrest–Tomlin updates; [Eta] is the legacy
+    product-form eta file, kept selectable so benches and differential
+    tests can compare the engines on identical instances. *)
+type basis_kind = Lu | Eta
+
+(** Process-wide engine selection, snapshotted per solver state at
+    creation — an in-flight solve never changes representation. *)
+val set_basis_kind : basis_kind -> unit
+
+val basis_kind : unit -> basis_kind
+
+(** Process-wide pricing-rule selection ({!Lp_intf.pricing}; default
+    [Devex]), snapshotted per solver state at creation. *)
+val set_pricing : Lp_intf.pricing -> unit
+
+val pricing : unit -> Lp_intf.pricing
 
 type num = float
 type relation = Leq | Geq | Eq
@@ -99,6 +120,27 @@ val solve_dual_incremental : ?hint:int list -> problem -> state * outcome
     the next adjacent solve's [?hint]. *)
 val basis_hint : state -> int list
 
-(** Eta-file refactorizations performed on this state (also accumulated
+(** Basis refactorizations performed on this state (also accumulated
     process-wide under the [lp.sparse.refactors] Obs counter). *)
 val refactors : state -> int
+
+(** Forrest–Tomlin updates applied since the last refactorization ([Lu]
+    states; always 0 for [Eta] states) — the live update-file length. *)
+val updates : state -> int
+
+(** Current basis-representation nonzeros: U off-diagonals + diagonal +
+    op-file entries for [Lu] states, eta-file entries for [Eta] states.
+    The fill-in figure the benches chart. *)
+val fill_nnz : state -> int
+
+(** [patch st p'] re-targets the state at a structurally identical
+    problem whose rhs, objective, and bound values changed — the per-row
+    coefficient pattern (canonical CSR order), relations, and bound shape
+    must match exactly. On success the factorized basis and every
+    appended cut survive; the solve resumes by dual simplex from the
+    previous basis with a primal polish. Returns [None] only on a
+    structural mismatch (including delegated states whose dense tableau
+    is no longer dual-layout); numerical trouble falls back to the
+    internal cold-rebuild chain instead. [Sne_session] leans on this to
+    keep one kernel state resident across weight-only resolves. *)
+val patch : state -> problem -> outcome option

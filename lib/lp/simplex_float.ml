@@ -58,6 +58,7 @@ let c_dual = Obs.counter "lp.dual_pivots"
 let c_cold = Obs.counter "lp.cold_solves"
 let c_warm = Obs.counter "lp.warm_solves"
 let c_rebuilds = Obs.counter "lp.rebuilds"
+let c_patches = Obs.counter "lp.patches"
 
 (* NaN poisons the Dantzig pricing comparisons silently ([d < !best] is
    always false for NaN), so a non-finite coefficient can stall
@@ -115,9 +116,14 @@ type recover =
   | Split of int * int (* x = y_plus - y_minus *)
 
 type state = {
-  prob : problem;
-  recover : recover array;
+  mutable prob : problem;
+  mutable recover : recover array;
   structural : int; (* canonical structural columns *)
+  mutable dual_layout : bool;
+      (* true iff every row k's slack is column [structural + k] (states
+         built by [build_dual] and extended only by [append_leq]); the
+         invariant [patch] needs to rewrite the rhs in place. A two-phase
+         [build]/[rebuild] breaks it. *)
   mutable added : constr list; (* cuts appended after the initial solve *)
   mutable a : float array; (* flat tableau, row i at [i*stride .. ] *)
   mutable stride : int; (* >= width + 1; row layout: rhs, then columns *)
@@ -442,6 +448,7 @@ let build p =
       prob = p;
       recover;
       structural;
+      dual_layout = false;
       added = [];
       a = Array.make (max 1 (mcap * stride)) 0.0;
       stride;
@@ -615,6 +622,8 @@ let rebuild st =
     { st.prob with constraints = st.prob.constraints @ List.rev st.added }
   in
   let fresh = build p in
+  st.recover <- fresh.recover;
+  st.dual_layout <- false;
   st.a <- fresh.a;
   st.stride <- fresh.stride;
   st.m <- fresh.m;
@@ -725,6 +734,7 @@ let build_dual ~hint p =
         prob = p;
         recover;
         structural;
+        dual_layout = true;
         added = [];
         a = Array.make (max 1 (mcap * stride)) 0.0;
         stride;
@@ -813,6 +823,125 @@ let solve_dual_incremental ?(hint = []) p =
           | `Optimal ->
               st.last <- extract st;
               (st, st.last)))
+
+(* ------------------------------------------------------------------ *)
+(* In-place re-solve after a rhs/cost/bounds-only change                *)
+(* ------------------------------------------------------------------ *)
+
+(* [patch st p'] re-targets a dual-layout state at a structurally
+   identical problem whose rhs, objective, and bound {e values} changed
+   (the coefficient pattern, relations, and bound {e shape} — which sides
+   are finite — must be bitwise identical). Returns [None] when the state
+   cannot be patched (not dual layout, structural mismatch, or a negative
+   canonical cost, which the dual start cannot price); the caller falls
+   back to a fresh [solve_dual_incremental].
+
+   Why it works: in the dual layout every row [k]'s slack is column
+   [structural + k], and slack columns start as unit columns, so after any
+   pivot sequence [coef st i (structural+k) = (B^-1)_{i,k}]. The current
+   tableau rows are [B^-1 A | B^-1 b]; only [b] changed, so the new rhs
+   column is [B^-1 b' = sum_k coef(i, structural+k) * b'_k] — an O(m^2)
+   rewrite that keeps the factorized basis and every appended cut. *)
+let patch st (p' : problem) =
+  if not st.dual_layout then None
+  else if p'.n_vars <> st.prob.n_vars then None
+  else begin
+    let p = st.prob in
+    let shape_ok = ref true in
+    for i = 0 to p.n_vars - 1 do
+      if
+        Option.is_some p.lower.(i) <> Option.is_some p'.lower.(i)
+        || Option.is_some p.upper.(i) <> Option.is_some p'.upper.(i)
+      then shape_ok := false
+    done;
+    let same_coeffs (c : constr) (c' : constr) =
+      c.relation = c'.relation
+      && (try List.for_all2 (fun (i, a) (i', a') -> i = i' && a = a') c.coeffs c'.coeffs
+          with Invalid_argument _ -> false)
+    in
+    if
+      (not !shape_ok)
+      || List.length p.constraints <> List.length p'.constraints
+      || not (List.for_all2 same_coeffs p.constraints p'.constraints)
+    then None
+    else begin
+      List.iter (check_constr ~what:"Simplex_float.patch") p'.constraints;
+      List.iter
+        (fun (i, a) ->
+          check_finite ~what:"Simplex_float.patch"
+            ~where:(Printf.sprintf "objective coefficient of %s" (p'.var_name i))
+            a)
+        p'.minimize;
+      (* Same bound shape => same column assignment; recompute recover for
+         the new bound values and require a dual-startable objective. *)
+      let recover', structural', all_constraints' = assign_columns p' in
+      if structural' <> st.structural then None
+      else begin
+        let cost = canonical_cost ~recover:recover' ~structural:structural' p'.minimize in
+        if Array.exists (fun c -> c < 0.0) cost then None
+        else begin
+          Obs.incr c_patches;
+          (* New per-row rhs, in tableau row order: the build_dual expansion
+             of the (re-based) constraints, then every appended cut replayed
+             through [add_constraint]'s expansion. *)
+          let rows =
+            List.concat_map
+              (fun c ->
+                let _, rhs = rewrite ~recover:recover' ~structural:structural' c in
+                match c.relation with
+                | Leq -> [ rhs ]
+                | Geq -> [ -.rhs ]
+                | Eq -> [ rhs; -.rhs ])
+              all_constraints'
+            @ List.concat_map
+                (fun c ->
+                  let _, rhs = rewrite ~recover:recover' ~structural:structural' c in
+                  match c.relation with
+                  | Leq -> [ rhs ]
+                  | Geq -> [ -.rhs ]
+                  | Eq -> [ rhs; -.rhs ])
+                (List.rev st.added)
+          in
+          if List.length rows <> st.m then None
+          else begin
+            let b' = Array.of_list rows in
+            st.prob <- p';
+            st.recover <- recover';
+            let rhs' = Array.make st.m 0.0 in
+            for i = 0 to st.m - 1 do
+              let acc = ref 0.0 in
+              for k = 0 to st.m - 1 do
+                let binv = coef st i (st.structural + k) in
+                if binv <> 0.0 then acc := !acc +. (binv *. b'.(k))
+              done;
+              rhs'.(i) <- !acc
+            done;
+            for i = 0 to st.m - 1 do
+              st.a.(i * st.stride) <- rhs'.(i)
+            done;
+            set_objective st (fun j -> if j < st.structural then cost.(j) else 0.0);
+            st.degen_streak <- 0;
+            st.bland <- false;
+            (* The dual pass restores primal feasibility; it may start dual
+               infeasible (the basis was optimal for the old objective), so
+               a primal polish follows, exactly as after crash pivots. A
+               stall or a spurious infeasibility verdict falls back to the
+               cold rebuild, which is always safe. *)
+            match dual st with
+            | `Stalled | `Infeasible -> Some (rebuild st)
+            | `Optimal -> (
+                match primal st with
+                | `Unbounded ->
+                    st.last <- Unbounded;
+                    Some Unbounded
+                | `Optimal ->
+                    st.last <- extract st;
+                    Some st.last)
+          end
+        end
+      end
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing (mirrors Simplex.Make)                               *)

@@ -96,5 +96,17 @@ val solve_dual_incremental : ?hint:int list -> problem -> state * outcome
     the next adjacent solve's [?hint]. *)
 val basis_hint : state -> int list
 
+(** [patch st p'] re-targets a dual-layout state (one built by
+    [solve_dual_incremental]) at a structurally identical problem whose
+    rhs, objective, and bound values changed — same coefficient pattern,
+    relations, and bound shape (which sides are finite). Rewrites the rhs
+    column in place through the factorized basis and re-optimizes
+    (dual pass then primal polish), keeping every appended cut. Returns
+    [None] when the state cannot be patched: not dual layout (two-phase
+    builds and cold rebuilds clear the flag), any structural mismatch, or
+    an objective the dual start cannot price. Numerical trouble never
+    yields [None]; it falls back to an internal cold rebuild. *)
+val patch : state -> problem -> outcome option
+
 val pp_relation : Format.formatter -> relation -> unit
 val pp_problem : Format.formatter -> problem -> unit

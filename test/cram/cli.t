@@ -128,7 +128,7 @@ solver counters:
   sne.broadcast_solves
 
   $ sne_cli design --file ../../instances/twin_hubs.inst --budget 0.5 --stats | grep -oE "snd.trees_priced +\| 5"
-  snd.trees_priced              | 5
+  snd.trees_priced                | 5
 
 --trace writes the span tree as JSON:
 
@@ -157,7 +157,7 @@ distribute the same total differently between backends):
 and its solves are visible in the observability report:
 
   $ sne_cli solve --seed 8 --method cut --backend sparse --stats | grep -oE "lp.sparse.pivots +\| 1" | head -n 1
-  lp.sparse.pivots              | 1
+  lp.sparse.pivots                | 1
 
 The request service over stdio: responses come back in request order, a
 malformed line gets a structured parse error without killing the loop,

@@ -155,6 +155,43 @@ let test_retention_stats () =
   Alcotest.(check bool) "cuts were reused across resolves" true (!reused > 0);
   Alcotest.(check bool) "some resolve warm-started" true (!warm > 0)
 
+let test_master_stays_resident_on_weight_deltas () =
+  (* The tentpole satellite: weight-only deltas keep the kernel state
+     resident — the master is re-bound in place by [patch] (rhs, objective
+     and box bounds move; the constraint matrix does not), never rebuilt.
+     Structural deltas change the variable set and must rebuild. Counter
+     deltas are observed through the shared Obs registry. *)
+  let module O = Repro_obs.Obs in
+  let rebuilds = O.counter "service.session.master_rebuilds" in
+  let patched = O.counter "service.session.master_patched" in
+  O.with_enabled true @@ fun () ->
+  let s = SessS.create (instance ~n:12 ~extra:14 29) in
+  ignore (SessS.resolve s);
+  (* One settling resolve so the first resolve's fresh cuts are part of the
+     retained pool the resident master was last built against. *)
+  ignore (SessS.resolve s);
+  let r0 = O.value rebuilds and p0 = O.value patched in
+  List.iter
+    (fun line ->
+      ignore (SessS.mutate s (Ser.Delta.of_string line));
+      let r, st = SessS.resolve s in
+      Alcotest.(check bool) ("converged after " ^ line) true st.SessS.converged;
+      let cold = cold_sparse (Ser.to_string (SessS.instance s)) in
+      if not (close r.SessS.Sne.cost cold) then
+        Alcotest.failf "after %S: patched %.9f != cold %.9f" line r.SessS.Sne.cost cold)
+    [ "edge_weight 0 6"; "edge_weight 3 2"; "edge_weight 1 5"; "edge_weight 4 1" ];
+  Alcotest.(check int) "zero master rebuilds on weight-only deltas" r0 (O.value rebuilds);
+  Alcotest.(check bool) "every weight-only resolve patched in place" true
+    (O.value patched >= p0 + 4);
+  (* A structural delta (new player = new node and edge) changes the
+     master's variable set: patch must refuse and the rebuild path fire. *)
+  ignore (SessS.mutate s (Ser.Delta.of_string "add_player 2 3"));
+  let r, _ = SessS.resolve s in
+  let cold = cold_sparse (Ser.to_string (SessS.instance s)) in
+  Alcotest.(check bool) "structural resolve still exact" true (close r.SessS.Sne.cost cold);
+  Alcotest.(check bool) "structural delta rebuilds the master" true
+    (O.value rebuilds > r0)
+
 let test_invalid_delta_leaves_session_intact () =
   let s = SessD.create (instance 23) in
   ignore (SessD.resolve s);
@@ -179,6 +216,8 @@ let suite =
     Alcotest.test_case "resolved subsidies enforce the tree" `Quick
       test_subsidy_is_equilibrium;
     Alcotest.test_case "pool/basis retention stats" `Quick test_retention_stats;
+    Alcotest.test_case "resident master patches in place on weight deltas" `Quick
+      test_master_stays_resident_on_weight_deltas;
     Alcotest.test_case "invalid delta leaves the session intact" `Quick
       test_invalid_delta_leaves_session_intact;
   ]

@@ -63,6 +63,24 @@ let prop ?(count = 100) name f =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name (QCheck2.Gen.int_range 0 1_000_000) f)
 
+(* Run [f] under a specific basis engine / pricing rule, restoring the
+   process-wide default afterwards (tests in this suite run sequentially). *)
+let with_engine kind f =
+  let old = SP.basis_kind () in
+  SP.set_basis_kind kind;
+  Fun.protect ~finally:(fun () -> SP.set_basis_kind old) f
+
+let with_pricing pr f =
+  let old = SP.pricing () in
+  SP.set_pricing pr;
+  Fun.protect ~finally:(fun () -> SP.set_pricing old) f
+
+let outcomes_agree a b =
+  match (a, b) with
+  | SP.Optimal x, SP.Optimal y -> Fx.approx_eq ~eps:1e-6 x.SP.objective y.SP.objective
+  | SP.Infeasible, SP.Infeasible | SP.Unbounded, SP.Unbounded -> true
+  | _ -> false
+
 (* ------------------------------------------------------------------ *)
 (* Unit tests                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -171,6 +189,7 @@ let unit_tests =
             SP.add_constraint st (sp_geq [ (0, Float.nan) ] 0.0)));
     Alcotest.test_case "sparse: eta refactorization fires on long cut streams" `Quick
       (fun () ->
+        with_engine SP.Eta @@ fun () ->
         (* Append enough cuts that the eta file must be rebuilt at least
            once; the answers stay exact throughout. min sum x_i, box
            [0,10]^n, cuts x_i + x_j >= k force the objective up. *)
@@ -215,6 +234,114 @@ let unit_tests =
         | UF.Optimal ds -> Alcotest.check fl "objective" ds.UF.objective s.SP.objective
         | _ -> Alcotest.fail "dense cold solve failed");
         Alcotest.(check bool) "refactorized at least once" true (SP.refactors st >= 1));
+    Alcotest.test_case "sparse: LU refactorization fires on a forced-pivot ratchet" `Quick
+      (fun () ->
+        (* Forrest–Tomlin updates accrue one per basis pivot, so force a
+           long stream of genuinely violated cuts: min sum x_i over the
+           box [0,10]^n with ratcheting ring cuts x_i + x_{i+1} >= 2r for
+           r = 1..10 — every cut of a new level cuts off the previous
+           optimum, so each append costs real dual pivots. The update
+           file must overflow its cap and trigger at least one
+           refactorization, with the answers exact throughout. *)
+        Alcotest.(check bool) "LU is the default engine" true (SP.basis_kind () = SP.Lu);
+        let n = 12 in
+        let lower = Array.make n (Some 0.0) and upper = Array.make n (Some 10.0) in
+        let p =
+          SP.make_problem ~n_vars:n
+            ~minimize:(List.init n (fun i -> (i, 1.0)))
+            ~constraints:[] ~lower ~upper ()
+        in
+        let st, _ = SP.solve_incremental p in
+        let last = ref SP.Infeasible in
+        for r = 1 to 10 do
+          for i = 0 to n - 1 do
+            let j = (i + 1) mod n in
+            last :=
+              SP.add_constraint st
+                (sp_geq [ (i, 1.0); (j, 1.0) ] (2.0 *. float_of_int r))
+          done
+        done;
+        let s = expect_optimal !last in
+        (* The ring cuts at level 10 sum to 2 * sum x_i >= 20n. *)
+        Alcotest.check fl "objective" (float_of_int (10 * n)) s.SP.objective;
+        Alcotest.(check bool) "refactorized at least once" true (SP.refactors st >= 1));
+    Alcotest.test_case "sparse: patch re-binds rhs/objective/bounds in place" `Quick
+      (fun () ->
+        let lower, upper = SP.nonneg 2 in
+        let p =
+          SP.make_problem ~n_vars:2
+            ~minimize:[ (0, -1.0); (1, -2.0) ]
+            ~constraints:
+              [
+                sp_leq [ (0, 1.0); (1, 1.0) ] 4.0;
+                sp_leq [ (0, 1.0) ] 2.0;
+                sp_leq [ (1, 1.0) ] 3.0;
+              ]
+            ~lower ~upper ()
+        in
+        let st, o = SP.solve_incremental p in
+        Alcotest.check fl "before patch" (-7.0) (expect_optimal o).SP.objective;
+        (* Same matrix, new objective and right-hand sides. *)
+        let p' =
+          SP.make_problem ~n_vars:2
+            ~minimize:[ (0, -2.0); (1, -1.0) ]
+            ~constraints:
+              [
+                sp_leq [ (0, 1.0); (1, 1.0) ] 6.0;
+                sp_leq [ (0, 1.0) ] 3.0;
+                sp_leq [ (1, 1.0) ] 3.0;
+              ]
+            ~lower ~upper ()
+        in
+        (match SP.patch st p' with
+        | None -> Alcotest.fail "patch rejected a structurally identical problem"
+        | Some o' ->
+            Alcotest.check fl "patched objective" (-9.0) (expect_optimal o').SP.objective;
+            let cold = SP.solve p' in
+            Alcotest.check fl "matches cold re-solve"
+              (expect_optimal cold).SP.objective (expect_optimal o').SP.objective);
+        (* A changed coefficient is a structural mismatch: None, state
+           untouched and still usable. *)
+        let bad =
+          SP.make_problem ~n_vars:2
+            ~minimize:[ (0, -2.0); (1, -1.0) ]
+            ~constraints:
+              [
+                sp_leq [ (0, 1.0); (1, 2.0) ] 6.0;
+                sp_leq [ (0, 1.0) ] 3.0;
+                sp_leq [ (1, 1.0) ] 3.0;
+              ]
+            ~lower ~upper ()
+        in
+        Alcotest.(check bool) "coefficient change rejected" true (SP.patch st bad = None);
+        (* So is a changed row count. *)
+        let short =
+          SP.make_problem ~n_vars:2
+            ~minimize:[ (0, -2.0); (1, -1.0) ]
+            ~constraints:[ sp_leq [ (0, 1.0); (1, 1.0) ] 6.0 ]
+            ~lower ~upper ()
+        in
+        Alcotest.(check bool) "row-count change rejected" true (SP.patch st short = None);
+        (* After a warm-appended cut, a patch problem listing base rows plus
+           the cut (the session's pool shape) is accepted and re-bound. *)
+        ignore (SP.add_constraint st (sp_leq [ (1, 1.0) ] 2.0));
+        let p'' =
+          SP.make_problem ~n_vars:2
+            ~minimize:[ (0, -1.0); (1, -2.0) ]
+            ~constraints:
+              [
+                sp_leq [ (0, 1.0); (1, 1.0) ] 4.0;
+                sp_leq [ (0, 1.0) ] 2.0;
+                sp_leq [ (1, 1.0) ] 3.0;
+                sp_leq [ (1, 1.0) ] 1.0;
+              ]
+            ~lower ~upper ()
+        in
+        match SP.patch st p'' with
+        | None -> Alcotest.fail "patch rejected base rows + appended cut"
+        | Some o'' ->
+            (* min -x - 2y over x <= 2, y <= 1, x + y <= 4. *)
+            Alcotest.check fl "patched after cut" (-4.0) (expect_optimal o'').SP.objective);
     Alcotest.test_case "sparse: basis_hint round-trips through solve_dual_incremental"
       `Quick (fun () ->
         let lower, upper = SP.nonneg 3 in
@@ -284,6 +411,95 @@ let raw_lp_tests =
           | _ -> false
         in
         agree swarm scold && agree_dense swarm dwarm);
+    prop "sparse warm cuts match exact rationals" ~count:120 (fun seed ->
+        (* The post-add_constraint half of the rational differential: the
+           generator only emits integer data, so the accumulated system
+           re-solves exactly over Q. *)
+        let fp, rp = Test_lp.random_lp_pair seed in
+        let rng = Prng.create (seed + 9001) in
+        let cuts =
+          Test_lp.random_extra_cuts rng ~n_vars:fp.FS.n_vars
+            ~count:(Prng.int_in_range rng ~lo:1 ~hi:4)
+        in
+        let st, o0 = SP.solve_incremental (sp_of_fs fp) in
+        let warm =
+          List.fold_left (fun _ c -> SP.add_constraint st (sp_of_uf_constr c)) o0 cuts
+        in
+        let rcuts =
+          List.map
+            (fun (c : UF.constr) ->
+              {
+                RS.coeffs =
+                  List.map (fun (i, a) -> (i, Q.of_int (int_of_float a))) c.UF.coeffs;
+                relation =
+                  (match c.UF.relation with
+                  | UF.Leq -> RS.Leq
+                  | UF.Geq -> RS.Geq
+                  | UF.Eq -> RS.Eq);
+                rhs = Q.of_int (int_of_float c.UF.rhs);
+                label = c.UF.label;
+              })
+            cuts
+        in
+        let rcold = RS.solve { rp with RS.constraints = rp.RS.constraints @ rcuts } in
+        match (warm, rcold) with
+        | SP.Optimal s, RS.Optimal r ->
+            Fx.approx_eq ~eps:1e-6 s.SP.objective (Q.to_float r.objective)
+        | SP.Infeasible, RS.Infeasible | SP.Unbounded, RS.Unbounded -> true
+        | _ -> false);
+    prop "legacy eta engine matches exact rationals" ~count:100 (fun seed ->
+        with_engine SP.Eta (fun () ->
+            let fp, rp = Test_lp.random_lp_pair seed in
+            match (SP.solve (sp_of_fs fp), RS.solve rp) with
+            | SP.Optimal ss, RS.Optimal rs ->
+                Fx.approx_eq ~eps:1e-6 ss.SP.objective (Q.to_float rs.objective)
+            | SP.Infeasible, RS.Infeasible -> true
+            | SP.Unbounded, RS.Unbounded -> true
+            | _ -> false));
+    prop "partial pricing matches Devex on warm cut streams" ~count:100 (fun seed ->
+        let fp, _ = Test_lp.random_lp_pair seed in
+        let sparse = sp_of_fs fp in
+        let cuts =
+          let rng = Prng.create (seed + 555) in
+          Test_lp.random_extra_cuts rng ~n_vars:fp.FS.n_vars
+            ~count:(Prng.int_in_range rng ~lo:1 ~hi:4)
+        in
+        let run () =
+          let st, o0 = SP.solve_incremental sparse in
+          List.fold_left (fun _ c -> SP.add_constraint st (sp_of_uf_constr c)) o0 cuts
+        in
+        let dvx = run () in
+        let prt = with_pricing Repro_lp.Lp_intf.Partial run in
+        outcomes_agree dvx prt);
+    prop "patch matches a cold re-solve of the re-bound problem" ~count:100 (fun seed ->
+        let fp, _ = Test_lp.random_lp_pair seed in
+        let sparse = sp_of_fs fp in
+        let st, _ = SP.solve_incremental sparse in
+        let rng = Prng.create (seed + 4242) in
+        let p' =
+          {
+            sparse with
+            SP.minimize =
+              List.map
+                (fun (i, c) -> (i, c +. float_of_int (Prng.int_in_range rng ~lo:(-2) ~hi:2)))
+                sparse.SP.minimize;
+            constraints =
+              List.map
+                (fun (c : SP.constr) ->
+                  { c with SP.rhs = c.SP.rhs +. float_of_int (Prng.int_in_range rng ~lo:(-3) ~hi:3) })
+                sparse.SP.constraints;
+            upper =
+              Array.map
+                (Option.map (fun u -> u +. float_of_int (Prng.int rng 4)))
+                sparse.SP.upper;
+          }
+        in
+        match SP.patch st p' with
+        | None ->
+            (* Only legitimate for a state that fell through to a dense
+               tableau no longer in dual layout; the structure matches. *)
+            true
+        | Some warm -> outcomes_agree warm (SP.solve p'));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -411,6 +627,19 @@ let sne_tests =
             && Fx.approx_eq ~eps:1e-9 rs.Snes.cost rp.Snes.cost
             && ss.Snes.rounds = sp.Snes.rounds
             && ss.Snes.generated = sp.Snes.generated));
+    prop "obs instrumentation changes no sparse result" ~count:10 (fun seed ->
+        (* Counters and the allocs-per-pivot meter must be observers only:
+           bit-identical cost and identical cut trajectory either way. *)
+        let module O = Repro_obs.Obs in
+        let _, spec, _, state = float_side (int_instance seed) in
+        let r_on, s_on = O.with_enabled true (fun () -> Snes.cutting_plane spec ~state) in
+        let r_off, s_off =
+          O.with_enabled false (fun () -> Snes.cutting_plane spec ~state)
+        in
+        r_on.Snes.cost = r_off.Snes.cost
+        && s_on.Snes.rounds = s_off.Snes.rounds
+        && s_on.Snes.generated = s_off.Snes.generated
+        && s_on.Snes.converged = s_off.Snes.converged);
   ]
 
 let suite = unit_tests @ raw_lp_tests @ sne_tests

@@ -39,14 +39,70 @@ def check_lp(b):
     meta = need(b, "meta", "lp_bench")
     if meta.get("sparse_backend") != "revised-simplex-sparse":
         raise BenchError(f"lp_bench: unexpected sparse backend: {meta}")
+    if meta.get("sparse_engine") != "lu-ft":
+        raise BenchError(f"lp_bench: sparse engine is not the LU default: {meta}")
+    check_lp_lu(b, meta)
     summary = need(b, "summary", "lp_bench")
     for key in ("n64_speedup", "warm_pivots_total", "cold_pivots_total",
-                "separation_speedup"):
+                "separation_speedup", "lu_max_n", "lu_speedup_n128"):
         need(summary, key, "lp_bench summary")
     if summary["warm_pivots_total"] > summary["cold_pivots_total"]:
         raise BenchError(
             "lp_bench: warm-started cutting planes pivoted more than cold "
             f"({summary['warm_pivots_total']} > {summary['cold_pivots_total']})")
+
+
+def check_lp_lu(b, meta):
+    """The LU-vs-eta block (DESIGN.md section 11, EXPERIMENTS.md schema).
+
+    Hard gates: rows present at the mode's required sizes, LU/eta cost
+    agreement wherever eta ran, strictly fewer LU refactorizations at
+    n >= 256, and the n=128 speedup floor (>= 1.0x in full mode;
+    smoke/quick timings on shared runners only have a 0.8x hard floor,
+    with a warning below 1.0x). The allocs-per-pivot steady-state budget
+    is warn-only — it tracks a Gc counter, not correctness.
+    """
+    rows = need(b, "lu", "lp_bench")
+    if not rows:
+        raise BenchError("lp_bench: empty lu bench block")
+    strict = meta.get("mode") == "full"
+    required = {128, 256} if meta.get("mode") != "full" else {128, 256, 512, 1024}
+    sizes = set()
+    for row in rows:
+        for key in ("n", "lu_ms", "lu_pivots", "lu_refactors", "lu_updates",
+                    "lu_fill_nnz", "allocs_per_pivot", "rounds", "cost"):
+            need(row, key, "lp_bench lu row")
+        n = row["n"]
+        sizes.add(n)
+        if "eta_ms" in row:
+            if row.get("agree") is not True:
+                raise BenchError(f"lp_bench: LU/eta disagree at n={n}: {row}")
+            if n >= 256 and row["lu_refactors"] >= row["eta_refactors"]:
+                raise BenchError(
+                    f"lp_bench: LU refactorized {row['lu_refactors']}x at n={n}, "
+                    f"not strictly fewer than eta's {row['eta_refactors']}x")
+            if n == 128:
+                speedup = need(row, "speedup_vs_eta", "lp_bench lu row")
+                floor = 1.0 if strict else 0.8
+                if speedup < floor:
+                    raise BenchError(
+                        f"lp_bench: LU {speedup:.2f}x vs eta at n=128 below the "
+                        f"{floor}x hard floor")
+                if not strict and speedup < 1.0:
+                    print("check_bench: WARNING: LU only "
+                          f"{speedup:.2f}x vs eta at n=128 "
+                          f"({meta.get('mode')} timing)", file=sys.stderr)
+        elif n <= 256:
+            raise BenchError(f"lp_bench: lu row n={n} lacks its eta comparison")
+        if row["allocs_per_pivot"] > 16384.0:
+            print("check_bench: WARNING: lp.sparse.allocs_per_pivot "
+                  f"{row['allocs_per_pivot']:.0f} words at n={n} exceeds the "
+                  "16k amortized budget", file=sys.stderr)
+    missing = required - sizes
+    if missing:
+        raise BenchError(
+            f"lp_bench: lu block missing required sizes {sorted(missing)} "
+            f"for mode {meta.get('mode')!r}")
 
 
 def check_snd(b):
