@@ -1,5 +1,10 @@
-(* Request-service benchmark: replay a mixed wire-format workload through
-   Repro_service and record throughput and latency percentiles.
+(* Request-service benchmark: a closed-loop mixed replay (throughput and
+   latency percentiles under the seed workload), a shards-vs-baseline
+   saturation measurement, and an open-loop Poisson arrival run at 1x and
+   2x of the measured saturation rate (latency histograms and
+   graceful-shedding counts under genuine overload — closed-loop replay
+   cannot see queueing delay, because a closed loop slows its own arrival
+   rate when the server slows: coordinated omission).
 
    Writes a machine-readable BENCH_service.json (schema in EXPERIMENTS.md,
    validated by tools/check_bench.py) so CI and later PRs have a service
@@ -11,9 +16,12 @@
 
    The smoke mode is a hard gate, not a measurement: it must replay at
    least 1000 mixed requests end to end with zero crashes, at least one
-   deadline expiry, and at least one cache hit, or exit nonzero. Every
-   request goes through Service_wire serialization both ways, so the wire
-   format is exercised under load too. *)
+   deadline expiry, at least one cache hit, shed under 2x overload
+   without dying, or exit nonzero. Every closed-loop request goes through
+   Service_wire serialization both ways, so the wire format is exercised
+   under load too. Timing-sensitive comparisons (shards vs baseline, p99
+   monotonicity) follow the repo's shared-runner policy: hard floors
+   here and in check_bench.py, strictness only in full mode. *)
 
 module Service = Repro_service.Service
 module Wire = Repro_service.Service_wire
@@ -22,6 +30,8 @@ module Serial = Repro_core.Serial.Float
 module Par = Repro_parallel.Parallel
 module Obs = Repro_obs.Obs
 module Json = Repro_util.Bench_json
+module Prng = Repro_util.Prng
+module Mclock = Repro_util.Mclock
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -61,42 +71,190 @@ let slow_payload = payload ~seed:5 ~n:14 ~extra:14
 let mk_request i =
   let id = Printf.sprintf "r%d" i in
   let inst = instance_pool.(i mod Array.length instance_pool) in
+  let stream = false in
   match i mod 16 with
   | 0 | 1 | 2 ->
       { Service.id; kind = Service.Sne { meth = `Lp3; backend = Service.Dense; max_rounds = 500 };
-        payload = inst; deadline_ms = None; priority = 0 }
+        payload = inst; deadline_ms = None; priority = 0; stream }
   | 3 | 4 ->
       { Service.id; kind = Service.Sne { meth = `Lp3; backend = Service.Sparse; max_rounds = 500 };
-        payload = inst; deadline_ms = None; priority = 0 }
+        payload = inst; deadline_ms = None; priority = 0; stream }
   | 5 | 6 ->
       { Service.id; kind = Service.Sne { meth = `Cut; backend = Service.Dense; max_rounds = 500 };
-        payload = inst; deadline_ms = None; priority = 0 }
+        payload = inst; deadline_ms = None; priority = 0; stream }
   | 7 | 8 | 9 ->
       { Service.id; kind = Service.Enforce; payload = inst; deadline_ms = None;
-        priority = 0 }
+        priority = 0; stream }
   | 10 | 11 | 12 ->
       { Service.id; kind = Service.Check; payload = inst; deadline_ms = None;
-        priority = 1 }
+        priority = 1; stream }
   | 13 ->
       { Service.id; kind = Service.Snd { budget = 1e6 }; payload = inst;
-        deadline_ms = None; priority = 0 }
+        deadline_ms = None; priority = 0; stream }
   | 14 ->
       (* Malformed payload: parses on the wire, fails Serial parsing —
          graceful degradation traffic. *)
       { Service.id; kind = Service.Check; payload = "nodes 3\nroot 0\nedge 0 1 oops\n";
-        deadline_ms = None; priority = 0 }
+        deadline_ms = None; priority = 0; stream }
   | _ ->
       { Service.id; kind = Service.Snd { budget = -1.0 }; payload = slow_payload;
-        deadline_ms = Some 25.0; priority = 2 }
+        deadline_ms = Some 25.0; priority = 2; stream }
+
+(* The saturation/open-loop workload: fast solver-bound kinds only (the
+   response cache is disabled there, so every request is a real solve and
+   throughput measures the solve pipeline, not LRU lookups). *)
+let mk_fast_request i =
+  let id = Printf.sprintf "o%d" i in
+  let inst = instance_pool.(i mod Array.length instance_pool) in
+  let stream = false in
+  match i mod 4 with
+  | 0 | 1 ->
+      { Service.id; kind = Service.Sne { meth = `Lp3; backend = Service.Dense; max_rounds = 500 };
+        payload = inst; deadline_ms = None; priority = 0; stream }
+  | 2 ->
+      { Service.id; kind = Service.Enforce; payload = inst; deadline_ms = None;
+        priority = 0; stream }
+  | _ ->
+      { Service.id; kind = Service.Check; payload = inst; deadline_ms = None;
+        priority = 0; stream }
 
 (* ------------------------------------------------------------------ *)
-(* Replay                                                              *)
+(* Measurement helpers                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let latency_block lat =
+  Array.sort compare lat;
+  let n = Array.length lat in
+  Json.Obj
+    [
+      ("p50", Json.Float (percentile lat 0.50));
+      ("p90", Json.Float (percentile lat 0.90));
+      ("p99", Json.Float (percentile lat 0.99));
+      ("p999", Json.Float (percentile lat 0.999));
+      ("mean",
+       Json.Float (Array.fold_left ( +. ) 0.0 lat /. float_of_int (max 1 n)));
+      ("max", Json.Float (if n = 0 then 0.0 else lat.(n - 1)));
+    ]
+
+(* Closed-loop saturation throughput of the fast workload: submit
+   everything, await everything — the service is never idle, so
+   completed/wall is the capacity ceiling the open-loop rates are set
+   against. Cache off: every request solves. *)
+let saturation_rps ~shards ~requests =
+  Service.with_service ~shards ~workers:1 ~queue_limit:(requests + 1) ~cache:0
+    (fun svc ->
+      let reqs = List.init requests mk_fast_request in
+      let t0 = Mclock.now () in
+      let rs = Service.run_batch svc reqs in
+      let wall = Mclock.now () -. t0 in
+      let ok = List.length (List.filter (fun r -> Result.is_ok r.Service.result) rs) in
+      if ok <> requests then begin
+        Printf.eprintf "service_bench: saturation run lost requests (%d/%d ok)\n"
+          ok requests;
+        exit 1
+      end;
+      float_of_int requests /. wall)
+
+type open_loop_run = {
+  load_factor : float;
+  offered_rps : float;
+  achieved_rps : float;
+  requests : int;
+  ol_ok : int;
+  shed : int;
+  ol_deadline : int;
+  ol_errors : int;
+  gen_lag_ms_max : float;
+  accepted_lat : float array;  (* elapsed_ms of non-shed responses *)
+}
+
+(* Open-loop Poisson generator: arrivals follow an absolute exponential
+   schedule fixed before the run — the generator sleeps until each
+   scheduled instant and submits regardless of how far behind the server
+   is (no coordinated omission; gen_lag_ms_max reports how faithfully the
+   schedule was kept). Shedding (Overloaded) is measured, not retried. *)
+let open_loop_run ~seed ~shards ~queue_limit ~rate ~load_factor ~requests =
+  let rng = Prng.create seed in
+  let gaps =
+    Array.init requests (fun _ ->
+        (* Exponential inter-arrival at [rate]: -ln(U)/rate, U in (0,1]. *)
+        let u = 1.0 -. Prng.float rng 1.0 in
+        -.log u /. rate)
+  in
+  Service.with_service ~shards ~workers:1 ~queue_limit ~cache:0 (fun svc ->
+      let tickets = Array.make requests None in
+      let lag_max = ref 0.0 in
+      let t0 = Mclock.now () in
+      let next = ref t0 in
+      for i = 0 to requests - 1 do
+        next := !next +. gaps.(i);
+        let d = !next -. Mclock.now () in
+        if d > 0.0002 then Unix.sleepf d;
+        let lag = Mclock.now () -. !next in
+        if lag > !lag_max then lag_max := lag;
+        tickets.(i) <- Some (Service.submit svc (mk_fast_request i))
+      done;
+      let responses =
+        Array.map
+          (function Some tk -> Service.await svc tk | None -> assert false)
+          tickets
+      in
+      let wall = Mclock.now () -. t0 in
+      let is_shed r =
+        match r.Service.result with Error Service.Overloaded -> true | _ -> false
+      in
+      let count p = Array.fold_left (fun a r -> if p r then a + 1 else a) 0 responses in
+      let ol_ok = count (fun r -> Result.is_ok r.Service.result) in
+      let shed = count is_shed in
+      let ol_deadline =
+        count (fun r ->
+            match r.Service.result with
+            | Error Service.Deadline_expired -> true
+            | _ -> false)
+      in
+      let ol_errors = requests - ol_ok - shed - ol_deadline in
+      let accepted_lat =
+        responses |> Array.to_list
+        |> List.filter_map (fun r ->
+               if is_shed r then None else Some r.Service.elapsed_ms)
+        |> Array.of_list
+      in
+      {
+        load_factor;
+        offered_rps = rate;
+        achieved_rps = float_of_int (requests - shed) /. wall;
+        requests;
+        ol_ok;
+        shed;
+        ol_deadline;
+        ol_errors;
+        gen_lag_ms_max = 1000.0 *. !lag_max;
+        accepted_lat;
+      })
+
+let open_loop_json r =
+  Json.Obj
+    [
+      ("load_factor", Json.Float r.load_factor);
+      ("offered_rps", Json.Float r.offered_rps);
+      ("achieved_rps", Json.Float r.achieved_rps);
+      ("requests", Json.Int r.requests);
+      ("ok", Json.Int r.ol_ok);
+      ("shed", Json.Int r.shed);
+      ("deadline_expired", Json.Int r.ol_deadline);
+      ("errors", Json.Int r.ol_errors);
+      ("gen_lag_ms_max", Json.Float r.gen_lag_ms_max);
+      ("latency_ms", latency_block r.accepted_lat);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
 
 let () =
   let total = if smoke then 1024 else 4096 in
@@ -109,7 +267,7 @@ let () =
     Obs.with_enabled true (fun () ->
         Service.with_service ~workers ~queue_limit:(total + 1) ~cache:256
           ~batch:(4 * workers) (fun svc ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Mclock.now () in
             (* Wire round trip under load: serialize each request to its
                line form and parse it back before submission. *)
             let reqs =
@@ -122,7 +280,7 @@ let () =
                       exit 1)
             in
             let rs = Service.run_batch svc reqs in
-            (rs, Unix.gettimeofday () -. t0)))
+            (rs, Mclock.now () -. t0)))
   in
   let count pred = List.length (List.filter pred responses) in
   let ok = count (fun r -> Result.is_ok r.Service.result) in
@@ -153,9 +311,53 @@ let () =
   Printf.printf "  latency: p50 %.2fms, p99 %.2fms, mean %.2fms, max %.2fms\n" p50 p99
     mean
     (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
+
+  (* ---------------- shards vs single-dispatcher at saturation -------- *)
+  let sat_requests = if smoke then 512 else 2048 in
+  let sat_shards = 2 in
+  Printf.printf "  saturation (%d fast requests, cache off):\n%!" sat_requests;
+  let baseline_rps = saturation_rps ~shards:1 ~requests:sat_requests in
+  let sharded_rps = saturation_rps ~shards:sat_shards ~requests:sat_requests in
+  let sat_speedup = sharded_rps /. baseline_rps in
+  Printf.printf "    1 shard %.0f rps, %d shards %.0f rps (%.2fx)\n%!" baseline_rps
+    sat_shards sharded_rps sat_speedup;
+
+  (* ---------------- open-loop Poisson overload ----------------------- *)
+  let ol_requests = if smoke then 1024 else 4096 in
+  let ol_queue_limit = 64 in
+  let sat = sharded_rps in
+  Printf.printf
+    "  open loop (%d shards, queue %d/shard, %d Poisson arrivals per run):\n%!"
+    sat_shards ol_queue_limit ol_requests;
+  let run_at factor seed =
+    let r =
+      open_loop_run ~seed ~shards:sat_shards ~queue_limit:ol_queue_limit
+        ~rate:(factor *. sat) ~load_factor:factor ~requests:ol_requests
+    in
+    let sorted = Array.copy r.accepted_lat in
+    Array.sort compare sorted;
+    Printf.printf
+      "    %.1fx: offered %.0f rps, achieved %.0f rps, %d ok, %d shed, p99 %.2fms (gen lag max %.2fms)\n%!"
+      factor r.offered_rps r.achieved_rps r.ol_ok r.shed (percentile sorted 0.99)
+      r.gen_lag_ms_max;
+    r
+  in
+  let run_1x = run_at 1.0 42 in
+  let run_2x = run_at 2.0 43 in
+  let p99_of r =
+    let sorted = Array.copy r.accepted_lat in
+    Array.sort compare sorted;
+    percentile sorted 0.99
+  in
+
   (* Hard gates (both modes; the smoke invocation is what CI enforces):
      every request answered, at least one deadline abort, at least one
-     cache hit, no solver crashes leaking through as solver_error. *)
+     cache hit, no solver crashes leaking through as solver_error; the
+     open-loop runs must answer everything (shed counts as answered —
+     that is the point of graceful shedding), shed under 2x overload, and
+     never turn overload into solver errors. Timing-relative gates
+     (shards >= baseline, p99 monotone in load) live in check_bench.py
+     with the shared-runner floors. *)
   let gates =
     [
       ("all requests answered", List.length responses = total);
@@ -165,6 +367,16 @@ let () =
       (">= 1 cache hit", cache_hits >= 1);
       ("parse errors surfaced as structured responses", parse_errors >= 1);
       ("latency percentiles ordered", p50 <= p99);
+      ( "open loop 1x answered everything",
+        run_1x.ol_ok + run_1x.shed + run_1x.ol_deadline + run_1x.ol_errors
+        = run_1x.requests );
+      ( "open loop 2x answered everything",
+        run_2x.ol_ok + run_2x.shed + run_2x.ol_deadline + run_2x.ol_errors
+        = run_2x.requests );
+      ("open loop: no solver errors at 1x", run_1x.ol_errors = 0);
+      ("open loop: no solver errors at 2x", run_2x.ol_errors = 0);
+      ("2x overload sheds", run_2x.shed >= 1);
+      ("shedding monotone in load", run_2x.shed >= run_1x.shed);
     ]
   in
   let gates_met = List.for_all snd gates in
@@ -180,6 +392,7 @@ let () =
                ("bench", Json.Str "service_bench");
                ("mode", Json.Str (if smoke then "smoke" else "full"));
                ("workers", Json.Int workers);
+               ("shards", Json.Int sat_shards);
              ] );
          ( "load",
            Json.Obj
@@ -208,6 +421,25 @@ let () =
                    (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1)) );
              ] );
          ("throughput_rps", Json.Float throughput);
+         ( "saturation",
+           Json.Obj
+             [
+               ("requests", Json.Int sat_requests);
+               ("shards", Json.Int sat_shards);
+               ("baseline_rps", Json.Float baseline_rps);
+               ("sharded_rps", Json.Float sharded_rps);
+               ("speedup", Json.Float sat_speedup);
+             ] );
+         ( "open_loop",
+           Json.Obj
+             [
+               ("shards", Json.Int sat_shards);
+               ("queue_limit", Json.Int ol_queue_limit);
+               ("requests_per_run", Json.Int ol_requests);
+               ("runs", Json.List [ open_loop_json run_1x; open_loop_json run_2x ]);
+               ( "p99_monotone",
+                 Json.Bool (p99_of run_2x >= p99_of run_1x) );
+             ] );
          ("obs", Obs.stats_json ());
          ("summary", Json.Obj [ ("gates_met", Json.Bool gates_met) ]);
        ]);

@@ -528,9 +528,25 @@ let serve_cmd =
   let sessions_arg =
     Arg.(value & opt int 64
          & info [ "sessions" ] ~docv:"S"
-             ~doc:"Incremental session table capacity; least recently used \
-                   handles are evicted and later requests naming them get a \
-                   structured unknown_session error.")
+             ~doc:"Incremental session table capacity per shard; least recently \
+                   used handles are evicted and later requests naming them get \
+                   a structured unknown_session error.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Independent service shards (queue + dispatcher domain + \
+                   cache + session table each); requests are routed by the \
+                   canonical instance digest, so an instance and its sessions \
+                   always land on the same shard.")
+  in
+  let wire_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("binary", `Binary) ]) `Text
+         & info [ "wire" ] ~docv:"FORMAT"
+             ~doc:"Wire framing: $(b,text) (newline-delimited key=value \
+                   requests, one-line JSON responses) or $(b,binary) \
+                   (length-prefixed frames: compact binary requests in, \
+                   JSON-payload frames out).")
   in
   (* Best-effort id echo for lines that fail wire parsing, so callers can
      still correlate the error response. *)
@@ -544,23 +560,50 @@ let serve_cmd =
            else None)
     |> Option.value ~default:""
   in
-  let run stdio workers queue_limit cache sessions show_stats trace =
+  let run stdio wire shards workers queue_limit cache sessions show_stats trace =
     with_obs show_stats trace @@ fun () ->
     if not stdio then Error "serve: pass --stdio (the only transport)"
+    else if shards < 1 then Error "serve: --shards must be >= 1"
     else begin
       let wire_errors = Repro_obs.Obs.counter "service.wire_parse_errors" in
-      Service.with_service ~workers ~queue_limit ~cache ~sessions (fun svc ->
+      Service.with_service ~shards ~workers ~queue_limit ~cache ~sessions (fun svc ->
           (* Responses are emitted in request order: parse errors complete
              instantly, solver responses as their tickets resolve. Between
-             input lines we drain whatever already finished, so a slow
-             request pipelines behind fast ones without reordering. *)
+             input reads we drain whatever already finished, so a slow
+             request pipelines behind fast ones without reordering.
+             Progress events of streaming requests bypass the order queue
+             (they are emitted the moment a worker fires them), so every
+             stdout write goes through [emit_raw] under [out_mu]. *)
           let queue : [ `Done of Service.response | `Wait of Service.ticket ] Queue.t =
             Queue.create ()
           in
-          let emit r =
-            print_string (Wire.response_to_string r);
-            print_newline ();
-            flush stdout
+          let out_mu = Mutex.create () in
+          let emit_raw payload =
+            Mutex.lock out_mu;
+            (match wire with
+            | `Text ->
+                print_string payload;
+                print_newline ()
+            | `Binary -> Wire.Binary.write_frame stdout payload);
+            flush stdout;
+            Mutex.unlock out_mu
+          in
+          let emit r = emit_raw (Wire.response_to_string r) in
+          let parse_error_response ~id msg =
+            Repro_obs.Obs.incr wire_errors;
+            {
+              Service.id;
+              result = Error (Service.Parse_error msg);
+              cache_hit = false;
+              elapsed_ms = 0.0;
+            }
+          in
+          let submit req =
+            if req.Service.stream then
+              let id = req.Service.id in
+              Service.submit svc req
+                ~on_progress:(fun p -> emit_raw (Wire.progress_to_string ~id p))
+            else Service.submit svc req
           in
           let rec drain ~block =
             match Queue.peek_opt queue with
@@ -583,40 +626,60 @@ let serve_cmd =
                       drain ~block
                   | None -> ())
           in
-          (try
-             while true do
-               let line = input_line stdin in
-               let t = String.trim line in
-               if t <> "" && t.[0] <> '#' then begin
-                 (match Wire.parse_request t with
-                 | Ok req -> Queue.add (`Wait (Service.submit svc req)) queue
-                 | Error msg ->
-                     Repro_obs.Obs.incr wire_errors;
-                     Queue.add
-                       (`Done
-                          {
-                            Service.id = sniff_id t;
-                            result = Error (Service.Parse_error msg);
-                            cache_hit = false;
-                            elapsed_ms = 0.0;
-                          })
-                       queue);
-                 drain ~block:false
-               end
-             done
-           with End_of_file -> ());
+          (* Read until end-of-input. EOF is the normal way a client hangs
+             up: both loops fall through to the blocking drain below, so
+             every accepted request is still answered and the process
+             exits 0 — pinned by the cram tests. *)
+          (match wire with
+          | `Text -> (
+              try
+                while true do
+                  let line = input_line stdin in
+                  let t = String.trim line in
+                  if t <> "" && t.[0] <> '#' then begin
+                    (match Wire.parse_request t with
+                    | Ok req -> Queue.add (`Wait (submit req)) queue
+                    | Error msg ->
+                        Queue.add
+                          (`Done (parse_error_response ~id:(sniff_id t) msg))
+                          queue);
+                    drain ~block:false
+                  end
+                done
+              with End_of_file -> ())
+          | `Binary ->
+              let reading = ref true in
+              while !reading do
+                (match Wire.Binary.read_frame stdin with
+                | Ok None -> reading := false
+                | Ok (Some payload) -> (
+                    match Wire.Binary.decode_request payload with
+                    | Ok req -> Queue.add (`Wait (submit req)) queue
+                    | Error msg ->
+                        Queue.add (`Done (parse_error_response ~id:"" msg)) queue)
+                | Error msg ->
+                    (* A framing error (truncated prefix/payload, oversized
+                       length) leaves no way to find the next frame
+                       boundary: answer it and stop reading — in-flight
+                       requests still drain below. *)
+                    Queue.add (`Done (parse_error_response ~id:"" msg)) queue;
+                    reading := false);
+                drain ~block:false
+              done);
           drain ~block:true);
       Ok ()
     end
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve solver requests over stdio: newline-delimited wire requests \
-             in, one-line JSON responses out, in request order. Structured \
-             error responses (parse errors, expired deadlines, overload) are \
-             normal operation, not process failures.")
-    Term.(const run $ stdio_arg $ workers_arg $ queue_limit_arg $ cache_arg
-          $ sessions_arg $ stats_arg $ trace_arg)
+       ~doc:"Serve solver requests over stdio: wire requests in (newline-\
+             delimited text or length-prefixed binary frames, see --wire), \
+             one-line JSON responses out, in request order; streaming \
+             requests additionally emit progress events as they solve. \
+             Structured error responses (parse errors, expired deadlines, \
+             overload) are normal operation, not process failures.")
+    Term.(const run $ stdio_arg $ wire_arg $ shards_arg $ workers_arg
+          $ queue_limit_arg $ cache_arg $ sessions_arg $ stats_arg $ trace_arg)
 
 let () =
   let info =

@@ -235,8 +235,8 @@ module Make (F : Repro_field.Field.S) = struct
       the first affordable tree in (weight, sorted-edge-ids) order among
       the minimum-weight affordable class. Terminates as soon as the
       stream's weights exceed the incumbent's. *)
-  let exact_small ?(config = default_config) ?pricer ?(poll = fun () -> ()) ~graph ~root
-      ~budget () =
+  let exact_small ?(config = default_config) ?pricer ?(poll = fun () -> ())
+      ?(on_incumbent = fun (_ : design) -> ()) ~graph ~root ~budget () =
     Obs.span "snd.exact_small" @@ fun () ->
     let spec = Gm.broadcast ~graph ~root in
     let pricer =
@@ -318,8 +318,15 @@ module Make (F : Repro_field.Field.S) = struct
         let fold (c : cand) = function
           | None -> incr inc_skips
           | Some (r : Sne.result) ->
-              if promising c.cw c.cids && F.leq r.Sne.cost budget then
-                best := Some (design_of_result c r)
+              if promising c.cw c.cids && F.leq r.Sne.cost budget then begin
+                let d = design_of_result c r in
+                best := Some d;
+                (* Streaming hook: every strict improvement of the
+                   affordable incumbent, in stream order ([fold] runs on
+                   the driver domain even in parallel configurations, so
+                   the sequence is deterministic for a fixed config). *)
+                on_incumbent d
+              end
         in
         drive config pool ~pull ~price ~fold;
         let stats =

@@ -97,11 +97,19 @@ module Make (F : Repro_field.Field.S) : sig
       {!Repro_parallel.Parallel.Cancelled} from an expired service
       deadline) to abort the search mid-stream — the exception propagates
       to the caller. In parallel configurations it runs on worker domains
-      and must be thread-safe. *)
+      and must be thread-safe.
+
+      [on_incumbent] is the streaming progress hook: fired on the driver
+      domain each time the affordable incumbent strictly improves (so the
+      last firing, if any, carries the returned design). The sequence is
+      deterministic for a fixed config; the service forwards it to
+      streaming clients as partial-result frames. Must be cheap and must
+      not raise. *)
   val exact_small :
     ?config:config ->
     ?pricer:pricer ->
     ?poll:(unit -> unit) ->
+    ?on_incumbent:(design -> unit) ->
     graph:G.t ->
     root:int ->
     budget:F.t ->

@@ -285,7 +285,7 @@ struct
      and re-optimize from the previous basis — and cold restarts that
      re-solve the accumulated master from scratch every round. Both reach
      the same optimum; the stats record how many pivots each spent. *)
-  let cutting_core ~what ~warm ~max_rounds ~poll ~graph base ~find_cuts =
+  let cutting_core ~what ~warm ~max_rounds ~poll ~on_round ~graph base ~find_cuts =
     let m = G.n_edges graph in
     let clamp (s : Lp.solution) =
       Array.init m (fun id -> F.max F.zero (F.min s.Lp.values.(id) (G.weight graph id)))
@@ -342,6 +342,10 @@ struct
       | _ when round >= max_rounds -> finish false
       | cuts ->
           Obs.incr c_rounds;
+          (* Progress hook, fired before the master re-solve so a
+             streaming client sees the round while it is still being
+             worked on. Runs on the solving domain; keep it cheap. *)
+          on_round ~round ~cuts:(List.length cuts);
           loop (round + 1) (apply_cuts cuts)
     in
     Obs.span "sne.cutting_plane" (fun () -> loop 0 (initial ()))
@@ -366,7 +370,8 @@ struct
       runs the cutting-plane loop with the weighted best-response oracle,
       warm-starting each master re-solve from the previous basis. *)
   let weighted_cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool
-      ?(poll = fun () -> ()) (wspec : W.spec) ~(state : Gm.state) =
+      ?(poll = fun () -> ()) ?(on_round = fun ~round:_ ~cuts:_ -> ())
+      (wspec : W.spec) ~(state : Gm.state) =
     let graph = W.graph wspec in
     let du_all = W.demand_usage wspec state in
     (* Player i's cost on her current path must not exceed her cost on the
@@ -419,7 +424,8 @@ struct
       done;
       !cuts
     in
-    cutting_core ~what:"Sne_lp.weighted_cutting_plane" ~warm ~max_rounds ~poll ~graph
+    cutting_core ~what:"Sne_lp.weighted_cutting_plane" ~warm ~max_rounds ~poll
+      ~on_round ~graph
       (box_master graph) ~find_cuts
 
   (* ---------------------------------------------------------------- *)
@@ -553,7 +559,7 @@ struct
       ([warm = false] forces the old cold restarts, kept for the
       pivot-budget benchmarks and the warm-vs-cold property tests). *)
   let cutting_plane ?(warm = true) ?(max_rounds = 500) ?pool ?(poll = fun () -> ())
-      spec ~(state : Gm.state) =
+      ?(on_round = fun ~round:_ ~cuts:_ -> ()) spec ~(state : Gm.state) =
     let graph = spec.Gm.graph in
     let usage = Gm.usage spec state in
     let path_constraint i path = lp1_path_constraint spec ~state ~usage i path in
@@ -572,8 +578,8 @@ struct
       done;
       !cuts
     in
-    cutting_core ~what:"Sne_lp.cutting_plane" ~warm ~max_rounds ~poll ~graph
-      (box_master graph) ~find_cuts
+    cutting_core ~what:"Sne_lp.cutting_plane" ~warm ~max_rounds ~poll ~on_round
+      ~graph (box_master graph) ~find_cuts
 end
 
 module Make (F : Repro_field.Field.S) = Make_backend (F) (Repro_lp.Simplex.Make (F))

@@ -83,12 +83,18 @@ module Make_backend
       a round and appended in player order). [poll] is called once per
       round and may raise (e.g. {!Repro_parallel.Parallel.Cancelled} from a
       service deadline) to abort the loop between master solves; the
-      exception propagates to the caller. *)
+      exception propagates to the caller. [on_round] is the streaming
+      progress hook: fired once per separation round that found violated
+      cuts (with the 0-based round index and that round's deduplicated
+      cut count), before the master re-solve, on the solving domain — a
+      service shard forwards it to the client as a progress frame. It
+      must be cheap and must not raise. *)
   val weighted_cutting_plane :
     ?warm:bool ->
     ?max_rounds:int ->
     ?pool:Repro_parallel.Parallel.Pool.t ->
     ?poll:(unit -> unit) ->
+    ?on_round:(round:int -> cuts:int -> unit) ->
     W.spec ->
     state:Gm.state ->
     result * cutting_plane_stats
@@ -121,13 +127,15 @@ module Make_backend
       separation oracle, run as the standard constraint-generation loop
       (DESIGN.md §2), warm-started between rounds. [pool] runs each
       round's per-player oracles concurrently (see {!oracle_sweep});
-      [poll] is the per-round cancellation hook (see
+      [poll] is the per-round cancellation hook and [on_round] the
+      per-round streaming progress hook (see
       {!weighted_cutting_plane}). *)
   val cutting_plane :
     ?warm:bool ->
     ?max_rounds:int ->
     ?pool:Repro_parallel.Parallel.Pool.t ->
     ?poll:(unit -> unit) ->
+    ?on_round:(round:int -> cuts:int -> unit) ->
     Gm.spec ->
     state:Gm.state ->
     result * cutting_plane_stats

@@ -88,10 +88,10 @@ let span name f =
     let stack = Domain.DLS.get stack_key in
     let path = name :: !stack in
     stack := path;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Repro_util.Mclock.now () in
     Fun.protect
       ~finally:(fun () ->
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Repro_util.Mclock.now () -. t0 in
         (stack := match !stack with _ :: rest -> rest | [] -> []);
         locked (fun () ->
             match Hashtbl.find_opt span_tbl path with

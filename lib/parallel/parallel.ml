@@ -93,11 +93,13 @@ let map ?domains f a = map_cancellable ?domains (fun _check x -> f x) a
 (** [map_list f l] is [map] over a list. *)
 let map_list ?domains f l = Array.to_list (map ?domains f (Array.of_list l))
 
-(** Timing helper: wall-clock seconds of [f ()] along with its result. *)
+(** Timing helper: elapsed seconds of [f ()] along with its result.
+    Monotonic, so an NTP step mid-measurement cannot produce a negative
+    or wildly inflated duration. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Repro_util.Mclock.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Repro_util.Mclock.now () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Shared atomic incumbent                                             *)
@@ -164,7 +166,7 @@ module Pool = struct
 
   let run_job pool (Job j) =
     Atomic.incr j.inflight;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Repro_util.Mclock.now () in
     let n = Array.length j.data in
     let check () = if Atomic.get j.error <> None then raise Cancelled in
     let rec work () =
@@ -190,7 +192,7 @@ module Pool = struct
       end
     in
     work ();
-    Obs.accumulate g_busy (Unix.gettimeofday () -. t0);
+    Obs.accumulate g_busy (Repro_util.Mclock.now () -. t0);
     Atomic.decr j.inflight;
     Mutex.lock pool.mutex;
     Condition.broadcast pool.work_done;

@@ -1,9 +1,13 @@
-(* Batched request-processing service over the solver stack: a bounded
-   priority queue drained by a dispatcher domain onto a resident
-   Parallel.Pool, with per-request deadlines/cancellation polled inside
-   the solvers and a digest-keyed LRU reusing outcomes across requests.
-   See service.mli for the architecture contract and DESIGN.md §9 for the
-   request lifecycle. *)
+(* Sharded request-processing service over the solver stack: N
+   independent shards, each a bounded priority queue drained by its own
+   dispatcher domain onto a resident Parallel.Pool, with per-request
+   deadlines/cancellation polled inside the solvers and a digest-keyed
+   LRU reusing outcomes across requests. Requests are routed to shards
+   by the canonical instance digest, so a given instance — and any
+   session opened on it — always lands on the same shard and shard
+   caches never duplicate an entry. See service.mli for the architecture
+   contract and DESIGN.md §9/§12 for the request lifecycle and the shard
+   layer. *)
 
 module Serial = Repro_core.Serial.Float
 module Gm = Repro_game.Game.Float_game
@@ -17,6 +21,7 @@ module Sess_s = Repro_core.Sne_session.Sparse
 module Par = Repro_parallel.Parallel
 module Obs = Repro_obs.Obs
 module Lru = Repro_util.Lru
+module Mclock = Repro_util.Mclock
 module Digestx = Repro_util.Digestx
 
 type backend = Dense | Sparse
@@ -37,6 +42,7 @@ type request = {
   payload : string;
   deadline_ms : float option;
   priority : int;
+  stream : bool;
 }
 
 type error_reason =
@@ -76,6 +82,14 @@ type outcome =
     }
   | Closed of { session : string }
 
+type progress =
+  | Snd_incumbent of {
+      weight : float;
+      subsidy_cost : float;
+      tree_edges : int list;
+    }
+  | Cut_round of { round : int; cuts : int }
+
 type response = {
   id : string;
   result : (outcome, error_reason) result;
@@ -96,6 +110,13 @@ let c_cache_hits = Obs.counter "service.cache_hits"
 let c_parse_errors = Obs.counter "service.parse_errors"
 let c_solver_errors = Obs.counter "service.solver_errors"
 let c_batches = Obs.counter "service.batches"
+let c_progress = Obs.counter "service.progress_events"
+
+(* With several shards mutating concurrently, the depth gauges are kept
+   by delta ([Obs.accumulate]), never absolute [Obs.set] — an absolute
+   write from shard 0 would erase shard 1's contribution. The invariant
+   is that every increment is paired with exactly one decrement, so the
+   gauge reads the fleet-wide total. *)
 let g_queue_depth = Obs.gauge "service.queue_depth"
 let g_inflight = Obs.gauge "service.inflight"
 let c_sess_opened = Obs.counter "service.session.opened"
@@ -107,7 +128,7 @@ let c_sess_unknown = Obs.counter "service.session.unknown"
 let g_sess_active = Obs.gauge "service.session.active"
 
 (* ------------------------------------------------------------------ *)
-(* Cache keys                                                          *)
+(* Cache keys and shard routing                                        *)
 (* ------------------------------------------------------------------ *)
 
 let kind_fingerprint = function
@@ -137,6 +158,44 @@ let cache_key_of_inst kind (inst : Serial.t) =
 let cache_key (req : request) =
   cache_key_of_inst req.kind (Serial.of_string req.payload)
 
+(* The canonical instance digest used for shard routing: the digest of
+   the re-serialized parse when the payload parses (so every spelling of
+   one instance routes identically, matching the digest sessions report),
+   or of the raw payload when it does not (the shard only has to produce
+   the parse error — any deterministic shard will do). *)
+let route_digest (req : request) =
+  match req.kind with
+  | Session_open _ | Sne _ | Enforce | Snd _ | Check -> (
+      match Serial.of_string req.payload with
+      | inst -> Digestx.of_string (Serial.to_string inst)
+      | exception Failure _ -> Digestx.of_string req.payload)
+  | Session_mutate { session } | Session_resolve { session } | Session_close { session }
+    ->
+      Digestx.of_string session
+
+(* Deterministic digest -> shard map: a pure fold over the digest bytes,
+   so the same digest lands on the same shard across processes and runs
+   (no Hashtbl.hash, whose seed can vary). *)
+let shard_of_digest ~shards digest =
+  if shards < 1 then invalid_arg "Service.shard_of_digest: shards must be >= 1";
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0x3FFFFFFF) digest;
+  !h mod shards
+
+(* Session handles encode their home shard by residue: shard [i] of [n]
+   issues handles s{i+1}, s{i+1+n}, s{i+1+2n}, ... so shard = (h-1) mod n
+   recovers the owner without any shared table, and a single-shard
+   service still issues the documented s1, s2, ... sequence. *)
+let shard_of_handle ~shards sid =
+  let h =
+    if String.length sid > 1 && sid.[0] = 's' then
+      match int_of_string_opt (String.sub sid 1 (String.length sid - 1)) with
+      | Some h when h > 0 -> h
+      | _ -> 1
+    else 1
+  in
+  (h - 1) mod shards
+
 (* ------------------------------------------------------------------ *)
 (* Running one request                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -162,14 +221,17 @@ let subsidy_outcome spec tree subsidy cost =
 (* Solve the parsed instance. [poll] raises [Par.Cancelled] once the
    request's deadline has passed or it was cancelled; the long solvers
    (cutting planes, SND search) poll it mid-run through their [?poll]
-   hooks, the one-shot LPs only between phases. *)
-let solve_kind ~poll (inst : Serial.t) kind =
+   hooks, the one-shot LPs only between phases. [progress] receives
+   streaming partial results (SND incumbents, cutting-plane rounds) and
+   is a no-op for non-streaming tickets. *)
+let solve_kind ~poll ~progress (inst : Serial.t) kind =
   let graph = inst.Serial.graph and root = inst.Serial.root in
   match kind with
   | Sne { meth; backend; max_rounds } -> (
       poll ();
       let tree = Serial.target_tree inst in
       let spec = Gm.broadcast ~graph ~root in
+      let on_round ~round ~cuts = progress (Cut_round { round; cuts }) in
       match (meth, backend) with
       | `Lp3, Dense ->
           let r = Sne.broadcast spec ~root tree in
@@ -179,12 +241,12 @@ let solve_kind ~poll (inst : Serial.t) kind =
           subsidy_outcome spec tree r.Snes.subsidy r.Snes.cost
       | `Cut, Dense ->
           let state = Gm.Broadcast.state_of_tree spec ~root tree in
-          let r, s = Sne.cutting_plane ~max_rounds ~poll spec ~state in
+          let r, s = Sne.cutting_plane ~max_rounds ~poll ~on_round spec ~state in
           if not s.Sne.converged then Error Nonconverged
           else subsidy_outcome spec tree r.Sne.subsidy r.Sne.cost
       | `Cut, Sparse ->
           let state = Gm.Broadcast.state_of_tree spec ~root tree in
-          let r, s = Snes.cutting_plane ~max_rounds ~poll spec ~state in
+          let r, s = Snes.cutting_plane ~max_rounds ~poll ~on_round spec ~state in
           if not s.Snes.converged then Error Nonconverged
           else subsidy_outcome spec tree r.Snes.subsidy r.Snes.cost)
   | Enforce ->
@@ -194,7 +256,16 @@ let solve_kind ~poll (inst : Serial.t) kind =
       let r = Enforce.subsidize_mst graph tree in
       subsidy_outcome spec tree r.Enforce.subsidy r.Enforce.total
   | Snd { budget } -> (
-      match Search.exact_small ~poll ~graph ~root ~budget () with
+      let on_incumbent (d : Search.design) =
+        progress
+          (Snd_incumbent
+             {
+               weight = d.Search.weight;
+               subsidy_cost = d.Search.subsidy_cost;
+               tree_edges = d.Search.tree_edges;
+             })
+      in
+      match Search.exact_small ~poll ~on_incumbent ~graph ~root ~budget () with
       | Some d, _ ->
           Ok
             (Design
@@ -223,23 +294,26 @@ let solve_kind ~poll (inst : Serial.t) kind =
 (* The service                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type ticket = {
-  req : request;
-  submitted_at : float;
-  deadline_at : float option;
-  cancelled : bool Atomic.t;
-  mutable resp : response option;  (* guarded by the service mutex *)
-}
-
 (* One live incremental session. Each carries its own mutex: the session
    modules are single-owner by contract, and two wire requests naming the
    same handle can land in one pool batch. The session table's LRU holds
-   the entry; the per-session lock serializes the actual solving. *)
+   the entry; the per-session lock serializes the actual solving. [pins]
+   (guarded by the shard's sessions_mu) counts in-flight requests holding
+   or about to take [smu]: a pinned session is never LRU-evicted, which
+   is what keeps an eviction from dropping a session whose state a
+   concurrent resolve is still mutating. *)
 type session_state = Dense_session of Sess_d.t | Sparse_session of Sess_s.t
 
-type session_entry = { smu : Mutex.t; state : session_state }
+type session_entry = {
+  smu : Mutex.t;
+  state : session_state;
+  mutable pins : int;
+}
 
-type t = {
+type shard = {
+  index : int;
+  n_shards : int;  (* fleet size, for session-handle residues *)
+  clock : unit -> float;  (* monotonic unless a test injects skew *)
   mu : Mutex.t;
   work_ready : Condition.t;  (* dispatcher sleeps here between submissions *)
   resp_ready : Condition.t;  (* awaiters sleep here *)
@@ -256,8 +330,32 @@ type t = {
   cache_mu : Mutex.t;
   sessions : (string, session_entry) Lru.t;  (* bounded; LRU-evicted *)
   sessions_mu : Mutex.t;
-  mutable session_seq : int;  (* guarded by sessions_mu *)
+  mutable session_seq : int;  (* local open count; guarded by sessions_mu *)
 }
+
+and ticket = {
+  req : request;
+  home : shard;  (* the shard this ticket was routed to *)
+  submitted_at : float;  (* home.clock time *)
+  deadline_at : float option;  (* home.clock time *)
+  cancelled : bool Atomic.t;
+  on_progress : (progress -> unit) option;
+  parsed : Serial.t option;  (* routing parse, reused by the worker *)
+  mutable resp : response option;  (* guarded by home.mu *)
+}
+
+type t = { shards : shard array }
+
+let shard_count svc = Array.length svc.shards
+
+let shard_of_request svc (req : request) =
+  let shards = shard_count svc in
+  match req.kind with
+  | Session_mutate { session } | Session_resolve { session } | Session_close { session }
+    ->
+      shard_of_handle ~shards session
+  | Session_open _ | Sne _ | Enforce | Snd _ | Check ->
+      shard_of_digest ~shards (route_digest req)
 
 let count_result = function
   | Ok _ -> ()
@@ -273,62 +371,86 @@ let count_result = function
 (* Complete a ticket (first completion wins; later ones are dropped, so
    e.g. the dispatcher's belt-and-braces pass after a batch cannot
    overwrite the worker's real response). *)
-let fulfill svc tk result ~cache_hit =
+let fulfill tk result ~cache_hit =
+  let sh = tk.home in
   let resp =
     {
       id = tk.req.id;
       result;
       cache_hit;
-      elapsed_ms = 1000.0 *. (Unix.gettimeofday () -. tk.submitted_at);
+      elapsed_ms = 1000.0 *. (sh.clock () -. tk.submitted_at);
     }
   in
-  Mutex.lock svc.mu;
+  Mutex.lock sh.mu;
   let fresh = tk.resp = None in
   if fresh then tk.resp <- Some resp;
-  if fresh then Condition.broadcast svc.resp_ready;
-  Mutex.unlock svc.mu;
+  if fresh then Condition.broadcast sh.resp_ready;
+  Mutex.unlock sh.mu;
   if fresh then begin
     Obs.incr c_completed;
     count_result result
   end
 
-let cache_find svc key =
-  match svc.cache with
+let cache_find sh key =
+  match sh.cache with
   | None -> None
   | Some cache ->
-      Mutex.lock svc.cache_mu;
+      Mutex.lock sh.cache_mu;
       let r = Lru.find cache key in
-      Mutex.unlock svc.cache_mu;
+      Mutex.unlock sh.cache_mu;
       r
 
-let cache_add svc key outcome =
-  match svc.cache with
+let cache_add sh key outcome =
+  match sh.cache with
   | None -> ()
   | Some cache ->
-      Mutex.lock svc.cache_mu;
+      Mutex.lock sh.cache_mu;
       Lru.add cache key outcome;
-      Mutex.unlock svc.cache_mu
+      Mutex.unlock sh.cache_mu
 
 (* ------------------------------------------------------------------ *)
 (* Incremental sessions                                                *)
 (* ------------------------------------------------------------------ *)
 
-let sessions_locked svc f =
-  Mutex.lock svc.sessions_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock svc.sessions_mu) f
+let sessions_locked sh f =
+  Mutex.lock sh.sessions_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.sessions_mu) f
 
-let session_gauge svc = Obs.set g_sess_active (float_of_int (Lru.length svc.sessions))
+let keep_pinned _sid (entry : session_entry) = entry.pins > 0
+
+let on_session_evicted _sid _entry =
+  Obs.incr c_sess_evicted;
+  Obs.accumulate g_sess_active (-1.0)
 
 (* Look up a handle (refreshing its recency, so actively-driven sessions
-   survive eviction pressure) and run [f] under the session's own lock.
-   The table lock is released before the session lock is taken: a resolve
-   on one session must not block table operations on others. *)
-let with_session svc sid f =
-  match sessions_locked svc (fun () -> Lru.find svc.sessions sid) with
+   survive eviction pressure), pin it, and run [f] under the session's
+   own lock. The table lock is released before the session lock is
+   taken: a resolve on one session must not block table operations on
+   others. The pin keeps concurrent opens from evicting this entry while
+   [f] runs; if every slot is pinned the table briefly overflows, and
+   the unpin path shrinks it back once a pin releases. *)
+let with_session sh sid f =
+  let entry =
+    sessions_locked sh (fun () ->
+        match Lru.find sh.sessions sid with
+        | None -> None
+        | Some entry ->
+            entry.pins <- entry.pins + 1;
+            Some entry)
+  in
+  match entry with
   | None -> Error (Unknown_session sid)
   | Some entry ->
-      Mutex.lock entry.smu;
-      Fun.protect ~finally:(fun () -> Mutex.unlock entry.smu) (fun () -> f entry.state)
+      Fun.protect
+        ~finally:(fun () ->
+          sessions_locked sh (fun () ->
+              entry.pins <- entry.pins - 1;
+              Lru.shrink ~on_evict:on_session_evicted ~keep:keep_pinned sh.sessions))
+        (fun () ->
+          Mutex.lock entry.smu;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock entry.smu)
+            (fun () -> f entry.state))
 
 let session_digest = function
   | Dense_session s -> Sess_d.digest s
@@ -336,34 +458,44 @@ let session_digest = function
 
 (* Run one session request to a result. Pure with respect to the ticket:
    [exec] turns the result (or an escaped exception) into the response. *)
-let run_session svc ~poll (req : request) =
+let run_session ~poll tk =
+  let sh = tk.home in
+  let req = tk.req in
   match req.kind with
   | Session_open { backend; max_rounds } -> (
       poll ();
-      match Serial.of_string req.payload with
-      | exception Failure msg -> Error (Parse_error msg)
-      | inst ->
+      let inst =
+        match tk.parsed with
+        | Some inst -> Ok inst
+        | None -> (
+            match Serial.of_string req.payload with
+            | exception Failure msg -> Error msg
+            | inst -> Ok inst)
+      in
+      match inst with
+      | Error msg -> Error (Parse_error msg)
+      | Ok inst ->
           let state =
             match backend with
             | Dense -> Dense_session (Sess_d.create ~max_rounds inst)
             | Sparse -> Sparse_session (Sess_s.create ~max_rounds inst)
           in
-          let entry = { smu = Mutex.create (); state } in
+          let entry = { smu = Mutex.create (); state; pins = 0 } in
           let session =
-            sessions_locked svc (fun () ->
-                svc.session_seq <- svc.session_seq + 1;
-                let sid = Printf.sprintf "s%d" svc.session_seq in
-                Lru.add
-                  ~on_evict:(fun _sid _entry -> Obs.incr c_sess_evicted)
-                  svc.sessions sid entry;
-                session_gauge svc;
+            sessions_locked sh (fun () ->
+                let h = sh.index + 1 + (sh.n_shards * sh.session_seq) in
+                sh.session_seq <- sh.session_seq + 1;
+                let sid = Printf.sprintf "s%d" h in
+                Lru.add ~on_evict:on_session_evicted ~keep:keep_pinned sh.sessions
+                  sid entry;
+                Obs.accumulate g_sess_active 1.0;
                 sid)
           in
           Obs.incr c_sess_opened;
           Ok (Opened { session; digest = session_digest entry.state }))
   | Session_mutate { session } ->
       poll ();
-      with_session svc session (fun state ->
+      with_session sh session (fun state ->
           match Serial.Delta.list_of_string req.payload with
           | exception Failure msg -> Error (Invalid_delta msg)
           | [] -> Error (Invalid_delta "Delta: empty mutation payload")
@@ -392,7 +524,7 @@ let run_session svc ~poll (req : request) =
                        })))
   | Session_resolve { session } ->
       poll ();
-      with_session svc session (fun state ->
+      with_session sh session (fun state ->
           Obs.incr c_sess_resolves;
           let subsidy, cost, stats, inst =
             match state with
@@ -440,13 +572,16 @@ let run_session svc ~poll (req : request) =
                  }))
   | Session_close { session } ->
       poll ();
-      sessions_locked svc (fun () ->
-          let known = Lru.find svc.sessions session <> None in
+      sessions_locked sh (fun () ->
+          let known = Lru.find sh.sessions session <> None in
           if not known then Error (Unknown_session session)
           else begin
-            Lru.remove svc.sessions session;
+            (* An explicit close always wins, pinned or not: the handle
+               dies now, while any in-flight resolve keeps its own
+               reference to the entry and finishes safely off-table. *)
+            Lru.remove sh.sessions session;
             Obs.incr c_sess_closed;
-            session_gauge svc;
+            Obs.accumulate g_sess_active (-1.0);
             Ok (Closed { session })
           end)
   | Sne _ | Enforce | Snd _ | Check ->
@@ -455,73 +590,93 @@ let run_session svc ~poll (req : request) =
 (* Worker-side execution of one dispatched ticket. Every failure mode
    lands as a structured [Error] response — nothing escapes, so a batch
    mate can never be poisoned and the service cannot wedge. *)
-let exec svc pool_check tk =
+let exec pool_check tk =
+  let sh = tk.home in
   let expired () =
-    match tk.deadline_at with
-    | Some t -> Unix.gettimeofday () > t
-    | None -> false
+    match tk.deadline_at with Some t -> sh.clock () > t | None -> false
   in
   let poll () =
     pool_check ();
     if Atomic.get tk.cancelled || expired () then raise Par.Cancelled
   in
-  if Atomic.get tk.cancelled then fulfill svc tk (Error Cancelled) ~cache_hit:false
-  else if expired () then fulfill svc tk (Error Deadline_expired) ~cache_hit:false
+  (* Streaming sink: only streaming tickets carry one; a raising sink is
+     the client's bug and must not take the worker (or the batch) down
+     with it, so exceptions are swallowed here. *)
+  let progress =
+    match tk.on_progress with
+    | Some f when tk.req.stream ->
+        fun p ->
+          Obs.incr c_progress;
+          (try f p with _ -> ())
+    | _ -> fun _ -> ()
+  in
+  if Atomic.get tk.cancelled then fulfill tk (Error Cancelled) ~cache_hit:false
+  else if expired () then fulfill tk (Error Deadline_expired) ~cache_hit:false
   else
     match tk.req.kind with
     | Session_open _ | Session_mutate _ | Session_resolve _ | Session_close _ -> (
         (* Stateful: bypasses the response cache entirely. *)
-        match run_session svc ~poll tk.req with
-        | result -> fulfill svc tk result ~cache_hit:false
+        match run_session ~poll tk with
+        | result -> fulfill tk result ~cache_hit:false
         | exception Par.Cancelled ->
             let reason =
               if Atomic.get tk.cancelled then Cancelled else Deadline_expired
             in
-            fulfill svc tk (Error reason) ~cache_hit:false
+            fulfill tk (Error reason) ~cache_hit:false
         | exception e ->
-            fulfill svc tk (Error (Solver_error (Printexc.to_string e))) ~cache_hit:false)
+            fulfill tk (Error (Solver_error (Printexc.to_string e))) ~cache_hit:false)
     | Sne _ | Enforce | Snd _ | Check -> (
-    match Serial.of_string tk.req.payload with
-    | exception Failure msg ->
-        fulfill svc tk (Error (Parse_error msg)) ~cache_hit:false
-    | inst -> (
-        let key = cache_key_of_inst tk.req.kind inst in
-        match cache_find svc key with
-        | Some outcome ->
-            Obs.incr c_cache_hits;
-            fulfill svc tk (Ok outcome) ~cache_hit:true
-        | None -> (
-            match solve_kind ~poll inst tk.req.kind with
-            | Ok outcome ->
-                cache_add svc key outcome;
-                fulfill svc tk (Ok outcome) ~cache_hit:false
-            | Error reason -> fulfill svc tk (Error reason) ~cache_hit:false
-            | exception Par.Cancelled ->
-                let reason =
-                  if Atomic.get tk.cancelled then Cancelled else Deadline_expired
-                in
-                fulfill svc tk (Error reason) ~cache_hit:false
-            | exception e ->
-                fulfill svc tk (Error (Solver_error (Printexc.to_string e)))
-                  ~cache_hit:false)))
+        let inst =
+          match tk.parsed with
+          | Some inst -> Ok inst
+          | None -> (
+              (* The routing parse failed; re-parse for the error text. *)
+              match Serial.of_string tk.req.payload with
+              | exception Failure msg -> Error msg
+              | inst -> Ok inst)
+        in
+        match inst with
+        | Error msg -> fulfill tk (Error (Parse_error msg)) ~cache_hit:false
+        | Ok inst -> (
+            let key = cache_key_of_inst tk.req.kind inst in
+            match cache_find sh key with
+            | Some outcome ->
+                Obs.incr c_cache_hits;
+                fulfill tk (Ok outcome) ~cache_hit:true
+            | None -> (
+                match solve_kind ~poll ~progress inst tk.req.kind with
+                | Ok outcome ->
+                    cache_add sh key outcome;
+                    fulfill tk (Ok outcome) ~cache_hit:false
+                | Error reason -> fulfill tk (Error reason) ~cache_hit:false
+                | exception Par.Cancelled ->
+                    let reason =
+                      if Atomic.get tk.cancelled then Cancelled else Deadline_expired
+                    in
+                    fulfill tk (Error reason) ~cache_hit:false
+                | exception e ->
+                    fulfill tk (Error (Solver_error (Printexc.to_string e)))
+                      ~cache_hit:false)))
 
-(* Dispatcher: drain the queue in priority batches onto the pool until
-   shutdown, then fail whatever is still queued. Runs in its own domain
-   and participates in every pool sweep (Pool.map_* include the
-   submitting domain), so [workers = 1] needs no extra domains at all. *)
-let dispatch_loop svc =
+(* Per-shard dispatcher: drain the queue in priority batches onto the
+   shard's pool until shutdown, then fail whatever is still queued. Runs
+   in its own domain and participates in every pool sweep (Pool.map_*
+   include the submitting domain), so [workers = 1] needs no extra
+   domains per shard at all. *)
+let dispatch_loop sh =
   let rec loop () =
-    Mutex.lock svc.mu;
-    while svc.queue = [] && not svc.stopping do
-      Condition.wait svc.work_ready svc.mu
+    Mutex.lock sh.mu;
+    while sh.queue = [] && not sh.stopping do
+      Condition.wait sh.work_ready sh.mu
     done;
-    if svc.stopping then begin
-      let rest = List.rev_map snd svc.queue in
-      svc.queue <- [];
-      svc.n_pending <- 0;
-      Obs.set g_queue_depth 0.0;
-      Mutex.unlock svc.mu;
-      List.iter (fun tk -> fulfill svc tk (Error Shutdown) ~cache_hit:false) rest
+    if sh.stopping then begin
+      let rest = List.rev_map snd sh.queue in
+      let drained = sh.n_pending in
+      sh.queue <- [];
+      sh.n_pending <- 0;
+      Obs.accumulate g_queue_depth (-.float_of_int drained);
+      Mutex.unlock sh.mu;
+      List.iter (fun tk -> fulfill tk (Error Shutdown) ~cache_hit:false) rest
     end
     else begin
       (* Highest priority first, FIFO among equals (the arrival sequence
@@ -532,23 +687,23 @@ let dispatch_loop svc =
             if ta.req.priority <> tb.req.priority then
               compare tb.req.priority ta.req.priority
             else compare sa sb)
-          (List.rev svc.queue)
+          (List.rev sh.queue)
       in
       let rec split k acc = function
         | rest when k = 0 -> (List.rev acc, rest)
         | [] -> (List.rev acc, [])
         | x :: rest -> split (k - 1) (x :: acc) rest
       in
-      let taken, rest = split svc.batch [] sorted in
+      let taken, rest = split sh.batch [] sorted in
       let batch = Array.of_list (List.map snd taken) in
-      svc.queue <- List.rev rest;
-      svc.n_pending <- svc.n_pending - Array.length batch;
-      svc.n_inflight <- Array.length batch;
-      Obs.set g_queue_depth (float_of_int svc.n_pending);
-      Obs.set g_inflight (float_of_int svc.n_inflight);
-      Mutex.unlock svc.mu;
+      sh.queue <- List.rev rest;
+      sh.n_pending <- sh.n_pending - Array.length batch;
+      sh.n_inflight <- Array.length batch;
+      Obs.accumulate g_queue_depth (-.float_of_int (Array.length batch));
+      Obs.accumulate g_inflight (float_of_int (Array.length batch));
+      Mutex.unlock sh.mu;
       Obs.incr c_batches;
-      let results = Par.Pool.map_result svc.pool (fun check tk -> exec svc check tk) batch in
+      let results = Par.Pool.map_result sh.pool (fun check tk -> exec check tk) batch in
       (* [exec] never raises, so every slot is [Ok ()]; the [Error] arm is
          pure insurance — if it ever fires, the ticket still completes. *)
       Array.iteri
@@ -556,27 +711,31 @@ let dispatch_loop svc =
           match r with
           | Ok () -> ()
           | Error e ->
-              fulfill svc batch.(i)
+              fulfill batch.(i)
                 (Error (Solver_error (Printexc.to_string e)))
                 ~cache_hit:false)
         results;
-      Mutex.lock svc.mu;
-      svc.n_inflight <- 0;
-      Obs.set g_inflight 0.0;
-      Mutex.unlock svc.mu;
+      Mutex.lock sh.mu;
+      sh.n_inflight <- 0;
+      Obs.accumulate g_inflight (-.float_of_int (Array.length batch));
+      Mutex.unlock sh.mu;
       loop ()
     end
   in
   loop ()
 
-let create ?(workers = 1) ?(queue_limit = 256) ?(cache = 512) ?(sessions = 64) ?batch
-    () =
+let create ?(shards = 1) ?(workers = 1) ?(queue_limit = 256) ?(cache = 512)
+    ?(sessions = 64) ?batch ?(now = Mclock.now) () =
+  if shards < 1 then invalid_arg "Service.create: shards must be >= 1";
   if workers < 1 then invalid_arg "Service.create: workers must be >= 1";
   if queue_limit < 1 then invalid_arg "Service.create: queue_limit must be >= 1";
   if sessions < 1 then invalid_arg "Service.create: sessions must be >= 1";
   let batch = match batch with Some b -> max 1 b | None -> 2 * workers in
-  let svc =
+  let mk_shard index =
     {
+      index;
+      n_shards = shards;
+      clock = now;
       mu = Mutex.create ();
       work_ready = Condition.create ();
       resp_ready = Condition.create ();
@@ -596,73 +755,96 @@ let create ?(workers = 1) ?(queue_limit = 256) ?(cache = 512) ?(sessions = 64) ?
       session_seq = 0;
     }
   in
-  svc.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop svc));
+  let svc = { shards = Array.init shards mk_shard } in
+  Array.iter
+    (fun sh -> sh.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop sh)))
+    svc.shards;
   svc
 
-let completed_ticket req ~at result =
+let completed_ticket sh req ~at result =
   {
     req;
+    home = sh;
     submitted_at = at;
     deadline_at = None;
     cancelled = Atomic.make false;
-    resp =
-      Some
-        { id = req.id; result; cache_hit = false; elapsed_ms = 0.0 };
+    on_progress = None;
+    parsed = None;
+    resp = Some { id = req.id; result; cache_hit = false; elapsed_ms = 0.0 };
   }
 
-let submit svc req =
-  let now = Unix.gettimeofday () in
+let submit ?on_progress svc req =
+  let sh = svc.shards.(shard_of_request svc req) in
+  let now = sh.clock () in
   Obs.incr c_submitted;
-  Mutex.lock svc.mu;
-  if svc.stopping then begin
-    Mutex.unlock svc.mu;
+  (* Parse once on the submitting thread for routing; the worker reuses
+     the result, so stateless requests are parsed exactly once total
+     (the seed parsed once too, just later). *)
+  let parsed =
+    match req.kind with
+    | Session_open _ | Sne _ | Enforce | Snd _ | Check -> (
+        match Serial.of_string req.payload with
+        | inst -> Some inst
+        | exception Failure _ -> None)
+    | Session_mutate _ | Session_resolve _ | Session_close _ -> None
+  in
+  Mutex.lock sh.mu;
+  if sh.stopping then begin
+    Mutex.unlock sh.mu;
     Obs.incr c_completed;
-    completed_ticket req ~at:now (Error Shutdown)
+    completed_ticket sh req ~at:now (Error Shutdown)
   end
-  else if svc.n_pending >= svc.queue_limit then begin
-    Mutex.unlock svc.mu;
+  else if sh.n_pending >= sh.queue_limit then begin
+    Mutex.unlock sh.mu;
     (* Backpressure: reject *now*, with a complete ticket — the caller can
-       shed or retry, the queue never grows past the high-water mark. *)
+       shed or retry, this shard's queue never grows past the high-water
+       mark (the limit is per shard; a hot shard sheds while its
+       neighbours stay responsive). *)
     Obs.incr c_rejected;
     Obs.incr c_completed;
-    completed_ticket req ~at:now (Error Overloaded)
+    completed_ticket sh req ~at:now (Error Overloaded)
   end
   else begin
     let tk =
       {
         req;
+        home = sh;
         submitted_at = now;
         deadline_at = Option.map (fun ms -> now +. (ms /. 1000.0)) req.deadline_ms;
         cancelled = Atomic.make false;
+        on_progress;
+        parsed;
         resp = None;
       }
     in
-    svc.queue <- (svc.seq, tk) :: svc.queue;
-    svc.seq <- svc.seq + 1;
-    svc.n_pending <- svc.n_pending + 1;
-    Obs.set g_queue_depth (float_of_int svc.n_pending);
-    Condition.signal svc.work_ready;
-    Mutex.unlock svc.mu;
+    sh.queue <- (sh.seq, tk) :: sh.queue;
+    sh.seq <- sh.seq + 1;
+    sh.n_pending <- sh.n_pending + 1;
+    Obs.accumulate g_queue_depth 1.0;
+    Condition.signal sh.work_ready;
+    Mutex.unlock sh.mu;
     tk
   end
 
-let await svc tk =
-  Mutex.lock svc.mu;
+let await _svc tk =
+  let sh = tk.home in
+  Mutex.lock sh.mu;
   let rec wait () =
     match tk.resp with
     | Some r ->
-        Mutex.unlock svc.mu;
+        Mutex.unlock sh.mu;
         r
     | None ->
-        Condition.wait svc.resp_ready svc.mu;
+        Condition.wait sh.resp_ready sh.mu;
         wait ()
   in
   wait ()
 
-let poll_response svc tk =
-  Mutex.lock svc.mu;
+let poll_response _svc tk =
+  let sh = tk.home in
+  Mutex.lock sh.mu;
   let r = tk.resp in
-  Mutex.unlock svc.mu;
+  Mutex.unlock sh.mu;
   r
 
 let cancel _svc tk = Atomic.set tk.cancelled true
@@ -671,37 +853,51 @@ let run_batch svc reqs =
   let tickets = List.map (submit svc) reqs in
   List.map (await svc) tickets
 
-let pending svc =
-  Mutex.lock svc.mu;
-  let n = svc.n_pending in
-  Mutex.unlock svc.mu;
-  n
+let sum_shards svc f =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.mu;
+      let n = f sh in
+      Mutex.unlock sh.mu;
+      acc + n)
+    0 svc.shards
 
-let inflight svc =
-  Mutex.lock svc.mu;
-  let n = svc.n_inflight in
-  Mutex.unlock svc.mu;
-  n
+let pending svc = sum_shards svc (fun sh -> sh.n_pending)
+let inflight svc = sum_shards svc (fun sh -> sh.n_inflight)
 
 let shutdown svc =
-  Mutex.lock svc.mu;
-  svc.stopping <- true;
-  let d = svc.dispatcher in
-  svc.dispatcher <- None;
-  Condition.broadcast svc.work_ready;
-  Mutex.unlock svc.mu;
-  match d with
-  | None -> ()
-  | Some d ->
-      Domain.join d;
-      Par.Pool.shutdown svc.pool
+  (* Flip every shard to stopping first so no submit can race onto a
+     half-stopped fleet, then join the dispatchers. *)
+  let joins =
+    Array.map
+      (fun sh ->
+        Mutex.lock sh.mu;
+        sh.stopping <- true;
+        let d = sh.dispatcher in
+        sh.dispatcher <- None;
+        Condition.broadcast sh.work_ready;
+        Mutex.unlock sh.mu;
+        (sh, d))
+      svc.shards
+  in
+  Array.iter
+    (fun (sh, d) ->
+      match d with
+      | None -> ()
+      | Some d ->
+          Domain.join d;
+          Par.Pool.shutdown sh.pool)
+    joins
 
-let with_service ?workers ?queue_limit ?cache ?sessions ?batch f =
-  let svc = create ?workers ?queue_limit ?cache ?sessions ?batch () in
+let with_service ?shards ?workers ?queue_limit ?cache ?sessions ?batch ?now f =
+  let svc = create ?shards ?workers ?queue_limit ?cache ?sessions ?batch ?now () in
   Fun.protect ~finally:(fun () -> shutdown svc) (fun () -> f svc)
 
 let active_sessions svc =
-  Mutex.lock svc.sessions_mu;
-  let n = Lru.length svc.sessions in
-  Mutex.unlock svc.sessions_mu;
-  n
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.sessions_mu;
+      let n = Lru.length sh.sessions in
+      Mutex.unlock sh.sessions_mu;
+      acc + n)
+    0 svc.shards

@@ -1,4 +1,4 @@
-(** Batched request-processing service over the solver stack.
+(** Sharded request-processing service over the solver stack.
 
     Every solver entry point in this repo used to be a one-shot CLI
     invocation: parse, solve, exit. This module is the layer the ROADMAP's
@@ -9,24 +9,42 @@
 
     {2 Architecture}
 
-    - {b Submission queue}: [submit] enqueues under a mutex; beyond
-      [queue_limit] pending requests it refuses immediately with an
-      [Overloaded] response (backpressure — the queue never grows without
-      bound). Pending requests are dispatched highest [priority] first,
-      FIFO among equals.
-    - {b Worker pool}: a dispatcher domain drains the queue in batches and
-      fans each batch out over a resident
+    - {b Shards}: the service is [shards] independent copies of the
+      whole pipeline below — each shard owns its bounded queue, its
+      dispatcher domain, its worker pool, its response cache and its
+      session table, and shards never share a lock on the hot path.
+      Requests are routed to a shard by the canonical instance digest
+      ({!shard_of_digest} over {!route_digest}), so a given instance
+      always lands on the same shard (its cached outcome is never
+      duplicated across shard caches) and a session lives its whole life
+      on the shard that opened it (the handle encodes the shard by
+      residue: shard [i] of [n] issues [s{i+1}], [s{i+1+n}], ...).
+    - {b Submission queue}: [submit] enqueues under the home shard's
+      mutex; beyond [queue_limit] pending requests {e on that shard} it
+      refuses immediately with an [Overloaded] response (backpressure —
+      a hot shard sheds while its neighbours stay responsive). Pending
+      requests are dispatched highest [priority] first, FIFO among
+      equals.
+    - {b Worker pool}: each shard's dispatcher domain drains its queue in
+      batches and fans each batch out over a resident
       {!Repro_parallel.Parallel.Pool} via [Pool.map_result], so one
       request's failure (solver exception, expired deadline) is captured
       as that request's structured [Error] response and never poisons its
       batch-mates.
     - {b Deadlines and cancellation}: each request carries an optional
-      deadline (measured from submission) and a cancellation cell
-      ([cancel]). Workers poll both through the [?poll] hooks of
-      {!Repro_core.Snd_search} and the {!Repro_core.Sne_lp} cutting-plane
-      loop: an expired deadline raises
+      deadline (measured from submission {e on the monotonic clock} —
+      an NTP step can neither spuriously expire nor immortalize a
+      request) and a cancellation cell ([cancel]). Workers poll both
+      through the [?poll] hooks of {!Repro_core.Snd_search} and the
+      {!Repro_core.Sne_lp} cutting-plane loop: an expired deadline raises
       {!Repro_parallel.Parallel.Cancelled} inside the search and aborts it
       mid-stream rather than running to completion.
+    - {b Streaming partial results}: a request with [stream = true]
+      submitted with [~on_progress] receives {!progress} events while it
+      solves — SND incumbent improvements as they are found, cutting-plane
+      rounds as they close — so a long search is not all-or-nothing at
+      the deadline: a client whose request expires still holds the best
+      incumbent streamed before the cutoff.
     - {b Cross-request cache}: successful outcomes are cached in an LRU
       ({!Repro_util.Lru}) keyed by a canonical instance digest
       ({!Repro_util.Digestx} over the re-serialized parse of the payload
@@ -40,8 +58,10 @@
 
     Observability: [service.*] counters and gauges (submitted, completed,
     rejected, deadline_expired, cancelled, cache_hits, solver_errors,
-    queue_depth, inflight) in the process-wide {!Repro_obs.Obs} registry,
-    visible through the CLI's [--stats] path. *)
+    progress_events, queue_depth, inflight) in the process-wide
+    {!Repro_obs.Obs} registry, visible through the CLI's [--stats] path.
+    The gauges aggregate across shards (maintained by delta, not
+    absolute writes). *)
 
 type backend = Dense | Sparse
 
@@ -53,12 +73,16 @@ type backend = Dense | Sparse
     applies the payload as a {!Repro_core.Serial.Make.Delta} trace
     (all-or-nothing); [Session_resolve] re-solves warm, reusing the
     session's retained cut pool and optimal basis; [Session_close]
-    releases the handle. Sessions live in a bounded LRU table (see
-    [create]'s [sessions]) — least-recently-used handles are evicted when
-    the table is full, and any later request naming an evicted, closed or
-    never-issued handle gets a structured [Unknown_session] error, never a
-    raise. Session requests bypass the response cache (they are stateful
-    by design). Counters under [service.session.*]. *)
+    releases the handle. Sessions live in a bounded per-shard LRU table
+    (see [create]'s [sessions]) — least-recently-used handles are evicted
+    when the table is full, and any later request naming an evicted,
+    closed or never-issued handle gets a structured [Unknown_session]
+    error, never a raise. A session whose per-session lock is held (or
+    about to be taken) by an in-flight request is {e pinned}: eviction
+    skips it and falls to the next-stalest unpinned handle, so a resolve
+    can never race an eviction of its own session. Session requests
+    bypass the response cache (they are stateful by design). Counters
+    under [service.session.*]. *)
 type kind =
   | Sne of { meth : [ `Lp3 | `Cut ]; backend : backend; max_rounds : int }
       (** Theorem 1 SNE: the compact broadcast LP (3), or LP (1) by
@@ -79,13 +103,15 @@ type request = {
   payload : string;  (** a {!Repro_core.Serial} instance text *)
   deadline_ms : float option;  (** latency budget from submission *)
   priority : int;  (** higher dispatches earlier; default wire value 0 *)
+  stream : bool;
+      (** opt into {!progress} events (needs [~on_progress] at submit) *)
 }
 
 type error_reason =
-  | Parse_error of string  (** malformed payload (or wire line) *)
+  | Parse_error of string  (** malformed payload (or wire line/frame) *)
   | Deadline_expired
   | Cancelled  (** by {!cancel} *)
-  | Overloaded  (** rejected at submission: queue at [queue_limit] *)
+  | Overloaded  (** rejected at submission: home shard at [queue_limit] *)
   | Nonconverged  (** cutting plane hit its round limit *)
   | No_design  (** SND: no tree enforceable within the budget *)
   | Solver_error of string  (** the solver raised; message attached *)
@@ -123,6 +149,23 @@ type outcome =
     }
   | Closed of { session : string }
 
+(** A streaming partial result, delivered through [submit]'s
+    [~on_progress] while the request solves (only when the request set
+    [stream = true]). Events fire on service worker domains — the sink
+    must be thread-safe and cheap, and exceptions it raises are swallowed
+    (a client bug must not poison the worker's batch). *)
+type progress =
+  | Snd_incumbent of {
+      weight : float;
+      subsidy_cost : float;
+      tree_edges : int list;
+    }
+      (** the SND search's affordable incumbent strictly improved; the
+          last event matches the final design *)
+  | Cut_round of { round : int; cuts : int }
+      (** a cutting-plane separation round found [cuts] violated
+          constraints (fired before the master re-solve) *)
+
 type response = {
   id : string;
   result : (outcome, error_reason) result;
@@ -133,28 +176,63 @@ type response = {
 type t
 type ticket
 
-(** [create ()] spawns the dispatcher domain and the worker pool.
-    [workers] is total solve parallelism (default 1: the dispatcher solves
-    alone, no extra domains); [queue_limit] the backpressure high-water
-    mark on {e pending} requests (default 256); [cache] the LRU capacity
-    in cached outcomes (default 512; [0] disables caching); [sessions]
-    the bounded session-table capacity (default 64; least-recently-used
-    handles are evicted — [Lru.find] on every session request refreshes
-    recency, so actively-driven sessions survive); [batch] how many
-    requests one pool sweep takes (default [2 * workers]). *)
+(** [create ()] spawns the shard fleet. [shards] independent shards
+    (default 1 — the seed's single-dispatcher behavior, including the
+    [s1], [s2], ... session-handle sequence); [workers] solve parallelism
+    {e per shard} (default 1: each dispatcher solves alone, no extra
+    domains); [queue_limit] the backpressure high-water mark on pending
+    requests {e per shard} (default 256); [cache] each shard's LRU
+    capacity in cached outcomes (default 512; [0] disables caching —
+    digest routing means the fleet never stores an instance twice, so
+    total capacity scales with the shard count); [sessions] each shard's
+    bounded session-table capacity (default 64; least-recently-used
+    {e unpinned} handles are evicted — [Lru.find] on every session
+    request refreshes recency, so actively-driven sessions survive);
+    [batch] how many requests one pool sweep takes (default
+    [2 * workers]). [now] injects the clock used for [submitted_at],
+    deadlines and [elapsed_ms] (default {!Repro_util.Mclock.now}, the
+    monotonic clock; tests inject a fake to simulate skew — wall time is
+    deliberately never consulted). *)
 val create :
+  ?shards:int ->
   ?workers:int ->
   ?queue_limit:int ->
   ?cache:int ->
   ?sessions:int ->
   ?batch:int ->
+  ?now:(unit -> float) ->
   unit ->
   t
 
-(** Enqueue; never raises and never blocks on solver work. When the queue
-    is at [queue_limit] (or the service is shut down), the ticket is
-    already complete with [Error Overloaded] (resp. [Error Shutdown]). *)
-val submit : t -> request -> ticket
+(** Number of shards the service was created with. *)
+val shard_count : t -> int
+
+(** The digest a request is routed by: the canonical instance digest
+    (of the re-serialized parse — every spelling of one instance routes
+    identically, and equals the [digest] sessions report) for stateless
+    and [Session_open] requests, falling back to the raw payload digest
+    when the payload does not parse; the digest of the handle for other
+    session requests (though their shard comes from the handle residue,
+    see {!shard_of_request}). *)
+val route_digest : request -> string
+
+(** Deterministic digest -> shard map: a pure function of the digest
+    bytes and [shards] only, identical across processes, runs, and OCaml
+    versions. Raises [Invalid_argument] when [shards < 1]. *)
+val shard_of_digest : shards:int -> string -> int
+
+(** The shard [submit] would route this request to: by
+    {!shard_of_digest} of {!route_digest} for instance-carrying
+    requests, by handle residue for session mutate/resolve/close. *)
+val shard_of_request : t -> request -> int
+
+(** Enqueue; never raises and never blocks on solver work. When the home
+    shard's queue is at [queue_limit] (or the service is shut down), the
+    ticket is already complete with [Error Overloaded] (resp.
+    [Error Shutdown]). [on_progress] is the streaming sink — it only
+    fires for requests with [stream = true], from worker domains (see
+    {!progress}). *)
+val submit : ?on_progress:(progress -> unit) -> t -> request -> ticket
 
 (** Block until the ticket's response is ready. Idempotent. *)
 val await : t -> ticket -> response
@@ -170,28 +248,32 @@ val cancel : t -> ticket -> unit
 (** [submit] them all, then [await] them all; responses in input order. *)
 val run_batch : t -> request list -> response list
 
-(** Pending (queued, not yet dispatched) request count — what
-    backpressure measures against [queue_limit]. *)
+(** Pending (queued, not yet dispatched) request count, summed over
+    shards — what backpressure measures against [queue_limit]
+    shard-locally. *)
 val pending : t -> int
 
-(** Requests currently executing on the pool. *)
+(** Requests currently executing, summed over shards. *)
 val inflight : t -> int
 
-(** Live incremental sessions in the bounded table. *)
+(** Live incremental sessions, summed over the per-shard tables. *)
 val active_sessions : t -> int
 
 (** Stop accepting work, fail remaining queued requests with
-    [Error Shutdown], join the dispatcher and the pool. Idempotent. *)
+    [Error Shutdown], join every shard's dispatcher and pool.
+    Idempotent. *)
 val shutdown : t -> unit
 
-(** [with_service ?workers ... f] runs [f] over a fresh service and
+(** [with_service ?shards ... f] runs [f] over a fresh service and
     shuts it down afterwards, also on exceptions. *)
 val with_service :
+  ?shards:int ->
   ?workers:int ->
   ?queue_limit:int ->
   ?cache:int ->
   ?sessions:int ->
   ?batch:int ->
+  ?now:(unit -> float) ->
   (t -> 'a) ->
   'a
 

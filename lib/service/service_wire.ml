@@ -85,7 +85,7 @@ let parse_request line =
   let find k = List.assoc_opt k pairs in
   let known =
     [ "id"; "kind"; "inst"; "method"; "backend"; "max_rounds"; "budget";
-      "deadline_ms"; "priority"; "session"; "delta" ]
+      "deadline_ms"; "priority"; "session"; "delta"; "stream" ]
   in
   let* () =
     List.fold_left
@@ -176,7 +176,14 @@ let parse_request line =
         else Ok (Some f)
   in
   let* priority = optional "priority" ~default:0 int_of in
-  Ok { Service.id; kind; payload; deadline_ms; priority }
+  let* stream =
+    optional "stream" ~default:false (fun k v ->
+        match v with
+        | "1" | "true" -> Ok true
+        | "0" | "false" -> Ok false
+        | _ -> Error (Printf.sprintf "key %S: expected 0/1/true/false, got %S" k v))
+  in
+  Ok { Service.id; kind; payload; deadline_ms; priority; stream }
 
 let request_to_string (r : Service.request) =
   let buf = Buffer.create 128 in
@@ -216,6 +223,7 @@ let request_to_string (r : Service.request) =
   | Some ms -> kv "deadline_ms" (Printf.sprintf "%.12g" ms)
   | None -> ());
   if r.Service.priority <> 0 then kv "priority" (string_of_int r.Service.priority);
+  if r.Service.stream then kv "stream" "1";
   (* The payload key mirrors the parser: inst for stateless kinds and
      open, delta for mutate, nothing for resolve/close. *)
   (match r.Service.kind with
@@ -357,3 +365,249 @@ let response_to_string r =
   (* to_string without indentation still has no trailing newline, but be
      explicit about the one-line contract. *)
   String.concat "" (String.split_on_char '\n' s)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming progress events                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Progress events carry "event" where responses carry "status", so a
+   client demultiplexes the interleaved stream on key presence alone. *)
+let progress_json ~id (p : Service.progress) =
+  match p with
+  | Service.Snd_incumbent { weight; subsidy_cost; tree_edges } ->
+      Json.Obj
+        [
+          ("id", Json.Str id);
+          ("event", Json.Str "incumbent");
+          ("weight", Json.Float weight);
+          ("subsidy_cost", Json.Float subsidy_cost);
+          ("tree_edges", Json.List (List.map (fun i -> Json.Int i) tree_edges));
+        ]
+  | Service.Cut_round { round; cuts } ->
+      Json.Obj
+        [
+          ("id", Json.Str id);
+          ("event", Json.Str "round");
+          ("round", Json.Int round);
+          ("cuts", Json.Int cuts);
+        ]
+
+let progress_to_string ~id p =
+  let s = Json.to_string ~indent:false (progress_json ~id p) in
+  String.concat "" (String.split_on_char '\n' s)
+
+(* ------------------------------------------------------------------ *)
+(* Binary wire                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Binary = struct
+  (* Length-prefixed frames: a 4-byte big-endian unsigned payload
+     length, then the payload. Request frames carry the compact binary
+     request encoding below; response and progress frames carry the same
+     one-line JSON the text wire emits (the win of the binary wire is on
+     the request side, where percent-encoding inflates instance text
+     ~3x — responses are already compact). The cap bounds a single
+     allocation from a hostile or corrupt prefix. *)
+
+  let max_frame = 16 * 1024 * 1024
+
+  let write_frame oc payload =
+    let n = String.length payload in
+    if n > max_frame then
+      invalid_arg "Service_wire.Binary.write_frame: frame exceeds max_frame";
+    let hdr = Bytes.create 4 in
+    Bytes.set_int32_be hdr 0 (Int32.of_int n);
+    output_bytes oc hdr;
+    output_string oc payload
+
+  let read_frame ic =
+    (* The first byte is read alone to tell a clean end-of-stream (EOF at
+       a frame boundary -> [Ok None]) from a prefix cut mid-write (a
+       structured error: the peer died or the stream is corrupt). *)
+    match input_char ic with
+    | exception End_of_file -> Ok None
+    | b0 -> (
+        match really_input_string ic 3 with
+        | exception End_of_file -> Error "truncated length prefix"
+        | rest -> (
+            let hdr = Bytes.create 4 in
+            Bytes.set_uint8 hdr 0 (Char.code b0);
+            Bytes.blit_string rest 0 hdr 1 3;
+            let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+            if n < 0 || n > max_frame then
+              Error
+                (Printf.sprintf "frame length %d exceeds the %d-byte cap" n
+                   max_frame)
+            else
+              match really_input_string ic n with
+              | exception End_of_file ->
+                  Error
+                    (Printf.sprintf "truncated frame: expected %d payload bytes"
+                       n)
+              | payload -> Ok (Some payload)))
+
+  (* Compact request encoding, version 1 (layout in DESIGN.md §12):
+
+       u8  version (1)
+       u8  kind tag: 0 sne | 1 enforce | 2 snd | 3 check
+                   | 4 open | 5 mutate | 6 resolve | 7 close
+       u8  flags: bit0 stream, bit1 deadline present
+       u16 |id|, id bytes
+       kind fields:
+         sne:  u8 method (0 lp3 | 1 cut), u8 backend (0 dense | 1 sparse),
+               u32 max_rounds
+         snd:  f64 budget (IEEE-754 bits)
+         open: u8 backend, u32 max_rounds
+         mutate/resolve/close: u16 |session|, session bytes
+       f64 deadline_ms             (iff flags bit1)
+       i32 priority                (two's complement)
+       u32 |payload|, payload bytes
+
+     All integers big-endian. Trailing bytes after the payload are a
+     decode error — a frame is exactly one request. *)
+
+  let tag_of_kind = function
+    | Service.Sne _ -> 0
+    | Service.Enforce -> 1
+    | Service.Snd _ -> 2
+    | Service.Check -> 3
+    | Service.Session_open _ -> 4
+    | Service.Session_mutate _ -> 5
+    | Service.Session_resolve _ -> 6
+    | Service.Session_close _ -> 7
+
+  let encode_request (r : Service.request) =
+    let buf = Buffer.create (128 + String.length r.Service.payload) in
+    let u8 v = Buffer.add_uint8 buf v in
+    let u16s s =
+      if String.length s > 0xFFFF then
+        invalid_arg "Service_wire.Binary.encode_request: string exceeds u16 length";
+      Buffer.add_uint16_be buf (String.length s);
+      Buffer.add_string buf s
+    in
+    let u32 v = Buffer.add_int32_be buf (Int32.of_int v) in
+    let f64 v = Buffer.add_int64_be buf (Int64.bits_of_float v) in
+    let backend_byte = function Service.Dense -> 0 | Service.Sparse -> 1 in
+    u8 1;
+    u8 (tag_of_kind r.Service.kind);
+    u8
+      ((if r.Service.stream then 1 else 0)
+      lor match r.Service.deadline_ms with Some _ -> 2 | None -> 0);
+    u16s r.Service.id;
+    (match r.Service.kind with
+    | Service.Sne { meth; backend; max_rounds } ->
+        u8 (match meth with `Lp3 -> 0 | `Cut -> 1);
+        u8 (backend_byte backend);
+        u32 max_rounds
+    | Service.Enforce | Service.Check -> ()
+    | Service.Snd { budget } -> f64 budget
+    | Service.Session_open { backend; max_rounds } ->
+        u8 (backend_byte backend);
+        u32 max_rounds
+    | Service.Session_mutate { session }
+    | Service.Session_resolve { session }
+    | Service.Session_close { session } ->
+        u16s session);
+    (match r.Service.deadline_ms with Some ms -> f64 ms | None -> ());
+    u32 r.Service.priority;
+    u32 (String.length r.Service.payload);
+    Buffer.add_string buf r.Service.payload;
+    Buffer.contents buf
+
+  exception Bad of string
+
+  let decode_request s =
+    let b = Bytes.unsafe_of_string s in
+    let len = String.length s in
+    let pos = ref 0 in
+    let need n what =
+      if !pos + n > len then raise (Bad (Printf.sprintf "truncated %s" what))
+    in
+    let u8 what =
+      need 1 what;
+      let v = Bytes.get_uint8 b !pos in
+      incr pos;
+      v
+    in
+    let u16 what =
+      need 2 what;
+      let v = Bytes.get_uint16_be b !pos in
+      pos := !pos + 2;
+      v
+    in
+    let i32 what =
+      need 4 what;
+      let v = Int32.to_int (Bytes.get_int32_be b !pos) in
+      pos := !pos + 4;
+      v
+    in
+    let f64 what =
+      need 8 what;
+      let v = Int64.float_of_bits (Bytes.get_int64_be b !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let str n what =
+      need n what;
+      let v = String.sub s !pos n in
+      pos := !pos + n;
+      v
+    in
+    let sized what = str (u16 what) what in
+    let backend what =
+      match u8 what with
+      | 0 -> Service.Dense
+      | 1 -> Service.Sparse
+      | v -> raise (Bad (Printf.sprintf "%s: bad backend byte %d" what v))
+    in
+    try
+      (match u8 "version" with
+      | 1 -> ()
+      | v -> raise (Bad (Printf.sprintf "unsupported version %d" v)));
+      let tag = u8 "kind tag" in
+      let flags = u8 "flags" in
+      if flags land lnot 3 <> 0 then
+        raise (Bad (Printf.sprintf "unknown flag bits 0x%x" (flags land lnot 3)));
+      let stream = flags land 1 <> 0 in
+      let id = sized "id" in
+      let kind =
+        match tag with
+        | 0 ->
+            let meth =
+              match u8 "method" with
+              | 0 -> `Lp3
+              | 1 -> `Cut
+              | v -> raise (Bad (Printf.sprintf "bad method byte %d" v))
+            in
+            let backend = backend "backend" in
+            Service.Sne { meth; backend; max_rounds = i32 "max_rounds" }
+        | 1 -> Service.Enforce
+        | 2 -> Service.Snd { budget = f64 "budget" }
+        | 3 -> Service.Check
+        | 4 ->
+            let backend = backend "backend" in
+            Service.Session_open { backend; max_rounds = i32 "max_rounds" }
+        | 5 -> Service.Session_mutate { session = sized "session" }
+        | 6 -> Service.Session_resolve { session = sized "session" }
+        | 7 -> Service.Session_close { session = sized "session" }
+        | v -> raise (Bad (Printf.sprintf "unknown kind tag %d" v))
+      in
+      let deadline_ms =
+        if flags land 2 <> 0 then begin
+          let ms = f64 "deadline_ms" in
+          if not (ms > 0.0) then
+            raise (Bad "key \"deadline_ms\": must be positive");
+          Some ms
+        end
+        else None
+      in
+      let priority = i32 "priority" in
+      let n_payload = i32 "payload length" in
+      if n_payload < 0 || n_payload > max_frame then
+        raise (Bad (Printf.sprintf "bad payload length %d" n_payload));
+      let payload = str n_payload "payload" in
+      if !pos <> len then
+        raise (Bad (Printf.sprintf "%d trailing bytes after the payload" (len - !pos)));
+      Ok { Service.id; kind; payload; deadline_ms; priority; stream }
+    with Bad msg -> Error msg
+end

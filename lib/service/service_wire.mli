@@ -24,7 +24,8 @@
     [mutate]/[resolve]/[close]; the handle returned by [open]'s
     [opened] outcome), [delta] (required for [mutate]; a percent-encoded
     {!Repro_core.Serial.Make.Delta} trace, one delta per line, applied
-    all-or-nothing), [deadline_ms], [priority] (default 0). Unknown keys,
+    all-or-nothing), [deadline_ms], [priority] (default 0), [stream]
+    ([0] default | [1]; opt into progress events). Unknown keys,
     duplicate keys and malformed values are parse errors — the serve loop
     answers them with a structured [parse_error] response rather than
     dying.
@@ -57,7 +58,29 @@
     answers [{"type":"mutated",...,"applied":N}]; [resolve] answers
     [{"type":"resolved",...}] with the subsidy plan plus warm-start
     telemetry ([pivots], [rounds], [reused_cuts], [fresh_cuts], [warm]);
-    [close] answers [{"type":"closed","session":"s1"}]. *)
+    [close] answers [{"type":"closed","session":"s1"}].
+
+    {2 Progress events}
+
+    A request with [stream=1] additionally receives zero or more one-line
+    JSON progress events {e before} its response — SND incumbents as the
+    search improves, cutting-plane rounds as they close:
+
+    {v
+    {"id":"7","event":"incumbent","weight":4.0,"subsidy_cost":0.5,"tree_edges":[0,2]}
+    {"id":"7","event":"round","round":0,"cuts":3}
+    v}
+
+    Events carry [event] where responses carry [status], so clients
+    demultiplex on key presence. Events of concurrently-executing
+    requests may interleave; responses keep the usual ordering contract.
+
+    {2 Binary wire}
+
+    [sne_cli serve --stdio --wire=binary] speaks the same protocol in
+    length-prefixed frames (see {!Binary}): request frames carry the
+    compact binary request encoding; response and progress frames carry
+    the same one-line JSON as the text wire. *)
 
 (** Percent-encode every byte outside the unreserved set
     [A-Za-z0-9._~/:-]. *)
@@ -87,3 +110,38 @@ val response_json : Service.response -> Repro_util.Bench_json.t
 
 (** One line, no trailing newline. *)
 val response_to_string : Service.response -> string
+
+val progress_json : id:string -> Service.progress -> Repro_util.Bench_json.t
+
+(** One progress-event line for request [id]; no trailing newline. *)
+val progress_to_string : id:string -> Service.progress -> string
+
+(** The length-prefixed binary wire: 4-byte big-endian payload length,
+    then the payload, capped at {!Binary.max_frame}. Request frames carry
+    {!Binary.encode_request}'s compact encoding (layout documented in
+    DESIGN.md §12); response and progress frames carry the one-line JSON
+    of {!response_to_string} / {!progress_to_string}. *)
+module Binary : sig
+  (** 16 MiB — bounds the allocation a corrupt or hostile length prefix
+      can demand. *)
+  val max_frame : int
+
+  (** Write one frame (length prefix + payload). Raises
+      [Invalid_argument] past {!max_frame}; the caller flushes. *)
+  val write_frame : out_channel -> string -> unit
+
+  (** Read one frame. [Ok None] on a clean end-of-stream (EOF exactly at
+      a frame boundary); [Error] on a truncated length prefix, a length
+      above {!max_frame}, or a payload cut short — corrupt streams are
+      structured errors, never exceptions. *)
+  val read_frame : in_channel -> (string option, string) result
+
+  (** Compact binary request encoding, version 1.
+      {!decode_request} round-trips it. *)
+  val encode_request : Service.request -> string
+
+  (** [Error] on truncated fields, unknown version/tag/flag bits, bad
+      enum bytes, nonpositive deadlines, or trailing bytes (a frame is
+      exactly one request). *)
+  val decode_request : string -> (Service.request, string) result
+end

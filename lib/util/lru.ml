@@ -72,7 +72,34 @@ let clear t =
   t.hits <- 0;
   t.misses <- 0
 
-let add ?on_evict t k v =
+(* Least-recently-used entry the [keep] predicate does not protect, or
+   None when every entry is pinned. Walks tail-to-front so the victim is
+   the stalest evictable entry, matching plain LRU when [keep] is absent. *)
+let victim_of ?keep t =
+  let protected_ n =
+    match keep with Some f -> f n.key n.value | None -> false
+  in
+  let rec walk = function
+    | None -> None
+    | Some n -> if protected_ n then walk n.prev else Some n
+  in
+  walk t.last
+
+let evict_one ?on_evict ?keep t =
+  match victim_of ?keep t with
+  | None -> false
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.table victim.key;
+      (* The callback runs after the victim is already gone, so a
+         re-entrant [add]/[remove] from inside it sees a consistent
+         cache (it just must not assume the victim is still there). *)
+      (match on_evict with
+      | Some f -> f victim.key victim.value
+      | None -> ());
+      true
+
+let add ?on_evict ?keep t k v =
   match Hashtbl.find_opt t.table k with
   | Some n ->
       n.value <- v;
@@ -82,18 +109,17 @@ let add ?on_evict t k v =
       let n = { key = k; value = v; prev = None; next = None } in
       Hashtbl.replace t.table k n;
       push_front t n;
-      if Hashtbl.length t.table > t.capacity then (
-        match t.last with
-        | Some victim ->
-            unlink t victim;
-            Hashtbl.remove t.table victim.key;
-            (* The callback runs after the victim is already gone, so a
-               re-entrant [add]/[remove] from inside it sees a consistent
-               cache (it just must not assume the victim is still there). *)
-            (match on_evict with
-            | Some f -> f victim.key victim.value
-            | None -> ())
-        | None -> ())
+      if Hashtbl.length t.table > t.capacity then
+        (* When every entry is pinned the table temporarily overflows;
+           [shrink] restores the bound once pins release. *)
+        ignore (evict_one ?on_evict ?keep t : bool)
+
+let shrink ?on_evict ?keep t =
+  let rec loop () =
+    if Hashtbl.length t.table > t.capacity && evict_one ?on_evict ?keep t
+    then loop ()
+  in
+  loop ()
 
 (* Keep only the entries the predicate accepts, preserving recency order.
    Walks the intrusive list (not the hashtable) so the relative order of

@@ -20,8 +20,30 @@ val find : ('k, 'v) t -> 'k -> 'v option
     {!find} moves the hit/miss counters, so [hits + misses] is exactly the
     number of [find] calls. [on_evict] fires once per capacity eviction,
     after the victim has been removed (never on overwrite or {!remove}),
-    so session tables can release resources held by the evicted value. *)
-val add : ?on_evict:('k -> 'v -> unit) -> ('k, 'v) t -> 'k -> 'v -> unit
+    so session tables can release resources held by the evicted value.
+
+    [keep] pins entries: the victim is the least recently used entry the
+    predicate rejects. When every entry is pinned, no eviction happens
+    and the table temporarily exceeds capacity — call {!shrink} once pins
+    release to restore the bound. The service session table uses this to
+    never drop a session whose per-session lock is held by an in-flight
+    resolve. *)
+val add :
+  ?on_evict:('k -> 'v -> unit) ->
+  ?keep:('k -> 'v -> bool) ->
+  ('k, 'v) t ->
+  'k ->
+  'v ->
+  unit
+
+(** Evict least-recently-used, non-[keep] entries until the table is back
+    within capacity or only pinned entries remain. [on_evict] fires per
+    victim exactly as in {!add}. No-op when already within capacity. *)
+val shrink :
+  ?on_evict:('k -> 'v -> unit) ->
+  ?keep:('k -> 'v -> bool) ->
+  ('k, 'v) t ->
+  unit
 
 (** Drop [k] if present (no counter movement); no-op otherwise. *)
 val remove : ('k, 'v) t -> 'k -> unit

@@ -1,0 +1,1 @@
+external now : unit -> float = "repro_mclock_now"

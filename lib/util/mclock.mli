@@ -1,0 +1,13 @@
+(** Monotonic clock.
+
+    [now ()] is seconds since an arbitrary epoch (boot, typically),
+    strictly unaffected by NTP steps or manual wall-clock changes. Use
+    it for every duration and deadline computation; keep
+    [Unix.gettimeofday] strictly for human-facing timestamps. The
+    service layer injects this as its default clock and tests substitute
+    a fake to simulate skew deterministically. *)
+
+val now : unit -> float
+(** Monotonic seconds. Differences between two calls on the same domain
+    are nonnegative; the absolute value is meaningless across
+    processes. *)

@@ -1,0 +1,21 @@
+/* Monotonic clock for deadline arithmetic (DESIGN.md, service layer).
+
+   OCaml 5.1's Unix module exposes only gettimeofday, which follows NTP
+   steps and manual clock changes; a wall-clock deadline computed before
+   a backwards step never fires, and a forwards step expires everything
+   in flight. CLOCK_MONOTONIC is immune to both. The stub stays
+   noalloc-free (caml_copy_double allocates) but needs no runtime lock
+   release: clock_gettime is a vDSO call on Linux, nanoseconds not
+   milliseconds. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value repro_mclock_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}

@@ -168,3 +168,61 @@ and replaying an instance hits the response cache:
   {"id":"a","status":"ok","cache_hit":false,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
   {"id":"b","status":"error","cache_hit":false,"elapsed_ms":_,"reason":"parse_error","detail":"key \"kind\": expected sne, enforce, snd, check, open, mutate, resolve or close, got \"bogus\""}
   {"id":"c","status":"ok","cache_hit":true,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
+
+Clean end-of-stream: a serve loop whose stdin closes with nothing in it
+drains and exits 0 with no output, on both wires — EOF is a shutdown
+signal, not an error:
+
+  $ sne_cli serve --stdio </dev/null
+  $ sne_cli serve --stdio --wire=binary </dev/null
+
+Sharding: the same replay through two shards routes both copies of the
+instance to the same shard, so the response cache still hits:
+
+  $ printf 'id=a kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\nid=b kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\n' \
+  >   | sne_cli serve --stdio --shards=2 | sed -E 's/"elapsed_ms":[-0-9.e+]+/"elapsed_ms":_/'
+  {"id":"a","status":"ok","cache_hit":false,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
+  {"id":"b","status":"ok","cache_hit":true,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
+
+Streaming: a request with stream=1 receives progress events (here the
+single SND incumbent) before its response; events carry "event" where
+responses carry "status":
+
+  $ printf 'id=s kind=snd budget=1000000 stream=1 inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\n' \
+  >   | sne_cli serve --stdio | sed -E 's/"elapsed_ms":[-0-9.e+]+/"elapsed_ms":_/'
+  {"id":"s","event":"incumbent","weight":3.0,"subsidy_cost":0.0,"tree_edges":[0]}
+  {"id":"s","status":"ok","cache_hit":false,"elapsed_ms":_,"outcome":{"type":"design","weight":3.0,"subsidy_cost":0.0,"tree_edges":[0]}}
+
+The binary wire speaks the documented frame layout to a foreign client:
+a request frame assembled byte-by-byte in python comes back as a framed
+JSON response (version 1, tag 3 = check, zero flags, id "a"):
+
+  $ python3 -c 'import struct,sys
+  > inst=b"nodes 2\nroot 0\nedge 0 1 3\n"
+  > body=bytes([1,3,0])+struct.pack(">H",1)+b"a"+struct.pack(">i",0)+struct.pack(">I",len(inst))+inst
+  > sys.stdout.buffer.write(struct.pack(">I",len(body))+body)' \
+  >   | sne_cli serve --stdio --wire=binary \
+  >   | python3 -c 'import struct,sys
+  > r=sys.stdin.buffer
+  > while True:
+  >     h=r.read(4)
+  >     if not h: break
+  >     (n,)=struct.unpack(">I",h)
+  >     print(r.read(n).decode())' \
+  >   | sed -E 's/"elapsed_ms":[-0-9.e+]+/"elapsed_ms":_/'
+  {"id":"a","status":"ok","cache_hit":false,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
+
+A corrupt frame (here a length prefix cut to two NUL bytes) answers with a
+structured parse error and then stops reading — resynchronization on a
+length-prefixed stream is impossible, but the loop still exits 0:
+
+  $ printf '\000\000' | sne_cli serve --stdio --wire=binary \
+  >   | python3 -c 'import struct,sys
+  > r=sys.stdin.buffer
+  > while True:
+  >     h=r.read(4)
+  >     if not h: break
+  >     (n,)=struct.unpack(">I",h)
+  >     print(r.read(n).decode())' \
+  >   | sed -E 's/"elapsed_ms":[-0-9.e+]+/"elapsed_ms":_/'
+  {"id":"","status":"error","cache_hit":false,"elapsed_ms":_,"reason":"parse_error","detail":"truncated length prefix"}

@@ -22,8 +22,8 @@ let payload ?(seed = 1) ?(n = 8) ?(extra = 5) () =
       budget = None;
     }
 
-let req ?(id = "r") ?deadline_ms ?(priority = 0) kind payload =
-  { Service.id; kind; payload; deadline_ms; priority }
+let req ?(id = "r") ?deadline_ms ?(priority = 0) ?(stream = false) kind payload =
+  { Service.id; kind; payload; deadline_ms; priority; stream }
 
 let lp3 = Service.Sne { meth = `Lp3; backend = Service.Dense; max_rounds = 500 }
 
@@ -526,6 +526,452 @@ let test_session_wire_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "open without inst must not parse"
 
+(* ------------------------------------------------------------------ *)
+(* Monotonic deadlines (regression: deadlines once read the wall clock) *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_monotonic_clock () =
+  (* Inject a fake service clock. Deadlines and elapsed_ms must be
+     computed against it — never against Unix.gettimeofday — so a
+     wall-clock step (NTP, suspend/resume) can neither fire a deadline
+     early nor hold one open. *)
+  let fake = Atomic.make 1000.0 in
+  Service.with_service ~now:(fun () -> Atomic.get fake) (fun svc ->
+      (* Frozen clock: real seconds pass while this request solves, but
+         per the service clock zero time elapses, so even a 1ms deadline
+         must NOT fire. With the old wall-clock arithmetic this request
+         came back deadline_expired. *)
+      let r =
+        Service.await svc
+          (Service.submit svc (req ~id:"frozen" ~deadline_ms:1.0 lp3 (payload ~seed:31 ())))
+      in
+      ignore (ok_outcome r);
+      Alcotest.(check (float 1e-9)) "elapsed_ms read from the service clock" 0.0
+        r.Service.elapsed_ms;
+      (* The reverse direction: a deadline computed before clock movement
+         still fires once the service clock passes it, aborting a search
+         that would otherwise run for minutes. *)
+      let t0 = Unix.gettimeofday () in
+      let tk =
+        Service.submit svc (req ~id:"skewed" ~deadline_ms:100.0 slow_snd slow_payload)
+      in
+      spin_until "the slow search to start" (fun () -> Service.inflight svc = 1);
+      Atomic.set fake 1000.2 (* 200ms later on the service clock *);
+      (match err_reason (Service.await svc tk) with
+      | Service.Deadline_expired -> ()
+      | e -> Alcotest.failf "expected deadline_expired, got %s" (Wire.reason_slug e));
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "aborted promptly in real time (%.1fs)" elapsed)
+        true (elapsed < 30.0))
+
+(* ------------------------------------------------------------------ *)
+(* Session pinning (regression: LRU eviction vs in-flight resolve)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_pin_survives_churn () =
+  (* A capacity-1 session table, a resolve in flight on it, and a burst
+     of concurrent opens churning the table far past capacity. The
+     in-flight session is pinned: it must survive to a Resolved outcome
+     (never Unknown_session, never a crash), every open must answer
+     Opened, and once the pin drops the table must shrink back to
+     capacity. Before pinning, the eviction path could drop the entry
+     while its per-session mutex was held by the resolve. *)
+  Service.with_service ~workers:2 ~sessions:1 (fun svc ->
+      let p = payload ~seed:21 ~n:12 ~extra:10 () in
+      let h, _ =
+        opened (ok_outcome (Service.await svc (Service.submit svc (req ~id:"o" open_kind p))))
+      in
+      let resolve =
+        Service.submit svc (req ~id:"rz" (Service.Session_resolve { session = h }) "")
+      in
+      (* A fast resolve can start and finish between two polls, so accept
+         "already done" as started — the churn below still exercises the
+         pin whenever the race does occur. *)
+      spin_until "the resolve to start" (fun () ->
+          Service.inflight svc >= 1 || Service.poll_response svc resolve <> None);
+      let churn =
+        List.init 8 (fun i ->
+            Service.submit svc
+              (req ~id:(Printf.sprintf "ch%d" i) open_kind (payload ~seed:(40 + i) ())))
+      in
+      (match (Service.await svc resolve).Service.result with
+      | Ok (Service.Resolved _) -> ()
+      | Ok _ -> Alcotest.fail "expected resolved outcome"
+      | Error (Service.Unknown_session _) ->
+          Alcotest.fail "in-flight resolve lost its session to LRU eviction"
+      | Error e -> Alcotest.failf "resolve failed: %s" (Wire.reason_slug e));
+      List.iter
+        (fun tk ->
+          match ok_outcome (Service.await svc tk) with
+          | Service.Opened _ -> ()
+          | _ -> Alcotest.fail "expected opened outcome")
+        churn;
+      Alcotest.(check int) "table back at capacity after the pin drops" 1
+        (Service.active_sessions svc))
+
+(* ------------------------------------------------------------------ *)
+(* Shard routing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_routing_deterministic () =
+  (* The digest-to-shard map is a pure function: stable across calls and
+     service instances, always in range, and total (any digest string). *)
+  let digests =
+    List.init 64 (fun i -> Repro_util.Digestx.of_string (Printf.sprintf "inst-%d" i))
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun shards ->
+          let s = Service.shard_of_digest ~shards d in
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d in range for %d shards" s shards)
+            true
+            (s >= 0 && s < shards);
+          Alcotest.(check int) "routing is deterministic" s
+            (Service.shard_of_digest ~shards d))
+        [ 1; 2; 3; 4; 7 ])
+    digests;
+  (* One shard means shard 0, always. *)
+  List.iter
+    (fun d -> Alcotest.(check int) "single shard" 0 (Service.shard_of_digest ~shards:1 d))
+    digests;
+  (* With several shards the map must actually spread: 64 distinct
+     digests landing on one of 4 shards all together would make the
+     shards pointless (probability ~4^-63 by chance). *)
+  let spread =
+    List.sort_uniq compare (List.map (Service.shard_of_digest ~shards:4) digests)
+  in
+  Alcotest.(check bool) "digests spread over shards" true (List.length spread > 1);
+  (* Routing canonicalizes the payload, so cosmetic differences (comments,
+     blank lines) reach the same shard — and therefore the same cache. *)
+  let p = payload ~seed:33 () in
+  let p' = "# cosmetic comment\n\n" ^ p in
+  Service.with_service ~shards:4 ~workers:1 (fun svc ->
+      Alcotest.(check int) "canonicalized payloads co-route"
+        (Service.shard_of_request svc (req lp3 p))
+        (Service.shard_of_request svc (req lp3 p')))
+
+let test_shard_cache_affinity () =
+  (* Replays of the same instance must land on the shard that cached the
+     first solve, whatever the shard count: a cache hit across a 4-shard
+     service proves the affinity end to end. *)
+  Service.with_service ~shards:4 ~workers:1 (fun svc ->
+      let p = payload ~seed:34 () in
+      let r1 = Service.await svc (Service.submit svc (req ~id:"a1" lp3 p)) in
+      let r2 = Service.await svc (Service.submit svc (req ~id:"a2" lp3 p)) in
+      Alcotest.(check bool) "first solve misses" false r1.Service.cache_hit;
+      Alcotest.(check bool) "replay hits across 4 shards" true r2.Service.cache_hit;
+      Alcotest.(check string) "byte-identical outcome"
+        (Wire.outcome_to_string (ok_outcome r1))
+        (Wire.outcome_to_string (ok_outcome r2));
+      (* Sessions stay on their home shard through the handle residue:
+         open, mutate, resolve, close must all find the same state. *)
+      let h, _ =
+        opened
+          (ok_outcome
+             (Service.await svc (Service.submit svc (req ~id:"so" open_kind (payload ~seed:35 ())))))
+      in
+      (match
+         ok_outcome
+           (Service.await svc
+              (Service.submit svc
+                 (req ~id:"sm" (Service.Session_mutate { session = h }) "edge_weight 0 4")))
+       with
+      | Service.Mutated { applied; _ } -> Alcotest.(check int) "delta applied" 1 applied
+      | _ -> Alcotest.fail "expected mutated outcome");
+      (match
+         ok_outcome
+           (Service.await svc
+              (Service.submit svc (req ~id:"sr" (Service.Session_resolve { session = h }) "")))
+       with
+      | Service.Resolved _ -> ()
+      | _ -> Alcotest.fail "expected resolved outcome");
+      match
+        ok_outcome
+          (Service.await svc
+             (Service.submit svc (req ~id:"sc" (Service.Session_close { session = h }) "")))
+      with
+      | Service.Closed _ -> ()
+      | _ -> Alcotest.fail "expected closed outcome")
+
+let test_sharded_batch () =
+  (* The full mixed workload across 3 shards: every request answered,
+     ids in order, same outcomes as the single-shard service. *)
+  let mixed svc =
+    let p = payload ~seed:36 () in
+    Service.run_batch svc
+      [
+        req ~id:"m1" lp3 p;
+        req ~id:"m2" Service.Enforce p;
+        req ~id:"m3" Service.Check p;
+        req ~id:"m4" (Service.Snd { budget = 1e6 }) (payload ~seed:37 ());
+        req ~id:"m5" lp3 (payload ~seed:38 ());
+      ]
+  in
+  let one = Service.with_service ~shards:1 ~workers:1 mixed in
+  let three = Service.with_service ~shards:3 ~workers:1 mixed in
+  Alcotest.(check (list string))
+    "ids echoed in order" [ "m1"; "m2"; "m3"; "m4"; "m5" ]
+    (List.map (fun r -> r.Service.id) three);
+  List.iter2
+    (fun a b ->
+      match (a.Service.result, b.Service.result) with
+      | Ok oa, Ok ob ->
+          Alcotest.(check string)
+            (Printf.sprintf "outcome %s matches single-shard" a.Service.id)
+            (Wire.outcome_to_string oa) (Wire.outcome_to_string ob)
+      | _ -> Alcotest.failf "request %s failed" a.Service.id)
+    one three
+
+(* ------------------------------------------------------------------ *)
+(* Streaming progress events                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_streaming_progress () =
+  Service.with_service (fun svc ->
+      let events = ref [] in
+      let record =
+        let mu = Mutex.create () in
+        fun p ->
+          Mutex.lock mu;
+          events := p :: !events;
+          Mutex.unlock mu
+      in
+      (* SND with a generous budget streams every incumbent improvement;
+         the last streamed incumbent must match the returned design. *)
+      let p = payload ~seed:39 ~n:9 ~extra:6 () in
+      let tk =
+        Service.submit ~on_progress:record svc
+          (req ~id:"st" ~stream:true (Service.Snd { budget = 1e6 }) p)
+      in
+      let r = Service.await svc tk in
+      let incumbents =
+        List.filter_map
+          (function
+            | Service.Snd_incumbent { subsidy_cost; tree_edges; _ } ->
+                Some (subsidy_cost, tree_edges)
+            | _ -> None)
+          (List.rev !events)
+      in
+      Alcotest.(check bool) "at least one incumbent streamed" true (incumbents <> []);
+      (match ok_outcome r with
+      | Service.Design { subsidy_cost; tree_edges; _ } ->
+          let last_cost, last_tree = List.nth incumbents (List.length incumbents - 1) in
+          Alcotest.(check (float 1e-9)) "last incumbent is the answer" subsidy_cost
+            last_cost;
+          Alcotest.(check (list int)) "same tree" tree_edges last_tree
+      | _ -> Alcotest.fail "expected design outcome");
+      (* Cutting-plane solves stream a Cut_round per separation round. *)
+      events := [];
+      let cut = Service.Sne { meth = `Cut; backend = Service.Dense; max_rounds = 500 } in
+      (* seed 38 is picked so the initial master is infeasible: the
+         cutting loop provably runs at least one separation round that
+         finds cuts, so an event is guaranteed, deterministically. *)
+      let r =
+        Service.await svc
+          (Service.submit ~on_progress:record svc
+             (req ~id:"cr" ~stream:true cut (payload ~seed:38 ~n:10 ~extra:8 ())))
+      in
+      ignore (ok_outcome r);
+      let rounds =
+        List.filter_map
+          (function Service.Cut_round { round; cuts } -> Some (round, cuts) | _ -> None)
+          !events
+      in
+      Alcotest.(check bool) "at least one cut round streamed" true (rounds <> []);
+      List.iter
+        (fun (_, cuts) -> Alcotest.(check bool) "cuts positive" true (cuts > 0))
+        rounds;
+      (* stream=false suppresses events even with a sink attached. *)
+      events := [];
+      let r =
+        Service.await svc
+          (Service.submit ~on_progress:record svc (req ~id:"ns" cut (payload ~seed:41 ())))
+      in
+      ignore r;
+      Alcotest.(check int) "no events without stream=1" 0 (List.length !events))
+
+let test_progress_wire_emission () =
+  let inc =
+    Service.Snd_incumbent { weight = 4.0; subsidy_cost = 0.5; tree_edges = [ 0; 2 ] }
+  in
+  let s = Wire.progress_to_string ~id:"p1" inc in
+  Alcotest.(check bool) "one line" false (String.contains s '\n');
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "has %s" affix) true (contains ~affix s))
+    [
+      "\"id\":\"p1\"";
+      "\"event\":\"incumbent\"";
+      "\"subsidy_cost\":0.5";
+      "\"tree_edges\":[0,2]";
+    ];
+  Alcotest.(check bool) "events carry no status key" false (contains ~affix:"\"status\"" s);
+  let s = Wire.progress_to_string ~id:"p2" (Service.Cut_round { round = 3; cuts = 7 }) in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "has %s" affix) true (contains ~affix s))
+    [ "\"id\":\"p2\""; "\"event\":\"round\""; "\"round\":3"; "\"cuts\":7" ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire codecs: properties and corrupt-input rejection                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let arbitrary_bytes = QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 200))
+
+let prop_percent_roundtrip =
+  prop "percent encode/decode round-trips arbitrary bytes" arbitrary_bytes (fun s ->
+      Wire.decode (Wire.encode s) = Ok s)
+
+let request_gen =
+  let open QCheck2.Gen in
+  let ident = string_size ~gen:(char_range 'a' 'z') (1 -- 8) in
+  let kind =
+    oneof
+      [
+        map3
+          (fun m b r ->
+            Service.Sne
+              {
+                meth = (if m then `Lp3 else `Cut);
+                backend = (if b then Service.Dense else Service.Sparse);
+                max_rounds = r;
+              })
+          bool bool (1 -- 1000);
+        return Service.Enforce;
+        return Service.Check;
+        map (fun b -> Service.Snd { budget = float_of_int b /. 16.0 }) (0 -- 10_000);
+        map2
+          (fun b r ->
+            Service.Session_open
+              { backend = (if b then Service.Dense else Service.Sparse); max_rounds = r })
+          bool (1 -- 1000);
+        map (fun s -> Service.Session_mutate { session = s }) ident;
+        map (fun s -> Service.Session_resolve { session = s }) ident;
+        map (fun s -> Service.Session_close { session = s }) ident;
+      ]
+  in
+  let deadline = oneof [ return None; map (fun d -> Some (float_of_int d /. 8.0)) (1 -- 80_000) ] in
+  map3
+    (fun (id, k) payload (dl, (prio, stream)) ->
+      { Service.id; kind = k; payload; deadline_ms = dl; priority = prio; stream })
+    (pair ident kind) arbitrary_bytes
+    (pair deadline (pair (0 -- 9) bool))
+
+let prop_binary_request_roundtrip =
+  prop "binary request codec round-trips" request_gen (fun r ->
+      Wire.Binary.decode_request (Wire.Binary.encode_request r) = Ok r)
+
+let prop_text_request_roundtrip =
+  prop "text request codec round-trips" request_gen (fun r ->
+      (* The text wire requires nonempty payloads for payload-bearing
+         kinds; normalize the generated request accordingly. *)
+      let r =
+        match r.Service.kind with
+        | Service.Session_resolve _ | Service.Session_close _ ->
+            { r with Service.payload = "" }
+        | Service.Session_mutate _ when r.Service.payload = "" ->
+            { r with Service.payload = "edge_weight 0 1" }
+        | _ when r.Service.payload = "" -> { r with Service.payload = "x" }
+        | _ -> r
+      in
+      Wire.parse_request (Wire.request_to_string r) = Ok r)
+
+let with_frames payloads k =
+  (* Round-trip frames through a real file: the framing layer is defined
+     against channels, and a temp file keeps the test honest about
+     buffering and EOF. *)
+  let path = Filename.temp_file "wire_frames" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      List.iter (Wire.Binary.write_frame oc) payloads;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> k ic))
+
+let prop_frame_roundtrip =
+  prop "length-prefixed framing round-trips" (QCheck2.Gen.list_size (QCheck2.Gen.(0 -- 8)) arbitrary_bytes)
+    (fun payloads ->
+      with_frames payloads (fun ic ->
+          let rec drain acc =
+            match Wire.Binary.read_frame ic with
+            | Ok (Some p) -> drain (p :: acc)
+            | Ok None -> List.rev acc
+            | Error e -> Alcotest.failf "framing error on clean stream: %s" e
+          in
+          drain [] = payloads))
+
+let write_raw bytes k =
+  let path = Filename.temp_file "wire_raw" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> k ic))
+
+let expect_frame_error what bytes affix =
+  write_raw bytes (fun ic ->
+      match Wire.Binary.read_frame ic with
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s names the fault (%s)" what e)
+            true (contains ~affix e)
+      | Ok (Some _) -> Alcotest.failf "%s: corrupt stream produced a frame" what
+      | Ok None -> Alcotest.failf "%s: corrupt stream read as clean EOF" what)
+
+let test_binary_frame_rejection () =
+  (* Clean EOF at a frame boundary is Ok None... *)
+  write_raw "" (fun ic ->
+      match Wire.Binary.read_frame ic with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "empty stream must read as clean EOF");
+  (* ...but a cut-off length prefix, an oversized length, and a payload
+     shorter than its prefix are structured errors, never exceptions. *)
+  expect_frame_error "truncated prefix" "\x00\x00" "truncated length prefix";
+  expect_frame_error "oversized frame" "\x7f\xff\xff\xff rest" "exceeds";
+  expect_frame_error "truncated payload" "\x00\x00\x00\x0aabc" "truncated frame";
+  (* Negative length (high bit set) is oversized, not a crash. *)
+  expect_frame_error "negative length" "\xff\xff\xff\xff" "exceeds";
+  (* write_frame refuses to emit an oversized frame at the source. *)
+  Alcotest.check_raises "write_frame caps at max_frame"
+    (Invalid_argument "Service_wire.Binary.write_frame: frame exceeds max_frame")
+    (fun () ->
+      let oc = open_out_bin "/dev/null" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Wire.Binary.write_frame oc (String.make (Wire.Binary.max_frame + 1) 'x')))
+
+let test_binary_request_rejection () =
+  let bad what bytes =
+    match Wire.Binary.decode_request bytes with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s must not decode" what
+  in
+  bad "empty payload" "";
+  bad "unknown version" "\x02";
+  let good = Wire.Binary.encode_request (req ~id:"q" lp3 "nodes 2\nroot 0\nedge 0 1 1\n") in
+  bad "truncated request" (String.sub good 0 (String.length good - 1));
+  bad "trailing bytes" (good ^ "\x00");
+  (* Flip the kind tag to an unknown value. *)
+  let bytes = Bytes.of_string good in
+  Bytes.set bytes 1 '\xee';
+  bad "unknown kind tag" (Bytes.to_string bytes);
+  (* Unknown flag bits are reserved and must be rejected, so the format
+     can grow without old decoders misreading new frames. *)
+  let bytes = Bytes.of_string good in
+  Bytes.set bytes 2 (Char.chr (Char.code (Bytes.get bytes 2) lor 0x80));
+  bad "reserved flag bit" (Bytes.to_string bytes)
+
 let suite =
   [
     Alcotest.test_case "submit/await round trip, all kinds" `Quick test_basic_roundtrip;
@@ -551,4 +997,23 @@ let suite =
     Alcotest.test_case "bounded session table evicts LRU" `Quick test_session_eviction;
     Alcotest.test_case "wire: session request round trips" `Quick
       test_session_wire_roundtrip;
+    Alcotest.test_case "deadlines read the monotonic service clock" `Slow
+      test_deadline_monotonic_clock;
+    Alcotest.test_case "pinned sessions survive LRU churn mid-resolve" `Slow
+      test_session_pin_survives_churn;
+    Alcotest.test_case "shard routing is deterministic and spreads" `Quick
+      test_shard_routing_deterministic;
+    Alcotest.test_case "shard cache and session affinity" `Quick test_shard_cache_affinity;
+    Alcotest.test_case "sharded batch matches single-shard outcomes" `Quick
+      test_sharded_batch;
+    Alcotest.test_case "streaming progress events" `Slow test_streaming_progress;
+    Alcotest.test_case "wire: progress event emission" `Quick test_progress_wire_emission;
+    prop_percent_roundtrip;
+    prop_binary_request_roundtrip;
+    prop_text_request_roundtrip;
+    prop_frame_roundtrip;
+    Alcotest.test_case "wire: corrupt binary frames rejected" `Quick
+      test_binary_frame_rejection;
+    Alcotest.test_case "wire: corrupt binary requests rejected" `Quick
+      test_binary_request_rejection;
   ]

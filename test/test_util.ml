@@ -347,6 +347,62 @@ let unit_tests =
         Lru.add c "g" 7;
         Alcotest.(check int) "back at capacity" 4 (Lru.length c);
         Alcotest.(check (option int)) "d evicted after filter" None (Lru.find c "d"));
+    Alcotest.test_case "lru keep-filter pins entries past eviction" `Quick (fun () ->
+        (* [?keep] protects bindings from capacity eviction (the service
+           pins sessions with in-flight resolves this way): the victim
+           walk skips kept entries, the table may transiently overflow,
+           and [shrink] restores the bound once entries stop being kept. *)
+        let pinned = ref [ "s1" ] in
+        let keep k _ = List.mem k !pinned in
+        let evicted = ref [] in
+        let on_evict k v = evicted := (k, v) :: !evicted in
+        let c = Lru.create ~capacity:2 in
+        Lru.add ~on_evict ~keep c "s1" 1;
+        Lru.add ~on_evict ~keep c "s2" 2;
+        (* s1 is LRU but pinned: the eviction falls on s2 instead. *)
+        Lru.add ~on_evict ~keep c "s3" 3;
+        Alcotest.(check (list (pair string int))) "pinned LRU skipped, next evicted"
+          [ ("s2", 2) ] !evicted;
+        Alcotest.(check (option int)) "pinned survives" (Some 1) (Lru.find c "s1");
+        (* Pin everything resident: an add must overflow rather than drop
+           a pinned binding. *)
+        pinned := [ "s1"; "s3"; "s4" ];
+        Lru.add ~on_evict ~keep c "s4" 4;
+        Alcotest.(check int) "table overflows while all pinned" 3 (Lru.length c);
+        Alcotest.(check (list (pair string int))) "nothing new evicted"
+          [ ("s2", 2) ] !evicted;
+        (* shrink with everything pinned is a no-op... *)
+        Lru.shrink ~on_evict ~keep c;
+        Alcotest.(check int) "shrink refuses to break pins" 3 (Lru.length c);
+        (* ...and once the pins drop it evicts oldest-first back to
+           capacity. *)
+        pinned := [];
+        Lru.shrink ~on_evict ~keep c;
+        Alcotest.(check int) "shrink restores the bound" 2 (Lru.length c);
+        (* The "pinned survives" probe above promoted s1, so s3 is the
+           least recent by now and shrink evicts it. *)
+        Alcotest.(check (option int)) "LRU evicted by shrink" None (Lru.find c "s3");
+        Alcotest.(check bool) "recent survive shrink" true
+          (Lru.find c "s1" = Some 1 && Lru.find c "s4" = Some 4));
+    Alcotest.test_case "monotonic clock advances and never steps back" `Quick
+      (fun () ->
+        let module Mclock = Repro_util.Mclock in
+        let t0 = Mclock.now () in
+        let prev = ref t0 in
+        for _ = 1 to 10_000 do
+          let t = Mclock.now () in
+          if t < !prev then
+            Alcotest.failf "clock stepped back: %.9f after %.9f" t !prev;
+          prev := t
+        done;
+        (* It measures real elapsed time, to loose tolerance. *)
+        let t1 = Mclock.now () in
+        Unix.sleepf 0.02;
+        let dt = Mclock.now () -. t1 in
+        Alcotest.(check bool)
+          (Printf.sprintf "sleep 20ms measured as %.1fms" (1000.0 *. dt))
+          true
+          (dt >= 0.015 && dt < 5.0));
     Alcotest.test_case "serial round-trips through of_string/to_string" `Quick
       (fun () ->
         let text =

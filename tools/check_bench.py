@@ -152,6 +152,85 @@ def check_service(b):
         raise BenchError(f"service_bench: latency percentiles out of order: {latency}")
     if need(b, "throughput_rps", "service_bench") <= 0.0:
         raise BenchError("service_bench: nonpositive throughput")
+
+    # Sharding at saturation (DESIGN.md section 12): N >= 2 shards must
+    # not be slower than the single-dispatcher baseline. Timing floor
+    # follows the repo's shared-runner policy: hard >= 0.8x with a
+    # warning below 1.0x in smoke mode, strict >= 1.0x in full mode.
+    strict = meta.get("mode") == "full"
+    sat = need(b, "saturation", "service_bench")
+    if need(sat, "shards", "service_bench saturation") < 2:
+        raise BenchError("service_bench: saturation block ran with < 2 shards")
+    for key in ("baseline_rps", "sharded_rps"):
+        if need(sat, key, "service_bench saturation") <= 0.0:
+            raise BenchError(f"service_bench: nonpositive saturation {key}")
+    speedup = need(sat, "speedup", "service_bench saturation")
+    floor = 1.0 if strict else 0.8
+    if speedup < floor:
+        raise BenchError(
+            f"service_bench: {sat['shards']} shards reached only "
+            f"{speedup:.2f}x the single-dispatcher saturation rps "
+            f"(floor {floor:.1f}x)")
+    if not strict and speedup < 1.0:
+        print(f"WARNING: service_bench: sharded saturation speedup "
+              f"{speedup:.2f}x < 1.0x (smoke timing, advisory)",
+              file=sys.stderr)
+
+    # Open-loop overload (EXPERIMENTS.md schema): every offered request
+    # answered (shed-not-crash), zero solver errors under overload, real
+    # shedding at 2x, shed counts monotone in load, and p99 monotone in
+    # load (warn below 1.0x for shared-runner noise, hard fail below
+    # 0.5x — inverted latency means the harness is broken).
+    ol = need(b, "open_loop", "service_bench")
+    runs = need(ol, "runs", "service_bench open_loop")
+    if len(runs) < 2:
+        raise BenchError("service_bench: open_loop needs runs at >= 2 load factors")
+    per_run = need(ol, "requests_per_run", "service_bench open_loop")
+    by_load = {}
+    for run in runs:
+        where = "service_bench open_loop run"
+        load = need(run, "load_factor", where)
+        answered = sum(need(run, key, where)
+                       for key in ("ok", "shed", "deadline_expired", "errors"))
+        if answered != per_run:
+            raise BenchError(
+                f"service_bench: open loop at {load}x answered {answered} of "
+                f"{per_run} offered requests")
+        if run["errors"] != 0:
+            raise BenchError(
+                f"service_bench: {run['errors']} solver errors under "
+                f"{load}x open-loop load")
+        lat = need(run, "latency_ms", where)
+        if not (0.0 <= need(lat, "p50", where) <= need(lat, "p99", where)
+                <= need(lat, "p999", where) <= need(lat, "max", where)):
+            raise BenchError(
+                f"service_bench: open-loop latency percentiles out of order "
+                f"at {load}x: {lat}")
+        by_load[load] = run
+    if 1.0 not in by_load or 2.0 not in by_load:
+        raise BenchError(
+            f"service_bench: open loop must include 1.0x and 2.0x runs, "
+            f"got {sorted(by_load)}")
+    run_1x, run_2x = by_load[1.0], by_load[2.0]
+    if run_2x["shed"] < 1:
+        raise BenchError("service_bench: no shedding under 2x open-loop overload")
+    if run_2x["shed"] < run_1x["shed"]:
+        raise BenchError(
+            f"service_bench: shed count fell with load "
+            f"({run_1x['shed']} at 1x, {run_2x['shed']} at 2x)")
+    p99_1x = run_1x["latency_ms"]["p99"]
+    p99_2x = run_2x["latency_ms"]["p99"]
+    if p99_1x > 0.0:
+        ratio = p99_2x / p99_1x
+        if ratio < 0.5:
+            raise BenchError(
+                f"service_bench: p99 fell to {ratio:.2f}x under 2x overload "
+                f"({p99_1x:.2f}ms -> {p99_2x:.2f}ms) — harness broken")
+        if ratio < 1.0:
+            print(f"WARNING: service_bench: p99 not monotone in load "
+                  f"({p99_1x:.2f}ms at 1x, {p99_2x:.2f}ms at 2x; "
+                  f"shared-runner timing, advisory)", file=sys.stderr)
+
     if need(need(b, "summary", "service_bench"), "gates_met",
             "service_bench summary") is not True:
         raise BenchError("service_bench: the bench's own gates failed")
