@@ -1,0 +1,309 @@
+(* Allocation-discipline bench: the obs-verified counter family over the
+   zero-allocation hot paths (Bigarray kernels + scratch arenas).
+
+   Measures, with observability enabled:
+   - lp.sparse.allocs_per_pivot — amortized Gc minor words per simplex
+     pivot across a warm LU cutting-plane run (Devex pricing, ratio
+     test, FT update, LU solves all on Bigarray storage);
+   - sne.sep_round_words — amortized minor words per separation round of
+     the cutting-plane loop (cut discovery + assembly);
+   - service.request_words — amortized minor words per request on the
+     service path (parse + solve + fulfill on a pool domain);
+   - arena reallocation deltas — the LU refactor arena and the per-domain
+     Dijkstra scratch must not grow again once warm (steady state).
+
+   Writes a machine-readable BENCH_alloc.json (schema in EXPERIMENTS.md,
+   validated and hard-gated by tools/check_bench.py):
+
+     dune exec bench/alloc_bench.exe                 (full sweep)
+     dune exec bench/alloc_bench.exe -- --smoke      (CI gate)
+     dune exec bench/alloc_bench.exe -- --json out.json
+
+   Unlike the timing benches, every gate here is hard even in smoke
+   mode: minor-word counts are deterministic allocation accounting, not
+   wall clock, so shared-runner noise does not apply. The per-pivot
+   budget still carries a documented headroom factor over the measured
+   value — see tools/check_bench.py — so refactor-amortization drift
+   does not flap the gate. *)
+
+module Gm = Repro_game.Game.Float_game
+module G = Gm.G
+module Instances = Repro_core.Instances
+module SneSparse = Repro_core.Sne_lp.Float_sparse
+module Serial = Repro_core.Serial.Float
+module Service = Repro_service.Service
+module Sparse = Repro_lp.Revised_sparse
+module Obs = Repro_obs.Obs
+module Json = Repro_util.Bench_json
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let json_path =
+  let path = ref "BENCH_alloc.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+(* PR 7's measured lp.sparse.allocs_per_pivot at n=256 (boxed-float rows,
+   consed intermediates), the baseline the Bigarray kernels are gated
+   against: the reduction must hold >= 10x. *)
+let baseline_words_per_pivot = 3834.85
+
+(* Anti-MST targets, as in lp_bench: far from equilibrium, so the loop
+   runs many rounds and the steady state dominates the measurement. *)
+let anti_mst_tree inst =
+  let g = inst.Instances.graph in
+  let maxw = G.fold_edges g ~init:0.0 ~f:(fun a e -> Float.max a e.G.weight) in
+  let inverted = G.with_weights g (fun e -> maxw -. e.G.weight +. 1.0) in
+  match G.mst_kruskal inverted with
+  | None -> failwith "alloc_bench: disconnected instance"
+  | Some ids -> G.Tree.of_edge_ids g ~root:inst.Instances.root ids
+
+let sparse_instance n =
+  let inst =
+    Instances.random ~dist:(Instances.Heavy_tailed 10.0) ~n ~extra:n ~seed:(300 + n) ()
+  in
+  let spec = Instances.spec inst in
+  let tree = anti_mst_tree inst in
+  let state = Gm.Broadcast.state_of_tree spec ~root:inst.Instances.root tree in
+  (inst, spec, state)
+
+let failures = ref []
+let gate name ok detail =
+  Printf.printf "  [%s] %s%s\n%!" (if ok then "ok" else "FAIL") name
+    (if detail = "" then "" else " — " ^ detail);
+  if not ok then failures := name :: !failures
+
+(* ------------------------------------------------------------------ *)
+(* Per-pivot and per-separation-round words                            *)
+(* ------------------------------------------------------------------ *)
+
+type alloc_row = {
+  a_n : int;
+  a_m : int;
+  a_pivots : int;
+  a_refactors : int;
+  a_rounds : int;
+  a_words_per_pivot : float;
+  a_words_per_round : float;
+  a_cost : float;
+}
+
+let measure_size n =
+  let inst, spec, state = sparse_instance n in
+  let m = G.n_edges inst.Instances.graph in
+  let run () = SneSparse.cutting_plane ~warm:true spec ~state in
+  (* One cold run warms every per-domain arena (LU refactor scratch,
+     Dijkstra scratch, canonical-row scratch) so the instrumented run
+     below sees the steady state the budget is about. *)
+  ignore (run ());
+  Obs.reset ();
+  let (r, s) = Obs.with_enabled true run in
+  if not s.SneSparse.converged then
+    failwith (Printf.sprintf "alloc_bench: cutting plane did not converge at n=%d" n);
+  let row =
+    {
+      a_n = n;
+      a_m = m;
+      a_pivots = Obs.value (Obs.counter "lp.sparse.pivots");
+      a_refactors = Obs.value (Obs.counter "lp.sparse.refactors");
+      a_rounds = s.SneSparse.rounds;
+      a_words_per_pivot = Obs.gauge_value (Obs.gauge "lp.sparse.allocs_per_pivot");
+      a_words_per_round = Obs.gauge_value (Obs.gauge "sne.sep_round_words");
+      a_cost = r.SneSparse.cost;
+    }
+  in
+  Obs.reset ();
+  row
+
+(* ------------------------------------------------------------------ *)
+(* Arena steady state                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* After the warm-up above, a further solve on the same domain must not
+   reallocate any scratch: the grows counters stay put. *)
+let measure_arena_deltas n =
+  let _, spec, state = sparse_instance n in
+  let run () = ignore (SneSparse.cutting_plane ~warm:true spec ~state) in
+  run ();
+  let r0 = Sparse.refactor_arena_grows () in
+  let d0 = G.dijkstra_scratch_grows () in
+  run ();
+  run ();
+  ( Sparse.refactor_arena_grows () - r0,
+    G.dijkstra_scratch_grows () - d0,
+    Sparse.refactor_arena_grows (),
+    G.dijkstra_scratch_grows () )
+
+(* ------------------------------------------------------------------ *)
+(* Per-request words on the service path                               *)
+(* ------------------------------------------------------------------ *)
+
+let service_payload ~seed ~n ~extra =
+  let inst = Instances.random ~dist:(Instances.Integer 10) ~n ~extra ~seed () in
+  Serial.to_string
+    {
+      Serial.graph = inst.Instances.graph;
+      root = inst.Instances.root;
+      tree_edge_ids = None;
+      subsidy = [];
+      budget = None;
+    }
+
+let measure_service requests =
+  Obs.reset ();
+  Obs.with_enabled true (fun () ->
+      Service.with_service ~workers:1 ~cache:0 (fun svc ->
+          for i = 1 to requests do
+            let kind = if i mod 3 = 0 then Service.Enforce else Service.Check in
+            let req =
+              {
+                Service.id = Printf.sprintf "r%d" i;
+                kind;
+                payload = service_payload ~seed:(100 + (i mod 8)) ~n:8 ~extra:4;
+                deadline_ms = None;
+                priority = 0;
+                stream = false;
+              }
+            in
+            match (Service.await svc (Service.submit svc req)).Service.result with
+            | Ok _ -> ()
+            | Error e ->
+                failwith
+                  (Printf.sprintf "alloc_bench: service request %d failed: %s" i
+                     (match e with
+                     | Service.Parse_error m -> "parse_error: " ^ m
+                     | Service.Solver_error m -> "solver_error: " ^ m
+                     | _ -> "error"))
+          done));
+  let words = Obs.gauge_value (Obs.gauge "service.request_words") in
+  Obs.reset ();
+  (requests, words)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let mode = if smoke then "smoke" else "full" in
+  let sizes = if smoke then [ 128; 256 ] else [ 128; 256; 512 ] in
+  Printf.printf "allocation bench (%s): steady-state minor words on the hot paths\n"
+    mode;
+  Printf.printf "%-6s %-6s %8s %7s %7s %12s %12s\n" "n" "m" "pivots" "refac"
+    "rounds" "words/pivot" "words/round";
+  let rows =
+    List.map
+      (fun n ->
+        let row = measure_size n in
+        Printf.printf "%-6d %-6d %8d %7d %7d %12.1f %12.1f\n%!" row.a_n row.a_m
+          row.a_pivots row.a_refactors row.a_rounds row.a_words_per_pivot
+          row.a_words_per_round;
+        row)
+      sizes
+  in
+  let refactor_delta, dijkstra_delta, refactor_total, dijkstra_total =
+    measure_arena_deltas (List.hd sizes)
+  in
+  Printf.printf
+    "arena grows across two further warm solves: refactor %+d, dijkstra %+d\n"
+    refactor_delta dijkstra_delta;
+  let requests, request_words = measure_service (if smoke then 60 else 200) in
+  Printf.printf "service: %d requests, %.1f minor words/request\n" requests
+    request_words;
+
+  (* Gates (all hard — allocation accounting is deterministic). *)
+  Printf.printf "\ngates:\n";
+  let budget = 1024.0 in
+  List.iter
+    (fun r ->
+      gate
+        (Printf.sprintf "words/pivot within budget at n=%d" r.a_n)
+        (r.a_words_per_pivot <= budget)
+        (Printf.sprintf "%.1f <= %.0f" r.a_words_per_pivot budget))
+    rows;
+  let at n = List.find (fun r -> r.a_n = n) rows in
+  let reduction = baseline_words_per_pivot /. (at 256).a_words_per_pivot in
+  gate "n=256 words/pivot >= 10x below the PR 7 baseline" (reduction >= 10.0)
+    (Printf.sprintf "%.1fx vs %.1f words" reduction baseline_words_per_pivot);
+  (* A separation round prices a deviation per player over every edge —
+     Theta(n * m) work — so the O(1) steady-state claim is per unit of
+     that work: words / (n * m) per round must not grow with n (the
+     clamp buffer is hoisted, canonical-row assembly reuses arena
+     scratch; what remains is proportional to the cuts found). *)
+  let per_unit r = r.a_words_per_round /. float_of_int (r.a_n * r.a_m) in
+  let sep_small = per_unit (at (List.hd sizes)) in
+  let sep_large = per_unit (at (List.nth sizes (List.length sizes - 1))) in
+  let sep_ratio = if sep_small > 0.0 then sep_large /. sep_small else 1.0 in
+  gate "separation words per player*edge O(1) in n" (sep_ratio <= 1.5)
+    (Printf.sprintf "%.1f -> %.1f words/(n*m)/round (%.2fx)" sep_small sep_large
+       sep_ratio);
+  gate "LU refactor arena steady after warm-up" (refactor_delta = 0)
+    (Printf.sprintf "%+d grows" refactor_delta);
+  gate "Dijkstra scratch steady after warm-up" (dijkstra_delta = 0)
+    (Printf.sprintf "%+d grows" dijkstra_delta);
+  gate "service request words measured" (request_words > 0.0)
+    (Printf.sprintf "%.1f words/request" request_words);
+  let gates_met = !failures = [] in
+
+  let row_json r =
+    Json.Obj
+      [
+        ("n", Json.Int r.a_n);
+        ("m", Json.Int r.a_m);
+        ("pivots", Json.Int r.a_pivots);
+        ("refactors", Json.Int r.a_refactors);
+        ("rounds", Json.Int r.a_rounds);
+        ("words_per_pivot", Json.Float r.a_words_per_pivot);
+        ("words_per_round", Json.Float r.a_words_per_round);
+        ("cost", Json.Float r.a_cost);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ( "meta",
+          Json.Obj
+            [
+              ("bench", Json.Str "alloc_bench");
+              ("mode", Json.Str mode);
+              ("sparse_engine", Json.Str "lu-ft");
+            ] );
+        ("pivot", Json.List (List.map row_json rows));
+        ( "arena",
+          Json.Obj
+            [
+              ("refactor_grows_delta", Json.Int refactor_delta);
+              ("dijkstra_grows_delta", Json.Int dijkstra_delta);
+              ("refactor_grows_total", Json.Int refactor_total);
+              ("dijkstra_grows_total", Json.Int dijkstra_total);
+            ] );
+        ( "service",
+          Json.Obj
+            [
+              ("requests", Json.Int requests);
+              ("words_per_request", Json.Float request_words);
+            ] );
+        ( "summary",
+          Json.Obj
+            [
+              ("budget_words_per_pivot", Json.Float budget);
+              ( "max_words_per_pivot",
+                Json.Float
+                  (List.fold_left (fun a r -> Float.max a r.a_words_per_pivot) 0.0 rows)
+              );
+              ("baseline_words_per_pivot", Json.Float baseline_words_per_pivot);
+              ("reduction_at_n256", Json.Float reduction);
+              ("sep_words_per_unit_ratio", Json.Float sep_ratio);
+              ("gates_met", Json.Bool gates_met);
+            ] );
+      ]
+  in
+  Json.write_file ~path:json_path json;
+  Printf.printf "\nwrote %s\n" json_path;
+  if not gates_met then begin
+    Printf.eprintf "alloc_bench: FAILED gates: %s\n"
+      (String.concat ", " (List.rev !failures));
+    exit 1
+  end

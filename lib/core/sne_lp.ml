@@ -61,6 +61,26 @@ struct
   let c_sep_parallel = Obs.counter "sne.separate.parallel_batches"
   let c_sep_dedup = Obs.counter "sne.separate.cuts_deduped"
 
+  (* Amortized GC minor words per completed cut round (clamp + separation
+     sweep + master re-solve), the separation-path sibling of
+     [lp.sparse.allocs_per_pivot]. Metered only while obs is enabled and
+     never read by the solver, so obs on/off cannot change results. *)
+  let g_round_words = Obs.gauge "sne.sep_round_words"
+  let round_words = Atomic.make 0.0
+  let round_count = Atomic.make 0
+
+  let atomic_addf a d =
+    let rec go () =
+      let v = Atomic.get a in
+      if not (Atomic.compare_and_set a v (v +. d)) then go ()
+    in
+    go ()
+
+  let record_round w0 =
+    atomic_addf round_words (Gc.minor_words () -. w0);
+    let r = 1 + Atomic.fetch_and_add round_count 1 in
+    Obs.set g_round_words (Atomic.get round_words /. float_of_int r)
+
   (* ---------------------------------------------------------------- *)
   (* Batched separation                                                *)
   (* ---------------------------------------------------------------- *)
@@ -287,8 +307,16 @@ struct
      the same optimum; the stats record how many pivots each spent. *)
   let cutting_core ~what ~warm ~max_rounds ~poll ~on_round ~graph base ~find_cuts =
     let m = G.n_edges graph in
+    (* One clamp buffer per cutting-plane run, reused across rounds: the
+       oracles only read [~subsidy] during their round (including from
+       pool domains — reads race with nothing, the buffer is stable for
+       the round), and [finish] copies it before it escapes. *)
+    let clamp_buf = Array.make m F.zero in
     let clamp (s : Lp.solution) =
-      Array.init m (fun id -> F.max F.zero (F.min s.Lp.values.(id) (G.weight graph id)))
+      for id = 0 to m - 1 do
+        clamp_buf.(id) <- F.max F.zero (F.min s.Lp.values.(id) (G.weight graph id))
+      done;
+      clamp_buf
     in
     let generated = ref 0 in
     let cold_constraints = ref base.Lp.constraints in
@@ -326,10 +354,12 @@ struct
          deadline raising here aborts the loop between pivot batches
          instead of running the master to convergence. *)
       poll ();
+      let meter = Obs.enabled () in
+      let w0 = if meter then Gc.minor_words () else 0.0 in
       let subsidy = clamp s in
       let finish converged =
         if not converged then Obs.incr c_nonconverged;
-        ( { subsidy; cost = s.Lp.objective },
+        ( { subsidy = Array.copy subsidy; cost = s.Lp.objective },
           {
             rounds = round;
             generated = !generated;
@@ -346,7 +376,9 @@ struct
              streaming client sees the round while it is still being
              worked on. Runs on the solving domain; keep it cheap. *)
           on_round ~round ~cuts:(List.length cuts);
-          loop (round + 1) (apply_cuts cuts)
+          let s' = apply_cuts cuts in
+          if meter then record_round w0;
+          loop (round + 1) s'
     in
     Obs.span "sne.cutting_plane" (fun () -> loop 0 (initial ()))
 

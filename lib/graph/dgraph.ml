@@ -51,60 +51,173 @@ module Make (F : Repro_field.Field.S) = struct
 
   type sssp = { dist : F.t option array; pred_arc : int option array }
 
+  (* Per-domain Dijkstra scratch, the same shape as Wgraph's: a
+     monomorphic (key, node) binary heap plus reached/dist/pred buffers
+     with an O(touched) reset. The (key, node) total order matches the
+     old tuple heap, and (key, node) pairs are unique (a node re-enters
+     the heap only on a strict improvement), so the pop sequence and
+     predecessor choices are unchanged. *)
+  type dij_scratch = {
+    mutable keys : F.t array;
+    mutable nodes : int array;
+    mutable hn : int;
+    mutable dist : F.t array;
+    mutable reached : Bytes.t;
+    mutable pred : int array;
+    mutable touched : int array;
+    mutable n_touched : int;
+    mutable grows : int;
+  }
+
+  let dij_key =
+    Domain.DLS.new_key (fun () ->
+        {
+          keys = [||];
+          nodes = [||];
+          hn = 0;
+          dist = [||];
+          reached = Bytes.empty;
+          pred = [||];
+          touched = [||];
+          n_touched = 0;
+          grows = 0;
+        })
+
+  let dijkstra_scratch_grows () = (Domain.DLS.get dij_key).grows
+
+  let heap_less h i j =
+    let c = F.compare h.keys.(i) h.keys.(j) in
+    if c <> 0 then c < 0 else h.nodes.(i) < h.nodes.(j)
+
+  let heap_swap h i j =
+    let k = h.keys.(i) in
+    h.keys.(i) <- h.keys.(j);
+    h.keys.(j) <- k;
+    let m = h.nodes.(i) in
+    h.nodes.(i) <- h.nodes.(j);
+    h.nodes.(j) <- m
+
+  let heap_push h d x =
+    (if h.hn = Array.length h.keys then begin
+       let cap = max 16 (2 * h.hn) in
+       let keys = Array.make cap F.zero and nodes = Array.make cap 0 in
+       Array.blit h.keys 0 keys 0 h.hn;
+       Array.blit h.nodes 0 nodes 0 h.hn;
+       h.keys <- keys;
+       h.nodes <- nodes
+     end);
+    h.keys.(h.hn) <- d;
+    h.nodes.(h.hn) <- x;
+    h.hn <- h.hn + 1;
+    let i = ref (h.hn - 1) in
+    let up = ref true in
+    while !up && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if heap_less h !i p then begin
+        heap_swap h !i p;
+        i := p
+      end
+      else up := false
+    done
+
+  let rec heap_sift_down h i =
+    let l = (2 * i) + 1 in
+    if l < h.hn then begin
+      let s = if l + 1 < h.hn && heap_less h (l + 1) l then l + 1 else l in
+      if heap_less h s i then begin
+        heap_swap h i s;
+        heap_sift_down h s
+      end
+    end
+
+  let dij_reset h n =
+    if Array.length h.dist < n then begin
+      let cap = max n (max 16 (2 * Array.length h.dist)) in
+      h.dist <- Array.make cap F.zero;
+      h.reached <- Bytes.make cap '\000';
+      h.pred <- Array.make cap (-1);
+      h.touched <- Array.make cap 0;
+      h.n_touched <- 0;
+      h.grows <- h.grows + 1
+    end
+    else begin
+      for k = 0 to h.n_touched - 1 do
+        Bytes.unsafe_set h.reached (Array.unsafe_get h.touched k) '\000'
+      done;
+      h.n_touched <- 0
+    end
+
+  let[@inline] dij_reached h x = Bytes.unsafe_get h.reached x <> '\000'
+
+  let[@inline] dij_mark h x =
+    Bytes.unsafe_set h.reached x '\001';
+    Array.unsafe_set h.touched h.n_touched x;
+    h.n_touched <- h.n_touched + 1
+
+  let dijkstra_core wf g ~src =
+    let h = Domain.DLS.get dij_key in
+    h.hn <- 0;
+    dij_reset h g.n;
+    h.dist.(src) <- F.zero;
+    h.pred.(src) <- -1;
+    dij_mark h src;
+    heap_push h F.zero src;
+    while h.hn > 0 do
+      let d = h.keys.(0) and x = h.nodes.(0) in
+      h.hn <- h.hn - 1;
+      if h.hn > 0 then begin
+        h.keys.(0) <- h.keys.(h.hn);
+        h.nodes.(0) <- h.nodes.(h.hn);
+        heap_sift_down h 0
+      end;
+      let stale = if dij_reached h x then F.compare h.dist.(x) d < 0 else true in
+      if not stale then
+        List.iter
+          (fun (id, y) ->
+            let w = wf g.arcs.(id) in
+            assert (F.sign w >= 0);
+            let nd = F.add d w in
+            let better =
+              if dij_reached h y then F.compare nd h.dist.(y) < 0 else true
+            in
+            if better then begin
+              if not (dij_reached h y) then dij_mark h y;
+              h.dist.(y) <- nd;
+              h.pred.(y) <- id;
+              heap_push h nd y
+            end)
+          g.out_adj.(x)
+    done;
+    h
+
   (** Dijkstra over out-arcs; [weight_fn] must stay non-negative. *)
   let dijkstra ?weight_fn g ~src =
     let wf = match weight_fn with Some f -> f | None -> fun a -> a.weight in
+    let h = dijkstra_core wf g ~src in
     let dist = Array.make g.n None in
     let pred_arc = Array.make g.n None in
-    let final = Array.make g.n false in
-    let heap =
-      Repro_util.Heap.create ~cmp:(fun (d1, n1) (d2, n2) ->
-          let c = F.compare d1 d2 in
-          if c <> 0 then c else compare n1 n2)
-    in
-    dist.(src) <- Some F.zero;
-    Repro_util.Heap.push heap (F.zero, src);
-    let rec loop () =
-      match Repro_util.Heap.pop heap with
-      | None -> ()
-      | Some (d, x) ->
-          if not final.(x) then begin
-            final.(x) <- true;
-            List.iter
-              (fun (id, y) ->
-                if not final.(y) then begin
-                  let w = wf g.arcs.(id) in
-                  assert (F.sign w >= 0);
-                  let nd = F.add d w in
-                  let better =
-                    match dist.(y) with None -> true | Some old -> F.compare nd old < 0
-                  in
-                  if better then begin
-                    dist.(y) <- Some nd;
-                    pred_arc.(y) <- Some id;
-                    Repro_util.Heap.push heap (nd, y)
-                  end
-                end)
-              g.out_adj.(x)
-          end;
-          loop ()
-    in
-    loop ();
+    for x = 0 to g.n - 1 do
+      if dij_reached h x then begin
+        dist.(x) <- Some h.dist.(x);
+        if h.pred.(x) >= 0 then pred_arc.(x) <- Some h.pred.(x)
+      end
+    done;
     { dist; pred_arc }
 
   let shortest_path ?weight_fn g ~src ~dst =
-    let s = dijkstra ?weight_fn g ~src in
-    match s.dist.(dst) with
-    | None -> None
-    | Some d ->
-        let rec walk x acc =
-          if x = src then acc
-          else
-            match s.pred_arc.(x) with
-            | None -> acc
-            | Some id -> walk g.arcs.(id).src (id :: acc)
-        in
-        Some (d, walk dst [])
+    let wf = match weight_fn with Some f -> f | None -> fun a -> a.weight in
+    let h = dijkstra_core wf g ~src in
+    if not (dij_reached h dst) then None
+    else begin
+      let d = h.dist.(dst) in
+      let rec walk x acc =
+        if x = src then acc
+        else
+          let id = h.pred.(x) in
+          if id < 0 then acc else walk g.arcs.(id).src (id :: acc)
+      in
+      Some (d, walk dst [])
+    end
 
   (** All simple directed paths src -> dst (bounded DFS). *)
   let simple_paths g ~src ~dst ~limit =

@@ -31,6 +31,10 @@ module Make (F : Repro_field.Field.S) : sig
   val shortest_path :
     ?weight_fn:(arc -> F.t) -> t -> src:int -> dst:int -> (F.t * int list) option
 
+  (** Reallocation count of the per-domain Dijkstra scratch (this
+      domain); a zero delta across runs proves scratch reuse. *)
+  val dijkstra_scratch_grows : unit -> int
+
   (** Bounded DFS enumeration of simple directed paths. *)
   val simple_paths : t -> src:int -> dst:int -> limit:int -> int list list
 end

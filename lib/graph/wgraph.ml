@@ -157,9 +157,65 @@ module Make (F : Repro_field.Field.S) = struct
      concurrent oracle sweeps on a [Parallel.Pool] each get their own.
      [dijkstra] is accordingly not reentrant within a domain (no caller
      runs it from inside a [weight_fn]). *)
-  type heap_scratch = { mutable keys : F.t array; mutable nodes : int array; mutable hn : int }
+  type heap_scratch = {
+    mutable keys : F.t array;
+    mutable nodes : int array;
+    mutable hn : int;
+    (* Full Dijkstra scratch (same DLS slot): distances are valid only
+       where [reached] is set, [pred] is -1 for none, and [touched]
+       records the reached nodes so the next run resets in O(touched)
+       instead of O(n). Nothing here escapes: the public [sssp] is built
+       on demand, and [shortest_path] walks [pred] directly. *)
+    mutable dist : F.t array;
+    mutable reached : Bytes.t;
+    mutable pred : int array;
+    mutable touched : int array;
+    mutable n_touched : int;
+    mutable grows : int; (* scratch reallocations, for the reuse tests *)
+  }
 
-  let heap_key = Domain.DLS.new_key (fun () -> { keys = [||]; nodes = [||]; hn = 0 })
+  let heap_key =
+    Domain.DLS.new_key (fun () ->
+        {
+          keys = [||];
+          nodes = [||];
+          hn = 0;
+          dist = [||];
+          reached = Bytes.empty;
+          pred = [||];
+          touched = [||];
+          n_touched = 0;
+          grows = 0;
+        })
+
+  (* Grow the node-indexed scratch to >= n and clear the previous run's
+     reached marks. Fresh buffers start clear; reused ones are cleared
+     through the touched list. *)
+  let dij_reset h n =
+    if Array.length h.dist < n then begin
+      let cap = max n (max 16 (2 * Array.length h.dist)) in
+      h.dist <- Array.make cap F.zero;
+      h.reached <- Bytes.make cap '\000';
+      h.pred <- Array.make cap (-1);
+      h.touched <- Array.make cap 0;
+      h.n_touched <- 0;
+      h.grows <- h.grows + 1
+    end
+    else begin
+      for k = 0 to h.n_touched - 1 do
+        Bytes.unsafe_set h.reached (Array.unsafe_get h.touched k) '\000'
+      done;
+      h.n_touched <- 0
+    end
+
+  let[@inline] dij_reached h x = Bytes.unsafe_get h.reached x <> '\000'
+
+  let[@inline] dij_mark h x =
+    Bytes.unsafe_set h.reached x '\001';
+    Array.unsafe_set h.touched h.n_touched x;
+    h.n_touched <- h.n_touched + 1
+
+  let dijkstra_scratch_grows () = (Domain.DLS.get heap_key).grows
 
   let heap_less h i j =
     let c = F.compare h.keys.(i) h.keys.(j) in
@@ -212,13 +268,17 @@ module Make (F : Repro_field.Field.S) = struct
       Settled nodes are detected lazily: a popped entry whose key is
       already beaten by the recorded distance is stale and skipped, which
       replaces both the [final] array and decrease-key. *)
-  let dijkstra ?weight_fn g ~src =
-    let wf = match weight_fn with Some f -> f | None -> fun e -> e.weight in
-    let dist = Array.make g.n None in
-    let pred_edge = Array.make g.n None in
+  (* The zero-allocation core: runs entirely on the per-domain scratch
+     (valid until the next run on this domain). The stale-pop test and
+     the relax order are exactly the option-array version's, so the pop
+     sequence and predecessor choices are unchanged. *)
+  let dijkstra_core wf g ~src =
     let h = Domain.DLS.get heap_key in
     h.hn <- 0;
-    dist.(src) <- Some F.zero;
+    dij_reset h g.n;
+    h.dist.(src) <- F.zero;
+    h.pred.(src) <- -1;
+    dij_mark h src;
     heap_push h F.zero src;
     while h.hn > 0 do
       let d = h.keys.(0) and x = h.nodes.(0) in
@@ -228,9 +288,7 @@ module Make (F : Repro_field.Field.S) = struct
         h.nodes.(0) <- h.nodes.(h.hn);
         heap_sift_down h 0
       end;
-      let stale =
-        match dist.(x) with Some best -> F.compare best d < 0 | None -> true
-      in
+      let stale = if dij_reached h x then F.compare h.dist.(x) d < 0 else true in
       if not stale then
         List.iter
           (fun (id, y) ->
@@ -238,20 +296,34 @@ module Make (F : Repro_field.Field.S) = struct
             assert (F.sign w >= 0);
             let nd = F.add d w in
             let better =
-              match dist.(y) with None -> true | Some old -> F.compare nd old < 0
+              if dij_reached h y then F.compare nd h.dist.(y) < 0 else true
             in
             if better then begin
-              dist.(y) <- Some nd;
-              pred_edge.(y) <- Some id;
+              if not (dij_reached h y) then dij_mark h y;
+              h.dist.(y) <- nd;
+              h.pred.(y) <- id;
               heap_push h nd y
             end)
           g.adj.(x)
+    done;
+    h
+
+  let dijkstra ?weight_fn g ~src =
+    let wf = match weight_fn with Some f -> f | None -> fun e -> e.weight in
+    let h = dijkstra_core wf g ~src in
+    let dist = Array.make g.n None in
+    let pred_edge = Array.make g.n None in
+    for x = 0 to g.n - 1 do
+      if dij_reached h x then begin
+        dist.(x) <- Some h.dist.(x);
+        if h.pred.(x) >= 0 then pred_edge.(x) <- Some h.pred.(x)
+      end
     done;
     { dist; pred_edge }
 
   (** Extract the edge-id path [src -> dst] from a Dijkstra run rooted at
       [src]. Returns the path cost and the edges in travel order. *)
-  let extract_path g sssp ~src ~dst =
+  let extract_path g (sssp : sssp) ~src ~dst =
     match sssp.dist.(dst) with
     | None -> None
     | Some d ->
@@ -266,8 +338,24 @@ module Make (F : Repro_field.Field.S) = struct
         in
         Some (d, walk dst [])
 
+  (* Scratch-walking [shortest_path]: the returned path list is the only
+     allocation besides field arithmetic — no [sssp] materialization. The
+     separation oracles call this once per player per round. *)
   let shortest_path ?weight_fn g ~src ~dst =
-    extract_path g (dijkstra ?weight_fn g ~src) ~src ~dst
+    let wf = match weight_fn with Some f -> f | None -> fun e -> e.weight in
+    let h = dijkstra_core wf g ~src in
+    if not (dij_reached h dst) then None
+    else begin
+      let d = h.dist.(dst) in
+      let rec walk x acc =
+        if x = src then acc
+        else
+          let id = h.pred.(x) in
+          if id < 0 then acc
+          else walk (other g id x) (id :: acc)
+      in
+      Some (d, walk dst [])
+    end
 
   (* ---------------------------------------------------------------- *)
   (* Rooted spanning trees                                             *)

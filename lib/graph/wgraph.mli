@@ -71,6 +71,10 @@ module Make (F : Repro_field.Field.S) : sig
   val shortest_path :
     ?weight_fn:(edge -> F.t) -> t -> src:int -> dst:int -> (F.t * int list) option
 
+  (** Reallocation count of the per-domain Dijkstra scratch (this
+      domain); a zero delta across runs proves scratch reuse. *)
+  val dijkstra_scratch_grows : unit -> int
+
   (** {1 Rooted spanning trees} *)
 
   module Tree : sig

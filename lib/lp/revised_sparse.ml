@@ -131,6 +131,7 @@ let metered ~piv f =
         raise e
   end
 
+
 (* Same up-front NaN/inf rejection as the dense kernel: a non-finite
    coefficient silently poisons float pricing comparisons. *)
 let check_finite ~what ~where x =
@@ -217,47 +218,85 @@ let pricing_mode = ref Lp_intf.Devex
 let set_pricing p = pricing_mode := p
 let pricing () = !pricing_mode
 
+
 (* ------------------------------------------------------------------ *)
-(* The eta file                                                        *)
+(* The op file                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Column eta (from a pivot on row [r] with FTRANed column [w]):
+module V = Repro_util.Vec
+module Arena = Repro_util.Arena
+
+(* Local unsafe accessors: the non-flambda compiler does not inline
+   [fget] across the library boundary, which would box every float
+   read in the hot loops. A local [@inline] wrapper reduces to the
+   bigarray primitive. Same proof obligation as fget: bounds were
+   checked once on loop entry. *)
+let[@inline] fget (a : V.fvec) i : float = Bigarray.Array1.unsafe_get a i
+let[@inline] fset (a : V.fvec) i (x : float) = Bigarray.Array1.unsafe_set a i x
+let[@inline] iget (a : V.ivec) i : int = Bigarray.Array1.unsafe_get a i
+let[@inline] iset (a : V.ivec) i (x : int) = Bigarray.Array1.unsafe_set a i x
+
+(* [Float.max] is a plain stdlib function, so every hot-loop call boxes
+   both arguments and the result. The sites below never see NaN and
+   never need the signed-zero normalization, so a bare comparison is
+   value-identical and allocation-free. *)
+let[@inline] fmax (x : float) (y : float) : float = if y > x then y else x
+
+(* Shared zero-length vectors for growable vec-array cells: [V.*.grow]
+   replaces them before any write can happen. *)
+let empty_iv : V.ivec = V.I.make 0 0
+let empty_fv : V.fvec = V.F.make 0 0.0
+
+(* Column op (from a pivot on row [r] with FTRANed column [w]):
      FTRAN   t = w_r / pr; w_r <- t; w_i <- w_i - v_i * t
      BTRAN   w_r <- (w_r - sum_i v_i * w_i) / pr
-   Row eta (from an appended row [r]; pr = 1):
+   Row op (from an appended row [r] or a Forrest-Tomlin elimination;
+   pr = 1):
      FTRAN   w_r <- w_r - sum_i v_i * w_i
      BTRAN   w_i <- w_i - v_i * w_r
-   [idx]/[v] hold the off-pivot entries. *)
-type eta = { col : bool; r : int; pr : float; idx : int array; v : float array }
+   Ops are stored flat: op [k] keeps its kind in [op_col] ('\001' =
+   column), its pivot row in [op_r], its pivot value in [op_pr], and its
+   off-pivot entries in [e_idx]/[e_val] at positions
+   [op_start.(k) .. op_start.(k+1) - 1]. Appending an op is
+   allocation-free once the buffers are warm, where the PR-7 layout
+   consed two fresh arrays and a record per pivot (ROADMAP item 5's
+   allocation discipline; see DESIGN.md §13). *)
 
 type core = {
   mode : basis_kind; (* basis representation, fixed at allocation *)
   price : Lp_intf.pricing; (* pricing rule, fixed at allocation *)
   ns : int; (* structural columns; slack of row r is column ns + r *)
-  (* CSR, rows append-only *)
+  (* CSR, rows append-only; Bigarray-backed so the sweeps never touch
+     the GC *)
   mutable nrows : int;
   mutable row_ptr : int array; (* nrows + 1 entries in use *)
-  mutable rc : int array;
-  mutable rv : float array;
+  mutable rc : V.ivec;
+  mutable rv : V.fvec;
   mutable nnz : int;
-  mutable b : float array; (* rhs per row *)
+  mutable b : V.fvec; (* rhs per row *)
   (* CSC of the structural columns (slack columns are implicit units) *)
-  cr : int array array;
-  cv : float array array;
+  cr : V.ivec array;
+  cv : V.fvec array;
   clen : int array;
   (* per-column data, structural then slacks; length ns + nrows in use *)
-  mutable lo : float array; (* neg_infinity = unbounded below *)
-  mutable up : float array;
-  mutable cost : float array;
+  mutable lo : V.fvec; (* neg_infinity = unbounded below *)
+  mutable up : V.fvec;
+  mutable cost : V.fvec;
   mutable bpos : int array; (* row of a basic column, -1 if nonbasic *)
   mutable nb_up : bool array; (* nonbasic column rests at its upper bound *)
   (* basis *)
   mutable basis : int array; (* per row *)
-  mutable xb : float array; (* values of the basic columns, per row *)
-  (* op file. Eta mode: one column eta per pivot, one row eta per
-     appended cut. LU mode: the factorization's Gauss column ops followed
-     by one Forrest–Tomlin row op per pivot/appended cut. *)
-  mutable etas : eta array;
+  mutable xb : V.fvec; (* values of the basic columns, per row *)
+  (* flat op file (see above). Eta mode: one column op per pivot, one
+     row op per appended cut. LU mode: the factorization's Gauss column
+     ops followed by one Forrest-Tomlin row op per pivot/appended cut. *)
+  mutable op_col : Bytes.t; (* '\001' = column op *)
+  mutable op_r : int array;
+  mutable op_pr : V.fvec;
+  mutable op_start : int array; (* n_etas + 1 entries in use *)
+  mutable e_idx : V.ivec;
+  mutable e_val : V.fvec;
+  mutable e_n : int; (* entry cursor; pending op = [op_start.(n_etas), e_n) *)
   mutable n_etas : int;
   mutable eta_nnz : int;
   (* op-file size right after the last refactorization: the refactor
@@ -272,12 +311,12 @@ type core = {
      [ur_*] hold each row's entries strictly right of its diagonal as
      (slot, value); [uc_*] hold each slot's entries strictly above its
      diagonal as (row, value) — the same nonzeros stored both ways. *)
-  mutable udiag : float array;
-  mutable ur_idx : int array array;
-  mutable ur_val : float array array;
+  mutable udiag : V.fvec;
+  mutable ur_idx : V.ivec array;
+  mutable ur_val : V.fvec array;
   mutable ur_len : int array;
-  mutable uc_idx : int array array;
-  mutable uc_val : float array array;
+  mutable uc_idx : V.ivec array;
+  mutable uc_val : V.fvec array;
   mutable uc_len : int array;
   mutable u_nnz : int; (* off-diagonal U nonzeros *)
   mutable row_of_pos : int array;
@@ -289,24 +328,35 @@ type core = {
      Forrest–Tomlin spike of the entering column), [fx] the U-solve
      result, [rsp]/[rin]/[hp] the row-spike accumulator, membership
      flags, and elimination heap of [eliminate_row_spike]. *)
-  mutable spike : float array;
-  mutable fx : float array;
-  mutable rsp : float array;
+  mutable spike : V.fvec;
+  mutable fx : V.fvec;
+  mutable rsp : V.fvec;
   mutable rin : bool array;
   mutable hp : int array;
   mutable hp_n : int;
+  (* Markowitz refactorization spines (row entries and candidate row
+     lists), persistent across refactorizations of this core; the
+     per-refactorization lengths/counts live in arena scratch. *)
+  mutable rf_idx : V.ivec array;
+  mutable rf_val : V.fvec array;
+  mutable rf_rows : V.ivec array;
   (* Devex reference-framework weights: [dwc] per column (primal),
      [dwr] per row (dual Forrest–Goldfarb). *)
-  mutable dwc : float array;
-  mutable dwr : float array;
+  mutable dwc : V.fvec;
+  mutable dwr : V.fvec;
   (* scratch (capacity >= nrows / >= ncols; zeroed by their users) *)
-  mutable wk : float array;
-  mutable rho : float array;
-  mutable yv : float array;
-  mutable acc : float array;
+  mutable wk : V.fvec;
+  mutable rho : V.fvec;
+  mutable yv : V.fvec;
+  mutable acc : V.fvec;
   mutable acc_touched : bool array;
   mutable touched : int array;
   mutable n_touched : int;
+  (* One-cell magnitude mailbox: [set_rcost]/[candidate] leave their
+     float result here instead of returning it — without flambda a
+     float returned across a non-inlined call boxes on every pricing
+     probe. *)
+  cmag : V.fvec;
   (* pricing / anti-cycling *)
   mutable price_ptr : int;
   mutable degen_streak : int;
@@ -318,16 +368,8 @@ type core = {
 
 let ncols core = core.ns + core.nrows
 
-(* Growable-array helpers (amortized doubling). *)
-let grow_f a n =
-  let len = Array.length a in
-  if len >= n then a
-  else begin
-    let a' = Array.make (max n (max 8 (2 * len))) 0.0 in
-    Array.blit a 0 a' 0 len;
-    a'
-  end
-
+(* Growable-array helpers for the native bookkeeping arrays (amortized
+   doubling); the float payloads use [V.F.grow]/[V.I.grow]. *)
 let grow_i a n fill =
   let len = Array.length a in
   if len >= n then a
@@ -346,140 +388,6 @@ let grow_b a n =
     a'
   end
 
-(* ------------------------------------------------------------------ *)
-(* FTRAN / BTRAN over the eta file                                     *)
-(* ------------------------------------------------------------------ *)
-
-let apply_eta_ftran (e : eta) w =
-  if e.col then begin
-    let t = Array.unsafe_get w e.r /. e.pr in
-    Array.unsafe_set w e.r t;
-    if t <> 0.0 then
-      for k = 0 to Array.length e.idx - 1 do
-        let i = Array.unsafe_get e.idx k in
-        Array.unsafe_set w i
-          (Array.unsafe_get w i -. (Array.unsafe_get e.v k *. t))
-      done
-  end
-  else begin
-    let s = ref 0.0 in
-    for k = 0 to Array.length e.idx - 1 do
-      s := !s +. (Array.unsafe_get e.v k *. Array.unsafe_get w (Array.unsafe_get e.idx k))
-    done;
-    w.(e.r) <- w.(e.r) -. !s
-  end
-
-let apply_eta_btran (e : eta) w =
-  if e.col then begin
-    let s = ref 0.0 in
-    for k = 0 to Array.length e.idx - 1 do
-      s := !s +. (Array.unsafe_get e.v k *. Array.unsafe_get w (Array.unsafe_get e.idx k))
-    done;
-    w.(e.r) <- (w.(e.r) -. !s) /. e.pr
-  end
-  else begin
-    let t = Array.unsafe_get w e.r in
-    if t <> 0.0 then
-      for k = 0 to Array.length e.idx - 1 do
-        let i = Array.unsafe_get e.idx k in
-        Array.unsafe_set w i
-          (Array.unsafe_get w i -. (Array.unsafe_get e.v k *. t))
-      done
-  end
-
-(* Solve U x = w (w indexed by problem row) by back substitution in
-   position order, scattering each slot's above-diagonal column. The
-   result is indexed by slot — and slots are row indices (slot [s]
-   carries [basis.(s)]), so it is blitted straight back into [w]. *)
-let u_fsolve core w =
-  let fx = core.fx in
-  for p = core.nrows - 1 downto 0 do
-    let r = core.row_of_pos.(p) in
-    let s = core.slot_of_pos.(p) in
-    let t = w.(r) /. core.udiag.(s) in
-    fx.(s) <- t;
-    if t <> 0.0 then begin
-      let ci = core.uc_idx.(s) and cv = core.uc_val.(s) in
-      for k = 0 to core.uc_len.(s) - 1 do
-        let i = Array.unsafe_get ci k in
-        Array.unsafe_set w i (Array.unsafe_get w i -. (Array.unsafe_get cv k *. t))
-      done
-    end
-  done;
-  Array.blit fx 0 w 0 core.nrows
-
-(* Solve U^T y = w (w indexed by slot) by forward substitution in
-   position order, scattering each row's right-of-diagonal entries; the
-   result is indexed by problem row. *)
-let u_bsolve core w =
-  let fx = core.fx in
-  for p = 0 to core.nrows - 1 do
-    let r = core.row_of_pos.(p) in
-    let s = core.slot_of_pos.(p) in
-    let t = w.(s) /. core.udiag.(s) in
-    fx.(r) <- t;
-    if t <> 0.0 then begin
-      let ri = core.ur_idx.(r) and rv = core.ur_val.(r) in
-      for k = 0 to core.ur_len.(r) - 1 do
-        let i = Array.unsafe_get ri k in
-        Array.unsafe_set w i (Array.unsafe_get w i -. (Array.unsafe_get rv k *. t))
-      done
-    end
-  done;
-  Array.blit fx 0 w 0 core.nrows
-
-(* B^-1 w. In LU mode the op-file intermediate (the Forrest–Tomlin spike
-   of the column being transformed) is saved in [core.spike]: a pivot on
-   the column FTRANed last uses it for the basis update. *)
-let ftran core w =
-  for k = 0 to core.n_etas - 1 do
-    apply_eta_ftran (Array.unsafe_get core.etas k) w
-  done;
-  if core.mode = Lu then begin
-    Array.blit w 0 core.spike 0 core.nrows;
-    u_fsolve core w
-  end
-
-let btran core w =
-  if core.mode = Lu then u_bsolve core w;
-  for k = core.n_etas - 1 downto 0 do
-    apply_eta_btran (Array.unsafe_get core.etas k) w
-  done
-
-let push_eta core e =
-  if Array.length core.etas = core.n_etas then begin
-    let etas' =
-      Array.make (max 16 (2 * core.n_etas))
-        { col = true; r = 0; pr = 1.0; idx = [||]; v = [||] }
-    in
-    Array.blit core.etas 0 etas' 0 core.n_etas;
-    core.etas <- etas'
-  end;
-  core.etas.(core.n_etas) <- e;
-  core.n_etas <- core.n_etas + 1;
-  core.eta_nnz <- core.eta_nnz + Array.length e.idx + 1
-
-(* Column eta from the FTRANed entering column [w], pivot row [r]. *)
-let push_col_eta core r w =
-  let count = ref 0 in
-  for i = 0 to core.nrows - 1 do
-    if i <> r && Float.abs w.(i) > eta_drop then incr count
-  done;
-  let idx = Array.make !count 0 and v = Array.make !count 0.0 in
-  let k = ref 0 in
-  for i = 0 to core.nrows - 1 do
-    if i <> r && Float.abs w.(i) > eta_drop then begin
-      idx.(!k) <- i;
-      v.(!k) <- w.(i);
-      incr k
-    end
-  done;
-  push_eta core { col = true; r; pr = w.(r); idx; v }
-
-(* ------------------------------------------------------------------ *)
-(* U maintenance (LU mode)                                             *)
-(* ------------------------------------------------------------------ *)
-
 let grow_any a n fill =
   let len = Array.length a in
   if len >= n then a
@@ -489,28 +397,209 @@ let grow_any a n fill =
     a'
   end
 
+(* ------------------------------------------------------------------ *)
+(* Appending ops to the flat file                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Out-of-line entry-buffer growth keeps [op_emit] small enough to
+   inline. *)
+let op_grow_entries core n =
+  core.e_idx <- V.I.grow core.e_idx n 0;
+  core.e_val <- V.F.grow core.e_val n 0.0
+
+(* Stage one off-pivot entry of the pending op. *)
+let[@inline] op_emit core i v =
+  let n = core.e_n in
+  if V.I.length core.e_idx <= n then op_grow_entries core (n + 1);
+  iset core.e_idx n i;
+  fset core.e_val n v;
+  core.e_n <- n + 1
+
+let op_reserve core =
+  let k = core.n_etas in
+  core.op_r <- grow_i core.op_r (k + 1) 0;
+  core.op_start <- grow_i core.op_start (k + 2) 0;
+  core.op_pr <- V.F.grow core.op_pr (k + 1) 1.0;
+  if Bytes.length core.op_col <= k then begin
+    let nb = Bytes.length core.op_col in
+    let b = Bytes.make (max (k + 1) (max 16 (2 * nb))) '\000' in
+    Bytes.blit core.op_col 0 b 0 nb;
+    core.op_col <- b
+  end
+
+(* Seal the pending entries as one op. [rev] flips the stored entry
+   order: the PR-7 layout consed entries onto a list and [Array.of_list]
+   reversed them, and the row-op FTRAN / column-op BTRAN dot products
+   sum in entry order, so preserving the historical order keeps results
+   bit-identical. *)
+let op_commit core ~col ~r ~pr ~rev =
+  op_reserve core;
+  let k = core.n_etas in
+  let s = core.op_start.(k) and e = core.e_n in
+  if rev then begin
+    let idx = core.e_idx and vl = core.e_val in
+    let i = ref s and j = ref (e - 1) in
+    while !i < !j do
+      let ti = iget idx !i in
+      iset idx !i (iget idx !j);
+      iset idx !j ti;
+      let tv = fget vl !i in
+      fset vl !i (fget vl !j);
+      fset vl !j tv;
+      incr i;
+      decr j
+    done
+  end;
+  Bytes.unsafe_set core.op_col k (if col then '\001' else '\000');
+  core.op_r.(k) <- r;
+  fset core.op_pr k pr;
+  core.op_start.(k + 1) <- e;
+  core.n_etas <- k + 1;
+  core.eta_nnz <- core.eta_nnz + (e - s) + 1
+
+(* Reset the whole file (refactorization start). *)
+let ops_clear core =
+  core.n_etas <- 0;
+  core.eta_nnz <- 0;
+  core.e_n <- 0;
+  core.op_start.(0) <- 0
+
+(* ------------------------------------------------------------------ *)
+(* FTRAN / BTRAN over the op file                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Solve U x = w (w indexed by problem row) by back substitution in
+   position order, scattering each slot's above-diagonal column. The
+   result is indexed by slot — and slots are row indices (slot [s]
+   carries [basis.(s)]), so it is blitted straight back into [w]. *)
+let u_fsolve core (w : V.fvec) =
+  let fx = core.fx in
+  for p = core.nrows - 1 downto 0 do
+    let r = core.row_of_pos.(p) in
+    let s = core.slot_of_pos.(p) in
+    let t = w.{r} /. core.udiag.{s} in
+    fx.{s} <- t;
+    if t <> 0.0 then begin
+      let ci = core.uc_idx.(s) and cv = core.uc_val.(s) in
+      for k = 0 to core.uc_len.(s) - 1 do
+        let i = iget ci k in
+        fset w i (fget w i -. (fget cv k *. t))
+      done
+    end
+  done;
+  V.F.blit fx 0 w 0 core.nrows
+
+(* Solve U^T y = w (w indexed by slot) by forward substitution in
+   position order, scattering each row's right-of-diagonal entries; the
+   result is indexed by problem row. *)
+let u_bsolve core (w : V.fvec) =
+  let fx = core.fx in
+  for p = 0 to core.nrows - 1 do
+    let r = core.row_of_pos.(p) in
+    let s = core.slot_of_pos.(p) in
+    let t = w.{s} /. core.udiag.{s} in
+    fx.{r} <- t;
+    if t <> 0.0 then begin
+      let ri = core.ur_idx.(r) and rv = core.ur_val.(r) in
+      for k = 0 to core.ur_len.(r) - 1 do
+        let i = iget ri k in
+        fset w i (fget w i -. (fget rv k *. t))
+      done
+    end
+  done;
+  V.F.blit fx 0 w 0 core.nrows
+
+(* B^-1 w. In LU mode the op-file intermediate (the Forrest–Tomlin spike
+   of the column being transformed) is saved in [core.spike]: a pivot on
+   the column FTRANed last uses it for the basis update. *)
+let ftran core (w : V.fvec) =
+  let idx = core.e_idx and vl = core.e_val and pr = core.op_pr in
+  let st = core.op_start and rr = core.op_r and oc = core.op_col in
+  for k = 0 to core.n_etas - 1 do
+    let s = Array.unsafe_get st k and e = Array.unsafe_get st (k + 1) in
+    let r = Array.unsafe_get rr k in
+    if Bytes.unsafe_get oc k = '\001' then begin
+      let t = fget w r /. fget pr k in
+      fset w r t;
+      if t <> 0.0 then
+        for q = s to e - 1 do
+          let i = iget idx q in
+          fset w i (fget w i -. (fget vl q *. t))
+        done
+    end
+    else begin
+      let acc = ref 0.0 in
+      for q = s to e - 1 do
+        acc := !acc +. (fget vl q *. fget w (iget idx q))
+      done;
+      fset w r (fget w r -. !acc)
+    end
+  done;
+  if core.mode = Lu then begin
+    V.F.blit w 0 core.spike 0 core.nrows;
+    u_fsolve core w
+  end
+
+let btran core (w : V.fvec) =
+  if core.mode = Lu then u_bsolve core w;
+  let idx = core.e_idx and vl = core.e_val and pr = core.op_pr in
+  let st = core.op_start and rr = core.op_r and oc = core.op_col in
+  for k = core.n_etas - 1 downto 0 do
+    let s = Array.unsafe_get st k and e = Array.unsafe_get st (k + 1) in
+    let r = Array.unsafe_get rr k in
+    if Bytes.unsafe_get oc k = '\001' then begin
+      let acc = ref 0.0 in
+      for q = s to e - 1 do
+        acc := !acc +. (fget vl q *. fget w (iget idx q))
+      done;
+      fset w r ((fget w r -. !acc) /. fget pr k)
+    end
+    else begin
+      let t = fget w r in
+      if t <> 0.0 then
+        for q = s to e - 1 do
+          let i = iget idx q in
+          fset w i (fget w i -. (fget vl q *. t))
+        done
+    end
+  done
+
+(* Column op from the FTRANed entering column [w], pivot row [r]. *)
+let push_col_eta core r (w : V.fvec) =
+  for i = 0 to core.nrows - 1 do
+    if i <> r then begin
+      let v = w.{i} in
+      if Float.abs v > eta_drop then op_emit core i v
+    end
+  done;
+  op_commit core ~col:true ~r ~pr:w.{r} ~rev:false
+
+(* ------------------------------------------------------------------ *)
+(* U maintenance (LU mode)                                             *)
+(* ------------------------------------------------------------------ *)
+
 (* [u_nnz] counts each off-diagonal nonzero once: the row-wise side
    ([ur_push]/[ur_remove]) maintains it, the column-wise mirror does
    not. *)
-let ur_push core r s v =
+let[@inline] ur_push core r s v =
   let n = core.ur_len.(r) in
-  if Array.length core.ur_idx.(r) <= n then begin
-    core.ur_idx.(r) <- grow_i core.ur_idx.(r) (n + 1) 0;
-    core.ur_val.(r) <- grow_f core.ur_val.(r) (n + 1)
+  if V.I.length core.ur_idx.(r) <= n then begin
+    core.ur_idx.(r) <- V.I.grow core.ur_idx.(r) (n + 1) 0;
+    core.ur_val.(r) <- V.F.grow core.ur_val.(r) (n + 1) 0.0
   end;
-  core.ur_idx.(r).(n) <- s;
-  core.ur_val.(r).(n) <- v;
+  iset core.ur_idx.(r) n s;
+  fset core.ur_val.(r) n v;
   core.ur_len.(r) <- n + 1;
   core.u_nnz <- core.u_nnz + 1
 
-let uc_push core s r v =
+let[@inline] uc_push core s r v =
   let n = core.uc_len.(s) in
-  if Array.length core.uc_idx.(s) <= n then begin
-    core.uc_idx.(s) <- grow_i core.uc_idx.(s) (n + 1) 0;
-    core.uc_val.(s) <- grow_f core.uc_val.(s) (n + 1)
+  if V.I.length core.uc_idx.(s) <= n then begin
+    core.uc_idx.(s) <- V.I.grow core.uc_idx.(s) (n + 1) 0;
+    core.uc_val.(s) <- V.F.grow core.uc_val.(s) (n + 1) 0.0
   end;
-  core.uc_idx.(s).(n) <- r;
-  core.uc_val.(s).(n) <- v;
+  iset core.uc_idx.(s) n r;
+  fset core.uc_val.(s) n v;
   core.uc_len.(s) <- n + 1
 
 let ur_remove core r s =
@@ -518,12 +607,12 @@ let ur_remove core r s =
   let idx = core.ur_idx.(r) in
   let k = ref (-1) in
   for i = 0 to n - 1 do
-    if idx.(i) = s then k := i
+    if idx.{i} = s then k := i
   done;
   if !k >= 0 then begin
     let last = n - 1 in
-    idx.(!k) <- idx.(last);
-    core.ur_val.(r).(!k) <- core.ur_val.(r).(last);
+    idx.{!k} <- idx.{last};
+    fset core.ur_val.(r) !k (fget core.ur_val.(r) last);
     core.ur_len.(r) <- last;
     core.u_nnz <- core.u_nnz - 1
   end
@@ -533,12 +622,12 @@ let uc_remove core s r =
   let idx = core.uc_idx.(s) in
   let k = ref (-1) in
   for i = 0 to n - 1 do
-    if idx.(i) = r then k := i
+    if idx.{i} = r then k := i
   done;
   if !k >= 0 then begin
     let last = n - 1 in
-    idx.(!k) <- idx.(last);
-    core.uc_val.(s).(!k) <- core.uc_val.(s).(last);
+    idx.{!k} <- idx.{last};
+    fset core.uc_val.(s) !k (fget core.uc_val.(s) last);
     core.uc_len.(s) <- last
   end
 
@@ -591,29 +680,28 @@ let heap_pop core =
    order. [rsp]/[rin] hold the spike by slot and the matching slots sit
    in the heap; both are left clean. Appends the eliminations as one row
    op (they compose exactly: the pivot rows used are never themselves
-   modified) and returns the new diagonal [sdiag - sum m_k * scol r_k],
-   where [scol] reads the spike column being installed at the last
-   position. *)
-let eliminate_row_spike core it sdiag scol =
-  let m_idx = ref [] and m_val = ref [] and n_m = ref 0 in
+   modified) and returns the new diagonal [sdiag - sum m_k * sp r_k],
+   where [sp] is the spike column being installed at the last position
+   ([use_sp] false reads it as all-zero — the appended-row case, whose
+   diagonal stays exactly [sdiag]). *)
+let eliminate_row_spike core it sdiag (sp : V.fvec) use_sp =
   let d = ref sdiag in
+  let e0 = core.op_start.(core.n_etas) in
   while core.hp_n > 0 do
     let q = heap_pop core in
     if core.rin.(q) then begin
       core.rin.(q) <- false;
-      let v = core.rsp.(q) in
-      core.rsp.(q) <- 0.0;
+      let v = core.rsp.{q} in
+      core.rsp.{q} <- 0.0;
       if Float.abs v > eta_drop then begin
         let rq = core.row_of_pos.(core.pos_of_slot.(q)) in
-        let m = v /. core.udiag.(q) in
-        m_idx := rq :: !m_idx;
-        m_val := m :: !m_val;
-        incr n_m;
-        d := !d -. (m *. scol rq);
+        let m = v /. core.udiag.{q} in
+        op_emit core rq m;
+        if use_sp then d := !d -. (m *. sp.{rq});
         let ri = core.ur_idx.(rq) and rv = core.ur_val.(rq) in
         for k = 0 to core.ur_len.(rq) - 1 do
-          let q' = ri.(k) in
-          core.rsp.(q') <- core.rsp.(q') -. (m *. rv.(k));
+          let q' = iget ri k in
+          core.rsp.{q'} <- core.rsp.{q'} -. (m *. fget rv k);
           if not core.rin.(q') then begin
             core.rin.(q') <- true;
             heap_push core q'
@@ -622,15 +710,8 @@ let eliminate_row_spike core it sdiag scol =
       end
     end
   done;
-  if !n_m > 0 then begin
-    push_eta core
-      {
-        col = false;
-        r = it;
-        pr = 1.0;
-        idx = Array.of_list !m_idx;
-        v = Array.of_list !m_val;
-      };
+  if core.e_n > e0 then begin
+    op_commit core ~col:false ~r:it ~pr:1.0 ~rev:true;
     Obs.incr c_drift
   end;
   !d
@@ -650,14 +731,14 @@ let lu_update core rr =
   let it = core.row_of_pos.(p_out) in
   (* Delete U's column [rr] (its entries live above the diagonal). *)
   for k = 0 to core.uc_len.(rr) - 1 do
-    ur_remove core core.uc_idx.(rr).(k) rr
+    ur_remove core (iget core.uc_idx.(rr) k) rr
   done;
   core.uc_len.(rr) <- 0;
   (* Gather row [it] as the row spike and delete it from U. *)
   let rlen = core.ur_len.(it) in
   for k = 0 to rlen - 1 do
-    let s = core.ur_idx.(it).(k) in
-    core.rsp.(s) <- core.ur_val.(it).(k);
+    let s = iget core.ur_idx.(it) k in
+    core.rsp.{s} <- fget core.ur_val.(it) k;
     core.rin.(s) <- true;
     uc_remove core s it
   done;
@@ -681,14 +762,17 @@ let lu_update core rr =
   for s = 0 to n - 1 do
     if core.rin.(s) then heap_push core s
   done;
-  let d = eliminate_row_spike core it sp.(it) (fun r' -> sp.(r')) in
+  let d = eliminate_row_spike core it sp.{it} sp true in
   if Float.abs d <= lu_dtol then false
   else begin
-    core.udiag.(rr) <- d;
+    core.udiag.{rr} <- d;
     for r' = 0 to n - 1 do
-      if r' <> it && Float.abs sp.(r') > eta_drop then begin
-        ur_push core r' rr sp.(r');
-        uc_push core rr r' sp.(r')
+      if r' <> it then begin
+        let v = sp.{r'} in
+        if Float.abs v > eta_drop then begin
+          ur_push core r' rr v;
+          uc_push core rr r' v
+        end
       end
     done;
     core.n_updates <- core.n_updates + 1;
@@ -701,58 +785,60 @@ let lu_update core rr =
 (* ------------------------------------------------------------------ *)
 
 (* Scatter column [j] of [A | I] into [w] (caller pre-zeroes). *)
-let scatter_col core j w =
+let scatter_col core j (w : V.fvec) =
   if j < core.ns then begin
     let cr = core.cr.(j) and cv = core.cv.(j) in
     for k = 0 to core.clen.(j) - 1 do
-      w.(cr.(k)) <- cv.(k)
+      fset w (iget cr k) (fget cv k)
     done
   end
-  else w.(j - core.ns) <- 1.0
+  else w.{j - core.ns} <- 1.0
 
-(* y . A_j *)
-let dot_col core y j =
+(* Reduced cost of column [j] under the (possibly phase-1) duals [y],
+   left in [core.cmag]: (if phase1 then 0 else cost_j) - y . A_j. *)
+let set_rcost core ~phase1 (y : V.fvec) j =
+  let c0 = if phase1 then 0.0 else core.cost.{j} in
   if j < core.ns then begin
     let cr = core.cr.(j) and cv = core.cv.(j) in
     let s = ref 0.0 in
     for k = 0 to core.clen.(j) - 1 do
-      s := !s +. (Array.unsafe_get cv k *. Array.unsafe_get y (Array.unsafe_get cr k))
+      s := !s +. (fget cv k *. fget y (iget cr k))
     done;
-    !s
+    core.cmag.{0} <- c0 -. !s
   end
-  else y.(j - core.ns)
+  else core.cmag.{0} <- c0 -. y.{j - core.ns}
 
 (* Value of a nonbasic column: its resting bound (0 for free columns). *)
-let nb_val core j =
-  if core.nb_up.(j) then core.up.(j)
-  else if core.lo.(j) > neg_infinity then core.lo.(j)
+let[@inline] nb_val core j =
+  if core.nb_up.(j) then core.up.{j}
+  else if core.lo.{j} > neg_infinity then core.lo.{j}
   else 0.0
 
-let value_of core j =
+let[@inline] value_of core j =
   let p = core.bpos.(j) in
-  if p >= 0 then core.xb.(p) else nb_val core j
+  if p >= 0 then core.xb.{p} else nb_val core j
 
-let fixed core j = core.lo.(j) = core.up.(j)
+let[@inline] fixed core j = core.lo.{j} = core.up.{j}
 
 (* xb = B^-1 (b - A_N x_N), from scratch (initial build, refactorization,
    crash starts). *)
 let recompute_xb core =
   let v = core.wk in
   for r = 0 to core.nrows - 1 do
-    v.(r) <- core.b.(r);
-    if core.bpos.(core.ns + r) < 0 then v.(r) <- v.(r) -. nb_val core (core.ns + r)
+    v.{r} <- core.b.{r};
+    if core.bpos.(core.ns + r) < 0 then v.{r} <- v.{r} -. nb_val core (core.ns + r)
   done;
   for r = 0 to core.nrows - 1 do
     for k = core.row_ptr.(r) to core.row_ptr.(r + 1) - 1 do
-      let j = core.rc.(k) in
+      let j = iget core.rc k in
       if core.bpos.(j) < 0 then begin
         let x = nb_val core j in
-        if x <> 0.0 then v.(r) <- v.(r) -. (core.rv.(k) *. x)
+        if x <> 0.0 then v.{r} <- v.{r} -. (fget core.rv k *. x)
       end
     done
   done;
   ftran core v;
-  Array.blit v 0 core.xb 0 core.nrows
+  V.F.blit v 0 core.xb 0 core.nrows
 
 (* ------------------------------------------------------------------ *)
 (* Refactorization: rebuild the basis representation from scratch       *)
@@ -766,8 +852,7 @@ let recompute_xb core =
    caller rebuilds cold. Also recomputes [xb], so refactorization doubles
    as drift repair. *)
 let eta_refactor core =
-  core.n_etas <- 0;
-  core.eta_nnz <- 0;
+  ops_clear core;
   let claimed = Array.make core.nrows false in
   let pending = ref [] in
   for r = 0 to core.nrows - 1 do
@@ -783,14 +868,14 @@ let eta_refactor core =
   List.iter
     (fun c ->
       if !ok then begin
-        Array.fill w 0 core.nrows 0.0;
+        V.F.fill_range w 0 core.nrows 0.0;
         scatter_col core c w;
         ftran core w;
         let best = ref (-1) and bestv = ref 0.0 in
         for r = 0 to core.nrows - 1 do
-          if (not claimed.(r)) && Float.abs w.(r) > !bestv then begin
+          if (not claimed.(r)) && Float.abs w.{r} > !bestv then begin
             best := r;
-            bestv := Float.abs w.(r)
+            bestv := Float.abs w.{r}
           end
         done;
         if !best < 0 || !bestv <= 1e-10 then ok := false
@@ -808,6 +893,17 @@ let eta_refactor core =
   if !ok then recompute_xb core;
   !ok
 
+(* Markowitz working-submatrix scratch, shared per domain through the
+   arena (DESIGN.md §13): column counts, candidate-row cursors, row
+   lengths, and the packed active flags ([0,n) rows, [n,2n) columns).
+   The row/column spines themselves persist on the core ([rf_*]): their
+   warmed capacities are problem-shaped, and reusing them across the
+   refactorizations of one master is the point. *)
+let a_ccount = Arena.ints ()
+let a_coln = Arena.ints ()
+let a_rlen = Arena.ints ()
+let a_act = Arena.bytes ()
+
 (* LU mode: Markowitz-ordered sparse LU of the current basis matrix
    (column [basis.(s)] at slot [s]), rebuilding the op file (the Gauss
    column ops of each pivot) and the explicit U from scratch. Pivots
@@ -822,81 +918,86 @@ let eta_refactor core =
    different rows: the row permutation lives inside U. *)
 let lu_refactor core =
   let n = core.nrows in
-  core.n_etas <- 0;
-  core.eta_nnz <- 0;
-  let r_idx = Array.make (max 1 n) [||] in
-  let r_val = Array.make (max 1 n) [||] in
-  let r_len = Array.make (max 1 n) 0 in
-  let ccount = Array.make (max 1 n) 0 in
-  let col_rows = Array.make (max 1 n) [||] in
-  let col_n = Array.make (max 1 n) 0 in
-  let active_row = Array.make (max 1 n) true in
-  let active_col = Array.make (max 1 n) true in
-  let push_entry r s v =
-    let k = r_len.(r) in
-    if Array.length r_idx.(r) <= k then begin
-      r_idx.(r) <- grow_i r_idx.(r) (k + 1) 0;
-      r_val.(r) <- grow_f r_val.(r) (k + 1)
-    end;
-    r_idx.(r).(k) <- s;
-    r_val.(r).(k) <- v;
-    r_len.(r) <- k + 1
-  in
-  let col_push s r =
-    let k = col_n.(s) in
-    if Array.length col_rows.(s) <= k then col_rows.(s) <- grow_i col_rows.(s) (k + 1) 0;
-    col_rows.(s).(k) <- r;
-    col_n.(s) <- k + 1
-  in
+  ops_clear core;
+  let nn = max 1 n in
+  let rlen = Arena.get a_rlen nn in
+  let ccount = Arena.get a_ccount nn in
+  let col_n = Arena.get a_coln nn in
+  let act = Arena.get a_act (2 * nn) in
+  V.I.fill_range rlen 0 n 0;
+  V.I.fill_range ccount 0 n 0;
+  V.I.fill_range col_n 0 n 0;
+  Bytes.fill act 0 (2 * n) '\001';
+  (* Load the basis columns into the row spines and candidate lists. *)
   for s = 0 to n - 1 do
     let c = core.basis.(s) in
-    if c < core.ns then
+    if c < core.ns then begin
+      let cr = core.cr.(c) and cv = core.cv.(c) in
       for k = 0 to core.clen.(c) - 1 do
-        let r = core.cr.(c).(k) in
-        push_entry r s core.cv.(c).(k);
-        ccount.(s) <- ccount.(s) + 1;
-        col_push s r
+        let r = iget cr k in
+        let kw = rlen.{r} in
+        if V.I.length core.rf_idx.(r) <= kw then begin
+          core.rf_idx.(r) <- V.I.grow core.rf_idx.(r) (kw + 1) 0;
+          core.rf_val.(r) <- V.F.grow core.rf_val.(r) (kw + 1) 0.0
+        end;
+        iset core.rf_idx.(r) kw s;
+        fset core.rf_val.(r) kw (fget cv k);
+        rlen.{r} <- kw + 1;
+        ccount.{s} <- ccount.{s} + 1;
+        let q = col_n.{s} in
+        if V.I.length core.rf_rows.(s) <= q then
+          core.rf_rows.(s) <- V.I.grow core.rf_rows.(s) (q + 1) 0;
+        iset core.rf_rows.(s) q r;
+        col_n.{s} <- q + 1
       done
+    end
     else begin
       let r = c - core.ns in
-      push_entry r s 1.0;
-      ccount.(s) <- 1;
-      col_push s r
+      let kw = rlen.{r} in
+      if V.I.length core.rf_idx.(r) <= kw then begin
+        core.rf_idx.(r) <- V.I.grow core.rf_idx.(r) (kw + 1) 0;
+        core.rf_val.(r) <- V.F.grow core.rf_val.(r) (kw + 1) 0.0
+      end;
+      iset core.rf_idx.(r) kw s;
+      fset core.rf_val.(r) kw 1.0;
+      rlen.{r} <- kw + 1;
+      ccount.{s} <- 1;
+      let q = col_n.{s} in
+      if V.I.length core.rf_rows.(s) <= q then
+        core.rf_rows.(s) <- V.I.grow core.rf_rows.(s) (q + 1) 0;
+      iset core.rf_rows.(s) q r;
+      col_n.{s} <- q + 1
     end
   done;
-  (* Row value at a slot (linear scan — rows stay short). *)
-  let entry_of r s =
-    let v = ref 0.0 in
-    for k = 0 to r_len.(r) - 1 do
-      if r_idx.(r).(k) = s then v := r_val.(r).(k)
-    done;
-    !v
-  in
   let rsp = core.rsp and rin = core.rin in
+  let cand = Array.make 4 (-1) in
   let ok = ref true in
   let step = ref 0 in
   while !ok && !step < n do
     (* The few cheapest active columns by exact count. *)
-    let cand = Array.make 4 (-1) in
+    cand.(0) <- -1;
+    cand.(1) <- -1;
+    cand.(2) <- -1;
+    cand.(3) <- -1;
     let n_cand = ref 0 in
     for s = 0 to n - 1 do
-      if active_col.(s) then
+      if Bytes.unsafe_get act (n + s) = '\001' then
         if !n_cand < 4 then begin
           cand.(!n_cand) <- s;
           incr n_cand;
           (* keep the worst candidate last *)
           for i = !n_cand - 1 downto 1 do
-            if ccount.(cand.(i)) < ccount.(cand.(i - 1)) then begin
+            if ccount.{cand.(i)} < ccount.{cand.(i - 1)} then begin
               let t = cand.(i) in
               cand.(i) <- cand.(i - 1);
               cand.(i - 1) <- t
             end
           done
         end
-        else if ccount.(s) < ccount.(cand.(3)) then begin
+        else if ccount.{s} < ccount.{cand.(3)} then begin
           cand.(3) <- s;
           for i = 3 downto 1 do
-            if ccount.(cand.(i)) < ccount.(cand.(i - 1)) then begin
+            if ccount.{cand.(i)} < ccount.{cand.(i - 1)} then begin
               let t = cand.(i) in
               cand.(i) <- cand.(i - 1);
               cand.(i - 1) <- t
@@ -909,35 +1010,44 @@ let lu_refactor core =
     for ci = 0 to !n_cand - 1 do
       let s = cand.(ci) in
       (* Validate and compact the candidate rows, find the column max. *)
+      let rows = core.rf_rows.(s) in
       let w = ref 0 and colmax = ref 0.0 in
-      for k = 0 to col_n.(s) - 1 do
-        let r = col_rows.(s).(k) in
-        if active_row.(r) then begin
-          let v = entry_of r s in
-          if v <> 0.0 then begin
+      for k = 0 to col_n.{s} - 1 do
+        let r = iget rows k in
+        if Bytes.unsafe_get act r = '\001' then begin
+          (* entry_of r s, inlined *)
+          let v = ref 0.0 in
+          let ri = core.rf_idx.(r) and rv = core.rf_val.(r) in
+          for i = 0 to rlen.{r} - 1 do
+            if iget ri i = s then v := fget rv i
+          done;
+          if !v <> 0.0 then begin
             (* drop duplicates from re-fills *)
             let dup = ref false in
             for i = 0 to !w - 1 do
-              if col_rows.(s).(i) = r then dup := true
+              if iget rows i = r then dup := true
             done;
             if not !dup then begin
-              col_rows.(s).(!w) <- r;
+              iset rows !w r;
               incr w;
-              if Float.abs v > !colmax then colmax := Float.abs v
+              if Float.abs !v > !colmax then colmax := Float.abs !v
             end
           end
         end
       done;
-      col_n.(s) <- !w;
+      col_n.{s} <- !w;
       if !colmax > lu_dtol then
         for k = 0 to !w - 1 do
-          let r = col_rows.(s).(k) in
-          let v = Float.abs (entry_of r s) in
+          let r = iget rows k in
+          let v = ref 0.0 in
+          let ri = core.rf_idx.(r) and rv = core.rf_val.(r) in
+          for i = 0 to rlen.{r} - 1 do
+            if iget ri i = s then v := fget rv i
+          done;
+          let v = Float.abs !v in
           if v >= lu_mtol *. !colmax then begin
-            let score = (r_len.(r) - 1) * (!w - 1) in
-            if
-              score < !best_score
-              || (score = !best_score && v > !best_mag)
+            let score = (rlen.{r} - 1) * (!w - 1) in
+            if score < !best_score || (score = !best_score && v > !best_mag)
             then begin
               best_score := score;
               best_mag := v;
@@ -950,114 +1060,161 @@ let lu_refactor core =
     if !best_r < 0 then ok := false
     else begin
       let r = !best_r and s = !best_s in
-      let piv = entry_of r s in
-      (* Eliminate column [s] from the other rows holding it. *)
-      let m_idx = ref [] and m_val = ref [] and n_m = ref 0 in
-      for k = 0 to col_n.(s) - 1 do
-        let r' = col_rows.(s).(k) in
-        if r' <> r && active_row.(r') then begin
+      (* piv = entry_of r s, inlined *)
+      let piv =
+        let v = ref 0.0 in
+        let ri = core.rf_idx.(r) and rv = core.rf_val.(r) in
+        for i = 0 to rlen.{r} - 1 do
+          if iget ri i = s then v := fget rv i
+        done;
+        !v
+      in
+      (* Eliminate column [s] from the other rows holding it; the
+         multipliers become one column op, committed below with the
+         historical (reversed) entry order. *)
+      let e0 = core.op_start.(core.n_etas) in
+      for k = 0 to col_n.{s} - 1 do
+        let r' = iget core.rf_rows.(s) k in
+        if r' <> r && Bytes.unsafe_get act r' = '\001' then begin
           (* load row r' *)
-          for i = 0 to r_len.(r') - 1 do
-            rsp.(r_idx.(r').(i)) <- r_val.(r').(i);
-            rin.(r_idx.(r').(i)) <- true
+          let len' = rlen.{r'} in
+          let ri' = core.rf_idx.(r') and rv' = core.rf_val.(r') in
+          for i = 0 to len' - 1 do
+            let s' = iget ri' i in
+            rsp.{s'} <- fget rv' i;
+            rin.(s') <- true
           done;
-          let m = rsp.(s) /. piv in
+          let m = rsp.{s} /. piv in
           rin.(s) <- false;
-          rsp.(s) <- 0.0;
-          m_idx := r' :: !m_idx;
-          m_val := m :: !m_val;
-          incr n_m;
-          (* subtract m * (pivot row minus the pivot slot) *)
-          let fills = ref [] in
-          for i = 0 to r_len.(r) - 1 do
-            let s' = r_idx.(r).(i) in
+          rsp.{s} <- 0.0;
+          op_emit core r' m;
+          (* subtract m * (pivot row minus the pivot slot); fresh fill
+             slots park in [hp] (free during refactorization) *)
+          let n_fills = ref 0 in
+          let rpi = core.rf_idx.(r) and rpv = core.rf_val.(r) in
+          for i = 0 to rlen.{r} - 1 do
+            let s' = iget rpi i in
             if s' <> s then
-              if rin.(s') then rsp.(s') <- rsp.(s') -. (m *. r_val.(r).(i))
+              if rin.(s') then rsp.{s'} <- rsp.{s'} -. (m *. fget rpv i)
               else begin
                 rin.(s') <- true;
-                rsp.(s') <- -.(m *. r_val.(r).(i));
-                fills := s' :: !fills
+                rsp.{s'} <- -.(m *. fget rpv i);
+                core.hp.(!n_fills) <- s';
+                incr n_fills
               end
           done;
-          (* rebuild row r': old entries first, then fills *)
-          let old_len = r_len.(r') in
+          (* rebuild row r' in place: old entries first (the write
+             cursor never passes the read cursor), then fills in the
+             historical (reversed) order *)
           let wlen = ref 0 in
-          let keep s' v =
-            if Array.length r_idx.(r') <= !wlen then begin
-              r_idx.(r') <- grow_i r_idx.(r') (!wlen + 1) 0;
-              r_val.(r') <- grow_f r_val.(r') (!wlen + 1)
-            end;
-            r_idx.(r').(!wlen) <- s';
-            r_val.(r').(!wlen) <- v;
-            incr wlen
-          in
-          let old_idx = Array.sub r_idx.(r') 0 old_len in
-          Array.iter
-            (fun s' ->
-              if rin.(s') then begin
-                rin.(s') <- false;
-                let v = rsp.(s') in
-                rsp.(s') <- 0.0;
-                if Float.abs v > eta_drop then keep s' v
-                else ccount.(s') <- ccount.(s') - 1 (* cancelled *)
-              end)
-            old_idx;
-          List.iter
-            (fun s' ->
-              if rin.(s') then begin
-                rin.(s') <- false;
-                let v = rsp.(s') in
-                rsp.(s') <- 0.0;
-                if Float.abs v > eta_drop then begin
-                  keep s' v;
-                  ccount.(s') <- ccount.(s') + 1;
-                  col_push s' r'
-                end
-              end)
-            !fills;
-          r_len.(r') <- !wlen
+          for i = 0 to len' - 1 do
+            let s' = iget ri' i in
+            if rin.(s') then begin
+              rin.(s') <- false;
+              let v = rsp.{s'} in
+              rsp.{s'} <- 0.0;
+              if Float.abs v > eta_drop then begin
+                iset core.rf_idx.(r') !wlen s';
+                fset core.rf_val.(r') !wlen v;
+                incr wlen
+              end
+              else ccount.{s'} <- ccount.{s'} - 1 (* cancelled *)
+            end
+          done;
+          for f = !n_fills - 1 downto 0 do
+            let s' = core.hp.(f) in
+            if rin.(s') then begin
+              rin.(s') <- false;
+              let v = rsp.{s'} in
+              rsp.{s'} <- 0.0;
+              if Float.abs v > eta_drop then begin
+                let kw = !wlen in
+                if V.I.length core.rf_idx.(r') <= kw then begin
+                  core.rf_idx.(r') <- V.I.grow core.rf_idx.(r') (kw + 1) 0;
+                  core.rf_val.(r') <- V.F.grow core.rf_val.(r') (kw + 1) 0.0
+                end;
+                iset core.rf_idx.(r') kw s';
+                fset core.rf_val.(r') kw v;
+                wlen := kw + 1;
+                ccount.{s'} <- ccount.{s'} + 1;
+                let q = col_n.{s'} in
+                if V.I.length core.rf_rows.(s') <= q then
+                  core.rf_rows.(s') <- V.I.grow core.rf_rows.(s') (q + 1) 0;
+                iset core.rf_rows.(s') q r';
+                col_n.{s'} <- q + 1
+              end
+            end
+          done;
+          rlen.{r'} <- !wlen
         end
       done;
       (* the eliminated entries leave column s *)
-      ccount.(s) <- 1;
-      if !n_m > 0 then
-        push_eta core
-          {
-            col = true;
-            r;
-            pr = 1.0;
-            idx = Array.of_list !m_idx;
-            v = Array.of_list !m_val;
-          };
+      ccount.{s} <- 1;
+      if core.e_n > e0 then op_commit core ~col:true ~r ~pr:1.0 ~rev:true;
       (* retire the pivot row and column *)
-      active_row.(r) <- false;
-      active_col.(s) <- false;
+      Bytes.unsafe_set act r '\000';
+      Bytes.unsafe_set act (n + s) '\000';
       core.row_of_pos.(!step) <- r;
       core.pos_of_row.(r) <- !step;
       core.slot_of_pos.(!step) <- s;
       core.pos_of_slot.(s) <- !step;
-      core.udiag.(s) <- piv;
-      for i = 0 to r_len.(r) - 1 do
-        let s' = r_idx.(r).(i) in
-        if s' <> s then ccount.(s') <- ccount.(s') - 1
+      core.udiag.{s} <- piv;
+      let ri = core.rf_idx.(r) in
+      for i = 0 to rlen.{r} - 1 do
+        let s' = iget ri i in
+        if s' <> s then ccount.{s'} <- ccount.{s'} - 1
       done;
       incr step
     end
   done;
   if !ok then begin
     (* Install U from the retired rows: everything but each row's own
-       diagonal sits strictly right of it in position order. *)
+       diagonal sits strictly right of it in position order. The row
+       side writes straight into the spines' mirror; the column side
+       first counts per slot (reusing [ccount]) so each column grows at
+       most once, then fills with [col_n] as cursors. *)
     Array.fill core.ur_len 0 n 0;
     Array.fill core.uc_len 0 n 0;
     core.u_nnz <- 0;
+    V.I.fill_range ccount 0 n 0;
     for r = 0 to n - 1 do
       let sd = core.slot_of_pos.(core.pos_of_row.(r)) in
-      for k = 0 to r_len.(r) - 1 do
-        let s' = r_idx.(r).(k) in
+      let cnt = rlen.{r} in
+      if V.I.length core.ur_idx.(r) < cnt then begin
+        core.ur_idx.(r) <- V.I.grow core.ur_idx.(r) cnt 0;
+        core.ur_val.(r) <- V.F.grow core.ur_val.(r) cnt 0.0
+      end;
+      let ri = core.rf_idx.(r) and rv = core.rf_val.(r) in
+      let w = ref 0 in
+      for k = 0 to cnt - 1 do
+        let s' = iget ri k in
         if s' <> sd then begin
-          ur_push core r s' r_val.(r).(k);
-          uc_push core s' r r_val.(r).(k)
+          iset core.ur_idx.(r) !w s';
+          fset core.ur_val.(r) !w (fget rv k);
+          incr w;
+          ccount.{s'} <- ccount.{s'} + 1
         end
+      done;
+      core.ur_len.(r) <- !w;
+      core.u_nnz <- core.u_nnz + !w
+    done;
+    for s = 0 to n - 1 do
+      let c = ccount.{s} in
+      if V.I.length core.uc_idx.(s) < c then begin
+        core.uc_idx.(s) <- V.I.grow core.uc_idx.(s) c 0;
+        core.uc_val.(s) <- V.F.grow core.uc_val.(s) c 0.0
+      end
+    done;
+    V.I.fill_range col_n 0 n 0;
+    for r = 0 to n - 1 do
+      let ri = core.ur_idx.(r) and rv = core.ur_val.(r) in
+      for k = 0 to core.ur_len.(r) - 1 do
+        let s' = iget ri k in
+        let q = col_n.{s'} in
+        iset core.uc_idx.(s') q r;
+        fset core.uc_val.(s') q (fget rv k);
+        col_n.{s'} <- q + 1;
+        core.uc_len.(s') <- q + 1
       done
     done;
     core.base_etas <- core.n_etas;
@@ -1106,8 +1263,8 @@ let max_violation core =
   let row = ref (-1) and amt = ref feas_tol and below = ref false in
   for r = 0 to core.nrows - 1 do
     let c = core.basis.(r) in
-    let v = core.xb.(r) in
-    let d_lo = core.lo.(c) -. v and d_up = v -. core.up.(c) in
+    let v = core.xb.{r} in
+    let d_lo = core.lo.{c} -. v and d_up = v -. core.up.{c} in
     if d_lo > !amt then begin
       row := r;
       amt := d_lo;
@@ -1125,24 +1282,34 @@ let max_violation core =
    nonzero: a CSR sweep plus the implicit slack units. Results land in
    [acc]; [touched] lists the columns to reset afterwards. Shared by the
    dual ratio test and the primal Devex weight propagation (both need a
-   full tableau row). *)
-let dual_sweep core rho =
+   full tableau row). The accumulate step is written out twice (slack,
+   then row entries) instead of through a local closure: a closure
+   taking the float increment would box it on every call. *)
+let dual_sweep core (rho : V.fvec) =
   core.n_touched <- 0;
-  let touch j x =
-    if not core.acc_touched.(j) then begin
-      core.acc_touched.(j) <- true;
-      core.acc.(j) <- x;
-      core.touched.(core.n_touched) <- j;
-      core.n_touched <- core.n_touched + 1
-    end
-    else core.acc.(j) <- core.acc.(j) +. x
-  in
+  let acc = core.acc and tch = core.acc_touched and tl = core.touched in
+  let rc = core.rc and rv = core.rv and rp = core.row_ptr in
   for r = 0 to core.nrows - 1 do
-    let x = rho.(r) in
+    let x = rho.{r} in
     if Float.abs x > 1e-13 then begin
-      touch (core.ns + r) x;
-      for k = core.row_ptr.(r) to core.row_ptr.(r + 1) - 1 do
-        touch core.rc.(k) (x *. core.rv.(k))
+      let j = core.ns + r in
+      if Array.unsafe_get tch j then fset acc j (fget acc j +. x)
+      else begin
+        Array.unsafe_set tch j true;
+        fset acc j x;
+        Array.unsafe_set tl core.n_touched j;
+        core.n_touched <- core.n_touched + 1
+      end;
+      for k = rp.(r) to rp.(r + 1) - 1 do
+        let j = iget rc k in
+        let v = x *. fget rv k in
+        if Array.unsafe_get tch j then fset acc j (fget acc j +. v)
+        else begin
+          Array.unsafe_set tch j true;
+          fset acc j v;
+          Array.unsafe_set tl core.n_touched j;
+          core.n_touched <- core.n_touched + 1
+        end
       done
     end
   done
@@ -1150,7 +1317,7 @@ let dual_sweep core rho =
 let clear_sweep core =
   for k = 0 to core.n_touched - 1 do
     let j = core.touched.(k) in
-    core.acc.(j) <- 0.0;
+    core.acc.{j} <- 0.0;
     core.acc_touched.(j) <- false
   done;
   core.n_touched <- 0
@@ -1159,24 +1326,30 @@ let clear_sweep core =
 (* Pricing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Reduced cost of a nonbasic column under the (possibly phase-1) duals;
-   [phase1] zeroes the nonbasic objective. *)
-let reduced_cost core ~phase1 y j =
-  (if phase1 then 0.0 else core.cost.(j)) -. dot_col core y j
-
-(* Entering-column candidate: Some (direction, |d|) or None. Direction
-   +1 increases the column off its lower bound, -1 decreases it off its
-   upper; free columns move either way. *)
-let candidate core ~phase1 y j =
-  if core.bpos.(j) >= 0 || fixed core j then None
+(* Entering-column candidate: the direction (+1 = off its lower bound,
+   -1 = off its upper; free columns move either way) or 0 for none, with
+   |d| left in [core.cmag]. The PR-7 shape returned [Some (dir, mag)] —
+   an option, a tuple and a boxed float on every improving probe of the
+   pricing scan. *)
+let candidate core ~phase1 (y : V.fvec) j =
+  if core.bpos.(j) >= 0 || fixed core j then 0
   else begin
-    let d = reduced_cost core ~phase1 y j in
-    if core.nb_up.(j) then if d > price_tol then Some (-1, d) else None
-    else if core.lo.(j) > neg_infinity then
-      if d < -.price_tol then Some (1, -.d) else None
-    else if d < -.price_tol then Some (1, -.d)
-    else if d > price_tol then Some (-1, d)
-    else None
+    set_rcost core ~phase1 y j;
+    let d = core.cmag.{0} in
+    if core.nb_up.(j) then
+      if d > price_tol then -1 else 0
+    else if core.lo.{j} > neg_infinity then
+      if d < -.price_tol then begin
+        core.cmag.{0} <- -.d;
+        1
+      end
+      else 0
+    else if d < -.price_tol then begin
+      core.cmag.{0} <- -.d;
+      1
+    end
+    else if d > price_tol then -1
+    else 0
   end
 
 (* Entering-column choice. Devex: full scan maximizing d^2 / gamma_j
@@ -1188,54 +1361,60 @@ let candidate core ~phase1 y j =
 let pick_entering core ~phase1 y =
   let n = ncols core in
   if core.bland then begin
-    let found = ref None in
+    let best = ref (-1) and bdir = ref 0 in
     (try
        for j = 0 to n - 1 do
-         match candidate core ~phase1 y j with
-         | Some (dir, _) ->
-             found := Some (j, dir);
-             raise Exit
-         | None -> ()
+         let dir = candidate core ~phase1 y j in
+         if dir <> 0 then begin
+           best := j;
+           bdir := dir;
+           raise Exit
+         end
        done
      with Exit -> ());
-    !found
+    if !best < 0 then None else Some (!best, !bdir)
   end
   else if core.price = Lp_intf.Devex then begin
-    let best = ref None and bests = ref 0.0 in
+    let best = ref (-1) and bdir = ref 0 and bests = ref 0.0 in
     for j = 0 to n - 1 do
-      match candidate core ~phase1 y j with
-      | Some (dir, mag) ->
-          let s = mag *. mag /. core.dwc.(j) in
-          if s > !bests then begin
-            best := Some (j, dir);
-            bests := s
-          end
-      | None -> ()
+      let dir = candidate core ~phase1 y j in
+      if dir <> 0 then begin
+        let mag = core.cmag.{0} in
+        let s = mag *. mag /. core.dwc.{j} in
+        if s > !bests then begin
+          best := j;
+          bdir := dir;
+          bests := s
+        end
+      end
     done;
-    !best
+    if !best < 0 then None else Some (!best, !bdir)
   end
   else begin
     let section = max 64 (n / 8) in
-    let best = ref None and bestv = ref 0.0 in
+    let best = ref (-1) and bdir = ref 0 and bestv = ref 0.0 in
     let off = ref 0 in
     (try
        while !off < n do
          let j = (core.price_ptr + !off) mod n in
-         (match candidate core ~phase1 y j with
-         | Some (dir, mag) ->
-             if mag > !bestv then begin
-               best := Some (j, dir);
-               bestv := mag
-             end
-         | None -> ());
+         let dir = candidate core ~phase1 y j in
+         if dir <> 0 then begin
+           let mag = core.cmag.{0} in
+           if mag > !bestv then begin
+             best := j;
+             bdir := dir;
+             bestv := mag
+           end
+         end;
          incr off;
-         if !off mod section = 0 && !best <> None then raise Exit
+         if !off mod section = 0 && !best >= 0 then raise Exit
        done
      with Exit -> ());
-    (match !best with
-    | Some (j, _) -> core.price_ptr <- (j + 1) mod n
-    | None -> ());
-    !best
+    if !best < 0 then None
+    else begin
+      core.price_ptr <- (!best + 1) mod n;
+      Some (!best, !bdir)
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1250,54 +1429,53 @@ let pick_entering core ~phase1 y =
    a CSR sweep — the Devex surcharge per pivot. Must run before the
    basis arrays mutate. Weights above [devex_reset] re-anchor the whole
    reference framework. *)
-let devex_primal_update core j r w =
-  let aq = w.(r) in
+let devex_primal_update core j r (w : V.fvec) =
+  let aq = w.{r} in
   if Float.abs aq > pivot_tol then begin
-    let gq = core.dwc.(j) in
+    let gq = core.dwc.{j} in
     let rho = core.rho in
-    Array.fill rho 0 core.nrows 0.0;
-    rho.(r) <- 1.0;
+    V.F.fill_range rho 0 core.nrows 0.0;
+    rho.{r} <- 1.0;
     btran core rho;
     dual_sweep core rho;
     let mx = ref 1.0 in
     for k = 0 to core.n_touched - 1 do
       let j' = core.touched.(k) in
       if j' <> j && core.bpos.(j') < 0 then begin
-        let a = core.acc.(j') /. aq in
+        let a = core.acc.{j'} /. aq in
         let cand = a *. a *. gq in
-        if cand > core.dwc.(j') then core.dwc.(j') <- cand;
-        if core.dwc.(j') > !mx then mx := core.dwc.(j')
+        if cand > core.dwc.{j'} then core.dwc.{j'} <- cand;
+        if core.dwc.{j'} > !mx then mx := core.dwc.{j'}
       end
     done;
     clear_sweep core;
     let lv = core.basis.(r) in
-    core.dwc.(lv) <- Float.max 1.0 (gq /. (aq *. aq));
-    if Float.max !mx core.dwc.(lv) > devex_reset then
-      Array.fill core.dwc 0 (Array.length core.dwc) 1.0
+    core.dwc.{lv} <- fmax 1.0 (gq /. (aq *. aq));
+    if fmax !mx core.dwc.{lv} > devex_reset then V.F.fill core.dwc 1.0
   end
 
 (* Dual Devex (Forrest–Goldfarb) weight propagation after a dual pivot
    on row [r] with FTRANed entering column [w]: beta_i <- max(beta_i,
    (w_i/w_r)^2 beta_r) and beta_r <- max(1, beta_r/w_r^2) — essentially
    free, since [w] is already in hand. *)
-let devex_dual_update core r w =
-  let ar = w.(r) in
+let devex_dual_update core r (w : V.fvec) =
+  let ar = w.{r} in
   if Float.abs ar > pivot_tol then begin
-    let br = core.dwr.(r) in
-    let t = Float.max 1.0 (br /. (ar *. ar)) in
+    let br = core.dwr.{r} in
+    let t = fmax 1.0 (br /. (ar *. ar)) in
     let mx = ref t in
     for i = 0 to core.nrows - 1 do
       if i <> r then begin
-        let wi = w.(i) in
+        let wi = w.{i} in
         if wi <> 0.0 then begin
           let cand = wi /. ar *. (wi /. ar) *. br in
-          if cand > core.dwr.(i) then core.dwr.(i) <- cand
+          if cand > core.dwr.{i} then core.dwr.{i} <- cand
         end;
-        if core.dwr.(i) > !mx then mx := core.dwr.(i)
+        if core.dwr.{i} > !mx then mx := core.dwr.{i}
       end
     done;
-    core.dwr.(r) <- t;
-    if !mx > devex_reset then Array.fill core.dwr 0 (Array.length core.dwr) 1.0
+    core.dwr.{r} <- t;
+    if !mx > devex_reset then V.F.fill core.dwr 1.0
   end
 
 let track_degeneracy core t =
@@ -1312,53 +1490,64 @@ let track_degeneracy core t =
 
 (* One primal step on entering column [j] moving in [dir]. In phase 1,
    infeasible basics block at their violated bound (they become feasible
-   there and leave); feasible basics block as usual. *)
+   there and leave); feasible basics block as usual. The ratio test is
+   written flat (no [try_limit] closure: its float arguments would box
+   per blocking row, and the captured float refs would be heap cells). *)
 let primal_step core ~phase1 j dir =
   let w = core.wk in
-  Array.fill w 0 core.nrows 0.0;
+  V.F.fill_range w 0 core.nrows 0.0;
   scatter_col core j w;
   ftran core w;
   let limit = ref infinity and leave_r = ref (-1) and leave_up = ref false in
   let leave_mag = ref 0.0 in
-  let rng = core.up.(j) -. core.lo.(j) in
+  let rng = core.up.{j} -. core.lo.{j} in
   if rng < infinity then limit := rng;
-  let try_limit t r up mag =
-    let t = Float.max 0.0 t in
-    if t < !limit -. 1e-12 || (t < !limit +. 1e-12 && mag > !leave_mag) then begin
-      limit := t;
-      leave_r := r;
-      leave_up := up;
-      leave_mag := mag
-    end
-  in
   let fdir = float_of_int dir in
   for r = 0 to core.nrows - 1 do
-    let wr = w.(r) in
+    let wr = w.{r} in
     if Float.abs wr > pivot_tol then begin
       let delta = -.fdir *. wr in
       let c = core.basis.(r) in
-      let bv = core.xb.(r) in
-      let lo_b = core.lo.(c) and up_b = core.up.(c) in
-      let mag = Float.abs wr in
+      let bv = core.xb.{r} in
+      let lo_b = core.lo.{c} and up_b = core.up.{c} in
+      (* blocking ratio of this row, nan = no blocking bound here *)
+      let t = ref nan and up_side = ref false in
       if phase1 && bv < lo_b -. feas_tol then begin
-        if delta > 0.0 then try_limit ((lo_b -. bv) /. delta) r false mag
+        if delta > 0.0 then t := (lo_b -. bv) /. delta
       end
       else if phase1 && bv > up_b +. feas_tol then begin
-        if delta < 0.0 then try_limit ((bv -. up_b) /. -.delta) r true mag
+        if delta < 0.0 then begin
+          t := (bv -. up_b) /. -.delta;
+          up_side := true
+        end
       end
       else if delta < 0.0 then begin
-        if lo_b > neg_infinity then try_limit ((bv -. lo_b) /. -.delta) r false mag
+        if lo_b > neg_infinity then t := (bv -. lo_b) /. -.delta
       end
-      else if up_b < infinity then try_limit ((up_b -. bv) /. delta) r true mag
+      else if up_b < infinity then begin
+        t := (up_b -. bv) /. delta;
+        up_side := true
+      end;
+      if !t = !t then begin
+        let t = fmax 0.0 !t in
+        let mag = Float.abs wr in
+        if t < !limit -. 1e-12 || (t < !limit +. 1e-12 && mag > !leave_mag)
+        then begin
+          limit := t;
+          leave_r := r;
+          leave_up := !up_side;
+          leave_mag := mag
+        end
+      end
     end
   done;
   if !limit = infinity then `Unbounded
   else begin
-    let t = Float.max 0.0 !limit in
+    let t = fmax 0.0 !limit in
     let step = fdir *. t in
     if step <> 0.0 then
       for r = 0 to core.nrows - 1 do
-        core.xb.(r) <- core.xb.(r) -. (step *. w.(r))
+        core.xb.{r} <- core.xb.{r} -. (step *. w.{r})
       done;
     if !leave_r < 0 then begin
       (* Bound flip: the entering column crosses its own range. *)
@@ -1376,7 +1565,7 @@ let primal_step core ~phase1 j dir =
       core.bpos.(lv) <- -1;
       core.basis.(r) <- j;
       core.bpos.(j) <- r;
-      core.xb.(r) <- vq;
+      core.xb.{r} <- vq;
       core.n_pivots <- core.n_pivots + 1;
       Obs.incr c_pivots;
       Obs.incr c_primal;
@@ -1386,20 +1575,20 @@ let primal_step core ~phase1 j dir =
   end
 
 (* Phase-1 duals: the composite cost is +-1 on the violated basics. *)
-let phase1_duals core y =
-  Array.fill y 0 core.nrows 0.0;
+let phase1_duals core (y : V.fvec) =
+  V.F.fill_range y 0 core.nrows 0.0;
   for r = 0 to core.nrows - 1 do
     let c = core.basis.(r) in
-    let v = core.xb.(r) in
-    if v < core.lo.(c) -. feas_tol then y.(r) <- -1.0
-    else if v > core.up.(c) +. feas_tol then y.(r) <- 1.0
+    let v = core.xb.{r} in
+    if v < core.lo.{c} -. feas_tol then y.{r} <- -1.0
+    else if v > core.up.{c} +. feas_tol then y.{r} <- 1.0
   done;
   btran core y
 
-let phase2_duals core y =
-  Array.fill y 0 core.nrows 0.0;
+let phase2_duals core (y : V.fvec) =
+  V.F.fill_range y 0 core.nrows 0.0;
   for r = 0 to core.nrows - 1 do
-    y.(r) <- core.cost.(core.basis.(r))
+    y.{r} <- core.cost.{core.basis.(r)}
   done;
   btran core y
 
@@ -1407,7 +1596,8 @@ let primal_loop core ~phase1 =
   let max_iter = 500 + (20 * (core.nrows + ncols core)) in
   let iter = ref 0 in
   let rec go () =
-    if phase1 && (let _, amt, _ = max_violation core in amt <= feas_tol) then `Feasible
+    if phase1 && (let _, amt, _ = max_violation core in amt <= feas_tol) then
+      `Feasible
     else if !iter > max_iter then `Stalled
     else begin
       incr iter;
@@ -1449,11 +1639,11 @@ let pick_leaving core =
       let bests = ref 0.0 in
       for r = 0 to core.nrows - 1 do
         let c = core.basis.(r) in
-        let v = core.xb.(r) in
-        let d_lo = core.lo.(c) -. v and d_up = v -. core.up.(c) in
-        let a = Float.max d_lo d_up in
+        let v = core.xb.{r} in
+        let d_lo = core.lo.{c} -. v and d_up = v -. core.up.{c} in
+        let a = fmax d_lo d_up in
         if a > feas_tol then begin
-          let s = a *. a /. core.dwr.(r) in
+          let s = a *. a /. core.dwr.{r} in
           if !row < 0 || s > !bests then begin
             bests := s;
             row := r;
@@ -1474,8 +1664,8 @@ let dual_loop core =
     else begin
       incr iter;
       let rho = core.rho in
-      Array.fill rho 0 core.nrows 0.0;
-      rho.(r) <- 1.0;
+      V.F.fill_range rho 0 core.nrows 0.0;
+      rho.{r} <- 1.0;
       btran core rho;
       let y = core.yv in
       phase2_duals core y;
@@ -1485,10 +1675,10 @@ let dual_loop core =
       for k = 0 to core.n_touched - 1 do
         let j = core.touched.(k) in
         if core.bpos.(j) < 0 && not (fixed core j) then begin
-          let a = core.acc.(j) in
+          let a = core.acc.{j} in
           if Float.abs a > pivot_tol then begin
             let at_up = core.nb_up.(j) in
-            let free = (not at_up) && core.lo.(j) = neg_infinity in
+            let free = (not at_up) && core.lo.{j} = neg_infinity in
             let ok =
               if free then true
               else if below then if at_up then a > 0.0 else a < 0.0
@@ -1496,11 +1686,12 @@ let dual_loop core =
               else a > 0.0
             in
             if ok then begin
-              let d = reduced_cost core ~phase1:false y j in
+              set_rcost core ~phase1:false y j;
+              let d = core.cmag.{0} in
               let num =
                 if free then Float.abs d
-                else if at_up then Float.max 0.0 (-.d)
-                else Float.max 0.0 d
+                else if at_up then fmax 0.0 (-.d)
+                else fmax 0.0 d
               in
               let ratio = num /. Float.abs a in
               if
@@ -1515,24 +1706,26 @@ let dual_loop core =
           end
         end
       done;
-      let alpha_q = if !q >= 0 then core.acc.(!q) else 0.0 in
+      let alpha_q = if !q >= 0 then core.acc.{!q} else 0.0 in
       clear_sweep core;
       if !q < 0 then `Infeasible
       else begin
         let j = !q in
-        let target = if below then core.lo.(core.basis.(r)) else core.up.(core.basis.(r)) in
-        let dq = (core.xb.(r) -. target) /. alpha_q in
-        let rng = core.up.(j) -. core.lo.(j) in
+        let target =
+          if below then core.lo.{core.basis.(r)} else core.up.{core.basis.(r)}
+        in
+        let dq = (core.xb.{r} -. target) /. alpha_q in
+        let rng = core.up.{j} -. core.lo.{j} in
         if rng < infinity && Float.abs dq > rng +. feas_tol then begin
           (* The entering column hits its own far bound first: flip it,
              shift the basics, and retry the (still violated) row. *)
           let step = if core.nb_up.(j) then -.rng else rng in
           let w = core.wk in
-          Array.fill w 0 core.nrows 0.0;
+          V.F.fill_range w 0 core.nrows 0.0;
           scatter_col core j w;
           ftran core w;
           for i = 0 to core.nrows - 1 do
-            core.xb.(i) <- core.xb.(i) -. (step *. w.(i))
+            core.xb.{i} <- core.xb.{i} -. (step *. w.{i})
           done;
           core.nb_up.(j) <- not core.nb_up.(j);
           Obs.incr c_flips;
@@ -1540,11 +1733,12 @@ let dual_loop core =
         end
         else begin
           let w = core.wk in
-          Array.fill w 0 core.nrows 0.0;
+          V.F.fill_range w 0 core.nrows 0.0;
           scatter_col core j w;
           ftran core w;
-          if Float.abs (w.(r) -. alpha_q) > 1e-6 *. Float.max 1.0 (Float.abs alpha_q)
-             || Float.abs w.(r) <= pivot_tol
+          if
+            Float.abs (w.{r} -. alpha_q) > 1e-6 *. fmax 1.0 (Float.abs alpha_q)
+            || Float.abs w.{r} <= pivot_tol
           then
             (* FTRAN and BTRAN disagree on the pivot element: the
                representation has drifted. Refactorize once and retry
@@ -1555,7 +1749,7 @@ let dual_loop core =
           else begin
             let vq = nb_val core j +. dq in
             for i = 0 to core.nrows - 1 do
-              core.xb.(i) <- core.xb.(i) -. (dq *. w.(i))
+              core.xb.{i} <- core.xb.{i} -. (dq *. w.{i})
             done;
             if core.price = Lp_intf.Devex then devex_dual_update core r w;
             let lv = core.basis.(r) in
@@ -1563,7 +1757,7 @@ let dual_loop core =
             core.bpos.(lv) <- -1;
             core.basis.(r) <- j;
             core.bpos.(j) <- r;
-            core.xb.(r) <- vq;
+            core.xb.{r} <- vq;
             core.n_pivots <- core.n_pivots + 1;
             Obs.incr c_pivots;
             Obs.incr c_dual;
@@ -1591,6 +1785,57 @@ let canon_coeffs coeffs =
   in
   merge sorted
 
+(* Arena-backed canonicalization for the hot append/patch paths: same
+   result as [canon_coeffs] (duplicates merged with commutative [+.],
+   exact zeros dropped, sorted by column) without the List.sort cons
+   traffic. Returns the entry count and the two scratch buffers, valid
+   until the next [Arena.get] on these slots. *)
+let a_csi = Arena.ints ()
+let a_csv = Arena.floats ()
+
+let canon_scratch coeffs =
+  let k = List.length coeffs in
+  let idx = Arena.get a_csi k and vl = Arena.get a_csv k in
+  let n = ref 0 in
+  List.iter
+    (fun (j, a) ->
+      iset idx !n j;
+      fset vl !n a;
+      incr n)
+    coeffs;
+  (* In-place insertion sort by column (cut rows arrive nearly sorted).
+     Stable, though duplicate-column merge order is immaterial: IEEE
+     [+.] is commutative. *)
+  for i = 1 to k - 1 do
+    let ji = iget idx i and ai = fget vl i in
+    let p = ref (i - 1) in
+    while !p >= 0 && iget idx !p > ji do
+      iset idx (!p + 1) (iget idx !p);
+      fset vl (!p + 1) (fget vl !p);
+      decr p
+    done;
+    iset idx (!p + 1) ji;
+    fset vl (!p + 1) ai
+  done;
+  (* Merge duplicate columns left-to-right and drop exact zeros, in
+     place — the same run fold as [canon_coeffs]. *)
+  let w = ref 0 and i = ref 0 in
+  while !i < k do
+    let j = iget idx !i in
+    let s = ref (fget vl !i) in
+    incr i;
+    while !i < k && iget idx !i = j do
+      s := !s +. fget vl !i;
+      incr i
+    done;
+    if !s <> 0.0 then begin
+      iset idx !w j;
+      fset vl !w !s;
+      incr w
+    end
+  done;
+  (!w, idx, vl)
+
 let slack_bounds = function
   | Leq -> (0.0, infinity)
   | Geq -> (neg_infinity, 0.0)
@@ -1600,24 +1845,24 @@ let alloc_core prob rows =
   let ns = prob.n_vars in
   let nrows = List.length rows in
   let nc = ns + nrows in
-  let lo = Array.make nc neg_infinity and up = Array.make nc infinity in
+  let lo = V.F.make nc neg_infinity and up = V.F.make nc infinity in
   for j = 0 to ns - 1 do
-    (match prob.lower.(j) with Some l -> lo.(j) <- l | None -> ());
-    (match prob.upper.(j) with Some u -> up.(j) <- u | None -> ());
-    if up.(j) < lo.(j) then
+    (match prob.lower.(j) with Some l -> lo.{j} <- l | None -> ());
+    (match prob.upper.(j) with Some u -> up.{j} <- u | None -> ());
+    if up.{j} < lo.{j} then
       invalid_arg "Simplex: empty variable range (upper < lower)"
   done;
-  let cost = Array.make nc 0.0 in
-  List.iter (fun (j, c) -> cost.(j) <- cost.(j) +. c) prob.minimize;
+  let cost = V.F.make nc 0.0 in
+  List.iter (fun (j, c) -> cost.{j} <- cost.{j} +. c) prob.minimize;
   let canon = List.map (fun c -> (canon_coeffs c.coeffs, c)) rows in
   let nnz = List.fold_left (fun a (cs, _) -> a + List.length cs) 0 canon in
   let row_ptr = Array.make (nrows + 1) 0 in
-  let rc = Array.make (max 1 nnz) 0 and rv = Array.make (max 1 nnz) 0.0 in
-  let b = Array.make (max 1 nrows) 0.0 in
+  let rc = V.I.make (max 1 nnz) 0 and rv = V.F.make (max 1 nnz) 0.0 in
+  let b = V.F.make (max 1 nrows) 0.0 in
   let clen = Array.make ns 0 in
   List.iter (fun (cs, _) -> List.iter (fun (j, _) -> clen.(j) <- clen.(j) + 1) cs) canon;
-  let cr = Array.init ns (fun j -> Array.make (max 1 clen.(j)) 0) in
-  let cv = Array.init ns (fun j -> Array.make (max 1 clen.(j)) 0.0) in
+  let cr = Array.init ns (fun j -> V.I.make (max 1 clen.(j)) 0) in
+  let cv = Array.init ns (fun j -> V.F.make (max 1 clen.(j)) 0.0) in
   Array.fill clen 0 ns 0;
   let pos = ref 0 in
   List.iteri
@@ -1625,23 +1870,23 @@ let alloc_core prob rows =
       row_ptr.(r) <- !pos;
       List.iter
         (fun (j, a) ->
-          rc.(!pos) <- j;
-          rv.(!pos) <- a;
+          rc.{!pos} <- j;
+          rv.{!pos} <- a;
           incr pos;
-          cr.(j).(clen.(j)) <- r;
-          cv.(j).(clen.(j)) <- a;
+          cr.(j).{clen.(j)} <- r;
+          cv.(j).{clen.(j)} <- a;
           clen.(j) <- clen.(j) + 1)
         cs;
-      b.(r) <- cstr.rhs;
+      b.{r} <- cstr.rhs;
       let slo, sup = slack_bounds cstr.relation in
-      lo.(ns + r) <- slo;
-      up.(ns + r) <- sup)
+      lo.{ns + r} <- slo;
+      up.{ns + r} <- sup)
     canon;
   row_ptr.(nrows) <- !pos;
   let bpos = Array.make nc (-1) in
   let nb_up = Array.make nc false in
   for j = 0 to ns - 1 do
-    nb_up.(j) <- lo.(j) = neg_infinity && up.(j) < infinity
+    nb_up.(j) <- lo.{j} = neg_infinity && up.{j} < infinity
   done;
   let basis = Array.init (max 1 nrows) (fun r -> ns + r) in
   for r = 0 to nrows - 1 do
@@ -1667,19 +1912,25 @@ let alloc_core prob rows =
       bpos;
       nb_up;
       basis;
-      xb = Array.make (max 1 nrows) 0.0;
-      etas = [||];
+      xb = V.F.make (max 1 nrows) 0.0;
+      op_col = Bytes.make 16 '\000';
+      op_r = Array.make 16 0;
+      op_pr = V.F.make 16 1.0;
+      op_start = Array.make 17 0;
+      e_idx = V.I.make 64 0;
+      e_val = V.F.make 64 0.0;
+      e_n = 0;
       n_etas = 0;
       eta_nnz = 0;
       base_etas = 0;
       base_nnz = 0;
       (* the all-slack origin basis is exactly the identity: U = I *)
-      udiag = Array.make (max 1 nrows) 1.0;
-      ur_idx = Array.make (max 1 nrows) [||];
-      ur_val = Array.make (max 1 nrows) [||];
+      udiag = V.F.make (max 1 nrows) 1.0;
+      ur_idx = Array.make (max 1 nrows) empty_iv;
+      ur_val = Array.make (max 1 nrows) empty_fv;
       ur_len = Array.make (max 1 nrows) 0;
-      uc_idx = Array.make (max 1 nrows) [||];
-      uc_val = Array.make (max 1 nrows) [||];
+      uc_idx = Array.make (max 1 nrows) empty_iv;
+      uc_val = Array.make (max 1 nrows) empty_fv;
       uc_len = Array.make (max 1 nrows) 0;
       u_nnz = 0;
       row_of_pos = Array.init (max 1 nrows) (fun i -> i);
@@ -1687,21 +1938,25 @@ let alloc_core prob rows =
       slot_of_pos = Array.init (max 1 nrows) (fun i -> i);
       pos_of_slot = Array.init (max 1 nrows) (fun i -> i);
       n_updates = 0;
-      spike = Array.make (max 1 nrows) 0.0;
-      fx = Array.make (max 1 nrows) 0.0;
-      rsp = Array.make (max 1 nrows) 0.0;
+      spike = V.F.make (max 1 nrows) 0.0;
+      fx = V.F.make (max 1 nrows) 0.0;
+      rsp = V.F.make (max 1 nrows) 0.0;
       rin = Array.make (max 1 nrows) false;
       hp = Array.make (max 1 nrows) 0;
       hp_n = 0;
-      dwc = Array.make (max 1 nc) 1.0;
-      dwr = Array.make (max 1 nrows) 1.0;
-      wk = Array.make (max 1 nrows) 0.0;
-      rho = Array.make (max 1 nrows) 0.0;
-      yv = Array.make (max 1 nrows) 0.0;
-      acc = Array.make (max 1 nc) 0.0;
+      rf_idx = Array.make (max 1 nrows) empty_iv;
+      rf_val = Array.make (max 1 nrows) empty_fv;
+      rf_rows = Array.make (max 1 nrows) empty_iv;
+      dwc = V.F.make (max 1 nc) 1.0;
+      dwr = V.F.make (max 1 nrows) 1.0;
+      wk = V.F.make (max 1 nrows) 0.0;
+      rho = V.F.make (max 1 nrows) 0.0;
+      yv = V.F.make (max 1 nrows) 0.0;
+      acc = V.F.make (max 1 nc) 0.0;
       acc_touched = Array.make (max 1 nc) false;
       touched = Array.make (max 1 nc) 0;
       n_touched = 0;
+      cmag = V.F.make 1 0.0;
       price_ptr = 0;
       degen_streak = 0;
       bland = false;
@@ -1718,21 +1973,31 @@ let alloc_core prob rows =
 let dual_feasible_start core =
   let ok = ref true in
   for j = 0 to core.ns - 1 do
-    if !ok then
-      let c = core.cost.(j) in
+    if !ok then begin
+      let c = core.cost.{j} in
       if fixed core j then ()
       else if core.nb_up.(j) then ok := c <= price_tol
-      else if core.lo.(j) > neg_infinity then ok := c >= -.price_tol
+      else if core.lo.{j} > neg_infinity then ok := c >= -.price_tol
       else ok := Float.abs c <= price_tol
+    end
   done;
   !ok
 
+(* The result array is the only allocation here: the per-element value
+   computation stays unboxed (explicit loop, [@inline] value_of), and the
+   objective accumulates through the [cmag] mailbox so the fold closure
+   never boxes its float accumulator. Summation order matches the old
+   List.fold_left (head to tail). *)
 let extract core prob =
-  let values = Array.init core.ns (value_of core) in
-  let objective =
-    List.fold_left (fun a (j, c) -> a +. (c *. values.(j))) 0.0 prob.minimize
-  in
-  { values; objective }
+  let values = Array.make core.ns 0.0 in
+  for j = 0 to core.ns - 1 do
+    Array.unsafe_set values j (value_of core j)
+  done;
+  core.cmag.{0} <- 0.0;
+  List.iter
+    (fun (j, c) -> core.cmag.{0} <- core.cmag.{0} +. (c *. Array.unsafe_get values j))
+    prob.minimize;
+  { values; objective = core.cmag.{0} }
 
 (* Crash the hinted structural columns into the all-slack basis (rows
    still holding their own slack only), then recompute xb. Used by the
@@ -1743,20 +2008,20 @@ let crash_hint core hint =
     (fun j ->
       if j >= 0 && j < core.ns && core.bpos.(j) < 0 && not (fixed core j) then begin
         let w = core.wk in
-        Array.fill w 0 core.nrows 0.0;
+        V.F.fill_range w 0 core.nrows 0.0;
         scatter_col core j w;
         ftran core w;
         let best = ref (-1) and bestv = ref 1e-7 in
         for r = 0 to core.nrows - 1 do
-          if core.basis.(r) = core.ns + r && Float.abs w.(r) > !bestv then begin
+          if core.basis.(r) = core.ns + r && Float.abs w.{r} > !bestv then begin
             best := r;
-            bestv := Float.abs w.(r)
+            bestv := Float.abs w.{r}
           end
         done;
         if !best >= 0 then begin
           let r = !best in
           let lv = core.basis.(r) in
-          core.nb_up.(lv) <- core.lo.(lv) = neg_infinity;
+          core.nb_up.(lv) <- core.lo.{lv} = neg_infinity;
           core.bpos.(lv) <- -1;
           core.basis.(r) <- j;
           core.bpos.(j) <- r;
@@ -1811,123 +2076,114 @@ let solve_core core prob ~hint =
 
 (* Append one canonicalized row with a fresh basic slack. The basis
    matrix gains one row and one unit column; its inverse is the old one
-   extended by a single row eta holding the new row's coefficients on
+   extended by a single row op holding the new row's coefficients on
    the old basic columns. Old basic values are untouched. Returns [true]
    when the new slack already sits within its bounds. *)
 let append_row core (c : constr) =
-  let cs = canon_coeffs c.coeffs in
+  let ncs, csi, csv = canon_scratch c.coeffs in
   let r = core.nrows in
-  let extra = List.length cs in
-  core.rc <- grow_i core.rc (core.nnz + extra) 0;
-  core.rv <- grow_f core.rv (core.nnz + extra);
+  core.rc <- V.I.grow core.rc (core.nnz + ncs) 0;
+  core.rv <- V.F.grow core.rv (core.nnz + ncs) 0.0;
   core.row_ptr <- grow_i core.row_ptr (r + 2) 0;
-  core.b <- grow_f core.b (r + 1);
-  (* The new slack's value under the current solution, and the row eta
-     over the old basic columns. *)
+  core.b <- V.F.grow core.b (r + 1) 0.0;
+  (* The new slack's value under the current solution; the row op over
+     the old basic columns is staged directly ([op_emit], Eta mode) or
+     loaded into the row-spike accumulator (LU mode). *)
+  (match core.mode with Lu -> core.hp_n <- 0 | Eta -> ());
   let v = ref c.rhs in
-  let eta_idx = ref [] and eta_v = ref [] and eta_n = ref 0 in
-  List.iter
-    (fun (j, a) ->
-      core.rc.(core.nnz) <- j;
-      core.rv.(core.nnz) <- a;
-      core.nnz <- core.nnz + 1;
-      let cr = grow_i core.cr.(j) (core.clen.(j) + 1) 0 in
-      let cv = grow_f core.cv.(j) (core.clen.(j) + 1) in
-      cr.(core.clen.(j)) <- r;
-      cv.(core.clen.(j)) <- a;
-      core.cr.(j) <- cr;
-      core.cv.(j) <- cv;
-      core.clen.(j) <- core.clen.(j) + 1;
-      v := !v -. (a *. value_of core j);
-      let p = core.bpos.(j) in
-      if p >= 0 then begin
-        eta_idx := p :: !eta_idx;
-        eta_v := a :: !eta_v;
-        incr eta_n
-      end)
-    cs;
+  for k = 0 to ncs - 1 do
+    let j = iget csi k and a = fget csv k in
+    core.rc.{core.nnz} <- j;
+    core.rv.{core.nnz} <- a;
+    core.nnz <- core.nnz + 1;
+    let cri = V.I.grow core.cr.(j) (core.clen.(j) + 1) 0 in
+    let cvi = V.F.grow core.cv.(j) (core.clen.(j) + 1) 0.0 in
+    cri.{core.clen.(j)} <- r;
+    cvi.{core.clen.(j)} <- a;
+    core.cr.(j) <- cri;
+    core.cv.(j) <- cvi;
+    core.clen.(j) <- core.clen.(j) + 1;
+    v := !v -. (a *. value_of core j);
+    let p = core.bpos.(j) in
+    if p >= 0 then
+      match core.mode with
+      | Eta -> op_emit core p a
+      | Lu ->
+          core.rsp.{p} <- a;
+          core.rin.(p) <- true;
+          heap_push core p
+  done;
   core.row_ptr.(r + 1) <- core.nnz;
-  core.b.(r) <- c.rhs;
+  core.b.{r} <- c.rhs;
   let nc = core.ns + r + 1 in
-  core.lo <- grow_f core.lo nc;
-  core.up <- grow_f core.up nc;
-  core.cost <- grow_f core.cost nc;
+  core.lo <- V.F.grow core.lo nc 0.0;
+  core.up <- V.F.grow core.up nc 0.0;
+  core.cost <- V.F.grow core.cost nc 0.0;
   core.bpos <- grow_i core.bpos nc (-1);
   core.nb_up <- grow_b core.nb_up nc;
   let slo, sup = slack_bounds c.relation in
   let sj = core.ns + r in
-  core.lo.(sj) <- slo;
-  core.up.(sj) <- sup;
-  core.cost.(sj) <- 0.0;
+  core.lo.{sj} <- slo;
+  core.up.{sj} <- sup;
+  core.cost.{sj} <- 0.0;
   core.nb_up.(sj) <- false;
   core.basis <- grow_i core.basis (r + 1) (-1);
-  core.xb <- grow_f core.xb (r + 1);
+  core.xb <- V.F.grow core.xb (r + 1) 0.0;
   core.basis.(r) <- sj;
   core.bpos.(sj) <- r;
-  core.xb.(r) <- !v;
+  core.xb.{r} <- !v;
   core.nrows <- r + 1;
-  core.wk <- grow_f core.wk core.nrows;
-  core.rho <- grow_f core.rho core.nrows;
-  core.yv <- grow_f core.yv core.nrows;
-  core.acc <- grow_f core.acc nc;
+  core.wk <- V.F.grow core.wk core.nrows 0.0;
+  core.rho <- V.F.grow core.rho core.nrows 0.0;
+  core.yv <- V.F.grow core.yv core.nrows 0.0;
+  core.acc <- V.F.grow core.acc nc 0.0;
   core.acc_touched <- grow_b core.acc_touched nc;
   core.touched <- grow_i core.touched nc 0;
-  core.spike <- grow_f core.spike core.nrows;
-  core.fx <- grow_f core.fx core.nrows;
-  core.rsp <- grow_f core.rsp core.nrows;
+  core.spike <- V.F.grow core.spike core.nrows 0.0;
+  core.fx <- V.F.grow core.fx core.nrows 0.0;
+  core.rsp <- V.F.grow core.rsp core.nrows 0.0;
   core.rin <- grow_b core.rin core.nrows;
   core.hp <- grow_i core.hp core.nrows 0;
-  core.dwc <- grow_f core.dwc nc;
-  core.dwc.(sj) <- 1.0;
-  core.dwr <- grow_f core.dwr core.nrows;
-  core.dwr.(r) <- 1.0;
+  core.dwc <- V.F.grow core.dwc nc 0.0;
+  core.dwc.{sj} <- 1.0;
+  core.dwr <- V.F.grow core.dwr core.nrows 0.0;
+  core.dwr.{r} <- 1.0;
   (match core.mode with
   | Eta ->
-      if !eta_n > 0 then
-        push_eta core
-          {
-            col = false;
-            r;
-            pr = 1.0;
-            idx = Array.of_list (List.rev !eta_idx);
-            v = Array.of_list (List.rev !eta_v);
-          }
+      if core.e_n > core.op_start.(core.n_etas) then
+        op_commit core ~col:false ~r ~pr:1.0 ~rev:false
   | Lu ->
       (* The appended unit slack column is untouched by the op file, so
          U gains a unit last column and one new row — the constraint's
          coefficients on the old basic columns, by slot (slot = basic
-         row = the positions collected in [eta_idx]). Eliminate that row
-         spike exactly like a Forrest–Tomlin update whose spike column
-         is e_r: the new diagonal is exactly 1.0. *)
-      core.udiag <- grow_f core.udiag core.nrows;
-      core.ur_idx <- grow_any core.ur_idx core.nrows [||];
-      core.ur_val <- grow_any core.ur_val core.nrows [||];
+         row = the positions loaded into [rsp] above). Eliminate that
+         row spike exactly like a Forrest–Tomlin update whose spike
+         column is e_r: the new diagonal is exactly 1.0. *)
+      core.udiag <- V.F.grow core.udiag core.nrows 0.0;
+      core.ur_idx <- grow_any core.ur_idx core.nrows empty_iv;
+      core.ur_val <- grow_any core.ur_val core.nrows empty_fv;
       core.ur_len <- grow_i core.ur_len core.nrows 0;
-      core.uc_idx <- grow_any core.uc_idx core.nrows [||];
-      core.uc_val <- grow_any core.uc_val core.nrows [||];
+      core.uc_idx <- grow_any core.uc_idx core.nrows empty_iv;
+      core.uc_val <- grow_any core.uc_val core.nrows empty_fv;
       core.uc_len <- grow_i core.uc_len core.nrows 0;
+      core.rf_idx <- grow_any core.rf_idx core.nrows empty_iv;
+      core.rf_val <- grow_any core.rf_val core.nrows empty_fv;
+      core.rf_rows <- grow_any core.rf_rows core.nrows empty_iv;
       core.row_of_pos <- grow_i core.row_of_pos core.nrows 0;
       core.pos_of_row <- grow_i core.pos_of_row core.nrows 0;
       core.slot_of_pos <- grow_i core.slot_of_pos core.nrows 0;
       core.pos_of_slot <- grow_i core.pos_of_slot core.nrows 0;
-      core.ur_idx.(r) <- [||];
-      core.ur_val.(r) <- [||];
+      core.ur_idx.(r) <- empty_iv;
+      core.ur_val.(r) <- empty_fv;
       core.ur_len.(r) <- 0;
-      core.uc_idx.(r) <- [||];
-      core.uc_val.(r) <- [||];
+      core.uc_idx.(r) <- empty_iv;
+      core.uc_val.(r) <- empty_fv;
       core.uc_len.(r) <- 0;
       core.row_of_pos.(r) <- r;
       core.pos_of_row.(r) <- r;
       core.slot_of_pos.(r) <- r;
       core.pos_of_slot.(r) <- r;
-      core.hp_n <- 0;
-      List.iter2
-        (fun p a ->
-          core.rsp.(p) <- a;
-          core.rin.(p) <- true;
-          heap_push core p)
-        !eta_idx !eta_v;
-      core.udiag.(r) <- eliminate_row_spike core r 1.0 (fun _ -> 0.0);
+      core.udiag.{r} <- eliminate_row_spike core r 1.0 core.spike false;
       Obs.set g_fill (float_of_int (core.u_nnz + core.nrows + core.eta_nnz)));
   !v >= slo -. feas_tol && !v <= sup +. feas_tol
 
@@ -1958,7 +2214,7 @@ let updates st =
   st.base_updates + match st.core with Some c -> c.n_updates | None -> 0
 
 (* Basis-representation nonzeros right now: U (off-diagonals plus the
-   diagonal) plus the op file in LU mode, the eta file alone in eta
+   diagonal) plus the op file in LU mode, the op file alone in eta
    mode. 0 once the state has delegated to the dense kernel. *)
 let fill_nnz st =
   match st.core with
@@ -2166,18 +2422,20 @@ let patch st (p' : problem) =
               List.iteri
                 (fun r (c : constr) ->
                   if !ok then begin
-                    let cs = canon_coeffs c.coeffs in
+                    let ncs, csi, csv = canon_scratch c.coeffs in
                     let k0 = core.row_ptr.(r) and k1 = core.row_ptr.(r + 1) in
                     let k = ref k0 in
-                    List.iter
-                      (fun (j, a) ->
-                        if !k >= k1 || core.rc.(!k) <> j || core.rv.(!k) <> a then
-                          ok := false;
-                        incr k)
-                      cs;
+                    for i = 0 to ncs - 1 do
+                      if
+                        !k >= k1
+                        || core.rc.{!k} <> iget csi i
+                        || core.rv.{!k} <> fget csv i
+                      then ok := false;
+                      incr k
+                    done;
                     if !k <> k1 then ok := false;
                     let slo, sup = slack_bounds c.relation in
-                    if core.lo.(core.ns + r) <> slo || core.up.(core.ns + r) <> sup
+                    if core.lo.{core.ns + r} <> slo || core.up.{core.ns + r} <> sup
                     then ok := false
                   end)
                 cs';
@@ -2186,26 +2444,26 @@ let patch st (p' : problem) =
                 Obs.incr c_patches;
                 st.prob <- p';
                 st.added <- [];
-                List.iteri (fun r (c : constr) -> core.b.(r) <- c.rhs) cs';
-                Array.fill core.cost 0 core.ns 0.0;
+                List.iteri (fun r (c : constr) -> core.b.{r} <- c.rhs) cs';
+                V.F.fill_range core.cost 0 core.ns 0.0;
                 List.iter
-                  (fun (j, c) -> core.cost.(j) <- core.cost.(j) +. c)
+                  (fun (j, c) -> core.cost.{j} <- core.cost.{j} +. c)
                   p'.minimize;
                 for j = 0 to core.ns - 1 do
-                  core.lo.(j) <-
+                  core.lo.{j} <-
                     (match p'.lower.(j) with Some l -> l | None -> neg_infinity);
-                  core.up.(j) <-
+                  core.up.{j} <-
                     (match p'.upper.(j) with Some u -> u | None -> infinity);
-                  if core.up.(j) < core.lo.(j) then
+                  if core.up.{j} < core.lo.{j} then
                     invalid_arg "Simplex: empty variable range (upper < lower)";
                   if core.bpos.(j) < 0 then begin
                     (* keep the resting side meaningful under the new box *)
-                    if core.nb_up.(j) && core.up.(j) = infinity then
+                    if core.nb_up.(j) && core.up.{j} = infinity then
                       core.nb_up.(j) <- false;
                     if
                       (not core.nb_up.(j))
-                      && core.lo.(j) = neg_infinity
-                      && core.up.(j) < infinity
+                      && core.lo.{j} = neg_infinity
+                      && core.up.{j} < infinity
                     then core.nb_up.(j) <- true
                   end
                 done;
@@ -2233,3 +2491,17 @@ let patch st (p' : problem) =
                 Some out
               end
             end)
+
+(* ------------------------------------------------------------------ *)
+(* Test hooks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Arena-reuse instrumentation for the property tests: total
+   reallocation count and current capacity of the refactorization
+   scratch slots. A zero delta across two solves on the same domain
+   proves the scratch was reused, not reallocated. *)
+let refactor_arena_grows () =
+  Arena.grows a_ccount + Arena.grows a_coln + Arena.grows a_rlen
+  + Arena.grows a_act
+
+let refactor_arena_capacity () = Arena.capacity a_ccount

@@ -144,3 +144,12 @@ val fill_nnz : state -> int
     internal cold-rebuild chain instead. [Sne_session] leans on this to
     keep one kernel state resident across weight-only resolves. *)
 val patch : state -> problem -> outcome option
+
+(**/**)
+
+(* Test hooks: refactorization-arena instrumentation (see test/test_lp).
+   [refactor_arena_grows] is the total reallocation count across the
+   per-domain Markowitz scratch slots; a zero delta between two solves
+   proves arena reuse. *)
+val refactor_arena_grows : unit -> int
+val refactor_arena_capacity : unit -> int

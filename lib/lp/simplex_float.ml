@@ -50,6 +50,14 @@ let name = "simplex-float-unboxed"
 (* Kernel-wide observability counters (Repro_obs registry; no-ops while
    instrumentation is disabled). *)
 module Obs = Repro_obs.Obs
+module V = Repro_util.Vec
+
+(* Local unsafe bigarray accessors: cross-library [V.F.uget] does not
+   inline under the non-flambda compiler, which would box every float in
+   the pivot loops (see Revised_sparse). Bounds are checked once per loop
+   on entry. *)
+let[@inline] fget (a : V.fvec) i : float = Bigarray.Array1.unsafe_get a i
+let[@inline] fset (a : V.fvec) i (x : float) = Bigarray.Array1.unsafe_set a i x
 
 let c_pivots = Obs.counter "lp.pivots"
 let c_phase1 = Obs.counter "lp.phase1_pivots"
@@ -125,11 +133,11 @@ type state = {
          invariant [patch] needs to rewrite the rhs in place. A two-phase
          [build]/[rebuild] breaks it. *)
   mutable added : constr list; (* cuts appended after the initial solve *)
-  mutable a : float array; (* flat tableau, row i at [i*stride .. ] *)
+  mutable a : V.fvec; (* flat tableau, row i at [i*stride .. ] *)
   mutable stride : int; (* >= width + 1; row layout: rhs, then columns *)
   mutable m : int;
   mutable width : int; (* columns in use (structural + slacks + arts) *)
-  mutable obj : float array; (* reduced-cost row, same layout; obj.(0) = -z *)
+  mutable obj : V.fvec; (* reduced-cost row, same layout; obj.{0} = -z *)
   mutable basis : int array; (* length >= m *)
   mutable barred : bool array; (* per column; artificials after phase 1 *)
   mutable n_pivots : int;
@@ -140,8 +148,8 @@ type state = {
 
 let pivots st = st.n_pivots
 
-let[@inline] coef st i j = Array.unsafe_get st.a ((i * st.stride) + 1 + j)
-let[@inline] row_rhs st i = Array.unsafe_get st.a (i * st.stride)
+let[@inline] coef st i j = fget st.a ((i * st.stride) + 1 + j)
+let[@inline] row_rhs st i = fget st.a (i * st.stride)
 
 (* ------------------------------------------------------------------ *)
 (* The pivot kernel                                                    *)
@@ -150,32 +158,30 @@ let[@inline] row_rhs st i = Array.unsafe_get st.a (i * st.stride)
 let pivot st r c =
   let a = st.a and stride = st.stride and width = st.width in
   let base = r * stride in
-  let inv = 1.0 /. Array.unsafe_get a (base + 1 + c) in
+  let inv = 1.0 /. fget a (base + 1 + c) in
   for j = 0 to width do
-    Array.unsafe_set a (base + j) (Array.unsafe_get a (base + j) *. inv)
+    fset a (base + j) (fget a (base + j) *. inv)
   done;
-  Array.unsafe_set a (base + 1 + c) 1.0;
+  fset a (base + 1 + c) 1.0;
   for i = 0 to st.m - 1 do
     if i <> r then begin
       let bi = i * stride in
-      let f = Array.unsafe_get a (bi + 1 + c) in
+      let f = fget a (bi + 1 + c) in
       if f <> 0.0 then begin
         for j = 0 to width do
-          Array.unsafe_set a (bi + j)
-            (Array.unsafe_get a (bi + j) -. (f *. Array.unsafe_get a (base + j)))
+          fset a (bi + j) (fget a (bi + j) -. (f *. fget a (base + j)))
         done;
-        Array.unsafe_set a (bi + 1 + c) 0.0
+        fset a (bi + 1 + c) 0.0
       end
     end
   done;
   let obj = st.obj in
-  let f = Array.unsafe_get obj (1 + c) in
+  let f = fget obj (1 + c) in
   if f <> 0.0 then begin
     for j = 0 to width do
-      Array.unsafe_set obj j
-        (Array.unsafe_get obj j -. (f *. Array.unsafe_get a (base + j)))
+      fset obj j (fget obj j -. (f *. fget a (base + j)))
     done;
-    Array.unsafe_set obj (1 + c) 0.0
+    fset obj (1 + c) 0.0
   end;
   st.basis.(r) <- c;
   st.n_pivots <- st.n_pivots + 1;
@@ -194,7 +200,7 @@ let entering_column st =
        for j = 0 to st.width - 1 do
          if
            (not (Array.unsafe_get barred j))
-           && Array.unsafe_get obj (1 + j) < -.price_tol
+           && fget obj (1 + j) < -.price_tol
          then begin
            e := j;
            raise Exit
@@ -207,7 +213,7 @@ let entering_column st =
     (* Dantzig: most negative reduced cost. *)
     let e = ref (-1) and best = ref (-.price_tol) in
     for j = 0 to st.width - 1 do
-      let d = Array.unsafe_get obj (1 + j) in
+      let d = fget obj (1 + j) in
       if d < !best && not (Array.unsafe_get barred j) then begin
         best := d;
         e := j
@@ -283,7 +289,7 @@ let dual st =
         if not (Array.unsafe_get st.barred j) then begin
           let arj = coef st r j in
           if arj < -.pivot_tol then begin
-            let ratio = Array.unsafe_get st.obj (1 + j) /. -.arj in
+            let ratio = fget st.obj (1 + j) /. -.arj in
             if !enter < 0 || ratio < !best -. degen_tol then begin
               best := ratio;
               enter := j
@@ -325,6 +331,18 @@ let rewrite ~recover ~structural (c : constr) =
     c.coeffs;
   (acc, !rhs)
 
+(* Rhs-only variant of [rewrite] for paths that never look at the
+   coefficients (patch replays): skips the per-row dense accumulator. *)
+let rewrite_rhs ~recover (c : constr) =
+  let rhs = ref c.rhs in
+  List.iter
+    (fun (i, a) ->
+      match recover.(i) with
+      | Shifted (_, base) | Mirrored (_, base) -> rhs := !rhs -. (a *. base)
+      | Split _ -> ())
+    c.coeffs;
+  !rhs
+
 let extract st =
   let vals = Array.make st.structural 0.0 in
   for r = 0 to st.m - 1 do
@@ -347,16 +365,16 @@ let extract st =
 (* Reduced costs for [cost_of] given the current basis, by row elimination:
    d_j = c_j - c_B . B^-1 A_j. *)
 let set_objective st cost_of =
-  Array.fill st.obj 0 st.stride 0.0;
+  V.F.fill_range st.obj 0 st.stride 0.0;
   for j = 0 to st.width - 1 do
-    st.obj.(1 + j) <- cost_of j
+    st.obj.{1 + j} <- cost_of j
   done;
   for r = 0 to st.m - 1 do
     let cb = cost_of st.basis.(r) in
     if cb <> 0.0 then begin
       let base = r * st.stride in
       for j = 0 to st.width do
-        st.obj.(j) <- st.obj.(j) -. (cb *. st.a.(base + j))
+        st.obj.{j} <- st.obj.{j} -. (cb *. st.a.{base + j})
       done
     end
   done
@@ -450,11 +468,11 @@ let build p =
       structural;
       dual_layout = false;
       added = [];
-      a = Array.make (max 1 (mcap * stride)) 0.0;
+      a = V.F.make (max 1 (mcap * stride)) 0.0;
       stride;
       m;
       width;
-      obj = Array.make stride 0.0;
+      obj = V.F.make stride 0.0;
       basis = Array.make (max 1 mcap) (-1);
       barred = Array.make (max 1 (stride - 1)) false;
       n_pivots = 0;
@@ -469,27 +487,27 @@ let build p =
     (fun r (acc, rel, rhs) ->
       let base = r * stride in
       for j = 0 to structural - 1 do
-        st.a.(base + 1 + j) <- acc.(j)
+        st.a.{base + 1 + j} <- acc.(j)
       done;
-      st.a.(base) <- rhs;
+      st.a.{base} <- rhs;
       (match rel with
       | Leq ->
           let s = !next_slack in
           incr next_slack;
-          st.a.(base + 1 + s) <- 1.0;
+          st.a.{base + 1 + s} <- 1.0;
           st.basis.(r) <- s
       | Geq ->
           let s = !next_slack in
           incr next_slack;
-          st.a.(base + 1 + s) <- -1.0;
+          st.a.{base + 1 + s} <- -1.0;
           let art = !next_art in
           incr next_art;
-          st.a.(base + 1 + art) <- 1.0;
+          st.a.{base + 1 + art} <- 1.0;
           st.basis.(r) <- art
       | Eq ->
           let art = !next_art in
           incr next_art;
-          st.a.(base + 1 + art) <- 1.0;
+          st.a.{base + 1 + art} <- 1.0;
           st.basis.(r) <- art))
     rewritten;
   let is_artificial j = j >= structural + n_slack in
@@ -501,7 +519,7 @@ let build p =
     let before = st.n_pivots in
     (match primal st with
     | `Unbounded -> assert false (* bounded below by 0 *)
-    | `Optimal -> if -.st.obj.(0) > phase1_tol then infeasible := true);
+    | `Optimal -> if -.st.obj.{0} > phase1_tol then infeasible := true);
     Obs.add c_phase1 (st.n_pivots - before);
     if not !infeasible then
       (* Drive residual zero-valued artificials out of the basis; redundant
@@ -552,24 +570,24 @@ let solve p = (build p).last
 let grow st ~rows ~cols =
   let need_w = st.width + cols + 1 in
   let need_m = st.m + rows in
-  let cap_rows = Array.length st.a / st.stride in
+  let cap_rows = V.F.length st.a / st.stride in
   if need_w > st.stride then begin
     let stride' = max need_w (st.stride * 2) in
     let cap' = max need_m (cap_rows * 2) in
-    let a' = Array.make (cap' * stride') 0.0 in
+    let a' = V.F.make (cap' * stride') 0.0 in
     for i = 0 to st.m - 1 do
-      Array.blit st.a (i * st.stride) a' (i * stride') (st.width + 1)
+      V.F.blit st.a (i * st.stride) a' (i * stride') (st.width + 1)
     done;
-    let obj' = Array.make stride' 0.0 in
-    Array.blit st.obj 0 obj' 0 (st.width + 1);
+    let obj' = V.F.make stride' 0.0 in
+    V.F.blit st.obj 0 obj' 0 (st.width + 1);
     st.a <- a';
     st.obj <- obj';
     st.stride <- stride'
   end
   else if need_m > cap_rows then begin
     let cap' = max need_m (cap_rows * 2) in
-    let a' = Array.make (cap' * st.stride) 0.0 in
-    Array.blit st.a 0 a' 0 (st.m * st.stride);
+    let a' = V.F.make (cap' * st.stride) 0.0 in
+    V.F.blit st.a 0 a' 0 (st.m * st.stride);
     st.a <- a'
   end;
   if Array.length st.basis < need_m then begin
@@ -593,23 +611,23 @@ let append_leq st acc rhs sgn =
   let r = st.m in
   st.m <- st.m + 1;
   let base = r * st.stride in
-  Array.fill st.a base st.stride 0.0;
+  V.F.fill_range st.a base st.stride 0.0;
   for j = 0 to st.structural - 1 do
-    st.a.(base + 1 + j) <- sgn *. acc.(j)
+    st.a.{base + 1 + j} <- sgn *. acc.(j)
   done;
-  st.a.(base + 1 + slack) <- 1.0;
-  st.a.(base) <- sgn *. rhs;
+  st.a.{base + 1 + slack} <- 1.0;
+  st.a.{base} <- sgn *. rhs;
   (* Zero out the basic columns of the new row: basic columns are unit
      columns in the old rows, so one elimination pass per old row does it. *)
   for i = 0 to r - 1 do
     let b = st.basis.(i) in
-    let f = st.a.(base + 1 + b) in
+    let f = st.a.{base + 1 + b} in
     if f <> 0.0 then begin
       let bi = i * st.stride in
       for j = 0 to st.width do
-        st.a.(base + j) <- st.a.(base + j) -. (f *. st.a.(bi + j))
+        st.a.{base + j} <- st.a.{base + j} -. (f *. st.a.{bi + j})
       done;
-      st.a.(base + 1 + b) <- 0.0
+      st.a.{base + 1 + b} <- 0.0
     end
   done;
   st.basis.(r) <- slack
@@ -736,11 +754,11 @@ let build_dual ~hint p =
         structural;
         dual_layout = true;
         added = [];
-        a = Array.make (max 1 (mcap * stride)) 0.0;
+        a = V.F.make (max 1 (mcap * stride)) 0.0;
         stride;
         m;
         width;
-        obj = Array.make stride 0.0;
+        obj = V.F.make stride 0.0;
         basis = Array.make (max 1 mcap) (-1);
         barred = Array.make (max 1 (stride - 1)) false;
         n_pivots = 0;
@@ -753,10 +771,10 @@ let build_dual ~hint p =
       (fun r (acc, rhs) ->
         let base = r * stride in
         for j = 0 to structural - 1 do
-          st.a.(base + 1 + j) <- acc.(j)
+          st.a.{base + 1 + j} <- acc.(j)
         done;
-        st.a.(base) <- rhs;
-        st.a.(base + 1 + structural + r) <- 1.0;
+        st.a.{base} <- rhs;
+        st.a.{base + 1 + structural + r} <- 1.0;
         st.basis.(r) <- structural + r)
       rows;
     set_objective st (fun j -> if j < structural then cost.(j) else 0.0);
@@ -887,7 +905,7 @@ let patch st (p' : problem) =
           let rows =
             List.concat_map
               (fun c ->
-                let _, rhs = rewrite ~recover:recover' ~structural:structural' c in
+                let rhs = rewrite_rhs ~recover:recover' c in
                 match c.relation with
                 | Leq -> [ rhs ]
                 | Geq -> [ -.rhs ]
@@ -895,7 +913,7 @@ let patch st (p' : problem) =
               all_constraints'
             @ List.concat_map
                 (fun c ->
-                  let _, rhs = rewrite ~recover:recover' ~structural:structural' c in
+                  let rhs = rewrite_rhs ~recover:recover' c in
                   match c.relation with
                   | Leq -> [ rhs ]
                   | Geq -> [ -.rhs ]
@@ -917,7 +935,7 @@ let patch st (p' : problem) =
               rhs'.(i) <- !acc
             done;
             for i = 0 to st.m - 1 do
-              st.a.(i * st.stride) <- rhs'.(i)
+              st.a.{i * st.stride} <- rhs'.(i)
             done;
             set_objective st (fun j -> if j < st.structural then cost.(j) else 0.0);
             st.degen_streak <- 0;

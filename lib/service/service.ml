@@ -127,6 +127,52 @@ let c_sess_resolves = Obs.counter "service.session.resolves"
 let c_sess_unknown = Obs.counter "service.session.unknown"
 let g_sess_active = Obs.gauge "service.session.active"
 
+(* Per-shard splits of the fleet-wide counters above, so a stats report
+   shows how routing spread the load. Handles are minted once per shard
+   at [create] ([Obs.counter] is idempotent per name, so re-creating a
+   service reuses them) and kept on the shard record — hot paths never
+   format a name. Each shard counter is bumped alongside its aggregate
+   twin; the aggregates stay authoritative. *)
+type shard_obs = {
+  s_submitted : Obs.counter;
+  s_completed : Obs.counter;
+  s_rejected : Obs.counter;
+  s_cache_hits : Obs.counter;
+  s_batches : Obs.counter;
+}
+
+let shard_counters index =
+  let c suffix = Obs.counter (Printf.sprintf "service.shard%d.%s" index suffix) in
+  {
+    s_submitted = c "submitted";
+    s_completed = c "completed";
+    s_rejected = c "rejected";
+    s_cache_hits = c "cache_hits";
+    s_batches = c "batches";
+  }
+
+(* Amortized minor-heap words the executing domain allocates per request
+   (parse + solve + fulfill), the service-path member of the allocation
+   counter family next to [lp.sparse.allocs_per_pivot] and
+   [sne.sep_round_words]. Measured only while observability is enabled;
+   a request runs start to finish on one pool domain, so the
+   [Gc.minor_words] delta is that request's own allocation. *)
+let g_req_words = Obs.gauge "service.request_words"
+let req_words = Atomic.make 0.0
+let req_count = Atomic.make 0
+
+let atomic_addf a d =
+  let rec go () =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. d)) then go ()
+  in
+  go ()
+
+let record_request w0 =
+  atomic_addf req_words (Gc.minor_words () -. w0);
+  let r = 1 + Atomic.fetch_and_add req_count 1 in
+  Obs.set g_req_words (Atomic.get req_words /. float_of_int r)
+
 (* ------------------------------------------------------------------ *)
 (* Cache keys and shard routing                                        *)
 (* ------------------------------------------------------------------ *)
@@ -331,6 +377,7 @@ type shard = {
   sessions : (string, session_entry) Lru.t;  (* bounded; LRU-evicted *)
   sessions_mu : Mutex.t;
   mutable session_seq : int;  (* local open count; guarded by sessions_mu *)
+  obs : shard_obs;  (* this shard's service.shard<i>.* counters *)
 }
 
 and ticket = {
@@ -388,6 +435,7 @@ let fulfill tk result ~cache_hit =
   Mutex.unlock sh.mu;
   if fresh then begin
     Obs.incr c_completed;
+    Obs.incr sh.obs.s_completed;
     count_result result
   end
 
@@ -590,7 +638,7 @@ let run_session ~poll tk =
 (* Worker-side execution of one dispatched ticket. Every failure mode
    lands as a structured [Error] response — nothing escapes, so a batch
    mate can never be poisoned and the service cannot wedge. *)
-let exec pool_check tk =
+let exec_ticket pool_check tk =
   let sh = tk.home in
   let expired () =
     match tk.deadline_at with Some t -> sh.clock () > t | None -> false
@@ -642,6 +690,7 @@ let exec pool_check tk =
             match cache_find sh key with
             | Some outcome ->
                 Obs.incr c_cache_hits;
+                Obs.incr sh.obs.s_cache_hits;
                 fulfill tk (Ok outcome) ~cache_hit:true
             | None -> (
                 match solve_kind ~poll ~progress inst tk.req.kind with
@@ -657,6 +706,17 @@ let exec pool_check tk =
                 | exception e ->
                     fulfill tk (Error (Solver_error (Printexc.to_string e)))
                       ~cache_hit:false)))
+
+(* Meter the per-request allocation gauge around the real executor.
+   [exec_ticket] never raises (every outcome goes through [fulfill]),
+   so a plain sequence suffices — no protection needed. *)
+let exec pool_check tk =
+  if not (Obs.enabled ()) then exec_ticket pool_check tk
+  else begin
+    let w0 = Gc.minor_words () in
+    exec_ticket pool_check tk;
+    record_request w0
+  end
 
 (* Per-shard dispatcher: drain the queue in priority batches onto the
    shard's pool until shutdown, then fail whatever is still queued. Runs
@@ -703,6 +763,7 @@ let dispatch_loop sh =
       Obs.accumulate g_inflight (float_of_int (Array.length batch));
       Mutex.unlock sh.mu;
       Obs.incr c_batches;
+      Obs.incr sh.obs.s_batches;
       let results = Par.Pool.map_result sh.pool (fun check tk -> exec check tk) batch in
       (* [exec] never raises, so every slot is [Ok ()]; the [Error] arm is
          pure insurance — if it ever fires, the ticket still completes. *)
@@ -753,6 +814,7 @@ let create ?(shards = 1) ?(workers = 1) ?(queue_limit = 256) ?(cache = 512)
       sessions = Lru.create ~capacity:sessions;
       sessions_mu = Mutex.create ();
       session_seq = 0;
+      obs = shard_counters index;
     }
   in
   let svc = { shards = Array.init shards mk_shard } in
@@ -777,6 +839,7 @@ let submit ?on_progress svc req =
   let sh = svc.shards.(shard_of_request svc req) in
   let now = sh.clock () in
   Obs.incr c_submitted;
+  Obs.incr sh.obs.s_submitted;
   (* Parse once on the submitting thread for routing; the worker reuses
      the result, so stateless requests are parsed exactly once total
      (the seed parsed once too, just later). *)
@@ -792,6 +855,7 @@ let submit ?on_progress svc req =
   if sh.stopping then begin
     Mutex.unlock sh.mu;
     Obs.incr c_completed;
+    Obs.incr sh.obs.s_completed;
     completed_ticket sh req ~at:now (Error Shutdown)
   end
   else if sh.n_pending >= sh.queue_limit then begin
@@ -802,6 +866,8 @@ let submit ?on_progress svc req =
        neighbours stay responsive). *)
     Obs.incr c_rejected;
     Obs.incr c_completed;
+    Obs.incr sh.obs.s_rejected;
+    Obs.incr sh.obs.s_completed;
     completed_ticket sh req ~at:now (Error Overloaded)
   end
   else begin

@@ -1,0 +1,77 @@
+(* Per-domain scratch arenas.
+
+   Generalizes the Wgraph Dijkstra DLS scratch (PR 4): a [slot] names one
+   reusable buffer per domain, materialized lazily through [Domain.DLS] so
+   Parallel.Pool workers and service shards each see their own copy and
+   never contend. [get] returns the domain's buffer grown to at least the
+   requested length — steady state (no growth) allocates nothing and
+   returns the physically same buffer every call, which is what the
+   arena-reuse tests pin down with [==].
+
+   Ownership rules (DESIGN.md §13): a borrowed buffer is valid until the
+   next [get] on the same slot from the same domain; never store it in a
+   long-lived structure, never hand it to another domain, and treat its
+   contents as dirty — initialize the prefix you use. *)
+
+type fbuf = Vec.fvec
+type ibuf = Vec.ivec
+
+type 'a ops = { length : 'a -> int; realloc : 'a -> int -> 'a }
+type 'a slot = { key : 'a Domain.DLS.key; ops : 'a ops; grows : int Atomic.t }
+
+(* Amortized doubling, and never comically small. *)
+let cap_for len n = max n (max 8 (2 * len))
+
+let make_slot ops empty =
+  { key = Domain.DLS.new_key (fun () -> empty ()); ops; grows = Atomic.make 0 }
+
+let floats () : fbuf slot =
+  make_slot
+    {
+      length = Vec.F.length;
+      (* Prefix preserved, grown tail zeroed — same contract as Vec.F.grow,
+         but sized by [cap_for] against the *current* capacity. *)
+      realloc =
+        (fun a n ->
+          let b = Vec.F.make (cap_for (Vec.F.length a) n) 0.0 in
+          Vec.F.blit a 0 b 0 (Vec.F.length a);
+          b);
+    }
+    (fun () -> Vec.F.make 0 0.0)
+
+let ints () : ibuf slot =
+  make_slot
+    {
+      length = Vec.I.length;
+      realloc =
+        (fun a n ->
+          let b = Vec.I.make (cap_for (Vec.I.length a) n) 0 in
+          Vec.I.blit a 0 b 0 (Vec.I.length a);
+          b);
+    }
+    (fun () -> Vec.I.make 0 0)
+
+let bytes () : Bytes.t slot =
+  make_slot
+    {
+      length = Bytes.length;
+      realloc =
+        (fun b n ->
+          let c = Bytes.make (cap_for (Bytes.length b) n) '\000' in
+          Bytes.blit b 0 c 0 (Bytes.length b);
+          c);
+    }
+    (fun () -> Bytes.create 0)
+
+let get slot n =
+  let cur = Domain.DLS.get slot.key in
+  if slot.ops.length cur >= n then cur
+  else begin
+    let grown = slot.ops.realloc cur n in
+    Domain.DLS.set slot.key grown;
+    Atomic.incr slot.grows;
+    grown
+  end
+
+let capacity slot = slot.ops.length (Domain.DLS.get slot.key)
+let grows slot = Atomic.get slot.grows

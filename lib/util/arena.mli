@@ -1,0 +1,40 @@
+(** Per-domain reusable scratch arenas.
+
+    A {!slot} names one scratch buffer per domain (via [Domain.DLS]):
+    Parallel.Pool workers and service shards each get their own lazily
+    created copy, so there is no contention and — once warm — no
+    allocation. This generalizes the Wgraph Dijkstra heap-scratch pattern.
+
+    Borrowing contract: the buffer returned by {!get} is valid until the
+    next {!get} on the same slot from the same domain. Do not store it in
+    long-lived structures, do not pass it to another domain, and assume
+    its contents are dirty (initialize the prefix you use). See DESIGN.md
+    §13 for the full ownership rules. *)
+
+type fbuf = Vec.fvec
+type ibuf = Vec.ivec
+
+type 'a slot
+
+val floats : unit -> fbuf slot
+(** A float64 Bigarray scratch slot (fresh slot; call once at module
+    init, not per use). *)
+
+val ints : unit -> ibuf slot
+(** An int Bigarray scratch slot. *)
+
+val bytes : unit -> Bytes.t slot
+(** A byte scratch slot (cheap boolean flags). *)
+
+val get : 'a slot -> int -> 'a
+(** [get slot n] is the calling domain's buffer for [slot], grown to at
+    least [n] cells (amortized doubling; prefix preserved, grown tail
+    zeroed). Steady state returns the physically same buffer ([==]) and
+    allocates nothing. *)
+
+val capacity : 'a slot -> int
+(** Current capacity of the calling domain's buffer. *)
+
+val grows : 'a slot -> int
+(** Total reallocation count across all domains — zero delta between two
+    calls proves the scratch was reused. *)

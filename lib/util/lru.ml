@@ -74,10 +74,15 @@ let clear t =
 
 (* Least-recently-used entry the [keep] predicate does not protect, or
    None when every entry is pinned. Walks tail-to-front so the victim is
-   the stalest evictable entry, matching plain LRU when [keep] is absent. *)
-let victim_of ?keep t =
+   the stalest evictable entry, matching plain LRU when [keep] is absent.
+   [exclude] additionally shields one specific node by physical identity:
+   [add] passes the node it just inserted, so a newcomer facing a table
+   of all-pinned elders overflows the table instead of evicting itself
+   (handing the caller a key that is already gone). *)
+let victim_of ?keep ?exclude t =
   let protected_ n =
-    match keep with Some f -> f n.key n.value | None -> false
+    (match exclude with Some m -> m == n | None -> false)
+    || (match keep with Some f -> f n.key n.value | None -> false)
   in
   let rec walk = function
     | None -> None
@@ -85,8 +90,8 @@ let victim_of ?keep t =
   in
   walk t.last
 
-let evict_one ?on_evict ?keep t =
-  match victim_of ?keep t with
+let evict_one ?on_evict ?keep ?exclude t =
+  match victim_of ?keep ?exclude t with
   | None -> false
   | Some victim ->
       unlink t victim;
@@ -110,9 +115,10 @@ let add ?on_evict ?keep t k v =
       Hashtbl.replace t.table k n;
       push_front t n;
       if Hashtbl.length t.table > t.capacity then
-        (* When every entry is pinned the table temporarily overflows;
-           [shrink] restores the bound once pins release. *)
-        ignore (evict_one ?on_evict ?keep t : bool)
+        (* When every other entry is pinned the table temporarily
+           overflows; [shrink] restores the bound once pins release. The
+           just-inserted node is never its own victim. *)
+        ignore (evict_one ?on_evict ?keep ~exclude:n t : bool)
 
 let shrink ?on_evict ?keep t =
   let rec loop () =

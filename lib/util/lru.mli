@@ -23,11 +23,12 @@ val find : ('k, 'v) t -> 'k -> 'v option
     so session tables can release resources held by the evicted value.
 
     [keep] pins entries: the victim is the least recently used entry the
-    predicate rejects. When every entry is pinned, no eviction happens
-    and the table temporarily exceeds capacity — call {!shrink} once pins
+    predicate rejects, and the entry being inserted is never its own
+    victim — when every older entry is pinned, no eviction happens and
+    the table temporarily exceeds capacity — call {!shrink} once pins
     release to restore the bound. The service session table uses this to
     never drop a session whose per-session lock is held by an in-flight
-    resolve. *)
+    resolve (which would recycle solver scratch out from under it). *)
 val add :
   ?on_evict:('k -> 'v -> unit) ->
   ?keep:('k -> 'v -> bool) ->

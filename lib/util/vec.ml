@@ -1,0 +1,114 @@
+(* Bigarray-backed numeric vectors for the solver hot paths.
+
+   [fvec]/[ivec] live off the OCaml heap: the GC neither scans nor moves
+   them, and writing a float into one allocates nothing (no boxing, no
+   write barrier). Switching a record field from [float array] to [fvec]
+   turns every stale [a.(i)] access into a type error, which is how the
+   kernel conversions below stay compiler-checked. *)
+
+open Bigarray
+
+type fvec = (float, float64_elt, c_layout) Array1.t
+type ivec = (int, int_elt, c_layout) Array1.t
+
+module F = struct
+  type t = fvec
+
+  let make n x : t =
+    let a = Array1.create float64 c_layout (max 0 n) in
+    Array1.fill a x;
+    a
+
+  let length (a : t) = Array1.dim a
+  let get (a : t) i = a.{i}
+  let set (a : t) i x = a.{i} <- x
+  let[@inline] uget (a : t) i : float = Array1.unsafe_get a i
+  let[@inline] uset (a : t) i (x : float) = Array1.unsafe_set a i x
+  let fill (a : t) x = Array1.fill a x
+
+  (* Loop-based on purpose: [Array1.sub] allocates a fresh descriptor per
+     call, which would put an allocation back into every per-pivot fill. *)
+  let fill_range (a : t) pos len x =
+    if pos < 0 || len < 0 || pos + len > Array1.dim a then
+      invalid_arg "Vec.F.fill_range";
+    for i = pos to pos + len - 1 do
+      Array1.unsafe_set a i x
+    done
+
+  let blit (src : t) spos (dst : t) dpos len =
+    if
+      spos < 0 || dpos < 0 || len < 0
+      || spos + len > Array1.dim src
+      || dpos + len > Array1.dim dst
+    then invalid_arg "Vec.F.blit";
+    for i = 0 to len - 1 do
+      Array1.unsafe_set dst (dpos + i) (Array1.unsafe_get src (spos + i))
+    done
+
+  (* Fresh vector of capacity >= [n] (amortized doubling), prefix copied,
+     grown tail set to [pad]. *)
+  let grow (a : t) n pad : t =
+    let len = length a in
+    if n <= len then a
+    else begin
+      let b = make (max n (max 8 (2 * len))) pad in
+      blit a 0 b 0 len;
+      b
+    end
+
+  let of_array (src : float array) : t =
+    let a = Array1.create float64 c_layout (Array.length src) in
+    Array.iteri (fun i x -> a.{i} <- x) src;
+    a
+
+  let to_array (a : t) = Array.init (length a) (fun i -> a.{i})
+end
+
+module I = struct
+  type t = ivec
+
+  let make n x : t =
+    let a = Array1.create int c_layout (max 0 n) in
+    Array1.fill a x;
+    a
+
+  let length (a : t) = Array1.dim a
+  let get (a : t) i = a.{i}
+  let set (a : t) i x = a.{i} <- x
+  let[@inline] uget (a : t) i : int = Array1.unsafe_get a i
+  let[@inline] uset (a : t) i (x : int) = Array1.unsafe_set a i x
+  let fill (a : t) x = Array1.fill a x
+
+  let fill_range (a : t) pos len x =
+    if pos < 0 || len < 0 || pos + len > Array1.dim a then
+      invalid_arg "Vec.I.fill_range";
+    for i = pos to pos + len - 1 do
+      Array1.unsafe_set a i x
+    done
+
+  let blit (src : t) spos (dst : t) dpos len =
+    if
+      spos < 0 || dpos < 0 || len < 0
+      || spos + len > Array1.dim src
+      || dpos + len > Array1.dim dst
+    then invalid_arg "Vec.I.blit";
+    for i = 0 to len - 1 do
+      Array1.unsafe_set dst (dpos + i) (Array1.unsafe_get src (spos + i))
+    done
+
+  let grow (a : t) n pad : t =
+    let len = length a in
+    if n <= len then a
+    else begin
+      let b = make (max n (max 8 (2 * len))) pad in
+      blit a 0 b 0 len;
+      b
+    end
+
+  let of_array (src : int array) : t =
+    let a = Array1.create int c_layout (Array.length src) in
+    Array.iteri (fun i x -> a.{i} <- x) src;
+    a
+
+  let to_array (a : t) = Array.init (length a) (fun i -> a.{i})
+end

@@ -1,0 +1,56 @@
+(** Bigarray (float64 / int, C layout) vectors for solver hot paths.
+
+    Data lives off the OCaml heap: stores never allocate or hit the write
+    barrier, and the GC never scans or moves the payload. Use [uget]/[uset]
+    only in loops whose bounds were checked once on entry (DESIGN.md §13);
+    everywhere else the checked [get]/[set] (or the native [a.{i}] syntax)
+    apply. *)
+
+type fvec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type ivec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module F : sig
+  type t = fvec
+
+  val make : int -> float -> t
+  (** [make n x] is a fresh vector of [max 0 n] cells, all [x]. *)
+
+  val length : t -> int
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+
+  val uget : t -> int -> float
+  (** Unchecked read — caller proved [0 <= i < length]. *)
+
+  val uset : t -> int -> float -> unit
+  (** Unchecked write — caller proved [0 <= i < length]. *)
+
+  val fill : t -> float -> unit
+  val fill_range : t -> int -> int -> float -> unit
+  val blit : t -> int -> t -> int -> int -> unit
+
+  val grow : t -> int -> float -> t
+  (** [grow a n pad] is [a] itself when [length a >= n]; otherwise a fresh
+      vector of capacity [>= n] (amortized doubling) with [a]'s contents in
+      the prefix and [pad] in the tail. *)
+
+  val of_array : float array -> t
+  val to_array : t -> float array
+end
+
+module I : sig
+  type t = ivec
+
+  val make : int -> int -> t
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val uget : t -> int -> int
+  val uset : t -> int -> int -> unit
+  val fill : t -> int -> unit
+  val fill_range : t -> int -> int -> int -> unit
+  val blit : t -> int -> t -> int -> int -> unit
+  val grow : t -> int -> int -> t
+  val of_array : int array -> t
+  val to_array : t -> int array
+end

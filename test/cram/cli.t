@@ -184,6 +184,17 @@ instance to the same shard, so the response cache still hits:
   {"id":"a","status":"ok","cache_hit":false,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
   {"id":"b","status":"ok","cache_hit":true,"elapsed_ms":_,"outcome":{"type":"check","equilibrium":true,"tree_weight":3.0}}
 
+Per-shard observability: two instances whose digests route to different
+shards show up under service.shard0.* and service.shard1.* in the stats
+report, while the fleet-wide aggregate still counts both:
+
+  $ printf 'id=a kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%203%%0A\nid=b kind=check inst=nodes%%202%%0Aroot%%200%%0Aedge%%200%%201%%206%%0A\n' \
+  >   | sne_cli serve --stdio --shards=2 --stats 2>/dev/null \
+  >   | grep -E "service\.(shard[01]\.)?submitted" | tr -s ' '
+  | service.shard0.submitted | 1 |
+  | service.shard1.submitted | 1 |
+  | service.submitted | 2 |
+
 Streaming: a request with stream=1 receives progress events (here the
 single SND incumbent) before its response; events carry "event" where
 responses carry "status":

@@ -610,6 +610,47 @@ let test_session_pin_survives_churn () =
       Alcotest.(check int) "table back at capacity after the pin drops" 1
         (Service.active_sessions svc))
 
+let test_open_during_pinned_table_is_usable () =
+  (* Capacity-1 session table with a resolve in flight pinning the sole
+     resident: an open arriving meanwhile must hand back a handle that
+     actually stays in the table. The newcomer is unpinned, and the LRU
+     eviction walk used to fall through to it when every older entry was
+     pinned — the open answered Opened with an already-evicted handle
+     (its scratch released by on_evict), and the next request naming it
+     got unknown_session. Both interleavings of the race are asserted:
+     if the first resolve already finished, the open evicts the now
+     unpinned elder instead, and the fresh handle is just as usable. *)
+  Service.with_service ~workers:2 ~sessions:1 (fun svc ->
+      let p = payload ~seed:23 ~n:12 ~extra:10 () in
+      let h, _ =
+        opened (ok_outcome (Service.await svc (Service.submit svc (req ~id:"o" open_kind p))))
+      in
+      let resolve =
+        Service.submit svc (req ~id:"rz" (Service.Session_resolve { session = h }) "")
+      in
+      spin_until "the resolve to start" (fun () ->
+          Service.inflight svc >= 1 || Service.poll_response svc resolve <> None);
+      let h2, _ =
+        opened
+          (ok_outcome
+             (Service.await svc
+                (Service.submit svc (req ~id:"o2" open_kind (payload ~seed:24 ())))))
+      in
+      (match
+         (Service.await svc
+            (Service.submit svc
+               (req ~id:"rz2" (Service.Session_resolve { session = h2 }) "")))
+           .Service.result
+       with
+      | Ok (Service.Resolved _) -> ()
+      | Ok _ -> Alcotest.fail "expected resolved outcome"
+      | Error (Service.Unknown_session _) ->
+          Alcotest.fail "freshly opened session self-evicted from a pinned table"
+      | Error e -> Alcotest.failf "resolve failed: %s" (Wire.reason_slug e));
+      ignore (Service.await svc resolve);
+      Alcotest.(check int) "table back at capacity after the pins drop" 1
+        (Service.active_sessions svc))
+
 (* ------------------------------------------------------------------ *)
 (* Shard routing                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -1001,6 +1042,8 @@ let suite =
       test_deadline_monotonic_clock;
     Alcotest.test_case "pinned sessions survive LRU churn mid-resolve" `Slow
       test_session_pin_survives_churn;
+    Alcotest.test_case "open against a fully-pinned table stays usable" `Slow
+      test_open_during_pinned_table_is_usable;
     Alcotest.test_case "shard routing is deterministic and spreads" `Quick
       test_shard_routing_deterministic;
     Alcotest.test_case "shard cache and session affinity" `Quick test_shard_cache_affinity;

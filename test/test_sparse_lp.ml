@@ -640,6 +640,24 @@ let sne_tests =
         && s_on.Snes.rounds = s_off.Snes.rounds
         && s_on.Snes.generated = s_off.Snes.generated
         && s_on.Snes.converged = s_off.Snes.converged);
+    Alcotest.test_case "arena scratch steady across successive solves" `Quick
+      (fun () ->
+        (* After a warm-up solve, further solves on the same domain must
+           not regrow the LU refactor arena or the per-domain Dijkstra
+           scratch: zero grows-counter delta. The arena unit test pins
+           physical buffer reuse; this pins the solver actually living
+           inside the borrowed buffers (no per-solve reallocation). *)
+        let _, spec, _, state = float_side (int_instance 4242) in
+        let run () = ignore (Snes.cutting_plane spec ~state) in
+        run ();
+        let r0 = Repro_lp.Revised_sparse.refactor_arena_grows () in
+        let d0 = G.dijkstra_scratch_grows () in
+        run ();
+        run ();
+        Alcotest.(check int) "refactor arena grows delta" 0
+          (Repro_lp.Revised_sparse.refactor_arena_grows () - r0);
+        Alcotest.(check int) "dijkstra scratch grows delta" 0
+          (G.dijkstra_scratch_grows () - d0));
   ]
 
 let suite = unit_tests @ raw_lp_tests @ sne_tests

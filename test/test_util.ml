@@ -5,6 +5,8 @@
 
 module Heap = Repro_util.Heap
 module Harmonic = Repro_util.Harmonic
+module Vec = Repro_util.Vec
+module Arena = Repro_util.Arena
 module Fx = Repro_util.Floatx
 module Table = Repro_util.Table
 module Lru = Repro_util.Lru
@@ -384,6 +386,82 @@ let unit_tests =
         Alcotest.(check (option int)) "LRU evicted by shrink" None (Lru.find c "s3");
         Alcotest.(check bool) "recent survive shrink" true
           (Lru.find c "s1" = Some 1 && Lru.find c "s4" = Some 4));
+    Alcotest.test_case "lru add never evicts the entry it just inserted" `Quick
+      (fun () ->
+        (* Regression: with every *older* entry pinned, the victim walk
+           used to fall through to the front node — the binding [add] had
+           just inserted — so opening a session against a fully-pinned
+           table returned a handle that was already evicted (and
+           [on_evict] released its resources while the caller was about
+           to use them). The unpinned newcomer must survive; the table
+           overflows instead. *)
+        let keep k _ = k <> "new" in
+        let evicted = ref [] in
+        let on_evict k v = evicted := (k, v) :: !evicted in
+        let c = Lru.create ~capacity:1 in
+        Lru.add ~on_evict ~keep c "old" 1;
+        Lru.add ~on_evict ~keep c "new" 2;
+        Alcotest.(check (list (pair string int))) "no self-eviction" [] !evicted;
+        Alcotest.(check (option int)) "newcomer resident" (Some 2) (Lru.find c "new");
+        Alcotest.(check int) "table overflowed instead" 2 (Lru.length c);
+        (* Once the elder unpins, shrink evicts it (it is the LRU entry)
+           and the bound is restored with the newcomer still resident. *)
+        Lru.shrink ~on_evict c;
+        Alcotest.(check (list (pair string int)))
+          "elder evicted by shrink" [ ("old", 1) ] !evicted;
+        Alcotest.(check int) "bound restored" 1 (Lru.length c);
+        Alcotest.(check (option int)) "newcomer still resident" (Some 2)
+          (Lru.find c "new"));
+    Alcotest.test_case "vec bigarray basics (make/fill/blit/grow)" `Quick (fun () ->
+        let a = Vec.F.make 4 1.5 in
+        Alcotest.(check int) "length" 4 (Vec.F.length a);
+        Alcotest.(check (float 0.0)) "init fill" 1.5 (Vec.F.get a 3);
+        Vec.F.set a 2 7.0;
+        Vec.F.fill_range a 0 2 0.0;
+        Alcotest.(check (float 0.0)) "fill_range start" 0.0 (Vec.F.get a 0);
+        Alcotest.(check (float 0.0)) "fill_range stop" 7.0 (Vec.F.get a 2);
+        let b = Vec.F.make 4 0.0 in
+        Vec.F.blit a 0 b 0 4;
+        Alcotest.(check (float 0.0)) "blit" 7.0 (Vec.F.get b 2);
+        let g = Vec.F.grow a 8 0.25 in
+        Alcotest.(check int) "grown length" 8 (Vec.F.length g);
+        Alcotest.(check (float 0.0)) "grown prefix preserved" 7.0 (Vec.F.get g 2);
+        Alcotest.(check (float 0.0)) "grown tail filled" 0.25 (Vec.F.get g 7);
+        let i = Vec.I.of_array [| 3; 1; 4 |] in
+        Alcotest.(check (array int)) "int round trip" [| 3; 1; 4 |] (Vec.I.to_array i));
+    Alcotest.test_case "arena scratch is physically reused per domain" `Quick
+      (fun () ->
+        (* The borrowing contract behind the zero-allocation hot paths:
+           steady-state [get] returns the physically same buffer and the
+           grows counter stays put; an over-capacity request reallocates
+           (amortized doubling, prefix preserved) and counts one grow. *)
+        let s = Arena.floats () in
+        let g0 = Arena.grows s in
+        let a = Arena.get s 64 in
+        Alcotest.(check int) "warm-up grow counted" (g0 + 1) (Arena.grows s);
+        Vec.F.set a 63 42.0;
+        let b = Arena.get s 64 in
+        Alcotest.(check bool) "steady state: same buffer" true (a == b);
+        Alcotest.(check bool) "steady state: smaller request too" true
+          (Arena.get s 8 == a);
+        Alcotest.(check int) "no further grows" (g0 + 1) (Arena.grows s);
+        let big = Arena.get s (Arena.capacity s + 1) in
+        Alcotest.(check bool) "over capacity reallocates" true (not (big == a));
+        Alcotest.(check (float 0.0)) "prefix preserved across the grow" 42.0
+          (Vec.F.get big 63);
+        Alcotest.(check int) "grow counted" (g0 + 2) (Arena.grows s);
+        (* Another domain gets its own lazily-created buffer — never the
+           physically shared one (no contention, no cross-domain
+           borrowing). *)
+        let d = Domain.spawn (fun () -> Arena.get s 64 == big) in
+        Alcotest.(check bool) "other domain has its own buffer" false
+          (Domain.join d);
+        let ints = Arena.ints () in
+        let ia = Arena.get ints 16 in
+        Alcotest.(check bool) "int slot steady state" true (Arena.get ints 16 == ia);
+        let by = Arena.bytes () in
+        let ba = Arena.get by 16 in
+        Alcotest.(check bool) "bytes slot steady state" true (Arena.get by 16 == ba));
     Alcotest.test_case "monotonic clock advances and never steps back" `Quick
       (fun () ->
         let module Mclock = Repro_util.Mclock in
